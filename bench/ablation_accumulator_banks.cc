@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: accumulator banking factor.  The paper asserts that
+ * A = 2 x F x I banks "sufficiently reduces accumulator bank
+ * contention" (Section IV).  This bench sweeps A from F*I/2 to 8*F*I
+ * on GoogLeNet layers and reports cycles and conflict-stall fractions,
+ * reproducing that design decision.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "scnn/simulator.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    std::printf("Ablation: accumulator bank count vs contention "
+                "(GoogLeNet)\n\n");
+
+    const Network net = googLeNet();
+
+    Table t("ablation_accumulator_banks",
+            {"Banks (A)", "A / (F*I)", "Cycles", "Conflict-stall frac",
+             "Slowdown vs A=128"});
+
+    struct Point { int banks; uint64_t cycles; double stallFrac; };
+    std::vector<Point> points;
+    for (int banks : {8, 16, 32, 64, 128}) {
+        AcceleratorConfig cfg = scnnConfig();
+        cfg.pe.accumBanks = banks;
+        ScnnSimulator sim(cfg);
+        uint64_t cycles = 0;
+        double stalls = 0.0;
+        double busy = 0.0;
+        for (const auto &layer : net.layers()) {
+            if (!layer.inEval)
+                continue;
+            const LayerWorkload w = makeWorkload(layer,
+                                                 kExperimentSeed);
+            const LayerResult r = sim.runLayer(w);
+            cycles += r.cycles;
+            stalls += r.stats.get("conflict_stall_cycles");
+            busy += static_cast<double>(r.computeCycles);
+        }
+        points.push_back({banks, cycles, stalls / (stalls + busy)});
+    }
+    const double best = static_cast<double>(points.back().cycles);
+    for (const auto &p : points) {
+        t.addRow({std::to_string(p.banks),
+                  Table::num(p.banks / 16.0, 2),
+                  std::to_string(p.cycles),
+                  Table::num(p.stallFrac, 4),
+                  Table::num(static_cast<double>(p.cycles) / best, 3) +
+                      "x"});
+    }
+    t.print();
+    std::printf("Paper design point: A = 32 = 2*F*I.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: output-channel group size (Kc) policy.  Kc trades
+ * weight/partial-sum reuse (large Kc: fewer IARAM re-reads, fewer
+ * barriers) against accumulator footprint.  The paper quotes Kc = 8
+ * for the GoogLeNet IC_5b 1x1 layers without publishing its sizing
+ * rule; this bench sweeps the Kc cap to show the sensitivity.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "scnn/simulator.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    std::printf("Ablation: Kc cap sweep (GoogLeNet)\n\n");
+
+    const Network net = googLeNet();
+
+    Table t("ablation_kc_policy",
+            {"Kc cap", "Cycles", "IARAM read bits", "Idle frac",
+             "Slowdown vs cap=32"});
+
+    struct Point
+    {
+        int cap;
+        uint64_t cycles;
+        double iaramBits;
+        double idle;
+    };
+    std::vector<Point> points;
+    for (int cap : {1, 2, 4, 8, 16, 32}) {
+        AcceleratorConfig cfg = scnnConfig();
+        cfg.pe.kcCap = cap;
+        ScnnSimulator sim(cfg);
+        uint64_t cycles = 0;
+        double iaram = 0.0;
+        double idle = 0.0;
+        int n = 0;
+        for (const auto &layer : net.layers()) {
+            if (!layer.inEval)
+                continue;
+            const LayerWorkload w = makeWorkload(layer,
+                                                 kExperimentSeed);
+            const LayerResult r = sim.runLayer(w);
+            cycles += r.cycles;
+            iaram += r.events.iaramReadBits;
+            idle += r.peIdleFraction;
+            ++n;
+        }
+        points.push_back({cap, cycles, iaram, idle / n});
+    }
+    const double ref = static_cast<double>(points.back().cycles);
+    for (const auto &p : points) {
+        t.addRow({std::to_string(p.cap), std::to_string(p.cycles),
+                  Table::num(p.iaramBits / 1e6, 1) + "M",
+                  Table::num(p.idle, 3),
+                  Table::num(static_cast<double>(p.cycles) / ref, 3) +
+                      "x"});
+    }
+    t.print();
+    return 0;
+}

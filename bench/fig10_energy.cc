@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Figure 10: per-layer energy of DCNN / DCNN-opt / SCNN,
+ * normalized to DCNN, for the three networks.
+ *
+ * Paper shapes: DCNN-opt improves on DCNN by ~2.0x network-wide and
+ * SCNN by ~2.3x; fully-dense input layers (AlexNet conv1, VGG
+ * conv1_1) are SCNN's worst case (it can be less efficient than the
+ * dense baselines there), while sparse mid-network layers are its
+ * best (up to ~4.7x vs DCNN).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    std::printf("Figure 10: energy relative to DCNN "
+                "(cycle-level simulation + energy model)\n\n");
+
+    double optImpSum = 0.0;
+    double scnnImpSum = 0.0;
+    int nets = 0;
+    for (const Network &net : paperNetworks()) {
+        const NetworkComparison cmp = compareNetwork(net);
+        Table t("fig10_" + net.name(),
+                {"Layer", "DCNN", "DCNN-opt", "SCNN"});
+        for (const auto &l : cmp.layers) {
+            t.addRow({l.layerName, "1.00",
+                      Table::num(l.energyRelDcnn(l.dcnnOpt), 2),
+                      Table::num(l.energyRelDcnn(l.scnn), 2)});
+        }
+        const double optRel =
+            cmp.totalDcnnOptEnergy() / cmp.totalDcnnEnergy();
+        const double scnnRel =
+            cmp.totalScnnEnergy() / cmp.totalDcnnEnergy();
+        t.addRow({"all (network)", "1.00", Table::num(optRel, 2),
+                  Table::num(scnnRel, 2)});
+        t.print();
+        std::printf("  %s: DCNN-opt %.2fx, SCNN %.2fx better than "
+                    "DCNN\n\n", net.name().c_str(), 1.0 / optRel,
+                    1.0 / scnnRel);
+        optImpSum += 1.0 / optRel;
+        scnnImpSum += 1.0 / scnnRel;
+        ++nets;
+    }
+    std::printf("Mean energy improvement: DCNN-opt %.2fx (paper "
+                "~2.0x), SCNN %.2fx (paper ~2.3x)\n",
+                optImpSum / nets, scnnImpSum / nets);
+    return 0;
+}

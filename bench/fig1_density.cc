@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Figure 1: per-layer input-activation and weight density
+ * and the ideal work fraction (the product of the two, i.e. the
+ * fraction of dense multiplies that have two non-zero operands) for
+ * AlexNet, GoogLeNet and VGGNet.  The paper reports typical work
+ * reductions of ~4x, reaching ~10x.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "nn/model_zoo.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    std::printf("Figure 1: density and ideal work per layer\n\n");
+
+    for (const Network &net : paperNetworks()) {
+        Table t("fig1_" + net.name(),
+                {"Layer", "Density(IA)", "Density(W)",
+                 "Work (frac of dense)", "Work reduction"});
+        double macs = 0.0;
+        double ideal = 0.0;
+        for (const auto &l : net.layers()) {
+            if (!l.inEval)
+                continue;
+            const double work = l.inputDensity * l.weightDensity;
+            t.addRow({l.name, Table::num(l.inputDensity, 2),
+                      Table::num(l.weightDensity, 2),
+                      Table::num(work, 3),
+                      Table::num(work > 0 ? 1.0 / work : 0.0, 1) +
+                          "x"});
+            macs += static_cast<double>(l.macs());
+            ideal += l.idealMacs();
+        }
+        const double netWork = ideal / macs;
+        t.addRow({"network", "-", "-", Table::num(netWork, 3),
+                  Table::num(1.0 / netWork, 1) + "x"});
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Figure 7: GoogLeNet latency (7a) and energy (7b) as a
+ * function of uniform weight/activation density swept from 0.1 to
+ * 1.0, for SCNN / DCNN / DCNN-opt, using the TimeLoop analytical
+ * model (Section VI-A).  All values are normalized to DCNN at 1.0/1.0
+ * density.
+ *
+ * Expected shapes (paper): SCNN achieves ~79% of DCNN performance at
+ * full density, wins below ~0.85/0.85, and reaches ~24x at 0.1/0.1;
+ * DCNN-opt energy is below DCNN everywhere; SCNN energy crosses DCNN
+ * near 0.83/0.83 and DCNN-opt near 0.60/0.60.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    std::printf("Figure 7: GoogLeNet performance/energy vs density "
+                "(TimeLoop analytical model)\n\n");
+
+    std::vector<double> densities;
+    for (int i = 1; i <= 10; ++i)
+        densities.push_back(0.1 * i);
+
+    const std::vector<DensityPoint> points =
+        densitySweep(googLeNet(), densities);
+    const DensityPoint &ref = points.back(); // 1.0/1.0
+
+    Table perf("fig7a_performance",
+               {"Wt/Act Density", "DCNN (norm latency)",
+                "SCNN (norm latency)", "SCNN speedup vs DCNN"});
+    Table energy("fig7b_energy",
+                 {"Wt/Act Density", "DCNN (norm energy)",
+                  "DCNN-opt (norm energy)", "SCNN (norm energy)"});
+
+    double crossDcnn = -1.0;
+    double crossOpt = -1.0;
+    for (const auto &p : points) {
+        perf.addRow({strfmt("%.1f/%.1f", p.density, p.density),
+                     Table::num(p.dcnnCycles / ref.dcnnCycles, 3),
+                     Table::num(p.scnnCycles / ref.dcnnCycles, 3),
+                     Table::num(p.dcnnCycles / p.scnnCycles, 2) + "x"});
+        energy.addRow({strfmt("%.1f/%.1f", p.density, p.density),
+                       Table::num(p.dcnnEnergy / ref.dcnnEnergy, 3),
+                       Table::num(p.dcnnOptEnergy / ref.dcnnEnergy, 3),
+                       Table::num(p.scnnEnergy / ref.dcnnEnergy, 3)});
+        if (p.scnnEnergy <= p.dcnnEnergy)
+            crossDcnn = std::max(crossDcnn, p.density);
+        if (p.scnnEnergy <= p.dcnnOptEnergy)
+            crossOpt = std::max(crossOpt, p.density);
+    }
+    perf.print();
+    energy.print();
+
+    const auto &lo = points.front();
+    std::printf("Summary:\n");
+    std::printf("  SCNN/DCNN performance at 1.0/1.0 density: %.2f "
+                "(paper ~0.79)\n",
+                ref.dcnnCycles / ref.scnnCycles);
+    std::printf("  SCNN speedup at 0.1/0.1 density: %.1fx "
+                "(paper ~24x)\n",
+                lo.dcnnCycles / lo.scnnCycles);
+    std::printf("  SCNN energy beats DCNN up to density %.1f "
+                "(paper ~0.83)\n", crossDcnn);
+    std::printf("  SCNN energy beats DCNN-opt up to density %.1f "
+                "(paper ~0.60)\n", crossOpt);
+    return 0;
+}

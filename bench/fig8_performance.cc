@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces Figure 8: per-layer and network speedups of SCNN and
+ * SCNN(oracle) over the DCNN baseline for AlexNet (8a), GoogLeNet
+ * (8b) and VGGNet (8c), from the cycle-level simulators.
+ *
+ * Paper network-wide results: AlexNet 2.37x, GoogLeNet 2.19x, VGGNet
+ * 3.52x (mean 2.7x), with the SCNN-to-oracle gap widening in later
+ * layers.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+
+using namespace scnn;
+
+namespace {
+
+const char *
+paperSpeedup(const std::string &net)
+{
+    if (net == "AlexNet")
+        return "2.37";
+    if (net == "GoogLeNet")
+        return "2.19";
+    return "3.52";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 8: per-layer speedup over DCNN "
+                "(cycle-level simulation)\n\n");
+
+    double meanSpeedup = 0.0;
+    int nets = 0;
+    for (const Network &net : paperNetworks()) {
+        const NetworkComparison cmp = compareNetwork(net);
+
+        Table t("fig8_" + net.name(),
+                {"Layer", "DCNN/DCNN-opt", "SCNN", "SCNN(oracle)"});
+        for (const auto &l : cmp.layers) {
+            t.addRow({l.layerName, "1.00",
+                      Table::num(l.speedupScnn(), 2),
+                      Table::num(l.speedupOracle(), 2)});
+        }
+        t.addRow({"all (network)", "1.00",
+                  Table::num(cmp.networkSpeedupScnn(), 2),
+                  Table::num(cmp.networkSpeedupOracle(), 2)});
+        t.print();
+        std::printf("  %s network speedup: %.2fx (paper %sx)\n\n",
+                    net.name().c_str(), cmp.networkSpeedupScnn(),
+                    paperSpeedup(net.name()));
+        meanSpeedup += cmp.networkSpeedupScnn();
+        ++nets;
+    }
+    std::printf("Mean network speedup: %.2fx (paper ~2.7x)\n",
+                meanSpeedup / nets);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Figure 9: per-layer average multiplier-array utilization
+ * (left axis) and the fraction of cycles PEs spend waiting at the
+ * inter-PE barrier at output-channel-group boundaries (right axis).
+ *
+ * Paper shapes: utilization declines for the later, smaller layers
+ * (below ~20% for GoogLeNet IC_5a/IC_5b); barrier-idle fractions grow
+ * as working sets shrink.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    std::printf("Figure 9: multiplier utilization and PE idle "
+                "fraction (SCNN cycle-level simulation)\n\n");
+
+    for (const Network &net : paperNetworks()) {
+        const NetworkComparison cmp = compareNetwork(net);
+        Table t("fig9_" + net.name(),
+                {"Layer", "Mult util", "PE idle frac", "Kc"});
+        double utilSum = 0.0;
+        double idleSum = 0.0;
+        for (const auto &l : cmp.layers) {
+            t.addRow({l.layerName,
+                      Table::num(l.scnn.multUtilBusy, 3),
+                      Table::num(l.scnn.peIdleFraction, 3),
+                      Table::num(l.scnn.stats.get("kc"), 0)});
+            utilSum += l.scnn.multUtilBusy;
+            idleSum += l.scnn.peIdleFraction;
+        }
+        t.addRow({"mean",
+                  Table::num(utilSum / cmp.layers.size(), 3),
+                  Table::num(idleSum / cmp.layers.size(), 3), "-"});
+        t.print();
+    }
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot kernels:
+ * RLE codec, compressed-tile construction, accumulator-bank routing,
+ * the PE Cartesian-product inner loop, the reference convolution, and
+ * a full small-layer simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "nn/model_zoo.hh"
+#include "nn/reference.hh"
+#include "nn/workload.hh"
+#include "scnn/accumulator.hh"
+#include "scnn/pe.hh"
+#include "scnn/simulator.hh"
+#include "tensor/rle.hh"
+
+using namespace scnn;
+
+namespace {
+
+std::vector<float>
+sparseStream(size_t n, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n, 0.0f);
+    for (auto &x : v)
+        if (rng.bernoulli(density))
+            x = static_cast<float>(rng.uniform(0.1, 1.0));
+    return v;
+}
+
+void
+BM_RleEncode(benchmark::State &state)
+{
+    const double density = static_cast<double>(state.range(0)) / 100.0;
+    const auto dense = sparseStream(1 << 16, density, 42);
+    for (auto _ : state) {
+        auto enc = rleEncode(dense);
+        benchmark::DoNotOptimize(enc.values.data());
+    }
+    state.SetItemsProcessed(state.iterations() * dense.size());
+}
+BENCHMARK(BM_RleEncode)->Arg(10)->Arg(35)->Arg(100);
+
+void
+BM_RleRoundTrip(benchmark::State &state)
+{
+    const auto dense = sparseStream(1 << 14, 0.35, 7);
+    for (auto _ : state) {
+        const auto enc = rleEncode(dense);
+        auto dec = rleDecode(enc, dense.size());
+        benchmark::DoNotOptimize(dec.data());
+    }
+    state.SetItemsProcessed(state.iterations() * dense.size());
+}
+BENCHMARK(BM_RleRoundTrip);
+
+void
+BM_CompressedTileBuild(benchmark::State &state)
+{
+    ConvLayerParams layer = makeConv("bm", 64, 64, 56, 3, 1, 0.35,
+                                     0.40);
+    Rng rng(3);
+    const Tensor3 acts = makeActivations(layer, rng);
+    const ConvGeometry geom = layer.geometry();
+    for (auto _ : state) {
+        CompressedActTile tile(acts, 0, 28, 0, 28, geom);
+        benchmark::DoNotOptimize(tile.nonZeros());
+    }
+}
+BENCHMARK(BM_CompressedTileBuild);
+
+void
+BM_BankRouting(benchmark::State &state)
+{
+    AccumulatorBanks banks(32);
+    Rng rng(11);
+    std::vector<int> ids(16);
+    for (auto &b : ids)
+        b = static_cast<int>(rng.uniformInt(32));
+    for (auto _ : state) {
+        banks.beginOp();
+        for (int b : ids)
+            banks.route(b);
+        uint64_t cost = banks.finishOp();
+        benchmark::DoNotOptimize(cost);
+    }
+    state.SetItemsProcessed(state.iterations() * ids.size());
+}
+BENCHMARK(BM_BankRouting);
+
+void
+BM_PeRunGroup(benchmark::State &state)
+{
+    const ConvLayerParams layer =
+        makeConv("bm_pe", 64, 32, 28, 3, 1, 0.35, 0.40);
+    const LayerWorkload w = makeWorkload(layer, 5);
+    const AcceleratorConfig cfg = scnnConfig();
+    const ConvGeometry geom = layer.geometry();
+    CompressedActTile tile(w.input, 0, 14, 0, 14, geom);
+    std::vector<CompressedWeightBlock> blocks;
+    for (int c = 0; c < layer.inChannels; ++c)
+        blocks.emplace_back(w.weights, 0, 16, c, layer.inChannels, 1,
+                            geom);
+    TileRect in{0, 14, 0, 14};
+    TileRect out{0, 14, 0, 14};
+    TileRect acc{0, 16, 0, 16};
+    ProcessingElement pe(cfg, layer, in, out, acc);
+    for (auto _ : state) {
+        const PeGroupStats st = pe.runGroup(tile, blocks, 0, nullptr);
+        benchmark::DoNotOptimize(st.cycles);
+    }
+}
+BENCHMARK(BM_PeRunGroup);
+
+void
+BM_ReferenceConv(benchmark::State &state)
+{
+    const ConvLayerParams layer =
+        makeConv("bm_ref", 32, 32, 28, 3, 1, 0.5, 0.5);
+    const LayerWorkload w = makeWorkload(layer, 9);
+    for (auto _ : state) {
+        Tensor3 out = referenceConv(layer, w.input, w.weights);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_ReferenceConv);
+
+void
+BM_ScnnLayer(benchmark::State &state)
+{
+    const ConvLayerParams layer =
+        makeConv("bm_layer", 64, 64, 28, 3, 1, 0.35, 0.40);
+    const LayerWorkload w = makeWorkload(layer, 13);
+    ScnnSimulator sim(scnnConfig());
+    for (auto _ : state) {
+        const LayerResult r = sim.runLayer(w);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_ScnnLayer);
+
+} // namespace
+
+BENCHMARK_MAIN();

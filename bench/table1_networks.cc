@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces Table I: network characteristics (conv layer counts,
+ * maximum per-layer weight/activation footprints at 2 B/value, total
+ * multiplies).  Paper values are printed alongside for comparison.
+ *
+ * Note on scope: the paper's GoogLeNet row mixes scopes -- "54 conv
+ * layers" and the 1.1 B multiplies count only the inception-module
+ * convolutions (its evaluation scope), while the 1.52 MB maximum
+ * activation footprint belongs to the stem.  Both scopes are shown.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "nn/model_zoo.hh"
+
+using namespace scnn;
+
+namespace {
+
+std::string
+mb(double bytes)
+{
+    return Table::num(bytes / 1e6, 2) + " MB";
+}
+
+std::string
+billions(double n)
+{
+    return Table::num(n / 1e9, 2) + " B";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table I: network characteristics "
+                "(2-byte data type)\n\n");
+
+    Table t("table1_networks",
+            {"Network", "# Conv. Layers (eval)", "Max. Layer Weights",
+             "Max. Layer Activations", "Total # Multiplies (eval)",
+             "Paper: layers/wts/acts/muls"});
+
+    struct PaperRow { const char *w, *a, *m; int layers; };
+    const PaperRow paper[] = {
+        {"1.73 MB", "0.31 MB", "0.69 B", 5},
+        {"1.32 MB", "1.52 MB", "1.1 B", 54},
+        {"4.49 MB", "6.12 MB", "15.3 B", 13},
+    };
+
+    int i = 0;
+    for (const Network &net : paperNetworks()) {
+        t.addRow({net.name(),
+                  strfmt("%zu (%zu)", net.numLayers(),
+                         net.numEvalLayers()),
+                  mb(static_cast<double>(net.maxLayerWeightBytes())),
+                  mb(static_cast<double>(net.maxLayerActivationBytes())),
+                  billions(static_cast<double>(net.totalMacs(true))),
+                  strfmt("%d / %s / %s / %s", paper[i].layers,
+                         paper[i].w, paper[i].a, paper[i].m)});
+        ++i;
+    }
+    t.print();
+
+    std::printf("Per-layer shapes:\n");
+    for (const Network &net : paperNetworks()) {
+        Table lt("table1_layers_" + net.name(),
+                 {"Layer", "C", "K", "WxH", "RxS", "str", "grp",
+                  "MACs (M)", "eval"});
+        for (const auto &l : net.layers()) {
+            lt.addRow({l.name, std::to_string(l.inChannels),
+                       std::to_string(l.outChannels),
+                       strfmt("%dx%d", l.inWidth, l.inHeight),
+                       strfmt("%dx%d", l.filterW, l.filterH),
+                       std::to_string(l.strideX),
+                       std::to_string(l.groups),
+                       Table::num(static_cast<double>(l.macs()) / 1e6,
+                                  1),
+                       l.inEval ? "y" : "n"});
+        }
+        lt.print();
+    }
+    return 0;
+}

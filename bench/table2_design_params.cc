@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Table II: SCNN design parameters, read back from the
+ * default configuration so any drift between the paper's table and
+ * the implementation is visible.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "arch/config.hh"
+#include "common/table.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    std::printf("Table II: SCNN design parameters\n\n");
+    const AcceleratorConfig cfg = scnnConfig();
+
+    Table pe("table2_pe_params", {"PE Parameter", "Value", "Paper"});
+    pe.addRow({"Multiplier width", "16 bits", "16 bits"});
+    pe.addRow({"Accumulator width", "24 bits", "24 bits"});
+    pe.addRow({"IARAM/OARAM (each)",
+               strfmt("%d KB", cfg.pe.iaramBytes / 1024), "10KB"});
+    pe.addRow({"Weight FIFO",
+               strfmt("%d entries (%d B)", cfg.pe.weightFifoBytes / 10,
+                      cfg.pe.weightFifoBytes),
+               "50 entries (500 B)"});
+    pe.addRow({"Multiply array (FxI)",
+               strfmt("%dx%d", cfg.pe.mulF, cfg.pe.mulI), "4x4"});
+    pe.addRow({"Accumulator banks",
+               std::to_string(cfg.pe.accumBanks), "32"});
+    pe.addRow({"Accumulator bank entries",
+               std::to_string(cfg.pe.accumEntriesPerBank), "32"});
+    pe.print();
+
+    Table chip("table2_scnn_params", {"SCNN Parameter", "Value",
+                                      "Paper"});
+    chip.addRow({"# PEs", std::to_string(cfg.numPes()), "64"});
+    chip.addRow({"# Multipliers", std::to_string(cfg.multipliers()),
+                 "1024"});
+    const double dataMb =
+        static_cast<double>(cfg.activationSramBytes()) /
+        (1024.0 * 1024.0);
+    chip.addRow({"IARAM + OARAM data",
+                 Table::num(dataMb * 16.0 / 20.0, 2) + " MB", "1MB"});
+    chip.addRow({"IARAM + OARAM indices",
+                 Table::num(dataMb * 4.0 / 20.0, 2) + " MB", "0.2MB"});
+    chip.addRow({"Clock", strfmt("%.1f GHz", cfg.clockGhz), "~1 GHz"});
+    const double teraops = 2.0 * cfg.multipliers() * cfg.clockGhz / 1e3;
+    chip.addRow({"Peak throughput",
+                 Table::num(teraops, 1) + " Tera-ops", "2 Tera-ops"});
+    chip.print();
+    return 0;
+}

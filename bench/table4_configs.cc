@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Table IV: the three accelerator configurations compared
+ * in the evaluation (#PEs, #multipliers, activation SRAM, die area).
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "arch/area_model.hh"
+#include "common/table.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    std::printf("Table IV: CNN accelerator configurations\n\n");
+
+    const AreaModel model;
+    const AcceleratorConfig cfgs[] = {dcnnConfig(), dcnnOptConfig(),
+                                      scnnConfig()};
+    const char *paperArea[] = {"5.9", "5.9", "7.9"};
+
+    Table t("table4_configs", {"Config", "# PEs", "# MULs", "SRAM",
+                               "Area (mm2)", "Paper (mm2)"});
+    int i = 0;
+    for (const auto &cfg : cfgs) {
+        t.addRow({cfg.name, std::to_string(cfg.numPes()),
+                  std::to_string(cfg.multipliers()),
+                  strfmt("%.0f MB",
+                         static_cast<double>(cfg.activationSramBytes()) /
+                             (1024.0 * 1024.0)),
+                  Table::num(model.chipArea(cfg).total(), 1),
+                  paperArea[i++]});
+    }
+    t.print();
+    return 0;
+}

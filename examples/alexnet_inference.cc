@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Whole-network example: run pruned AlexNet's convolutional layers
+ * through the SCNN cycle-level simulator, layer by layer, printing
+ * the per-layer timing/energy/utilization table and the end-to-end
+ * summary (the data behind Figs. 8a/9a/10a).
+ *
+ *   $ ./build/examples/alexnet_inference
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    const Network net = alexNet();
+    std::printf("Simulating %s (%zu conv layers)...\n\n",
+                net.name().c_str(), net.numLayers());
+
+    const NetworkComparison cmp = compareNetwork(net);
+
+    Table t("alexnet_inference",
+            {"Layer", "SCNN cycles", "DCNN cycles", "Speedup",
+             "Mult util", "PE idle", "Energy vs DCNN", "DRAM tiled"});
+    for (const auto &l : cmp.layers) {
+        t.addRow({l.layerName,
+                  std::to_string(l.scnn.cycles),
+                  std::to_string(l.dcnn.cycles),
+                  Table::num(l.speedupScnn(), 2) + "x",
+                  Table::num(l.scnn.multUtilBusy, 2),
+                  Table::num(l.scnn.peIdleFraction, 2),
+                  Table::num(l.energyRelDcnn(l.scnn), 2),
+                  l.scnn.dramTiled ? "yes" : "no"});
+    }
+    t.print();
+
+    const double us =
+        static_cast<double>(cmp.totalScnnCycles()) / 1e3; // 1 GHz
+    std::printf("Network: %.2fx speedup over DCNN, %.2fx energy "
+                "efficiency, ~%.0f us/inference at 1 GHz\n",
+                cmp.networkSpeedupScnn(),
+                cmp.totalDcnnEnergy() / cmp.totalScnnEnergy(), us);
+    return 0;
+}

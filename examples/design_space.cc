@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Design-space exploration with the TimeLoop analytical model: sweep
+ * the multiplier-array geometry, accumulator banking and PE count,
+ * and print performance / area / energy for GoogLeNet, i.e. the kind
+ * of study the paper used TimeLoop for (Section V).
+ *
+ *   $ ./build/examples/design_space
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "analytic/timeloop.hh"
+#include "arch/area_model.hh"
+#include "common/table.hh"
+#include "nn/model_zoo.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    const Network net = googLeNet();
+    TimeLoopModel model;
+    const AreaModel areaModel;
+
+    std::printf("TimeLoop design-space exploration on %s\n\n",
+                net.name().c_str());
+
+    Table t("design_space",
+            {"Config", "PEs", "FxI", "Banks", "Cycles (M)",
+             "Energy (uJ)", "Area (mm2)", "Perf/Area"});
+
+    struct Cand { int rows, cols, f, i, banks; };
+    const Cand cands[] = {
+        {8, 8, 4, 4, 32},   // paper SCNN
+        {8, 8, 4, 4, 16},   // halved banking
+        {8, 8, 2, 8, 32},   // skewed array
+        {8, 8, 8, 8, 128},  // 4x multipliers
+        {4, 4, 8, 8, 128},  // fewer, bigger PEs
+        {16, 8, 4, 2, 16},  // more, smaller PEs
+    };
+
+    double bestCycles = 0.0;
+    for (const auto &c : cands) {
+        AcceleratorConfig cfg = scnnConfig();
+        cfg.peRows = c.rows;
+        cfg.peCols = c.cols;
+        cfg.pe.mulF = c.f;
+        cfg.pe.mulI = c.i;
+        cfg.pe.accumBanks = c.banks;
+        cfg.name = strfmt("SCNN-%dx%d-%dx%d", c.rows, c.cols, c.f,
+                          c.i);
+        cfg.validate();
+
+        const NetworkResult r = model.estimateNetwork(cfg, net);
+        const double cycles =
+            static_cast<double>(r.totalCycles());
+        if (bestCycles == 0.0)
+            bestCycles = cycles;
+        const double area = areaModel.chipArea(cfg).total();
+        t.addRow({cfg.name,
+                  std::to_string(cfg.numPes()),
+                  strfmt("%dx%d", c.f, c.i),
+                  std::to_string(c.banks),
+                  Table::num(cycles / 1e6, 2),
+                  Table::num(r.totalEnergyPj() / 1e6, 1),
+                  Table::num(area, 1),
+                  Table::num(bestCycles / cycles / area, 3)});
+    }
+    t.print();
+    std::printf("Perf/Area is normalized to the paper configuration's "
+                "performance.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Whole-network DAG example: run GoogLeNet end to end on SCNN with
+ * real activation propagation through the stem, all nine inception
+ * modules (branch convolutions + channel concatenation) and the stage
+ * pools.  Activation sparsity *emerges* from the computation; the
+ * table compares it with the static density profile used by the
+ * paper-reproduction benches.
+ *
+ *   $ ./build/examples/googlenet_chained
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "driver/googlenet_runner.hh"
+#include "nn/model_zoo.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    std::printf("Chained GoogLeNet inference on SCNN (emergent "
+                "sparsity)...\n\n");
+
+    ScnnSimulator sim(scnnConfig());
+    const NetworkResult nr = runGoogLeNetChained(sim, 2017);
+
+    // Profile densities by layer name for comparison.
+    const Network net = googLeNet();
+
+    Table t("googlenet_chained",
+            {"Layer", "Cycles", "Mult util", "Emergent out density",
+             "Profile in density (next)"});
+    for (size_t i = 0; i < nr.layers.size(); ++i) {
+        const auto &l = nr.layers[i];
+        const double profNext = (i + 1 < nr.layers.size())
+            ? net.layer(i + 1).inputDensity : 0.0;
+        t.addRow({l.layerName, std::to_string(l.cycles),
+                  Table::num(l.multUtilBusy, 2),
+                  Table::num(l.stats.getOr("output_density", 0.0), 2),
+                  Table::num(profNext, 2)});
+    }
+    t.print();
+
+    const double us =
+        static_cast<double>(nr.totalCycles()) / 1e3; // 1 GHz
+    std::printf("end-to-end: %llu cycles (~%.0f us at 1 GHz), "
+                "%.1f uJ across %zu convolutions\n",
+                static_cast<unsigned long long>(nr.totalCycles()), us,
+                nr.totalEnergyPj() / 1e6, nr.layers.size());
+    std::printf("\nNote: emergent densities reflect synthetic weight "
+                "values (~50%% positive partial sums); the\n"
+                "paper-reproduction benches instead pin each layer's "
+                "input density to the measured profile.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: define a convolutional layer, synthesize a sparse
+ * workload, simulate it on SCNN and the dense DCNN baseline, check
+ * the output against the reference convolution, and print the
+ * headline numbers.
+ *
+ *   $ ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "dcnn/simulator.hh"
+#include "nn/reference.hh"
+#include "nn/workload.hh"
+#include "scnn/oracle.hh"
+#include "scnn/simulator.hh"
+
+using namespace scnn;
+
+int
+main()
+{
+    // 1. Describe a layer (GoogLeNet IC_4a 3x3-ish) with its pruned
+    //    weight density and measured input-activation density.
+    ConvLayerParams layer;
+    layer.name = "demo_conv";
+    layer.inChannels = 96;
+    layer.outChannels = 208;
+    layer.inWidth = layer.inHeight = 14;
+    layer.filterW = layer.filterH = 3;
+    layer.padX = layer.padY = 1;
+    layer.weightDensity = 0.36;
+    layer.inputDensity = 0.43;
+    layer.validate();
+
+    // 2. Synthesize a deterministic sparse workload at those
+    //    densities.
+    const LayerWorkload w = makeWorkload(layer, /*seed=*/1);
+    std::printf("layer: %s\n", layer.toString().c_str());
+    std::printf("dense MACs: %.1f M, ideal non-zero MACs: %.1f M\n",
+                static_cast<double>(layer.macs()) / 1e6,
+                layer.idealMacs() / 1e6);
+
+    // 3. Simulate on SCNN (cycle-level, functional).
+    ScnnSimulator scnnSim(scnnConfig());
+    const LayerResult scnnRes = scnnSim.runLayer(w);
+
+    // 4. Validate against the reference convolution.
+    const Tensor3 expected = referenceConv(layer, w.input, w.weights);
+    std::printf("functional check vs reference conv: max |diff| = "
+                "%.2e\n", maxAbsDiff(scnnRes.output, expected));
+
+    // 5. Simulate the dense baseline and compare.
+    DcnnSimulator dcnnSim(dcnnConfig());
+    const LayerResult dcnnRes = dcnnSim.runLayer(w);
+
+    std::printf("\n%-22s %12s %12s\n", "", "SCNN", "DCNN");
+    std::printf("%-22s %12llu %12llu\n", "cycles",
+                static_cast<unsigned long long>(scnnRes.cycles),
+                static_cast<unsigned long long>(dcnnRes.cycles));
+    std::printf("%-22s %12.3f %12.3f\n", "multiplier util",
+                scnnRes.multUtilBusy, dcnnRes.multUtilBusy);
+    std::printf("%-22s %12.1f %12.1f\n", "energy (nJ)",
+                scnnRes.energyPj / 1e3, dcnnRes.energyPj / 1e3);
+    std::printf("\nSCNN speedup over DCNN: %.2fx (oracle bound "
+                "%.2fx)\n",
+                static_cast<double>(dcnnRes.cycles) / scnnRes.cycles,
+                static_cast<double>(dcnnRes.cycles) /
+                    oracleCycles(scnnRes, scnnConfig()));
+    return 0;
+}

@@ -1,0 +1,608 @@
+#include "analytic/timeloop.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "scnn/tiling.hh"
+#include "tensor/tensor.hh"
+
+namespace scnn {
+
+namespace {
+
+constexpr double kRleElemBits = kDataBits + kRleIndexBits; // 20
+constexpr double kBufElemBits = kDataBits + kCoordBits;    // 26
+
+double
+ceilDivD(double a, double b)
+{
+    return std::ceil(a / b);
+}
+
+/** Shorthand for the shared RLE storage expectation. */
+double
+expectedStored(double n, double d)
+{
+    return expectedRleStored(n, d);
+}
+
+/**
+ * Fraction of (input position, filter tap) pairs whose output
+ * coordinate lands inside the output plane -- the expected landed
+ * fraction of Cartesian products.
+ */
+double
+validPairFraction(const ConvLayerParams &layer)
+{
+    auto axis = [](int inDim, int filt, int stride, int pad, int outDim) {
+        long valid = 0;
+        for (int x = 0; x < inDim; ++x) {
+            for (int f = 0; f < filt; ++f) {
+                const int num = x + pad - f;
+                if (num < 0 || num % stride != 0)
+                    continue;
+                const int o = num / stride;
+                if (o >= 0 && o < outDim)
+                    ++valid;
+            }
+        }
+        // Normalize by the phase-matched pair count: for stride > 1
+        // only ~filt/stride taps phase-match a given input.
+        const double pairs = static_cast<double>(inDim) * filt /
+                             static_cast<double>(stride);
+        return pairs > 0 ? static_cast<double>(valid) / pairs : 0.0;
+    };
+    return std::min(1.0, axis(layer.inWidth, layer.filterW,
+                              layer.strideX, layer.padX,
+                              layer.outWidth())) *
+           std::min(1.0, axis(layer.inHeight, layer.filterH,
+                              layer.strideY, layer.padY,
+                              layer.outHeight()));
+}
+
+} // anonymous namespace
+
+double
+expectedCeilBinomial(double nElems, double p, int m)
+{
+    SCNN_ASSERT(m > 0, "expectedCeilBinomial needs positive width");
+    if (nElems <= 0.0 || p <= 0.0)
+        return 0.0;
+    p = std::min(p, 1.0);
+    const long n = std::lround(nElems);
+    if (n <= 0)
+        return 0.0;
+    if (p >= 1.0 - 1e-12)
+        return std::ceil(static_cast<double>(n) / m);
+    if (m == 1)
+        return nElems * p;
+
+    // Sum the pmf over mean +- 9 sigma in log space (stable for any
+    // n); outside that window the mass is negligible.
+    const double q = 1.0 - p;
+    const double mean = n * p;
+    const double sigma = std::sqrt(n * p * q);
+    const long kLo = std::max(0l, std::lround(mean - 9.0 * sigma - 2));
+    const long kHi = std::min(n, std::lround(mean + 9.0 * sigma + 2));
+    const double logP = std::log(p);
+    const double logQ = std::log(q);
+    const double lgN = std::lgamma(static_cast<double>(n) + 1.0);
+
+    double expect = 0.0;
+    for (long k = kLo; k <= kHi; ++k) {
+        const double logPmf =
+            lgN - std::lgamma(static_cast<double>(k) + 1.0) -
+            std::lgamma(static_cast<double>(n - k) + 1.0) +
+            k * logP + (n - k) * logQ;
+        expect += std::exp(logPmf) *
+                  std::ceil(static_cast<double>(k) / m);
+    }
+    return expect;
+}
+
+double
+expectedCeil(double lambda, int m)
+{
+    SCNN_ASSERT(m > 0, "expectedCeil needs positive vector width");
+    if (lambda <= 0.0)
+        return 0.0;
+    if (m == 1)
+        return lambda;
+    if (lambda > 400.0) {
+        // Asymptotic: full vectors plus an average half-vector of
+        // fragmentation at the stream tail.
+        return lambda / m + static_cast<double>(m - 1) / (2.0 * m);
+    }
+    // Exact Poisson summation: E[ceil(n/m)] = sum_k P(n=k) ceil(k/m).
+    double p = std::exp(-lambda); // P(n = 0)
+    double expect = 0.0;
+    double cumulative = p;
+    for (int k = 1; k < 4000; ++k) {
+        p *= lambda / k;
+        cumulative += p;
+        expect += p * std::ceil(static_cast<double>(k) / m);
+        if (cumulative > 1.0 - 1e-12 && k > lambda)
+            break;
+    }
+    return expect;
+}
+
+TimeLoopModel::TimeLoopModel(EnergyModel energy) : energy_(energy)
+{
+}
+
+LayerResult
+TimeLoopModel::estimateLayer(const AcceleratorConfig &cfg,
+                             const ConvLayerParams &layer,
+                             const AnalyticOptions &opts) const
+{
+    layer.validate();
+    cfg.validate();
+    SCNN_ASSERT(opts.batchN >= 1, "batch size must be positive");
+
+    AnalyticOptions single = opts;
+    single.batchN = 1;
+    LayerResult res = cfg.kind == ArchKind::SCNN
+        ? estimateScnn(cfg, layer, single)
+        : estimateDcnn(cfg, layer, single);
+    if (opts.batchN == 1)
+        return res;
+
+    // Batch extension: activation-side work repeats per input while
+    // the weight broadcast is amortized across the batch (weights
+    // stay resident in the FIFO/buffers between inputs of a batch).
+    const double n = static_cast<double>(opts.batchN);
+    const double wtBits = static_cast<double>(res.dramWeightBits);
+
+    res.cycles = static_cast<uint64_t>(std::llround(std::max(
+        static_cast<double>(res.cycles) * n -
+            wtBits / cfg.dramBitsPerCycle * (n - 1.0),
+        static_cast<double>(res.cycles))));
+    res.computeCycles =
+        static_cast<uint64_t>(res.computeCycles * opts.batchN);
+    res.mulArrayOps *= static_cast<uint64_t>(opts.batchN);
+    res.products *= static_cast<uint64_t>(opts.batchN);
+    res.landedProducts *= static_cast<uint64_t>(opts.batchN);
+    res.denseMacs *= static_cast<uint64_t>(opts.batchN);
+
+    const double dramAct = static_cast<double>(res.dramActBits) * n;
+    res.dramActBits = static_cast<uint64_t>(std::llround(dramAct));
+    // Weight DRAM stays a single broadcast.
+    EnergyEvents ev = res.events;
+    const double actDram =
+        ev.dramBits - wtBits; // activation share of DRAM
+    ev.scale(n);
+    ev.dramBits = wtBits + actDram * n;
+    res.events = ev;
+    res.energyPj = energy_.total(ev, cfg);
+    return res;
+}
+
+LayerResult
+TimeLoopModel::estimateScnn(const AcceleratorConfig &cfg,
+                            const ConvLayerParams &layer,
+                            const AnalyticOptions &opts) const
+{
+    LayerResult res;
+    res.layerName = layer.name;
+    res.archName = cfg.name;
+    res.denseMacs = layer.macs();
+
+    const int numPes = cfg.numPes();
+    const int F = cfg.pe.mulF;
+    const int I = cfg.pe.mulI;
+    const int A = cfg.pe.accumBanks;
+    const double wd = layer.weightDensity;
+    const double ad = layer.inputDensity;
+    const int phases = layer.geometry().phases();
+    const int K = layer.outChannels;
+    const int C = layer.inChannels;
+    const double rs = static_cast<double>(layer.filterW) * layer.filterH;
+
+    SpatialTiling tiling(layer, cfg.peRows, cfg.peCols);
+    const int kc = chooseKc(layer, cfg, tiling.maxAccumArea());
+    const int numGroups = (K + kc - 1) / kc;
+
+    const int cPerGroup = C / layer.groups;
+    const int kPerGroup = K / layer.groups;
+
+    const double landedFrac = validPairFraction(layer);
+
+    // Per-PE activation fetch expectation, cached by tile area.
+    std::map<long, double> ecaCache;
+    auto eca = [&](long tileArea) {
+        auto it = ecaCache.find(tileArea);
+        if (it != ecaCache.end())
+            return it->second;
+        const double v = expectedCeilBinomial(
+            static_cast<double>(tileArea) / phases, ad, I);
+        ecaCache.emplace(tileArea, v);
+        return v;
+    };
+    // Weight fetch expectation, cached by connected channel count.
+    std::map<int, double> ecwCache;
+    auto ecw = [&](int connectedK) {
+        auto it = ecwCache.find(connectedK);
+        if (it != ecwCache.end())
+            return it->second;
+        const double v =
+            expectedCeilBinomial(connectedK * rs / phases, wd, F);
+        ecwCache.emplace(connectedK, v);
+        return v;
+    };
+
+    std::vector<double> prevDrain(numPes, 0.0);
+    std::vector<long> tileArea(numPes);
+    std::vector<long> overlapArea(numPes);
+    std::vector<long> haloArea(numPes);
+    for (int pr = 0; pr < cfg.peRows; ++pr) {
+        for (int pc = 0; pc < cfg.peCols; ++pc) {
+            const int p = pr * cfg.peCols + pc;
+            tileArea[p] = tiling.inputTile(pr, pc).area();
+            const TileRect acc = tiling.accumRect(pr, pc);
+            const TileRect own = tiling.outputTile(pr, pc);
+            const int ox0 = std::max(own.x0, acc.x0);
+            const int ox1 = std::min(own.x1, acc.x1);
+            const int oy0 = std::max(own.y0, acc.y0);
+            const int oy1 = std::min(own.y1, acc.y1);
+            overlapArea[p] = (ox1 > ox0 && oy1 > oy0)
+                ? static_cast<long>(ox1 - ox0) * (oy1 - oy0) : 0;
+            haloArea[p] = acc.area() - overlapArea[p];
+        }
+    }
+
+    double layerCycles = 0.0;
+    double computeCycles = 0.0;
+    double busyCycleSum = 0.0;
+    double idleSum = 0.0;
+    double mulOpsTotal = 0.0;
+    double productsTotal = 0.0;
+    double wfifoEntriesTotal = 0.0;
+    double haloElemsTotal = 0.0;
+    double ppuElemsTotal = 0.0;
+    double wtDramBits = 0.0;
+
+    for (int g = 0; g < numGroups; ++g) {
+        const int k0 = g * kc;
+        const int k1 = std::min(K, k0 + kc);
+
+        // Connected output channels per convolution group.
+        double wtBitsGroup = 0.0;
+        double wall = 0.0;
+        std::vector<double> peTime(numPes, 0.0);
+
+        // Pre-compute per conv-group quantities.
+        std::vector<int> connK(layer.groups);
+        for (int cg = 0; cg < layer.groups; ++cg) {
+            const int lo = std::max(k0, cg * kPerGroup);
+            const int hi = std::min(k1, (cg + 1) * kPerGroup);
+            connK[cg] = std::max(0, hi - lo);
+            const double blockLen = connK[cg] * rs;
+            wtBitsGroup += cPerGroup *
+                           expectedStored(blockLen, wd) * kRleElemBits;
+        }
+        wtDramBits += wtBitsGroup;
+
+        for (int p = 0; p < numPes; ++p) {
+            double cyc = 0.0;
+            double ops = 0.0;
+            double prods = 0.0;
+            const double ecaP = eca(tileArea[p]);
+            const double lamA =
+                static_cast<double>(tileArea[p]) * ad / phases;
+            for (int cg = 0; cg < layer.groups; ++cg) {
+                if (connK[cg] == 0)
+                    continue;
+                const double ecwG = ecw(connK[cg]);
+                const double lamW = connK[cg] * rs * wd / phases;
+                const double opsC = phases * ecaP * ecwG;
+                ops += cPerGroup * opsC;
+                prods += cPerGroup * phases * lamA * lamW;
+            }
+            // Contention: the queued crossbar is throughput-bound by
+            // the banks reachable from this PE's accumulator
+            // footprint (positions x channel offsets of the 2*I
+            // stride).
+            const double pOp = ops > 0 ? prods / ops : 0.0;
+            const double accArea =
+                static_cast<double>(overlapArea[p] + haloArea[p]);
+            const double channelSlots = std::max(
+                1.0, std::min<double>(kc, A / (2.0 * I)));
+            const double usableBanks = std::min<double>(
+                A, std::max(1.0, std::min<double>(accArea, 2.0 * I)) *
+                       channelSlots);
+            const double cf =
+                std::max(1.0, pOp / usableBanks) +
+                contentionAlpha * std::max(0.0, pOp - 1.0) / A;
+            cyc = ops * cf;
+
+            busyCycleSum += cyc;
+            mulOpsTotal += ops;
+            productsTotal += prods;
+            // Weights re-streamed per activation vector.
+            for (int cg = 0; cg < layer.groups; ++cg) {
+                if (connK[cg] == 0)
+                    continue;
+                const double nnzW = connK[cg] * rs * wd;
+                const double avPerChannel = phases * ecaP;
+                wfifoEntriesTotal += cPerGroup * avPerChannel * nnzW /
+                                     phases;
+            }
+
+            const double kcA = k1 - k0;
+            const double ownElems = kcA * overlapArea[p];
+            const double haloElems = kcA * haloArea[p];
+            peTime[p] = std::max(cyc, prevDrain[p]);
+            prevDrain[p] = ceilDivD(ownElems, cfg.ppuLanes) +
+                           ceilDivD(haloElems, cfg.haloLanes);
+            haloElemsTotal += haloElems;
+            ppuElemsTotal += ownElems;
+            wall = std::max(wall, peTime[p]);
+        }
+        wall *= imbalanceBeta;
+        wall = std::max(wall, wtBitsGroup / cfg.dramBitsPerCycle);
+        layerCycles += wall;
+        computeCycles += wall;
+        for (int p = 0; p < numPes; ++p)
+            idleSum += wall - std::min(wall, peTime[p]);
+    }
+    double finalDrain = 0.0;
+    for (int p = 0; p < numPes; ++p)
+        finalDrain = std::max(finalDrain, prevDrain[p]);
+    layerCycles += finalDrain;
+
+    // --- activation storage / DRAM ---
+    const double inStored =
+        expectedStored(static_cast<double>(layer.inputCount()), ad);
+    const double outStored = expectedStored(
+        static_cast<double>(layer.outputCount()),
+        opts.outputDensityHint);
+    const double maxTileArea =
+        static_cast<double>(tiling.maxInputTileArea());
+    const double maxInBitsPerPe =
+        expectedStored(maxTileArea * C, ad) * kRleElemBits;
+    const double outPlane = static_cast<double>(layer.outWidth()) *
+                            layer.outHeight();
+    const double maxOutBitsPerPe =
+        expectedStored(outPlane / numPes * K,
+                       opts.outputDensityHint) * kRleElemBits;
+
+    const DramTilingDecision dec = decideDramTiling(
+        cfg, static_cast<uint64_t>(maxInBitsPerPe),
+        static_cast<uint64_t>(maxOutBitsPerPe));
+    res.dramTiled = dec.tiled;
+    res.numDramTiles = dec.numTiles;
+
+    double dramActBits = 0.0;
+    if (dec.tiled) {
+        dramActBits = (inStored + outStored) * kRleElemBits;
+        wtDramBits *= dec.numTiles;
+    }
+    if (opts.firstLayer)
+        dramActBits += inStored * kRleElemBits;
+    const double dramBits = wtDramBits + dramActBits;
+    layerCycles = std::max(layerCycles,
+                           dramBits / cfg.dramBitsPerCycle);
+
+    res.cycles = static_cast<uint64_t>(std::llround(layerCycles));
+    res.computeCycles =
+        static_cast<uint64_t>(std::llround(computeCycles));
+    res.drainExposedCycles =
+        static_cast<uint64_t>(std::llround(finalDrain));
+    res.mulArrayOps = static_cast<uint64_t>(std::llround(mulOpsTotal));
+    res.products = static_cast<uint64_t>(std::llround(productsTotal));
+    res.landedProducts = static_cast<uint64_t>(
+        std::llround(productsTotal * landedFrac));
+    res.dramWeightBits = static_cast<uint64_t>(std::llround(wtDramBits));
+    res.dramActBits = static_cast<uint64_t>(std::llround(dramActBits));
+
+    const double slotsBusy = busyCycleSum * F * I;
+    res.multUtilBusy = slotsBusy > 0 ? productsTotal / slotsBusy : 0.0;
+    const double slotsAll = layerCycles * cfg.multipliers();
+    res.multUtilOverall = slotsAll > 0 ? productsTotal / slotsAll : 0.0;
+    res.peIdleFraction =
+        layerCycles > 0 ? idleSum / (numPes * layerCycles) : 0.0;
+
+    // --- energy ---
+    EnergyEvents &ev = res.events;
+    ev.mults = productsTotal;
+    ev.coordComputes = productsTotal;
+    ev.xbarTransfers = productsTotal * landedFrac;
+    // Accumulation plus the PPU drain pass over the dense group
+    // footprint (density-independent).
+    ev.accBankAccesses = productsTotal * landedFrac +
+                         ppuElemsTotal + haloElemsTotal;
+    ev.iaramReadBits = inStored * kRleElemBits * numGroups;
+    ev.wfifoReadBits = wfifoEntriesTotal * kBufElemBits;
+    ev.oaramWriteBits = outStored * kRleElemBits;
+    ev.haloBits = haloElemsTotal * 24.0;
+    ev.adds = haloElemsTotal;
+    ev.ppuElements = ppuElemsTotal;
+    ev.dramBits = dramBits;
+    res.energyPj = energy_.total(ev, cfg);
+
+    res.stats.set("kc", kc);
+    res.stats.set("num_groups", numGroups);
+    return res;
+}
+
+LayerResult
+TimeLoopModel::estimateDcnn(const AcceleratorConfig &cfg,
+                            const ConvLayerParams &layer,
+                            const AnalyticOptions &opts) const
+{
+    LayerResult res;
+    res.layerName = layer.name;
+    res.archName = cfg.name;
+    res.denseMacs = layer.macs();
+
+    const bool gated = cfg.kind == ArchKind::DCNN_OPT;
+    const int numPes = cfg.numPes();
+    const int dotW = cfg.pe.dotWidth;
+    const double crsGroup =
+        static_cast<double>(layer.inChannels / layer.groups) *
+        layer.filterW * layer.filterH;
+    const double dpChunks = std::ceil(crsGroup / dotW);
+
+    SpatialTiling tiling(layer, cfg.peRows, cfg.peCols);
+
+    double wall = 0.0;
+    double cyclesTotal = 0.0;
+    double inFootprintTotal = 0.0;
+    long maxOutTileArea = 0;
+    for (int pr = 0; pr < cfg.peRows; ++pr) {
+        for (int pc = 0; pc < cfg.peCols; ++pc) {
+            const TileRect out = tiling.outputTile(pr, pc);
+            maxOutTileArea = std::max(maxOutTileArea, out.area());
+            const double cyc = static_cast<double>(out.area()) *
+                               layer.outChannels * dpChunks;
+            cyclesTotal += cyc;
+            wall = std::max(wall, cyc);
+            if (!out.empty()) {
+                const double wIn =
+                    std::min<double>(layer.inWidth,
+                                     out.width() * layer.strideX +
+                                         layer.filterW - 1);
+                const double hIn =
+                    std::min<double>(layer.inHeight,
+                                     out.height() * layer.strideY +
+                                         layer.filterH - 1);
+                inFootprintTotal += wIn * hIn;
+            }
+        }
+    }
+
+    const long accEntries = cfg.pe.denseAccBufBytes / 3;
+    int kcDense = 1;
+    while (kcDense * 2 <= layer.outChannels && maxOutTileArea > 0 &&
+           static_cast<long>(kcDense) * 2 * maxOutTileArea <=
+               accEntries) {
+        kcDense *= 2;
+    }
+    const int numGroups = (layer.outChannels + kcDense - 1) / kcDense;
+
+    const uint64_t inBytes = layer.inputCount() * kDataBytes;
+    const uint64_t outBytes = layer.outputCount() * kDataBytes;
+    const bool tiled = inBytes + outBytes > cfg.denseSramBytes;
+    res.dramTiled = tiled;
+    res.numDramTiles =
+        tiled ? static_cast<int>((inBytes + outBytes +
+                                  cfg.denseSramBytes - 1) /
+                                 cfg.denseSramBytes)
+              : 1;
+
+    double dramWeightBits =
+        static_cast<double>(layer.weightCount()) * kDataBits;
+    if (tiled)
+        dramWeightBits *= res.numDramTiles;
+
+    auto actBits = [&](double count, double density) {
+        const double dense = count * kDataBits;
+        if (!gated)
+            return dense;
+        // Compression bypass: never worse than dense streaming.
+        return std::min(dense,
+                        expectedStored(count, density) * kRleElemBits);
+    };
+    double dramActBits = 0.0;
+    if (tiled) {
+        dramActBits += actBits(static_cast<double>(layer.inputCount()),
+                               layer.inputDensity);
+        dramActBits += actBits(static_cast<double>(layer.outputCount()),
+                               opts.outputDensityHint);
+    }
+    if (opts.firstLayer) {
+        dramActBits += actBits(static_cast<double>(layer.inputCount()),
+                               layer.inputDensity);
+    }
+
+    const double dramBits = dramWeightBits + dramActBits;
+    const double layerCycles =
+        std::max(wall, dramBits / cfg.dramBitsPerCycle);
+
+    res.cycles = static_cast<uint64_t>(std::llround(layerCycles));
+    res.computeCycles = static_cast<uint64_t>(std::llround(wall));
+    res.dramWeightBits =
+        static_cast<uint64_t>(std::llround(dramWeightBits));
+    res.dramActBits = static_cast<uint64_t>(std::llround(dramActBits));
+
+    const double slots = cyclesTotal * dotW;
+    const double macs = static_cast<double>(layer.macs());
+    res.mulArrayOps = static_cast<uint64_t>(std::llround(cyclesTotal));
+    res.products = layer.macs();
+    res.landedProducts = layer.macs();
+    res.multUtilBusy = slots > 0 ? macs / slots : 0.0;
+    const double slotsAll = layerCycles * cfg.multipliers();
+    res.multUtilOverall = slotsAll > 0 ? macs / slotsAll : 0.0;
+
+    double idleSum = 0.0;
+    for (int pr = 0; pr < cfg.peRows; ++pr) {
+        for (int pc = 0; pc < cfg.peCols; ++pc) {
+            const double cyc =
+                static_cast<double>(
+                    tiling.outputTile(pr, pc).area()) *
+                layer.outChannels * dpChunks;
+            idleSum += layerCycles - std::min(layerCycles, cyc);
+        }
+    }
+    res.peIdleFraction =
+        layerCycles > 0 ? idleSum / (numPes * layerCycles) : 0.0;
+
+    EnergyEvents &ev = res.events;
+    if (gated) {
+        const double nzFrac = validPairFraction(layer) *
+                              layer.inputDensity * layer.weightDensity;
+        ev.mults = macs * std::min(1.0, nzFrac);
+        ev.gatedMults = slots - ev.mults;
+    } else {
+        ev.mults = macs;
+        ev.gatedMults = slots - macs;
+    }
+    ev.adds = ev.mults;
+    ev.peBufReadBits =
+        cyclesTotal * (dotW * kDataBits +
+                       static_cast<double>(dotW * kDataBits) / kcDense +
+                       48.0);
+    const double inStreamBits = inFootprintTotal * layer.inChannels *
+                                kDataBits * numGroups;
+    ev.peBufWriteBits =
+        inStreamBits +
+        static_cast<double>(layer.weightCount()) * kDataBits * numPes;
+    ev.denseSramReadBits = inStreamBits;
+    ev.denseSramWriteBits =
+        static_cast<double>(layer.outputCount()) * kDataBits;
+    ev.dramBits = dramBits;
+    ev.ppuElements = static_cast<double>(layer.outputCount());
+    res.energyPj = energy_.total(ev, cfg);
+
+    res.stats.set("kc_dense", kcDense);
+    res.stats.set("num_groups", numGroups);
+    return res;
+}
+
+NetworkResult
+TimeLoopModel::estimateNetwork(const AcceleratorConfig &cfg,
+                               const Network &net, bool evalOnly) const
+{
+    NetworkResult nr;
+    nr.networkName = net.name();
+    nr.archName = cfg.name;
+
+    std::vector<ConvLayerParams> layers;
+    for (const auto &l : net.layers())
+        if (!evalOnly || l.inEval)
+            layers.push_back(l);
+
+    for (size_t i = 0; i < layers.size(); ++i) {
+        AnalyticOptions opts;
+        opts.firstLayer = (i == 0);
+        opts.outputDensityHint =
+            (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
+        nr.layers.push_back(estimateLayer(cfg, layers[i], opts));
+    }
+    return nr;
+}
+
+} // namespace scnn

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * TimeLoop: the paper's analytical CNN-accelerator model (Section V).
+ *
+ * Given a layer shape, density profile and architecture configuration,
+ * TimeLoop computes expected cycle counts via bottleneck analysis
+ * (multiplier-array occupancy with fragmentation, weight-broadcast and
+ * activation DRAM bandwidth, PPU drain) and expected energy from the
+ * same event vocabulary the cycle-level simulators emit.  No tensors
+ * are synthesized: all quantities are expectations under Bernoulli
+ * sparsity, which is what makes TimeLoop fast enough for design-space
+ * sweeps (Fig. 7, Section VI-C).
+ *
+ * Fragmentation is modelled exactly in expectation: the number of
+ * vector fetches of width m over a Binomial/Poisson-distributed
+ * non-zero count n is E[ceil(n/m)], evaluated by Poisson summation
+ * (with the asymptotic n/m + (m-1)/2m form for large means).
+ * Accumulator-bank contention adds a calibrated correction
+ * proportional to products-per-operation / banks.
+ */
+
+#ifndef SCNN_ANALYTIC_TIMELOOP_HH
+#define SCNN_ANALYTIC_TIMELOOP_HH
+
+#include "arch/config.hh"
+#include "arch/energy_model.hh"
+#include "nn/network.hh"
+#include "scnn/result.hh"
+
+namespace scnn {
+
+/** Options for an analytical layer estimate. */
+struct AnalyticOptions
+{
+    bool firstLayer = false;
+    /** Expected post-ReLU output density (for OARAM/DRAM accounting). */
+    double outputDensityHint = 0.5;
+
+    /**
+     * Batch size N (the outermost loop of Fig. 3).  The paper
+     * evaluates N = 1 (the common inference case); larger batches
+     * re-run the activation-side work N times while the weight
+     * broadcast is amortized across the batch, which this model
+     * captures (an extension beyond the paper's evaluation).
+     */
+    int batchN = 1;
+};
+
+/**
+ * E[ceil(n / m)] for n ~ Poisson(lambda): expected vector-fetch count
+ * for lambda expected non-zeros fetched m at a time.
+ */
+double expectedCeil(double lambda, int m);
+
+/**
+ * E[ceil(n / m)] for n ~ Binomial(round(nElems), p): the exact
+ * fragmentation expectation for Bernoulli-sparse streams.  Unlike the
+ * Poisson form this collapses to the deterministic ceil at p = 1
+ * (fully dense streams fragment only at the tail).
+ */
+double expectedCeilBinomial(double nElems, double p, int m);
+
+class TimeLoopModel
+{
+  public:
+    explicit TimeLoopModel(EnergyModel energy = EnergyModel());
+
+    /**
+     * Analytical estimate of one layer on the given architecture
+     * (SCNN, DCNN or DCNN-opt).  The returned LayerResult carries no
+     * functional output.
+     */
+    LayerResult estimateLayer(const AcceleratorConfig &cfg,
+                              const ConvLayerParams &layer,
+                              const AnalyticOptions &opts =
+                                  AnalyticOptions()) const;
+
+    /** Estimate a whole network (chaining output density hints). */
+    NetworkResult estimateNetwork(const AcceleratorConfig &cfg,
+                                  const Network &net,
+                                  bool evalOnly = true) const;
+
+    // --- calibration knobs (validated against the cycle simulator) ---
+
+    /**
+     * Residual crossbar stall per product of sustained overload; the
+     * dominant contention term is the throughput bound
+     * max(1, products-per-op / usable banks), matching the queued
+     * accumulator model.
+     */
+    double contentionAlpha = 0.0;
+    /** Inter-PE imbalance beyond deterministic tile-size skew. */
+    double imbalanceBeta = 1.03;
+
+  private:
+    EnergyModel energy_;
+
+    LayerResult estimateScnn(const AcceleratorConfig &cfg,
+                             const ConvLayerParams &layer,
+                             const AnalyticOptions &opts) const;
+    LayerResult estimateDcnn(const AcceleratorConfig &cfg,
+                             const ConvLayerParams &layer,
+                             const AnalyticOptions &opts) const;
+};
+
+} // namespace scnn
+
+#endif // SCNN_ANALYTIC_TIMELOOP_HH

@@ -1,0 +1,76 @@
+#include "arch/area_model.hh"
+
+namespace scnn {
+
+double
+AreaBreakdown::total() const
+{
+    double sum = 0.0;
+    for (const auto &[k, v] : components)
+        sum += v;
+    return sum;
+}
+
+uint64_t
+AreaModel::accumulatorBytes(const PeConfig &pe)
+{
+    // 24-bit entries, double buffered (Section IV).
+    const uint64_t entries = static_cast<uint64_t>(pe.accumBanks) *
+                             pe.accumEntriesPerBank;
+    return entries * 3 * 2;
+}
+
+AreaBreakdown
+AreaModel::peArea(const AcceleratorConfig &cfg) const
+{
+    AreaBreakdown area;
+    const PeConfig &pe = cfg.pe;
+
+    if (cfg.kind == ArchKind::SCNN) {
+        const double actKb =
+            static_cast<double>(pe.iaramBytes + pe.oaramBytes) / 1024.0;
+        area.components["iaram_oaram"] = actKb * sramMm2PerKb;
+        area.components["weight_fifo"] =
+            static_cast<double>(pe.weightFifoBytes) / 1024.0 *
+            latchMm2PerKb;
+        area.components["multiplier_array"] =
+            pe.multipliers() * multMm2;
+        area.components["scatter_network"] =
+            static_cast<double>(pe.multipliers()) * pe.accumBanks *
+            xbarMm2PerPortPair;
+        area.components["accumulator_buffers"] =
+            static_cast<double>(accumulatorBytes(pe)) / 1024.0 *
+            accumMm2PerKb;
+        area.components["other"] = scnnOtherMm2;
+    } else {
+        const double bufKb =
+            static_cast<double>(pe.denseInBufBytes +
+                                pe.denseWtBufBytes +
+                                pe.denseAccBufBytes) / 1024.0;
+        area.components["pe_buffers"] = bufKb * sramMm2PerKb;
+        area.components["multiplier_array"] = pe.dotWidth * multMm2;
+        // Dot-product reduction tree: one adder per multiplier,
+        // folded into the ALU estimate at ~25% of a multiplier.
+        area.components["adder_tree"] = pe.dotWidth * multMm2 * 0.25;
+        area.components["other"] = dcnnOtherMm2;
+    }
+    return area;
+}
+
+AreaBreakdown
+AreaModel::chipArea(const AcceleratorConfig &cfg) const
+{
+    AreaBreakdown area;
+    const AreaBreakdown pe = peArea(cfg);
+    for (const auto &[k, v] : pe.components)
+        area.components["pe." + k] = v * cfg.numPes();
+    if (cfg.kind != ArchKind::SCNN) {
+        area.components["dense_sram"] =
+            static_cast<double>(cfg.denseSramBytes) / 1024.0 *
+            bigSramMm2PerKb;
+    }
+    area.components["chip_overhead"] = chipOverheadMm2;
+    return area;
+}
+
+} // namespace scnn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Area model (paper Tables III and IV).
+ *
+ * The paper obtains areas from SystemC -> Catapult HLS -> Design
+ * Compiler synthesis in TSMC 16 nm and feeds the per-structure results
+ * into TimeLoop as constants.  We reproduce the published constants
+ * and scale them with configuration parameters: SRAM area per KB,
+ * multiplier area per ALU, crossbar area per port pair, accumulator
+ * area per KB (latch arrays, higher cost due to 32-way banking), and a
+ * fixed per-PE "other" term (control, coordinate computation, PPU).
+ *
+ * Calibration targets (Table III): IARAM+OARAM 20 KB -> 0.031 mm2,
+ * weight FIFO 0.5 KB -> 0.004, 16 multipliers -> 0.008, 16x32 crossbar
+ * -> 0.026, 6 KB accumulator -> 0.036, other -> 0.019; PE total 0.123,
+ * 64-PE SCNN ~7.9 mm2, DCNN ~5.9 mm2 (Table IV).
+ */
+
+#ifndef SCNN_ARCH_AREA_MODEL_HH
+#define SCNN_ARCH_AREA_MODEL_HH
+
+#include <map>
+#include <string>
+
+#include "arch/config.hh"
+
+namespace scnn {
+
+/** Component-labelled area result (mm^2). */
+struct AreaBreakdown
+{
+    std::map<std::string, double> components;
+
+    double total() const;
+};
+
+class AreaModel
+{
+  public:
+    // mm^2 per KB of standard dual-ported SRAM (10 KB class).
+    double sramMm2PerKb = 0.031 / 20.0;
+    // mm^2 per KB of dense multi-bank SRAM (2 MB class).
+    double bigSramMm2PerKb = 0.0020;
+    // mm^2 per KB of latch-array buffer (weight FIFO).
+    double latchMm2PerKb = 0.004 / 0.5;
+    // mm^2 per 16-bit multiplier ALU.
+    double multMm2 = 0.008 / 16.0;
+    // mm^2 per (input port x output port) of the scatter crossbar.
+    double xbarMm2PerPortPair = 0.026 / (16.0 * 32.0);
+    // mm^2 per KB of banked accumulator storage (incl. adders).
+    double accumMm2PerKb = 0.036 / 6.0;
+    // Fixed per-PE control/coordinate/PPU area.
+    double scnnOtherMm2 = 0.019;
+    // Fixed per-PE control for the dense PE (simpler: no coordinate
+    // computation or compression logic).
+    double dcnnOtherMm2 = 0.010;
+    // Chip-level sequencer + DRAM interface.
+    double chipOverheadMm2 = 0.03;
+
+    /** Accumulator bytes per SCNN PE (banks * entries * 24-bit, double
+     *  buffered). */
+    static uint64_t accumulatorBytes(const PeConfig &pe);
+
+    /** Per-PE area breakdown for the given configuration. */
+    AreaBreakdown peArea(const AcceleratorConfig &cfg) const;
+
+    /** Whole-chip area breakdown. */
+    AreaBreakdown chipArea(const AcceleratorConfig &cfg) const;
+};
+
+} // namespace scnn
+
+#endif // SCNN_ARCH_AREA_MODEL_HH

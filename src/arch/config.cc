@@ -1,0 +1,133 @@
+#include "arch/config.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+const char *
+archKindName(ArchKind kind)
+{
+    switch (kind) {
+      case ArchKind::SCNN:
+        return "SCNN";
+      case ArchKind::DCNN:
+        return "DCNN";
+      case ArchKind::DCNN_OPT:
+        return "DCNN-opt";
+    }
+    return "?";
+}
+
+void
+AcceleratorConfig::validate() const
+{
+    if (peRows <= 0 || peCols <= 0)
+        fatal("config %s: empty PE array", name.c_str());
+    if (kind == ArchKind::SCNN) {
+        if (pe.mulF <= 0 || pe.mulI <= 0)
+            fatal("config %s: empty multiplier array", name.c_str());
+        if (pe.accumBanks <= 0 || pe.accumEntriesPerBank <= 0)
+            fatal("config %s: empty accumulator", name.c_str());
+        if (pe.iaramBytes <= 0 || pe.oaramBytes <= 0)
+            fatal("config %s: empty activation RAM", name.c_str());
+    } else {
+        if (pe.dotWidth <= 0)
+            fatal("config %s: empty dot-product unit", name.c_str());
+        if (denseSramBytes == 0)
+            fatal("config %s: no dense SRAM", name.c_str());
+    }
+    if (dramBitsPerCycle <= 0)
+        fatal("config %s: no DRAM bandwidth", name.c_str());
+    if (ppuLanes <= 0 || haloLanes <= 0)
+        fatal("config %s: bad PPU/halo lanes", name.c_str());
+}
+
+AcceleratorConfig
+scnnConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "SCNN";
+    cfg.kind = ArchKind::SCNN;
+    cfg.validate();
+    return cfg;
+}
+
+AcceleratorConfig
+dcnnConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "DCNN";
+    cfg.kind = ArchKind::DCNN;
+    cfg.validate();
+    return cfg;
+}
+
+AcceleratorConfig
+dcnnOptConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "DCNN-opt";
+    cfg.kind = ArchKind::DCNN_OPT;
+    cfg.validate();
+    return cfg;
+}
+
+AcceleratorConfig
+scnnWithPeGrid(int rows, int cols)
+{
+    AcceleratorConfig base = scnnConfig();
+    const int totalMuls = base.multipliers();
+    const uint64_t totalActRam = base.activationSramBytes();
+
+    const int numPes = rows * cols;
+    SCNN_ASSERT(numPes > 0 && totalMuls % numPes == 0,
+                "PE grid %dx%d does not divide %d multipliers",
+                rows, cols, totalMuls);
+    const int perPe = totalMuls / numPes;
+    // Factor the per-PE multiplier count into the most square F x I
+    // geometry (F >= I), e.g. 256 -> 16x16, 32 -> 8x4.
+    int mulI = 1;
+    for (int i = 1; i <= perPe; ++i) {
+        if (perPe % i == 0 && i * i <= perPe)
+            mulI = i;
+    }
+    const int mulF = perPe / mulI;
+
+    AcceleratorConfig cfg = base;
+    cfg.name = strfmt("SCNN-%dx%d", rows, cols);
+    cfg.peRows = rows;
+    cfg.peCols = cols;
+    cfg.pe.mulF = mulF;
+    cfg.pe.mulI = mulI;
+    cfg.pe.accumBanks = 2 * perPe;
+    cfg.pe.iaramBytes =
+        static_cast<int>(totalActRam / 2 / static_cast<uint64_t>(numPes));
+    cfg.pe.oaramBytes = cfg.pe.iaramBytes;
+    // Scale the weight FIFO with the array so replayable block sizes
+    // stay proportional.
+    cfg.pe.weightFifoBytes =
+        scnnConfig().pe.weightFifoBytes * perPe / 16;
+    cfg.validate();
+    return cfg;
+}
+
+AcceleratorConfig
+scnnWithPeGridFixedAccum(int rows, int cols)
+{
+    AcceleratorConfig cfg = scnnWithPeGrid(rows, cols);
+    cfg.name = strfmt("SCNN-%dx%d-fixedacc", rows, cols);
+    // Table II accumulator macro: 1024 total entries per PE.
+    const int totalEntries = 32 * 32;
+    cfg.pe.accumEntriesPerBank =
+        std::max(1, totalEntries / cfg.pe.accumBanks);
+    // Keep the Kc cap at the Table II value rather than the (now
+    // tiny) per-bank entry count.
+    cfg.pe.kcCap = 32;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace scnn

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Accelerator configurations (paper Tables II and IV).
+ *
+ * Three architectures are modelled:
+ *  - SCNN:     64 PEs x (4x4 multiplier array), PT-IS-CP-sparse, 32
+ *              accumulator banks per PE, 10 KB IARAM + 10 KB OARAM per
+ *              PE (1 MB activation RAM chip-wide), 50-entry weight
+ *              FIFO.
+ *  - DCNN:     same 1024 multipliers arranged as 64 PEs with a 16-wide
+ *              dot-product unit each (PT-IS-DP-dense), 2 MB dense
+ *              activation SRAM.
+ *  - DCNN-opt: DCNN plus zero-operand multiplier gating and compressed
+ *              DRAM activation traffic (energy optimizations only).
+ *
+ * The PE-granularity study (Section VI-C) re-arranges the same 1024
+ * multipliers into fewer, larger PEs via scnnWithPeGrid().
+ */
+
+#ifndef SCNN_ARCH_CONFIG_HH
+#define SCNN_ARCH_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace scnn {
+
+/** Which accelerator architecture a configuration describes. */
+enum class ArchKind
+{
+    SCNN,
+    DCNN,
+    DCNN_OPT,
+};
+
+/** @return printable name of an ArchKind. */
+const char *archKindName(ArchKind kind);
+
+/** Per-PE microarchitecture parameters. */
+struct PeConfig
+{
+    // --- SCNN PE (Fig. 6, Table II) ---
+    int mulF = 4;                 ///< weight-side vector width F
+    int mulI = 4;                 ///< activation-side vector width I
+    int accumBanks = 32;          ///< A (paper: A = 2 * F * I)
+    int accumEntriesPerBank = 32; ///< entries per accumulator bank
+    int xbarQueueDepth = 4;       ///< per-bank crossbar queue entries
+    int iaramBytes = 10 * 1024;   ///< sparse input activation RAM
+    int oaramBytes = 10 * 1024;   ///< sparse output activation RAM
+    int weightFifoBytes = 500;    ///< 50-entry weight FIFO (Table II)
+
+    /**
+     * Cap on the output-channel group size Kc; 0 means the default
+     * policy (cap at accumEntriesPerBank).  Used by the Kc-policy
+     * ablation bench.
+     */
+    int kcCap = 0;
+
+    /**
+     * Resolve cross-tile dependencies with input halos instead of
+     * output halos (Section III-A): each PE stores a replicated input
+     * footprint covering its private output tile, computes edge
+     * products redundantly, and skips the neighbour partial-sum
+     * exchange.  The paper uses output halos and claims the
+     * difference is minimal; the halo ablation bench quantifies it.
+     */
+    bool inputHalos = false;
+
+    // --- DCNN PE ---
+    int dotWidth = 16;            ///< dot-product width (multipliers/PE)
+    int denseInBufBytes = 2 * 1024;  ///< per-PE dense input buffer
+    int denseWtBufBytes = 1 * 1024;  ///< per-PE dense weight buffer
+    int denseAccBufBytes = 2 * 1024; ///< per-PE dense accumulator buffer
+
+    /** SCNN multipliers in this PE. */
+    int multipliers() const { return mulF * mulI; }
+};
+
+/** Whole-accelerator configuration. */
+struct AcceleratorConfig
+{
+    std::string name = "SCNN";
+    ArchKind kind = ArchKind::SCNN;
+
+    int peRows = 8;
+    int peCols = 8;
+    PeConfig pe;
+
+    double clockGhz = 1.0;        ///< Section IV: "slightly more than
+                                  ///  1 GHz"; used only for reporting
+    /**
+     * DRAM bandwidth bound: 1024 bits/cycle = 128 GB/s at 1 GHz
+     * (HBM-class, consistent with the 2 pJ/bit access energy), enough
+     * to hide tiled activation traffic behind compute as Section IV
+     * assumes.
+     */
+    int dramBitsPerCycle = 1024;
+
+    /** DCNN/DCNN-opt dense inter-layer activation SRAM (Table IV). */
+    uint64_t denseSramBytes = 2ull * 1024 * 1024;
+
+    /**
+     * PPU drain throughput: output elements processed per cycle.
+     * The PPU reads the drained accumulator banks in parallel, so it
+     * sustains a wide scan (half the bank count by default).
+     */
+    int ppuLanes = 16;
+
+    /** Neighbour-halo link width: elements exchanged per cycle. */
+    int haloLanes = 8;
+
+    int numPes() const { return peRows * peCols; }
+
+    /** Total multipliers on chip. */
+    int
+    multipliers() const
+    {
+        const int perPe = (kind == ArchKind::SCNN)
+            ? pe.multipliers() : pe.dotWidth;
+        return numPes() * perPe;
+    }
+
+    /** Total on-chip activation storage in bytes. */
+    uint64_t
+    activationSramBytes() const
+    {
+        if (kind == ArchKind::SCNN) {
+            return static_cast<uint64_t>(numPes()) *
+                   (pe.iaramBytes + pe.oaramBytes);
+        }
+        return denseSramBytes;
+    }
+
+    /** fatal() on inconsistent parameters. */
+    void validate() const;
+};
+
+/** The paper's SCNN configuration (Table II). */
+AcceleratorConfig scnnConfig();
+
+/** The paper's dense baseline (Table IV). */
+AcceleratorConfig dcnnConfig();
+
+/** DCNN plus the two energy optimizations (Table IV). */
+AcceleratorConfig dcnnOptConfig();
+
+/**
+ * SCNN with the same 1024 multipliers re-arranged as a rows x cols PE
+ * grid (Section VI-C): per-PE F = I = sqrt(1024 / #PEs), accumulator
+ * banking kept at A = 2 * F * I, per-bank entries fixed (so total
+ * accumulator capacity scales with PE size), and the 1 MB activation
+ * RAM re-divided across PEs.
+ */
+AcceleratorConfig scnnWithPeGrid(int rows, int cols);
+
+/**
+ * Alternative scaling for the Section VI-C study: banking bandwidth
+ * still scales (A = 2 * F * I) but the per-PE accumulator *capacity*
+ * is pinned to the Table II design's 1024 entries (the synthesized
+ * bank macro is reused, not regrown).  Under this assumption larger
+ * PEs are forced to small output-channel groups (Kc) on large tiles,
+ * which reproduces the paper's finding that few big PEs lose to many
+ * small ones.  See EXPERIMENTS.md for the comparison of both
+ * assumptions.
+ */
+AcceleratorConfig scnnWithPeGridFixedAccum(int rows, int cols);
+
+} // namespace scnn
+
+#endif // SCNN_ARCH_CONFIG_HH

@@ -1,0 +1,119 @@
+#include "arch/energy_model.hh"
+
+#include <cmath>
+
+namespace scnn {
+
+EnergyEvents &
+EnergyEvents::operator+=(const EnergyEvents &o)
+{
+    mults += o.mults;
+    gatedMults += o.gatedMults;
+    adds += o.adds;
+    accBankAccesses += o.accBankAccesses;
+    xbarTransfers += o.xbarTransfers;
+    coordComputes += o.coordComputes;
+    iaramReadBits += o.iaramReadBits;
+    oaramReadBits += o.oaramReadBits;
+    oaramWriteBits += o.oaramWriteBits;
+    wfifoReadBits += o.wfifoReadBits;
+    peBufReadBits += o.peBufReadBits;
+    peBufWriteBits += o.peBufWriteBits;
+    denseSramReadBits += o.denseSramReadBits;
+    denseSramWriteBits += o.denseSramWriteBits;
+    dramBits += o.dramBits;
+    haloBits += o.haloBits;
+    ppuElements += o.ppuElements;
+    return *this;
+}
+
+EnergyEvents &
+EnergyEvents::scale(double f)
+{
+    mults *= f;
+    gatedMults *= f;
+    adds *= f;
+    accBankAccesses *= f;
+    xbarTransfers *= f;
+    coordComputes *= f;
+    iaramReadBits *= f;
+    oaramReadBits *= f;
+    oaramWriteBits *= f;
+    wfifoReadBits *= f;
+    peBufReadBits *= f;
+    peBufWriteBits *= f;
+    denseSramReadBits *= f;
+    denseSramWriteBits *= f;
+    dramBits *= f;
+    haloBits *= f;
+    ppuElements *= f;
+    return *this;
+}
+
+double
+EnergyModel::sramPjPerBit(uint64_t capacityBytes) const
+{
+    // Piecewise-linear in log-capacity between the anchor points.
+    struct Pt { double kb; double pj; };
+    const Pt pts[] = {
+        {1.0, smallBufPjPerBit},
+        {10.0, sram10KPjPerBit},
+        {32.0, sram32KPjPerBit},
+        {2048.0, sram2MPjPerBit},
+    };
+    const double kb =
+        std::max(0.0625, static_cast<double>(capacityBytes) / 1024.0);
+    if (kb <= pts[0].kb)
+        return pts[0].pj;
+    for (size_t i = 1; i < std::size(pts); ++i) {
+        if (kb <= pts[i].kb) {
+            const double t = (std::log2(kb) - std::log2(pts[i - 1].kb)) /
+                             (std::log2(pts[i].kb) -
+                              std::log2(pts[i - 1].kb));
+            return pts[i - 1].pj + t * (pts[i].pj - pts[i - 1].pj);
+        }
+    }
+    return pts[std::size(pts) - 1].pj;
+}
+
+std::map<std::string, double>
+EnergyModel::breakdown(const EnergyEvents &ev,
+                       const AcceleratorConfig &cfg) const
+{
+    std::map<std::string, double> out;
+
+    out["alu"] = ev.mults * multPj + ev.gatedMults * gatedMultPj +
+                 ev.adds * addPj + ev.coordComputes * coordPj;
+    out["scatter_accum"] =
+        ev.xbarTransfers * xbarPj + ev.accBankAccesses * accBankPj;
+
+    const double iaramPj = sramPjPerBit(cfg.pe.iaramBytes);
+    const double oaramPj = sramPjPerBit(cfg.pe.oaramBytes);
+    out["act_ram"] = ev.iaramReadBits * iaramPj +
+                     (ev.oaramReadBits + ev.oaramWriteBits) * oaramPj;
+    out["weight_fifo"] = ev.wfifoReadBits * smallBufPjPerBit;
+
+    const double peBufPj = sramPjPerBit(cfg.pe.denseInBufBytes);
+    out["pe_buffers"] =
+        (ev.peBufReadBits + ev.peBufWriteBits) * peBufPj;
+    const double denseSramPj = sramPjPerBit(cfg.denseSramBytes);
+    out["dense_sram"] =
+        (ev.denseSramReadBits + ev.denseSramWriteBits) * denseSramPj;
+
+    out["dram"] = ev.dramBits * dramPjPerBit;
+    out["halo"] = ev.haloBits * haloPjPerBit;
+    out["ppu"] = ev.ppuElements * ppuElementPj;
+    return out;
+}
+
+double
+EnergyModel::total(const EnergyEvents &ev,
+                   const AcceleratorConfig &cfg) const
+{
+    double sum = 0.0;
+    for (const auto &[k, v] : breakdown(ev, cfg))
+        sum += v;
+    return sum;
+}
+
+} // namespace scnn

@@ -1,0 +1,106 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace scnn {
+
+namespace {
+
+bool quietFlag = false;
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // anonymous namespace
+
+std::string
+vstrfmt(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string("<format error>");
+
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    emit("panic", s);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    emit("fatal", s);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    emit("warn", s);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietFlag)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrfmt(fmt, args);
+    va_end(args);
+    emit("info", s);
+}
+
+bool
+setQuiet(bool quiet)
+{
+    bool prev = quietFlag;
+    quietFlag = quiet;
+    return prev;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+} // namespace scnn

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Status and error reporting for the SCNN simulator, in the spirit of
+ * gem5's logging facilities.
+ *
+ * Four severity levels are provided:
+ *  - panic():  something happened that should never happen regardless of
+ *              user input, i.e. a simulator bug.  Aborts (core dump).
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, impossible layer shape).  Exits with
+ *              status 1.
+ *  - warn():   something is suspicious or approximated; the run
+ *              continues.
+ *  - inform(): plain status output.
+ *
+ * All functions accept printf-style format strings and are checked by
+ * the compiler.
+ */
+
+#ifndef SCNN_COMMON_LOGGING_HH
+#define SCNN_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace scnn {
+
+/**
+ * Render a printf-style format string into a std::string.
+ *
+ * @param fmt printf-style format.
+ * @return the formatted string.
+ */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** va_list flavour of strfmt(). */
+std::string vstrfmt(const char *fmt, va_list args);
+
+/**
+ * Report a simulator bug and abort.  Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1).  Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious condition; execution continues. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Control whether warn()/inform() produce output (useful in tests and
+ * quiet benchmark runs).  panic()/fatal() are never silenced.
+ *
+ * @param quiet true suppresses warn()/inform() output.
+ * @return the previous quiet setting.
+ */
+bool setQuiet(bool quiet);
+
+/** @return current quiet setting. */
+bool isQuiet();
+
+/**
+ * Simulator assertion used on hot paths that must also hold in release
+ * builds.  Unlike assert(), this is always checked.
+ */
+#define SCNN_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::scnn::panic("assertion '%s' failed at %s:%d: %s",         \
+                          #cond, __FILE__, __LINE__,                    \
+                          ::scnn::strfmt(__VA_ARGS__).c_str());         \
+        }                                                               \
+    } while (0)
+
+} // namespace scnn
+
+#endif // SCNN_COMMON_LOGGING_HH

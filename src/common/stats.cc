@@ -1,0 +1,119 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    SCNN_ASSERT(hi > lo && buckets > 0,
+                "histogram needs hi > lo and at least one bucket");
+}
+
+void
+Histogram::sample(double v, uint64_t weight)
+{
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<long>(std::floor((v - lo_) / w));
+    if (idx < 0)
+        idx = 0;
+    if (idx >= static_cast<long>(counts_.size()))
+        idx = static_cast<long>(counts_.size()) - 1;
+    counts_[static_cast<size_t>(idx)] += weight;
+    total_ += weight;
+    weightedSum_ += v * static_cast<double>(weight);
+}
+
+double
+Histogram::bucketLo(size_t i) const
+{
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + w * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHi(size_t i) const
+{
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + w * static_cast<double>(i + 1);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    total_ = 0;
+    weightedSum_ = 0.0;
+}
+
+std::string
+Histogram::toString(const std::string &name) const
+{
+    std::ostringstream os;
+    os << name << " (n=" << total_ << ", mean=" << mean() << ")\n";
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        os << strfmt("  [%8.3g, %8.3g): %llu\n", bucketLo(i), bucketHi(i),
+                     static_cast<unsigned long long>(counts_[i]));
+    }
+    return os.str();
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    map_[name] = value;
+}
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    map_[name] += delta;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return map_.count(name) > 0;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = map_.find(name);
+    if (it == map_.end())
+        fatal("StatSet: no stat named '%s'", name.c_str());
+    return it->second;
+}
+
+double
+StatSet::getOr(const std::string &name, double fallback) const
+{
+    auto it = map_.find(name);
+    return it == map_.end() ? fallback : it->second;
+}
+
+void
+StatSet::accumulate(const StatSet &other)
+{
+    for (const auto &[k, v] : other.map_)
+        map_[k] += v;
+}
+
+std::string
+StatSet::toString(const std::string &title) const
+{
+    std::ostringstream os;
+    os << title << "\n";
+    for (const auto &[k, v] : map_)
+        os << strfmt("  %-32s %.6g\n", k.c_str(), v);
+    return os.str();
+}
+
+} // namespace scnn

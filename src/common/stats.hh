@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Lightweight statistics containers used throughout the simulators:
+ * counters, scalar accumulators (min/max/mean), histograms, and a named
+ * registry (StatSet) that can be dumped in a readable form.
+ *
+ * These mirror (in miniature) the role of gem5's stats package: every
+ * simulator structure owns named stats that benches and tests inspect.
+ */
+
+#ifndef SCNN_COMMON_STATS_HH
+#define SCNN_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace scnn {
+
+/** Monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator+=(uint64_t n) { value_ += n; return *this; }
+    Counter &operator++() { ++value_; return *this; }
+
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * Accumulates samples of a scalar quantity and exposes count, sum,
+ * mean, min, and max.
+ */
+class Accumulator
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bucket histogram over [lo, hi) with out-of-range samples
+ * clamped into the first/last bucket.  Used e.g. for per-operation
+ * accumulator-bank conflict depth.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t buckets);
+
+    void sample(double v, uint64_t weight = 1);
+
+    size_t buckets() const { return counts_.size(); }
+    uint64_t bucketCount(size_t i) const { return counts_.at(i); }
+    double bucketLo(size_t i) const;
+    double bucketHi(size_t i) const;
+    uint64_t totalSamples() const { return total_; }
+    double mean() const { return total_ ? weightedSum_ / static_cast<double>(total_) : 0.0; }
+
+    void reset();
+
+    /** Multi-line human-readable rendering. */
+    std::string toString(const std::string &name) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+    double weightedSum_ = 0.0;
+};
+
+/**
+ * A named collection of scalar statistics.  Simulators fill one of
+ * these per layer; tests assert on entries by name, and benches print
+ * them.  Values are stored as doubles; counters convert exactly up to
+ * 2^53 which far exceeds any event count in these experiments.
+ */
+class StatSet
+{
+  public:
+    void set(const std::string &name, double value);
+    void add(const std::string &name, double delta);
+
+    bool has(const std::string &name) const;
+
+    /** @return value for name; fatal() if absent. */
+    double get(const std::string &name) const;
+
+    /** @return value for name, or fallback if absent. */
+    double getOr(const std::string &name, double fallback) const;
+
+    const std::map<std::string, double> &entries() const { return map_; }
+
+    /** Merge another StatSet by summing matching entries. */
+    void accumulate(const StatSet &other);
+
+    std::string toString(const std::string &title) const;
+
+  private:
+    std::map<std::string, double> map_;
+};
+
+} // namespace scnn
+
+#endif // SCNN_COMMON_STATS_HH

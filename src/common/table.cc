@@ -1,0 +1,92 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+Table::Table(std::string name, std::vector<std::string> header)
+    : name_(std::move(name)), header_(std::move(header))
+{
+    SCNN_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SCNN_ASSERT(cells.size() == header_.size(),
+                "table '%s': row arity %zu != header arity %zu",
+                name_.c_str(), cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    return strfmt("%.*f", precision, v);
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    os << "== " << name_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "");
+            os << row[c];
+            os << std::string(width[c] - row[c].size(), ' ');
+        }
+        os << "\n";
+    };
+    emit_row(header_);
+    size_t total = header_.size() - 1;
+    for (size_t c = 0; c < header_.size(); ++c)
+        total += width[c] + 1;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+    std::fputs("\n", stdout);
+    if (const char *dir = std::getenv("SCNN_CSV_DIR"))
+        writeCsv(dir);
+}
+
+void
+Table::writeCsv(const std::string &dir) const
+{
+    const std::string path = dir + "/" + name_ + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write CSV file %s", path.c_str());
+        return;
+    }
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c)
+            out << (c ? "," : "") << row[c];
+        out << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace scnn

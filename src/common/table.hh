@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Paper-style table output.  Every bench binary prints its table or
+ * figure series through this helper so the formatting matches across
+ * experiments, and optionally mirrors the rows into a CSV file when the
+ * SCNN_CSV_DIR environment variable names a writable directory.
+ */
+
+#ifndef SCNN_COMMON_TABLE_HH
+#define SCNN_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace scnn {
+
+/**
+ * Column-aligned text table with an optional CSV mirror.
+ *
+ * Usage:
+ * @code
+ *   Table t("fig8a_alexnet", {"Layer", "DCNN", "SCNN", "oracle"});
+ *   t.addRow({"conv1", "1.00", "1.23", "2.9"});
+ *   t.print();   // stdout + $SCNN_CSV_DIR/fig8a_alexnet.csv if set
+ * @endcode
+ */
+class Table
+{
+  public:
+    Table(std::string name, std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render to a string (no CSV side effect). */
+    std::string toString() const;
+
+    /** Print to stdout and mirror to CSV when SCNN_CSV_DIR is set. */
+    void print() const;
+
+    size_t rows() const { return rows_.size(); }
+    const std::vector<std::string> &row(size_t i) const { return rows_.at(i); }
+
+  private:
+    std::string name_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+
+    void writeCsv(const std::string &dir) const;
+};
+
+} // namespace scnn
+
+#endif // SCNN_COMMON_TABLE_HH

@@ -1,0 +1,316 @@
+#include "dcnn/simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/reference.hh"
+#include "scnn/tiling.hh"
+#include "tensor/sparse_block.hh"
+
+namespace scnn {
+
+namespace {
+
+constexpr uint64_t kRleElemBits = kDataBits + kRleIndexBits; // 20
+
+uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Input-plane footprint (with halo) needed for an output tile. */
+long
+inputFootprint(const ConvLayerParams &layer, const TileRect &outTile)
+{
+    if (outTile.empty())
+        return 0;
+    const int x0 = std::max(0, outTile.x0 * layer.strideX - layer.padX);
+    const int x1 = std::min(layer.inWidth,
+                            (outTile.x1 - 1) * layer.strideX -
+                                layer.padX + layer.filterW);
+    const int y0 = std::max(0, outTile.y0 * layer.strideY - layer.padY);
+    const int y1 = std::min(layer.inHeight,
+                            (outTile.y1 - 1) * layer.strideY -
+                                layer.padY + layer.filterH);
+    if (x1 <= x0 || y1 <= y0)
+        return 0;
+    return static_cast<long>(x1 - x0) * (y1 - y0);
+}
+
+/** Largest power-of-two Kc whose accumulator footprint fits. */
+int
+chooseDenseKc(const ConvLayerParams &layer, const AcceleratorConfig &cfg,
+              long maxOutTileArea)
+{
+    const long entries = cfg.pe.denseAccBufBytes / 3; // 24-bit entries
+    if (maxOutTileArea <= 0)
+        return 1;
+    int kc = 1;
+    while (kc * 2 <= layer.outChannels &&
+           static_cast<long>(kc) * 2 * maxOutTileArea <= entries) {
+        kc *= 2;
+    }
+    return kc;
+}
+
+} // anonymous namespace
+
+double
+validTapFraction(const ConvLayerParams &layer)
+{
+    // Separable in x and y.
+    auto axisFraction = [](int out, int filt, int stride, int pad,
+                           int inDim) {
+        long valid = 0;
+        for (int o = 0; o < out; ++o) {
+            for (int f = 0; f < filt; ++f) {
+                const int x = o * stride + f - pad;
+                if (x >= 0 && x < inDim)
+                    ++valid;
+            }
+        }
+        return static_cast<double>(valid) /
+               (static_cast<double>(out) * filt);
+    };
+    return axisFraction(layer.outWidth(), layer.filterW, layer.strideX,
+                        layer.padX, layer.inWidth) *
+           axisFraction(layer.outHeight(), layer.filterH, layer.strideY,
+                        layer.padY, layer.inHeight);
+}
+
+DcnnSimulator::DcnnSimulator(AcceleratorConfig cfg, EnergyModel energy)
+    : cfg_(std::move(cfg)), energy_(energy)
+{
+    cfg_.validate();
+    SCNN_ASSERT(cfg_.kind == ArchKind::DCNN ||
+                cfg_.kind == ArchKind::DCNN_OPT,
+                "DcnnSimulator requires a dense configuration");
+}
+
+LayerResult
+DcnnSimulator::runLayer(const LayerWorkload &workload,
+                        const DcnnRunOptions &opts)
+{
+    const ConvLayerParams &layer = workload.layer;
+    layer.validate();
+    const bool gated = cfg_.kind == ArchKind::DCNN_OPT;
+
+    LayerResult res;
+    res.layerName = layer.name;
+    res.archName = cfg_.name;
+    res.denseMacs = layer.macs();
+
+    const int numPes = cfg_.numPes();
+    const int dotW = cfg_.pe.dotWidth;
+    const uint64_t crsGroup =
+        static_cast<uint64_t>(layer.inChannels / layer.groups) *
+        layer.filterW * layer.filterH;
+    const uint64_t dpChunks = ceilDiv(crsGroup, dotW);
+
+    SpatialTiling tiling(layer, cfg_.peRows, cfg_.peCols);
+
+    long maxOutTileArea = 0;
+    for (int pr = 0; pr < cfg_.peRows; ++pr)
+        for (int pc = 0; pc < cfg_.peCols; ++pc)
+            maxOutTileArea = std::max(
+                maxOutTileArea, tiling.outputTile(pr, pc).area());
+    const int kcDense = chooseDenseKc(layer, cfg_, maxOutTileArea);
+    const int numGroups =
+        static_cast<int>(ceilDiv(layer.outChannels, kcDense));
+
+    // --- timing: each PE processes its output tile independently ---
+    uint64_t wall = 0;
+    uint64_t cyclesTotal = 0;
+    uint64_t inFootprintTotal = 0;
+    for (int pr = 0; pr < cfg_.peRows; ++pr) {
+        for (int pc = 0; pc < cfg_.peCols; ++pc) {
+            const TileRect out = tiling.outputTile(pr, pc);
+            const uint64_t cyclesPe =
+                static_cast<uint64_t>(out.area()) * layer.outChannels *
+                dpChunks;
+            cyclesTotal += cyclesPe;
+            wall = std::max(wall, cyclesPe);
+            inFootprintTotal += static_cast<uint64_t>(
+                inputFootprint(layer, out));
+        }
+    }
+
+    // --- DRAM / dense SRAM capacity ---
+    const uint64_t inBytes = layer.inputCount() * kDataBytes;
+    const uint64_t outBytes = layer.outputCount() * kDataBytes;
+    const bool tiled = inBytes + outBytes > cfg_.denseSramBytes;
+    res.dramTiled = tiled;
+    res.numDramTiles = tiled
+        ? static_cast<int>(ceilDiv(inBytes + outBytes,
+                                   cfg_.denseSramBytes))
+        : 1;
+
+    const double measuredInDensity = workload.input.density();
+    const double measuredWtDensity = workload.weights.density();
+
+    uint64_t dramWeightBits = layer.weightCount() * kDataBits;
+    if (tiled) {
+        // Weights re-broadcast once per temporal activation tile.
+        dramWeightBits *= static_cast<uint64_t>(res.numDramTiles);
+    }
+
+    uint64_t dramActBits = 0;
+    auto actDramBits = [&](uint64_t denseCount, double density,
+                           const Tensor3 *tensor) -> uint64_t {
+        const uint64_t dense = denseCount * kDataBits;
+        if (!gated)
+            return dense;
+        // DCNN-opt: RLE-compressed DRAM transfers, bypassed when the
+        // data is dense enough that the 4-bit indices would inflate
+        // the traffic.
+        uint64_t compressed;
+        if (tensor != nullptr) {
+            compressed =
+                storedElementsPerChannel(*tensor) * kRleElemBits;
+        } else {
+            compressed = static_cast<uint64_t>(
+                std::ceil(static_cast<double>(denseCount) *
+                          std::min(1.0, density + 0.02)) *
+                kRleElemBits);
+        }
+        return std::min(dense, compressed);
+    };
+    if (tiled) {
+        dramActBits += actDramBits(layer.inputCount(), measuredInDensity,
+                                   &workload.input);
+        dramActBits += actDramBits(layer.outputCount(),
+                                   opts.outputDensityHint, nullptr);
+    }
+    if (opts.firstLayer) {
+        dramActBits += actDramBits(layer.inputCount(), measuredInDensity,
+                                   &workload.input);
+    }
+
+    const uint64_t dramBits = dramWeightBits + dramActBits;
+    const uint64_t layerCycles = std::max(
+        wall,
+        ceilDiv(dramBits, static_cast<uint64_t>(cfg_.dramBitsPerCycle)));
+
+    res.cycles = layerCycles;
+    res.computeCycles = wall;
+    res.dramWeightBits = dramWeightBits;
+    res.dramActBits = dramActBits;
+
+    // --- work accounting ---
+    const uint64_t slots = cyclesTotal * static_cast<uint64_t>(dotW);
+    res.mulArrayOps = cyclesTotal;
+    res.products = res.denseMacs; // taps the hardware spends slots on
+    res.landedProducts = res.denseMacs;
+
+    res.multUtilBusy =
+        slots > 0 ? static_cast<double>(res.denseMacs) /
+                        static_cast<double>(slots)
+                  : 0.0;
+    const double slotsAll = static_cast<double>(layerCycles) *
+                            cfg_.multipliers();
+    res.multUtilOverall =
+        slotsAll > 0
+            ? static_cast<double>(res.denseMacs) / slotsAll
+            : 0.0;
+    uint64_t idleSum = 0;
+    for (int pr = 0; pr < cfg_.peRows; ++pr)
+        for (int pc = 0; pc < cfg_.peCols; ++pc) {
+            const TileRect out = tiling.outputTile(pr, pc);
+            const uint64_t cyclesPe =
+                static_cast<uint64_t>(out.area()) * layer.outChannels *
+                dpChunks;
+            idleSum += layerCycles - std::min(layerCycles, cyclesPe);
+        }
+    res.peIdleFraction =
+        layerCycles > 0
+            ? static_cast<double>(idleSum) /
+                  (static_cast<double>(numPes) *
+                   static_cast<double>(layerCycles))
+            : 0.0;
+
+    // --- energy events ---
+    EnergyEvents &ev = res.events;
+    const double slotsD = static_cast<double>(slots);
+    const double macsD = static_cast<double>(res.denseMacs);
+    if (gated) {
+        const double nzFrac = validTapFraction(layer) *
+                              measuredInDensity * measuredWtDensity;
+        ev.mults = macsD * nzFrac;
+        ev.gatedMults = slotsD - ev.mults;
+    } else {
+        ev.mults = macsD;
+        ev.gatedMults = slotsD - macsD;
+    }
+    ev.adds = ev.mults; // reduction tree adds track real products
+
+    // Per-cycle buffer traffic: a weight vector every cycle, an input
+    // vector every Kc cycles (input stationary), one 24-bit
+    // accumulator read-modify-write.
+    const double cyclesD = static_cast<double>(cyclesTotal);
+    ev.peBufReadBits =
+        cyclesD * (dotW * kDataBits +
+                   static_cast<double>(dotW * kDataBits) / kcDense +
+                   48.0);
+    // Buffer fills: input footprints (re-streamed from the dense SRAM
+    // once per output-channel group) and one copy of each broadcast
+    // weight chunk per PE.
+    const double inStreamBits =
+        static_cast<double>(inFootprintTotal) *
+        static_cast<double>(layer.inChannels) * kDataBits *
+        static_cast<double>(numGroups);
+    ev.peBufWriteBits =
+        inStreamBits +
+        static_cast<double>(layer.weightCount()) * kDataBits *
+            static_cast<double>(numPes);
+    ev.denseSramReadBits = inStreamBits;
+    ev.denseSramWriteBits =
+        static_cast<double>(layer.outputCount()) * kDataBits;
+    ev.dramBits = static_cast<double>(dramBits);
+    ev.ppuElements = static_cast<double>(layer.outputCount());
+    res.energyPj = energy_.total(ev, cfg_);
+
+    // --- functional output ---
+    if (opts.functional) {
+        res.output = referenceConv(layer, workload.input,
+                                   workload.weights);
+    } else {
+        res.output = Tensor3();
+    }
+
+    res.stats.set("kc_dense", kcDense);
+    res.stats.set("num_groups", numGroups);
+    res.stats.set("dp_chunks", static_cast<double>(dpChunks));
+    res.stats.set("slots", slotsD);
+    return res;
+}
+
+NetworkResult
+DcnnSimulator::runNetwork(const Network &net, uint64_t seed,
+                          bool evalOnly, bool functional)
+{
+    NetworkResult nr;
+    nr.networkName = net.name();
+    nr.archName = cfg_.name;
+
+    std::vector<ConvLayerParams> layers;
+    for (const auto &l : net.layers())
+        if (!evalOnly || l.inEval)
+            layers.push_back(l);
+
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const LayerWorkload w = makeWorkload(layers[i], seed);
+        DcnnRunOptions opts;
+        opts.firstLayer = (i == 0);
+        opts.functional = functional;
+        // Output density of layer i is the measured input density of
+        // layer i+1 in the paper's profiles.
+        opts.outputDensityHint =
+            (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
+        nr.layers.push_back(runLayer(w, opts));
+    }
+    return nr;
+}
+
+} // namespace scnn

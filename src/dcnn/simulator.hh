@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Dense baseline accelerators (Section V, Table IV).
+ *
+ * DCNN executes PT-IS-DP-dense: the same 1024 multipliers as SCNN,
+ * arranged as 64 PEs each with a 16-wide dot-product unit.  Each PE
+ * owns a disjoint output tile; for each output pixel and output
+ * channel it reduces the (C/groups) x R x S receptive field in
+ * dot-product chunks, holding input chunks stationary across an
+ * output-channel group.  Utilization losses come from reduction-length
+ * padding (ceil(CRS/16)) and output-tile fragmentation.
+ *
+ * DCNN-opt is identical in timing but adds two energy optimizations:
+ * zero-operand multiplier gating, and RLE compression of DRAM
+ * activation traffic (Section V).
+ *
+ * Timing and event counts are closed-form in the layer shape (dense
+ * execution is data-independent), so the simulator only touches the
+ * tensors for optional functional output and for measured densities.
+ */
+
+#ifndef SCNN_DCNN_SIMULATOR_HH
+#define SCNN_DCNN_SIMULATOR_HH
+
+#include "arch/config.hh"
+#include "arch/energy_model.hh"
+#include "nn/network.hh"
+#include "nn/workload.hh"
+#include "scnn/result.hh"
+
+namespace scnn {
+
+/** Extra options for dense runs. */
+struct DcnnRunOptions : RunOptions
+{
+    /**
+     * Estimated output activation density, used by DCNN-opt's
+     * compressed-DRAM accounting when the run is not functional.  The
+     * network runner wires in the next layer's measured input density
+     * (which is this layer's output density by construction).
+     */
+    double outputDensityHint = 0.5;
+};
+
+class DcnnSimulator
+{
+  public:
+    explicit DcnnSimulator(AcceleratorConfig cfg = dcnnConfig(),
+                           EnergyModel energy = EnergyModel());
+
+    LayerResult runLayer(const LayerWorkload &workload,
+                         const DcnnRunOptions &opts = DcnnRunOptions());
+
+    NetworkResult runNetwork(const Network &net, uint64_t seed,
+                             bool evalOnly = true,
+                             bool functional = false);
+
+    const AcceleratorConfig &config() const { return cfg_; }
+
+  private:
+    AcceleratorConfig cfg_;
+    EnergyModel energy_;
+};
+
+/**
+ * Fraction of the R x S x outW x outH tap space whose input coordinate
+ * lands inside the (unpadded) input plane.  Dense hardware spends a
+ * multiplier slot on every tap; padded taps read zero, which matters
+ * for DCNN-opt's gating statistics.
+ */
+double validTapFraction(const ConvLayerParams &layer);
+
+} // namespace scnn
+
+#endif // SCNN_DCNN_SIMULATOR_HH

@@ -1,0 +1,214 @@
+#include "driver/experiments.hh"
+
+#include "common/logging.hh"
+#include "dcnn/simulator.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "scnn/oracle.hh"
+#include "scnn/simulator.hh"
+
+namespace scnn {
+
+double
+LayerComparison::speedupScnn() const
+{
+    return scnn.cycles > 0
+        ? static_cast<double>(dcnn.cycles) /
+              static_cast<double>(scnn.cycles)
+        : 0.0;
+}
+
+double
+LayerComparison::speedupOracle() const
+{
+    return oracleCycles > 0
+        ? static_cast<double>(dcnn.cycles) /
+              static_cast<double>(oracleCycles)
+        : 0.0;
+}
+
+double
+LayerComparison::energyRelDcnn(const LayerResult &r) const
+{
+    return dcnn.energyPj > 0 ? r.energyPj / dcnn.energyPj : 0.0;
+}
+
+uint64_t
+NetworkComparison::totalDcnnCycles() const
+{
+    uint64_t t = 0;
+    for (const auto &l : layers)
+        t += l.dcnn.cycles;
+    return t;
+}
+
+uint64_t
+NetworkComparison::totalScnnCycles() const
+{
+    uint64_t t = 0;
+    for (const auto &l : layers)
+        t += l.scnn.cycles;
+    return t;
+}
+
+uint64_t
+NetworkComparison::totalOracleCycles() const
+{
+    uint64_t t = 0;
+    for (const auto &l : layers)
+        t += l.oracleCycles;
+    return t;
+}
+
+double
+NetworkComparison::totalDcnnEnergy() const
+{
+    double t = 0;
+    for (const auto &l : layers)
+        t += l.dcnn.energyPj;
+    return t;
+}
+
+double
+NetworkComparison::totalDcnnOptEnergy() const
+{
+    double t = 0;
+    for (const auto &l : layers)
+        t += l.dcnnOpt.energyPj;
+    return t;
+}
+
+double
+NetworkComparison::totalScnnEnergy() const
+{
+    double t = 0;
+    for (const auto &l : layers)
+        t += l.scnn.energyPj;
+    return t;
+}
+
+double
+NetworkComparison::networkSpeedupScnn() const
+{
+    const uint64_t s = totalScnnCycles();
+    return s > 0
+        ? static_cast<double>(totalDcnnCycles()) / static_cast<double>(s)
+        : 0.0;
+}
+
+double
+NetworkComparison::networkSpeedupOracle() const
+{
+    const uint64_t o = totalOracleCycles();
+    return o > 0
+        ? static_cast<double>(totalDcnnCycles()) / static_cast<double>(o)
+        : 0.0;
+}
+
+NetworkComparison
+compareNetwork(const Network &net, uint64_t seed)
+{
+    NetworkComparison cmp;
+    cmp.networkName = net.name();
+
+    ScnnSimulator scnnSim(scnnConfig());
+    DcnnSimulator dcnnSim(dcnnConfig());
+    DcnnSimulator dcnnOptSim(dcnnOptConfig());
+    const AcceleratorConfig scnnCfg = scnnConfig();
+
+    std::vector<ConvLayerParams> layers;
+    for (const auto &l : net.layers())
+        if (l.inEval)
+            layers.push_back(l);
+
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const LayerWorkload w = makeWorkload(layers[i], seed);
+
+        LayerComparison lc;
+        lc.layerName = layers[i].name;
+
+        RunOptions scnnOpts;
+        scnnOpts.firstLayer = (i == 0);
+        scnnOpts.outputDensityHint =
+            (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
+        lc.scnn = scnnSim.runLayer(w, scnnOpts);
+
+        DcnnRunOptions denseOpts;
+        denseOpts.firstLayer = (i == 0);
+        denseOpts.functional = false;
+        denseOpts.outputDensityHint =
+            (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
+        lc.dcnn = dcnnSim.runLayer(w, denseOpts);
+        lc.dcnnOpt = dcnnOptSim.runLayer(w, denseOpts);
+
+        lc.oracleCycles = oracleCycles(lc.scnn, scnnCfg);
+        cmp.layers.push_back(std::move(lc));
+    }
+    return cmp;
+}
+
+std::vector<DensityPoint>
+densitySweep(const Network &net, const std::vector<double> &densities)
+{
+    TimeLoopModel model;
+    const AcceleratorConfig scnnCfg = scnnConfig();
+    const AcceleratorConfig dcnnCfg = dcnnConfig();
+    const AcceleratorConfig dcnnOptCfg = dcnnOptConfig();
+
+    std::vector<DensityPoint> points;
+    for (double d : densities) {
+        const Network swept = withUniformDensity(net, d, d);
+        const NetworkResult scnnRes =
+            model.estimateNetwork(scnnCfg, swept);
+        const NetworkResult dcnnRes =
+            model.estimateNetwork(dcnnCfg, swept);
+        const NetworkResult dcnnOptRes =
+            model.estimateNetwork(dcnnOptCfg, swept);
+
+        DensityPoint p;
+        p.density = d;
+        p.scnnCycles = static_cast<double>(scnnRes.totalCycles());
+        p.scnnEnergy = scnnRes.totalEnergyPj();
+        p.dcnnCycles = static_cast<double>(dcnnRes.totalCycles());
+        p.dcnnEnergy = dcnnRes.totalEnergyPj();
+        p.dcnnOptEnergy = dcnnOptRes.totalEnergyPj();
+        points.push_back(p);
+    }
+    return points;
+}
+
+std::vector<GranularityPoint>
+peGranularitySweep(const Network &net,
+                   const std::vector<std::pair<int, int>> &grids,
+                   uint64_t seed, bool fixedAccum)
+{
+    std::vector<GranularityPoint> points;
+    for (const auto &[rows, cols] : grids) {
+        const AcceleratorConfig cfg = fixedAccum
+            ? scnnWithPeGridFixedAccum(rows, cols)
+            : scnnWithPeGrid(rows, cols);
+        ScnnSimulator sim(cfg);
+        const NetworkResult res = sim.runNetwork(net, seed);
+
+        GranularityPoint p;
+        p.peRows = rows;
+        p.peCols = cols;
+        p.perPeMultipliers = cfg.pe.multipliers();
+        p.cycles = res.totalCycles();
+        double products = 0.0;
+        for (const auto &l : res.layers)
+            products += static_cast<double>(l.products);
+        const double slots = static_cast<double>(p.cycles) *
+                             cfg.multipliers();
+        p.mathUtilization = slots > 0 ? products / slots : 0.0;
+        double idle = 0.0;
+        for (const auto &l : res.layers)
+            idle += l.peIdleFraction * static_cast<double>(l.cycles);
+        p.peIdleFraction =
+            p.cycles > 0 ? idle / static_cast<double>(p.cycles) : 0.0;
+        points.push_back(p);
+    }
+    return points;
+}
+
+} // namespace scnn

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared experiment harnesses: the three-architecture per-layer
+ * comparison that Figures 8/9/10 slice, the density sweep behind
+ * Figure 7, and the PE-granularity sweep of Section VI-C.  Bench
+ * binaries format these results; tests assert on their shapes.
+ */
+
+#ifndef SCNN_DRIVER_EXPERIMENTS_HH
+#define SCNN_DRIVER_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytic/timeloop.hh"
+#include "arch/config.hh"
+#include "nn/network.hh"
+#include "scnn/result.hh"
+
+namespace scnn {
+
+/** Master seed used by every experiment (deterministic repro). */
+constexpr uint64_t kExperimentSeed = 20170624; // ISCA'17
+
+/** One layer compared across DCNN / DCNN-opt / SCNN / SCNN(oracle). */
+struct LayerComparison
+{
+    std::string layerName;
+
+    LayerResult dcnn;
+    LayerResult dcnnOpt;
+    LayerResult scnn;
+    uint64_t oracleCycles = 0;
+
+    double speedupScnn() const;    ///< DCNN cycles / SCNN cycles
+    double speedupOracle() const;  ///< DCNN cycles / oracle cycles
+    double energyRelDcnn(const LayerResult &r) const; ///< r / DCNN
+};
+
+/** A whole network compared across the architectures. */
+struct NetworkComparison
+{
+    std::string networkName;
+    std::vector<LayerComparison> layers;
+
+    uint64_t totalDcnnCycles() const;
+    uint64_t totalScnnCycles() const;
+    uint64_t totalOracleCycles() const;
+    double totalDcnnEnergy() const;
+    double totalDcnnOptEnergy() const;
+    double totalScnnEnergy() const;
+
+    double networkSpeedupScnn() const;
+    double networkSpeedupOracle() const;
+};
+
+/**
+ * Run the full three-architecture comparison on a network's
+ * evaluation-scope layers with cycle-level simulators.  One workload
+ * per layer is shared across architectures.
+ */
+NetworkComparison compareNetwork(const Network &net,
+                                 uint64_t seed = kExperimentSeed);
+
+/** One point of the Fig. 7 density sweep. */
+struct DensityPoint
+{
+    double density;          ///< weight = activation density
+    double dcnnCycles;
+    double dcnnEnergy;
+    double dcnnOptEnergy;
+    double scnnCycles;
+    double scnnEnergy;
+};
+
+/**
+ * The Section VI-A sensitivity study: sweep uniform weight/activation
+ * density over the given values on a network using the TimeLoop
+ * analytical model, reporting cycles and energy for the three
+ * architectures.
+ */
+std::vector<DensityPoint>
+densitySweep(const Network &net, const std::vector<double> &densities);
+
+/** One configuration of the Section VI-C PE-granularity study. */
+struct GranularityPoint
+{
+    int peRows;
+    int peCols;
+    int perPeMultipliers;
+    uint64_t cycles;
+    double mathUtilization;  ///< products / (multipliers * cycles)
+    double peIdleFraction;
+};
+
+/**
+ * Sweep PE granularity at fixed chip-wide multiplier count using the
+ * cycle-level SCNN simulator.
+ *
+ * @param fixedAccum use the fixed-accumulator-capacity scaling
+ *        (scnnWithPeGridFixedAccum) instead of proportional scaling;
+ *        see EXPERIMENTS.md for why both assumptions are reported.
+ */
+std::vector<GranularityPoint>
+peGranularitySweep(const Network &net,
+                   const std::vector<std::pair<int, int>> &grids,
+                   uint64_t seed = kExperimentSeed,
+                   bool fixedAccum = false);
+
+} // namespace scnn
+
+#endif // SCNN_DRIVER_EXPERIMENTS_HH

@@ -1,0 +1,122 @@
+#include "driver/googlenet_runner.hh"
+
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+#include "nn/model_zoo.hh"
+#include "nn/reference.hh"
+#include "nn/workload.hh"
+
+namespace scnn {
+
+namespace {
+
+/** Index the GoogLeNet layer list by name. */
+std::map<std::string, ConvLayerParams>
+layerIndex(const Network &net)
+{
+    std::map<std::string, ConvLayerParams> idx;
+    for (const auto &l : net.layers())
+        idx.emplace(l.name, l);
+    return idx;
+}
+
+/** Run one conv with deterministic weights on a concrete input. */
+Tensor3
+runConv(ScnnSimulator &sim, const ConvLayerParams &layer,
+        const Tensor3 &input, uint64_t seed, bool first,
+        NetworkResult &nr)
+{
+    SCNN_ASSERT(input.channels() == layer.inChannels &&
+                input.width() == layer.inWidth &&
+                input.height() == layer.inHeight,
+                "GoogLeNet chain: %s expects (%d,%d,%d), got "
+                "(%d,%d,%d)", layer.name.c_str(), layer.inChannels,
+                layer.inWidth, layer.inHeight, input.channels(),
+                input.width(), input.height());
+
+    Rng wtRng(layer.name + "/weights", seed);
+    LayerWorkload w;
+    w.layer = layer;
+    w.input = input;
+    w.weights = makeWeights(layer, wtRng);
+
+    RunOptions opts;
+    opts.firstLayer = first;
+    LayerResult res = sim.runLayer(w, opts);
+    Tensor3 out = res.output;
+    nr.layers.push_back(std::move(res));
+    return out;
+}
+
+} // anonymous namespace
+
+NetworkResult
+runGoogLeNetChained(ScnnSimulator &sim, uint64_t seed)
+{
+    const Network net = googLeNet();
+    const auto idx = layerIndex(net);
+    auto layer = [&](const std::string &name) -> const ConvLayerParams & {
+        auto it = idx.find(name);
+        if (it == idx.end())
+            fatal("GoogLeNet chain: no layer named %s", name.c_str());
+        return it->second;
+    };
+
+    NetworkResult nr;
+    nr.networkName = "GoogLeNet-chained";
+    nr.archName = sim.config().name;
+
+    // --- stem: conv1 7x7/2 -> pool 3/2 -> conv2 reduce -> conv2 ->
+    //     pool 3/2 ---
+    const ConvLayerParams &conv1 = layer("conv1/7x7_s2");
+    Rng actRng(conv1.name + "/activations", seed);
+    Tensor3 act = makeActivations(conv1, actRng); // dense image
+
+    act = runConv(sim, conv1, act, seed, true, nr); // 112x112
+    // Caffe uses ceil-mode 3x3/2 pooling (112 -> 56); symmetric pad 1
+    // reproduces the shape, and pooling over zero padding is
+    // harmless on non-negative post-ReLU data.
+    act = maxPool(act, 3, 2, 1);
+    if (act.width() != 56)
+        fatal("GoogLeNet stem: unexpected pool1 output %d",
+              act.width());
+
+    act = runConv(sim, layer("conv2/3x3_reduce"), act, seed, false,
+                  nr);
+    act = runConv(sim, layer("conv2/3x3"), act, seed, false, nr);
+    act = maxPool(act, 3, 2, 1); // 56 -> 28
+
+    // --- inception modules ---
+    const char *modules[] = {"IC_3a", "IC_3b", "IC_4a", "IC_4b",
+                             "IC_4c", "IC_4d", "IC_4e", "IC_5a",
+                             "IC_5b"};
+    for (const char *m : modules) {
+        const std::string base = std::string(m) + "/";
+
+        const Tensor3 b1 =
+            runConv(sim, layer(base + "1x1"), act, seed, false, nr);
+
+        Tensor3 b3 = runConv(sim, layer(base + "3x3_reduce"), act,
+                             seed, false, nr);
+        b3 = runConv(sim, layer(base + "3x3"), b3, seed, false, nr);
+
+        Tensor3 b5 = runConv(sim, layer(base + "5x5_reduce"), act,
+                             seed, false, nr);
+        b5 = runConv(sim, layer(base + "5x5"), b5, seed, false, nr);
+
+        Tensor3 bp = maxPool(act, 3, 1, 1); // same-size pool
+        bp = runConv(sim, layer(base + "pool_proj"), bp, seed, false,
+                     nr);
+
+        act = concatChannels({b1, b3, b5, bp});
+
+        // Stage pools: after 3b (28 -> 14) and 4e (14 -> 7).
+        if (base == "IC_3b/" || base == "IC_4e/")
+            act = maxPool(act, 3, 2, 1);
+    }
+    return nr;
+}
+
+} // namespace scnn

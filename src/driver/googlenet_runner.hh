@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Chained execution of GoogLeNet's inception DAG on the SCNN
+ * simulator: the stem, then each module's four branches from the same
+ * input (1x1; 3x3_reduce -> 3x3; 5x5_reduce -> 5x5; 3x3/1 max-pool ->
+ * pool_proj), concatenated along channels and fed to the next module,
+ * with the stage max-pools between scales.  Activation sparsity
+ * emerges from the computation, extending the sequential
+ * ScnnSimulator::runNetworkChained to the paper's one non-sequential
+ * network.
+ */
+
+#ifndef SCNN_DRIVER_GOOGLENET_RUNNER_HH
+#define SCNN_DRIVER_GOOGLENET_RUNNER_HH
+
+#include <cstdint>
+
+#include "scnn/result.hh"
+#include "scnn/simulator.hh"
+
+namespace scnn {
+
+/**
+ * Run GoogLeNet (stem + 9 inception modules, 57 convolutions) with
+ * real activation propagation.  Per-layer results appear in network
+ * order with emergent "output_density" stats.
+ *
+ * @param sim  the SCNN simulator to run on.
+ * @param seed master seed for the input image and weights.
+ */
+NetworkResult runGoogLeNetChained(ScnnSimulator &sim, uint64_t seed);
+
+} // namespace scnn
+
+#endif // SCNN_DRIVER_GOOGLENET_RUNNER_HH

@@ -1,0 +1,80 @@
+#include "nn/layer.hh"
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+void
+ConvLayerParams::validate() const
+{
+    if (inChannels <= 0 || outChannels <= 0 || inWidth <= 0 ||
+        inHeight <= 0 || filterW <= 0 || filterH <= 0) {
+        fatal("layer %s: non-positive dimension", name.c_str());
+    }
+    if (strideX <= 0 || strideY <= 0)
+        fatal("layer %s: non-positive stride", name.c_str());
+    if (padX < 0 || padY < 0)
+        fatal("layer %s: negative padding", name.c_str());
+    if (groups <= 0 || inChannels % groups != 0 ||
+        outChannels % groups != 0) {
+        fatal("layer %s: groups=%d must divide C=%d and K=%d",
+              name.c_str(), groups, inChannels, outChannels);
+    }
+    if (outWidth() <= 0 || outHeight() <= 0)
+        fatal("layer %s: empty output plane", name.c_str());
+    if (weightDensity < 0.0 || weightDensity > 1.0 ||
+        inputDensity < 0.0 || inputDensity > 1.0) {
+        fatal("layer %s: density out of [0,1]", name.c_str());
+    }
+}
+
+std::string
+ConvLayerParams::toString() const
+{
+    return strfmt("%s: C=%d K=%d %dx%d filt %dx%d stride %d pad %d "
+                  "groups %d (wd=%.2f, ad=%.2f)",
+                  name.c_str(), inChannels, outChannels, inWidth,
+                  inHeight, filterW, filterH, strideX, padX, groups,
+                  weightDensity, inputDensity);
+}
+
+ConvLayerParams
+makeConv(const std::string &name, int c, int k, int wh, int rs, int pad,
+         double wDensity, double iaDensity)
+{
+    ConvLayerParams p;
+    p.name = name;
+    p.inChannels = c;
+    p.outChannels = k;
+    p.inWidth = wh;
+    p.inHeight = wh;
+    p.filterW = rs;
+    p.filterH = rs;
+    p.padX = pad;
+    p.padY = pad;
+    p.weightDensity = wDensity;
+    p.inputDensity = iaDensity;
+    p.validate();
+    return p;
+}
+
+ConvLayerParams
+makeFullyConnected(const std::string &name, int inDim, int outDim,
+                   double wDensity, double iaDensity)
+{
+    ConvLayerParams p;
+    p.name = name;
+    p.inChannels = inDim;
+    p.outChannels = outDim;
+    p.inWidth = 1;
+    p.inHeight = 1;
+    p.filterW = 1;
+    p.filterH = 1;
+    p.weightDensity = wDensity;
+    p.inputDensity = iaDensity;
+    p.applyRelu = true;
+    p.validate();
+    return p;
+}
+
+} // namespace scnn

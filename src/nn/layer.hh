@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Convolutional layer descriptor and shape arithmetic.
+ *
+ * A layer is described by the paper's seven-loop parameters (Fig. 2/3):
+ * C input channels of W x H activations, K output channels, R x S
+ * filters, extended with the stride / padding / channel-group
+ * attributes the real networks (AlexNet, GoogLeNet, VGGNet from the
+ * Caffe BVLC zoo) require.  Each layer also carries its pruned weight
+ * density and measured input-activation density (Fig. 1 profiles),
+ * which drive synthetic workload generation.
+ */
+
+#ifndef SCNN_NN_LAYER_HH
+#define SCNN_NN_LAYER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/sparse_block.hh"
+
+namespace scnn {
+
+/** Parameters of a single convolutional layer. */
+struct ConvLayerParams
+{
+    std::string name;
+
+    int inChannels = 1;   ///< C
+    int outChannels = 1;  ///< K
+    int inWidth = 1;      ///< W
+    int inHeight = 1;     ///< H
+    int filterW = 1;      ///< R
+    int filterH = 1;      ///< S
+    int strideX = 1;
+    int strideY = 1;
+    int padX = 0;
+    int padY = 0;
+    int groups = 1;       ///< channel groups (AlexNet conv2/4/5 use 2)
+    bool applyRelu = true;
+
+    /** Pruned weight density (fraction of non-zero weights). */
+    double weightDensity = 1.0;
+    /** Measured input activation density for this layer. */
+    double inputDensity = 1.0;
+
+    /**
+     * Spatial clustering of activation sparsity: log-normal sigma of
+     * the per-region density modulation used by the workload
+     * generator.  Real post-ReLU feature maps have strongly clustered
+     * zeros (whole regions of an image are featureless), which is
+     * what loads PEs unevenly and drives the paper's barrier/idle
+     * results.  0 disables the modulation (i.i.d. Bernoulli).
+     */
+    double actSpatialSigma = 0.5;
+
+    /**
+     * Per-channel density variation (log-normal sigma): real feature
+     * extractors have strong and nearly-dead channels, so per-channel
+     * non-zero counts vary far more than Bernoulli sampling predicts.
+     * Starved channels fragment the activation vectors and are a
+     * large part of the paper's measured utilization losses.
+     */
+    double actChannelSigma = 0.7;
+
+    /**
+     * Whether the layer is part of the paper's per-layer evaluation
+     * scope (all AlexNet/VGG convs; GoogLeNet inception convs only).
+     */
+    bool inEval = true;
+
+    /**
+     * Max-pooling applied to this layer's output before the next
+     * layer (0 = none).  Used by chained whole-network execution; the
+     * PPU performs pooling during drain (Section IV), so it costs no
+     * extra simulated time.
+     */
+    int poolWindow = 0;
+    int poolStride = 2;
+    int poolPad = 0;
+
+    int
+    outWidth() const
+    {
+        return (inWidth + 2 * padX - filterW) / strideX + 1;
+    }
+
+    int
+    outHeight() const
+    {
+        return (inHeight + 2 * padY - filterH) / strideY + 1;
+    }
+
+    /** Weight elements: K * (C/groups) * R * S. */
+    uint64_t
+    weightCount() const
+    {
+        return static_cast<uint64_t>(outChannels) *
+               (static_cast<uint64_t>(inChannels) / groups) *
+               filterW * filterH;
+    }
+
+    uint64_t
+    inputCount() const
+    {
+        return static_cast<uint64_t>(inChannels) * inWidth * inHeight;
+    }
+
+    uint64_t
+    outputCount() const
+    {
+        return static_cast<uint64_t>(outChannels) * outWidth() *
+               outHeight();
+    }
+
+    /** Dense multiply count (batch size 1). */
+    uint64_t
+    macs() const
+    {
+        return static_cast<uint64_t>(outChannels) * outWidth() *
+               outHeight() *
+               (static_cast<uint64_t>(inChannels) / groups) *
+               filterW * filterH;
+    }
+
+    /**
+     * Expected non-zero multiplies under the density profile: every
+     * product of a non-zero weight and non-zero activation (the
+     * paper's "ideal work", Fig. 1 triangles).
+     */
+    double
+    idealMacs() const
+    {
+        return static_cast<double>(macs()) * weightDensity *
+               inputDensity;
+    }
+
+    ConvGeometry
+    geometry() const
+    {
+        return ConvGeometry{strideX, strideY, padX, padY};
+    }
+
+    /** fatal() if the parameters are inconsistent. */
+    void validate() const;
+
+    /** One-line human-readable description. */
+    std::string toString() const;
+};
+
+/**
+ * Convenience factory for the common square stride-1 case.
+ */
+ConvLayerParams makeConv(const std::string &name, int c, int k, int wh,
+                         int rs, int pad, double wDensity,
+                         double iaDensity);
+
+/**
+ * A fully-connected layer expressed as a 1x1 convolution over a 1x1
+ * plane (the paper delegates FC layers to EIE; this path lets
+ * whole-network runs complete and is exercised by extension tests).
+ */
+ConvLayerParams makeFullyConnected(const std::string &name, int inDim,
+                                   int outDim, double wDensity,
+                                   double iaDensity);
+
+} // namespace scnn
+
+#endif // SCNN_NN_LAYER_HH

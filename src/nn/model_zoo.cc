@@ -1,0 +1,233 @@
+#include "nn/model_zoo.hh"
+
+namespace scnn {
+
+namespace {
+
+ConvLayerParams
+conv(const std::string &name, int c, int k, int w, int h, int rs,
+     int stride, int pad, int groups, double wd, double ad)
+{
+    ConvLayerParams p;
+    p.name = name;
+    p.inChannels = c;
+    p.outChannels = k;
+    p.inWidth = w;
+    p.inHeight = h;
+    p.filterW = rs;
+    p.filterH = rs;
+    p.strideX = stride;
+    p.strideY = stride;
+    p.padX = pad;
+    p.padY = pad;
+    p.groups = groups;
+    p.weightDensity = wd;
+    p.inputDensity = ad;
+    p.validate();
+    return p;
+}
+
+/** Per-module parameters of a GoogLeNet inception module. */
+struct InceptionSpec
+{
+    const char *id;   ///< e.g. "IC_3a"
+    int wh;           ///< spatial width/height
+    int cIn;          ///< module input channels
+    int n1x1;
+    int n3x3r;
+    int n3x3;
+    int n5x5r;
+    int n5x5;
+    int nPool;
+    double iaDensity; ///< module input activation density (digitized)
+    double wd1x1;     ///< weight densities per branch (digitized)
+    double wd3x3r;
+    double wd3x3;
+    double wd5x5r;
+    double wd5x5;
+    double wdPool;
+};
+
+void
+addInception(Network &net, const InceptionSpec &m)
+{
+    const std::string base = std::string(m.id) + "/";
+
+    // Reduce layers see the module input.  The 3x3/5x5 layers see the
+    // (post-ReLU) reduce outputs, which Fig. 1 shows slightly sparser
+    // than the module input.  pool_proj sees the 3x3 stride-1 max-pool
+    // of the module input: max-pooling a d-dense plane is close to
+    // fully dense for the densities involved, so we cap its density
+    // estimate at min(1, 2.2 * d).
+    const double reduceOutD = 0.85 * m.iaDensity;
+    const double poolD = std::min(1.0, 2.2 * m.iaDensity);
+
+    net.addLayer(conv(base + "1x1", m.cIn, m.n1x1, m.wh, m.wh, 1, 1, 0,
+                      1, m.wd1x1, m.iaDensity));
+    net.addLayer(conv(base + "3x3_reduce", m.cIn, m.n3x3r, m.wh, m.wh,
+                      1, 1, 0, 1, m.wd3x3r, m.iaDensity));
+    net.addLayer(conv(base + "3x3", m.n3x3r, m.n3x3, m.wh, m.wh, 3, 1,
+                      1, 1, m.wd3x3, reduceOutD));
+    net.addLayer(conv(base + "5x5_reduce", m.cIn, m.n5x5r, m.wh, m.wh,
+                      1, 1, 0, 1, m.wd5x5r, m.iaDensity));
+    net.addLayer(conv(base + "5x5", m.n5x5r, m.n5x5, m.wh, m.wh, 5, 1,
+                      2, 1, m.wd5x5, reduceOutD));
+    net.addLayer(conv(base + "pool_proj", m.cIn, m.nPool, m.wh, m.wh,
+                      1, 1, 0, 1, m.wdPool, poolD));
+}
+
+} // anonymous namespace
+
+Network
+alexNet()
+{
+    Network net("AlexNet");
+    // Weight densities: Han et al. NIPS'15 pruned AlexNet.
+    // Activation densities: digitized from Fig. 1a (conv1 input is the
+    // raw image: 100% dense).
+    auto conv1 = conv("conv1", 3, 96, 227, 227, 11, 4, 0, 1,
+                      0.84, 1.00);
+    conv1.poolWindow = 3; // 55x55 -> 27x27
+    net.addLayer(conv1);
+    auto conv2 = conv("conv2", 96, 256, 27, 27, 5, 1, 2, 2,
+                      0.38, 0.55);
+    conv2.poolWindow = 3; // 27x27 -> 13x13
+    net.addLayer(conv2);
+    net.addLayer(conv("conv3", 256, 384, 13, 13, 3, 1, 1, 1,
+                      0.35, 0.42));
+    net.addLayer(conv("conv4", 384, 384, 13, 13, 3, 1, 1, 2,
+                      0.37, 0.45));
+    auto conv5 = conv("conv5", 384, 256, 13, 13, 3, 1, 1, 2,
+                      0.37, 0.47);
+    conv5.poolWindow = 3; // 13x13 -> 6x6 before the FC layers
+    net.addLayer(conv5);
+    return net;
+}
+
+Network
+googLeNet()
+{
+    Network net("GoogLeNet");
+
+    // Stem (outside the paper's per-layer evaluation scope; included
+    // for Table I footprint accounting).
+    auto stem1 = conv("conv1/7x7_s2", 3, 64, 224, 224, 7, 2, 3, 1,
+                      0.70, 1.00);
+    stem1.inEval = false;
+    net.addLayer(stem1);
+    auto stem2r = conv("conv2/3x3_reduce", 64, 64, 56, 56, 1, 1, 0, 1,
+                       0.60, 0.65);
+    stem2r.inEval = false;
+    net.addLayer(stem2r);
+    auto stem2 = conv("conv2/3x3", 64, 192, 56, 56, 3, 1, 1, 1,
+                      0.45, 0.55);
+    stem2.inEval = false;
+    net.addLayer(stem2);
+
+    // The nine inception modules: branch widths from the GoogLeNet v1
+    // architecture; densities digitized from Fig. 1b (IC_3a / IC_5b
+    // shown in the paper; intermediate modules interpolated,
+    // activation density declining with depth, weight density 0.30 at
+    // its sparsest).
+    const InceptionSpec modules[] = {
+        {"IC_3a", 28, 192,  64,  96, 128, 16,  32,  32, 0.68,
+         0.55, 0.45, 0.40, 0.45, 0.33, 0.52},
+        {"IC_3b", 28, 256, 128, 128, 192, 32,  96,  64, 0.62,
+         0.52, 0.43, 0.38, 0.43, 0.32, 0.50},
+        {"IC_4a", 14, 480, 192,  96, 208, 16,  48,  64, 0.57,
+         0.50, 0.42, 0.36, 0.42, 0.31, 0.48},
+        {"IC_4b", 14, 512, 160, 112, 224, 24,  64,  64, 0.53,
+         0.48, 0.41, 0.35, 0.41, 0.31, 0.46},
+        {"IC_4c", 14, 512, 128, 128, 256, 24,  64,  64, 0.50,
+         0.46, 0.40, 0.34, 0.40, 0.30, 0.45},
+        {"IC_4d", 14, 512, 112, 144, 288, 32,  64,  64, 0.47,
+         0.45, 0.39, 0.33, 0.39, 0.30, 0.44},
+        {"IC_4e", 14, 528, 256, 160, 320, 32, 128, 128, 0.45,
+         0.44, 0.38, 0.32, 0.38, 0.30, 0.43},
+        {"IC_5a",  7, 832, 256, 160, 320, 32, 128, 128, 0.43,
+         0.43, 0.37, 0.31, 0.37, 0.30, 0.42},
+        {"IC_5b",  7, 832, 384, 192, 384, 48, 128, 128, 0.40,
+         0.42, 0.36, 0.30, 0.36, 0.30, 0.41},
+    };
+    for (const auto &m : modules)
+        addInception(net, m);
+    return net;
+}
+
+Network
+vgg16()
+{
+    Network net("VGGNet");
+    // Weight densities: Han et al. pruned VGG-16 conv layers.
+    // Activation densities: digitized from Fig. 1c.
+    struct V { const char *name; int c, k, wh; double wd, ad; };
+    const V layers[] = {
+        {"conv1_1",   3,  64, 224, 0.58, 1.00},
+        {"conv1_2",  64,  64, 224, 0.22, 0.58},
+        {"conv2_1",  64, 128, 112, 0.34, 0.52},
+        {"conv2_2", 128, 128, 112, 0.36, 0.45},
+        {"conv3_1", 128, 256,  56, 0.53, 0.42},
+        {"conv3_2", 256, 256,  56, 0.24, 0.38},
+        {"conv3_3", 256, 256,  56, 0.42, 0.37},
+        {"conv4_1", 256, 512,  28, 0.32, 0.35},
+        {"conv4_2", 512, 512,  28, 0.27, 0.33},
+        {"conv4_3", 512, 512,  28, 0.34, 0.32},
+        {"conv5_1", 512, 512,  14, 0.35, 0.30},
+        {"conv5_2", 512, 512,  14, 0.29, 0.28},
+        {"conv5_3", 512, 512,  14, 0.36, 0.26},
+    };
+    for (const auto &l : layers) {
+        ConvLayerParams p = conv(l.name, l.c, l.k, l.wh, l.wh, 3, 1,
+                                 1, 1, l.wd, l.ad);
+        // High-resolution natural-image feature maps: zeros cluster
+        // in large featureless regions and channel activity is very
+        // uneven, which is what depresses the paper's measured VGG
+        // utilization (Fig. 9c).
+        p.actSpatialSigma = 1.0;
+        p.actChannelSigma = 0.9;
+        // 2x2/2 max-pooling after each stage.
+        const std::string n = l.name;
+        if (n == "conv1_2" || n == "conv2_2" || n == "conv3_3" ||
+            n == "conv4_3" || n == "conv5_3") {
+            p.poolWindow = 2;
+        }
+        net.addLayer(p);
+    }
+    return net;
+}
+
+std::vector<Network>
+paperNetworks()
+{
+    return {alexNet(), googLeNet(), vgg16()};
+}
+
+Network
+withUniformDensity(const Network &net, double weightDensity,
+                   double activationDensity)
+{
+    Network out(net.name() + "-uniform");
+    for (auto l : net.layers()) {
+        l.weightDensity = weightDensity;
+        l.inputDensity = activationDensity;
+        // The Section VI-A sweep is synthetic: sparsity is i.i.d.,
+        // with no natural-image clustering.
+        l.actSpatialSigma = 0.0;
+        l.actChannelSigma = 0.0;
+        out.addLayer(std::move(l));
+    }
+    return out;
+}
+
+Network
+tinyTestNetwork()
+{
+    Network net("tiny");
+    net.addLayer(conv("t_conv1", 3, 8, 16, 16, 3, 1, 1, 1, 0.6, 0.9));
+    net.addLayer(conv("t_conv2", 8, 16, 16, 16, 3, 2, 1, 1, 0.5, 0.5));
+    net.addLayer(conv("t_conv3", 16, 16, 8, 8, 1, 1, 0, 1, 0.5, 0.45));
+    net.addLayer(conv("t_conv4", 16, 8, 8, 8, 5, 1, 2, 2, 0.4, 0.4));
+    return net;
+}
+
+} // namespace scnn

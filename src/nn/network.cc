@@ -1,0 +1,65 @@
+#include "nn/network.hh"
+
+#include <algorithm>
+
+namespace scnn {
+
+std::vector<ConvLayerParams>
+Network::evalLayers() const
+{
+    std::vector<ConvLayerParams> out;
+    for (const auto &l : layers_)
+        if (l.inEval)
+            out.push_back(l);
+    return out;
+}
+
+size_t
+Network::numEvalLayers() const
+{
+    return static_cast<size_t>(
+        std::count_if(layers_.begin(), layers_.end(),
+                      [](const ConvLayerParams &l) { return l.inEval; }));
+}
+
+uint64_t
+Network::totalMacs(bool evalOnly) const
+{
+    uint64_t total = 0;
+    for (const auto &l : layers_)
+        if (!evalOnly || l.inEval)
+            total += l.macs();
+    return total;
+}
+
+double
+Network::totalIdealMacs(bool evalOnly) const
+{
+    double total = 0;
+    for (const auto &l : layers_)
+        if (!evalOnly || l.inEval)
+            total += l.idealMacs();
+    return total;
+}
+
+uint64_t
+Network::maxLayerWeightBytes() const
+{
+    uint64_t best = 0;
+    for (const auto &l : layers_)
+        best = std::max(best, l.weightCount() * kDataBytes);
+    return best;
+}
+
+uint64_t
+Network::maxLayerActivationBytes() const
+{
+    uint64_t best = 0;
+    for (const auto &l : layers_) {
+        best = std::max(best, l.inputCount() * kDataBytes);
+        best = std::max(best, l.outputCount() * kDataBytes);
+    }
+    return best;
+}
+
+} // namespace scnn

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A network is an ordered list of convolutional layers plus the
+ * aggregate queries the paper's Table I reports (#conv layers, maximum
+ * layer weight/activation footprints, total multiplies).
+ */
+
+#ifndef SCNN_NN_NETWORK_HH
+#define SCNN_NN_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace scnn {
+
+class Network
+{
+  public:
+    Network() = default;
+    explicit Network(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    void
+    addLayer(ConvLayerParams layer)
+    {
+        layer.validate();
+        layers_.push_back(std::move(layer));
+    }
+
+    size_t numLayers() const { return layers_.size(); }
+    const ConvLayerParams &layer(size_t i) const { return layers_.at(i); }
+    const std::vector<ConvLayerParams> &layers() const { return layers_; }
+
+    /** Layers in the paper's evaluation scope (see inEval). */
+    std::vector<ConvLayerParams> evalLayers() const;
+
+    /** Count of evaluation-scope conv layers. */
+    size_t numEvalLayers() const;
+
+    /** Total dense multiplies across all layers / eval layers. */
+    uint64_t totalMacs(bool evalOnly = false) const;
+
+    /** Expected non-zero multiplies under the density profiles. */
+    double totalIdealMacs(bool evalOnly = false) const;
+
+    /** Largest per-layer weight footprint in bytes (2 B/value). */
+    uint64_t maxLayerWeightBytes() const;
+
+    /**
+     * Largest per-layer activation footprint in bytes: max over layers
+     * of max(input, output) at 2 B/value.
+     */
+    uint64_t maxLayerActivationBytes() const;
+
+  private:
+    std::string name_;
+    std::vector<ConvLayerParams> layers_;
+};
+
+} // namespace scnn
+
+#endif // SCNN_NN_NETWORK_HH

@@ -1,0 +1,146 @@
+#include "nn/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/reference.hh"
+
+namespace scnn {
+
+QuantScale
+chooseScale(const float *data, size_t n, int dataBits)
+{
+    SCNN_ASSERT(dataBits >= 2 && dataBits <= 31, "bad data width");
+    float peak = 0.0f;
+    for (size_t i = 0; i < n; ++i)
+        peak = std::max(peak, std::fabs(data[i]));
+    QuantScale s;
+    const double maxCode = static_cast<double>((1 << (dataBits - 1)) - 1);
+    s.scale = peak > 0.0f ? static_cast<double>(peak) / maxCode
+                          : 1.0 / maxCode;
+    return s;
+}
+
+int32_t
+quantize(float v, const QuantScale &s, int dataBits)
+{
+    const int32_t maxCode = (1 << (dataBits - 1)) - 1;
+    const int32_t minCode = -maxCode - 1;
+    const double q = std::nearbyint(static_cast<double>(v) / s.scale);
+    return static_cast<int32_t>(
+        std::clamp(q, static_cast<double>(minCode),
+                   static_cast<double>(maxCode)));
+}
+
+float
+dequantize(int32_t q, const QuantScale &s)
+{
+    return static_cast<float>(q * s.scale);
+}
+
+QuantStats
+quantizedConv(const ConvLayerParams &layer, const Tensor3 &input,
+              const Tensor4 &weights, const QuantConfig &cfg,
+              Tensor3 *out)
+{
+    layer.validate();
+    SCNN_ASSERT(cfg.productShift >= 0 && cfg.productShift < 31,
+                "bad product shift");
+
+    const QuantScale sa =
+        chooseScale(input.data(), input.size(), cfg.dataBits);
+    const QuantScale sw =
+        chooseScale(weights.data(), weights.size(), cfg.dataBits);
+
+    // Quantize operands once.
+    std::vector<int32_t> qa(input.size());
+    for (size_t i = 0; i < input.size(); ++i)
+        qa[i] = quantize(input.data()[i], sa, cfg.dataBits);
+    std::vector<int32_t> qw(weights.size());
+    for (size_t i = 0; i < weights.size(); ++i)
+        qw[i] = quantize(weights.data()[i], sw, cfg.dataBits);
+
+    const int64_t accMax = (1ll << (cfg.accumBits - 1)) - 1;
+    const int64_t accMin = -accMax - 1;
+    // One accumulator LSB corresponds to this real value.
+    const double accLsb =
+        sa.scale * sw.scale * static_cast<double>(1ll << cfg.productShift);
+
+    const int outW = layer.outWidth();
+    const int outH = layer.outHeight();
+    const int cPerGroup = layer.inChannels / layer.groups;
+    const int kPerGroup = layer.outChannels / layer.groups;
+
+    Tensor3 result(layer.outChannels, outW, outH);
+    const Tensor3 reference =
+        referenceConvNoRelu(layer, input, weights);
+
+    QuantStats st;
+    double sqErr = 0.0;
+    double sqRef = 0.0;
+
+    for (int k = 0; k < layer.outChannels; ++k) {
+        const int group = k / kPerGroup;
+        const int cBase = group * cPerGroup;
+        for (int ox = 0; ox < outW; ++ox) {
+            for (int oy = 0; oy < outH; ++oy) {
+                int64_t acc = 0;
+                for (int cl = 0; cl < cPerGroup; ++cl) {
+                    for (int r = 0; r < layer.filterW; ++r) {
+                        const int x =
+                            ox * layer.strideX + r - layer.padX;
+                        if (x < 0 || x >= layer.inWidth)
+                            continue;
+                        for (int s = 0; s < layer.filterH; ++s) {
+                            const int y =
+                                oy * layer.strideY + s - layer.padY;
+                            if (y < 0 || y >= layer.inHeight)
+                                continue;
+                            const int64_t prod =
+                                static_cast<int64_t>(
+                                    qa[input.index(cBase + cl, x,
+                                                   y)]) *
+                                qw[weights.index(k, cl, r, s)];
+                            // Round-to-nearest shift back to operand
+                            // precision.
+                            const int64_t round =
+                                cfg.productShift > 0
+                                    ? (1ll << (cfg.productShift - 1))
+                                    : 0;
+                            acc += (prod + round) >> cfg.productShift;
+                            if (acc > accMax) {
+                                acc = accMax;
+                                ++st.accumSaturations;
+                            } else if (acc < accMin) {
+                                acc = accMin;
+                                ++st.accumSaturations;
+                            }
+                        }
+                    }
+                }
+                double v = static_cast<double>(acc) * accLsb;
+                if (layer.applyRelu)
+                    v = std::max(v, 0.0);
+                double ref =
+                    static_cast<double>(reference.get(k, ox, oy));
+                if (layer.applyRelu)
+                    ref = std::max(ref, 0.0);
+                result.set(k, ox, oy, static_cast<float>(v));
+                const double err = v - ref;
+                st.maxAbsError =
+                    std::max(st.maxAbsError, std::fabs(err));
+                sqErr += err * err;
+                sqRef += ref * ref;
+            }
+        }
+    }
+    const double n = static_cast<double>(result.size());
+    st.rmsError = std::sqrt(sqErr / n);
+    st.referenceRms = std::sqrt(sqRef / n);
+    if (out != nullptr)
+        *out = std::move(result);
+    return st;
+}
+
+} // namespace scnn

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fixed-point datapath model (Table II: 16-bit multipliers, 24-bit
+ * accumulators).
+ *
+ * The simulators carry float values for convenience; this module
+ * models what the real datapath computes: activations and weights
+ * quantized to signed 16-bit fixed point with per-tensor scales,
+ * products accumulated in a 24-bit saturating accumulator (with a
+ * configurable pre-accumulation shift, as hardware uses to fit the
+ * 32-bit products), and outputs requantized.  The quantization study
+ * bench uses it to show that the paper's 16-bit datapath is adequate
+ * for inference-scale convolutions.
+ */
+
+#ifndef SCNN_NN_QUANTIZE_HH
+#define SCNN_NN_QUANTIZE_HH
+
+#include <cstdint>
+
+#include "nn/layer.hh"
+#include "tensor/tensor.hh"
+
+namespace scnn {
+
+/** Parameters of the fixed-point datapath. */
+struct QuantConfig
+{
+    int dataBits = 16;   ///< operand width (Table II)
+    int accumBits = 24;  ///< accumulator width (Table II)
+    /**
+     * Right-shift (round-to-nearest) applied to each product before
+     * accumulation.  The Q1.(dataBits-1) convention shifts by
+     * dataBits-1, which re-aligns the product to operand precision
+     * and leaves the 24-bit accumulator 2^(accumBits-dataBits) = 256x
+     * of headroom over full-scale operands.
+     */
+    int productShift = 15;
+};
+
+/** Result of quantizing a tensor: scale chosen per tensor. */
+struct QuantScale
+{
+    double scale = 1.0;  ///< real value = q * scale
+};
+
+/**
+ * Per-tensor symmetric scale so the maximum |value| maps to the
+ * largest representable code.
+ */
+QuantScale chooseScale(const float *data, size_t n, int dataBits);
+
+/** Quantize one value with the given scale (round-to-nearest,
+ *  saturating). */
+int32_t quantize(float v, const QuantScale &s, int dataBits);
+
+/** Dequantize. */
+float dequantize(int32_t q, const QuantScale &s);
+
+/** Statistics of a fixed-point convolution. */
+struct QuantStats
+{
+    uint64_t accumSaturations = 0; ///< clamped accumulator updates
+    double maxAbsError = 0.0;      ///< vs float reference
+    double rmsError = 0.0;
+    double referenceRms = 0.0;     ///< scale of the float output
+};
+
+/**
+ * Run the layer's convolution entirely in the fixed-point datapath
+ * (quantized operands, shifted products, saturating 24-bit
+ * accumulation), dequantize the result and compare with the float
+ * reference.
+ *
+ * @param layer   layer parameters.
+ * @param input   float activations (will be quantized internally).
+ * @param weights float weights.
+ * @param cfg     datapath widths.
+ * @param out     optional dequantized output.
+ */
+QuantStats quantizedConv(const ConvLayerParams &layer,
+                         const Tensor3 &input, const Tensor4 &weights,
+                         const QuantConfig &cfg,
+                         Tensor3 *out = nullptr);
+
+} // namespace scnn
+
+#endif // SCNN_NN_QUANTIZE_HH

@@ -1,0 +1,119 @@
+#include "nn/reference.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+namespace {
+
+Tensor3
+convImpl(const ConvLayerParams &layer, const Tensor3 &input,
+         const Tensor4 &weights, bool relu)
+{
+    SCNN_ASSERT(input.channels() == layer.inChannels &&
+                input.width() == layer.inWidth &&
+                input.height() == layer.inHeight,
+                "reference conv: input shape mismatch for %s",
+                layer.name.c_str());
+    SCNN_ASSERT(weights.k() == layer.outChannels &&
+                weights.c() == layer.inChannels / layer.groups &&
+                weights.r() == layer.filterW &&
+                weights.s() == layer.filterH,
+                "reference conv: weight shape mismatch for %s",
+                layer.name.c_str());
+
+    const int outW = layer.outWidth();
+    const int outH = layer.outHeight();
+    const int cPerGroup = layer.inChannels / layer.groups;
+    const int kPerGroup = layer.outChannels / layer.groups;
+
+    Tensor3 out(layer.outChannels, outW, outH);
+
+    for (int k = 0; k < layer.outChannels; ++k) {
+        const int group = k / kPerGroup;
+        const int cBase = group * cPerGroup;
+        for (int ox = 0; ox < outW; ++ox) {
+            for (int oy = 0; oy < outH; ++oy) {
+                double acc = 0.0;
+                for (int cl = 0; cl < cPerGroup; ++cl) {
+                    for (int r = 0; r < layer.filterW; ++r) {
+                        const int x =
+                            ox * layer.strideX + r - layer.padX;
+                        if (x < 0 || x >= layer.inWidth)
+                            continue;
+                        for (int s = 0; s < layer.filterH; ++s) {
+                            const int y =
+                                oy * layer.strideY + s - layer.padY;
+                            if (y < 0 || y >= layer.inHeight)
+                                continue;
+                            acc += static_cast<double>(
+                                       input.get(cBase + cl, x, y)) *
+                                   static_cast<double>(
+                                       weights.get(k, cl, r, s));
+                        }
+                    }
+                }
+                float v = static_cast<float>(acc);
+                if (relu)
+                    v = std::max(v, 0.0f);
+                out.set(k, ox, oy, v);
+            }
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+Tensor3
+referenceConv(const ConvLayerParams &layer, const Tensor3 &input,
+              const Tensor4 &weights)
+{
+    return convImpl(layer, input, weights, layer.applyRelu);
+}
+
+Tensor3
+referenceConvNoRelu(const ConvLayerParams &layer, const Tensor3 &input,
+                    const Tensor4 &weights)
+{
+    return convImpl(layer, input, weights, false);
+}
+
+Tensor3
+maxPool(const Tensor3 &input, int window, int stride, int pad)
+{
+    SCNN_ASSERT(window > 0 && stride > 0 && pad >= 0,
+                "bad pooling parameters");
+    const int outW = (input.width() + 2 * pad - window) / stride + 1;
+    const int outH = (input.height() + 2 * pad - window) / stride + 1;
+    SCNN_ASSERT(outW > 0 && outH > 0, "empty pooled plane");
+
+    Tensor3 out(input.channels(), outW, outH);
+    for (int c = 0; c < input.channels(); ++c) {
+        for (int ox = 0; ox < outW; ++ox) {
+            for (int oy = 0; oy < outH; ++oy) {
+                float best = -std::numeric_limits<float>::infinity();
+                bool any = false;
+                for (int r = 0; r < window; ++r) {
+                    const int x = ox * stride + r - pad;
+                    if (x < 0 || x >= input.width())
+                        continue;
+                    for (int s = 0; s < window; ++s) {
+                        const int y = oy * stride + s - pad;
+                        if (y < 0 || y >= input.height())
+                            continue;
+                        best = std::max(best, input.get(c, x, y));
+                        any = true;
+                    }
+                }
+                out.set(c, ox, oy, any ? best : 0.0f);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace scnn

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Functional reference implementations: direct convolution (the
+ * 7-loop nest of Fig. 3 with batch N = 1, extended with stride,
+ * padding and channel groups), ReLU and max-pooling.
+ *
+ * These are the correctness oracle for both accelerator simulators:
+ * every simulated layer's output activations must match the reference
+ * bit-for-bit up to floating-point associativity.
+ */
+
+#ifndef SCNN_NN_REFERENCE_HH
+#define SCNN_NN_REFERENCE_HH
+
+#include "nn/layer.hh"
+#include "tensor/tensor.hh"
+
+namespace scnn {
+
+/**
+ * Direct convolution of input by weights under the layer's geometry.
+ *
+ * @param layer    layer parameters (shapes validated against tensors).
+ * @param input    (C, W, H) activations.
+ * @param weights  (K, C/groups, R, S) filter weights.
+ * @param applyRelu whether to clamp negatives in the returned output
+ *                 (defaults to the layer's setting).
+ * @return (K, outW, outH) output activations.
+ */
+Tensor3 referenceConv(const ConvLayerParams &layer, const Tensor3 &input,
+                      const Tensor4 &weights);
+
+/** As referenceConv but never applies ReLU (raw partial sums). */
+Tensor3 referenceConvNoRelu(const ConvLayerParams &layer,
+                            const Tensor3 &input, const Tensor4 &weights);
+
+/**
+ * Max pooling with a window x window kernel.
+ *
+ * @param input  (C, W, H) activations.
+ * @param window pooling window size.
+ * @param stride pooling stride.
+ * @param pad    symmetric zero padding.
+ */
+Tensor3 maxPool(const Tensor3 &input, int window, int stride, int pad);
+
+} // namespace scnn
+
+#endif // SCNN_NN_REFERENCE_HH

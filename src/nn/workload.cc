@@ -1,0 +1,118 @@
+#include "nn/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace scnn {
+
+Tensor3
+makeActivations(const ConvLayerParams &layer, Rng &rng)
+{
+    Tensor3 t(layer.inChannels, layer.inWidth, layer.inHeight);
+    const double d = layer.inputDensity;
+    const double sigma = layer.actSpatialSigma;
+
+    // Per-channel coarse density field: log-normal gains on a grid of
+    // blocks, normalized to unit mean so the global density stays at
+    // the profile value (up to clamping).  This reproduces the
+    // spatially clustered zeros of real post-ReLU feature maps, which
+    // is what creates per-PE load imbalance.
+    const int blockW = std::max(2, layer.inWidth / 4);
+    const int blockH = std::max(2, layer.inHeight / 4);
+    const int nbx = (layer.inWidth + blockW - 1) / blockW;
+    const int nby = (layer.inHeight + blockH - 1) / blockH;
+    std::vector<double> gain(static_cast<size_t>(nbx) * nby, 1.0);
+
+    // Per-channel gains (strong and nearly-dead channels).
+    std::vector<double> channelGain(
+        static_cast<size_t>(t.channels()), 1.0);
+    const bool modulate = d > 0.0 && d < 1.0 &&
+                          (sigma > 0.0 || layer.actChannelSigma > 0.0);
+    if (modulate && layer.actChannelSigma > 0.0) {
+        for (auto &g : channelGain)
+            g = std::exp(layer.actChannelSigma * rng.normal());
+    }
+
+    // Raw per-(channel, block) densities, then a clamp-aware
+    // renormalization so the realized mean density matches the
+    // profile despite min(1, .) saturation of hot regions.
+    const size_t nBlocks = gain.size();
+    std::vector<double> db(static_cast<size_t>(t.channels()) * nBlocks,
+                           d);
+    if (modulate) {
+        for (int c = 0; c < t.channels(); ++c) {
+            for (size_t b = 0; b < nBlocks; ++b) {
+                const double g =
+                    sigma > 0.0 ? std::exp(sigma * rng.normal()) : 1.0;
+                db[static_cast<size_t>(c) * nBlocks + b] =
+                    d * channelGain[static_cast<size_t>(c)] * g;
+            }
+        }
+        double scale = 1.0;
+        for (int iter = 0; iter < 12; ++iter) {
+            double mean = 0.0;
+            for (double v : db)
+                mean += std::min(1.0, v * scale);
+            mean /= static_cast<double>(db.size());
+            if (mean > 1e-12)
+                scale *= d / mean;
+        }
+        for (auto &v : db)
+            v = std::min(1.0, v * scale);
+    }
+
+    for (int c = 0; c < t.channels(); ++c) {
+        for (int x = 0; x < t.width(); ++x) {
+            for (int y = 0; y < t.height(); ++y) {
+                const size_t b =
+                    static_cast<size_t>(x / blockW) * nby +
+                    (y / blockH);
+                const double p =
+                    db[static_cast<size_t>(c) * nBlocks + b];
+                if (rng.bernoulli(p))
+                    t.set(c, x, y,
+                          static_cast<float>(rng.uniform(0.1, 1.0)));
+            }
+        }
+    }
+    return t;
+}
+
+Tensor4
+makeWeights(const ConvLayerParams &layer, Rng &rng)
+{
+    Tensor4 t(layer.outChannels, layer.inChannels / layer.groups,
+              layer.filterW, layer.filterH);
+    const double d = layer.weightDensity;
+    for (int k = 0; k < t.k(); ++k) {
+        for (int c = 0; c < t.c(); ++c) {
+            for (int r = 0; r < t.r(); ++r) {
+                for (int s = 0; s < t.s(); ++s) {
+                    if (rng.bernoulli(d)) {
+                        const double mag = rng.uniform(0.1, 1.0);
+                        const double sign =
+                            rng.bernoulli(0.5) ? 1.0 : -1.0;
+                        t.at(k, c, r, s) =
+                            static_cast<float>(sign * mag);
+                    }
+                }
+            }
+        }
+    }
+    return t;
+}
+
+LayerWorkload
+makeWorkload(const ConvLayerParams &layer, uint64_t seed)
+{
+    Rng actRng(layer.name + "/activations", seed);
+    Rng wtRng(layer.name + "/weights", seed);
+    LayerWorkload w;
+    w.layer = layer;
+    w.input = makeActivations(layer, actRng);
+    w.weights = makeWeights(layer, wtRng);
+    return w;
+}
+
+} // namespace scnn

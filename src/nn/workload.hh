@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Synthetic sparse workload generation.
+ *
+ * The paper drives its simulator with pruned Caffe weights and
+ * pycaffe-extracted activations; we synthesize tensors with the same
+ * per-layer densities (see model_zoo.hh for provenance).  Non-zero
+ * positions are Bernoulli-sampled per element; activation magnitudes
+ * are positive (layer inputs are post-ReLU), weights are signed.  All
+ * draws are deterministic in (network/layer label, master seed).
+ */
+
+#ifndef SCNN_NN_WORKLOAD_HH
+#define SCNN_NN_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "nn/layer.hh"
+#include "tensor/tensor.hh"
+
+namespace scnn {
+
+/** A layer plus concrete input/weight tensors ready to simulate. */
+struct LayerWorkload
+{
+    ConvLayerParams layer;
+    Tensor3 input;    ///< (C, W, H), density ~ layer.inputDensity
+    Tensor4 weights;  ///< (K, C/groups, R, S), density ~ weightDensity
+};
+
+/**
+ * Generate input activations for a layer at its profile density.
+ * Values are uniform in (0.1, 1] (post-ReLU magnitudes).
+ */
+Tensor3 makeActivations(const ConvLayerParams &layer, Rng &rng);
+
+/**
+ * Generate pruned weights for a layer at its profile density.  Values
+ * are uniform in +-(0.1, 1].
+ */
+Tensor4 makeWeights(const ConvLayerParams &layer, Rng &rng);
+
+/**
+ * Generate the full workload for a layer.  The RNG stream is derived
+ * from (layer name, seed) so per-layer workloads are independent and
+ * stable under reordering.
+ */
+LayerWorkload makeWorkload(const ConvLayerParams &layer, uint64_t seed);
+
+} // namespace scnn
+
+#endif // SCNN_NN_WORKLOAD_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The SCNN PE's banked accumulation unit (Fig. 6): an F*I -> A
+ * arbitrated crossbar scattering products into A accumulator banks,
+ * each fronted by a small queue.
+ *
+ * Each bank retires one read-add-write per cycle.  The multiplier
+ * array issues one Cartesian-product operation per cycle and stalls
+ * only when a bank's queue would overflow (backpressure), so short
+ * bursts of same-bank products are absorbed and only sustained
+ * overload serializes.  The paper sizes A = 2*F*I so the average load
+ * is half a product per bank per cycle, which this model shows to be
+ * amply sufficient ("A = 2*F*I sufficiently reduces accumulator bank
+ * contention").
+ *
+ * The bank hash interleaves consecutive output positions and offsets
+ * output channels by 2*I, so the F x I products of a fully dense
+ * operation (I consecutive positions x F consecutive channels) map to
+ * F x I distinct banks.
+ */
+
+#ifndef SCNN_SCNN_ACCUMULATOR_HH
+#define SCNN_SCNN_ACCUMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace scnn {
+
+class AccumulatorBanks
+{
+  public:
+    /**
+     * @param numBanks      A, the number of accumulator banks.
+     * @param channelStride bank offset between adjacent output
+     *        channels of a group (the PE uses 2*I).
+     * @param queueDepth    per-bank input queue entries.
+     */
+    explicit AccumulatorBanks(int numBanks, int channelStride = 8,
+                              int queueDepth = 4)
+        : numBanks_(numBanks), channelStride_(channelStride),
+          queueDepth_(queueDepth),
+          nextFree_(static_cast<size_t>(numBanks), 0)
+    {
+        SCNN_ASSERT(numBanks > 0, "accumulator needs at least one bank");
+        SCNN_ASSERT(channelStride > 0, "bad channel stride");
+        SCNN_ASSERT(queueDepth > 0, "bad queue depth");
+    }
+
+    int numBanks() const { return numBanks_; }
+    uint64_t now() const { return now_; }
+
+    /** Reset queues and the local clock (new group / new PE pass). */
+    void
+    reset()
+    {
+        std::fill(nextFree_.begin(), nextFree_.end(), 0);
+        now_ = 0;
+    }
+
+    /**
+     * Bank index for a product landing at accumulator-local address
+     * (kLocal, axLocal, ayLocal) within a group footprint whose
+     * y-extent is accH positions.
+     */
+    int
+    bankOf(int kLocal, int axLocal, int ayLocal, int accH) const
+    {
+        const long addr = static_cast<long>(axLocal) * accH + ayLocal +
+                          static_cast<long>(kLocal) * channelStride_;
+        return static_cast<int>(addr % numBanks_);
+    }
+
+    /** Begin a multiplier-array operation at the current cycle. */
+    void
+    beginOp()
+    {
+        opMax_ = 0;
+    }
+
+    /** Route one product of the current operation to a bank. */
+    void
+    route(int bank)
+    {
+        uint64_t &nf = nextFree_[static_cast<size_t>(bank)];
+        nf = (nf > now_ ? nf : now_) + 1;
+        const uint64_t backlog = nf - now_;
+        if (backlog > opMax_)
+            opMax_ = backlog;
+    }
+
+    /**
+     * Finish the operation: the array issues the next operation one
+     * cycle later unless a bank queue is over capacity, in which case
+     * it stalls until the queue drains.
+     *
+     * @return cycles consumed by this operation (>= 1).
+     */
+    uint64_t
+    finishOp()
+    {
+        uint64_t next = now_ + 1;
+        if (opMax_ > static_cast<uint64_t>(queueDepth_)) {
+            // Deepest backlog exceeds the queue: stall until it fits.
+            const uint64_t drainAt =
+                now_ + opMax_ - static_cast<uint64_t>(queueDepth_);
+            if (drainAt > next)
+                next = drainAt;
+        }
+        const uint64_t cost = next - now_;
+        now_ = next;
+        costHist_.sample(static_cast<double>(cost));
+        return cost;
+    }
+
+    /** Histogram of per-op cost (1 = no stall). */
+    const Histogram &costHistogram() const { return costHist_; }
+
+  private:
+    int numBanks_;
+    long channelStride_;
+    int queueDepth_;
+    std::vector<uint64_t> nextFree_;
+    uint64_t now_ = 0;
+    uint64_t opMax_ = 0;
+    Histogram costHist_{1.0, 17.0, 16};
+};
+
+} // namespace scnn
+
+#endif // SCNN_SCNN_ACCUMULATOR_HH

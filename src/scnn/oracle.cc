@@ -1,0 +1,25 @@
+#include "scnn/oracle.hh"
+
+#include <algorithm>
+
+namespace scnn {
+
+uint64_t
+oracleCycles(const LayerResult &scnnResult, const AcceleratorConfig &cfg)
+{
+    const uint64_t mults =
+        static_cast<uint64_t>(std::max(1, cfg.multipliers()));
+    return std::max<uint64_t>(
+        1, (scnnResult.landedProducts + mults - 1) / mults);
+}
+
+double
+oracleCyclesExpected(const ConvLayerParams &layer,
+                     const AcceleratorConfig &cfg)
+{
+    const double mults =
+        static_cast<double>(std::max(1, cfg.multipliers()));
+    return std::max(1.0, layer.idealMacs() / mults);
+}
+
+} // namespace scnn

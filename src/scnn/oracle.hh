@@ -1,0 +1,37 @@
+/**
+ * @file
+ * SCNN(oracle) (Section VI-B): the upper-bound design whose cycle
+ * count is the number of multiplications required for Cartesian
+ * product-based convolution divided by the number of on-chip
+ * multipliers -- i.e. perfect utilization, no fragmentation, no
+ * barriers, no contention.
+ */
+
+#ifndef SCNN_SCNN_ORACLE_HH
+#define SCNN_SCNN_ORACLE_HH
+
+#include <cstdint>
+
+#include "arch/config.hh"
+#include "nn/layer.hh"
+#include "scnn/result.hh"
+
+namespace scnn {
+
+/**
+ * Oracle cycles from a measured SCNN layer result (uses the actual
+ * non-zero product count of the simulated workload).
+ */
+uint64_t oracleCycles(const LayerResult &scnnResult,
+                      const AcceleratorConfig &cfg);
+
+/**
+ * Closed-form oracle cycles from the layer's density profile (expected
+ * non-zero multiplies / multipliers); used by the analytical model.
+ */
+double oracleCyclesExpected(const ConvLayerParams &layer,
+                            const AcceleratorConfig &cfg);
+
+} // namespace scnn
+
+#endif // SCNN_SCNN_ORACLE_HH

@@ -1,0 +1,119 @@
+#include "scnn/pe.hh"
+
+#include <algorithm>
+
+namespace scnn {
+
+ProcessingElement::ProcessingElement(const AcceleratorConfig &cfg,
+                                     const ConvLayerParams &layer,
+                                     TileRect inTile, TileRect outTile,
+                                     TileRect accRect)
+    : cfg_(cfg), layer_(layer), inTile_(inTile), outTile_(outTile),
+      accRect_(accRect), banks_(cfg.pe.accumBanks, 2 * cfg.pe.mulI,
+                                cfg.pe.xbarQueueDepth)
+{
+    const int ox0 = std::max(outTile_.x0, accRect_.x0);
+    const int ox1 = std::min(outTile_.x1, accRect_.x1);
+    const int oy0 = std::max(outTile_.y0, accRect_.y0);
+    const int oy1 = std::min(outTile_.y1, accRect_.y1);
+    overlapArea_ = (ox1 > ox0 && oy1 > oy0)
+        ? static_cast<long>(ox1 - ox0) * (oy1 - oy0)
+        : 0;
+}
+
+PeGroupStats
+ProcessingElement::runGroup(const CompressedActTile &acts,
+                            const std::vector<CompressedWeightBlock>
+                                &wtBlocks,
+                            int k0, std::vector<double> *accum)
+{
+    PeGroupStats st;
+    if (inTile_.empty() || accRect_.empty())
+        return st;
+
+    banks_.reset();
+
+    const int F = cfg_.pe.mulF;
+    const int I = cfg_.pe.mulI;
+    const int padX = layer_.padX;
+    const int padY = layer_.padY;
+    const int strideX = layer_.strideX;
+    const int strideY = layer_.strideY;
+    const int outW = layer_.outWidth();
+    const int outH = layer_.outHeight();
+    const int accH = accRect_.height();
+    const int phases = layer_.geometry().phases();
+
+    // Landing window: with output halos the PE accumulates every
+    // in-plane product of its private inputs (the accumulator rect
+    // covers them by construction); with input halos only products
+    // for its private output tile land -- edge products of the
+    // replicated inputs are computed by a neighbour as well and are
+    // dropped here.
+    const int loX = cfg_.pe.inputHalos ? accRect_.x0 : 0;
+    const int hiX = cfg_.pe.inputHalos ? accRect_.x1
+                                       : layer_.outWidth();
+    const int loY = cfg_.pe.inputHalos ? accRect_.y0 : 0;
+    const int hiY = cfg_.pe.inputHalos ? accRect_.y1
+                                       : layer_.outHeight();
+
+    for (int c = 0; c < acts.numChannels(); ++c) {
+        const CompressedWeightBlock &block = wtBlocks[c];
+        for (int p = 0; p < phases; ++p) {
+            const std::vector<ActEntry> &A = acts.entries(c, p);
+            const std::vector<WtEntry> &W = block.entries(p);
+            if (A.empty() || W.empty())
+                continue;
+
+            st.actEntries += A.size();
+
+            const size_t nA = A.size();
+            const size_t nW = W.size();
+            for (size_t ai = 0; ai < nA; ai += I) {
+                const size_t aEnd = std::min(nA, ai + I);
+                // Weights are re-streamed from the FIFO against each
+                // stationary activation vector (Fig. 4, loop D).
+                st.wtEntries += nW;
+                for (size_t wi = 0; wi < nW; wi += F) {
+                    const size_t wEnd = std::min(nW, wi + F);
+                    banks_.beginOp();
+                    st.products += (aEnd - ai) * (wEnd - wi);
+                    for (size_t a = ai; a < aEnd; ++a) {
+                        const int axp = A[a].x + padX;
+                        const int ayp = A[a].y + padY;
+                        for (size_t w = wi; w < wEnd; ++w) {
+                            // Phases match, so the divisions are
+                            // exact.
+                            const int ox = (axp - W[w].r) / strideX;
+                            const int oy = (ayp - W[w].s) / strideY;
+                            if (ox < loX || ox >= hiX || oy < loY ||
+                                oy >= hiY) {
+                                continue; // edge product: slot burned
+                            }
+                            ++st.landed;
+                            const int bank = banks_.bankOf(
+                                W[w].k - k0, ox - accRect_.x0,
+                                oy - accRect_.y0, accH);
+                            banks_.route(bank);
+                            if (accum) {
+                                const size_t idx =
+                                    (static_cast<size_t>(W[w].k) *
+                                         outW + ox) * outH + oy;
+                                (*accum)[idx] +=
+                                    static_cast<double>(A[a].value) *
+                                    static_cast<double>(W[w].value);
+                            }
+                        }
+                    }
+                    const uint64_t opc = banks_.finishOp();
+                    st.cycles += opc;
+                    st.conflictStalls += opc - 1;
+                    ++st.mulOps;
+                }
+            }
+        }
+    }
+    return st;
+}
+
+} // namespace scnn

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The SCNN processing element (Fig. 6) executing the PT-IS-CP-sparse
+ * dataflow for one output-channel group over its input tile.
+ *
+ * Per multiplier-array operation the PE:
+ *   1. holds a vector of up to I non-zero activations stationary
+ *      (fetched once per (group, channel) pass over the IARAM),
+ *   2. streams vectors of up to F non-zero weights from the FIFO,
+ *   3. computes the full F x I Cartesian product,
+ *   4. computes output coordinates from the operand coordinates and
+ *      scatters the products through the arbitrated crossbar into the
+ *      accumulator banks; same-bank products serialize.
+ *
+ * Products whose output coordinate falls outside the output plane
+ * (activation near the plane border paired with an out-of-range filter
+ * tap) occupy a multiplier slot but are dropped before the crossbar.
+ */
+
+#ifndef SCNN_SCNN_PE_HH
+#define SCNN_SCNN_PE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+#include "nn/layer.hh"
+#include "scnn/accumulator.hh"
+#include "scnn/tiling.hh"
+#include "tensor/sparse_block.hh"
+
+namespace scnn {
+
+/** Timing/work counters from one (PE, output-channel group) pass. */
+struct PeGroupStats
+{
+    uint64_t cycles = 0;        ///< multiplier-array cycles incl stalls
+    uint64_t mulOps = 0;        ///< multiplier-array operations
+    uint64_t products = 0;      ///< non-zero products computed
+    uint64_t landed = 0;        ///< products routed to accumulators
+    uint64_t actEntries = 0;    ///< activation entries fetched (IARAM)
+    uint64_t wtEntries = 0;     ///< weight entries fetched (FIFO)
+    uint64_t conflictStalls = 0;///< extra cycles from bank conflicts
+};
+
+class ProcessingElement
+{
+  public:
+    /**
+     * @param cfg     accelerator configuration (uses pe.mulF/mulI and
+     *                accumulator banking).
+     * @param layer   layer being executed.
+     * @param inTile  this PE's disjoint input tile.
+     * @param outTile this PE's disjoint output tile (OARAM range).
+     * @param accRect full accumulator footprint (outTile plus halo).
+     */
+    ProcessingElement(const AcceleratorConfig &cfg,
+                      const ConvLayerParams &layer, TileRect inTile,
+                      TileRect outTile, TileRect accRect);
+
+    /**
+     * Execute one output-channel group [k0, k0 + kc).
+     *
+     * @param acts     this PE's compressed input activations.
+     * @param wtBlocks per-input-channel compressed weight blocks for
+     *                 this group (shared across PEs).
+     * @param k0       first output channel of the group.
+     * @param accum    optional dense accumulator for functional
+     *                 output, laid out (k * outW + ox) * outH + oy
+     *                 over the full output plane.
+     */
+    PeGroupStats runGroup(const CompressedActTile &acts,
+                          const std::vector<CompressedWeightBlock>
+                              &wtBlocks,
+                          int k0, std::vector<double> *accum);
+
+    const TileRect &inTile() const { return inTile_; }
+    const TileRect &outTile() const { return outTile_; }
+    const TileRect &accRect() const { return accRect_; }
+
+    /** Halo positions per output channel: accumulator area outside
+     *  the PE's own output tile. */
+    long
+    haloAreaPerChannel() const
+    {
+        return accRect_.area() - overlapArea_;
+    }
+
+    /** Own output positions covered by the accumulator footprint. */
+    long overlapArea() const { return overlapArea_; }
+
+    AccumulatorBanks &banks() { return banks_; }
+
+  private:
+    const AcceleratorConfig &cfg_;
+    const ConvLayerParams &layer_;
+    TileRect inTile_;
+    TileRect outTile_;
+    TileRect accRect_;
+    long overlapArea_ = 0;
+    AccumulatorBanks banks_;
+};
+
+} // namespace scnn
+
+#endif // SCNN_SCNN_PE_HH

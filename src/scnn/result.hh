@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Result records shared by the SCNN and DCNN simulators and the
+ * analytical model: per-layer timing/energy/utilization plus the
+ * functional output activations, and network-level aggregates.
+ */
+
+#ifndef SCNN_SCNN_RESULT_HH
+#define SCNN_SCNN_RESULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/energy_model.hh"
+#include "common/stats.hh"
+#include "tensor/tensor.hh"
+
+namespace scnn {
+
+/** Options controlling a single layer simulation. */
+struct RunOptions
+{
+    /**
+     * First layer of a network run: input activations must be
+     * streamed from DRAM (later layers find them on chip unless the
+     * layer is DRAM-tiled).
+     */
+    bool firstLayer = false;
+
+    /**
+     * Compute functional output values.  The SCNN simulator is always
+     * functional (its timing depends on non-zero positions anyway);
+     * the dense simulator can skip the arithmetic for large layers
+     * since its timing is position-independent.
+     */
+    bool functional = true;
+
+    /**
+     * Expected post-ReLU output density, used for OARAM occupancy and
+     * DRAM accounting.  Synthetic workload values make the raw
+     * partial sums ~50% positive regardless of the real network's
+     * statistics, so capacity decisions use the measured profile (the
+     * next layer's input density) instead; network runners wire this
+     * in.  The actually-produced compressed size is still reported in
+     * the stats.
+     */
+    double outputDensityHint = 0.5;
+};
+
+/** Outcome of simulating one convolutional layer. */
+struct LayerResult
+{
+    std::string layerName;
+    std::string archName;
+
+    // --- timing ---
+    uint64_t cycles = 0;          ///< total layer cycles
+    uint64_t computeCycles = 0;   ///< multiplier-array active portion
+    uint64_t drainExposedCycles = 0; ///< PPU drain not hidden by compute
+
+    // --- work ---
+    uint64_t mulArrayOps = 0;     ///< multiplier-array operations
+    uint64_t products = 0;        ///< non-zero products computed
+    uint64_t landedProducts = 0;  ///< products accumulated (in-plane)
+    uint64_t denseMacs = 0;       ///< dense-equivalent multiply count
+
+    /** Useful products per multiplier slot during busy cycles. */
+    double multUtilBusy = 0.0;
+    /** Useful products per multiplier slot over all layer cycles. */
+    double multUtilOverall = 0.0;
+    /** Mean fraction of cycles PEs sit at the inter-PE barrier. */
+    double peIdleFraction = 0.0;
+
+    // --- energy ---
+    EnergyEvents events;
+    double energyPj = 0.0;
+
+    // --- memory system ---
+    uint64_t dramWeightBits = 0;
+    uint64_t dramActBits = 0;
+    bool dramTiled = false;       ///< activations spilled to DRAM
+    int numDramTiles = 1;
+
+    // --- functional output (post-activation) ---
+    Tensor3 output;
+
+    /** Additional named stats (bank conflicts, per-PE spread, ...). */
+    StatSet stats;
+};
+
+/** Outcome of simulating a network layer-by-layer. */
+struct NetworkResult
+{
+    std::string networkName;
+    std::string archName;
+    std::vector<LayerResult> layers;
+
+    uint64_t
+    totalCycles() const
+    {
+        uint64_t total = 0;
+        for (const auto &l : layers)
+            total += l.cycles;
+        return total;
+    }
+
+    double
+    totalEnergyPj() const
+    {
+        double total = 0;
+        for (const auto &l : layers)
+            total += l.energyPj;
+        return total;
+    }
+
+    uint64_t
+    totalProducts() const
+    {
+        uint64_t total = 0;
+        for (const auto &l : layers)
+            total += l.products;
+        return total;
+    }
+};
+
+} // namespace scnn
+
+#endif // SCNN_SCNN_RESULT_HH

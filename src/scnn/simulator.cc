@@ -1,0 +1,426 @@
+#include "scnn/simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.hh"
+#include "nn/reference.hh"
+#include "scnn/pe.hh"
+#include "scnn/tiling.hh"
+
+namespace scnn {
+
+namespace {
+
+constexpr uint64_t kRleElemBits = kDataBits + kRleIndexBits;   // 20
+constexpr uint64_t kBufElemBits = kDataBits + kCoordBits;      // 26
+
+uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * RLE storage accounting of a tensor region restricted to one PE's
+ * output tile, encoded per channel in scan order (the OARAM form).
+ */
+uint64_t
+storedElementsInTile(const Tensor3 &t, const TileRect &tile)
+{
+    if (tile.empty())
+        return 0;
+    uint64_t total = 0;
+    std::vector<float> dense(static_cast<size_t>(tile.area()));
+    for (int c = 0; c < t.channels(); ++c) {
+        size_t i = 0;
+        for (int x = tile.x0; x < tile.x1; ++x)
+            for (int y = tile.y0; y < tile.y1; ++y)
+                dense[i++] = t.get(c, x, y);
+        total += rleEncode(dense).storedElements();
+    }
+    return total;
+}
+
+} // anonymous namespace
+
+ScnnSimulator::ScnnSimulator(AcceleratorConfig cfg, EnergyModel energy)
+    : cfg_(std::move(cfg)), energy_(energy)
+{
+    cfg_.validate();
+    SCNN_ASSERT(cfg_.kind == ArchKind::SCNN,
+                "ScnnSimulator requires an SCNN configuration");
+}
+
+LayerResult
+ScnnSimulator::runLayer(const LayerWorkload &workload,
+                        const RunOptions &opts)
+{
+    const ConvLayerParams &layer = workload.layer;
+    layer.validate();
+
+    const int numPes = cfg_.numPes();
+    const int outW = layer.outWidth();
+    const int outH = layer.outHeight();
+    const int K = layer.outChannels;
+    const int C = layer.inChannels;
+    const ConvGeometry geom = layer.geometry();
+
+    LayerResult res;
+    res.layerName = layer.name;
+    res.archName = cfg_.name;
+    res.denseMacs = layer.macs();
+
+    SpatialTiling tiling(layer, cfg_.peRows, cfg_.peCols);
+    long maxAccArea = tiling.maxAccumArea();
+    if (cfg_.pe.inputHalos) {
+        // Input-halo accumulators cover only the private output tile.
+        maxAccArea = 0;
+        for (int pr = 0; pr < cfg_.peRows; ++pr)
+            for (int pc = 0; pc < cfg_.peCols; ++pc)
+                maxAccArea = std::max(
+                    maxAccArea, tiling.outputTile(pr, pc).area());
+    }
+    const int kc = chooseKc(layer, cfg_, maxAccArea);
+    const int numGroups = static_cast<int>(ceilDiv(K, kc));
+
+    // --- compress each PE's input tile ---
+    std::vector<CompressedActTile> tiles;
+    std::vector<std::unique_ptr<ProcessingElement>> pes;
+    tiles.reserve(numPes);
+    pes.reserve(numPes);
+    uint64_t inStoredTotal = 0;
+    uint64_t maxInBitsPerPe = 0;
+    for (int pr = 0; pr < cfg_.peRows; ++pr) {
+        for (int pc = 0; pc < cfg_.peCols; ++pc) {
+            // Output halos: disjoint input tiles, accumulator covers
+            // the reachable output footprint.  Input halos: the input
+            // footprint of the private output tile is replicated and
+            // the accumulator covers exactly the output tile.
+            const TileRect out = tiling.outputTile(pr, pc);
+            const TileRect in = cfg_.pe.inputHalos
+                ? tiling.inputHaloTile(pr, pc)
+                : tiling.inputTile(pr, pc);
+            const TileRect acc = cfg_.pe.inputHalos
+                ? out
+                : tiling.accumRect(pr, pc);
+            tiles.emplace_back(workload.input, in.x0, in.x1, in.y0,
+                               in.y1, geom);
+            inStoredTotal += tiles.back().storedElements();
+            maxInBitsPerPe =
+                std::max(maxInBitsPerPe, tiles.back().storageBits());
+            pes.push_back(std::make_unique<ProcessingElement>(
+                cfg_, layer, in, out, acc));
+        }
+    }
+
+    // --- dense functional accumulator over the full output plane ---
+    std::vector<double> accum(static_cast<size_t>(K) * outW * outH,
+                              0.0);
+
+    // --- per-PE running state ---
+    std::vector<uint64_t> prevDrain(numPes, 0);
+    std::vector<uint64_t> peGroupTime(numPes, 0);
+    std::vector<uint64_t> busyCycles(numPes, 0);
+
+    uint64_t layerCycles = 0;
+    uint64_t idleCycleSum = 0;
+    uint64_t computeCyclesMax = 0;
+    uint64_t wtDramBits = 0;
+    uint64_t actFetchedEntries = 0;
+    uint64_t wtFetchedEntries = 0;
+    uint64_t haloElemsTotal = 0;
+    uint64_t ppuElemsTotal = 0;
+    uint64_t conflictStallTotal = 0;
+
+    std::vector<CompressedWeightBlock> wtBlocks;
+    for (int g = 0; g < numGroups; ++g) {
+        const int k0 = g * kc;
+        const int k1 = std::min(K, k0 + kc);
+        const int kcActual = k1 - k0;
+
+        wtBlocks.clear();
+        wtBlocks.reserve(C);
+        uint64_t wtBitsGroup = 0;
+        for (int c = 0; c < C; ++c) {
+            wtBlocks.emplace_back(workload.weights, k0, k1, c, C,
+                                  layer.groups, geom);
+            wtBitsGroup += wtBlocks.back().storedElements() *
+                           kRleElemBits;
+        }
+        wtDramBits += wtBitsGroup;
+
+        uint64_t wallCompute = 0;
+        for (int p = 0; p < numPes; ++p) {
+            const PeGroupStats st = pes[p]->runGroup(
+                tiles[p], wtBlocks, k0,
+                opts.functional ? &accum : nullptr);
+
+            res.mulArrayOps += st.mulOps;
+            res.products += st.products;
+            res.landedProducts += st.landed;
+            actFetchedEntries += st.actEntries;
+            wtFetchedEntries += st.wtEntries;
+            conflictStallTotal += st.conflictStalls;
+            busyCycles[p] += st.cycles;
+
+            // Drain of the previous group's accumulator overlaps this
+            // group's compute (double buffering, Section IV).
+            peGroupTime[p] = std::max(st.cycles, prevDrain[p]);
+
+            const uint64_t ownElems = static_cast<uint64_t>(kcActual) *
+                                      pes[p]->overlapArea();
+            const uint64_t haloElems = static_cast<uint64_t>(kcActual) *
+                                       pes[p]->haloAreaPerChannel();
+            prevDrain[p] =
+                ceilDiv(ownElems, cfg_.ppuLanes) +
+                ceilDiv(haloElems, cfg_.haloLanes);
+            haloElemsTotal += haloElems;
+            ppuElemsTotal += ownElems;
+            wallCompute = std::max(wallCompute, peGroupTime[p]);
+        }
+
+        // Weight broadcast for this group must stream from DRAM; the
+        // group cannot complete faster than the broadcast.
+        const uint64_t wall =
+            std::max(wallCompute,
+                     ceilDiv(wtBitsGroup,
+                             static_cast<uint64_t>(cfg_.dramBitsPerCycle)));
+        layerCycles += wall;
+        computeCyclesMax += wallCompute;
+        for (int p = 0; p < numPes; ++p)
+            idleCycleSum += wall - peGroupTime[p];
+    }
+
+    // Final drain of the last group is exposed.
+    uint64_t finalDrain = 0;
+    for (int p = 0; p < numPes; ++p)
+        finalDrain = std::max(finalDrain, prevDrain[p]);
+    layerCycles += finalDrain;
+    res.drainExposedCycles = finalDrain;
+
+    // --- functional output ---
+    Tensor3 out(K, outW, outH);
+    if (opts.functional) {
+        size_t i = 0;
+        for (int k = 0; k < K; ++k) {
+            for (int x = 0; x < outW; ++x) {
+                for (int y = 0; y < outH; ++y, ++i) {
+                    float v = static_cast<float>(accum[i]);
+                    if (layer.applyRelu)
+                        v = std::max(v, 0.0f);
+                    out.set(k, x, y, v);
+                }
+            }
+        }
+    }
+
+    // --- OARAM occupancy and DRAM tiling decision ---
+    // Capacity decisions use the measured density profile (see
+    // RunOptions::outputDensityHint); the actually-produced
+    // compressed size is reported in the stats.
+    uint64_t outStoredActual = 0;
+    if (opts.functional) {
+        for (int pr = 0; pr < cfg_.peRows; ++pr) {
+            for (int pc = 0; pc < cfg_.peCols; ++pc) {
+                outStoredActual += storedElementsInTile(
+                    out, tiling.outputTile(pr, pc));
+            }
+        }
+    }
+
+    long maxOutTileArea = 0;
+    for (int pr = 0; pr < cfg_.peRows; ++pr)
+        for (int pc = 0; pc < cfg_.peCols; ++pc)
+            maxOutTileArea = std::max(
+                maxOutTileArea, tiling.outputTile(pr, pc).area());
+    const double outPlane =
+        static_cast<double>(outW) * static_cast<double>(outH);
+    const uint64_t outStoredTotal = static_cast<uint64_t>(
+        expectedRleStored(static_cast<double>(layer.outputCount()),
+                          opts.outputDensityHint));
+    // Worst-PE estimate: largest tile share plus a clustering margin.
+    const double worstShare =
+        outPlane > 0 ? static_cast<double>(maxOutTileArea) / outPlane
+                     : 0.0;
+    const uint64_t maxOutBitsPerPe = static_cast<uint64_t>(
+        1.15 * expectedRleStored(static_cast<double>(
+                                     layer.outputCount()) * worstShare,
+                                 opts.outputDensityHint) *
+        kRleElemBits);
+
+    const DramTilingDecision dramDec =
+        decideDramTiling(cfg_, maxInBitsPerPe, maxOutBitsPerPe);
+    res.dramTiled = dramDec.tiled;
+    res.numDramTiles = dramDec.numTiles;
+
+    uint64_t dramActBits = 0;
+    if (dramDec.tiled) {
+        // Activations stream to/from DRAM per temporal tile; weights
+        // are re-broadcast for each tile.  DRAM latency overlaps
+        // compute (Section IV), so only a bandwidth bound applies.
+        dramActBits = (inStoredTotal + outStoredTotal) * kRleElemBits;
+        wtDramBits *= static_cast<uint64_t>(dramDec.numTiles);
+    }
+    if (opts.firstLayer)
+        dramActBits += inStoredTotal * kRleElemBits;
+
+    const uint64_t dramBits = wtDramBits + dramActBits;
+    layerCycles = std::max(
+        layerCycles,
+        ceilDiv(dramBits, static_cast<uint64_t>(cfg_.dramBitsPerCycle)));
+
+    res.cycles = layerCycles;
+    res.computeCycles = computeCyclesMax;
+    res.dramWeightBits = wtDramBits;
+    res.dramActBits = dramActBits;
+    res.output = std::move(out);
+
+    // --- utilization ---
+    uint64_t busyTotal = 0;
+    for (int p = 0; p < numPes; ++p)
+        busyTotal += busyCycles[p];
+    const double slotsBusy = static_cast<double>(busyTotal) *
+                             cfg_.pe.mulF * cfg_.pe.mulI;
+    res.multUtilBusy =
+        slotsBusy > 0 ? static_cast<double>(res.products) / slotsBusy
+                      : 0.0;
+    const double slotsAll = static_cast<double>(layerCycles) *
+                            cfg_.multipliers();
+    res.multUtilOverall =
+        slotsAll > 0 ? static_cast<double>(res.products) / slotsAll
+                     : 0.0;
+    res.peIdleFraction =
+        layerCycles > 0
+            ? static_cast<double>(idleCycleSum) /
+                  (static_cast<double>(numPes) *
+                   static_cast<double>(layerCycles))
+            : 0.0;
+
+    // --- energy events ---
+    EnergyEvents &ev = res.events;
+    ev.mults = static_cast<double>(res.products);
+    ev.coordComputes = static_cast<double>(res.products);
+    ev.xbarTransfers = static_cast<double>(res.landedProducts);
+    // Accumulation plus the PPU's drain pass, which reads every
+    // (dense) accumulator slot of the group footprint regardless of
+    // how sparse the inputs were.
+    ev.accBankAccesses = static_cast<double>(res.landedProducts) +
+                         static_cast<double>(ppuElemsTotal) +
+                         static_cast<double>(haloElemsTotal);
+    // IARAM streams are re-read once per output-channel group.
+    uint64_t iaramBits = 0;
+    for (const auto &t : tiles)
+        iaramBits += t.storageBits();
+    ev.iaramReadBits =
+        static_cast<double>(iaramBits) * static_cast<double>(numGroups);
+    ev.wfifoReadBits =
+        static_cast<double>(wtFetchedEntries) * kBufElemBits;
+    ev.oaramWriteBits =
+        static_cast<double>(outStoredTotal) * kRleElemBits;
+    ev.haloBits = static_cast<double>(haloElemsTotal) * 24.0;
+    ev.adds = static_cast<double>(haloElemsTotal); // PPU halo merges
+    ev.ppuElements = static_cast<double>(ppuElemsTotal);
+    ev.dramBits = static_cast<double>(dramBits);
+    res.energyPj = energy_.total(ev, cfg_);
+
+    // --- extra stats ---
+    res.stats.set("kc", kc);
+    res.stats.set("num_groups", numGroups);
+    res.stats.set("conflict_stall_cycles",
+                  static_cast<double>(conflictStallTotal));
+    res.stats.set("act_entries_fetched",
+                  static_cast<double>(actFetchedEntries));
+    res.stats.set("wt_entries_fetched",
+                  static_cast<double>(wtFetchedEntries));
+    res.stats.set("in_stored_elements",
+                  static_cast<double>(inStoredTotal));
+    res.stats.set("out_stored_elements",
+                  static_cast<double>(outStoredTotal));
+    res.stats.set("out_stored_elements_actual",
+                  static_cast<double>(outStoredActual));
+    res.stats.set("max_in_bits_per_pe",
+                  static_cast<double>(maxInBitsPerPe));
+    res.stats.set("max_out_bits_per_pe",
+                  static_cast<double>(maxOutBitsPerPe));
+    res.stats.set("final_drain_cycles", static_cast<double>(finalDrain));
+    res.stats.set("idle_cycle_sum", static_cast<double>(idleCycleSum));
+    if (opts.functional)
+        res.stats.set("output_density", res.output.density());
+    return res;
+}
+
+NetworkResult
+ScnnSimulator::runNetwork(const Network &net, uint64_t seed,
+                          bool evalOnly)
+{
+    NetworkResult nr;
+    nr.networkName = net.name();
+    nr.archName = cfg_.name;
+    std::vector<ConvLayerParams> layers;
+    for (const auto &l : net.layers())
+        if (!evalOnly || l.inEval)
+            layers.push_back(l);
+
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const LayerWorkload w = makeWorkload(layers[i], seed);
+        RunOptions opts;
+        opts.firstLayer = (i == 0);
+        opts.outputDensityHint =
+            (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
+        nr.layers.push_back(runLayer(w, opts));
+    }
+    return nr;
+}
+
+NetworkResult
+ScnnSimulator::runNetworkChained(const Network &net, uint64_t seed)
+{
+    NetworkResult nr;
+    nr.networkName = net.name() + "-chained";
+    nr.archName = cfg_.name;
+
+    const auto &layers = net.layers();
+    SCNN_ASSERT(!layers.empty(), "empty network");
+
+    Rng actRng(layers.front().name + "/activations", seed);
+    Tensor3 act = makeActivations(layers.front(), actRng);
+
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const ConvLayerParams &layer = layers[i];
+        if (act.channels() != layer.inChannels ||
+            act.width() != layer.inWidth ||
+            act.height() != layer.inHeight) {
+            fatal("chained execution: layer %s expects (%d,%d,%d) "
+                  "input but the previous stage produced (%d,%d,%d); "
+                  "chained mode requires a sequential topology",
+                  layer.name.c_str(), layer.inChannels, layer.inWidth,
+                  layer.inHeight, act.channels(), act.width(),
+                  act.height());
+        }
+
+        Rng wtRng(layer.name + "/weights", seed);
+        LayerWorkload w;
+        w.layer = layer;
+        w.input = std::move(act);
+        w.weights = makeWeights(layer, wtRng);
+
+        RunOptions opts;
+        opts.firstLayer = (i == 0);
+        opts.outputDensityHint =
+            (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
+        LayerResult res = runLayer(w, opts);
+
+        act = res.output;
+        if (layer.poolWindow > 0) {
+            act = maxPool(act, layer.poolWindow, layer.poolStride,
+                          layer.poolPad);
+        }
+        res.stats.set("chained_input_density", w.input.density());
+        nr.layers.push_back(std::move(res));
+    }
+    return nr;
+}
+
+} // namespace scnn

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cycle-level simulator of the complete SCNN accelerator (Section IV,
+ * Fig. 5): an array of PEs executing PT-IS-CP-sparse, a layer
+ * sequencer walking output-channel groups with a global inter-PE
+ * barrier at group boundaries, double-buffered accumulator drain
+ * through the PPU (halo exchange, ReLU, recompression into OARAM),
+ * compressed weight broadcast from DRAM, and the DRAM tiling path for
+ * layers whose activations exceed on-chip RAM.
+ *
+ * The simulator is always functional: output activations are computed
+ * and can be checked against the reference convolution, which
+ * validates the coordinate computation, halo handling and dataflow
+ * end-to-end.
+ */
+
+#ifndef SCNN_SCNN_SIMULATOR_HH
+#define SCNN_SCNN_SIMULATOR_HH
+
+#include "arch/config.hh"
+#include "arch/energy_model.hh"
+#include "nn/network.hh"
+#include "nn/workload.hh"
+#include "scnn/result.hh"
+
+namespace scnn {
+
+class ScnnSimulator
+{
+  public:
+    explicit ScnnSimulator(AcceleratorConfig cfg = scnnConfig(),
+                           EnergyModel energy = EnergyModel());
+
+    /** Simulate one layer on a concrete workload. */
+    LayerResult runLayer(const LayerWorkload &workload,
+                         const RunOptions &opts = RunOptions());
+
+    /**
+     * Simulate every layer of a network on synthetic workloads drawn
+     * at the per-layer profile densities.
+     *
+     * @param net      the network.
+     * @param seed     master seed for workload synthesis.
+     * @param evalOnly restrict to the paper's evaluation scope.
+     */
+    NetworkResult runNetwork(const Network &net, uint64_t seed,
+                             bool evalOnly = true);
+
+    /**
+     * Chained whole-network execution: each layer consumes the
+     * previous layer's actual simulated output (with the declared
+     * max-pooling between stages), so activation sparsity emerges
+     * from the computation instead of being drawn from the profile.
+     * Requires a sequential topology (AlexNet/VGG-style; GoogLeNet's
+     * inception DAG is rejected with fatal()).  Per-layer results
+     * carry an "output_density" stat with the emergent density.
+     */
+    NetworkResult runNetworkChained(const Network &net, uint64_t seed);
+
+    const AcceleratorConfig &config() const { return cfg_; }
+    const EnergyModel &energyModel() const { return energy_; }
+
+  private:
+    AcceleratorConfig cfg_;
+    EnergyModel energy_;
+};
+
+} // namespace scnn
+
+#endif // SCNN_SCNN_SIMULATOR_HH

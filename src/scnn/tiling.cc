@@ -1,0 +1,178 @@
+#include "scnn/tiling.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+std::vector<int>
+partitionBounds(int n, int parts)
+{
+    SCNN_ASSERT(n >= 0 && parts > 0, "bad partition (%d into %d)", n,
+                parts);
+    std::vector<int> bounds(static_cast<size_t>(parts) + 1);
+    for (int i = 0; i <= parts; ++i) {
+        bounds[static_cast<size_t>(i)] =
+            static_cast<int>((static_cast<long>(n) * i) / parts);
+    }
+    return bounds;
+}
+
+SpatialTiling::SpatialTiling(const ConvLayerParams &layer, int peRows,
+                             int peCols)
+    : layer_(layer), peRows_(peRows), peCols_(peCols)
+{
+    SCNN_ASSERT(peRows > 0 && peCols > 0, "empty PE grid");
+    xBounds_ = partitionBounds(layer.inWidth, peRows);
+    yBounds_ = partitionBounds(layer.inHeight, peCols);
+    oxBounds_ = partitionBounds(layer.outWidth(), peRows);
+    oyBounds_ = partitionBounds(layer.outHeight(), peCols);
+}
+
+TileRect
+SpatialTiling::inputTile(int pr, int pc) const
+{
+    return {xBounds_[pr], xBounds_[pr + 1], yBounds_[pc],
+            yBounds_[pc + 1]};
+}
+
+TileRect
+SpatialTiling::outputTile(int pr, int pc) const
+{
+    return {oxBounds_[pr], oxBounds_[pr + 1], oyBounds_[pc],
+            oyBounds_[pc + 1]};
+}
+
+TileRect
+SpatialTiling::accumRect(int pr, int pc) const
+{
+    const TileRect in = inputTile(pr, pc);
+    if (in.empty())
+        return {0, 0, 0, 0};
+
+    // An input at x contributes to outputs ox = (x + padX - r)/strideX
+    // for r in [0, R).  The smallest reachable ox comes from the
+    // largest r at the smallest x; the largest from r = 0 at the
+    // largest x.  Clamp to the output plane.
+    auto floorDiv = [](int a, int b) {
+        return a >= 0 ? a / b : -((-a + b - 1) / b);
+    };
+    auto ceilDiv = [](int a, int b) {
+        return a >= 0 ? (a + b - 1) / b : -((-a) / b);
+    };
+
+    const int oxLo = ceilDiv(in.x0 + layer_.padX - (layer_.filterW - 1),
+                             layer_.strideX);
+    const int oxHi =
+        floorDiv(in.x1 - 1 + layer_.padX, layer_.strideX) + 1;
+    const int oyLo = ceilDiv(in.y0 + layer_.padY - (layer_.filterH - 1),
+                             layer_.strideY);
+    const int oyHi =
+        floorDiv(in.y1 - 1 + layer_.padY, layer_.strideY) + 1;
+
+    TileRect acc;
+    acc.x0 = std::clamp(oxLo, 0, layer_.outWidth());
+    acc.x1 = std::clamp(oxHi, 0, layer_.outWidth());
+    acc.y0 = std::clamp(oyLo, 0, layer_.outHeight());
+    acc.y1 = std::clamp(oyHi, 0, layer_.outHeight());
+    if (acc.empty())
+        return {0, 0, 0, 0};
+    return acc;
+}
+
+TileRect
+SpatialTiling::inputHaloTile(int pr, int pc) const
+{
+    const TileRect out = outputTile(pr, pc);
+    if (out.empty())
+        return {0, 0, 0, 0};
+    TileRect in;
+    in.x0 = std::max(0, out.x0 * layer_.strideX - layer_.padX);
+    in.x1 = std::min(layer_.inWidth,
+                     (out.x1 - 1) * layer_.strideX - layer_.padX +
+                         layer_.filterW);
+    in.y0 = std::max(0, out.y0 * layer_.strideY - layer_.padY);
+    in.y1 = std::min(layer_.inHeight,
+                     (out.y1 - 1) * layer_.strideY - layer_.padY +
+                         layer_.filterH);
+    if (in.empty())
+        return {0, 0, 0, 0};
+    return in;
+}
+
+long
+SpatialTiling::maxAccumArea() const
+{
+    long best = 0;
+    for (int pr = 0; pr < peRows_; ++pr)
+        for (int pc = 0; pc < peCols_; ++pc)
+            best = std::max(best, accumRect(pr, pc).area());
+    return best;
+}
+
+long
+SpatialTiling::maxInputTileArea() const
+{
+    long best = 0;
+    for (int pr = 0; pr < peRows_; ++pr)
+        for (int pc = 0; pc < peCols_; ++pc)
+            best = std::max(best, inputTile(pr, pc).area());
+    return best;
+}
+
+int
+chooseKc(const ConvLayerParams &layer, const AcceleratorConfig &cfg,
+         long maxAccumArea)
+{
+    const long capacity = static_cast<long>(cfg.pe.accumBanks) *
+                          cfg.pe.accumEntriesPerBank;
+    SCNN_ASSERT(capacity > 0, "accumulator has no entries");
+
+    if (maxAccumArea <= 0)
+        return 1;
+
+    const int cap = cfg.pe.kcCap > 0 ? cfg.pe.kcCap
+                                     : cfg.pe.accumEntriesPerBank;
+    int kc = 1;
+    while (kc * 2 <= layer.outChannels &&
+           static_cast<long>(kc) * 2 * maxAccumArea <= capacity &&
+           kc * 2 <= cap) {
+        kc *= 2;
+    }
+    if (static_cast<long>(kc) * maxAccumArea > capacity) {
+        warn("layer %s: accumulator footprint %ld exceeds capacity %ld "
+             "even at Kc=1; modelling with Kc=1",
+             layer.name.c_str(), maxAccumArea, capacity);
+    }
+    return kc;
+}
+
+DramTilingDecision
+decideDramTiling(const AcceleratorConfig &cfg,
+                 uint64_t inputBitsPerPeMax, uint64_t outputBitsPerPeMax)
+{
+    DramTilingDecision d;
+    d.inputBitsPerPeMax = inputBitsPerPeMax;
+    d.outputBitsPerPeMax = outputBitsPerPeMax;
+
+    const uint64_t iaramBits =
+        static_cast<uint64_t>(cfg.pe.iaramBytes) * 8;
+    const uint64_t oaramBits =
+        static_cast<uint64_t>(cfg.pe.oaramBytes) * 8;
+
+    uint64_t tiles = 1;
+    if (inputBitsPerPeMax > iaramBits) {
+        tiles = std::max(tiles,
+                         (inputBitsPerPeMax + iaramBits - 1) / iaramBits);
+    }
+    if (outputBitsPerPeMax > oaramBits) {
+        tiles = std::max(tiles,
+                         (outputBitsPerPeMax + oaramBits - 1) / oaramBits);
+    }
+    d.tiled = tiles > 1;
+    d.numTiles = static_cast<int>(tiles);
+    return d;
+}
+
+} // namespace scnn

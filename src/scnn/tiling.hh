@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Spatial tiling of activation planes across the PE array, selection
+ * of the output-channel group size Kc, and the DRAM tiling decision
+ * for layers whose activations exceed on-chip RAM (Sections III-A,
+ * IV, VI-D).
+ */
+
+#ifndef SCNN_SCNN_TILING_HH
+#define SCNN_SCNN_TILING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+#include "nn/layer.hh"
+
+namespace scnn {
+
+/** Half-open rectangle [x0,x1) x [y0,y1). */
+struct TileRect
+{
+    int x0 = 0;
+    int x1 = 0;
+    int y0 = 0;
+    int y1 = 0;
+
+    int width() const { return x1 - x0; }
+    int height() const { return y1 - y0; }
+    long area() const { return static_cast<long>(width()) * height(); }
+    bool empty() const { return width() <= 0 || height() <= 0; }
+};
+
+/**
+ * Partition [0, n) into `parts` nearly equal ranges.
+ *
+ * @return parts+1 boundaries; range i is [b[i], b[i+1]).  When
+ *         n < parts the trailing ranges are empty.
+ */
+std::vector<int> partitionBounds(int n, int parts);
+
+/**
+ * The PlanarTiled decomposition for one layer: each PE (pr, pc) owns a
+ * disjoint input tile (halo-free: inputs are strictly partitioned,
+ * outputs use halos per Section III-A) and a disjoint output tile of
+ * the same grid structure.
+ *
+ * The accumulator rectangle of a PE is the full output footprint its
+ * input tile can touch: for stride-1 convolution a (Wt+R-1) x
+ * (Ht+S-1) region (clamped to the output plane).  The halo is the
+ * accumulator region outside the PE's own output tile.
+ */
+class SpatialTiling
+{
+  public:
+    SpatialTiling(const ConvLayerParams &layer, int peRows, int peCols);
+
+    int peRows() const { return peRows_; }
+    int peCols() const { return peCols_; }
+
+    TileRect inputTile(int pr, int pc) const;
+    TileRect outputTile(int pr, int pc) const;
+
+    /** Output-plane footprint reachable from the PE's input tile. */
+    TileRect accumRect(int pr, int pc) const;
+
+    /**
+     * Input-plane footprint needed to compute the PE's output tile
+     * (the input-halo alternative of Section III-A: inputs replicated
+     * across neighbouring PEs, outputs strictly private).
+     */
+    TileRect inputHaloTile(int pr, int pc) const;
+
+    /** Largest accumulator footprint across all PEs (for Kc). */
+    long maxAccumArea() const;
+
+    /** Largest input tile area across PEs. */
+    long maxInputTileArea() const;
+
+  private:
+    const ConvLayerParams &layer_;
+    int peRows_;
+    int peCols_;
+    std::vector<int> xBounds_;
+    std::vector<int> yBounds_;
+    std::vector<int> oxBounds_;
+    std::vector<int> oyBounds_;
+};
+
+/**
+ * Choose the output-channel group size Kc (Section III-A): the
+ * largest power of two such that a group's accumulator footprint
+ * Kc * maxAccumArea fits in the PE's A x E accumulator entries, capped
+ * at the per-bank entry count (so a bank can hold a full channel
+ * group for each output position hashed to it) and clamped to [1, K].
+ *
+ * The paper does not publish its exact sizing rule; this heuristic
+ * reproduces its qualitative behaviour (small Kc for large tiles,
+ * e.g. Kc = 1 for VGG conv1; Kc saturating for the tiny late-network
+ * tiles).  See EXPERIMENTS.md for the divergence note.
+ */
+int chooseKc(const ConvLayerParams &layer, const AcceleratorConfig &cfg,
+             long maxAccumArea);
+
+/** Result of the on-chip capacity check for a layer. */
+struct DramTilingDecision
+{
+    bool tiled = false;      ///< activations must spill to DRAM
+    int numTiles = 1;        ///< number of temporal passes
+    uint64_t inputBitsPerPeMax = 0;  ///< worst-PE compressed input bits
+    uint64_t outputBitsPerPeMax = 0; ///< worst-PE compressed output bits
+};
+
+/**
+ * Decide whether a layer's compressed activations fit in the per-PE
+ * IARAM/OARAM (SCNN) and, if not, how many temporal tiles are needed
+ * (Section VI-D).
+ *
+ * @param inputBitsPerPeMax  worst-case per-PE compressed input bits.
+ * @param outputBitsPerPeMax worst-case per-PE compressed output bits.
+ */
+DramTilingDecision decideDramTiling(const AcceleratorConfig &cfg,
+                                    uint64_t inputBitsPerPeMax,
+                                    uint64_t outputBitsPerPeMax);
+
+} // namespace scnn
+
+#endif // SCNN_SCNN_TILING_HH

@@ -1,0 +1,85 @@
+#include "tensor/rle.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+double
+expectedRleStored(double n, double d)
+{
+    if (n <= 0.0)
+        return 0.0;
+    if (d <= 1e-9)
+        return n / 16.0;
+    if (d >= 1.0)
+        return n;
+    const double q16 = std::pow(1.0 - d, 16);
+    const double placeholders = n * d * q16 / (1.0 - q16);
+    return std::min(n, n * d + placeholders);
+}
+
+size_t
+RleStream::placeholders() const
+{
+    size_t n = 0;
+    for (float v : values)
+        if (v == 0.0f)
+            ++n;
+    return n;
+}
+
+RleStream
+rleEncode(std::span<const float> dense, int maxRun)
+{
+    SCNN_ASSERT(maxRun >= 0 && maxRun <= 255, "bad maxRun %d", maxRun);
+
+    RleStream out;
+    out.decodedLength = dense.size();
+
+    int run = 0;
+    for (float v : dense) {
+        if (v == 0.0f) {
+            if (run == maxRun) {
+                // Zero-value placeholder: consumes this position and
+                // resets the run counter.
+                out.values.push_back(0.0f);
+                out.zeroRuns.push_back(static_cast<uint8_t>(run));
+                run = 0;
+            } else {
+                ++run;
+            }
+        } else {
+            out.values.push_back(v);
+            out.zeroRuns.push_back(static_cast<uint8_t>(run));
+            run = 0;
+        }
+    }
+    // Trailing zeros need no storage: the decoder pads to the expected
+    // length.
+    return out;
+}
+
+std::vector<float>
+rleDecode(const RleStream &stream, size_t n)
+{
+    std::vector<float> dense;
+    dense.reserve(n);
+    SCNN_ASSERT(stream.values.size() == stream.zeroRuns.size(),
+                "corrupt RLE stream");
+    for (size_t i = 0; i < stream.values.size(); ++i) {
+        for (uint8_t z = 0; z < stream.zeroRuns[i]; ++z)
+            dense.push_back(0.0f);
+        dense.push_back(stream.values[i]);
+    }
+    if (dense.size() > n) {
+        fatal("RLE stream decodes to %zu elements, expected at most %zu",
+              dense.size(), n);
+    }
+    dense.resize(n, 0.0f);
+    return dense;
+}
+
+} // namespace scnn

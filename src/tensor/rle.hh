@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The paper's compressed-sparse run-length encoding (Section IV).
+ *
+ * "SCNN uses a simple compressed-sparse encoding approach based on
+ *  run-length encoding scheme.  The index vector encodes the number of
+ *  zeros between each element in the compressed-sparse data vector.
+ *  Four bits per index allows for up to 15 zeros to appear between any
+ *  two non-zero elements.  Non-zero elements that are further apart can
+ *  have a zero-value placeholder."
+ *
+ * Each stored element therefore carries a 4-bit zero-run index; runs
+ * longer than 15 are broken by zero-valued placeholder elements that
+ * occupy a data slot.  The codec below is exact and reversible given
+ * the decoded length, and is the single source of truth for compressed
+ * size accounting (DRAM traffic, IARAM/OARAM occupancy, tiling
+ * decisions).
+ */
+
+#ifndef SCNN_TENSOR_RLE_HH
+#define SCNN_TENSOR_RLE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace scnn {
+
+/** A run-length compressed 1-D block. */
+struct RleStream
+{
+    /** Stored data elements: non-zeros plus zero placeholders. */
+    std::vector<float> values;
+
+    /**
+     * Per-element zero-run: number of zeros preceding values[i] in the
+     * dense stream (0..maxRun).
+     */
+    std::vector<uint8_t> zeroRuns;
+
+    /** Length of the dense stream this block encodes. */
+    size_t decodedLength = 0;
+
+    /** Number of stored elements (non-zeros + placeholders). */
+    size_t storedElements() const { return values.size(); }
+
+    /** Number of placeholder (zero-valued) stored elements. */
+    size_t placeholders() const;
+
+    /**
+     * Bits occupied in a buffer that stores dataBits of value plus
+     * indexBits of run-length index per stored element.
+     */
+    uint64_t
+    bits(int dataBits, int indexBits) const
+    {
+        return static_cast<uint64_t>(values.size()) *
+               static_cast<uint64_t>(dataBits + indexBits);
+    }
+};
+
+/**
+ * Encode a dense stream.
+ *
+ * @param dense  the dense values.
+ * @param maxRun longest zero run expressible in one index (15 for the
+ *               paper's 4-bit indices).
+ * @return the compressed stream.
+ */
+RleStream rleEncode(std::span<const float> dense, int maxRun = 15);
+
+/**
+ * Decode a stream back to dense form.
+ *
+ * @param stream the compressed block.
+ * @param n      expected dense length; fatal() if the stream overruns
+ *               it.  Trailing zeros are reconstructed.
+ */
+std::vector<float> rleDecode(const RleStream &stream, size_t n);
+
+/**
+ * Expected stored elements for a Bernoulli-sparse stream of length n
+ * at density d: non-zeros plus zero placeholders.  Zero runs are
+ * geometric; a run of length L needs floor(L/16) placeholders, giving
+ * n * d * (1-d)^16 / (1 - (1-d)^16) expected placeholders, tending to
+ * n/16 for an all-zero stream.
+ */
+double expectedRleStored(double n, double d);
+
+} // namespace scnn
+
+#endif // SCNN_TENSOR_RLE_HH

@@ -1,0 +1,162 @@
+#include "tensor/sparse_block.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+namespace {
+
+/**
+ * RLE-account a scan-order substream: given the dense values of one
+ * (channel, phase) substream, count stored elements (non-zeros plus
+ * placeholders for zero runs longer than 15).
+ */
+uint64_t
+accountStream(const std::vector<float> &dense)
+{
+    const RleStream s = rleEncode(dense);
+    return s.storedElements();
+}
+
+} // anonymous namespace
+
+CompressedActTile::CompressedActTile(const Tensor3 &acts, int x0, int x1,
+                                     int y0, int y1,
+                                     const ConvGeometry &geom)
+    : channels_(acts.channels()), phases_(geom.phases()),
+      x0_(x0), x1_(x1), y0_(y0), y1_(y1)
+{
+    SCNN_ASSERT(x0 >= 0 && x1 <= acts.width() && y0 >= 0 &&
+                y1 <= acts.height() && x0 <= x1 && y0 <= y1,
+                "bad tile rectangle [%d,%d)x[%d,%d)", x0, x1, y0, y1);
+
+    lists_.resize(static_cast<size_t>(channels_) * phases_);
+    stored_.assign(channels_, 0);
+
+    // Scratch dense substreams, one per phase, reused across channels.
+    std::vector<std::vector<float>> substream(phases_);
+
+    for (int c = 0; c < channels_; ++c) {
+        for (auto &v : substream)
+            v.clear();
+        for (int x = x0; x < x1; ++x) {
+            for (int y = y0; y < y1; ++y) {
+                const float v = acts.get(c, x, y);
+                const int phase = geom.actPhase(x, y);
+                substream[phase].push_back(v);
+                if (v != 0.0f) {
+                    lists_[static_cast<size_t>(c) * phases_ + phase]
+                        .push_back({v, static_cast<int16_t>(x),
+                                    static_cast<int16_t>(y)});
+                    ++nonZeros_;
+                }
+            }
+        }
+        uint64_t stored = 0;
+        for (const auto &sub : substream)
+            stored += accountStream(sub);
+        stored_[c] = stored;
+        storedTotal_ += stored;
+        denseElements_ += static_cast<uint64_t>(x1 - x0) *
+                          static_cast<uint64_t>(y1 - y0);
+    }
+}
+
+uint64_t
+CompressedActTile::channelNonZeros(int c) const
+{
+    uint64_t n = 0;
+    for (int p = 0; p < phases_; ++p)
+        n += entries(c, p).size();
+    return n;
+}
+
+CompressedWeightBlock::CompressedWeightBlock(const Tensor4 &weights,
+                                             int k0, int k1, int c,
+                                             int totalC, int convGroups,
+                                             const ConvGeometry &geom)
+    : phases_(geom.phases())
+{
+    const int K = weights.k();
+    const int cPerGroup = totalC / convGroups;
+    const int kPerGroup = K / convGroups;
+    SCNN_ASSERT(weights.c() == cPerGroup,
+                "weight tensor channel dim %d != C/groups %d",
+                weights.c(), cPerGroup);
+    SCNN_ASSERT(k0 >= 0 && k1 <= K && k0 <= k1, "bad k range [%d,%d)",
+                k0, k1);
+    SCNN_ASSERT(c >= 0 && c < totalC, "bad channel %d", c);
+
+    lists_.resize(phases_);
+
+    const int myConvGroup = c / cPerGroup;
+    const int cLocal = c % cPerGroup;
+
+    std::vector<std::vector<float>> substream(phases_);
+
+    // Scan order is (r, s, k) with the output channel innermost: a
+    // vector of F consecutive non-zero weights then spans F different
+    // output channels of the same filter tap, so the F x I products
+    // of one multiplier-array operation land at F x I *distinct*
+    // accumulator addresses.  (With k outermost, products of one
+    // operation alias the same output element and serialize in the
+    // accumulator banks -- the contention the paper's A = 2*F*I
+    // banking is sized to avoid.)
+    for (int r = 0; r < weights.r(); ++r) {
+        for (int s = 0; s < weights.s(); ++s) {
+            const int phase = geom.wtPhase(r, s);
+            for (int k = k0; k < k1; ++k) {
+                if (k / kPerGroup != myConvGroup)
+                    continue; // structurally absent: no storage
+                const float v = weights.get(k, cLocal, r, s);
+                substream[phase].push_back(v);
+                if (v != 0.0f) {
+                    lists_[phase].push_back(
+                        {v, static_cast<int16_t>(k),
+                         static_cast<int16_t>(r),
+                         static_cast<int16_t>(s)});
+                    ++nonZeros_;
+                }
+                ++denseElements_;
+            }
+        }
+    }
+    for (const auto &sub : substream)
+        stored_ += accountStream(sub);
+}
+
+uint64_t
+storedElementsPerChannel(const Tensor3 &acts)
+{
+    uint64_t total = 0;
+    const size_t plane = static_cast<size_t>(acts.width()) *
+                         static_cast<size_t>(acts.height());
+    for (int c = 0; c < acts.channels(); ++c) {
+        std::span<const float> dense(acts.plane(c), plane);
+        total += rleEncode(dense).storedElements();
+    }
+    return total;
+}
+
+uint64_t
+storedElementsPerFilter(const Tensor4 &weights)
+{
+    uint64_t total = 0;
+    const size_t filter = static_cast<size_t>(weights.r()) *
+                          static_cast<size_t>(weights.s());
+    std::vector<float> dense(filter);
+    for (int k = 0; k < weights.k(); ++k) {
+        for (int c = 0; c < weights.c(); ++c) {
+            size_t i = 0;
+            for (int r = 0; r < weights.r(); ++r)
+                for (int s = 0; s < weights.s(); ++s)
+                    dense[i++] = weights.get(k, c, r, s);
+            total += rleEncode(dense).storedElements();
+        }
+    }
+    return total;
+}
+
+} // namespace scnn

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Coordinate-bearing compressed-sparse blocks, i.e. the decoded form
+ * the SCNN PE datapath consumes (Section III-B):
+ *
+ *  "What is key is that decoding a sparse format ultimately yields a
+ *   non-zero data value and an index indicating the coordinates of the
+ *   value in the weight or input activation matrices."
+ *
+ * Activations are encoded per input channel over a PE's Wt x Ht tile;
+ * weights are encoded per (output-channel group, input channel) over a
+ * Kc x R x S subvolume.  Both carry exact RLE storage accounting (via
+ * tensor/rle.hh) used for buffer occupancy and DRAM traffic.
+ *
+ * Strided convolutions are handled by phase decomposition: the dense
+ * output o(ox,oy) sums in(ox*sx + r - px, oy*sy + s - py), so an input
+ * at x pairs with filter taps r satisfying (x + px) == r (mod sx).
+ * Partitioning activation and weight streams by phase keeps the
+ * Cartesian product free of extraneous products (the paper's stride-1
+ * exposition generalizes this way; AlexNet conv1 has stride 4).  For
+ * stride 1 there is exactly one phase and the decomposition is a
+ * no-op.
+ */
+
+#ifndef SCNN_TENSOR_SPARSE_BLOCK_HH
+#define SCNN_TENSOR_SPARSE_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rle.hh"
+#include "tensor/tensor.hh"
+
+namespace scnn {
+
+/** Stride/padding geometry of a convolution. */
+struct ConvGeometry
+{
+    int strideX = 1;
+    int strideY = 1;
+    int padX = 0;
+    int padY = 0;
+
+    int phases() const { return strideX * strideY; }
+
+    int
+    actPhase(int x, int y) const
+    {
+        return ((x + padX) % strideX) * strideY + ((y + padY) % strideY);
+    }
+
+    int
+    wtPhase(int r, int s) const
+    {
+        return (r % strideX) * strideY + (s % strideY);
+    }
+};
+
+/** One decoded activation: value plus its (x, y) input coordinates. */
+struct ActEntry
+{
+    float value;
+    int16_t x;
+    int16_t y;
+};
+
+/** One decoded weight: value plus its (k, r, s) coordinates. */
+struct WtEntry
+{
+    float value;
+    int16_t k;
+    int16_t r;
+    int16_t s;
+};
+
+/**
+ * Compressed activations of one PE's input tile: per channel, per
+ * stride phase, the non-zero entries in (x, y) scan order with global
+ * input coordinates, plus RLE storage accounting.
+ */
+class CompressedActTile
+{
+  public:
+    /**
+     * @param acts  full input activation tensor.
+     * @param x0,x1,y0,y1 the tile rectangle [x0,x1) x [y0,y1).
+     * @param geom  convolution geometry (for phase decomposition).
+     */
+    CompressedActTile(const Tensor3 &acts, int x0, int x1, int y0,
+                      int y1, const ConvGeometry &geom);
+
+    int numChannels() const { return channels_; }
+    int numPhases() const { return phases_; }
+
+    /** Non-zero entries for (channel, phase). */
+    const std::vector<ActEntry> &
+    entries(int c, int phase) const
+    {
+        return lists_[static_cast<size_t>(c) * phases_ + phase];
+    }
+
+    /** Total non-zeros in channel c (all phases). */
+    uint64_t channelNonZeros(int c) const;
+
+    /** RLE stored elements (non-zeros + placeholders) in channel c. */
+    uint64_t channelStoredElements(int c) const { return stored_[c]; }
+
+    uint64_t nonZeros() const { return nonZeros_; }
+    uint64_t storedElements() const { return storedTotal_; }
+    uint64_t denseElements() const { return denseElements_; }
+
+    /** Occupied bits at (kDataBits + kRleIndexBits) per stored elem. */
+    uint64_t
+    storageBits() const
+    {
+        return storedElements() * (kDataBits + kRleIndexBits);
+    }
+
+    int x0() const { return x0_; }
+    int x1() const { return x1_; }
+    int y0() const { return y0_; }
+    int y1() const { return y1_; }
+
+  private:
+    int channels_;
+    int phases_;
+    int x0_, x1_, y0_, y1_;
+    std::vector<std::vector<ActEntry>> lists_;
+    std::vector<uint64_t> stored_;
+    uint64_t nonZeros_ = 0;
+    uint64_t storedTotal_ = 0;
+    uint64_t denseElements_ = 0;
+};
+
+/**
+ * Compressed weights for one (output-channel group, input channel)
+ * pair: non-zero entries over the Kc x R x S subvolume in (k, r, s)
+ * scan order, partitioned by stride phase, with RLE accounting.
+ *
+ * Grouped convolutions (AlexNet conv2/4/5) are honored: output channel
+ * k connects to input channel c only within the same convolution
+ * group; unconnected (k, c) pairs are structurally absent (they occupy
+ * no storage and generate no work).
+ */
+class CompressedWeightBlock
+{
+  public:
+    /**
+     * @param weights   layer weights, shape (K, C/groups, R, S).
+     * @param k0,k1     output-channel range [k0, k1) of this group.
+     * @param c         global input channel index in [0, C).
+     * @param totalC    layer input channel count C.
+     * @param convGroups number of convolution groups.
+     * @param geom      convolution geometry.
+     */
+    CompressedWeightBlock(const Tensor4 &weights, int k0, int k1, int c,
+                          int totalC, int convGroups,
+                          const ConvGeometry &geom);
+
+    int numPhases() const { return phases_; }
+
+    const std::vector<WtEntry> &
+    entries(int phase) const
+    {
+        return lists_[phase];
+    }
+
+    uint64_t nonZeros() const { return nonZeros_; }
+    uint64_t storedElements() const { return stored_; }
+    uint64_t denseElements() const { return denseElements_; }
+
+    uint64_t
+    storageBits() const
+    {
+        return storedElements() * (kDataBits + kRleIndexBits);
+    }
+
+  private:
+    int phases_;
+    std::vector<std::vector<WtEntry>> lists_;
+    uint64_t stored_ = 0;
+    uint64_t nonZeros_ = 0;
+    uint64_t denseElements_ = 0;
+};
+
+/**
+ * RLE accounting for a whole activation tensor encoded per channel
+ * (the OARAM/DRAM form).  Returns total stored elements.
+ */
+uint64_t storedElementsPerChannel(const Tensor3 &acts);
+
+/** RLE accounting for a weight tensor encoded per (k, c) filter. */
+uint64_t storedElementsPerFilter(const Tensor4 &weights);
+
+} // namespace scnn
+
+#endif // SCNN_TENSOR_SPARSE_BLOCK_HH

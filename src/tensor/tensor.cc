@@ -1,0 +1,104 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scnn {
+
+size_t
+Tensor3::nonZeros() const
+{
+    return static_cast<size_t>(
+        std::count_if(data_.begin(), data_.end(),
+                      [](float v) { return v != 0.0f; }));
+}
+
+double
+Tensor3::density() const
+{
+    return data_.empty()
+        ? 0.0
+        : static_cast<double>(nonZeros()) / static_cast<double>(size());
+}
+
+void
+Tensor3::clear()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void
+Tensor3::relu()
+{
+    for (auto &v : data_)
+        v = std::max(v, 0.0f);
+}
+
+size_t
+Tensor4::nonZeros() const
+{
+    return static_cast<size_t>(
+        std::count_if(data_.begin(), data_.end(),
+                      [](float v) { return v != 0.0f; }));
+}
+
+double
+Tensor4::density() const
+{
+    return data_.empty()
+        ? 0.0
+        : static_cast<double>(nonZeros()) / static_cast<double>(size());
+}
+
+double
+maxAbsDiff(const Tensor3 &a, const Tensor3 &b)
+{
+    if (a.channels() != b.channels() || a.width() != b.width() ||
+        a.height() != b.height()) {
+        fatal("maxAbsDiff: shape mismatch (%d,%d,%d) vs (%d,%d,%d)",
+              a.channels(), a.width(), a.height(),
+              b.channels(), b.width(), b.height());
+    }
+    double worst = 0.0;
+    const float *pa = a.data();
+    const float *pb = b.data();
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::fabs(static_cast<double>(pa[i]) -
+                                          static_cast<double>(pb[i])));
+    return worst;
+}
+
+bool
+approxEqual(const Tensor3 &a, const Tensor3 &b, double tol)
+{
+    return maxAbsDiff(a, b) <= tol;
+}
+
+Tensor3
+concatChannels(const std::vector<Tensor3> &parts)
+{
+    if (parts.empty())
+        fatal("concatChannels: no tensors");
+    const int w = parts.front().width();
+    const int h = parts.front().height();
+    int channels = 0;
+    for (const auto &t : parts) {
+        if (t.width() != w || t.height() != h) {
+            fatal("concatChannels: plane mismatch (%dx%d vs %dx%d)",
+                  t.width(), t.height(), w, h);
+        }
+        channels += t.channels();
+    }
+    Tensor3 out(channels, w, h);
+    int base = 0;
+    for (const auto &t : parts) {
+        for (int c = 0; c < t.channels(); ++c)
+            for (int x = 0; x < w; ++x)
+                for (int y = 0; y < h; ++y)
+                    out.set(base + c, x, y, t.get(c, x, y));
+        base += t.channels();
+    }
+    return out;
+}
+
+} // namespace scnn

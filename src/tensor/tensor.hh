@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Dense tensor types used across the simulator.
+ *
+ * Conventions follow the paper's notation (Section III):
+ *  - Activations are 3-D: (c, x, y) with c an input channel index,
+ *    x in [0, W) and y in [0, H).  A (x, y) slice is a "plane".
+ *  - Weights are 4-D: (k, c, r, s) with k an output channel, c an input
+ *    channel, and (r, s) the filter coordinates, r in [0, R), s in
+ *    [0, S).
+ *
+ * Values are held as float for arithmetic convenience; storage and
+ * traffic are accounted at the paper's 16-bit data size via
+ * kDataBits / kDataBytes.  Layout is row-major with the last index
+ * fastest.
+ */
+
+#ifndef SCNN_TENSOR_TENSOR_HH
+#define SCNN_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+/** Nominal data-type width used in all storage accounting (Table I). */
+constexpr int kDataBits = 16;
+constexpr int kDataBytes = 2;
+
+/**
+ * Coordinate overhead per value held in the weight FIFO and activation
+ * RAMs (Section IV: "a 10-bit overhead for each 16-bit value to encode
+ * the coordinates in the compressed-sparse format").
+ */
+constexpr int kCoordBits = 10;
+
+/** Index width of the run-length encoding (Section IV: four bits). */
+constexpr int kRleIndexBits = 4;
+
+/** 3-D activation tensor, indexed (c, x, y). */
+class Tensor3
+{
+  public:
+    Tensor3() = default;
+
+    Tensor3(int channels, int width, int height, float fill = 0.0f)
+        : c_(channels), w_(width), h_(height),
+          data_(static_cast<size_t>(channels) * width * height, fill)
+    {
+        SCNN_ASSERT(channels >= 0 && width >= 0 && height >= 0,
+                    "negative tensor dimension");
+    }
+
+    int channels() const { return c_; }
+    int width() const { return w_; }
+    int height() const { return h_; }
+    size_t size() const { return data_.size(); }
+
+    size_t
+    index(int c, int x, int y) const
+    {
+        return (static_cast<size_t>(c) * w_ + x) * h_ + y;
+    }
+
+    float
+    at(int c, int x, int y) const
+    {
+        SCNN_ASSERT(inBounds(c, x, y), "Tensor3 index (%d,%d,%d) out of "
+                    "bounds (%d,%d,%d)", c, x, y, c_, w_, h_);
+        return data_[index(c, x, y)];
+    }
+
+    float &
+    at(int c, int x, int y)
+    {
+        SCNN_ASSERT(inBounds(c, x, y), "Tensor3 index (%d,%d,%d) out of "
+                    "bounds (%d,%d,%d)", c, x, y, c_, w_, h_);
+        return data_[index(c, x, y)];
+    }
+
+    /** Unchecked access for hot loops. */
+    float get(int c, int x, int y) const { return data_[index(c, x, y)]; }
+    void set(int c, int x, int y, float v) { data_[index(c, x, y)] = v; }
+
+    bool
+    inBounds(int c, int x, int y) const
+    {
+        return c >= 0 && c < c_ && x >= 0 && x < w_ && y >= 0 && y < h_;
+    }
+
+    const float *data() const { return data_.data(); }
+    float *data() { return data_.data(); }
+
+    /** Pointer to the start of channel c's W*H plane. */
+    const float *
+    plane(int c) const
+    {
+        return data_.data() + static_cast<size_t>(c) * w_ * h_;
+    }
+
+    /** Number of non-zero elements. */
+    size_t nonZeros() const;
+
+    /** Fraction of non-zero elements (0 for an empty tensor). */
+    double density() const;
+
+    /** Set all elements to zero. */
+    void clear();
+
+    /** Apply ReLU (clamp negatives to zero) in place. */
+    void relu();
+
+  private:
+    int c_ = 0;
+    int w_ = 0;
+    int h_ = 0;
+    std::vector<float> data_;
+};
+
+/** 4-D weight tensor, indexed (k, c, r, s). */
+class Tensor4
+{
+  public:
+    Tensor4() = default;
+
+    Tensor4(int k, int c, int r, int s, float fill = 0.0f)
+        : k_(k), c_(c), r_(r), s_(s),
+          data_(static_cast<size_t>(k) * c * r * s, fill)
+    {
+        SCNN_ASSERT(k >= 0 && c >= 0 && r >= 0 && s >= 0,
+                    "negative tensor dimension");
+    }
+
+    int k() const { return k_; }
+    int c() const { return c_; }
+    int r() const { return r_; }
+    int s() const { return s_; }
+    size_t size() const { return data_.size(); }
+
+    size_t
+    index(int k, int c, int r, int s) const
+    {
+        return ((static_cast<size_t>(k) * c_ + c) * r_ + r) * s_ + s;
+    }
+
+    float
+    at(int k, int c, int r, int s) const
+    {
+        SCNN_ASSERT(inBounds(k, c, r, s), "Tensor4 index (%d,%d,%d,%d) "
+                    "out of bounds (%d,%d,%d,%d)", k, c, r, s,
+                    k_, c_, r_, s_);
+        return data_[index(k, c, r, s)];
+    }
+
+    float &
+    at(int k, int c, int r, int s)
+    {
+        SCNN_ASSERT(inBounds(k, c, r, s), "Tensor4 index (%d,%d,%d,%d) "
+                    "out of bounds (%d,%d,%d,%d)", k, c, r, s,
+                    k_, c_, r_, s_);
+        return data_[index(k, c, r, s)];
+    }
+
+    float
+    get(int k, int c, int r, int s) const
+    {
+        return data_[index(k, c, r, s)];
+    }
+
+    bool
+    inBounds(int k, int c, int r, int s) const
+    {
+        return k >= 0 && k < k_ && c >= 0 && c < c_ &&
+               r >= 0 && r < r_ && s >= 0 && s < s_;
+    }
+
+    const float *data() const { return data_.data(); }
+    float *data() { return data_.data(); }
+
+    size_t nonZeros() const;
+    double density() const;
+
+  private:
+    int k_ = 0;
+    int c_ = 0;
+    int r_ = 0;
+    int s_ = 0;
+    std::vector<float> data_;
+};
+
+/**
+ * Maximum absolute element-wise difference between two tensors of the
+ * same shape; fatal() on shape mismatch.  Used by correctness tests to
+ * compare simulator outputs against the reference convolution.
+ */
+double maxAbsDiff(const Tensor3 &a, const Tensor3 &b);
+
+/**
+ * Concatenate tensors along the channel dimension (the inception
+ * module's output filter concatenation); fatal() if the plane
+ * dimensions disagree.
+ */
+Tensor3 concatChannels(const std::vector<Tensor3> &parts);
+
+/** true when all elements differ by at most tol. */
+bool approxEqual(const Tensor3 &a, const Tensor3 &b, double tol = 1e-4);
+
+} // namespace scnn
+
+#endif // SCNN_TENSOR_TENSOR_HH

@@ -1,0 +1,92 @@
+/** @file Tests of the batch-size extension in the analytical model. */
+
+#include <gtest/gtest.h>
+
+#include "analytic/timeloop.hh"
+
+namespace scnn {
+namespace {
+
+ConvLayerParams
+layer()
+{
+    return makeConv("batch", 64, 64, 28, 3, 1, 0.4, 0.4);
+}
+
+TEST(Batch, NOneIsIdentity)
+{
+    TimeLoopModel model;
+    AnalyticOptions one;
+    one.batchN = 1;
+    const LayerResult a =
+        model.estimateLayer(scnnConfig(), layer(), one);
+    const LayerResult b = model.estimateLayer(scnnConfig(), layer());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+}
+
+TEST(Batch, ComputeScalesLinearly)
+{
+    TimeLoopModel model;
+    AnalyticOptions n4;
+    n4.batchN = 4;
+    const LayerResult a = model.estimateLayer(scnnConfig(), layer());
+    const LayerResult b =
+        model.estimateLayer(scnnConfig(), layer(), n4);
+    EXPECT_EQ(b.products, 4 * a.products);
+    EXPECT_EQ(b.denseMacs, 4 * a.denseMacs);
+    EXPECT_EQ(b.computeCycles, 4 * a.computeCycles);
+}
+
+TEST(Batch, WeightDramAmortized)
+{
+    TimeLoopModel model;
+    AnalyticOptions n8;
+    n8.batchN = 8;
+    const LayerResult a = model.estimateLayer(scnnConfig(), layer());
+    const LayerResult b =
+        model.estimateLayer(scnnConfig(), layer(), n8);
+    // Weight broadcast bits unchanged by batching.
+    EXPECT_EQ(b.dramWeightBits, a.dramWeightBits);
+    // Per-inference energy strictly improves.
+    EXPECT_LT(b.energyPj / 8.0, a.energyPj);
+}
+
+TEST(Batch, PerInferenceEnergyMonotone)
+{
+    TimeLoopModel model;
+    double prev = 1e300;
+    for (int n : {1, 2, 4, 8, 16, 32}) {
+        AnalyticOptions opts;
+        opts.batchN = n;
+        const LayerResult r =
+            model.estimateLayer(scnnConfig(), layer(), opts);
+        const double perInf = r.energyPj / n;
+        EXPECT_LT(perInf, prev + 1e-6) << n;
+        prev = perInf;
+    }
+}
+
+TEST(Batch, WorksForDenseArchToo)
+{
+    TimeLoopModel model;
+    AnalyticOptions n4;
+    n4.batchN = 4;
+    const LayerResult a = model.estimateLayer(dcnnConfig(), layer());
+    const LayerResult b =
+        model.estimateLayer(dcnnConfig(), layer(), n4);
+    EXPECT_EQ(b.denseMacs, 4 * a.denseMacs);
+    EXPECT_LT(b.energyPj / 4.0, a.energyPj);
+}
+
+TEST(Batch, RejectsNonPositive)
+{
+    TimeLoopModel model;
+    AnalyticOptions bad;
+    bad.batchN = 0;
+    EXPECT_DEATH(model.estimateLayer(scnnConfig(), layer(), bad),
+                 "batch");
+}
+
+} // anonymous namespace
+} // namespace scnn

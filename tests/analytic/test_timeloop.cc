@@ -1,0 +1,194 @@
+/** @file TimeLoop analytical-model tests, incl. cycle-sim validation. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/timeloop.hh"
+#include "dcnn/simulator.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "scnn/oracle.hh"
+#include "scnn/simulator.hh"
+
+namespace scnn {
+namespace {
+
+TEST(ExpectedCeil, ZeroLambdaIsZero)
+{
+    EXPECT_DOUBLE_EQ(expectedCeil(0.0, 4), 0.0);
+}
+
+TEST(ExpectedCeil, WidthOneIsIdentity)
+{
+    EXPECT_DOUBLE_EQ(expectedCeil(3.7, 1), 3.7);
+}
+
+TEST(ExpectedCeil, SmallLambdaApproachesProbabilityOfAny)
+{
+    // For lambda << 1 and any m, E[ceil(n/m)] ~ P(n >= 1) = 1-e^-l.
+    const double lam = 0.1;
+    EXPECT_NEAR(expectedCeil(lam, 4), 1.0 - std::exp(-lam), 0.01);
+}
+
+TEST(ExpectedCeil, LargeLambdaHasHalfVectorTail)
+{
+    const double v = expectedCeil(1000.0, 4);
+    EXPECT_NEAR(v, 1000.0 / 4.0 + 3.0 / 8.0, 0.5);
+}
+
+TEST(ExpectedCeil, MonotonicInLambda)
+{
+    double prev = 0.0;
+    for (double lam : {0.1, 0.5, 1.0, 2.0, 5.0, 20.0, 100.0, 500.0}) {
+        const double v = expectedCeil(lam, 4);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(ExpectedCeil, ExceedsNaiveDivision)
+{
+    // Fragmentation can only add fetches: E[ceil(n/m)] >= lambda/m.
+    for (double lam : {0.5, 3.0, 17.0, 64.0})
+        EXPECT_GE(expectedCeil(lam, 4), lam / 4.0);
+}
+
+TEST(TimeLoop, DcnnMatchesCycleSimulatorExactly)
+{
+    // Dense timing is data-independent, so the analytical and
+    // cycle-level dense models must agree exactly on compute cycles.
+    const ConvLayerParams p =
+        makeConv("tl_dense", 32, 64, 28, 3, 1, 0.5, 0.5);
+    TimeLoopModel model;
+    const LayerResult analytic =
+        model.estimateLayer(dcnnConfig(), p);
+    DcnnSimulator sim(dcnnConfig());
+    const LayerResult simulated = sim.runLayer(makeWorkload(p, 5));
+    EXPECT_EQ(analytic.computeCycles, simulated.computeCycles);
+}
+
+class TimeLoopVsSim : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TimeLoopVsSim, ScnnCyclesWithinTolerance)
+{
+    const double d = GetParam();
+    ConvLayerParams p = makeConv("tl_scnn", 64, 64, 28, 3, 1, d, d);
+    // TimeLoop models i.i.d. sparsity; validate on its own terms.
+    p.actSpatialSigma = 0.0;
+    p.actChannelSigma = 0.0;
+    TimeLoopModel model;
+    const LayerResult analytic =
+        model.estimateLayer(scnnConfig(), p);
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult simulated = sim.runLayer(makeWorkload(p, 5));
+    const double rel =
+        static_cast<double>(analytic.cycles) /
+        static_cast<double>(simulated.cycles);
+    EXPECT_GT(rel, 0.8) << "density " << d;
+    EXPECT_LT(rel, 1.25) << "density " << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, TimeLoopVsSim,
+                         ::testing::Values(0.2, 0.35, 0.5, 0.7, 1.0));
+
+TEST(TimeLoop, ProductsMatchExpectation)
+{
+    const ConvLayerParams p =
+        makeConv("tl_prod", 32, 32, 16, 3, 1, 0.4, 0.5);
+    TimeLoopModel model;
+    const LayerResult r = model.estimateLayer(scnnConfig(), p);
+    // Expected products = dense MACs-equivalent pair count: total
+    // non-zero (act, weight) same-channel pairs.
+    const double expected = 32.0 * (16.0 * 16.0 * 0.5) *
+                            (32.0 * 9.0 * 0.4);
+    EXPECT_NEAR(static_cast<double>(r.products), expected,
+                expected * 0.01);
+}
+
+TEST(TimeLoop, CyclesMonotonicInDensity)
+{
+    TimeLoopModel model;
+    uint64_t prev = 0;
+    for (double d : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        const ConvLayerParams p =
+            makeConv("tl_mono", 64, 64, 28, 3, 1, d, d);
+        const LayerResult r = model.estimateLayer(scnnConfig(), p);
+        EXPECT_GT(r.cycles, prev) << d;
+        prev = r.cycles;
+    }
+}
+
+TEST(TimeLoop, ScnnBeatsDcnnAtLowDensityNotAtHigh)
+{
+    TimeLoopModel model;
+    const ConvLayerParams sparse =
+        makeConv("tl_lo", 128, 128, 28, 3, 1, 0.25, 0.25);
+    const ConvLayerParams dense =
+        makeConv("tl_hi", 128, 128, 28, 3, 1, 1.0, 1.0);
+
+    const uint64_t scnnLo =
+        model.estimateLayer(scnnConfig(), sparse).cycles;
+    const uint64_t dcnnLo =
+        model.estimateLayer(dcnnConfig(), sparse).cycles;
+    EXPECT_LT(scnnLo, dcnnLo);
+
+    const uint64_t scnnHi =
+        model.estimateLayer(scnnConfig(), dense).cycles;
+    const uint64_t dcnnHi =
+        model.estimateLayer(dcnnConfig(), dense).cycles;
+    EXPECT_GT(scnnHi, dcnnHi); // SCNN pays overhead at full density
+}
+
+TEST(TimeLoop, EnergyCrossoversInPaperBands)
+{
+    // Fig. 7b: SCNN beats DCNN below ~0.83 density and DCNN-opt
+    // below ~0.60.  Allow generous bands around the paper values.
+    TimeLoopModel model;
+    const Network net = googLeNet();
+
+    auto energyAt = [&](const AcceleratorConfig &cfg, double dRaw) {
+        const double d = std::min(dRaw, 1.0);
+        const Network swept = withUniformDensity(net, d, d);
+        return model.estimateNetwork(cfg, swept).totalEnergyPj();
+    };
+
+    double crossDcnn = 0.0;
+    double crossOpt = 0.0;
+    for (double d = 0.1; d <= 1.001; d += 0.05) {
+        const double scnn = energyAt(scnnConfig(), d);
+        if (scnn <= energyAt(dcnnConfig(), d))
+            crossDcnn = d;
+        if (scnn <= energyAt(dcnnOptConfig(), d))
+            crossOpt = d;
+    }
+    EXPECT_GT(crossDcnn, 0.65);
+    EXPECT_LT(crossDcnn, 1.0);
+    EXPECT_GT(crossOpt, 0.40);
+    EXPECT_LT(crossOpt, 0.85);
+    EXPECT_GT(crossDcnn, crossOpt);
+}
+
+TEST(TimeLoop, NetworkEstimateCoversEvalScope)
+{
+    TimeLoopModel model;
+    const NetworkResult nr =
+        model.estimateNetwork(scnnConfig(), googLeNet());
+    EXPECT_EQ(nr.layers.size(), googLeNet().numEvalLayers());
+    EXPECT_GT(nr.totalCycles(), 0u);
+}
+
+TEST(TimeLoop, OracleIsLowerBound)
+{
+    TimeLoopModel model;
+    const ConvLayerParams p =
+        makeConv("tl_or", 64, 64, 28, 3, 1, 0.4, 0.4);
+    const LayerResult r = model.estimateLayer(scnnConfig(), p);
+    EXPECT_GE(static_cast<double>(r.cycles),
+              oracleCyclesExpected(p, scnnConfig()));
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,95 @@
+/** @file Area-model tests against the paper's Tables III and IV. */
+
+#include <gtest/gtest.h>
+
+#include "arch/area_model.hh"
+
+namespace scnn {
+namespace {
+
+TEST(AreaModel, TableThreePeBreakdown)
+{
+    const AreaModel m;
+    const AreaBreakdown pe = m.peArea(scnnConfig());
+
+    EXPECT_NEAR(pe.components.at("iaram_oaram"), 0.031, 0.002);
+    EXPECT_NEAR(pe.components.at("weight_fifo"), 0.004, 0.001);
+    EXPECT_NEAR(pe.components.at("multiplier_array"), 0.008, 0.001);
+    EXPECT_NEAR(pe.components.at("scatter_network"), 0.026, 0.002);
+    EXPECT_NEAR(pe.components.at("accumulator_buffers"), 0.036,
+                0.003);
+    EXPECT_NEAR(pe.components.at("other"), 0.019, 0.002);
+    EXPECT_NEAR(pe.total(), 0.123, 0.01);
+}
+
+TEST(AreaModel, TableFourChipTotals)
+{
+    const AreaModel m;
+    EXPECT_NEAR(m.chipArea(scnnConfig()).total(), 7.9, 0.4);
+    EXPECT_NEAR(m.chipArea(dcnnConfig()).total(), 5.9, 0.6);
+    EXPECT_NEAR(m.chipArea(dcnnOptConfig()).total(), 5.9, 0.6);
+}
+
+TEST(AreaModel, ScnnLargerThanDcnn)
+{
+    // "somewhat larger than an equivalently provisioned dense
+    // accelerator due to the overheads of managing the sparse
+    // dataflow" (Section I).
+    const AreaModel m;
+    EXPECT_GT(m.chipArea(scnnConfig()).total(),
+              m.chipArea(dcnnConfig()).total());
+}
+
+TEST(AreaModel, MemoriesDominateScnnPe)
+{
+    // Section IV: memories consume ~57% of PE area, multipliers ~6%.
+    const AreaModel m;
+    const AreaBreakdown pe = m.peArea(scnnConfig());
+    const double mem = pe.components.at("iaram_oaram") +
+                       pe.components.at("accumulator_buffers") +
+                       pe.components.at("weight_fifo");
+    EXPECT_NEAR(mem / pe.total(), 0.57, 0.06);
+    EXPECT_NEAR(pe.components.at("multiplier_array") / pe.total(),
+                0.06, 0.02);
+}
+
+TEST(AreaModel, AccumulatorBytesMatchTableThree)
+{
+    // 32 banks x 32 entries x 24-bit, double buffered = 6 KB.
+    EXPECT_EQ(AreaModel::accumulatorBytes(scnnConfig().pe), 6u * 1024u);
+}
+
+TEST(AreaModel, ScalesWithMultiplierArray)
+{
+    AreaModel m;
+    AcceleratorConfig big = scnnConfig();
+    big.pe.mulF = 8;
+    big.pe.mulI = 8;
+    const double base =
+        m.peArea(scnnConfig()).components.at("multiplier_array");
+    const double grown =
+        m.peArea(big).components.at("multiplier_array");
+    EXPECT_NEAR(grown / base, 4.0, 1e-9);
+}
+
+TEST(AreaModel, CrossbarScalesWithPorts)
+{
+    AreaModel m;
+    AcceleratorConfig wide = scnnConfig();
+    wide.pe.accumBanks = 64;
+    EXPECT_NEAR(m.peArea(wide).components.at("scatter_network"),
+                2.0 * m.peArea(scnnConfig())
+                          .components.at("scatter_network"),
+                1e-9);
+}
+
+TEST(AreaModel, DensePeHasNoScatterNetwork)
+{
+    const AreaModel m;
+    const AreaBreakdown pe = m.peArea(dcnnConfig());
+    EXPECT_EQ(pe.components.count("scatter_network"), 0u);
+    EXPECT_GT(pe.components.at("multiplier_array"), 0.0);
+}
+
+} // anonymous namespace
+} // namespace scnn

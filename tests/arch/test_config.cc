@@ -1,0 +1,104 @@
+/** @file Unit tests for accelerator configurations (Tables II/IV). */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hh"
+
+namespace scnn {
+namespace {
+
+TEST(ScnnConfig, MatchesTableTwo)
+{
+    const AcceleratorConfig cfg = scnnConfig();
+    EXPECT_EQ(cfg.kind, ArchKind::SCNN);
+    EXPECT_EQ(cfg.numPes(), 64);
+    EXPECT_EQ(cfg.pe.mulF, 4);
+    EXPECT_EQ(cfg.pe.mulI, 4);
+    EXPECT_EQ(cfg.multipliers(), 1024);
+    EXPECT_EQ(cfg.pe.accumBanks, 32); // A = 2 * F * I
+    EXPECT_EQ(cfg.pe.accumEntriesPerBank, 32);
+    EXPECT_EQ(cfg.pe.iaramBytes, 10 * 1024);
+    EXPECT_EQ(cfg.pe.oaramBytes, 10 * 1024);
+    EXPECT_EQ(cfg.pe.weightFifoBytes, 500);
+    // 1.25 MB of activation RAM chip-wide (data + indices).
+    EXPECT_EQ(cfg.activationSramBytes(), 64u * 20u * 1024u);
+}
+
+TEST(DcnnConfig, MatchesTableFour)
+{
+    const AcceleratorConfig cfg = dcnnConfig();
+    EXPECT_EQ(cfg.kind, ArchKind::DCNN);
+    EXPECT_EQ(cfg.numPes(), 64);
+    EXPECT_EQ(cfg.pe.dotWidth, 16);
+    EXPECT_EQ(cfg.multipliers(), 1024);
+    EXPECT_EQ(cfg.activationSramBytes(), 2u * 1024u * 1024u);
+}
+
+TEST(DcnnOptConfig, SameProvisioningAsDcnn)
+{
+    const AcceleratorConfig opt = dcnnOptConfig();
+    const AcceleratorConfig base = dcnnConfig();
+    EXPECT_EQ(opt.kind, ArchKind::DCNN_OPT);
+    EXPECT_EQ(opt.multipliers(), base.multipliers());
+    EXPECT_EQ(opt.activationSramBytes(), base.activationSramBytes());
+}
+
+TEST(ArchKindName, Printable)
+{
+    EXPECT_STREQ(archKindName(ArchKind::SCNN), "SCNN");
+    EXPECT_STREQ(archKindName(ArchKind::DCNN), "DCNN");
+    EXPECT_STREQ(archKindName(ArchKind::DCNN_OPT), "DCNN-opt");
+}
+
+TEST(PeGrid, PreservesMultiplierCount)
+{
+    for (auto [r, c] : {std::pair{2, 2}, {2, 4}, {4, 4}, {4, 8},
+                        {8, 8}, {16, 8}}) {
+        const AcceleratorConfig cfg = scnnWithPeGrid(r, c);
+        EXPECT_EQ(cfg.multipliers(), 1024) << r << "x" << c;
+        EXPECT_EQ(cfg.numPes(), r * c);
+        // Banking stays at 2x the array size.
+        EXPECT_EQ(cfg.pe.accumBanks, 2 * cfg.pe.multipliers());
+    }
+}
+
+TEST(PeGrid, RedividesActivationRam)
+{
+    const AcceleratorConfig cfg = scnnWithPeGrid(2, 2);
+    // 1.25 MB / 4 PEs / 2 RAMs each.
+    EXPECT_EQ(cfg.pe.iaramBytes, 64 * 20 * 1024 / 4 / 2);
+    EXPECT_EQ(cfg.activationSramBytes(),
+              scnnConfig().activationSramBytes());
+}
+
+TEST(PeGrid, FactorsNonSquareCounts)
+{
+    const AcceleratorConfig cfg = scnnWithPeGrid(4, 8); // 32 muls/PE
+    EXPECT_EQ(cfg.pe.mulF * cfg.pe.mulI, 32);
+    EXPECT_GE(cfg.pe.mulF, cfg.pe.mulI);
+}
+
+TEST(Validate, RejectsBrokenConfigs)
+{
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.peRows = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "empty PE array");
+
+    cfg = scnnConfig();
+    cfg.pe.mulF = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "multiplier");
+
+    cfg = dcnnConfig();
+    cfg.pe.dotWidth = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "dot-product");
+
+    cfg = scnnConfig();
+    cfg.dramBitsPerCycle = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "DRAM");
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,113 @@
+/** @file Unit tests for the event-based energy model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/energy_model.hh"
+
+namespace scnn {
+namespace {
+
+TEST(EnergyEvents, AccumulateAndScale)
+{
+    EnergyEvents a;
+    a.mults = 10;
+    a.dramBits = 100;
+    EnergyEvents b;
+    b.mults = 5;
+    b.iaramReadBits = 7;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.mults, 15.0);
+    EXPECT_DOUBLE_EQ(a.iaramReadBits, 7.0);
+    a.scale(2.0);
+    EXPECT_DOUBLE_EQ(a.mults, 30.0);
+    EXPECT_DOUBLE_EQ(a.dramBits, 200.0);
+}
+
+TEST(EnergyModel, ZeroEventsZeroEnergy)
+{
+    const EnergyModel m;
+    EXPECT_DOUBLE_EQ(m.total(EnergyEvents{}, scnnConfig()), 0.0);
+}
+
+TEST(EnergyModel, MultsCostMultPj)
+{
+    EnergyModel m;
+    EnergyEvents ev;
+    ev.mults = 1000;
+    EXPECT_NEAR(m.total(ev, scnnConfig()), 1000 * m.multPj, 1e-9);
+}
+
+TEST(EnergyModel, CostOrderingPreserved)
+{
+    // The ordering DRAM >> large SRAM >> small SRAM >> gated ALU must
+    // hold per bit/event: it drives every conclusion in the paper.
+    const EnergyModel m;
+    EXPECT_GT(m.dramPjPerBit, m.sram2MPjPerBit);
+    EXPECT_GT(m.sram2MPjPerBit, m.sram10KPjPerBit);
+    EXPECT_GT(m.sram10KPjPerBit, m.smallBufPjPerBit);
+    EXPECT_GT(m.multPj, m.gatedMultPj);
+}
+
+TEST(EnergyModel, SramPjPerBitInterpolatesMonotonically)
+{
+    const EnergyModel m;
+    double prev = 0.0;
+    for (uint64_t kb : {1, 2, 10, 16, 32, 256, 2048, 8192}) {
+        const double pj = m.sramPjPerBit(kb * 1024);
+        EXPECT_GE(pj, prev) << kb;
+        prev = pj;
+    }
+    EXPECT_NEAR(m.sramPjPerBit(10 * 1024), m.sram10KPjPerBit, 1e-12);
+    EXPECT_NEAR(m.sramPjPerBit(2048 * 1024), m.sram2MPjPerBit, 1e-12);
+}
+
+TEST(EnergyModel, BreakdownSumsToTotal)
+{
+    const EnergyModel m;
+    EnergyEvents ev;
+    ev.mults = 100;
+    ev.accBankAccesses = 50;
+    ev.xbarTransfers = 50;
+    ev.iaramReadBits = 2000;
+    ev.dramBits = 300;
+    ev.haloBits = 10;
+    ev.ppuElements = 5;
+    const auto bd = m.breakdown(ev, scnnConfig());
+    double sum = 0.0;
+    for (const auto &[k, v] : bd)
+        sum += v;
+    EXPECT_NEAR(sum, m.total(ev, scnnConfig()), 1e-9);
+    EXPECT_GT(bd.at("alu"), 0.0);
+    EXPECT_GT(bd.at("scatter_accum"), 0.0);
+    EXPECT_GT(bd.at("dram"), 0.0);
+}
+
+TEST(EnergyModel, DcnnEventsUseDenseSramCost)
+{
+    const EnergyModel m;
+    EnergyEvents ev;
+    ev.denseSramReadBits = 1e6;
+    const double pj = m.total(ev, dcnnConfig());
+    EXPECT_NEAR(pj, 1e6 * m.sramPjPerBit(2 * 1024 * 1024), 1e-6);
+}
+
+TEST(EnergyModel, ScnnPerMacCostExceedsDcnnPerMac)
+{
+    // Section VI-A: at full density SCNN is notably less energy
+    // efficient per multiply because of the crossbar and distributed
+    // accumulator overheads.
+    const EnergyModel m;
+    EnergyEvents scnnMac;
+    scnnMac.mults = 1;
+    scnnMac.coordComputes = 1;
+    scnnMac.xbarTransfers = 1;
+    scnnMac.accBankAccesses = 1;
+    EnergyEvents dcnnMac;
+    dcnnMac.mults = 1;
+    dcnnMac.adds = 1;
+    EXPECT_GT(m.total(scnnMac, scnnConfig()),
+              m.total(dcnnMac, dcnnConfig()));
+}
+
+} // anonymous namespace
+} // namespace scnn

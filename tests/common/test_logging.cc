@@ -1,0 +1,63 @@
+/** @file Unit tests for logging/formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace scnn {
+namespace {
+
+TEST(StrFmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("plain"), "plain");
+    EXPECT_EQ(strfmt("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strfmt("%s/%s", "a", "b"), "a/b");
+}
+
+TEST(StrFmt, HandlesLongStrings)
+{
+    const std::string big(10000, 'x');
+    EXPECT_EQ(strfmt("%s", big.c_str()).size(), big.size());
+}
+
+TEST(StrFmt, EmptyResult)
+{
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Quiet, TogglesAndRestores)
+{
+    const bool prev = setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    warn("this warning must be suppressed %d", 42);
+    inform("this info must be suppressed");
+    EXPECT_TRUE(setQuiet(prev));
+    EXPECT_EQ(isQuiet(), prev);
+}
+
+TEST(Assert, PassingConditionIsSilent)
+{
+    SCNN_ASSERT(1 + 1 == 2, "math works (%d)", 2);
+    SUCCEED();
+}
+
+TEST(Assert, FailingConditionAborts)
+{
+    EXPECT_DEATH(
+        { SCNN_ASSERT(false, "value was %d", 7); }, "value was 7");
+}
+
+TEST(Panic, Aborts)
+{
+    EXPECT_DEATH({ panic("boom %s", "now"); }, "boom now");
+}
+
+TEST(Fatal, ExitsWithStatusOne)
+{
+    EXPECT_EXIT({ fatal("bad config %d", 3); },
+                ::testing::ExitedWithCode(1), "bad config 3");
+}
+
+} // anonymous namespace
+} // namespace scnn

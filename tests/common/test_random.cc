@@ -1,0 +1,134 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+
+namespace scnn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, LabelledStreamsAreIndependent)
+{
+    Rng a("alexnet/conv1/weights", 7);
+    Rng b("alexnet/conv2/weights", 7);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-2.5, 7.5);
+        ASSERT_GE(v, -2.5);
+        ASSERT_LT(v, 7.5);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly)
+{
+    Rng rng(5);
+    std::vector<int> counts(10, 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(10)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Rng, UniformIntOneAlwaysZero)
+{
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(8);
+    const double p = 0.35;
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, NormalMomentsAreStandard)
+{
+    Rng rng(10);
+    const int n = 50000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentChild)
+{
+    Rng parent(11);
+    Rng child = parent.split("child");
+    // Child's stream should not mirror the parent's continuation.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(HashLabel, StableAndDistinct)
+{
+    EXPECT_EQ(hashLabel("abc"), hashLabel("abc"));
+    std::set<uint64_t> hashes;
+    for (const char *s : {"a", "b", "ab", "ba", "conv1", "conv2"})
+        hashes.insert(hashLabel(s));
+    EXPECT_EQ(hashes.size(), 6u);
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,110 @@
+/** @file Unit tests for counters, accumulators, histograms, StatSet. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace scnn {
+namespace {
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 9;
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, TracksMoments)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(3.0);
+    a.sample(-2.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 2.0);
+    EXPECT_NEAR(a.mean(), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), -2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.5);
+    h.sample(9.5);
+    h.sample(-100.0); // clamps into first bucket
+    h.sample(100.0);  // clamps into last bucket
+    EXPECT_EQ(h.totalSamples(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(9), 2u);
+}
+
+TEST(Histogram, WeightedSamplesAndMean)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.sample(1.0, 3);
+    h.sample(3.0, 1);
+    EXPECT_EQ(h.totalSamples(), 4u);
+    EXPECT_NEAR(h.mean(), (3.0 * 1.0 + 3.0) / 4.0, 1e-12);
+}
+
+TEST(Histogram, BucketBounds)
+{
+    Histogram h(2.0, 12.0, 5);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(0), 4.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(4), 10.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(4), 12.0);
+}
+
+TEST(Histogram, ToStringMentionsNameAndCounts)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.sample(0.5);
+    const std::string s = h.toString("conflicts");
+    EXPECT_NE(s.find("conflicts"), std::string::npos);
+    EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(StatSet, SetAddGet)
+{
+    StatSet s;
+    EXPECT_FALSE(s.has("x"));
+    s.set("x", 2.0);
+    s.add("x", 3.0);
+    s.add("y", 1.0);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 5.0);
+    EXPECT_DOUBLE_EQ(s.get("y"), 1.0);
+    EXPECT_DOUBLE_EQ(s.getOr("z", -1.0), -1.0);
+}
+
+TEST(StatSet, GetMissingIsFatal)
+{
+    StatSet s;
+    EXPECT_EXIT(s.get("missing"), ::testing::ExitedWithCode(1),
+                "missing");
+}
+
+TEST(StatSet, AccumulateSums)
+{
+    StatSet a;
+    StatSet b;
+    a.set("cycles", 10.0);
+    b.set("cycles", 5.0);
+    b.set("energy", 2.0);
+    a.accumulate(b);
+    EXPECT_DOUBLE_EQ(a.get("cycles"), 15.0);
+    EXPECT_DOUBLE_EQ(a.get("energy"), 2.0);
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,67 @@
+/** @file Unit tests for the table/CSV printer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/table.hh"
+
+namespace scnn {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("demo", {"Layer", "Cycles"});
+    t.addRow({"conv1", "123"});
+    t.addRow({"a_much_longer_name", "7"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("Layer"), std::string::npos);
+    EXPECT_NE(s.find("a_much_longer_name"), std::string::npos);
+    // Header separator exists.
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, RowArityMismatchPanics)
+{
+    Table t("bad", {"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(Table, RowsAccessors)
+{
+    Table t("acc", {"x"});
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.row(1)[0], "2");
+}
+
+TEST(Table, CsvMirrorWhenEnvSet)
+{
+    const std::string dir = ::testing::TempDir();
+    setenv("SCNN_CSV_DIR", dir.c_str(), 1);
+    Table t("csv_check", {"a", "b"});
+    t.addRow({"1", "2"});
+    t.print();
+    unsetenv("SCNN_CSV_DIR");
+
+    std::ifstream in(dir + "/csv_check.csv");
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,2");
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,161 @@
+/** @file Unit tests for the dense DCNN / DCNN-opt simulators. */
+
+#include <gtest/gtest.h>
+
+#include "dcnn/simulator.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+
+namespace scnn {
+namespace {
+
+LayerWorkload
+smallWorkload(double wd = 0.5, double ad = 0.5)
+{
+    const ConvLayerParams p =
+        makeConv("dcnn_small", 16, 32, 24, 3, 1, wd, ad);
+    return makeWorkload(p, 42);
+}
+
+TEST(DcnnSimulator, RequiresDenseConfig)
+{
+    EXPECT_DEATH(
+        { DcnnSimulator sim(scnnConfig()); (void)sim; },
+        "dense configuration");
+}
+
+TEST(DcnnSimulator, CyclesMatchClosedForm)
+{
+    // 24x24 output plane over an 8x8 grid: each PE owns a 3x3 tile;
+    // per output pixel and channel: ceil(16*3*3/16) = 9 chunks.
+    DcnnSimulator sim(dcnnConfig());
+    const LayerWorkload w = smallWorkload();
+    const LayerResult r = sim.runLayer(w);
+    EXPECT_EQ(r.computeCycles, 9ull * 32ull * 9ull);
+}
+
+TEST(DcnnSimulator, CyclesIndependentOfDensity)
+{
+    DcnnSimulator sim(dcnnConfig());
+    const LayerResult dense = sim.runLayer(smallWorkload(1.0, 1.0));
+    const LayerResult sparse = sim.runLayer(smallWorkload(0.2, 0.2));
+    EXPECT_EQ(dense.cycles, sparse.cycles);
+}
+
+TEST(DcnnSimulator, OptHasSameCyclesLowerEnergy)
+{
+    // Section VI-A: "the energy optimizations over DCNN do not affect
+    // performance".
+    DcnnSimulator dcnn(dcnnConfig());
+    DcnnSimulator opt(dcnnOptConfig());
+    const LayerWorkload w = smallWorkload(0.4, 0.4);
+    const LayerResult a = dcnn.runLayer(w);
+    const LayerResult b = opt.runLayer(w);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_LT(b.energyPj, a.energyPj);
+}
+
+TEST(DcnnSimulator, OptGatingScalesWithDensity)
+{
+    DcnnSimulator opt(dcnnOptConfig());
+    const LayerResult sparse = opt.runLayer(smallWorkload(0.2, 0.2));
+    const LayerResult dense = opt.runLayer(smallWorkload(1.0, 1.0));
+    EXPECT_LT(sparse.events.mults, dense.events.mults);
+    EXPECT_GT(sparse.events.gatedMults, dense.events.gatedMults);
+    EXPECT_LT(sparse.energyPj, dense.energyPj);
+}
+
+TEST(DcnnSimulator, UtilizationReflectsReductionPadding)
+{
+    // CRS = 16*9 = 144 divides 16 exactly: busy utilization 1.0 on
+    // evenly divisible tiles.
+    DcnnSimulator sim(dcnnConfig());
+    const LayerResult r = sim.runLayer(smallWorkload());
+    EXPECT_NEAR(r.multUtilBusy, 1.0, 1e-9);
+
+    // CRS = 3*9 = 27 -> ceil 2 chunks of 16 = 32 slots: util 27/32.
+    const ConvLayerParams odd =
+        makeConv("odd", 3, 8, 24, 3, 1, 1.0, 1.0);
+    const LayerResult ro = sim.runLayer(makeWorkload(odd, 1));
+    EXPECT_NEAR(ro.multUtilBusy, 27.0 / 32.0, 1e-9);
+}
+
+TEST(DcnnSimulator, SmallLayerStaysOnChip)
+{
+    DcnnSimulator sim(dcnnConfig());
+    const LayerResult r = sim.runLayer(smallWorkload());
+    EXPECT_FALSE(r.dramTiled);
+    EXPECT_EQ(r.dramActBits, 0u);
+}
+
+TEST(DcnnSimulator, VggSizedLayerTiles)
+{
+    const ConvLayerParams p =
+        makeConv("vgg1_2", 64, 64, 224, 3, 1, 0.22, 0.52);
+    DcnnSimulator dcnn(dcnnConfig());
+    DcnnSimulator opt(dcnnOptConfig());
+    const LayerWorkload w = makeWorkload(p, 1);
+    const LayerResult a = dcnn.runLayer(w);
+    const LayerResult b = opt.runLayer(w);
+    EXPECT_TRUE(a.dramTiled);
+    // DCNN-opt compresses DRAM activation traffic.
+    EXPECT_LT(b.dramActBits, a.dramActBits);
+}
+
+TEST(DcnnSimulator, WeightDramIsDense)
+{
+    DcnnSimulator sim(dcnnConfig());
+    const LayerWorkload w = smallWorkload(0.3, 0.5);
+    const LayerResult r = sim.runLayer(w);
+    EXPECT_EQ(r.dramWeightBits, w.layer.weightCount() * 16);
+}
+
+TEST(DcnnSimulator, FirstLayerStreamsInput)
+{
+    DcnnSimulator sim(dcnnConfig());
+    const LayerWorkload w = smallWorkload();
+    DcnnRunOptions first;
+    first.firstLayer = true;
+    const LayerResult a = sim.runLayer(w, first);
+    const LayerResult b = sim.runLayer(w);
+    EXPECT_EQ(a.dramActBits - b.dramActBits,
+              w.layer.inputCount() * 16);
+}
+
+TEST(DcnnSimulator, GroupedConvReducesWork)
+{
+    ConvLayerParams grouped =
+        makeConv("grp", 16, 32, 24, 3, 1, 0.5, 0.5);
+    grouped.groups = 2;
+    grouped.validate();
+    DcnnSimulator sim(dcnnConfig());
+    const LayerResult g = sim.runLayer(makeWorkload(grouped, 2));
+    const LayerResult f = sim.runLayer(smallWorkload());
+    EXPECT_LT(g.computeCycles, f.computeCycles);
+}
+
+TEST(DcnnSimulator, RunNetworkUsesHints)
+{
+    DcnnSimulator sim(dcnnOptConfig());
+    const NetworkResult nr =
+        sim.runNetwork(tinyTestNetwork(), 3, true, false);
+    EXPECT_EQ(nr.layers.size(), tinyTestNetwork().numEvalLayers());
+    EXPECT_GT(nr.totalCycles(), 0u);
+}
+
+TEST(ValidTapFraction, OneWithoutPadding)
+{
+    const ConvLayerParams p = makeConv("v", 1, 1, 8, 3, 0, 1.0, 1.0);
+    EXPECT_DOUBLE_EQ(validTapFraction(p), 1.0);
+}
+
+TEST(ValidTapFraction, BelowOneWithPadding)
+{
+    const ConvLayerParams p = makeConv("v", 1, 1, 8, 3, 1, 1.0, 1.0);
+    const double f = validTapFraction(p);
+    EXPECT_LT(f, 1.0);
+    EXPECT_GT(f, 0.8);
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,83 @@
+/** @file Unit tests of the driver-layer comparison containers. */
+
+#include <gtest/gtest.h>
+
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+
+namespace scnn {
+namespace {
+
+LayerComparison
+syntheticComparison(uint64_t dcnn, uint64_t scnn, uint64_t oracle,
+                    double dcnnE, double optE, double scnnE)
+{
+    LayerComparison lc;
+    lc.layerName = "synth";
+    lc.dcnn.cycles = dcnn;
+    lc.scnn.cycles = scnn;
+    lc.oracleCycles = oracle;
+    lc.dcnn.energyPj = dcnnE;
+    lc.dcnnOpt.energyPj = optE;
+    lc.scnn.energyPj = scnnE;
+    return lc;
+}
+
+TEST(LayerComparison, SpeedupsAndEnergyRatios)
+{
+    const LayerComparison lc =
+        syntheticComparison(1000, 400, 100, 10.0, 5.0, 4.0);
+    EXPECT_DOUBLE_EQ(lc.speedupScnn(), 2.5);
+    EXPECT_DOUBLE_EQ(lc.speedupOracle(), 10.0);
+    EXPECT_DOUBLE_EQ(lc.energyRelDcnn(lc.dcnnOpt), 0.5);
+    EXPECT_DOUBLE_EQ(lc.energyRelDcnn(lc.scnn), 0.4);
+}
+
+TEST(LayerComparison, ZeroGuards)
+{
+    const LayerComparison lc = syntheticComparison(10, 0, 0, 0, 1, 1);
+    EXPECT_DOUBLE_EQ(lc.speedupScnn(), 0.0);
+    EXPECT_DOUBLE_EQ(lc.speedupOracle(), 0.0);
+    EXPECT_DOUBLE_EQ(lc.energyRelDcnn(lc.scnn), 0.0);
+}
+
+TEST(NetworkComparison, AggregatesAreSums)
+{
+    NetworkComparison cmp;
+    cmp.layers.push_back(
+        syntheticComparison(1000, 500, 250, 10, 6, 5));
+    cmp.layers.push_back(
+        syntheticComparison(3000, 1000, 500, 30, 14, 10));
+    EXPECT_EQ(cmp.totalDcnnCycles(), 4000u);
+    EXPECT_EQ(cmp.totalScnnCycles(), 1500u);
+    EXPECT_EQ(cmp.totalOracleCycles(), 750u);
+    EXPECT_DOUBLE_EQ(cmp.totalDcnnEnergy(), 40.0);
+    EXPECT_DOUBLE_EQ(cmp.totalDcnnOptEnergy(), 20.0);
+    EXPECT_DOUBLE_EQ(cmp.totalScnnEnergy(), 15.0);
+    EXPECT_NEAR(cmp.networkSpeedupScnn(), 4000.0 / 1500.0, 1e-12);
+    EXPECT_NEAR(cmp.networkSpeedupOracle(), 4000.0 / 750.0, 1e-12);
+}
+
+TEST(DensitySweep, PointsOrderedByInput)
+{
+    const auto pts = densitySweep(tinyTestNetwork(), {0.3, 0.6});
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_DOUBLE_EQ(pts[0].density, 0.3);
+    EXPECT_DOUBLE_EQ(pts[1].density, 0.6);
+}
+
+TEST(GranularitySweep, ReportsGeometry)
+{
+    Network net("g");
+    net.addLayer(makeConv("g1", 16, 16, 16, 3, 1, 0.5, 0.5));
+    const auto pts = peGranularitySweep(net, {{4, 4}}, 3);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0].peRows, 4);
+    EXPECT_EQ(pts[0].perPeMultipliers, 64);
+    EXPECT_GT(pts[0].cycles, 0u);
+    EXPECT_GT(pts[0].mathUtilization, 0.0);
+    EXPECT_LE(pts[0].mathUtilization, 1.0);
+}
+
+} // anonymous namespace
+} // namespace scnn

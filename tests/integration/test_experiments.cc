@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests of the experiment harnesses and the paper's headline result
+ * shapes: per-layer comparisons (Figs. 8/9/10), the density sweep
+ * (Fig. 7) and the PE-granularity study (Section VI-C) on reduced
+ * workloads, asserting the qualitative relations the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+
+namespace scnn {
+namespace {
+
+/** AlexNet-scale comparison shared across several tests. */
+const NetworkComparison &
+alexCmp()
+{
+    static const NetworkComparison cmp = compareNetwork(alexNet());
+    return cmp;
+}
+
+TEST(CompareNetwork, CoversAllEvalLayers)
+{
+    EXPECT_EQ(alexCmp().layers.size(), alexNet().numEvalLayers());
+}
+
+TEST(CompareNetwork, ScnnBeatsDcnnNetworkWide)
+{
+    // Fig. 8a: AlexNet network speedup ~2.37x; accept a broad band.
+    const double speedup = alexCmp().networkSpeedupScnn();
+    EXPECT_GT(speedup, 1.3);
+    EXPECT_LT(speedup, 4.5);
+}
+
+TEST(CompareNetwork, OracleBoundsScnn)
+{
+    for (const auto &l : alexCmp().layers) {
+        EXPECT_LE(l.oracleCycles, l.scnn.cycles) << l.layerName;
+        EXPECT_GE(l.speedupOracle(), l.speedupScnn()) << l.layerName;
+    }
+}
+
+TEST(CompareNetwork, EnergyOrderingOnSparseLayers)
+{
+    // On sparse mid-network layers SCNN and DCNN-opt must beat plain
+    // DCNN (Fig. 10a shapes).
+    const auto &layers = alexCmp().layers;
+    for (size_t i = 2; i < layers.size(); ++i) {
+        EXPECT_LT(layers[i].dcnnOpt.energyPj,
+                  layers[i].dcnn.energyPj)
+            << layers[i].layerName;
+        EXPECT_LT(layers[i].scnn.energyPj, layers[i].dcnn.energyPj)
+            << layers[i].layerName;
+    }
+}
+
+TEST(CompareNetwork, DenseFirstLayerIsScnnWorstCase)
+{
+    // Fig. 10: 100%-dense-input first layers challenge SCNN; its
+    // relative energy there must exceed its network-wide relative
+    // energy.
+    const auto &cmp = alexCmp();
+    const double conv1Rel =
+        cmp.layers[0].energyRelDcnn(cmp.layers[0].scnn);
+    const double netRel =
+        cmp.totalScnnEnergy() / cmp.totalDcnnEnergy();
+    EXPECT_GT(conv1Rel, netRel);
+}
+
+TEST(DensitySweep, ScnnScalesDcnnFlat)
+{
+    const Network tiny = tinyTestNetwork();
+    const std::vector<DensityPoint> pts =
+        densitySweep(tiny, {0.2, 0.5, 1.0});
+    ASSERT_EQ(pts.size(), 3u);
+    // DCNN latency does not depend on density.
+    EXPECT_NEAR(pts[0].dcnnCycles, pts[2].dcnnCycles,
+                pts[2].dcnnCycles * 0.01);
+    // SCNN latency grows with density.
+    EXPECT_LT(pts[0].scnnCycles, pts[1].scnnCycles);
+    EXPECT_LT(pts[1].scnnCycles, pts[2].scnnCycles);
+    // At 0.2/0.2, SCNN wins on performance and energy.
+    EXPECT_LT(pts[0].scnnCycles, pts[0].dcnnCycles);
+    EXPECT_LT(pts[0].scnnEnergy, pts[0].dcnnEnergy);
+    // DCNN-opt is never worse than DCNN on energy.
+    for (const auto &p : pts)
+        EXPECT_LE(p.dcnnOptEnergy, p.dcnnEnergy * 1.0001);
+}
+
+TEST(PeGranularity, FixedAccumMacroReproducesPaperDirection)
+{
+    // Section VI-C: under the fixed-accumulator-macro scaling, 64
+    // small PEs beat 4 big PEs (paper: 11% speedup, 59% vs 35% math
+    // utilization).  GoogLeNet-like mix of 3x3 and 1x1 layers.
+    Network net("granularity");
+    net.addLayer(makeConv("g1", 128, 256, 28, 3, 1, 0.40, 0.55));
+    net.addLayer(makeConv("g2", 480, 192, 14, 1, 0, 0.45, 0.50));
+    net.addLayer(makeConv("g3", 112, 288, 14, 3, 1, 0.35, 0.42));
+
+    const auto points = peGranularitySweep(net, {{2, 2}, {8, 8}}, 5,
+                                           /*fixedAccum=*/true);
+    ASSERT_EQ(points.size(), 2u);
+    const auto &small = points[0]; // 2x2
+    const auto &large = points[1]; // 8x8
+    EXPECT_GT(large.mathUtilization, small.mathUtilization);
+    EXPECT_LE(large.cycles, small.cycles);
+}
+
+TEST(PeGranularity, BarrierIdleGrowsWithPeCount)
+{
+    // Both the paper and this model agree that barrier-idle time
+    // grows with PE count (regardless of the buffer-scaling
+    // assumption).
+    Network net("granularity_idle");
+    net.addLayer(makeConv("g1", 128, 256, 28, 3, 1, 0.40, 0.55));
+
+    for (bool fixedAccum : {false, true}) {
+        const auto points = peGranularitySweep(
+            net, {{2, 2}, {8, 8}}, 5, fixedAccum);
+        EXPECT_GT(points[1].peIdleFraction, points[0].peIdleFraction)
+            << "fixedAccum=" << fixedAccum;
+    }
+}
+
+TEST(Experiments, DeterministicWithSeed)
+{
+    const Network net = tinyTestNetwork();
+    const NetworkComparison a = compareNetwork(net, 123);
+    const NetworkComparison b = compareNetwork(net, 123);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t i = 0; i < a.layers.size(); ++i) {
+        EXPECT_EQ(a.layers[i].scnn.cycles, b.layers[i].scnn.cycles);
+        EXPECT_EQ(a.layers[i].dcnn.cycles, b.layers[i].dcnn.cycles);
+    }
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests of the extension features: the input-halo dataflow variant,
+ * chained whole-network execution with emergent sparsity, pooling
+ * metadata, and the fixed-accumulator PE-grid scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hh"
+#include "nn/reference.hh"
+#include "nn/workload.hh"
+#include "scnn/simulator.hh"
+
+namespace scnn {
+namespace {
+
+TEST(InputHalos, FunctionalEquivalence)
+{
+    // The input-halo variant must compute the same outputs as the
+    // reference convolution (no double accumulation from the
+    // replicated inputs).
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.pe.inputHalos = true;
+    ScnnSimulator sim(cfg);
+
+    for (const auto &layer :
+         {makeConv("ih1", 8, 16, 20, 3, 1, 0.5, 0.5),
+          makeConv("ih2", 16, 8, 9, 5, 2, 0.4, 0.6),
+          makeConv("ih3", 4, 4, 30, 1, 0, 0.7, 0.7)}) {
+        const LayerWorkload w = makeWorkload(layer, 21);
+        const Tensor3 expect = referenceConv(layer, w.input,
+                                             w.weights);
+        const LayerResult r = sim.runLayer(w);
+        EXPECT_LT(maxAbsDiff(r.output, expect), 1e-3) << layer.name;
+    }
+}
+
+TEST(InputHalos, StridedEquivalence)
+{
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.pe.inputHalos = true;
+    ScnnSimulator sim(cfg);
+
+    ConvLayerParams p = makeConv("ih_stride", 3, 8, 27, 7, 0, 0.8,
+                                 1.0);
+    p.strideX = p.strideY = 4;
+    p.validate();
+    const LayerWorkload w = makeWorkload(p, 22);
+    const Tensor3 expect = referenceConv(p, w.input, w.weights);
+    EXPECT_LT(maxAbsDiff(sim.runLayer(w).output, expect), 1e-3);
+}
+
+TEST(InputHalos, NoNeighbourExchange)
+{
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.pe.inputHalos = true;
+    ScnnSimulator inHalo(cfg);
+    ScnnSimulator outHalo(scnnConfig());
+
+    const ConvLayerParams p =
+        makeConv("ih_halo", 16, 16, 24, 3, 1, 0.5, 0.5);
+    const LayerWorkload w = makeWorkload(p, 23);
+    const LayerResult a = inHalo.runLayer(w);
+    const LayerResult b = outHalo.runLayer(w);
+
+    EXPECT_DOUBLE_EQ(a.events.haloBits, 0.0);
+    EXPECT_GT(b.events.haloBits, 0.0);
+    // Replicated inputs: the input-halo variant computes at least as
+    // many products (redundant edge work).
+    EXPECT_GE(a.products, b.products);
+    // But accumulates exactly the same useful ones.
+    EXPECT_EQ(a.landedProducts, b.landedProducts);
+}
+
+TEST(InputHalos, ReplicationGrowsIaramFootprint)
+{
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.pe.inputHalos = true;
+    ScnnSimulator inHalo(cfg);
+    ScnnSimulator outHalo(scnnConfig());
+
+    const ConvLayerParams p =
+        makeConv("ih_cap", 16, 16, 24, 3, 1, 0.5, 0.5);
+    const LayerWorkload w = makeWorkload(p, 24);
+    EXPECT_GT(inHalo.runLayer(w).stats.get("in_stored_elements"),
+              outHalo.runLayer(w).stats.get("in_stored_elements"));
+}
+
+TEST(Chained, MatchesReferenceChain)
+{
+    const Network net = tinyTestNetwork();
+    ScnnSimulator sim(scnnConfig());
+    const NetworkResult nr = sim.runNetworkChained(net, 31);
+    ASSERT_EQ(nr.layers.size(), net.numLayers());
+
+    // Rebuild the reference chain with the same deterministic
+    // weights and input.
+    Rng actRng(net.layer(0).name + "/activations", 31);
+    Tensor3 act = makeActivations(net.layer(0), actRng);
+    for (size_t i = 0; i < net.numLayers(); ++i) {
+        const ConvLayerParams &layer = net.layer(i);
+        Rng wtRng(layer.name + "/weights", 31);
+        const Tensor4 weights = makeWeights(layer, wtRng);
+        act = referenceConv(layer, act, weights);
+        ASSERT_LT(maxAbsDiff(nr.layers[i].output, act), 1e-2)
+            << layer.name;
+        if (layer.poolWindow > 0)
+            act = maxPool(act, layer.poolWindow, layer.poolStride,
+                          layer.poolPad);
+    }
+}
+
+TEST(Chained, EmergentDensitiesReported)
+{
+    ScnnSimulator sim(scnnConfig());
+    const NetworkResult nr =
+        sim.runNetworkChained(tinyTestNetwork(), 32);
+    for (const auto &l : nr.layers) {
+        const double dOut = l.stats.get("output_density");
+        EXPECT_GT(dOut, 0.0) << l.layerName;
+        EXPECT_LT(dOut, 1.0) << l.layerName;
+        EXPECT_TRUE(l.stats.has("chained_input_density"));
+    }
+}
+
+TEST(Chained, AlexNetShapesChainThroughPools)
+{
+    // conv1 (55x55) -pool3/2-> 27x27 conv2 -pool3/2-> 13x13 conv3..5:
+    // the model-zoo pooling metadata must make the chain line up.
+    const Network net = alexNet();
+    int wh = 227;
+    for (const auto &l : net.layers()) {
+        ASSERT_EQ(l.inWidth, wh) << l.name;
+        wh = (wh + 2 * l.padX - l.filterW) / l.strideX + 1;
+        if (l.poolWindow > 0)
+            wh = (wh + 2 * l.poolPad - l.poolWindow) / l.poolStride +
+                 1;
+    }
+    EXPECT_EQ(wh, 6); // AlexNet's 6x6x256 going into fc6
+}
+
+TEST(Chained, RejectsNonSequentialTopology)
+{
+    // GoogLeNet's inception branches do not chain.
+    ScnnSimulator sim(scnnConfig());
+    EXPECT_EXIT(sim.runNetworkChained(googLeNet(), 1),
+                ::testing::ExitedWithCode(1), "sequential topology");
+}
+
+TEST(FixedAccumGrid, PinsAccumulatorCapacity)
+{
+    const AcceleratorConfig cfg = scnnWithPeGridFixedAccum(2, 2);
+    EXPECT_EQ(cfg.pe.accumBanks * cfg.pe.accumEntriesPerBank,
+              32 * 32);
+    EXPECT_EQ(cfg.pe.kcCap, 32);
+    // Proportional scaling grows capacity instead.
+    const AcceleratorConfig prop = scnnWithPeGrid(2, 2);
+    EXPECT_GT(prop.pe.accumBanks * prop.pe.accumEntriesPerBank,
+              32 * 32);
+}
+
+TEST(FixedAccumGrid, FunctionalEquivalence)
+{
+    const ConvLayerParams p =
+        makeConv("fa", 8, 16, 19, 3, 1, 0.5, 0.5);
+    const LayerWorkload w = makeWorkload(p, 5);
+    const Tensor3 expect = referenceConv(p, w.input, w.weights);
+    ScnnSimulator sim(scnnWithPeGridFixedAccum(4, 4));
+    EXPECT_LT(maxAbsDiff(sim.runLayer(w).output, expect), 1e-3);
+}
+
+TEST(Pooling, VggStagePoolsDeclared)
+{
+    int pools = 0;
+    for (const auto &l : vgg16().layers())
+        pools += (l.poolWindow > 0);
+    EXPECT_EQ(pools, 5);
+}
+
+} // anonymous namespace
+} // namespace scnn

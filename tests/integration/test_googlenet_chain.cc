@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests of the chained GoogLeNet inception-DAG executor: shape
+ * plumbing through the stem, branches, concatenation and stage
+ * pools; functional spot-checks against the reference; emergent
+ * density reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/googlenet_runner.hh"
+#include "nn/model_zoo.hh"
+#include "tensor/tensor.hh"
+
+namespace scnn {
+namespace {
+
+/** The chained run is expensive (~57 convs); share it. */
+const NetworkResult &
+chainedRun()
+{
+    static const NetworkResult nr = [] {
+        ScnnSimulator sim(scnnConfig());
+        return runGoogLeNetChained(sim, 77);
+    }();
+    return nr;
+}
+
+TEST(GoogLeNetChain, RunsAllFiftySevenConvs)
+{
+    EXPECT_EQ(chainedRun().layers.size(), googLeNet().numLayers());
+}
+
+TEST(GoogLeNetChain, LayerOrderMatchesTopology)
+{
+    const auto &layers = chainedRun().layers;
+    EXPECT_EQ(layers[0].layerName, "conv1/7x7_s2");
+    EXPECT_EQ(layers[3].layerName, "IC_3a/1x1");
+    EXPECT_EQ(layers.back().layerName, "IC_5b/pool_proj");
+}
+
+TEST(GoogLeNetChain, BranchOutputShapes)
+{
+    // IC_3a branches produce 64/128/32/32 channels of 28x28.
+    for (const auto &l : chainedRun().layers) {
+        if (l.layerName == "IC_3a/1x1") {
+            EXPECT_EQ(l.output.channels(), 64);
+            EXPECT_EQ(l.output.width(), 28);
+        }
+        if (l.layerName == "IC_5b/3x3") {
+            EXPECT_EQ(l.output.channels(), 384);
+            EXPECT_EQ(l.output.width(), 7);
+        }
+    }
+}
+
+TEST(GoogLeNetChain, EmergentDensitiesReasonable)
+{
+    for (const auto &l : chainedRun().layers) {
+        const double d = l.stats.getOr("output_density", -1.0);
+        EXPECT_GT(d, 0.05) << l.layerName;
+        EXPECT_LT(d, 0.95) << l.layerName;
+    }
+}
+
+TEST(GoogLeNetChain, PositiveWorkEverywhere)
+{
+    for (const auto &l : chainedRun().layers) {
+        EXPECT_GT(l.cycles, 0u) << l.layerName;
+        EXPECT_GT(l.products, 0u) << l.layerName;
+        EXPECT_GT(l.energyPj, 0.0) << l.layerName;
+    }
+}
+
+TEST(ConcatChannels, StacksAndValidates)
+{
+    Tensor3 a(2, 3, 3, 1.0f);
+    Tensor3 b(1, 3, 3, 2.0f);
+    const Tensor3 cat = concatChannels({a, b});
+    EXPECT_EQ(cat.channels(), 3);
+    EXPECT_FLOAT_EQ(cat.get(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(cat.get(2, 2, 2), 2.0f);
+
+    Tensor3 bad(1, 4, 3);
+    EXPECT_EXIT(concatChannels({a, bad}),
+                ::testing::ExitedWithCode(1), "plane mismatch");
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Whole-network integration tests: chained layer execution with real
+ * activation propagation (output of layer i feeds layer i+1), on-chip
+ * capacity behaviour across the paper networks, and pooling between
+ * stages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dcnn/simulator.hh"
+#include "nn/model_zoo.hh"
+#include "nn/reference.hh"
+#include "nn/workload.hh"
+#include "scnn/simulator.hh"
+
+namespace scnn {
+namespace {
+
+constexpr uint64_t kSeed = 99;
+
+/**
+ * Chain a small multi-layer network through the SCNN simulator using
+ * each layer's actual output as the next layer's input, and compare
+ * the final activations against a pure reference-convolution chain.
+ */
+TEST(NetworkChaining, ScnnMatchesReferenceAcrossLayers)
+{
+    // Three chained layers (channels line up; includes stride 2).
+    std::vector<ConvLayerParams> layers;
+    layers.push_back(makeConv("c1", 3, 8, 16, 3, 1, 0.7, 0.8));
+    {
+        ConvLayerParams l = makeConv("c2", 8, 12, 16, 3, 1, 0.5, 0.5);
+        l.strideX = l.strideY = 2;
+        l.inWidth = l.inHeight = 16;
+        l.padX = l.padY = 1;
+        l.validate();
+        layers.push_back(l);
+    }
+    layers.push_back(makeConv("c3", 12, 4, 8, 1, 0, 0.5, 0.5));
+
+    Rng rng("chain", 3);
+    Tensor3 act = makeActivations(layers[0], rng);
+    Tensor3 refAct = act;
+
+    ScnnSimulator sim(scnnConfig());
+    for (auto &layer : layers) {
+        // Shapes must chain.
+        ASSERT_EQ(layer.inChannels, act.channels());
+        layer.inWidth = act.width();
+        layer.inHeight = act.height();
+        layer.validate();
+
+        Rng wr(layer.name + "/w", 3);
+        const Tensor4 weights = makeWeights(layer, wr);
+
+        LayerWorkload w;
+        w.layer = layer;
+        w.input = act;
+        w.weights = weights;
+        const LayerResult res = sim.runLayer(w);
+
+        const Tensor3 expect = referenceConv(layer, refAct, weights);
+        ASSERT_LT(maxAbsDiff(res.output, expect), 1e-3)
+            << "layer " << layer.name;
+
+        act = res.output;
+        refAct = expect;
+    }
+    SUCCEED();
+}
+
+TEST(NetworkChaining, PoolingBetweenStages)
+{
+    // conv -> maxpool -> conv, as in AlexNet's stem.
+    const ConvLayerParams c1 = makeConv("p1", 3, 8, 16, 3, 1, 0.8,
+                                        0.9);
+    Rng rng("pool", 5);
+    const Tensor3 in = makeActivations(c1, rng);
+    Rng wr1("p1/w", 5);
+    const Tensor4 w1 = makeWeights(c1, wr1);
+
+    ScnnSimulator sim(scnnConfig());
+    LayerWorkload wl1{c1, in, w1};
+    const Tensor3 a1 = sim.runLayer(wl1).output;
+    const Tensor3 pooled = maxPool(a1, 2, 2, 0);
+    EXPECT_EQ(pooled.width(), 8);
+
+    ConvLayerParams c2 = makeConv("p2", 8, 4, 8, 3, 1, 0.5, 0.5);
+    Rng wr2("p2/w", 5);
+    const Tensor4 w2 = makeWeights(c2, wr2);
+    LayerWorkload wl2{c2, pooled, w2};
+    const LayerResult r2 = sim.runLayer(wl2);
+    const Tensor3 expect = referenceConv(c2, pooled, w2);
+    EXPECT_LT(maxAbsDiff(r2.output, expect), 1e-3);
+}
+
+TEST(PaperNetworks, AlexNetAndGoogLeNetStayOnChip)
+{
+    // Section V: SCNN's 1 MB of compressed activation RAM holds all
+    // AlexNet and GoogLeNet (inception) activations.
+    ScnnSimulator sim(scnnConfig());
+    for (const Network &net : {alexNet(), googLeNet()}) {
+        const NetworkResult nr = sim.runNetwork(net, kSeed);
+        for (const auto &l : nr.layers)
+            EXPECT_FALSE(l.dramTiled)
+                << net.name() << "/" << l.layerName;
+    }
+}
+
+TEST(PaperNetworks, SomeVggLayersTile)
+{
+    ScnnSimulator sim(scnnConfig());
+    const NetworkResult nr = sim.runNetwork(vgg16(), kSeed);
+    int tiled = 0;
+    for (const auto &l : nr.layers)
+        tiled += l.dramTiled;
+    // Paper: 9 of 72 evaluated layers (all in VGG) tile.
+    EXPECT_GE(tiled, 5);
+    EXPECT_LE(tiled, 12);
+}
+
+TEST(PaperNetworks, FullyConnectedExtensionRuns)
+{
+    // FC layers (paper delegates to EIE) run through the 1x1-conv
+    // path as an extension.
+    const ConvLayerParams fc =
+        makeFullyConnected("fc7", 512, 128, 0.1, 0.4);
+    const LayerWorkload w = makeWorkload(fc, 9);
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult r = sim.runLayer(w);
+    const Tensor3 expect = referenceConv(fc, w.input, w.weights);
+    EXPECT_LT(maxAbsDiff(r.output, expect), 1e-3);
+    EXPECT_GT(r.cycles, 0u);
+    // Only one PE can own the single pixel: heavy idling expected.
+    EXPECT_GT(r.peIdleFraction, 0.5);
+}
+
+TEST(PaperNetworks, DcnnHoldsAlexNetGoogLeNetOnChip)
+{
+    DcnnSimulator sim(dcnnConfig());
+    for (const Network &net : {alexNet(), googLeNet()}) {
+        const NetworkResult nr =
+            sim.runNetwork(net, kSeed, true, false);
+        for (const auto &l : nr.layers)
+            EXPECT_FALSE(l.dramTiled)
+                << net.name() << "/" << l.layerName;
+    }
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,109 @@
+/** @file Unit tests for layer descriptors and shape math. */
+
+#include <gtest/gtest.h>
+
+#include "nn/layer.hh"
+
+namespace scnn {
+namespace {
+
+TEST(Layer, OutputShapeSamePadding)
+{
+    const ConvLayerParams p =
+        makeConv("l", 8, 16, 14, 3, 1, 0.5, 0.5);
+    EXPECT_EQ(p.outWidth(), 14);
+    EXPECT_EQ(p.outHeight(), 14);
+}
+
+TEST(Layer, OutputShapeValidConv)
+{
+    const ConvLayerParams p = makeConv("l", 8, 16, 14, 3, 0, 0.5, 0.5);
+    EXPECT_EQ(p.outWidth(), 12);
+}
+
+TEST(Layer, OutputShapeStrided)
+{
+    ConvLayerParams p = makeConv("l", 3, 96, 227, 11, 0, 1.0, 1.0);
+    p.strideX = p.strideY = 4;
+    EXPECT_EQ(p.outWidth(), 55); // AlexNet conv1
+    EXPECT_EQ(p.outHeight(), 55);
+}
+
+TEST(Layer, CountsMatchClosedForms)
+{
+    ConvLayerParams p = makeConv("l", 6, 10, 8, 3, 1, 0.5, 0.5);
+    EXPECT_EQ(p.weightCount(), 10u * 6u * 9u);
+    EXPECT_EQ(p.inputCount(), 6u * 64u);
+    EXPECT_EQ(p.outputCount(), 10u * 64u);
+    EXPECT_EQ(p.macs(), 10u * 64u * 6u * 9u);
+}
+
+TEST(Layer, GroupedCountsDivideChannels)
+{
+    ConvLayerParams p = makeConv("l", 8, 16, 8, 3, 1, 0.5, 0.5);
+    p.groups = 2;
+    p.validate();
+    EXPECT_EQ(p.weightCount(), 16u * 4u * 9u);
+    EXPECT_EQ(p.macs(), 16u * 64u * 4u * 9u);
+}
+
+TEST(Layer, IdealMacsScalesWithDensities)
+{
+    ConvLayerParams p = makeConv("l", 4, 4, 8, 3, 1, 0.5, 0.4);
+    EXPECT_NEAR(p.idealMacs(),
+                static_cast<double>(p.macs()) * 0.2, 1e-9);
+}
+
+TEST(Layer, ValidateRejectsBadGroups)
+{
+    ConvLayerParams p = makeConv("l", 8, 16, 8, 3, 1, 0.5, 0.5);
+    p.groups = 3; // does not divide 8 or 16
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "groups");
+}
+
+TEST(Layer, ValidateRejectsNonPositiveDims)
+{
+    ConvLayerParams p;
+    p.name = "bad";
+    p.inChannels = 0;
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
+                "non-positive");
+}
+
+TEST(Layer, ValidateRejectsEmptyOutput)
+{
+    ConvLayerParams p = makeConv("l", 1, 1, 4, 3, 0, 1.0, 1.0);
+    p.filterW = p.filterH = 9; // bigger than padded input
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1),
+                "empty output");
+}
+
+TEST(Layer, ValidateRejectsBadDensity)
+{
+    ConvLayerParams p = makeConv("l", 1, 1, 4, 3, 1, 1.0, 1.0);
+    p.weightDensity = 1.5;
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "density");
+}
+
+TEST(Layer, ToStringMentionsNameAndDims)
+{
+    const ConvLayerParams p = makeConv("myconv", 8, 16, 14, 3, 1,
+                                       0.5, 0.5);
+    const std::string s = p.toString();
+    EXPECT_NE(s.find("myconv"), std::string::npos);
+    EXPECT_NE(s.find("C=8"), std::string::npos);
+    EXPECT_NE(s.find("K=16"), std::string::npos);
+}
+
+TEST(Layer, FullyConnectedAsOneByOne)
+{
+    const ConvLayerParams p =
+        makeFullyConnected("fc6", 4096, 1000, 0.1, 0.3);
+    EXPECT_EQ(p.inWidth, 1);
+    EXPECT_EQ(p.filterW, 1);
+    EXPECT_EQ(p.macs(), 4096u * 1000u);
+    EXPECT_EQ(p.outputCount(), 1000u);
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Model-zoo tests: the network definitions must reproduce the paper's
+ * Table I characteristics (layer counts, footprints, multiply counts)
+ * and the documented density ranges of Fig. 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hh"
+
+namespace scnn {
+namespace {
+
+TEST(AlexNet, LayerCountAndNames)
+{
+    const Network net = alexNet();
+    ASSERT_EQ(net.numLayers(), 5u);
+    EXPECT_EQ(net.numEvalLayers(), 5u);
+    EXPECT_EQ(net.layer(0).name, "conv1");
+    EXPECT_EQ(net.layer(4).name, "conv5");
+}
+
+TEST(AlexNet, TableOneCharacteristics)
+{
+    const Network net = alexNet();
+    // Total multiplies ~0.69 B (grouped AlexNet).
+    const double b = static_cast<double>(net.totalMacs(true)) / 1e9;
+    EXPECT_NEAR(b, 0.69, 0.05);
+    // Max layer weights ~1.73 MB (conv3: 384x256x3x3 @ 2B).
+    EXPECT_NEAR(static_cast<double>(net.maxLayerWeightBytes()) / 1e6,
+                1.77, 0.1);
+    // Paper reports 0.31 MB, which matches conv1's *input* (the
+    // 3x227x227 image).  Our definition takes max(input, output) over
+    // layers, which is conv1's output (96x55x55 @ 2 B = 0.58 MB); the
+    // deviation is recorded in EXPERIMENTS.md.
+    EXPECT_NEAR(
+        static_cast<double>(net.maxLayerActivationBytes()) / 1e6,
+        0.58, 0.05);
+}
+
+TEST(AlexNet, Conv1IsDenseStride4)
+{
+    const auto &conv1 = alexNet().layer(0);
+    EXPECT_EQ(conv1.strideX, 4);
+    EXPECT_DOUBLE_EQ(conv1.inputDensity, 1.0);
+    EXPECT_EQ(conv1.outWidth(), 55);
+}
+
+TEST(AlexNet, GroupedLayers)
+{
+    const Network net = alexNet();
+    EXPECT_EQ(net.layer(1).groups, 2);
+    EXPECT_EQ(net.layer(2).groups, 1);
+    EXPECT_EQ(net.layer(3).groups, 2);
+    EXPECT_EQ(net.layer(4).groups, 2);
+}
+
+TEST(GoogLeNet, FiftyFourInceptionConvs)
+{
+    const Network net = googLeNet();
+    EXPECT_EQ(net.numEvalLayers(), 54u);
+    EXPECT_EQ(net.numLayers(), 57u); // + 3 stem convs
+}
+
+TEST(GoogLeNet, TableOneCharacteristics)
+{
+    const Network net = googLeNet();
+    // Inception-scope multiplies ~1.1 B.
+    const double b = static_cast<double>(net.totalMacs(true)) / 1e9;
+    EXPECT_NEAR(b, 1.1, 0.15);
+    // Max weights ~1.32 MB (IC_5b 3x3: 384x192x3x3 @ 2B).
+    EXPECT_NEAR(static_cast<double>(net.maxLayerWeightBytes()) / 1e6,
+                1.33, 0.1);
+    // Max activations ~1.52 MB (stem conv1 output, 64x112x112 @ 2B).
+    EXPECT_NEAR(
+        static_cast<double>(net.maxLayerActivationBytes()) / 1e6,
+        1.6, 0.15);
+}
+
+TEST(GoogLeNet, ModuleStructure)
+{
+    const Network net = googLeNet();
+    // Each module contributes 6 convs named with the module id.
+    int ic5b = 0;
+    for (const auto &l : net.layers())
+        if (l.name.rfind("IC_5b/", 0) == 0)
+            ++ic5b;
+    EXPECT_EQ(ic5b, 6);
+    // IC_5b convs operate on 7x7 planes.
+    for (const auto &l : net.layers())
+        if (l.name.rfind("IC_5b/", 0) == 0)
+            EXPECT_EQ(l.inWidth, 7);
+}
+
+TEST(GoogLeNet, WeightDensityFloorIsThirtyPercent)
+{
+    for (const auto &l : googLeNet().layers()) {
+        if (!l.inEval)
+            continue;
+        EXPECT_GE(l.weightDensity, 0.30);
+        EXPECT_LE(l.weightDensity, 0.60);
+    }
+}
+
+TEST(Vgg16, ThirteenConvLayers)
+{
+    const Network net = vgg16();
+    EXPECT_EQ(net.numLayers(), 13u);
+    EXPECT_EQ(net.numEvalLayers(), 13u);
+    for (const auto &l : net.layers()) {
+        EXPECT_EQ(l.filterW, 3);
+        EXPECT_EQ(l.padX, 1);
+        EXPECT_EQ(l.strideX, 1);
+    }
+}
+
+TEST(Vgg16, TableOneCharacteristics)
+{
+    const Network net = vgg16();
+    const double b = static_cast<double>(net.totalMacs(true)) / 1e9;
+    EXPECT_NEAR(b, 15.3, 0.3);
+    EXPECT_NEAR(static_cast<double>(net.maxLayerWeightBytes()) / 1e6,
+                4.7, 0.3); // 512x512x3x3 @ 2B
+    EXPECT_NEAR(
+        static_cast<double>(net.maxLayerActivationBytes()) / 1e6,
+        6.4, 0.3); // 64x224x224 @ 2B
+}
+
+TEST(PaperNetworks, SeventyTwoEvalLayers)
+{
+    size_t total = 0;
+    for (const auto &net : paperNetworks())
+        total += net.numEvalLayers();
+    EXPECT_EQ(total, 72u); // Section VI-D: "72 total evaluated layers"
+}
+
+TEST(DensityProfiles, WithinFigureOneRanges)
+{
+    for (const auto &net : paperNetworks()) {
+        for (const auto &l : net.layers()) {
+            EXPECT_GE(l.weightDensity, 0.2) << l.name;
+            EXPECT_LE(l.weightDensity, 0.9) << l.name;
+            EXPECT_GE(l.inputDensity, 0.15) << l.name;
+            EXPECT_LE(l.inputDensity, 1.0) << l.name;
+        }
+    }
+}
+
+TEST(DensityProfiles, TypicalWorkReductionAroundFourX)
+{
+    // Fig. 1: "Typical layers can reduce work by a factor of 4, and
+    // can reach as high as a factor of ten."
+    for (const auto &net : paperNetworks()) {
+        const double reduction =
+            static_cast<double>(net.totalMacs(true)) /
+            net.totalIdealMacs(true);
+        EXPECT_GE(reduction, 2.0) << net.name();
+        EXPECT_LE(reduction, 12.0) << net.name();
+    }
+}
+
+TEST(UniformDensity, OverridesEveryLayer)
+{
+    const Network swept = withUniformDensity(googLeNet(), 0.3, 0.4);
+    for (const auto &l : swept.layers()) {
+        EXPECT_DOUBLE_EQ(l.weightDensity, 0.3);
+        EXPECT_DOUBLE_EQ(l.inputDensity, 0.4);
+    }
+    EXPECT_EQ(swept.numLayers(), googLeNet().numLayers());
+}
+
+TEST(TinyNetwork, CoversGeometryFeatures)
+{
+    const Network net = tinyTestNetwork();
+    bool hasStride = false;
+    bool hasGroups = false;
+    bool hasOneByOne = false;
+    for (const auto &l : net.layers()) {
+        hasStride |= l.strideX > 1;
+        hasGroups |= l.groups > 1;
+        hasOneByOne |= l.filterW == 1;
+    }
+    EXPECT_TRUE(hasStride);
+    EXPECT_TRUE(hasGroups);
+    EXPECT_TRUE(hasOneByOne);
+}
+
+} // anonymous namespace
+} // namespace scnn

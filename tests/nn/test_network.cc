@@ -1,0 +1,73 @@
+/** @file Unit tests for the network container. */
+
+#include <gtest/gtest.h>
+
+#include "nn/network.hh"
+
+namespace scnn {
+namespace {
+
+Network
+twoLayerNet()
+{
+    Network net("test");
+    net.addLayer(makeConv("a", 4, 8, 10, 3, 1, 0.5, 1.0));
+    ConvLayerParams b = makeConv("b", 8, 4, 10, 3, 1, 0.25, 0.5);
+    b.inEval = false;
+    net.addLayer(b);
+    return net;
+}
+
+TEST(Network, AddAndAccessLayers)
+{
+    const Network net = twoLayerNet();
+    EXPECT_EQ(net.numLayers(), 2u);
+    EXPECT_EQ(net.layer(0).name, "a");
+    EXPECT_EQ(net.layer(1).name, "b");
+}
+
+TEST(Network, EvalScopeFiltering)
+{
+    const Network net = twoLayerNet();
+    EXPECT_EQ(net.numEvalLayers(), 1u);
+    const auto eval = net.evalLayers();
+    ASSERT_EQ(eval.size(), 1u);
+    EXPECT_EQ(eval[0].name, "a");
+}
+
+TEST(Network, TotalMacsRespectsScope)
+{
+    const Network net = twoLayerNet();
+    const uint64_t a = net.layer(0).macs();
+    const uint64_t b = net.layer(1).macs();
+    EXPECT_EQ(net.totalMacs(false), a + b);
+    EXPECT_EQ(net.totalMacs(true), a);
+}
+
+TEST(Network, TotalIdealMacs)
+{
+    const Network net = twoLayerNet();
+    EXPECT_NEAR(net.totalIdealMacs(true), net.layer(0).idealMacs(),
+                1e-9);
+}
+
+TEST(Network, MaxFootprints)
+{
+    const Network net = twoLayerNet();
+    // Layer a weights: 8*4*9 = 288 values; layer b: 4*8*9 = 288.
+    EXPECT_EQ(net.maxLayerWeightBytes(), 288u * 2u);
+    // Activations: max(in, out) over layers = 8*100 = 800 values.
+    EXPECT_EQ(net.maxLayerActivationBytes(), 800u * 2u);
+}
+
+TEST(Network, AddLayerValidates)
+{
+    Network net("bad");
+    ConvLayerParams p = makeConv("x", 4, 8, 10, 3, 1, 0.5, 1.0);
+    p.groups = 3;
+    EXPECT_EXIT(net.addLayer(p), ::testing::ExitedWithCode(1),
+                "groups");
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,97 @@
+/** @file Tests of the 16-bit/24-bit fixed-point datapath model. */
+
+#include <gtest/gtest.h>
+
+#include "nn/quantize.hh"
+#include "nn/workload.hh"
+
+namespace scnn {
+namespace {
+
+TEST(Quantize, ScaleMapsPeakToMaxCode)
+{
+    const float data[] = {0.5f, -2.0f, 1.0f};
+    const QuantScale s = chooseScale(data, 3, 16);
+    EXPECT_EQ(quantize(-2.0f, s, 16), -32767);
+    EXPECT_EQ(quantize(2.0f, s, 16), 32767);
+    EXPECT_NEAR(dequantize(quantize(0.5f, s, 16), s), 0.5f, 1e-4);
+}
+
+TEST(Quantize, ZeroTensorHasUsableScale)
+{
+    const float zeros[4] = {0, 0, 0, 0};
+    const QuantScale s = chooseScale(zeros, 4, 16);
+    EXPECT_GT(s.scale, 0.0);
+    EXPECT_EQ(quantize(0.0f, s, 16), 0);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfLsb)
+{
+    const float data[] = {0.31f, -0.77f, 0.999f, -0.004f};
+    const QuantScale s = chooseScale(data, 4, 16);
+    for (float v : data) {
+        const float back = dequantize(quantize(v, s, 16), s);
+        EXPECT_NEAR(back, v, s.scale * 0.5 + 1e-7);
+    }
+}
+
+TEST(QuantizedConv, SixteenBitPathIsAccurate)
+{
+    // Table II's 16-bit multipliers / 24-bit accumulators must yield
+    // outputs within a fraction of a percent of the float reference
+    // on typical layers -- the premise of the paper's datapath.
+    const ConvLayerParams p =
+        makeConv("q16", 16, 16, 14, 3, 1, 0.4, 0.4);
+    const LayerWorkload w = makeWorkload(p, 9);
+    const QuantStats st =
+        quantizedConv(p, w.input, w.weights, QuantConfig{});
+    EXPECT_EQ(st.accumSaturations, 0u);
+    EXPECT_LT(st.rmsError, 0.005 * st.referenceRms);
+}
+
+TEST(QuantizedConv, EightBitPathDegrades)
+{
+    const ConvLayerParams p =
+        makeConv("q8", 16, 16, 14, 3, 1, 0.4, 0.4);
+    const LayerWorkload w = makeWorkload(p, 9);
+    QuantConfig lo;
+    lo.dataBits = 8;
+    lo.accumBits = 16;
+    lo.productShift = 7;
+    const QuantStats a =
+        quantizedConv(p, w.input, w.weights, QuantConfig{});
+    const QuantStats b = quantizedConv(p, w.input, w.weights, lo);
+    EXPECT_GT(b.rmsError, 4.0 * a.rmsError);
+}
+
+TEST(QuantizedConv, NarrowAccumulatorSaturates)
+{
+    // A 12-bit accumulator with no product shift headroom must clamp
+    // on a reduction of hundreds of products.
+    const ConvLayerParams p =
+        makeConv("qsat", 64, 4, 8, 3, 1, 1.0, 1.0);
+    const LayerWorkload w = makeWorkload(p, 9);
+    QuantConfig narrow;
+    narrow.accumBits = 16;
+    narrow.productShift = 15;
+    const QuantStats st =
+        quantizedConv(p, w.input, w.weights, narrow);
+    EXPECT_GT(st.accumSaturations, 0u);
+}
+
+TEST(QuantizedConv, OutputTensorProduced)
+{
+    const ConvLayerParams p =
+        makeConv("qout", 4, 4, 8, 3, 1, 0.5, 0.5);
+    const LayerWorkload w = makeWorkload(p, 2);
+    Tensor3 out;
+    quantizedConv(p, w.input, w.weights, QuantConfig{}, &out);
+    EXPECT_EQ(out.channels(), 4);
+    EXPECT_EQ(out.width(), p.outWidth());
+    // ReLU applied per layer setting.
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_GE(out.data()[i], 0.0f);
+}
+
+} // anonymous namespace
+} // namespace scnn

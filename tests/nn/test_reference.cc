@@ -1,0 +1,137 @@
+/** @file Unit tests for the reference convolution / pooling oracle. */
+
+#include <gtest/gtest.h>
+
+#include "nn/reference.hh"
+
+namespace scnn {
+namespace {
+
+TEST(ReferenceConv, IdentityFilterCopiesInput)
+{
+    ConvLayerParams p = makeConv("id", 1, 1, 4, 1, 0, 1.0, 1.0);
+    p.applyRelu = false;
+    Tensor3 in(1, 4, 4);
+    for (int x = 0; x < 4; ++x)
+        for (int y = 0; y < 4; ++y)
+            in.set(0, x, y, static_cast<float>(x * 4 + y - 5));
+    Tensor4 w(1, 1, 1, 1);
+    w.at(0, 0, 0, 0) = 1.0f;
+
+    const Tensor3 out = referenceConv(p, in, w);
+    EXPECT_DOUBLE_EQ(maxAbsDiff(out, in), 0.0);
+}
+
+TEST(ReferenceConv, HandComputedThreeByThree)
+{
+    // 3x3 all-ones filter over a plane of ones, pad 1: interior = 9,
+    // edges = 6, corners = 4.
+    ConvLayerParams p = makeConv("box", 1, 1, 4, 3, 1, 1.0, 1.0);
+    Tensor3 in(1, 4, 4, 1.0f);
+    Tensor4 w(1, 1, 3, 3, 1.0f);
+    const Tensor3 out = referenceConv(p, in, w);
+    EXPECT_FLOAT_EQ(out.get(0, 1, 1), 9.0f);
+    EXPECT_FLOAT_EQ(out.get(0, 0, 1), 6.0f);
+    EXPECT_FLOAT_EQ(out.get(0, 0, 0), 4.0f);
+}
+
+TEST(ReferenceConv, ReluClamps)
+{
+    ConvLayerParams p = makeConv("neg", 1, 1, 2, 1, 0, 1.0, 1.0);
+    Tensor3 in(1, 2, 2, 1.0f);
+    Tensor4 w(1, 1, 1, 1);
+    w.at(0, 0, 0, 0) = -2.0f;
+    const Tensor3 relu = referenceConv(p, in, w);
+    EXPECT_FLOAT_EQ(relu.get(0, 0, 0), 0.0f);
+    const Tensor3 raw = referenceConvNoRelu(p, in, w);
+    EXPECT_FLOAT_EQ(raw.get(0, 0, 0), -2.0f);
+}
+
+TEST(ReferenceConv, StrideSkipsPositions)
+{
+    ConvLayerParams p = makeConv("st", 1, 1, 5, 1, 0, 1.0, 1.0);
+    p.strideX = p.strideY = 2;
+    Tensor3 in(1, 5, 5);
+    in.set(0, 2, 2, 7.0f);
+    Tensor4 w(1, 1, 1, 1);
+    w.at(0, 0, 0, 0) = 1.0f;
+    const Tensor3 out = referenceConv(p, in, w);
+    EXPECT_EQ(out.width(), 3);
+    EXPECT_FLOAT_EQ(out.get(0, 1, 1), 7.0f);
+    EXPECT_FLOAT_EQ(out.get(0, 0, 0), 0.0f);
+}
+
+TEST(ReferenceConv, GroupedConvIsolatesChannels)
+{
+    // groups=2: k=0 sees channels {0,1}, k=1 sees channels {2,3}.
+    ConvLayerParams p = makeConv("grp", 4, 2, 2, 1, 0, 1.0, 1.0);
+    p.groups = 2;
+    p.applyRelu = false;
+    p.validate();
+    Tensor3 in(4, 2, 2);
+    in.set(0, 0, 0, 1.0f);
+    in.set(2, 0, 0, 10.0f);
+    Tensor4 w(2, 2, 1, 1, 1.0f); // all ones
+
+    const Tensor3 out = referenceConv(p, in, w);
+    EXPECT_FLOAT_EQ(out.get(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out.get(1, 0, 0), 10.0f);
+}
+
+TEST(ReferenceConv, ChannelAccumulation)
+{
+    ConvLayerParams p = makeConv("acc", 3, 1, 1, 1, 0, 1.0, 1.0);
+    p.applyRelu = false;
+    Tensor3 in(3, 1, 1);
+    in.set(0, 0, 0, 1.0f);
+    in.set(1, 0, 0, 2.0f);
+    in.set(2, 0, 0, 3.0f);
+    Tensor4 w(1, 3, 1, 1);
+    w.at(0, 0, 0, 0) = 1.0f;
+    w.at(0, 1, 0, 0) = 10.0f;
+    w.at(0, 2, 0, 0) = 100.0f;
+    const Tensor3 out = referenceConv(p, in, w);
+    EXPECT_FLOAT_EQ(out.get(0, 0, 0), 1.0f + 20.0f + 300.0f);
+}
+
+TEST(ReferenceConv, ShapeMismatchIsFatal)
+{
+    const ConvLayerParams p = makeConv("m", 2, 2, 4, 3, 1, 1.0, 1.0);
+    Tensor3 in(3, 4, 4); // wrong channel count
+    Tensor4 w(2, 2, 3, 3);
+    EXPECT_DEATH(referenceConv(p, in, w), "input shape");
+}
+
+TEST(MaxPool, BasicWindow)
+{
+    Tensor3 in(1, 4, 4);
+    in.set(0, 0, 0, 1.0f);
+    in.set(0, 1, 1, 5.0f);
+    in.set(0, 3, 3, 2.0f);
+    const Tensor3 out = maxPool(in, 2, 2, 0);
+    EXPECT_EQ(out.width(), 2);
+    EXPECT_FLOAT_EQ(out.get(0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out.get(0, 1, 1), 2.0f);
+}
+
+TEST(MaxPool, StrideOneSamePad)
+{
+    Tensor3 in(1, 3, 3);
+    in.set(0, 1, 1, 4.0f);
+    const Tensor3 out = maxPool(in, 3, 1, 1);
+    EXPECT_EQ(out.width(), 3);
+    // Every window includes the center.
+    for (int x = 0; x < 3; ++x)
+        for (int y = 0; y < 3; ++y)
+            EXPECT_FLOAT_EQ(out.get(0, x, y), 4.0f);
+}
+
+TEST(MaxPool, NegativeValuesSurvive)
+{
+    Tensor3 in(1, 2, 2, -3.0f);
+    const Tensor3 out = maxPool(in, 2, 2, 0);
+    EXPECT_FLOAT_EQ(out.get(0, 0, 0), -3.0f);
+}
+
+} // anonymous namespace
+} // namespace scnn

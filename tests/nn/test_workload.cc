@@ -1,0 +1,100 @@
+/** @file Unit tests for synthetic sparse workload generation. */
+
+#include <gtest/gtest.h>
+
+#include "nn/workload.hh"
+
+namespace scnn {
+namespace {
+
+TEST(Workload, ActivationDensityNearTarget)
+{
+    const ConvLayerParams p =
+        makeConv("w", 32, 8, 32, 3, 1, 0.5, 0.37);
+    Rng rng(1);
+    const Tensor3 acts = makeActivations(p, rng);
+    EXPECT_NEAR(acts.density(), 0.37, 0.01);
+}
+
+TEST(Workload, WeightDensityNearTarget)
+{
+    const ConvLayerParams p =
+        makeConv("w", 64, 64, 8, 3, 1, 0.42, 0.5);
+    Rng rng(2);
+    const Tensor4 w = makeWeights(p, rng);
+    EXPECT_NEAR(w.density(), 0.42, 0.01);
+}
+
+TEST(Workload, ActivationsAreNonNegative)
+{
+    const ConvLayerParams p = makeConv("w", 8, 8, 16, 3, 1, 0.5, 0.5);
+    Rng rng(3);
+    const Tensor3 acts = makeActivations(p, rng);
+    for (size_t i = 0; i < acts.size(); ++i)
+        EXPECT_GE(acts.data()[i], 0.0f);
+}
+
+TEST(Workload, WeightsAreSigned)
+{
+    const ConvLayerParams p =
+        makeConv("w", 16, 16, 8, 3, 1, 0.8, 0.5);
+    Rng rng(4);
+    const Tensor4 w = makeWeights(p, rng);
+    int pos = 0;
+    int neg = 0;
+    for (size_t i = 0; i < w.size(); ++i) {
+        pos += w.data()[i] > 0.0f;
+        neg += w.data()[i] < 0.0f;
+    }
+    EXPECT_GT(pos, 100);
+    EXPECT_GT(neg, 100);
+}
+
+TEST(Workload, GroupedWeightShape)
+{
+    ConvLayerParams p = makeConv("w", 8, 16, 8, 3, 1, 0.5, 0.5);
+    p.groups = 2;
+    p.validate();
+    const LayerWorkload w = makeWorkload(p, 5);
+    EXPECT_EQ(w.weights.k(), 16);
+    EXPECT_EQ(w.weights.c(), 4); // C / groups
+}
+
+TEST(Workload, DeterministicInSeed)
+{
+    const ConvLayerParams p = makeConv("w", 4, 4, 8, 3, 1, 0.5, 0.5);
+    const LayerWorkload a = makeWorkload(p, 9);
+    const LayerWorkload b = makeWorkload(p, 9);
+    EXPECT_DOUBLE_EQ(maxAbsDiff(a.input, b.input), 0.0);
+    for (size_t i = 0; i < a.weights.size(); ++i)
+        EXPECT_EQ(a.weights.data()[i], b.weights.data()[i]);
+}
+
+TEST(Workload, DifferentSeedsDiffer)
+{
+    const ConvLayerParams p = makeConv("w", 4, 4, 8, 3, 1, 0.5, 0.5);
+    const LayerWorkload a = makeWorkload(p, 1);
+    const LayerWorkload b = makeWorkload(p, 2);
+    EXPECT_GT(maxAbsDiff(a.input, b.input), 0.0);
+}
+
+TEST(Workload, LayerNameSeparatesStreams)
+{
+    ConvLayerParams p1 = makeConv("conv_a", 4, 4, 8, 3, 1, 0.5, 0.5);
+    ConvLayerParams p2 = p1;
+    p2.name = "conv_b";
+    const LayerWorkload a = makeWorkload(p1, 3);
+    const LayerWorkload b = makeWorkload(p2, 3);
+    EXPECT_GT(maxAbsDiff(a.input, b.input), 0.0);
+}
+
+TEST(Workload, ExtremeDensities)
+{
+    ConvLayerParams p = makeConv("w", 8, 8, 16, 3, 1, 0.0, 1.0);
+    const LayerWorkload w = makeWorkload(p, 11);
+    EXPECT_EQ(w.weights.nonZeros(), 0u);
+    EXPECT_EQ(w.input.nonZeros(), w.input.size());
+}
+
+} // anonymous namespace
+} // namespace scnn

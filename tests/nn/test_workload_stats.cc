@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Statistical tests of the clustered-sparsity workload generator: the
+ * realized density must track the profile despite the log-normal
+ * spatial/channel modulation, and the modulation must actually create
+ * the per-channel and per-region variance it claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/workload.hh"
+
+namespace scnn {
+namespace {
+
+ConvLayerParams
+bigLayer(double d, double spatialSigma, double channelSigma)
+{
+    ConvLayerParams p = makeConv("ws", 64, 8, 56, 3, 1, 0.5, d);
+    p.actSpatialSigma = spatialSigma;
+    p.actChannelSigma = channelSigma;
+    return p;
+}
+
+double
+channelDensityStd(const Tensor3 &t)
+{
+    const double plane = static_cast<double>(t.width()) * t.height();
+    double mean = 0.0;
+    std::vector<double> dens;
+    for (int c = 0; c < t.channels(); ++c) {
+        size_t nz = 0;
+        for (int x = 0; x < t.width(); ++x)
+            for (int y = 0; y < t.height(); ++y)
+                nz += (t.get(c, x, y) != 0.0f);
+        dens.push_back(static_cast<double>(nz) / plane);
+        mean += dens.back();
+    }
+    mean /= static_cast<double>(dens.size());
+    double var = 0.0;
+    for (double v : dens)
+        var += (v - mean) * (v - mean);
+    return std::sqrt(var / static_cast<double>(dens.size()));
+}
+
+TEST(WorkloadStats, DensityTracksProfileDespiteClustering)
+{
+    for (double d : {0.2, 0.4, 0.6, 0.8}) {
+        Rng rng(7);
+        const Tensor3 t =
+            makeActivations(bigLayer(d, 0.8, 0.9), rng);
+        EXPECT_NEAR(t.density(), d, 0.03) << d;
+    }
+}
+
+TEST(WorkloadStats, ChannelSigmaCreatesChannelVariance)
+{
+    Rng a(9);
+    const Tensor3 iid = makeActivations(bigLayer(0.4, 0.0, 0.0), a);
+    Rng b(9);
+    const Tensor3 clustered =
+        makeActivations(bigLayer(0.4, 0.0, 0.9), b);
+    EXPECT_GT(channelDensityStd(clustered),
+              2.0 * channelDensityStd(iid));
+}
+
+TEST(WorkloadStats, SpatialSigmaCreatesRegionVariance)
+{
+    // Compare quadrant densities: clustered maps vary across
+    // quadrants far more than i.i.d. ones.
+    auto quadrantStd = [](const Tensor3 &t) {
+        const int hw = t.width() / 2;
+        const int hh = t.height() / 2;
+        double mean = 0.0;
+        std::vector<double> dens;
+        for (int qx = 0; qx < 2; ++qx) {
+            for (int qy = 0; qy < 2; ++qy) {
+                size_t nz = 0;
+                for (int x = qx * hw; x < (qx + 1) * hw; ++x)
+                    for (int y = qy * hh; y < (qy + 1) * hh; ++y)
+                        for (int c = 0; c < t.channels(); ++c)
+                            nz += (t.get(c, x, y) != 0.0f);
+                dens.push_back(static_cast<double>(nz));
+                mean += dens.back();
+            }
+        }
+        mean /= 4.0;
+        double var = 0.0;
+        for (double v : dens)
+            var += (v - mean) * (v - mean);
+        return std::sqrt(var / 4.0) / mean;
+    };
+
+    Rng a(11);
+    const Tensor3 iid = makeActivations(bigLayer(0.4, 0.0, 0.0), a);
+    Rng b(11);
+    const Tensor3 clustered =
+        makeActivations(bigLayer(0.4, 1.2, 0.0), b);
+    EXPECT_GT(quadrantStd(clustered), 2.0 * quadrantStd(iid));
+}
+
+TEST(WorkloadStats, FullyDenseUnaffectedByModulation)
+{
+    Rng rng(13);
+    const Tensor3 t = makeActivations(bigLayer(1.0, 1.0, 1.0), rng);
+    EXPECT_DOUBLE_EQ(t.density(), 1.0);
+}
+
+TEST(WorkloadStats, ZeroSigmaIsIid)
+{
+    // With sigmas off, quadrant non-zero counts should agree within
+    // binomial noise.
+    ConvLayerParams p = bigLayer(0.5, 0.0, 0.0);
+    Rng rng(15);
+    const Tensor3 t = makeActivations(p, rng);
+    EXPECT_NEAR(t.density(), 0.5, 0.01);
+}
+
+} // anonymous namespace
+} // namespace scnn

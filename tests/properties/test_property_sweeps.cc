@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Property-based sweeps: randomized layer geometries and densities
+ * checked against the invariants that must hold for ANY layer --
+ * functional equivalence with the reference convolution, conservation
+ * of non-zero products, oracle bounds, utilization bounds, and
+ * monotonicity of the analytical model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "analytic/timeloop.hh"
+#include "common/random.hh"
+#include "nn/reference.hh"
+#include "nn/workload.hh"
+#include "scnn/oracle.hh"
+#include "scnn/simulator.hh"
+
+namespace scnn {
+namespace {
+
+/** Draw a random-but-valid small layer. */
+ConvLayerParams
+randomLayer(Rng &rng)
+{
+    ConvLayerParams p;
+    p.inChannels = 1 + static_cast<int>(rng.uniformInt(24));
+    p.outChannels = 1 + static_cast<int>(rng.uniformInt(24));
+    p.inWidth = 3 + static_cast<int>(rng.uniformInt(26));
+    p.inHeight = 3 + static_cast<int>(rng.uniformInt(26));
+    const int fw = 1 + 2 * static_cast<int>(rng.uniformInt(3)); // 1/3/5
+    p.filterW = std::min(fw, p.inWidth);
+    const int fh = 1 + 2 * static_cast<int>(rng.uniformInt(3));
+    p.filterH = std::min(fh, p.inHeight);
+    p.strideX = 1 + static_cast<int>(rng.uniformInt(3));
+    p.strideY = 1 + static_cast<int>(rng.uniformInt(3));
+    p.padX = static_cast<int>(rng.uniformInt(p.filterW));
+    p.padY = static_cast<int>(rng.uniformInt(p.filterH));
+    if (rng.bernoulli(0.2) && p.inChannels % 2 == 0 &&
+        p.outChannels % 2 == 0) {
+        p.groups = 2;
+    }
+    p.weightDensity = rng.uniform(0.05, 1.0);
+    p.inputDensity = rng.uniform(0.05, 1.0);
+    p.applyRelu = rng.bernoulli(0.8);
+    p.name = strfmt("prop_c%d_k%d_w%d_h%d_f%dx%d_s%d%d_p%d%d_g%d",
+                    p.inChannels, p.outChannels, p.inWidth,
+                    p.inHeight, p.filterW, p.filterH, p.strideX,
+                    p.strideY, p.padX, p.padY, p.groups);
+    // Output must be non-empty; shrink stride if needed.
+    while ((p.inWidth + 2 * p.padX - p.filterW) / p.strideX + 1 <= 0)
+        --p.strideX;
+    while ((p.inHeight + 2 * p.padY - p.filterH) / p.strideY + 1 <= 0)
+        --p.strideY;
+    p.validate();
+    return p;
+}
+
+class RandomizedLayers : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomizedLayers, InvariantsHold)
+{
+    Rng rng("property", static_cast<uint64_t>(GetParam()));
+    ScnnSimulator sim(scnnConfig());
+    const AcceleratorConfig cfg = scnnConfig();
+
+    for (int trial = 0; trial < 6; ++trial) {
+        const ConvLayerParams layer = randomLayer(rng);
+        const LayerWorkload w = makeWorkload(layer, rng.next());
+
+        const LayerResult r = sim.runLayer(w);
+
+        // 1. Functional equivalence with the reference convolution.
+        const Tensor3 expect =
+            layer.applyRelu
+                ? referenceConv(layer, w.input, w.weights)
+                : referenceConvNoRelu(layer, w.input, w.weights);
+        ASSERT_LT(maxAbsDiff(r.output, expect), 1e-3) << layer.name;
+
+        // 2. Product conservation: products == sum over channels of
+        //    nnz(act) * nnz(wt) (phase decomposition loses nothing).
+        uint64_t expected = 0;
+        const int cPerGroup = layer.inChannels / layer.groups;
+        const int kPerGroup = layer.outChannels / layer.groups;
+        for (int c = 0; c < layer.inChannels; ++c) {
+            uint64_t an = 0;
+            for (int x = 0; x < layer.inWidth; ++x)
+                for (int y = 0; y < layer.inHeight; ++y)
+                    an += (w.input.get(c, x, y) != 0.0f);
+            uint64_t wn = 0;
+            const int cg = c / cPerGroup;
+            for (int k = cg * kPerGroup; k < (cg + 1) * kPerGroup;
+                 ++k)
+                for (int fr = 0; fr < layer.filterW; ++fr)
+                    for (int fs = 0; fs < layer.filterH; ++fs)
+                        wn += (w.weights.get(k, c % cPerGroup, fr,
+                                             fs) != 0.0f);
+            // Phase matching drops nothing for stride 1; for larger
+            // strides only phase-matched pairs multiply.
+            if (layer.strideX == 1 && layer.strideY == 1)
+                expected += an * wn;
+        }
+        if (layer.strideX == 1 && layer.strideY == 1)
+            ASSERT_EQ(r.products, expected) << layer.name;
+
+        // 3. Oracle lower-bounds cycles; utilization within [0, 1].
+        ASSERT_LE(oracleCycles(r, cfg), r.cycles) << layer.name;
+        ASSERT_GE(r.multUtilBusy, 0.0);
+        ASSERT_LE(r.multUtilBusy, 1.0 + 1e-9) << layer.name;
+        ASSERT_GE(r.peIdleFraction, 0.0);
+        ASSERT_LE(r.peIdleFraction, 1.0) << layer.name;
+
+        // 4. Landed products cannot exceed products and must equal
+        //    the reference's non-zero contribution count bound.
+        ASSERT_LE(r.landedProducts, r.products) << layer.name;
+
+        // 5. Energy strictly positive with any work.
+        if (r.products > 0)
+            ASSERT_GT(r.energyPj, 0.0) << layer.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedLayers,
+                         ::testing::Range(0, 8));
+
+/** The analytical model tracks the simulator across random layers. */
+TEST(RandomizedAnalytic, TimeLoopWithinBand)
+{
+    Rng rng("analytic-prop", 7);
+    ScnnSimulator sim(scnnConfig());
+    TimeLoopModel model;
+
+    int checked = 0;
+    for (int trial = 0; trial < 60 && checked < 6; ++trial) {
+        ConvLayerParams layer = randomLayer(rng);
+        // Restrict to stride-1 mid-size layers where expectation
+        // formulas are tight (tiny layers are dominated by
+        // quantization noise).
+        if (layer.strideX != 1 || layer.strideY != 1)
+            continue;
+        if (layer.inWidth < 12 || layer.inHeight < 12 ||
+            layer.inChannels < 8) {
+            continue;
+        }
+        // TimeLoop assumes i.i.d. sparsity.
+        layer.actSpatialSigma = 0.0;
+        layer.actChannelSigma = 0.0;
+        ++checked;
+        const LayerWorkload w = makeWorkload(layer, rng.next());
+        const LayerResult simRes = sim.runLayer(w);
+        const LayerResult est =
+            model.estimateLayer(scnnConfig(), layer);
+        const double rel = static_cast<double>(est.cycles) /
+                           static_cast<double>(simRes.cycles);
+        EXPECT_GT(rel, 0.6) << layer.name;
+        EXPECT_LT(rel, 1.6) << layer.name;
+    }
+    EXPECT_GE(checked, 3);
+}
+
+} // anonymous namespace
+} // namespace scnn

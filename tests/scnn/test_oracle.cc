@@ -1,0 +1,70 @@
+/** @file Unit tests for the SCNN(oracle) bound. */
+
+#include <gtest/gtest.h>
+
+#include "nn/workload.hh"
+#include "scnn/oracle.hh"
+#include "scnn/simulator.hh"
+
+namespace scnn {
+namespace {
+
+TEST(Oracle, DividesLandedProductsByMultipliers)
+{
+    LayerResult r;
+    r.landedProducts = 10240;
+    EXPECT_EQ(oracleCycles(r, scnnConfig()), 10u);
+    r.landedProducts = 10241;
+    EXPECT_EQ(oracleCycles(r, scnnConfig()), 11u);
+}
+
+TEST(Oracle, AtLeastOneCycle)
+{
+    LayerResult r;
+    r.landedProducts = 0;
+    EXPECT_EQ(oracleCycles(r, scnnConfig()), 1u);
+}
+
+TEST(Oracle, ExpectedFormMatchesIdealMacs)
+{
+    const ConvLayerParams p =
+        makeConv("o", 16, 16, 16, 3, 1, 0.5, 0.5);
+    EXPECT_NEAR(oracleCyclesExpected(p, scnnConfig()),
+                p.idealMacs() / 1024.0, 1e-9);
+}
+
+TEST(Oracle, LowerBoundsTheSimulator)
+{
+    // The oracle is a hard lower bound on simulated cycles.
+    const ConvLayerParams p =
+        makeConv("bound", 32, 64, 28, 3, 1, 0.4, 0.4);
+    const LayerWorkload w = makeWorkload(p, 11);
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult r = sim.runLayer(w);
+    EXPECT_LE(oracleCycles(r, scnnConfig()), r.cycles);
+}
+
+TEST(Oracle, GapWidensOnSmallLayers)
+{
+    // Section VI-B: fragmentation makes SCNN fall further behind the
+    // oracle on small late-network layers.
+    ScnnSimulator sim(scnnConfig());
+    const AcceleratorConfig cfg = scnnConfig();
+
+    const ConvLayerParams big =
+        makeConv("big", 64, 128, 56, 3, 1, 0.4, 0.4);
+    const ConvLayerParams small =
+        makeConv("small", 832, 128, 7, 1, 0, 0.4, 0.35);
+
+    const LayerResult rb = sim.runLayer(makeWorkload(big, 4));
+    const LayerResult rs = sim.runLayer(makeWorkload(small, 4));
+
+    const double gapBig =
+        static_cast<double>(rb.cycles) / oracleCycles(rb, cfg);
+    const double gapSmall =
+        static_cast<double>(rs.cycles) / oracleCycles(rs, cfg);
+    EXPECT_GT(gapSmall, gapBig);
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,185 @@
+/** @file Unit tests for the SCNN processing element. */
+
+#include <gtest/gtest.h>
+
+#include "nn/workload.hh"
+#include "scnn/pe.hh"
+
+namespace scnn {
+namespace {
+
+/** A 1-channel layer with hand-placed non-zeros. */
+struct Fixture
+{
+    ConvLayerParams layer;
+    Tensor3 acts;
+    Tensor4 weights;
+
+    Fixture()
+        : layer(makeConv("pe_test", 1, 4, 8, 3, 1, 1.0, 1.0)),
+          acts(1, 8, 8), weights(4, 1, 3, 3)
+    {
+    }
+};
+
+TEST(ProcessingElement, CountsVectorFetchesExactly)
+{
+    Fixture f;
+    // 5 non-zero activations, 6 non-zero weights in group [0,4).
+    f.acts.set(0, 1, 1, 1.0f);
+    f.acts.set(0, 2, 2, 1.0f);
+    f.acts.set(0, 3, 3, 1.0f);
+    f.acts.set(0, 4, 4, 1.0f);
+    f.acts.set(0, 5, 5, 1.0f);
+    for (int i = 0; i < 6; ++i)
+        f.weights.at(i % 4, 0, i / 4, i % 3) = 1.0f;
+
+    const AcceleratorConfig cfg = scnnConfig(); // F = I = 4
+    const ConvGeometry geom = f.layer.geometry();
+    CompressedActTile tile(f.acts, 0, 8, 0, 8, geom);
+    std::vector<CompressedWeightBlock> blocks;
+    blocks.emplace_back(f.weights, 0, 4, 0, 1, 1, geom);
+
+    ProcessingElement pe(cfg, f.layer, {0, 8, 0, 8}, {0, 8, 0, 8},
+                         {0, 8, 0, 8});
+    const PeGroupStats st = pe.runGroup(tile, blocks, 0, nullptr);
+
+    // ceil(5/4) = 2 activation vectors x ceil(6/4) = 2 weight vectors
+    // = 4 multiplier-array ops; products = 5 * 6 = 30.
+    EXPECT_EQ(st.mulOps, 4u);
+    EXPECT_EQ(st.products, 30u);
+    EXPECT_EQ(st.actEntries, 5u);
+    // Weights re-streamed once per activation vector: 2 x 6.
+    EXPECT_EQ(st.wtEntries, 12u);
+    EXPECT_GE(st.cycles, st.mulOps);
+}
+
+TEST(ProcessingElement, EdgeProductsBurnSlotsButDoNotLand)
+{
+    Fixture f;
+    f.layer = makeConv("pe_edge", 1, 1, 8, 3, 0, 1.0, 1.0); // valid
+    Tensor3 acts(1, 8, 8);
+    acts.set(0, 0, 0, 1.0f); // corner: most taps fall outside
+    Tensor4 w(1, 1, 3, 3, 1.0f);
+
+    const ConvGeometry geom = f.layer.geometry();
+    CompressedActTile tile(acts, 0, 8, 0, 8, geom);
+    std::vector<CompressedWeightBlock> blocks;
+    blocks.emplace_back(w, 0, 1, 0, 1, 1, geom);
+
+    const AcceleratorConfig cfg = scnnConfig();
+    ProcessingElement pe(cfg, f.layer, {0, 8, 0, 8}, {0, 6, 0, 6},
+                         {0, 6, 0, 6});
+    const PeGroupStats st = pe.runGroup(tile, blocks, 0, nullptr);
+    EXPECT_EQ(st.products, 9u);
+    // Input (0,0) with valid conv: only tap (0,0) lands in-plane.
+    EXPECT_EQ(st.landed, 1u);
+}
+
+TEST(ProcessingElement, FunctionalAccumulationIsExact)
+{
+    Fixture f;
+    f.acts.set(0, 3, 3, 2.0f);
+    f.weights.at(1, 0, 1, 1) = 0.5f;
+
+    const ConvGeometry geom = f.layer.geometry();
+    CompressedActTile tile(f.acts, 0, 8, 0, 8, geom);
+    std::vector<CompressedWeightBlock> blocks;
+    blocks.emplace_back(f.weights, 0, 4, 0, 1, 1, geom);
+
+    const AcceleratorConfig cfg = scnnConfig();
+    ProcessingElement pe(cfg, f.layer, {0, 8, 0, 8}, {0, 8, 0, 8},
+                         {0, 8, 0, 8});
+    std::vector<double> accum(4 * 8 * 8, 0.0);
+    pe.runGroup(tile, blocks, 0, &accum);
+
+    // out(k=1, x=3+1-1-... ) : ox = x + pad - r = 3 + 1 - 1 = 3.
+    const size_t idx = (1 * 8 + 3) * 8 + 3;
+    EXPECT_DOUBLE_EQ(accum[idx], 1.0);
+    double sum = 0.0;
+    for (double v : accum)
+        sum += v;
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(ProcessingElement, EmptyTileDoesNothing)
+{
+    Fixture f;
+    const ConvGeometry geom = f.layer.geometry();
+    CompressedActTile tile(f.acts, 4, 4, 0, 8, geom); // empty
+    std::vector<CompressedWeightBlock> blocks;
+    blocks.emplace_back(f.weights, 0, 4, 0, 1, 1, geom);
+
+    const AcceleratorConfig cfg = scnnConfig();
+    ProcessingElement pe(cfg, f.layer, {4, 4, 0, 8}, {0, 0, 0, 0},
+                         {0, 0, 0, 0});
+    const PeGroupStats st = pe.runGroup(tile, blocks, 0, nullptr);
+    EXPECT_EQ(st.cycles, 0u);
+    EXPECT_EQ(st.products, 0u);
+}
+
+TEST(ProcessingElement, HaloAreaComputed)
+{
+    const ConvLayerParams layer =
+        makeConv("halo", 1, 4, 16, 3, 1, 1.0, 1.0);
+    const AcceleratorConfig cfg = scnnConfig();
+    // Interior PE: own tile 4x4, accumulator 6x6 -> halo 20.
+    ProcessingElement pe(cfg, layer, {4, 8, 4, 8}, {4, 8, 4, 8},
+                         {3, 9, 3, 9});
+    EXPECT_EQ(pe.overlapArea(), 16);
+    EXPECT_EQ(pe.haloAreaPerChannel(), 36 - 16);
+}
+
+TEST(ProcessingElement, ConflictStallsIncreaseCycles)
+{
+    // Force every product of an op into the same bank by using a
+    // single-bank configuration.
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.pe.accumBanks = 1;
+
+    const ConvLayerParams layer =
+        makeConv("stall", 1, 4, 8, 1, 0, 1.0, 1.0);
+    Tensor3 acts(1, 8, 8);
+    acts.set(0, 0, 0, 1.0f);
+    acts.set(0, 0, 1, 1.0f);
+    Tensor4 w(4, 1, 1, 1, 1.0f);
+
+    const ConvGeometry geom = layer.geometry();
+    CompressedActTile tile(acts, 0, 8, 0, 8, geom);
+    std::vector<CompressedWeightBlock> blocks;
+    blocks.emplace_back(w, 0, 4, 0, 1, 1, geom);
+
+    ProcessingElement pe(cfg, layer, {0, 8, 0, 8}, {0, 8, 0, 8},
+                         {0, 8, 0, 8});
+    const PeGroupStats st = pe.runGroup(tile, blocks, 0, nullptr);
+    // One op with 8 products into one bank: the 4-entry crossbar
+    // queue absorbs half; the array stalls for the remaining backlog
+    // (8 - 4 = 4 cycles).
+    EXPECT_EQ(st.mulOps, 1u);
+    EXPECT_EQ(st.cycles, 8u - 4u);
+    EXPECT_EQ(st.conflictStalls, 3u);
+}
+
+TEST(ProcessingElement, GroupOffsetSelectsChannels)
+{
+    Fixture f;
+    f.acts.set(0, 4, 4, 1.0f);
+    f.weights.at(2, 0, 1, 1) = 3.0f; // k = 2
+
+    const ConvGeometry geom = f.layer.geometry();
+    CompressedActTile tile(f.acts, 0, 8, 0, 8, geom);
+    // Group [2, 4): block carries k=2 weight.
+    std::vector<CompressedWeightBlock> blocks;
+    blocks.emplace_back(f.weights, 2, 4, 0, 1, 1, geom);
+
+    const AcceleratorConfig cfg = scnnConfig();
+    ProcessingElement pe(cfg, f.layer, {0, 8, 0, 8}, {0, 8, 0, 8},
+                         {0, 8, 0, 8});
+    std::vector<double> accum(4 * 8 * 8, 0.0);
+    const PeGroupStats st = pe.runGroup(tile, blocks, 2, &accum);
+    EXPECT_EQ(st.products, 1u);
+    EXPECT_DOUBLE_EQ(accum[(2 * 8 + 4) * 8 + 4], 3.0);
+}
+
+} // anonymous namespace
+} // namespace scnn

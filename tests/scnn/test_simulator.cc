@@ -1,0 +1,223 @@
+/** @file Unit tests for the layer-level SCNN simulator. */
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "scnn/simulator.hh"
+
+namespace scnn {
+namespace {
+
+LayerWorkload
+smallWorkload(double wd = 0.5, double ad = 0.5)
+{
+    const ConvLayerParams p =
+        makeConv("sim_small", 16, 32, 24, 3, 1, wd, ad);
+    return makeWorkload(p, 42);
+}
+
+TEST(ScnnSimulator, RequiresScnnConfig)
+{
+    EXPECT_DEATH(
+        { ScnnSimulator sim(dcnnConfig()); (void)sim; },
+        "SCNN configuration");
+}
+
+TEST(ScnnSimulator, BasicInvariants)
+{
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult r = sim.runLayer(smallWorkload());
+
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GE(r.cycles, r.drainExposedCycles);
+    EXPECT_GT(r.products, 0u);
+    EXPECT_LE(r.landedProducts, r.products);
+    EXPECT_GT(r.mulArrayOps, 0u);
+    // At most F*I products per op.
+    EXPECT_LE(r.products, r.mulArrayOps * 16u);
+    EXPECT_GT(r.multUtilBusy, 0.0);
+    EXPECT_LE(r.multUtilBusy, 1.0);
+    EXPECT_LE(r.multUtilOverall, r.multUtilBusy + 1e-12);
+    EXPECT_GE(r.peIdleFraction, 0.0);
+    EXPECT_LT(r.peIdleFraction, 1.0);
+    EXPECT_GT(r.energyPj, 0.0);
+    EXPECT_EQ(r.archName, "SCNN");
+}
+
+TEST(ScnnSimulator, ProductsMatchNonZeroPairCount)
+{
+    // Every (non-zero weight, non-zero activation) same-channel,
+    // phase-matched pair must be multiplied exactly once.
+    const ConvLayerParams p =
+        makeConv("pair_count", 4, 8, 10, 3, 1, 0.5, 0.5);
+    const LayerWorkload w = makeWorkload(p, 3);
+
+    uint64_t expected = 0;
+    for (int c = 0; c < p.inChannels; ++c) {
+        uint64_t actNz = 0;
+        for (int x = 0; x < p.inWidth; ++x)
+            for (int y = 0; y < p.inHeight; ++y)
+                actNz += (w.input.get(c, x, y) != 0.0f);
+        uint64_t wtNz = 0;
+        for (int k = 0; k < p.outChannels; ++k)
+            for (int r = 0; r < 3; ++r)
+                for (int s = 0; s < 3; ++s)
+                    wtNz += (w.weights.get(k, c, r, s) != 0.0f);
+        expected += actNz * wtNz;
+    }
+
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult res = sim.runLayer(w);
+    EXPECT_EQ(res.products, expected);
+}
+
+TEST(ScnnSimulator, DenseMacsEqualsLayerMacs)
+{
+    ScnnSimulator sim(scnnConfig());
+    const LayerWorkload w = smallWorkload();
+    EXPECT_EQ(sim.runLayer(w).denseMacs, w.layer.macs());
+}
+
+TEST(ScnnSimulator, CyclesDecreaseWithSparsity)
+{
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult dense = sim.runLayer(smallWorkload(1.0, 1.0));
+    const LayerResult mid = sim.runLayer(smallWorkload(0.5, 0.5));
+    const LayerResult sparse = sim.runLayer(smallWorkload(0.2, 0.2));
+    EXPECT_GT(dense.cycles, mid.cycles);
+    EXPECT_GT(mid.cycles, sparse.cycles);
+}
+
+TEST(ScnnSimulator, FirstLayerChargesActDram)
+{
+    ScnnSimulator sim(scnnConfig());
+    const LayerWorkload w = smallWorkload();
+    RunOptions first;
+    first.firstLayer = true;
+    const LayerResult a = sim.runLayer(w, first);
+    const LayerResult b = sim.runLayer(w);
+    EXPECT_GT(a.dramActBits, b.dramActBits);
+    EXPECT_GT(a.energyPj, b.energyPj);
+    // Same compute either way.
+    EXPECT_EQ(a.products, b.products);
+}
+
+TEST(ScnnSimulator, WeightDramIsCompressed)
+{
+    ScnnSimulator sim(scnnConfig());
+    const LayerWorkload w = smallWorkload(0.3, 0.5);
+    const LayerResult r = sim.runLayer(w);
+    // Compressed weights must cost less than dense 16-bit streaming
+    // at 30% density (20 bits per stored element).
+    const uint64_t denseBits = w.layer.weightCount() * 16;
+    EXPECT_LT(r.dramWeightBits, denseBits);
+    EXPECT_GT(r.dramWeightBits, 0u);
+}
+
+TEST(ScnnSimulator, SmallLayerFitsOnChip)
+{
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult r = sim.runLayer(smallWorkload());
+    EXPECT_FALSE(r.dramTiled);
+    EXPECT_EQ(r.numDramTiles, 1);
+}
+
+TEST(ScnnSimulator, HugeLayerTilesThroughDram)
+{
+    // VGG conv1_2-like: 64 x 224 x 224 activations at ~50% density
+    // cannot fit 1 MB of compressed RAM.
+    const ConvLayerParams p =
+        makeConv("huge", 64, 64, 224, 3, 1, 0.22, 0.52);
+    const LayerWorkload w = makeWorkload(p, 1);
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult r = sim.runLayer(w);
+    EXPECT_TRUE(r.dramTiled);
+    EXPECT_GT(r.numDramTiles, 1);
+    EXPECT_GT(r.dramActBits, 0u);
+}
+
+TEST(ScnnSimulator, UtilizationDropsOnTinyPlanes)
+{
+    // 7x7 plane spread over 64 PEs starves the multiplier array
+    // (Fig. 9: IC_5b below ~25%).
+    const ConvLayerParams tiny =
+        makeConv("tiny_plane", 256, 128, 7, 1, 0, 0.4, 0.35);
+    const ConvLayerParams fat =
+        makeConv("fat_plane", 256, 128, 56, 3, 1, 0.4, 0.35);
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult a = sim.runLayer(makeWorkload(tiny, 2));
+    const LayerResult b = sim.runLayer(makeWorkload(fat, 2));
+    EXPECT_LT(a.multUtilBusy, 0.3);
+    EXPECT_GT(b.multUtilBusy, a.multUtilBusy);
+}
+
+TEST(ScnnSimulator, StatsArePopulated)
+{
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult r = sim.runLayer(smallWorkload());
+    for (const char *key :
+         {"kc", "num_groups", "conflict_stall_cycles",
+          "act_entries_fetched", "wt_entries_fetched",
+          "in_stored_elements", "out_stored_elements"}) {
+        EXPECT_TRUE(r.stats.has(key)) << key;
+    }
+    EXPECT_GE(r.stats.get("kc"), 1.0);
+}
+
+TEST(ScnnSimulator, EnergyEventsConsistent)
+{
+    ScnnSimulator sim(scnnConfig());
+    const LayerResult r = sim.runLayer(smallWorkload());
+    EXPECT_DOUBLE_EQ(r.events.mults,
+                     static_cast<double>(r.products));
+    EXPECT_DOUBLE_EQ(r.events.xbarTransfers,
+                     static_cast<double>(r.landedProducts));
+    // Accumulations plus the PPU's dense drain pass.
+    EXPECT_GE(r.events.accBankAccesses,
+              static_cast<double>(r.landedProducts));
+    EXPECT_LE(r.events.accBankAccesses,
+              static_cast<double>(r.landedProducts) +
+                  static_cast<double>(r.denseMacs));
+    EXPECT_GT(r.events.iaramReadBits, 0.0);
+    EXPECT_GT(r.events.wfifoReadBits, 0.0);
+    EXPECT_GT(r.events.oaramWriteBits, 0.0);
+}
+
+TEST(ScnnSimulator, RunNetworkCoversEvalLayers)
+{
+    ScnnSimulator sim(scnnConfig());
+    const NetworkResult nr = sim.runNetwork(tinyTestNetwork(), 7);
+    EXPECT_EQ(nr.layers.size(), tinyTestNetwork().numEvalLayers());
+    EXPECT_GT(nr.totalCycles(), 0u);
+    EXPECT_GT(nr.totalEnergyPj(), 0.0);
+    EXPECT_EQ(nr.archName, "SCNN");
+}
+
+TEST(ScnnSimulator, DeterministicAcrossRuns)
+{
+    ScnnSimulator sim(scnnConfig());
+    const LayerWorkload w = smallWorkload();
+    const LayerResult a = sim.runLayer(w);
+    const LayerResult b = sim.runLayer(w);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.products, b.products);
+    EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+}
+
+TEST(ScnnSimulator, MoreBanksNeverSlower)
+{
+    AcceleratorConfig few = scnnConfig();
+    few.pe.accumBanks = 8;
+    AcceleratorConfig many = scnnConfig();
+    many.pe.accumBanks = 128;
+    const LayerWorkload w = smallWorkload(0.8, 0.8);
+    const uint64_t cyclesFew =
+        ScnnSimulator(few).runLayer(w).cycles;
+    const uint64_t cyclesMany =
+        ScnnSimulator(many).runLayer(w).cycles;
+    EXPECT_GE(cyclesFew, cyclesMany);
+}
+
+} // anonymous namespace
+} // namespace scnn

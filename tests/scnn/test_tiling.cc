@@ -1,0 +1,192 @@
+/** @file Unit tests for spatial tiling, Kc selection and DRAM tiling. */
+
+#include <gtest/gtest.h>
+
+#include "scnn/tiling.hh"
+
+namespace scnn {
+namespace {
+
+TEST(PartitionBounds, EvenSplit)
+{
+    const auto b = partitionBounds(8, 4);
+    ASSERT_EQ(b.size(), 5u);
+    EXPECT_EQ(b[0], 0);
+    EXPECT_EQ(b[1], 2);
+    EXPECT_EQ(b[4], 8);
+}
+
+TEST(PartitionBounds, UnevenSplitIsBalanced)
+{
+    const auto b = partitionBounds(10, 4);
+    for (size_t i = 1; i < b.size(); ++i) {
+        const int w = b[i] - b[i - 1];
+        EXPECT_GE(w, 2);
+        EXPECT_LE(w, 3);
+    }
+    EXPECT_EQ(b.back(), 10);
+}
+
+TEST(PartitionBounds, MorePartsThanElements)
+{
+    const auto b = partitionBounds(3, 8);
+    EXPECT_EQ(b.back(), 3);
+    int nonEmpty = 0;
+    for (size_t i = 1; i < b.size(); ++i)
+        nonEmpty += (b[i] > b[i - 1]);
+    EXPECT_EQ(nonEmpty, 3); // exactly 3 PEs get a pixel column
+}
+
+TEST(SpatialTiling, InputTilesPartitionThePlane)
+{
+    const ConvLayerParams p = makeConv("t", 4, 8, 28, 3, 1, 0.5, 0.5);
+    SpatialTiling t(p, 8, 8);
+    long total = 0;
+    for (int pr = 0; pr < 8; ++pr)
+        for (int pc = 0; pc < 8; ++pc)
+            total += t.inputTile(pr, pc).area();
+    EXPECT_EQ(total, 28l * 28l);
+}
+
+TEST(SpatialTiling, OutputTilesPartitionThePlane)
+{
+    ConvLayerParams p = makeConv("t", 4, 8, 27, 5, 0, 0.5, 0.5);
+    SpatialTiling t(p, 8, 8);
+    long total = 0;
+    for (int pr = 0; pr < 8; ++pr)
+        for (int pc = 0; pc < 8; ++pc)
+            total += t.outputTile(pr, pc).area();
+    EXPECT_EQ(total,
+              static_cast<long>(p.outWidth()) * p.outHeight());
+}
+
+TEST(SpatialTiling, AccumRectContainsHalo)
+{
+    // Stride-1 3x3 same conv: a PE's products reach R-1 = 2 columns
+    // beyond its input tile on each side (clamped at plane edges).
+    const ConvLayerParams p = makeConv("t", 4, 8, 32, 3, 1, 0.5, 0.5);
+    SpatialTiling t(p, 4, 4);
+    const TileRect in = t.inputTile(1, 1);   // interior PE
+    const TileRect acc = t.accumRect(1, 1);
+    EXPECT_EQ(acc.x0, in.x0 - 1); // pad 1: reaches one beyond
+    EXPECT_EQ(acc.x1, in.x1 + 1);
+    EXPECT_EQ(acc.y0, in.y0 - 1);
+    EXPECT_EQ(acc.y1, in.y1 + 1);
+}
+
+TEST(SpatialTiling, AccumRectClampedAtEdges)
+{
+    const ConvLayerParams p = makeConv("t", 4, 8, 32, 3, 1, 0.5, 0.5);
+    SpatialTiling t(p, 4, 4);
+    const TileRect acc = t.accumRect(0, 0);
+    EXPECT_EQ(acc.x0, 0);
+    EXPECT_EQ(acc.y0, 0);
+}
+
+TEST(SpatialTiling, TinyPlaneLeavesIdlePes)
+{
+    // 7x7 plane on an 8x8 grid: exactly 49 PEs get one input pixel.
+    const ConvLayerParams p = makeConv("t", 832, 384, 7, 1, 0, 0.4,
+                                       0.35);
+    SpatialTiling t(p, 8, 8);
+    int active = 0;
+    for (int pr = 0; pr < 8; ++pr)
+        for (int pc = 0; pc < 8; ++pc)
+            active += !t.inputTile(pr, pc).empty();
+    EXPECT_EQ(active, 49);
+    EXPECT_EQ(t.maxInputTileArea(), 1);
+}
+
+TEST(SpatialTiling, StridedAccumRect)
+{
+    // Stride-4 11x11 (AlexNet conv1): accumulator footprint of the
+    // whole plane on one PE covers the full 55x55 output.
+    ConvLayerParams p = makeConv("t", 3, 96, 227, 11, 0, 1.0, 1.0);
+    p.strideX = p.strideY = 4;
+    SpatialTiling t(p, 1, 1);
+    const TileRect acc = t.accumRect(0, 0);
+    EXPECT_EQ(acc.x0, 0);
+    EXPECT_EQ(acc.x1, 55);
+}
+
+TEST(ChooseKc, PowerOfTwoAndCapacityBound)
+{
+    const AcceleratorConfig cfg = scnnConfig();
+    ConvLayerParams p = makeConv("t", 64, 128, 28, 3, 1, 0.5, 0.5);
+    SpatialTiling t(p, cfg.peRows, cfg.peCols);
+    const int kc = chooseKc(p, cfg, t.maxAccumArea());
+    // Capacity 32*32 = 1024 entries; footprint per channel =
+    // (28/8+2)^2 = 36 -> Kc <= 28 -> 16; also power of two.
+    EXPECT_EQ(kc & (kc - 1), 0);
+    EXPECT_LE(static_cast<long>(kc) * t.maxAccumArea(), 1024l);
+}
+
+TEST(ChooseKc, CappedByBankEntries)
+{
+    const AcceleratorConfig cfg = scnnConfig();
+    // 1x1 filter on a tiny plane: footprint 1, so capacity alone
+    // would allow Kc = 1024; the bank-entry cap limits it to 32.
+    const ConvLayerParams p = makeConv("t", 832, 384, 7, 1, 0, 0.4,
+                                       0.35);
+    SpatialTiling t(p, cfg.peRows, cfg.peCols);
+    EXPECT_EQ(chooseKc(p, cfg, t.maxAccumArea()),
+              cfg.pe.accumEntriesPerBank);
+}
+
+TEST(ChooseKc, KcCapOverrides)
+{
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.pe.kcCap = 8;
+    const ConvLayerParams p = makeConv("t", 832, 384, 7, 1, 0, 0.4,
+                                       0.35);
+    SpatialTiling t(p, cfg.peRows, cfg.peCols);
+    EXPECT_EQ(chooseKc(p, cfg, t.maxAccumArea()), 8);
+}
+
+TEST(ChooseKc, LargeTileForcesKcOne)
+{
+    const AcceleratorConfig cfg = scnnConfig();
+    // VGG conv1_1-like: 224/8 = 28 wide tiles + halo -> ~900
+    // positions; 2 * 900 > 1024 so Kc stays 1.
+    const ConvLayerParams p = makeConv("t", 3, 64, 224, 3, 1, 0.6,
+                                       1.0);
+    SpatialTiling t(p, cfg.peRows, cfg.peCols);
+    EXPECT_EQ(chooseKc(p, cfg, t.maxAccumArea()), 1);
+}
+
+TEST(ChooseKc, NeverExceedsK)
+{
+    const AcceleratorConfig cfg = scnnConfig();
+    const ConvLayerParams p = makeConv("t", 8, 2, 7, 1, 0, 0.5, 0.5);
+    SpatialTiling t(p, cfg.peRows, cfg.peCols);
+    EXPECT_LE(chooseKc(p, cfg, t.maxAccumArea()), 2);
+}
+
+TEST(DramTiling, FitsWhenUnderCapacity)
+{
+    const AcceleratorConfig cfg = scnnConfig();
+    const auto d = decideDramTiling(cfg, 1000, 1000);
+    EXPECT_FALSE(d.tiled);
+    EXPECT_EQ(d.numTiles, 1);
+}
+
+TEST(DramTiling, TilesWhenInputOverflows)
+{
+    const AcceleratorConfig cfg = scnnConfig();
+    const uint64_t iaramBits = 10ull * 1024 * 8;
+    const auto d = decideDramTiling(cfg, 3 * iaramBits, 0);
+    EXPECT_TRUE(d.tiled);
+    EXPECT_EQ(d.numTiles, 3);
+}
+
+TEST(DramTiling, TilesOnOutputOverflowToo)
+{
+    const AcceleratorConfig cfg = scnnConfig();
+    const uint64_t oaramBits = 10ull * 1024 * 8;
+    const auto d = decideDramTiling(cfg, 0, oaramBits + 1);
+    EXPECT_TRUE(d.tiled);
+    EXPECT_EQ(d.numTiles, 2);
+}
+
+} // anonymous namespace
+} // namespace scnn

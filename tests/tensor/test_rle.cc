@@ -1,0 +1,150 @@
+/** @file Unit and property tests for the run-length codec. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "tensor/rle.hh"
+
+namespace scnn {
+namespace {
+
+TEST(Rle, EncodesSimpleStream)
+{
+    // 0 0 3 0 5  ->  (run 2, 3), (run 1, 5)
+    const std::vector<float> dense = {0, 0, 3, 0, 5};
+    const RleStream s = rleEncode(dense);
+    ASSERT_EQ(s.storedElements(), 2u);
+    EXPECT_FLOAT_EQ(s.values[0], 3.0f);
+    EXPECT_EQ(s.zeroRuns[0], 2);
+    EXPECT_FLOAT_EQ(s.values[1], 5.0f);
+    EXPECT_EQ(s.zeroRuns[1], 1);
+    EXPECT_EQ(s.placeholders(), 0u);
+}
+
+TEST(Rle, AllZerosStoresNothing)
+{
+    const std::vector<float> dense(40, 0.0f);
+    const RleStream s = rleEncode(dense);
+    // Runs up to 15 need no storage until a value arrives; with 40
+    // zeros the encoder emits placeholders every 16 positions.
+    EXPECT_EQ(s.storedElements(), 2u);
+    EXPECT_EQ(s.placeholders(), 2u);
+    const auto dec = rleDecode(s, 40);
+    for (float v : dec)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Rle, ShortZeroTailNeedsNoStorage)
+{
+    const std::vector<float> dense = {1, 0, 0, 0};
+    const RleStream s = rleEncode(dense);
+    EXPECT_EQ(s.storedElements(), 1u);
+    EXPECT_EQ(rleDecode(s, 4).size(), 4u);
+}
+
+TEST(Rle, PlaceholderInsertedForLongRun)
+{
+    // 20 zeros between two values: placeholder after 15 zeros.
+    std::vector<float> dense(22, 0.0f);
+    dense[0] = 1.0f;
+    dense[21] = 2.0f;
+    const RleStream s = rleEncode(dense);
+    ASSERT_EQ(s.storedElements(), 3u);
+    EXPECT_FLOAT_EQ(s.values[1], 0.0f); // placeholder
+    EXPECT_EQ(s.zeroRuns[1], 15);
+    EXPECT_EQ(s.zeroRuns[2], 4); // 20 zeros = 15 + placeholder + 4
+    EXPECT_EQ(s.placeholders(), 1u);
+
+    const auto dec = rleDecode(s, 22);
+    EXPECT_FLOAT_EQ(dec[0], 1.0f);
+    EXPECT_FLOAT_EQ(dec[21], 2.0f);
+}
+
+TEST(Rle, ExactlyMaxRunNeedsNoPlaceholder)
+{
+    std::vector<float> dense(17, 0.0f);
+    dense[0] = 1.0f;
+    dense[16] = 2.0f; // 15 zeros between
+    const RleStream s = rleEncode(dense);
+    EXPECT_EQ(s.storedElements(), 2u);
+    EXPECT_EQ(s.zeroRuns[1], 15);
+}
+
+TEST(Rle, DenseStreamStoresEverything)
+{
+    std::vector<float> dense(64, 1.0f);
+    const RleStream s = rleEncode(dense);
+    EXPECT_EQ(s.storedElements(), 64u);
+    for (auto r : s.zeroRuns)
+        EXPECT_EQ(r, 0);
+}
+
+TEST(Rle, BitsAccounting)
+{
+    std::vector<float> dense = {1, 0, 2};
+    const RleStream s = rleEncode(dense);
+    EXPECT_EQ(s.bits(16, 4), 2u * 20u);
+    EXPECT_EQ(s.bits(16, 10), 2u * 26u);
+}
+
+TEST(Rle, CustomMaxRun)
+{
+    std::vector<float> dense(10, 0.0f);
+    dense[9] = 1.0f; // 9 zeros then a value
+    const RleStream s = rleEncode(dense, 3);
+    // Runs of 3 force placeholders every 4 positions: 9 zeros ->
+    // placeholder at positions 3 and 7, then value with run 1.
+    EXPECT_EQ(s.storedElements(), 3u);
+    const auto dec = rleDecode(s, 10);
+    EXPECT_FLOAT_EQ(dec[9], 1.0f);
+}
+
+TEST(Rle, DecodeOverrunIsFatal)
+{
+    std::vector<float> dense = {1, 2, 3};
+    const RleStream s = rleEncode(dense);
+    EXPECT_EXIT(rleDecode(s, 2), ::testing::ExitedWithCode(1),
+                "decodes to");
+}
+
+TEST(Rle, EmptyStream)
+{
+    const RleStream s = rleEncode(std::vector<float>{});
+    EXPECT_EQ(s.storedElements(), 0u);
+    EXPECT_TRUE(rleDecode(s, 0).empty());
+}
+
+/** Property: encode/decode round-trips exactly at any density. */
+class RleRoundTrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RleRoundTrip, Lossless)
+{
+    const double density = GetParam();
+    Rng rng(static_cast<uint64_t>(density * 1000) + 17);
+    for (int trial = 0; trial < 20; ++trial) {
+        const size_t n = 1 + rng.uniformInt(400);
+        std::vector<float> dense(n, 0.0f);
+        for (auto &v : dense)
+            if (rng.bernoulli(density))
+                v = static_cast<float>(rng.uniform(0.1, 1.0));
+        const RleStream s = rleEncode(dense);
+        const auto dec = rleDecode(s, n);
+        ASSERT_EQ(dec.size(), n);
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(dec[i], dense[i]) << "i=" << i << " n=" << n;
+        // Stored element count is nnz + placeholders.
+        size_t nnz = 0;
+        for (float v : dense)
+            nnz += (v != 0.0f);
+        EXPECT_EQ(s.storedElements(), nnz + s.placeholders());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RleRoundTrip,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.1, 0.25,
+                                           0.5, 0.75, 0.9, 1.0));
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Property tests for the analytical RLE storage expectation against
+ * the exact codec on Bernoulli streams: the expectation drives the
+ * DRAM-traffic and buffer-occupancy models, so its error bounds
+ * matter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "tensor/rle.hh"
+
+namespace scnn {
+namespace {
+
+TEST(RleExpectation, Extremes)
+{
+    EXPECT_DOUBLE_EQ(expectedRleStored(0.0, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(expectedRleStored(1000.0, 1.0), 1000.0);
+    // All-zero stream: one placeholder per 16 positions.
+    EXPECT_NEAR(expectedRleStored(1600.0, 0.0), 100.0, 1e-9);
+}
+
+TEST(RleExpectation, MonotonicInDensityAboveFloor)
+{
+    // Above the placeholder floor the stored count grows with
+    // density.
+    double prev = 0.0;
+    for (double d : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+        const double v = expectedRleStored(10000.0, d);
+        EXPECT_GT(v, prev) << d;
+        prev = v;
+    }
+}
+
+TEST(RleExpectation, NeverExceedsLength)
+{
+    for (double d : {0.0, 0.3, 0.9, 1.0})
+        EXPECT_LE(expectedRleStored(500.0, d), 500.0);
+}
+
+class RleExpectationVsCodec : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RleExpectationVsCodec, WithinTwoPercent)
+{
+    const double d = GetParam();
+    const size_t n = 1 << 16;
+    Rng rng(static_cast<uint64_t>(d * 1e4) + 3);
+
+    std::vector<float> dense(n, 0.0f);
+    for (auto &v : dense)
+        if (rng.bernoulli(d))
+            v = 1.0f;
+
+    const double actual =
+        static_cast<double>(rleEncode(dense).storedElements());
+    const double expected =
+        expectedRleStored(static_cast<double>(n), d);
+    EXPECT_NEAR(actual, expected, std::max(64.0, 0.02 * actual))
+        << "density " << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RleExpectationVsCodec,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.1,
+                                           0.25, 0.5, 0.75, 0.95));
+
+TEST(RleExpectation, PlaceholderShareSmallAtModerateDensity)
+{
+    // At the networks' typical 0.3-0.6 densities, placeholders are a
+    // negligible fraction -- the paper's "without incurring any
+    // noticeable degradation in compression efficiency".
+    for (double d : {0.3, 0.4, 0.5, 0.6}) {
+        const double stored = expectedRleStored(1e6, d);
+        const double placeholders = stored - 1e6 * d;
+        EXPECT_LT(placeholders / stored, 0.01) << d;
+    }
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,183 @@
+/** @file Unit tests for coordinate-bearing compressed blocks. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "tensor/sparse_block.hh"
+
+namespace scnn {
+namespace {
+
+TEST(ConvGeometry, SinglePhaseForStrideOne)
+{
+    ConvGeometry g;
+    EXPECT_EQ(g.phases(), 1);
+    EXPECT_EQ(g.actPhase(5, 9), 0);
+    EXPECT_EQ(g.wtPhase(2, 2), 0);
+}
+
+TEST(ConvGeometry, PhasesMatchForStride)
+{
+    ConvGeometry g{2, 2, 1, 1};
+    EXPECT_EQ(g.phases(), 4);
+    // An activation at x with phase p pairs with taps r of equal
+    // phase: (x + padX) % 2 == r % 2.
+    for (int x = 0; x < 6; ++x)
+        for (int r = 0; r < 4; ++r)
+            if (((x + 1) % 2) == (r % 2))
+                EXPECT_EQ(g.actPhase(x, 0) / 2, g.wtPhase(r, 0) / 2);
+}
+
+TEST(CompressedActTile, CollectsNonZerosWithCoords)
+{
+    Tensor3 acts(2, 4, 4);
+    acts.set(0, 1, 2, 3.0f);
+    acts.set(1, 3, 3, 4.0f);
+    acts.set(1, 0, 0, 5.0f); // outside tile below
+
+    ConvGeometry g;
+    CompressedActTile tile(acts, 1, 4, 1, 4, g);
+    EXPECT_EQ(tile.numChannels(), 2);
+    EXPECT_EQ(tile.nonZeros(), 2u);
+
+    const auto &c0 = tile.entries(0, 0);
+    ASSERT_EQ(c0.size(), 1u);
+    EXPECT_EQ(c0[0].x, 1);
+    EXPECT_EQ(c0[0].y, 2);
+    EXPECT_FLOAT_EQ(c0[0].value, 3.0f);
+
+    EXPECT_EQ(tile.channelNonZeros(1), 1u);
+}
+
+TEST(CompressedActTile, StorageAccountsPlaceholders)
+{
+    // A 6x6 all-zero channel needs placeholders (36 zeros -> 2).
+    Tensor3 acts(1, 6, 6);
+    ConvGeometry g;
+    CompressedActTile tile(acts, 0, 6, 0, 6, g);
+    EXPECT_EQ(tile.nonZeros(), 0u);
+    EXPECT_EQ(tile.storedElements(), 2u);
+    EXPECT_EQ(tile.storageBits(), 2u * 20u);
+    EXPECT_EQ(tile.denseElements(), 36u);
+}
+
+TEST(CompressedActTile, EmptyTile)
+{
+    Tensor3 acts(2, 4, 4, 1.0f);
+    ConvGeometry g;
+    CompressedActTile tile(acts, 2, 2, 0, 4, g);
+    EXPECT_EQ(tile.nonZeros(), 0u);
+    EXPECT_EQ(tile.storedElements(), 0u);
+}
+
+TEST(CompressedActTile, PhasePartitionCoversAll)
+{
+    Rng rng(3);
+    Tensor3 acts(3, 9, 9);
+    for (int c = 0; c < 3; ++c)
+        for (int x = 0; x < 9; ++x)
+            for (int y = 0; y < 9; ++y)
+                if (rng.bernoulli(0.5))
+                    acts.set(c, x, y, 1.0f);
+
+    ConvGeometry g{2, 3, 0, 1};
+    CompressedActTile tile(acts, 0, 9, 0, 9, g);
+    uint64_t total = 0;
+    for (int c = 0; c < 3; ++c)
+        for (int p = 0; p < g.phases(); ++p) {
+            for (const auto &e : tile.entries(c, p))
+                EXPECT_EQ(g.actPhase(e.x, e.y), p);
+            total += tile.entries(c, p).size();
+        }
+    EXPECT_EQ(total, acts.nonZeros());
+}
+
+TEST(CompressedWeightBlock, CollectsGroupRange)
+{
+    Tensor4 w(4, 2, 3, 3);
+    w.at(1, 0, 0, 0) = 1.0f;
+    w.at(2, 0, 1, 1) = 2.0f; // outside [0,2) group below
+    w.at(0, 1, 2, 2) = 3.0f; // channel 1, not channel 0
+
+    ConvGeometry g;
+    CompressedWeightBlock block(w, 0, 2, 0, 2, 1, g);
+    ASSERT_EQ(block.nonZeros(), 1u);
+    const auto &e = block.entries(0);
+    EXPECT_EQ(e[0].k, 1);
+    EXPECT_EQ(e[0].r, 0);
+    EXPECT_EQ(e[0].s, 0);
+    EXPECT_EQ(block.denseElements(), 2u * 9u);
+}
+
+TEST(CompressedWeightBlock, ScanOrderIsRSKWithChannelInnermost)
+{
+    Tensor4 w(2, 1, 2, 2, 1.0f); // all non-zero
+    ConvGeometry g;
+    CompressedWeightBlock block(w, 0, 2, 0, 1, 1, g);
+    const auto &e = block.entries(0);
+    ASSERT_EQ(e.size(), 8u);
+    // (r, s, k) lexicographic, k innermost: consecutive vector
+    // entries span output channels so Cartesian-product outputs land
+    // at distinct accumulator addresses.
+    EXPECT_TRUE(e[0].k == 0 && e[0].r == 0 && e[0].s == 0);
+    EXPECT_TRUE(e[1].k == 1 && e[1].r == 0 && e[1].s == 0);
+    EXPECT_TRUE(e[2].k == 0 && e[2].r == 0 && e[2].s == 1);
+    EXPECT_TRUE(e[4].k == 0 && e[4].r == 1 && e[4].s == 0);
+}
+
+TEST(CompressedWeightBlock, GroupedConvSkipsUnconnected)
+{
+    // K=4, C=4, groups=2: channels 0-1 connect to k 0-1 only.
+    Tensor4 w(4, 2, 1, 1, 1.0f);
+    ConvGeometry g;
+    CompressedWeightBlock lo(w, 0, 4, 0, 4, 2, g);
+    // Channel 0 connects to k 0,1 only.
+    EXPECT_EQ(lo.nonZeros(), 2u);
+    for (const auto &e : lo.entries(0))
+        EXPECT_LT(e.k, 2);
+
+    CompressedWeightBlock hi(w, 0, 4, 3, 4, 2, g);
+    EXPECT_EQ(hi.nonZeros(), 2u);
+    for (const auto &e : hi.entries(0))
+        EXPECT_GE(e.k, 2);
+
+    // A group range fully outside the conv group stores nothing.
+    CompressedWeightBlock none(w, 0, 2, 3, 4, 2, g);
+    EXPECT_EQ(none.nonZeros(), 0u);
+    EXPECT_EQ(none.denseElements(), 0u);
+}
+
+TEST(CompressedWeightBlock, PhasePartition)
+{
+    Tensor4 w(1, 1, 4, 4, 1.0f);
+    ConvGeometry g{2, 2, 0, 0};
+    CompressedWeightBlock block(w, 0, 1, 0, 1, 1, g);
+    uint64_t total = 0;
+    for (int p = 0; p < 4; ++p) {
+        for (const auto &e : block.entries(p))
+            EXPECT_EQ(g.wtPhase(e.r, e.s), p);
+        total += block.entries(p).size();
+    }
+    EXPECT_EQ(total, 16u);
+}
+
+TEST(StoredElements, PerChannelMatchesManualEncode)
+{
+    Tensor3 acts(2, 3, 3);
+    acts.set(0, 0, 0, 1.0f);
+    acts.set(1, 2, 2, 2.0f);
+    // channel 0: value at first position -> 1 stored; channel 1:
+    // value at last position (8 zeros before) -> 1 stored.
+    EXPECT_EQ(storedElementsPerChannel(acts), 2u);
+}
+
+TEST(StoredElements, PerFilterCountsEachKC)
+{
+    Tensor4 w(2, 2, 3, 3);
+    w.at(0, 0, 0, 0) = 1.0f;
+    w.at(1, 1, 2, 2) = 1.0f;
+    EXPECT_EQ(storedElementsPerFilter(w), 2u);
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,133 @@
+/** @file Unit tests for dense tensor types. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hh"
+
+namespace scnn {
+namespace {
+
+TEST(Tensor3, ShapeAndFill)
+{
+    Tensor3 t(2, 3, 4, 1.5f);
+    EXPECT_EQ(t.channels(), 2);
+    EXPECT_EQ(t.width(), 3);
+    EXPECT_EQ(t.height(), 4);
+    EXPECT_EQ(t.size(), 24u);
+    EXPECT_FLOAT_EQ(t.at(1, 2, 3), 1.5f);
+}
+
+TEST(Tensor3, IndexingIsRowMajorHeightFastest)
+{
+    Tensor3 t(2, 3, 4);
+    EXPECT_EQ(t.index(0, 0, 0), 0u);
+    EXPECT_EQ(t.index(0, 0, 1), 1u);
+    EXPECT_EQ(t.index(0, 1, 0), 4u);
+    EXPECT_EQ(t.index(1, 0, 0), 12u);
+}
+
+TEST(Tensor3, SetGetRoundTrip)
+{
+    Tensor3 t(3, 5, 7);
+    t.set(2, 4, 6, -2.25f);
+    EXPECT_FLOAT_EQ(t.get(2, 4, 6), -2.25f);
+    t.at(0, 0, 0) = 9.0f;
+    EXPECT_FLOAT_EQ(t.at(0, 0, 0), 9.0f);
+}
+
+TEST(Tensor3, OutOfBoundsAtPanics)
+{
+    Tensor3 t(1, 2, 2);
+    EXPECT_DEATH(t.at(0, 2, 0), "out of");
+    EXPECT_DEATH(t.at(-1, 0, 0), "out of");
+}
+
+TEST(Tensor3, PlanePointsToChannelStart)
+{
+    Tensor3 t(2, 2, 2);
+    t.set(1, 0, 0, 5.0f);
+    EXPECT_FLOAT_EQ(t.plane(1)[0], 5.0f);
+}
+
+TEST(Tensor3, NonZerosAndDensity)
+{
+    Tensor3 t(1, 2, 5);
+    EXPECT_EQ(t.nonZeros(), 0u);
+    t.set(0, 0, 0, 1.0f);
+    t.set(0, 1, 4, 2.0f);
+    EXPECT_EQ(t.nonZeros(), 2u);
+    EXPECT_DOUBLE_EQ(t.density(), 0.2);
+}
+
+TEST(Tensor3, ReluClampsNegatives)
+{
+    Tensor3 t(1, 1, 3);
+    t.set(0, 0, 0, -1.0f);
+    t.set(0, 0, 1, 0.0f);
+    t.set(0, 0, 2, 2.0f);
+    t.relu();
+    EXPECT_FLOAT_EQ(t.get(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t.get(0, 0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(t.get(0, 0, 2), 2.0f);
+}
+
+TEST(Tensor3, ClearZeroes)
+{
+    Tensor3 t(1, 2, 2, 3.0f);
+    t.clear();
+    EXPECT_EQ(t.nonZeros(), 0u);
+}
+
+TEST(Tensor4, ShapeAndIndexing)
+{
+    Tensor4 w(2, 3, 4, 5);
+    EXPECT_EQ(w.size(), 120u);
+    EXPECT_EQ(w.index(0, 0, 0, 1), 1u);
+    EXPECT_EQ(w.index(0, 0, 1, 0), 5u);
+    EXPECT_EQ(w.index(0, 1, 0, 0), 20u);
+    EXPECT_EQ(w.index(1, 0, 0, 0), 60u);
+}
+
+TEST(Tensor4, DensityCountsNonZeros)
+{
+    Tensor4 w(1, 1, 2, 2);
+    w.at(0, 0, 0, 0) = 1.0f;
+    EXPECT_EQ(w.nonZeros(), 1u);
+    EXPECT_DOUBLE_EQ(w.density(), 0.25);
+}
+
+TEST(Tensor4, OutOfBoundsPanics)
+{
+    Tensor4 w(1, 1, 1, 1);
+    EXPECT_DEATH(w.at(1, 0, 0, 0), "out of");
+}
+
+TEST(MaxAbsDiff, FindsWorstDeviation)
+{
+    Tensor3 a(1, 2, 2);
+    Tensor3 b(1, 2, 2);
+    a.set(0, 1, 1, 1.0f);
+    b.set(0, 1, 1, 1.5f);
+    b.set(0, 0, 0, -0.25f);
+    EXPECT_DOUBLE_EQ(maxAbsDiff(a, b), 0.5);
+    EXPECT_FALSE(approxEqual(a, b, 0.4));
+    EXPECT_TRUE(approxEqual(a, b, 0.6));
+}
+
+TEST(MaxAbsDiff, ShapeMismatchIsFatal)
+{
+    Tensor3 a(1, 2, 2);
+    Tensor3 b(1, 2, 3);
+    EXPECT_EXIT(maxAbsDiff(a, b), ::testing::ExitedWithCode(1),
+                "shape mismatch");
+}
+
+TEST(EmptyTensor, DensityZero)
+{
+    Tensor3 t;
+    EXPECT_DOUBLE_EQ(t.density(), 0.0);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * scnn_sim: command-line front end to the simulators.
+ *
+ * Usage:
+ *   scnn_sim [--network=alexnet|googlenet|vgg16|tiny]
+ *            [--arch=scnn|dcnn|dcnn-opt|timeloop]
+ *            [--grid=RxC] [--fixed-accum] [--input-halos]
+ *            [--density=W,A] [--seed=N] [--chained] [--all-layers]
+ *
+ * Prints a per-layer table (cycles, utilization, idle fraction,
+ * energy, DRAM traffic, tiling) and network totals.  Exits non-zero
+ * on bad arguments.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analytic/timeloop.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "dcnn/simulator.hh"
+#include "driver/googlenet_runner.hh"
+#include "nn/model_zoo.hh"
+#include "scnn/simulator.hh"
+
+using namespace scnn;
+
+namespace {
+
+struct Options
+{
+    std::string network = "alexnet";
+    std::string arch = "scnn";
+    int gridRows = 8;
+    int gridCols = 8;
+    bool fixedAccum = false;
+    bool inputHalos = false;
+    bool chained = false;
+    bool evalOnly = true;
+    double weightDensity = -1.0; // <0: use profile
+    double actDensity = -1.0;
+    uint64_t seed = 20170624;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--network=alexnet|googlenet|vgg16|tiny]\n"
+                 "          [--arch=scnn|dcnn|dcnn-opt|timeloop]\n"
+                 "          [--grid=RxC] [--fixed-accum] "
+                 "[--input-halos]\n"
+                 "          [--density=W,A] [--seed=N] [--chained]\n"
+                 "          [--all-layers]\n",
+                 argv0);
+    std::exit(2);
+}
+
+bool
+consume(const char *arg, const char *key, std::string &out)
+{
+    const size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (consume(argv[i], "--network", v)) {
+            o.network = v;
+        } else if (consume(argv[i], "--arch", v)) {
+            o.arch = v;
+        } else if (consume(argv[i], "--grid", v)) {
+            if (std::sscanf(v.c_str(), "%dx%d", &o.gridRows,
+                            &o.gridCols) != 2)
+                usage(argv[0]);
+        } else if (consume(argv[i], "--density", v)) {
+            if (std::sscanf(v.c_str(), "%lf,%lf", &o.weightDensity,
+                            &o.actDensity) != 2)
+                usage(argv[0]);
+        } else if (consume(argv[i], "--seed", v)) {
+            o.seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--fixed-accum") == 0) {
+            o.fixedAccum = true;
+        } else if (std::strcmp(argv[i], "--input-halos") == 0) {
+            o.inputHalos = true;
+        } else if (std::strcmp(argv[i], "--chained") == 0) {
+            o.chained = true;
+        } else if (std::strcmp(argv[i], "--all-layers") == 0) {
+            o.evalOnly = false;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+Network
+pickNetwork(const Options &o)
+{
+    Network net;
+    if (o.network == "alexnet")
+        net = alexNet();
+    else if (o.network == "googlenet")
+        net = googLeNet();
+    else if (o.network == "vgg16")
+        net = vgg16();
+    else if (o.network == "tiny")
+        net = tinyTestNetwork();
+    else
+        fatal("unknown network '%s'", o.network.c_str());
+    if (o.weightDensity >= 0.0)
+        net = withUniformDensity(net, o.weightDensity, o.actDensity);
+    return net;
+}
+
+void
+printResult(const NetworkResult &nr, const AcceleratorConfig &cfg)
+{
+    Table t(nr.archName + "_" + nr.networkName,
+            {"Layer", "Cycles", "Mult util", "Idle", "Energy (uJ)",
+             "DRAM (KB)", "Tiled"});
+    for (const auto &l : nr.layers) {
+        t.addRow({l.layerName, std::to_string(l.cycles),
+                  Table::num(l.multUtilBusy, 3),
+                  Table::num(l.peIdleFraction, 3),
+                  Table::num(l.energyPj / 1e6, 2),
+                  Table::num(static_cast<double>(l.dramWeightBits +
+                                                 l.dramActBits) /
+                                 8.0 / 1024.0,
+                             0),
+                  l.dramTiled ? "y" : "n"});
+    }
+    t.print();
+
+    const double us = static_cast<double>(nr.totalCycles()) /
+                      (cfg.clockGhz * 1e3);
+    std::printf("total: %llu cycles (~%.0f us at %.1f GHz), %.1f uJ\n",
+                static_cast<unsigned long long>(nr.totalCycles()), us,
+                cfg.clockGhz, nr.totalEnergyPj() / 1e6);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    const Network net = pickNetwork(o);
+
+    AcceleratorConfig cfg;
+    if (o.arch == "scnn" || o.arch == "timeloop") {
+        cfg = o.fixedAccum
+            ? scnnWithPeGridFixedAccum(o.gridRows, o.gridCols)
+            : scnnWithPeGrid(o.gridRows, o.gridCols);
+        cfg.pe.inputHalos = o.inputHalos;
+    } else if (o.arch == "dcnn") {
+        cfg = dcnnConfig();
+    } else if (o.arch == "dcnn-opt") {
+        cfg = dcnnOptConfig();
+    } else {
+        fatal("unknown arch '%s'", o.arch.c_str());
+    }
+
+    std::printf("%s on %s (seed %llu)\n\n", cfg.name.c_str(),
+                net.name().c_str(),
+                static_cast<unsigned long long>(o.seed));
+
+    if (o.arch == "timeloop") {
+        TimeLoopModel model;
+        printResult(model.estimateNetwork(cfg, net, o.evalOnly), cfg);
+        return 0;
+    }
+    if (o.arch == "scnn") {
+        ScnnSimulator sim(cfg);
+        NetworkResult nr;
+        if (o.chained && o.network == "googlenet")
+            nr = runGoogLeNetChained(sim, o.seed); // inception DAG
+        else if (o.chained)
+            nr = sim.runNetworkChained(net, o.seed);
+        else
+            nr = sim.runNetwork(net, o.seed, o.evalOnly);
+        printResult(nr, cfg);
+        if (o.chained) {
+            std::printf("\nemergent output densities:");
+            for (const auto &l : nr.layers)
+                std::printf(" %s=%.2f", l.layerName.c_str(),
+                            l.stats.getOr("output_density", 0.0));
+            std::printf("\n");
+        }
+        return 0;
+    }
+    if (o.chained)
+        fatal("--chained requires --arch=scnn");
+    DcnnSimulator sim(cfg);
+    printResult(sim.runNetwork(net, o.seed, o.evalOnly, false), cfg);
+    return 0;
+}
