@@ -13,14 +13,16 @@
 #include <cstdio>
 
 #include "common/table.hh"
+#include "common/parallel.hh"
 #include "driver/experiments.hh"
 #include "nn/model_zoo.hh"
 
 using namespace scnn;
 
 int
-main()
+main(int argc, char **argv)
 {
+    consumeThreadsFlag(argc, argv);
     std::printf("Figure 10: energy relative to DCNN "
                 "(cycle-level simulation + energy model)\n\n");
 

@@ -16,14 +16,16 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/parallel.hh"
 #include "driver/experiments.hh"
 #include "nn/model_zoo.hh"
 
 using namespace scnn;
 
 int
-main()
+main(int argc, char **argv)
 {
+    consumeThreadsFlag(argc, argv);
     std::printf("Figure 7: GoogLeNet performance/energy vs density "
                 "(TimeLoop analytical model)\n\n");
 

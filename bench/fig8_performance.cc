@@ -7,10 +7,20 @@
  * Paper network-wide results: AlexNet 2.37x, GoogLeNet 2.19x, VGGNet
  * 3.52x (mean 2.7x), with the SCNN-to-oracle gap widening in later
  * layers.
+ *
+ * Besides the human-readable tables, the run emits
+ * BENCH_fig8_performance.json (per-network wall time, simulated
+ * cycles, speedups, and the thread count) so successive PRs can track
+ * both the model results and the simulator's own performance.
+ * --threads=N (or SCNN_THREADS) selects the worker-thread count;
+ * simulated results are bit-identical for every value.
  */
 
+#include <chrono>
 #include <cstdio>
 
+#include "common/json.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "driver/experiments.hh"
 #include "nn/model_zoo.hh"
@@ -29,18 +39,39 @@ paperSpeedup(const std::string &net)
     return "3.52";
 }
 
+double
+elapsedMs(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Figure 8: per-layer speedup over DCNN "
-                "(cycle-level simulation)\n\n");
+    consumeThreadsFlag(argc, argv);
+    const int threads = resolveThreads();
 
+    std::printf("Figure 8: per-layer speedup over DCNN "
+                "(cycle-level simulation, %d threads)\n\n",
+                threads);
+
+    JsonWriter json;
+    json.beginObject();
+    json.key("bench").value("fig8_performance");
+    json.key("threads").value(threads);
+    json.key("networks").beginArray();
+
+    const auto wall0 = std::chrono::steady_clock::now();
     double meanSpeedup = 0.0;
     int nets = 0;
     for (const Network &net : paperNetworks()) {
+        const auto t0 = std::chrono::steady_clock::now();
         const NetworkComparison cmp = compareNetwork(net);
+        const double wallMs = elapsedMs(t0);
 
         Table t("fig8_" + net.name(),
                 {"Layer", "DCNN/DCNN-opt", "SCNN", "SCNN(oracle)"});
@@ -53,13 +84,30 @@ main()
                   Table::num(cmp.networkSpeedupScnn(), 2),
                   Table::num(cmp.networkSpeedupOracle(), 2)});
         t.print();
-        std::printf("  %s network speedup: %.2fx (paper %sx)\n\n",
+        std::printf("  %s network speedup: %.2fx (paper %sx), "
+                    "simulated in %.0f ms\n\n",
                     net.name().c_str(), cmp.networkSpeedupScnn(),
-                    paperSpeedup(net.name()));
+                    paperSpeedup(net.name()), wallMs);
         meanSpeedup += cmp.networkSpeedupScnn();
         ++nets;
+
+        json.beginObject();
+        json.key("network").value(net.name());
+        json.key("wall_ms").value(wallMs);
+        json.key("dcnn_cycles").value(cmp.totalDcnnCycles());
+        json.key("scnn_cycles").value(cmp.totalScnnCycles());
+        json.key("oracle_cycles").value(cmp.totalOracleCycles());
+        json.key("speedup_scnn").value(cmp.networkSpeedupScnn());
+        json.key("speedup_oracle").value(cmp.networkSpeedupOracle());
+        json.endObject();
     }
     std::printf("Mean network speedup: %.2fx (paper ~2.7x)\n",
                 meanSpeedup / nets);
+
+    json.endArray();
+    json.key("total_wall_ms").value(elapsedMs(wall0));
+    json.key("mean_speedup").value(meanSpeedup / nets);
+    json.endObject();
+    writeJsonFile("BENCH_fig8_performance.json", json.str());
     return 0;
 }

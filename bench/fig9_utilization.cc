@@ -12,14 +12,16 @@
 #include <cstdio>
 
 #include "common/table.hh"
+#include "common/parallel.hh"
 #include "driver/experiments.hh"
 #include "nn/model_zoo.hh"
 
 using namespace scnn;
 
 int
-main()
+main(int argc, char **argv)
 {
+    consumeThreadsFlag(argc, argv);
     std::printf("Figure 9: multiplier utilization and PE idle "
                 "fraction (SCNN cycle-level simulation)\n\n");
 

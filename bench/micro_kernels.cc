@@ -3,11 +3,22 @@
  * google-benchmark microbenchmarks of the simulator's hot kernels:
  * RLE codec, compressed-tile construction, accumulator-bank routing,
  * the PE Cartesian-product inner loop, the reference convolution, and
- * a full small-layer simulation.
+ * a full small-layer simulation (serial and across thread counts).
+ *
+ * Unless overridden with --benchmark_out=..., results are also
+ * written machine-readably to BENCH_micro_kernels.json (google
+ * benchmark's JSON format, with a "threads" context entry) so
+ * successive PRs can track the perf trajectory.  --threads=N pins the
+ * worker-thread count of the parallel sections.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
 #include "common/random.hh"
 #include "nn/model_zoo.hh"
 #include "nn/reference.hh"
@@ -143,6 +154,51 @@ BM_ScnnLayer(benchmark::State &state)
 }
 BENCHMARK(BM_ScnnLayer);
 
+/** Full layer across explicit thread counts (RunOptions::threads). */
+void
+BM_ScnnLayerThreads(benchmark::State &state)
+{
+    const ConvLayerParams layer =
+        makeConv("bm_layer_mt", 64, 64, 28, 3, 1, 0.35, 0.40);
+    const LayerWorkload w = makeWorkload(layer, 13);
+    ScnnSimulator sim(scnnConfig());
+    RunOptions opts;
+    opts.threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const LayerResult r = sim.runLayer(w, opts);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_ScnnLayerThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    argc = consumeThreadsFlag(argc, argv);
+
+    // Default to machine-readable JSON output next to the binary's
+    // working directory unless the caller picked a destination.
+    std::vector<char *> args(argv, argv + argc);
+    bool hasOut = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0)
+            hasOut = true;
+    std::string outFlag = "--benchmark_out=BENCH_micro_kernels.json";
+    std::string fmtFlag = "--benchmark_out_format=json";
+    if (!hasOut) {
+        args.push_back(outFlag.data());
+        args.push_back(fmtFlag.data());
+    }
+    int benchArgc = static_cast<int>(args.size());
+
+    benchmark::AddCustomContext("threads",
+                                std::to_string(resolveThreads()));
+    benchmark::Initialize(&benchArgc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(benchArgc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

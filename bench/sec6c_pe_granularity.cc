@@ -26,6 +26,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/parallel.hh"
 #include "driver/experiments.hh"
 #include "nn/model_zoo.hh"
 
@@ -70,8 +71,9 @@ report(const char *label, bool fixedAccum)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    consumeThreadsFlag(argc, argv);
     std::printf("Section VI-C: PE granularity sweep at fixed 1024 "
                 "multipliers (GoogLeNet)\n\n");
     report("fixed_accum_macro", true);

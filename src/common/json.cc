@@ -1,0 +1,183 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::comma()
+{
+    if (needComma_ && !afterKey_)
+        out_ += ',';
+    needComma_ = true;
+    afterKey_ = false;
+}
+
+void
+JsonWriter::raw(const std::string &s)
+{
+    comma();
+    out_ += s;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    raw("{");
+    stack_.push_back(true);
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    SCNN_ASSERT(!stack_.empty() && stack_.back(),
+                "endObject outside an object");
+    stack_.pop_back();
+    out_ += '}';
+    needComma_ = true;
+    afterKey_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    raw("[");
+    stack_.push_back(false);
+    needComma_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    SCNN_ASSERT(!stack_.empty() && !stack_.back(),
+                "endArray outside an array");
+    stack_.pop_back();
+    out_ += ']';
+    needComma_ = true;
+    afterKey_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    SCNN_ASSERT(!stack_.empty() && stack_.back(),
+                "key outside an object");
+    comma();
+    out_ += '"' + jsonEscape(name) + "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    raw('"' + jsonEscape(v) + '"');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v)) {
+        raw("null");
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    raw(buf);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    raw(std::to_string(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    raw(std::to_string(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    raw(v ? "true" : "false");
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    SCNN_ASSERT(stack_.empty(), "unbalanced JSON document");
+    return out_;
+}
+
+bool
+writeJsonFile(const std::string &path, const std::string &doc)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot write %s", path.c_str());
+        return false;
+    }
+    std::fputs(doc.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace scnn

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable bench output
+ * (the BENCH_*.json files that track the perf trajectory across PRs).
+ * Commas and indentation are managed automatically; values are
+ * emitted in insertion order.  Not a parser -- write-only.
+ */
+
+#ifndef SCNN_COMMON_JSON_HH
+#define SCNN_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scnn {
+
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must be followed by a value or container. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    /** The finished document; fatal() if containers are unbalanced. */
+    std::string str() const;
+
+  private:
+    void comma();
+    void raw(const std::string &s);
+
+    std::string out_;
+    /** Stack entry: true = in object, false = in array. */
+    std::vector<bool> stack_;
+    bool needComma_ = false;
+    bool afterKey_ = false;
+};
+
+/** JSON string escaping (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Write a JSON document to a file.  Returns false (with a warn) when
+ * the file cannot be written -- bench runs should not die on an
+ * unwritable results directory.
+ */
+bool writeJsonFile(const std::string &path, const std::string &doc);
+
+} // namespace scnn
+
+#endif // SCNN_COMMON_JSON_HH

@@ -1,0 +1,273 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+namespace {
+
+/** Hard cap on pool size: beyond this, extra requested threads just
+ *  share the existing workers. */
+constexpr int kMaxPoolThreads = 256;
+
+thread_local bool tlsInWorker = false;
+
+std::atomic<int> defaultThreadsOverride{0};
+
+int
+envThreads()
+{
+    static const int cached = [] {
+        const char *s = std::getenv("SCNN_THREADS");
+        if (s == nullptr || *s == '\0')
+            return 0;
+        char *end = nullptr;
+        const long v = std::strtol(s, &end, 10);
+        if (end == s || *end != '\0' || v < 0) {
+            warn("ignoring malformed SCNN_THREADS='%s'", s);
+            return 0;
+        }
+        return static_cast<int>(std::min(
+            v, static_cast<long>(kMaxPoolThreads)));
+    }();
+    return cached;
+}
+
+/**
+ * Fixed-size pool of workers fed from one FIFO queue.  Workers are
+ * spawned on demand up to the requested concurrency (never destroyed
+ * until process exit); there is no work stealing -- parallelFor hands
+ * each worker a self-scheduling loop over an atomic index instead.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    /** Enqueue a task, growing the pool toward `wanted` workers. */
+    void
+    submit(std::function<void()> task, int wanted)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ensureWorkersLocked(wanted);
+            queue_.push_back(std::move(task));
+        }
+        cv_.notify_one();
+    }
+
+  private:
+    ThreadPool() = default;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    void
+    ensureWorkersLocked(int wanted)
+    {
+        wanted = std::min(wanted, kMaxPoolThreads);
+        while (static_cast<int>(workers_.size()) < wanted)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    workerLoop()
+    {
+        tlsInWorker = true;
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                cv_.wait(lock,
+                         [this] { return stop_ || !queue_.empty(); });
+                if (stop_ && queue_.empty())
+                    return;
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+};
+
+/** Shared state of one parallelFor invocation. */
+struct ForState
+{
+    std::atomic<size_t> next{0};
+    size_t n = 0;
+    const std::function<void(size_t)> *body = nullptr;
+
+    std::mutex mu;
+    std::condition_variable done;
+    int live = 0;               ///< helper tasks still running
+    std::exception_ptr error;   ///< first failure
+    std::atomic<bool> cancelled{false};
+
+    void
+    runIndices()
+    {
+        for (;;) {
+            if (cancelled.load(std::memory_order_relaxed))
+                return;
+            const size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                (*body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu);
+                if (!error)
+                    error = std::current_exception();
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+int
+setDefaultThreads(int n)
+{
+    SCNN_ASSERT(n >= 0, "negative thread count %d", n);
+    return defaultThreadsOverride.exchange(
+        std::min(n, kMaxPoolThreads));
+}
+
+int
+resolveThreads(int requested)
+{
+    if (requested > 0)
+        return std::min(requested, kMaxPoolThreads);
+    const int overridden = defaultThreadsOverride.load();
+    if (overridden > 0)
+        return overridden;
+    const int env = envThreads();
+    if (env > 0)
+        return env;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(
+                        std::min<unsigned>(hw, kMaxPoolThreads))
+                  : 1;
+}
+
+bool
+inParallelRegion()
+{
+    return tlsInWorker;
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &body,
+            int threads)
+{
+    if (n == 0)
+        return;
+    const int t = resolveThreads(threads);
+    if (t <= 1 || n == 1 || tlsInWorker) {
+        // Serial path: in index order, exceptions propagate directly.
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    const int helpers = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(t) - 1, n - 1));
+    auto state = std::make_shared<ForState>();
+    state->n = n;
+    state->body = &body;
+    state->live = helpers;
+
+    for (int h = 0; h < helpers; ++h) {
+        ThreadPool::instance().submit(
+            [state] {
+                state->runIndices();
+                std::lock_guard<std::mutex> lock(state->mu);
+                if (--state->live == 0)
+                    state->done.notify_all();
+            },
+            helpers);
+    }
+
+    // The caller participates instead of blocking idle.  It counts as
+    // a parallel region meanwhile, so nested parallelFors issued from
+    // caller-executed indices inline just like on pool workers.
+    tlsInWorker = true;
+    state->runIndices();
+    tlsInWorker = false;
+
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&] { return state->live == 0; });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+namespace {
+
+/** Parse a --threads value; user errors are fatal(), not panics. */
+int
+parseThreadsValue(const char *s)
+{
+    char *end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 0) {
+        fatal("bad --threads value '%s' (want a non-negative integer)",
+              s);
+    }
+    return static_cast<int>(
+        std::min(v, static_cast<long>(kMaxPoolThreads)));
+}
+
+} // anonymous namespace
+
+int
+consumeThreadsFlag(int argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--threads=", 10) == 0) {
+            setDefaultThreads(parseThreadsValue(arg + 10));
+        } else if (std::strcmp(arg, "--threads") == 0 &&
+                   i + 1 < argc) {
+            setDefaultThreads(parseThreadsValue(argv[++i]));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    for (int i = out; i < argc; ++i)
+        argv[i] = nullptr;
+    return out;
+}
+
+} // namespace scnn

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared parallel-execution subsystem: a fixed-size thread pool (no
+ * work stealing) with parallelFor / parallelMap helpers used by the
+ * cycle-level simulators and the experiment drivers.
+ *
+ * Determinism contract: callers must make each index of a parallelFor
+ * write only to its own slot(s) and perform any cross-index reduction
+ * serially in index order after the parallel section returns.  Under
+ * that discipline results are bit-identical for every thread count
+ * (including 1), which the test suite asserts end-to-end.
+ *
+ * Thread-count resolution, in priority order:
+ *   1. an explicit per-call / per-run `threads` value > 0,
+ *   2. setDefaultThreads(n) with n > 0 (e.g. from a --threads flag),
+ *   3. the SCNN_THREADS environment variable,
+ *   4. std::thread::hardware_concurrency().
+ *
+ * Nested parallelism is guarded: a parallelFor issued from inside a
+ * pool worker runs inline on that worker (no new tasks), so fanning
+ * out at the experiment level automatically serializes the per-layer
+ * inner loops instead of oversubscribing or deadlocking the pool.
+ */
+
+#ifndef SCNN_COMMON_PARALLEL_HH
+#define SCNN_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace scnn {
+
+/**
+ * Resolve a requested thread count: `requested` > 0 wins, else the
+ * setDefaultThreads() override, else SCNN_THREADS, else the hardware
+ * concurrency (at least 1).
+ */
+int resolveThreads(int requested = 0);
+
+/**
+ * Override the default thread count for subsequent parallel sections
+ * (0 restores automatic resolution).  Returns the previous override.
+ */
+int setDefaultThreads(int n);
+
+/** True when called from inside a pool worker (nested region). */
+bool inParallelRegion();
+
+/**
+ * Run body(i) for i in [0, n) across up to `threads` threads (resolved
+ * via resolveThreads).  Indices are claimed dynamically, so the
+ * execution order is unspecified; the caller guarantees per-index
+ * isolation (see the determinism contract above).  The calling thread
+ * participates in the work.  If any body throws, the first exception
+ * (in completion order) is rethrown on the caller after all workers
+ * finish; remaining unclaimed indices are skipped.
+ *
+ * Runs inline (serially, in index order) when n <= 1, the resolved
+ * thread count is 1, or the caller is already inside a parallel
+ * region.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &body,
+                 int threads = 0);
+
+/**
+ * Map fn over items with parallelFor, collecting results in item
+ * order.  The result type must be default-constructible and movable.
+ */
+template <typename T, typename F>
+auto
+parallelMap(const std::vector<T> &items, F &&fn, int threads = 0)
+    -> std::vector<decltype(fn(items[size_t(0)]))>
+{
+    using R = decltype(fn(items[size_t(0)]));
+    std::vector<R> out(items.size());
+    parallelFor(
+        items.size(), [&](size_t i) { out[i] = fn(items[i]); }, threads);
+    return out;
+}
+
+/**
+ * Parse a `--threads=N` (or `--threads N`) argument out of argv,
+ * apply it via setDefaultThreads, and compact argv in place.  Returns
+ * the new argc.  Shared by the CLI tools and bench binaries so they
+ * all expose the same contract.
+ */
+int consumeThreadsFlag(int argc, char **argv);
+
+} // namespace scnn
+
+#endif // SCNN_COMMON_PARALLEL_HH

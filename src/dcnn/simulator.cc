@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "nn/reference.hh"
 #include "scnn/tiling.hh"
 #include "tensor/sparse_block.hh"
@@ -121,20 +122,25 @@ DcnnSimulator::runLayer(const LayerWorkload &workload,
         static_cast<int>(ceilDiv(layer.outChannels, kcDense));
 
     // --- timing: each PE processes its output tile independently ---
+    // Dense timing is closed-form in the layer shape (a handful of
+    // arithmetic ops per PE), so this loop stays serial; the hot part
+    // of a dense run is the functional referenceConv below, which is
+    // parallelized.  peCycles is kept for the idle accounting.
+    std::vector<uint64_t> peCycles(static_cast<size_t>(numPes), 0);
     uint64_t wall = 0;
     uint64_t cyclesTotal = 0;
     uint64_t inFootprintTotal = 0;
-    for (int pr = 0; pr < cfg_.peRows; ++pr) {
-        for (int pc = 0; pc < cfg_.peCols; ++pc) {
-            const TileRect out = tiling.outputTile(pr, pc);
-            const uint64_t cyclesPe =
-                static_cast<uint64_t>(out.area()) * layer.outChannels *
-                dpChunks;
-            cyclesTotal += cyclesPe;
-            wall = std::max(wall, cyclesPe);
-            inFootprintTotal += static_cast<uint64_t>(
-                inputFootprint(layer, out));
-        }
+    for (int p = 0; p < numPes; ++p) {
+        const int pr = p / cfg_.peCols;
+        const int pc = p % cfg_.peCols;
+        const TileRect out = tiling.outputTile(pr, pc);
+        const uint64_t cyclesPe = static_cast<uint64_t>(out.area()) *
+                                  layer.outChannels * dpChunks;
+        peCycles[static_cast<size_t>(p)] = cyclesPe;
+        cyclesTotal += cyclesPe;
+        wall = std::max(wall, cyclesPe);
+        inFootprintTotal +=
+            static_cast<uint64_t>(inputFootprint(layer, out));
     }
 
     // --- DRAM / dense SRAM capacity ---
@@ -215,14 +221,10 @@ DcnnSimulator::runLayer(const LayerWorkload &workload,
             ? static_cast<double>(res.denseMacs) / slotsAll
             : 0.0;
     uint64_t idleSum = 0;
-    for (int pr = 0; pr < cfg_.peRows; ++pr)
-        for (int pc = 0; pc < cfg_.peCols; ++pc) {
-            const TileRect out = tiling.outputTile(pr, pc);
-            const uint64_t cyclesPe =
-                static_cast<uint64_t>(out.area()) * layer.outChannels *
-                dpChunks;
-            idleSum += layerCycles - std::min(layerCycles, cyclesPe);
-        }
+    for (int p = 0; p < numPes; ++p) {
+        idleSum += layerCycles -
+                   std::min(layerCycles, peCycles[static_cast<size_t>(p)]);
+    }
     res.peIdleFraction =
         layerCycles > 0
             ? static_cast<double>(idleSum) /
@@ -274,7 +276,7 @@ DcnnSimulator::runLayer(const LayerWorkload &workload,
     // --- functional output ---
     if (opts.functional) {
         res.output = referenceConv(layer, workload.input,
-                                   workload.weights);
+                                   workload.weights, opts.threads);
     } else {
         res.output = Tensor3();
     }

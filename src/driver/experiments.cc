@@ -1,6 +1,7 @@
 #include "driver/experiments.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "dcnn/simulator.hh"
 #include "nn/model_zoo.hh"
 #include "nn/workload.hh"
@@ -106,109 +107,128 @@ NetworkComparison::networkSpeedupOracle() const
 }
 
 NetworkComparison
-compareNetwork(const Network &net, uint64_t seed)
+compareNetwork(const Network &net, uint64_t seed, int threads)
 {
     NetworkComparison cmp;
     cmp.networkName = net.name();
-
-    ScnnSimulator scnnSim(scnnConfig());
-    DcnnSimulator dcnnSim(dcnnConfig());
-    DcnnSimulator dcnnOptSim(dcnnOptConfig());
-    const AcceleratorConfig scnnCfg = scnnConfig();
 
     std::vector<ConvLayerParams> layers;
     for (const auto &l : net.layers())
         if (l.inEval)
             layers.push_back(l);
 
-    for (size_t i = 0; i < layers.size(); ++i) {
-        const LayerWorkload w = makeWorkload(layers[i], seed);
+    // Each layer's workload owns an RNG stream derived from (layer
+    // name, seed), so the per-layer comparisons are fully independent:
+    // fan them out and collect in layer order.  Simulators are cheap
+    // to construct and stateless across runLayer calls, so each task
+    // builds its own.
+    std::vector<size_t> indices(layers.size());
+    for (size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    cmp.layers = parallelMap(
+        indices,
+        [&](size_t i) {
+            const LayerWorkload w = makeWorkload(layers[i], seed);
 
-        LayerComparison lc;
-        lc.layerName = layers[i].name;
+            LayerComparison lc;
+            lc.layerName = layers[i].name;
 
-        RunOptions scnnOpts;
-        scnnOpts.firstLayer = (i == 0);
-        scnnOpts.outputDensityHint =
-            (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
-        lc.scnn = scnnSim.runLayer(w, scnnOpts);
+            RunOptions scnnOpts;
+            scnnOpts.firstLayer = (i == 0);
+            scnnOpts.outputDensityHint = (i + 1 < layers.size())
+                ? layers[i + 1].inputDensity
+                : 0.5;
+            ScnnSimulator scnnSim(scnnConfig());
+            lc.scnn = scnnSim.runLayer(w, scnnOpts);
 
-        DcnnRunOptions denseOpts;
-        denseOpts.firstLayer = (i == 0);
-        denseOpts.functional = false;
-        denseOpts.outputDensityHint =
-            (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
-        lc.dcnn = dcnnSim.runLayer(w, denseOpts);
-        lc.dcnnOpt = dcnnOptSim.runLayer(w, denseOpts);
+            DcnnRunOptions denseOpts;
+            denseOpts.firstLayer = (i == 0);
+            denseOpts.functional = false;
+            denseOpts.outputDensityHint = (i + 1 < layers.size())
+                ? layers[i + 1].inputDensity
+                : 0.5;
+            DcnnSimulator dcnnSim(dcnnConfig());
+            DcnnSimulator dcnnOptSim(dcnnOptConfig());
+            lc.dcnn = dcnnSim.runLayer(w, denseOpts);
+            lc.dcnnOpt = dcnnOptSim.runLayer(w, denseOpts);
 
-        lc.oracleCycles = oracleCycles(lc.scnn, scnnCfg);
-        cmp.layers.push_back(std::move(lc));
-    }
+            lc.oracleCycles = oracleCycles(lc.scnn, scnnConfig());
+            return lc;
+        },
+        threads);
     return cmp;
 }
 
 std::vector<DensityPoint>
-densitySweep(const Network &net, const std::vector<double> &densities)
+densitySweep(const Network &net, const std::vector<double> &densities,
+             int threads)
 {
-    TimeLoopModel model;
+    const TimeLoopModel model;
     const AcceleratorConfig scnnCfg = scnnConfig();
     const AcceleratorConfig dcnnCfg = dcnnConfig();
     const AcceleratorConfig dcnnOptCfg = dcnnOptConfig();
 
-    std::vector<DensityPoint> points;
-    for (double d : densities) {
-        const Network swept = withUniformDensity(net, d, d);
-        const NetworkResult scnnRes =
-            model.estimateNetwork(scnnCfg, swept);
-        const NetworkResult dcnnRes =
-            model.estimateNetwork(dcnnCfg, swept);
-        const NetworkResult dcnnOptRes =
-            model.estimateNetwork(dcnnOptCfg, swept);
+    // Sweep points are independent; estimateNetwork is const (the
+    // analytical model holds no mutable state), so one model serves
+    // every worker.
+    return parallelMap(
+        densities,
+        [&](double d) {
+            const Network swept = withUniformDensity(net, d, d);
+            const NetworkResult scnnRes =
+                model.estimateNetwork(scnnCfg, swept);
+            const NetworkResult dcnnRes =
+                model.estimateNetwork(dcnnCfg, swept);
+            const NetworkResult dcnnOptRes =
+                model.estimateNetwork(dcnnOptCfg, swept);
 
-        DensityPoint p;
-        p.density = d;
-        p.scnnCycles = static_cast<double>(scnnRes.totalCycles());
-        p.scnnEnergy = scnnRes.totalEnergyPj();
-        p.dcnnCycles = static_cast<double>(dcnnRes.totalCycles());
-        p.dcnnEnergy = dcnnRes.totalEnergyPj();
-        p.dcnnOptEnergy = dcnnOptRes.totalEnergyPj();
-        points.push_back(p);
-    }
-    return points;
+            DensityPoint p;
+            p.density = d;
+            p.scnnCycles = static_cast<double>(scnnRes.totalCycles());
+            p.scnnEnergy = scnnRes.totalEnergyPj();
+            p.dcnnCycles = static_cast<double>(dcnnRes.totalCycles());
+            p.dcnnEnergy = dcnnRes.totalEnergyPj();
+            p.dcnnOptEnergy = dcnnOptRes.totalEnergyPj();
+            return p;
+        },
+        threads);
 }
 
 std::vector<GranularityPoint>
 peGranularitySweep(const Network &net,
                    const std::vector<std::pair<int, int>> &grids,
-                   uint64_t seed, bool fixedAccum)
+                   uint64_t seed, bool fixedAccum, int threads)
 {
-    std::vector<GranularityPoint> points;
-    for (const auto &[rows, cols] : grids) {
-        const AcceleratorConfig cfg = fixedAccum
-            ? scnnWithPeGridFixedAccum(rows, cols)
-            : scnnWithPeGrid(rows, cols);
-        ScnnSimulator sim(cfg);
-        const NetworkResult res = sim.runNetwork(net, seed);
+    return parallelMap(
+        grids,
+        [&](const std::pair<int, int> &grid) {
+            const auto [rows, cols] = grid;
+            const AcceleratorConfig cfg = fixedAccum
+                ? scnnWithPeGridFixedAccum(rows, cols)
+                : scnnWithPeGrid(rows, cols);
+            ScnnSimulator sim(cfg);
+            const NetworkResult res = sim.runNetwork(net, seed);
 
-        GranularityPoint p;
-        p.peRows = rows;
-        p.peCols = cols;
-        p.perPeMultipliers = cfg.pe.multipliers();
-        p.cycles = res.totalCycles();
-        double products = 0.0;
-        for (const auto &l : res.layers)
-            products += static_cast<double>(l.products);
-        const double slots = static_cast<double>(p.cycles) *
-                             cfg.multipliers();
-        p.mathUtilization = slots > 0 ? products / slots : 0.0;
-        double idle = 0.0;
-        for (const auto &l : res.layers)
-            idle += l.peIdleFraction * static_cast<double>(l.cycles);
-        p.peIdleFraction =
-            p.cycles > 0 ? idle / static_cast<double>(p.cycles) : 0.0;
-        points.push_back(p);
-    }
-    return points;
+            GranularityPoint p;
+            p.peRows = rows;
+            p.peCols = cols;
+            p.perPeMultipliers = cfg.pe.multipliers();
+            p.cycles = res.totalCycles();
+            double products = 0.0;
+            for (const auto &l : res.layers)
+                products += static_cast<double>(l.products);
+            const double slots = static_cast<double>(p.cycles) *
+                                 cfg.multipliers();
+            p.mathUtilization = slots > 0 ? products / slots : 0.0;
+            double idle = 0.0;
+            for (const auto &l : res.layers)
+                idle += l.peIdleFraction * static_cast<double>(l.cycles);
+            p.peIdleFraction = p.cycles > 0
+                ? idle / static_cast<double>(p.cycles)
+                : 0.0;
+            return p;
+        },
+        threads);
 }
 
 } // namespace scnn

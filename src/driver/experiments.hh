@@ -59,9 +59,17 @@ struct NetworkComparison
  * Run the full three-architecture comparison on a network's
  * evaluation-scope layers with cycle-level simulators.  One workload
  * per layer is shared across architectures.
+ *
+ * Per-layer comparisons are independent (each layer's workload derives
+ * its own RNG stream from the master seed) and fan out across the
+ * shared thread pool; results are merged in layer order and are
+ * bit-identical for every thread count.
+ *
+ * @param threads worker threads (0 = SCNN_THREADS / hardware default).
  */
 NetworkComparison compareNetwork(const Network &net,
-                                 uint64_t seed = kExperimentSeed);
+                                 uint64_t seed = kExperimentSeed,
+                                 int threads = 0);
 
 /** One point of the Fig. 7 density sweep. */
 struct DensityPoint
@@ -78,10 +86,15 @@ struct DensityPoint
  * The Section VI-A sensitivity study: sweep uniform weight/activation
  * density over the given values on a network using the TimeLoop
  * analytical model, reporting cycles and energy for the three
- * architectures.
+ * architectures.  Points are independent and fan out across the
+ * thread pool (merged in input order; bit-identical for any thread
+ * count).
+ *
+ * @param threads worker threads (0 = SCNN_THREADS / hardware default).
  */
 std::vector<DensityPoint>
-densitySweep(const Network &net, const std::vector<double> &densities);
+densitySweep(const Network &net, const std::vector<double> &densities,
+             int threads = 0);
 
 /** One configuration of the Section VI-C PE-granularity study. */
 struct GranularityPoint
@@ -101,12 +114,16 @@ struct GranularityPoint
  * @param fixedAccum use the fixed-accumulator-capacity scaling
  *        (scnnWithPeGridFixedAccum) instead of proportional scaling;
  *        see EXPERIMENTS.md for why both assumptions are reported.
+ * @param threads worker threads across grid configurations (0 =
+ *        SCNN_THREADS / hardware default); each configuration's
+ *        simulation is otherwise unchanged, so results are
+ *        bit-identical for any thread count.
  */
 std::vector<GranularityPoint>
 peGranularitySweep(const Network &net,
                    const std::vector<std::pair<int, int>> &grids,
                    uint64_t seed = kExperimentSeed,
-                   bool fixedAccum = false);
+                   bool fixedAccum = false, int threads = 0);
 
 } // namespace scnn
 

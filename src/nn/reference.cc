@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace scnn {
 
@@ -11,7 +12,7 @@ namespace {
 
 Tensor3
 convImpl(const ConvLayerParams &layer, const Tensor3 &input,
-         const Tensor4 &weights, bool relu)
+         const Tensor4 &weights, bool relu, int threads)
 {
     SCNN_ASSERT(input.channels() == layer.inChannels &&
                 input.width() == layer.inWidth &&
@@ -32,7 +33,12 @@ convImpl(const ConvLayerParams &layer, const Tensor3 &input,
 
     Tensor3 out(layer.outChannels, outW, outH);
 
-    for (int k = 0; k < layer.outChannels; ++k) {
+    // Output channels write disjoint planes, so the loop parallelizes
+    // with bit-identical results for any thread count.
+    parallelFor(
+        static_cast<size_t>(layer.outChannels),
+        [&](size_t ki) {
+        const int k = static_cast<int>(ki);
         const int group = k / kPerGroup;
         const int cBase = group * cPerGroup;
         for (int ox = 0; ox < outW; ++ox) {
@@ -62,7 +68,7 @@ convImpl(const ConvLayerParams &layer, const Tensor3 &input,
                 out.set(k, ox, oy, v);
             }
         }
-    }
+    }, threads);
     return out;
 }
 
@@ -70,20 +76,21 @@ convImpl(const ConvLayerParams &layer, const Tensor3 &input,
 
 Tensor3
 referenceConv(const ConvLayerParams &layer, const Tensor3 &input,
-              const Tensor4 &weights)
+              const Tensor4 &weights, int threads)
 {
-    return convImpl(layer, input, weights, layer.applyRelu);
+    return convImpl(layer, input, weights, layer.applyRelu, threads);
 }
 
 Tensor3
 referenceConvNoRelu(const ConvLayerParams &layer, const Tensor3 &input,
-                    const Tensor4 &weights)
+                    const Tensor4 &weights, int threads)
 {
-    return convImpl(layer, input, weights, false);
+    return convImpl(layer, input, weights, false, threads);
 }
 
 Tensor3
-maxPool(const Tensor3 &input, int window, int stride, int pad)
+maxPool(const Tensor3 &input, int window, int stride, int pad,
+        int threads)
 {
     SCNN_ASSERT(window > 0 && stride > 0 && pad >= 0,
                 "bad pooling parameters");
@@ -92,7 +99,10 @@ maxPool(const Tensor3 &input, int window, int stride, int pad)
     SCNN_ASSERT(outW > 0 && outH > 0, "empty pooled plane");
 
     Tensor3 out(input.channels(), outW, outH);
-    for (int c = 0; c < input.channels(); ++c) {
+    parallelFor(
+        static_cast<size_t>(input.channels()),
+        [&](size_t ci) {
+        const int c = static_cast<int>(ci);
         for (int ox = 0; ox < outW; ++ox) {
             for (int oy = 0; oy < outH; ++oy) {
                 float best = -std::numeric_limits<float>::infinity();
@@ -112,7 +122,7 @@ maxPool(const Tensor3 &input, int window, int stride, int pad)
                 out.set(c, ox, oy, any ? best : 0.0f);
             }
         }
-    }
+    }, threads);
     return out;
 }
 

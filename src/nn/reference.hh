@@ -23,16 +23,19 @@ namespace scnn {
  * @param layer    layer parameters (shapes validated against tensors).
  * @param input    (C, W, H) activations.
  * @param weights  (K, C/groups, R, S) filter weights.
- * @param applyRelu whether to clamp negatives in the returned output
- *                 (defaults to the layer's setting).
+ * @param threads  worker threads for the per-output-channel loop (0 =
+ *                 SCNN_THREADS / hardware default); the channel planes
+ *                 are disjoint, so results are bit-identical for any
+ *                 value.
  * @return (K, outW, outH) output activations.
  */
 Tensor3 referenceConv(const ConvLayerParams &layer, const Tensor3 &input,
-                      const Tensor4 &weights);
+                      const Tensor4 &weights, int threads = 0);
 
 /** As referenceConv but never applies ReLU (raw partial sums). */
 Tensor3 referenceConvNoRelu(const ConvLayerParams &layer,
-                            const Tensor3 &input, const Tensor4 &weights);
+                            const Tensor3 &input, const Tensor4 &weights,
+                            int threads = 0);
 
 /**
  * Max pooling with a window x window kernel.
@@ -41,8 +44,10 @@ Tensor3 referenceConvNoRelu(const ConvLayerParams &layer,
  * @param window pooling window size.
  * @param stride pooling stride.
  * @param pad    symmetric zero padding.
+ * @param threads worker threads for the per-channel loop (0 = default).
  */
-Tensor3 maxPool(const Tensor3 &input, int window, int stride, int pad);
+Tensor3 maxPool(const Tensor3 &input, int window, int stride, int pad,
+                int threads = 0);
 
 } // namespace scnn
 

@@ -25,7 +25,7 @@ PeGroupStats
 ProcessingElement::runGroup(const CompressedActTile &acts,
                             const std::vector<CompressedWeightBlock>
                                 &wtBlocks,
-                            int k0, std::vector<double> *accum)
+                            int k0, GroupAccum *accum)
 {
     PeGroupStats st;
     if (inTile_.empty() || accRect_.empty())
@@ -39,8 +39,6 @@ ProcessingElement::runGroup(const CompressedActTile &acts,
     const int padY = layer_.padY;
     const int strideX = layer_.strideX;
     const int strideY = layer_.strideY;
-    const int outW = layer_.outWidth();
-    const int outH = layer_.outHeight();
     const int accH = accRect_.height();
     const int phases = layer_.geometry().phases();
 
@@ -96,10 +94,11 @@ ProcessingElement::runGroup(const CompressedActTile &acts,
                                 oy - accRect_.y0, accH);
                             banks_.route(bank);
                             if (accum) {
-                                const size_t idx =
-                                    (static_cast<size_t>(W[w].k) *
-                                         outW + ox) * outH + oy;
-                                (*accum)[idx] +=
+                                // Landed coordinates always fall in
+                                // accRect (it covers the reachable
+                                // output footprint), so the private
+                                // buffer needs no bounds checks.
+                                accum->at(W[w].k - k0, ox, oy) +=
                                     static_cast<double>(A[a].value) *
                                     static_cast<double>(W[w].value);
                             }

@@ -43,6 +43,40 @@ struct PeGroupStats
     uint64_t conflictStalls = 0;///< extra cycles from bank conflicts
 };
 
+/**
+ * Private functional accumulation buffer for one (PE, output-channel
+ * group) pass: a dense (kc, accRect) volume the PE owns exclusively,
+ * so group passes of different PEs can run on different threads.  The
+ * simulator drains these into the layer's output plane serially in PE
+ * order, which makes the summation order -- and hence every output
+ * bit -- independent of the thread count.
+ */
+struct GroupAccum
+{
+    TileRect rect;              ///< output-plane window covered
+    int kc = 0;                 ///< output channels in the group
+    std::vector<double> values; ///< (kLocal, ox - x0, oy - y0) dense
+
+    void
+    reset(const TileRect &r, int kcActual)
+    {
+        rect = r;
+        kc = kcActual;
+        values.assign(static_cast<size_t>(kc) * rect.area(), 0.0);
+    }
+
+    double &
+    at(int kLocal, int ox, int oy)
+    {
+        const size_t idx =
+            (static_cast<size_t>(kLocal) * rect.width() +
+             static_cast<size_t>(ox - rect.x0)) *
+                rect.height() +
+            static_cast<size_t>(oy - rect.y0);
+        return values[idx];
+    }
+};
+
 class ProcessingElement
 {
   public:
@@ -65,14 +99,15 @@ class ProcessingElement
      * @param wtBlocks per-input-channel compressed weight blocks for
      *                 this group (shared across PEs).
      * @param k0       first output channel of the group.
-     * @param accum    optional dense accumulator for functional
-     *                 output, laid out (k * outW + ox) * outH + oy
-     *                 over the full output plane.
+     * @param accum    optional private functional accumulator for this
+     *                 pass; must be reset() over this PE's accRect and
+     *                 the group's channel count.  Landed products are
+     *                 added at (k - k0, ox, oy).
      */
     PeGroupStats runGroup(const CompressedActTile &acts,
                           const std::vector<CompressedWeightBlock>
                               &wtBlocks,
-                          int k0, std::vector<double> *accum);
+                          int k0, GroupAccum *accum);
 
     const TileRect &inTile() const { return inTile_; }
     const TileRect &outTile() const { return outTile_; }

@@ -46,6 +46,14 @@ struct RunOptions
      * the stats.
      */
     double outputDensityHint = 0.5;
+
+    /**
+     * Worker threads for the per-(PE, output-channel-group) passes
+     * (and other per-layer parallel sections).  0 resolves through
+     * the SCNN_THREADS / hardware-concurrency chain in
+     * common/parallel.hh.  Results are bit-identical for every value.
+     */
+    int threads = 0;
 };
 
 /** Outcome of simulating one convolutional layer. */

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "nn/reference.hh"
 #include "scnn/pe.hh"
 #include "scnn/tiling.hh"
@@ -85,15 +86,16 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
     const int kc = chooseKc(layer, cfg_, maxAccArea);
     const int numGroups = static_cast<int>(ceilDiv(K, kc));
 
-    // --- compress each PE's input tile ---
-    std::vector<CompressedActTile> tiles;
-    std::vector<std::unique_ptr<ProcessingElement>> pes;
-    tiles.reserve(numPes);
-    pes.reserve(numPes);
-    uint64_t inStoredTotal = 0;
-    uint64_t maxInBitsPerPe = 0;
-    for (int pr = 0; pr < cfg_.peRows; ++pr) {
-        for (int pc = 0; pc < cfg_.peCols; ++pc) {
+    // --- compress each PE's input tile (parallel: slot-per-PE) ---
+    std::vector<std::unique_ptr<CompressedActTile>> tiles(
+        static_cast<size_t>(numPes));
+    std::vector<std::unique_ptr<ProcessingElement>> pes(
+        static_cast<size_t>(numPes));
+    parallelFor(
+        static_cast<size_t>(numPes),
+        [&](size_t p) {
+            const int pr = static_cast<int>(p) / cfg_.peCols;
+            const int pc = static_cast<int>(p) % cfg_.peCols;
             // Output halos: disjoint input tiles, accumulator covers
             // the reachable output footprint.  Input halos: the input
             // footprint of the private output tile is replicated and
@@ -105,19 +107,29 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
             const TileRect acc = cfg_.pe.inputHalos
                 ? out
                 : tiling.accumRect(pr, pc);
-            tiles.emplace_back(workload.input, in.x0, in.x1, in.y0,
-                               in.y1, geom);
-            inStoredTotal += tiles.back().storedElements();
-            maxInBitsPerPe =
-                std::max(maxInBitsPerPe, tiles.back().storageBits());
-            pes.push_back(std::make_unique<ProcessingElement>(
-                cfg_, layer, in, out, acc));
-        }
+            tiles[p] = std::make_unique<CompressedActTile>(
+                workload.input, in.x0, in.x1, in.y0, in.y1, geom);
+            pes[p] = std::make_unique<ProcessingElement>(
+                cfg_, layer, in, out, acc);
+        },
+        opts.threads);
+    uint64_t inStoredTotal = 0;
+    uint64_t maxInBitsPerPe = 0;
+    for (int p = 0; p < numPes; ++p) {
+        inStoredTotal += tiles[p]->storedElements();
+        maxInBitsPerPe =
+            std::max(maxInBitsPerPe, tiles[p]->storageBits());
     }
 
     // --- dense functional accumulator over the full output plane ---
     std::vector<double> accum(static_cast<size_t>(K) * outW * outH,
                               0.0);
+    // Per-(PE, group) private functional buffers: each PE accumulates
+    // its pass in isolation and the buffers are drained into `accum`
+    // serially in PE order, so output bits never depend on the thread
+    // count.
+    std::vector<GroupAccum> groupAccums(
+        opts.functional ? static_cast<size_t>(numPes) : 0);
 
     // --- per-PE running state ---
     std::vector<uint64_t> prevDrain(numPes, 0);
@@ -140,22 +152,68 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
         const int k1 = std::min(K, k0 + kc);
         const int kcActual = k1 - k0;
 
+        // Weight-block construction RLE-encodes a Kc x R x S volume
+        // per input channel; channels are independent, so build them
+        // in parallel and account serially in channel order.
+        std::vector<std::unique_ptr<CompressedWeightBlock>> built(
+            static_cast<size_t>(C));
+        parallelFor(
+            static_cast<size_t>(C),
+            [&](size_t c) {
+                built[c] = std::make_unique<CompressedWeightBlock>(
+                    workload.weights, k0, k1, static_cast<int>(c), C,
+                    layer.groups, geom);
+            },
+            opts.threads);
         wtBlocks.clear();
         wtBlocks.reserve(C);
         uint64_t wtBitsGroup = 0;
         for (int c = 0; c < C; ++c) {
-            wtBlocks.emplace_back(workload.weights, k0, k1, c, C,
-                                  layer.groups, geom);
-            wtBitsGroup += wtBlocks.back().storedElements() *
-                           kRleElemBits;
+            wtBitsGroup += built[c]->storedElements() * kRleElemBits;
+            wtBlocks.push_back(std::move(*built[c]));
         }
         wtDramBits += wtBitsGroup;
 
+        // The per-(PE, group) passes between the inter-PE barriers are
+        // independent: run them across the pool, then merge stats and
+        // functional partial sums deterministically in PE order.
+        std::vector<PeGroupStats> groupStats(
+            static_cast<size_t>(numPes));
+        parallelFor(
+            static_cast<size_t>(numPes),
+            [&](size_t p) {
+                GroupAccum *ga = nullptr;
+                if (opts.functional) {
+                    ga = &groupAccums[p];
+                    ga->reset(pes[p]->accRect(), kcActual);
+                }
+                groupStats[p] =
+                    pes[p]->runGroup(*tiles[p], wtBlocks, k0, ga);
+            },
+            opts.threads);
+
         uint64_t wallCompute = 0;
         for (int p = 0; p < numPes; ++p) {
-            const PeGroupStats st = pes[p]->runGroup(
-                tiles[p], wtBlocks, k0,
-                opts.functional ? &accum : nullptr);
+            const PeGroupStats &st = groupStats[p];
+
+            if (opts.functional) {
+                const GroupAccum &ga = groupAccums[p];
+                for (int kl = 0; kl < ga.kc; ++kl) {
+                    const size_t k = static_cast<size_t>(k0 + kl);
+                    size_t src = static_cast<size_t>(kl) *
+                                 static_cast<size_t>(ga.rect.area());
+                    for (int ox = ga.rect.x0; ox < ga.rect.x1; ++ox) {
+                        for (int oy = ga.rect.y0; oy < ga.rect.y1;
+                             ++oy, ++src) {
+                            const double v = ga.values[src];
+                            if (v != 0.0) {
+                                accum[(k * outW + ox) * outH + oy] +=
+                                    v;
+                            }
+                        }
+                    }
+                }
+            }
 
             res.mulArrayOps += st.mulOps;
             res.products += st.products;
@@ -222,12 +280,19 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
     // compressed size is reported in the stats.
     uint64_t outStoredActual = 0;
     if (opts.functional) {
-        for (int pr = 0; pr < cfg_.peRows; ++pr) {
-            for (int pc = 0; pc < cfg_.peCols; ++pc) {
-                outStoredActual += storedElementsInTile(
+        std::vector<uint64_t> perPeStored(
+            static_cast<size_t>(numPes), 0);
+        parallelFor(
+            static_cast<size_t>(numPes),
+            [&](size_t p) {
+                const int pr = static_cast<int>(p) / cfg_.peCols;
+                const int pc = static_cast<int>(p) % cfg_.peCols;
+                perPeStored[p] = storedElementsInTile(
                     out, tiling.outputTile(pr, pc));
-            }
-        }
+            },
+            opts.threads);
+        for (int p = 0; p < numPes; ++p)
+            outStoredActual += perPeStored[static_cast<size_t>(p)];
     }
 
     long maxOutTileArea = 0;
@@ -312,7 +377,7 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
     // IARAM streams are re-read once per output-channel group.
     uint64_t iaramBits = 0;
     for (const auto &t : tiles)
-        iaramBits += t.storageBits();
+        iaramBits += t->storageBits();
     ev.iaramReadBits =
         static_cast<double>(iaramBits) * static_cast<double>(numGroups);
     ev.wfifoReadBits =
@@ -415,7 +480,7 @@ ScnnSimulator::runNetworkChained(const Network &net, uint64_t seed)
         act = res.output;
         if (layer.poolWindow > 0) {
             act = maxPool(act, layer.poolWindow, layer.poolStride,
-                          layer.poolPad);
+                          layer.poolPad, opts.threads);
         }
         res.stats.set("chained_input_density", w.input.density());
         nr.layers.push_back(std::move(res));

@@ -32,7 +32,7 @@ RleStream::placeholders() const
 }
 
 RleStream
-rleEncode(std::span<const float> dense, int maxRun)
+rleEncode(FloatSpan dense, int maxRun)
 {
     SCNN_ASSERT(maxRun >= 0 && maxRun <= 255, "bad maxRun %d", maxRun);
 

@@ -20,11 +20,31 @@
 #ifndef SCNN_TENSOR_RLE_HH
 #define SCNN_TENSOR_RLE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <span>
 #include <vector>
 
 namespace scnn {
+
+/**
+ * Minimal non-owning view of contiguous floats (C++17 stand-in for
+ * std::span<const float>).
+ */
+struct FloatSpan
+{
+    const float *ptr = nullptr;
+    size_t count = 0;
+
+    FloatSpan() = default;
+    FloatSpan(const float *p, size_t n) : ptr(p), count(n) {}
+    FloatSpan(const std::vector<float> &v) : ptr(v.data()), count(v.size()) {}
+
+    const float *begin() const { return ptr; }
+    const float *end() const { return ptr + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    float operator[](size_t i) const { return ptr[i]; }
+};
 
 /** A run-length compressed 1-D block. */
 struct RleStream
@@ -67,7 +87,7 @@ struct RleStream
  *               paper's 4-bit indices).
  * @return the compressed stream.
  */
-RleStream rleEncode(std::span<const float> dense, int maxRun = 15);
+RleStream rleEncode(FloatSpan dense, int maxRun = 15);
 
 /**
  * Decode a stream back to dense form.

@@ -134,7 +134,7 @@ storedElementsPerChannel(const Tensor3 &acts)
     const size_t plane = static_cast<size_t>(acts.width()) *
                          static_cast<size_t>(acts.height());
     for (int c = 0; c < acts.channels(); ++c) {
-        std::span<const float> dense(acts.plane(c), plane);
+        FloatSpan dense(acts.plane(c), plane);
         total += rleEncode(dense).storedElements();
     }
     return total;

@@ -1,0 +1,92 @@
+/** @file Unit tests for the streaming JSON writer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace scnn {
+namespace {
+
+TEST(JsonWriter, ObjectWithMixedValues)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("fig8");
+    w.key("threads").value(4);
+    w.key("wall_ms").value(12.5);
+    w.key("ok").value(true);
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"fig8\",\"threads\":4,\"wall_ms\":12.5,"
+              "\"ok\":true}");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("points").beginArray();
+    for (int i = 0; i < 2; ++i) {
+        w.beginObject();
+        w.key("i").value(i);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"points\":[{\"i\":0},{\"i\":1}]}");
+}
+
+TEST(JsonWriter, TopLevelArray)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(1).value(2).value(3);
+    w.endArray();
+    EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, LargeCountsExactAndNonFiniteNull)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("cycles").value(static_cast<uint64_t>(1) << 53);
+    w.key("bad").value(0.0 / 0.0);
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"cycles\":9007199254740992,\"bad\":null}");
+}
+
+TEST(JsonWriter, UnbalancedDocumentPanics)
+{
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_DEATH({ (void)w.str(); }, "unbalanced");
+}
+
+TEST(JsonWriter, WriteJsonFileRoundTrips)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("x").value(1);
+    w.endObject();
+    const std::string path = ::testing::TempDir() + "scnn_json_test.json";
+    ASSERT_TRUE(writeJsonFile(path, w.str()));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), "{\"x\":1}\n");
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,174 @@
+/** @file Unit tests for the shared parallel-execution subsystem. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hh"
+
+namespace scnn {
+namespace {
+
+/** Restore the default-thread override after each test. */
+class ParallelTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setDefaultThreads(0); }
+};
+
+TEST_F(ParallelTest, EveryIndexRunsExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 8}) {
+        const size_t n = 1000;
+        std::vector<std::atomic<int>> hits(n);
+        parallelFor(
+            n, [&](size_t i) { hits[i].fetch_add(1); }, threads);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "i=" << i
+                                         << " threads=" << threads;
+    }
+}
+
+TEST_F(ParallelTest, ZeroAndSingleIterationDegenerate)
+{
+    int calls = 0;
+    parallelFor(0, [&](size_t) { ++calls; }, 8);
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, [&](size_t) { ++calls; }, 8);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ParallelTest, ParallelMapPreservesOrder)
+{
+    std::vector<int> items(257);
+    std::iota(items.begin(), items.end(), 0);
+    for (int threads : {1, 3, 8}) {
+        const std::vector<int> squares = parallelMap(
+            items, [](int v) { return v * v; }, threads);
+        ASSERT_EQ(squares.size(), items.size());
+        for (size_t i = 0; i < items.size(); ++i)
+            EXPECT_EQ(squares[i], items[i] * items[i]);
+    }
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesToCaller)
+{
+    for (int threads : {1, 4}) {
+        EXPECT_THROW(
+            parallelFor(
+                100,
+                [](size_t i) {
+                    if (i == 37)
+                        throw std::runtime_error("boom");
+                },
+                threads),
+            std::runtime_error)
+            << "threads=" << threads;
+    }
+}
+
+TEST_F(ParallelTest, ExceptionSkipsRemainingWork)
+{
+    // After a throw, unclaimed indices are skipped: the body must not
+    // run all 1e6 iterations.
+    std::atomic<size_t> ran{0};
+    try {
+        parallelFor(
+            1000000,
+            [&](size_t) {
+                if (ran.fetch_add(1) == 10)
+                    throw std::runtime_error("stop");
+            },
+            4);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &) {
+    }
+    EXPECT_LT(ran.load(), 1000000u);
+}
+
+TEST_F(ParallelTest, NestedParallelismRunsInline)
+{
+    std::atomic<int> outer{0};
+    std::atomic<int> inner{0};
+    std::atomic<int> nestedSawRegion{0};
+    parallelFor(
+        4,
+        [&](size_t) {
+            EXPECT_TRUE(inParallelRegion());
+            outer.fetch_add(1);
+            parallelFor(
+                8,
+                [&](size_t) {
+                    inner.fetch_add(1);
+                    if (inParallelRegion())
+                        nestedSawRegion.fetch_add(1);
+                },
+                8);
+        },
+        4);
+    EXPECT_EQ(outer.load(), 4);
+    EXPECT_EQ(inner.load(), 32);
+    // Inner bodies all ran inside the outer region (inline).
+    EXPECT_EQ(nestedSawRegion.load(), 32);
+    EXPECT_FALSE(inParallelRegion());
+}
+
+TEST_F(ParallelTest, ResolveThreadsPriorities)
+{
+    EXPECT_EQ(resolveThreads(5), 5);
+    EXPECT_GE(resolveThreads(0), 1);
+    setDefaultThreads(3);
+    EXPECT_EQ(resolveThreads(), 3);
+    EXPECT_EQ(resolveThreads(7), 7); // explicit beats override
+    setDefaultThreads(0);
+    EXPECT_GE(resolveThreads(), 1);
+}
+
+TEST_F(ParallelTest, ConsumeThreadsFlagParsesAndCompacts)
+{
+    char a0[] = "prog";
+    char a1[] = "--threads=6";
+    char a2[] = "--other=x";
+    char *argv[] = {a0, a1, a2};
+    const int argc = consumeThreadsFlag(3, argv);
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[0], "prog");
+    EXPECT_STREQ(argv[1], "--other=x");
+    EXPECT_EQ(resolveThreads(), 6);
+
+    char b0[] = "prog";
+    char b1[] = "--threads";
+    char b2[] = "4";
+    char *argv2[] = {b0, b1, b2};
+    EXPECT_EQ(consumeThreadsFlag(3, argv2), 1);
+    EXPECT_EQ(resolveThreads(), 4);
+}
+
+TEST_F(ParallelTest, SerialAndParallelSumsAgreeUnderSlotDiscipline)
+{
+    // The determinism contract: per-index slots + in-order reduction
+    // must give identical bits for any thread count.
+    const size_t n = 4096;
+    auto run = [&](int threads) {
+        std::vector<double> slots(n);
+        parallelFor(
+            n,
+            [&](size_t i) {
+                slots[i] = 1.0 / static_cast<double>(i + 1);
+            },
+            threads);
+        double sum = 0.0;
+        for (double v : slots)
+            sum += v;
+        return sum;
+    };
+    const double s1 = run(1);
+    for (int threads : {2, 5, 8})
+        EXPECT_EQ(s1, run(threads));
+}
+
+} // anonymous namespace
+} // namespace scnn

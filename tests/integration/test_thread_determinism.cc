@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Thread-count determinism: every parallel section in the stack
+ * (per-(PE, group) passes, per-layer fan-out, sweep fan-out) must
+ * produce bit-identical results for any thread count.  The subsystem
+ * achieves this by giving each unit of work private result slots and
+ * merging serially in a fixed order; these tests pin the guarantee
+ * end-to-end, including the paper-scale AlexNet comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "scnn/simulator.hh"
+#include "tensor/tensor.hh"
+
+namespace scnn {
+namespace {
+
+void
+expectLayerResultsIdentical(const LayerResult &a, const LayerResult &b,
+                            const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.computeCycles, b.computeCycles) << what;
+    EXPECT_EQ(a.drainExposedCycles, b.drainExposedCycles) << what;
+    EXPECT_EQ(a.mulArrayOps, b.mulArrayOps) << what;
+    EXPECT_EQ(a.products, b.products) << what;
+    EXPECT_EQ(a.landedProducts, b.landedProducts) << what;
+    EXPECT_EQ(a.denseMacs, b.denseMacs) << what;
+    EXPECT_EQ(a.dramWeightBits, b.dramWeightBits) << what;
+    EXPECT_EQ(a.dramActBits, b.dramActBits) << what;
+    EXPECT_EQ(a.dramTiled, b.dramTiled) << what;
+    // Doubles compared for exact bit-equality: the merge order is
+    // fixed, so not even the last ulp may move with the thread count.
+    EXPECT_EQ(a.energyPj, b.energyPj) << what;
+    EXPECT_EQ(a.multUtilBusy, b.multUtilBusy) << what;
+    EXPECT_EQ(a.multUtilOverall, b.multUtilOverall) << what;
+    EXPECT_EQ(a.peIdleFraction, b.peIdleFraction) << what;
+    EXPECT_EQ(a.stats.entries(), b.stats.entries()) << what;
+    if (a.output.channels() > 0 && b.output.channels() > 0)
+        EXPECT_EQ(maxAbsDiff(a.output, b.output), 0.0) << what;
+}
+
+TEST(ThreadDeterminism, ScnnLayerBitIdenticalAcrossThreadCounts)
+{
+    const ConvLayerParams p =
+        makeConv("det_layer", 48, 64, 28, 3, 1, 0.35, 0.4);
+    const LayerWorkload w = makeWorkload(p, 77);
+    ScnnSimulator sim(scnnConfig());
+
+    RunOptions base;
+    base.threads = 1;
+    const LayerResult serial = sim.runLayer(w, base);
+    for (int threads : {2, 3, 8}) {
+        RunOptions opts;
+        opts.threads = threads;
+        expectLayerResultsIdentical(
+            serial, sim.runLayer(w, opts),
+            "threads=" + std::to_string(threads));
+    }
+}
+
+TEST(ThreadDeterminism, InputHaloModeBitIdentical)
+{
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.pe.inputHalos = true;
+    const ConvLayerParams p =
+        makeConv("det_halo", 32, 32, 24, 3, 1, 0.4, 0.5);
+    const LayerWorkload w = makeWorkload(p, 5);
+    ScnnSimulator sim(cfg);
+
+    RunOptions one;
+    one.threads = 1;
+    RunOptions eight;
+    eight.threads = 8;
+    expectLayerResultsIdentical(sim.runLayer(w, one),
+                                sim.runLayer(w, eight), "input halos");
+}
+
+/**
+ * The ISSUE's headline guarantee: compareNetwork on AlexNet yields
+ * identical NetworkComparison results with 1, 2 and 8 threads.
+ */
+TEST(ThreadDeterminism, AlexNetComparisonIdenticalAt1_2_8Threads)
+{
+    const Network net = alexNet();
+    const NetworkComparison ref = compareNetwork(net, kExperimentSeed,
+                                                 /*threads=*/1);
+    for (int threads : {2, 8}) {
+        const NetworkComparison cmp =
+            compareNetwork(net, kExperimentSeed, threads);
+        ASSERT_EQ(cmp.layers.size(), ref.layers.size());
+        for (size_t i = 0; i < ref.layers.size(); ++i) {
+            const std::string what = ref.layers[i].layerName +
+                                     " threads=" +
+                                     std::to_string(threads);
+            EXPECT_EQ(cmp.layers[i].layerName,
+                      ref.layers[i].layerName);
+            EXPECT_EQ(cmp.layers[i].oracleCycles,
+                      ref.layers[i].oracleCycles)
+                << what;
+            expectLayerResultsIdentical(cmp.layers[i].scnn,
+                                        ref.layers[i].scnn,
+                                        what + " scnn");
+            expectLayerResultsIdentical(cmp.layers[i].dcnn,
+                                        ref.layers[i].dcnn,
+                                        what + " dcnn");
+            expectLayerResultsIdentical(cmp.layers[i].dcnnOpt,
+                                        ref.layers[i].dcnnOpt,
+                                        what + " dcnn-opt");
+        }
+        EXPECT_EQ(cmp.totalScnnEnergy(), ref.totalScnnEnergy());
+        EXPECT_EQ(cmp.networkSpeedupScnn(), ref.networkSpeedupScnn());
+    }
+}
+
+TEST(ThreadDeterminism, SweepsIdenticalAcrossThreadCounts)
+{
+    const Network tiny = tinyTestNetwork();
+
+    const auto d1 = densitySweep(tiny, {0.2, 0.5, 0.8}, 1);
+    const auto d8 = densitySweep(tiny, {0.2, 0.5, 0.8}, 8);
+    ASSERT_EQ(d1.size(), d8.size());
+    for (size_t i = 0; i < d1.size(); ++i) {
+        EXPECT_EQ(d1[i].scnnCycles, d8[i].scnnCycles);
+        EXPECT_EQ(d1[i].scnnEnergy, d8[i].scnnEnergy);
+        EXPECT_EQ(d1[i].dcnnCycles, d8[i].dcnnCycles);
+        EXPECT_EQ(d1[i].dcnnEnergy, d8[i].dcnnEnergy);
+        EXPECT_EQ(d1[i].dcnnOptEnergy, d8[i].dcnnOptEnergy);
+    }
+
+    const std::vector<std::pair<int, int>> grids = {{2, 2}, {4, 4}};
+    const auto g1 = peGranularitySweep(tiny, grids, 5, false, 1);
+    const auto g8 = peGranularitySweep(tiny, grids, 5, false, 8);
+    ASSERT_EQ(g1.size(), g8.size());
+    for (size_t i = 0; i < g1.size(); ++i) {
+        EXPECT_EQ(g1[i].cycles, g8[i].cycles);
+        EXPECT_EQ(g1[i].mathUtilization, g8[i].mathUtilization);
+        EXPECT_EQ(g1[i].peIdleFraction, g8[i].peIdleFraction);
+    }
+}
+
+TEST(ThreadDeterminism, ChainedRunIdenticalAcrossThreadCounts)
+{
+    // Chained execution feeds each layer the previous layer's actual
+    // output, so any thread-count dependence would compound; pin it.
+    const Network net = tinyTestNetwork();
+    ScnnSimulator sim(scnnConfig());
+    setDefaultThreads(1);
+    const NetworkResult a = sim.runNetworkChained(net, 9);
+    setDefaultThreads(8);
+    const NetworkResult b = sim.runNetworkChained(net, 9);
+    setDefaultThreads(0);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t i = 0; i < a.layers.size(); ++i) {
+        expectLayerResultsIdentical(a.layers[i], b.layers[i],
+                                    "chained layer " +
+                                        std::to_string(i));
+    }
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -90,14 +90,14 @@ TEST(ProcessingElement, FunctionalAccumulationIsExact)
     const AcceleratorConfig cfg = scnnConfig();
     ProcessingElement pe(cfg, f.layer, {0, 8, 0, 8}, {0, 8, 0, 8},
                          {0, 8, 0, 8});
-    std::vector<double> accum(4 * 8 * 8, 0.0);
+    GroupAccum accum;
+    accum.reset({0, 8, 0, 8}, 4);
     pe.runGroup(tile, blocks, 0, &accum);
 
     // out(k=1, x=3+1-1-... ) : ox = x + pad - r = 3 + 1 - 1 = 3.
-    const size_t idx = (1 * 8 + 3) * 8 + 3;
-    EXPECT_DOUBLE_EQ(accum[idx], 1.0);
+    EXPECT_DOUBLE_EQ(accum.at(1, 3, 3), 1.0);
     double sum = 0.0;
-    for (double v : accum)
+    for (double v : accum.values)
         sum += v;
     EXPECT_DOUBLE_EQ(sum, 1.0);
 }
@@ -175,10 +175,12 @@ TEST(ProcessingElement, GroupOffsetSelectsChannels)
     const AcceleratorConfig cfg = scnnConfig();
     ProcessingElement pe(cfg, f.layer, {0, 8, 0, 8}, {0, 8, 0, 8},
                          {0, 8, 0, 8});
-    std::vector<double> accum(4 * 8 * 8, 0.0);
+    GroupAccum accum;
+    accum.reset({0, 8, 0, 8}, 2);
     const PeGroupStats st = pe.runGroup(tile, blocks, 2, &accum);
     EXPECT_EQ(st.products, 1u);
-    EXPECT_DOUBLE_EQ(accum[(2 * 8 + 4) * 8 + 4], 3.0);
+    // kLocal = k - k0 = 2 - 2 = 0.
+    EXPECT_DOUBLE_EQ(accum.at(0, 4, 4), 3.0);
 }
 
 } // anonymous namespace

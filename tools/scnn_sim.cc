@@ -7,10 +7,15 @@
  *            [--arch=scnn|dcnn|dcnn-opt|timeloop]
  *            [--grid=RxC] [--fixed-accum] [--input-halos]
  *            [--density=W,A] [--seed=N] [--chained] [--all-layers]
+ *            [--threads=N]
  *
  * Prints a per-layer table (cycles, utilization, idle fraction,
  * energy, DRAM traffic, tiling) and network totals.  Exits non-zero
  * on bad arguments.
+ *
+ * --threads=N (or the SCNN_THREADS environment variable) sets the
+ * worker-thread count for the simulators' parallel sections; results
+ * are bit-identical for every value.
  */
 
 #include <cstdio>
@@ -20,6 +25,7 @@
 
 #include "analytic/timeloop.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/table.hh"
 #include "dcnn/simulator.hh"
 #include "driver/googlenet_runner.hh"
@@ -54,7 +60,7 @@ usage(const char *argv0)
                  "          [--grid=RxC] [--fixed-accum] "
                  "[--input-halos]\n"
                  "          [--density=W,A] [--seed=N] [--chained]\n"
-                 "          [--all-layers]\n",
+                 "          [--all-layers] [--threads=N]\n",
                  argv0);
     std::exit(2);
 }
@@ -155,6 +161,7 @@ printResult(const NetworkResult &nr, const AcceleratorConfig &cfg)
 int
 main(int argc, char **argv)
 {
+    argc = consumeThreadsFlag(argc, argv);
     const Options o = parse(argc, argv);
     const Network net = pickNetwork(o);
 
