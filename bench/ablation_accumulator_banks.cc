@@ -13,7 +13,7 @@
 #include "driver/experiments.hh"
 #include "nn/model_zoo.hh"
 #include "nn/workload.hh"
-#include "scnn/simulator.hh"
+#include "sim/registry.hh"
 
 using namespace scnn;
 
@@ -34,7 +34,7 @@ main()
     for (int banks : {8, 16, 32, 64, 128}) {
         AcceleratorConfig cfg = scnnConfig();
         cfg.pe.accumBanks = banks;
-        ScnnSimulator sim(cfg);
+        const auto sim = makeSimulator("scnn", cfg);
         uint64_t cycles = 0;
         double stalls = 0.0;
         double busy = 0.0;
@@ -43,7 +43,7 @@ main()
                 continue;
             const LayerWorkload w = makeWorkload(layer,
                                                  kExperimentSeed);
-            const LayerResult r = sim.runLayer(w);
+            const LayerResult r = sim->simulateLayer(w, RunOptions());
             cycles += r.cycles;
             stalls += r.stats.get("conflict_stall_cycles");
             busy += static_cast<double>(r.computeCycles);

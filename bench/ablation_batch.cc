@@ -9,9 +9,10 @@
 
 #include <cstdio>
 
-#include "analytic/timeloop.hh"
 #include "common/table.hh"
 #include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "sim/registry.hh"
 
 using namespace scnn;
 
@@ -21,8 +22,7 @@ main()
     std::printf("Extension: batch-size sweep (GoogLeNet, TimeLoop "
                 "analytical model)\n\n");
 
-    TimeLoopModel model;
-    const AcceleratorConfig cfg = scnnConfig();
+    const auto model = makeSimulator("timeloop");
     const Network net = googLeNet();
 
     Table t("ablation_batch",
@@ -37,13 +37,14 @@ main()
         double totalDram = 0.0;
         const auto layers = net.evalLayers();
         for (size_t i = 0; i < layers.size(); ++i) {
-            AnalyticOptions opts;
+            RunOptions opts;
             opts.batchN = n;
             opts.firstLayer = (i == 0);
             opts.outputDensityHint = (i + 1 < layers.size())
                 ? layers[i + 1].inputDensity : 0.5;
-            const LayerResult r =
-                model.estimateLayer(cfg, layers[i], opts);
+            LayerWorkload shell; // analytic: layer parameters only
+            shell.layer = layers[i];
+            const LayerResult r = model->simulateLayer(shell, opts);
             cycles += static_cast<double>(r.cycles) / n;
             energy += r.energyPj / n;
             wtDram += static_cast<double>(r.dramWeightBits) / n;

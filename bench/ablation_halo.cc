@@ -22,7 +22,7 @@
 #include "common/table.hh"
 #include "driver/experiments.hh"
 #include "nn/model_zoo.hh"
-#include "scnn/simulator.hh"
+#include "sim/registry.hh"
 
 using namespace scnn;
 
@@ -41,12 +41,12 @@ main()
              "Ratio", "Energy ratio", "Products ratio"});
 
     for (const Network &net : paperNetworks()) {
-        ScnnSimulator simOut(outputHalo);
-        ScnnSimulator simIn(inputHalo);
-        const NetworkResult a =
-            simOut.runNetwork(net, kExperimentSeed);
-        const NetworkResult b =
-            simIn.runNetwork(net, kExperimentSeed);
+        const auto simOut = makeSimulator("scnn", outputHalo);
+        const auto simIn = makeSimulator("scnn", inputHalo);
+        NetworkRunOptions opts;
+        opts.seed = kExperimentSeed;
+        const NetworkResult a = simOut->simulateNetwork(net, opts);
+        const NetworkResult b = simIn->simulateNetwork(net, opts);
 
         t.addRow({net.name(), std::to_string(a.totalCycles()),
                   std::to_string(b.totalCycles()),

@@ -13,7 +13,7 @@
 #include "driver/experiments.hh"
 #include "nn/model_zoo.hh"
 #include "nn/workload.hh"
-#include "scnn/simulator.hh"
+#include "sim/registry.hh"
 
 using namespace scnn;
 
@@ -39,7 +39,7 @@ main()
     for (int cap : {1, 2, 4, 8, 16, 32}) {
         AcceleratorConfig cfg = scnnConfig();
         cfg.pe.kcCap = cap;
-        ScnnSimulator sim(cfg);
+        const auto sim = makeSimulator("scnn", cfg);
         uint64_t cycles = 0;
         double iaram = 0.0;
         double idle = 0.0;
@@ -49,7 +49,7 @@ main()
                 continue;
             const LayerWorkload w = makeWorkload(layer,
                                                  kExperimentSeed);
-            const LayerResult r = sim.runLayer(w);
+            const LayerResult r = sim->simulateLayer(w, RunOptions());
             cycles += r.cycles;
             iaram += r.events.iaramReadBits;
             idle += r.peIdleFraction;

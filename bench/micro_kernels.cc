@@ -25,7 +25,7 @@
 #include "nn/workload.hh"
 #include "scnn/accumulator.hh"
 #include "scnn/pe.hh"
-#include "scnn/simulator.hh"
+#include "sim/registry.hh"
 #include "tensor/rle.hh"
 
 using namespace scnn;
@@ -146,9 +146,9 @@ BM_ScnnLayer(benchmark::State &state)
     const ConvLayerParams layer =
         makeConv("bm_layer", 64, 64, 28, 3, 1, 0.35, 0.40);
     const LayerWorkload w = makeWorkload(layer, 13);
-    ScnnSimulator sim(scnnConfig());
+    const auto sim = makeSimulator("scnn");
     for (auto _ : state) {
-        const LayerResult r = sim.runLayer(w);
+        const LayerResult r = sim->simulateLayer(w, RunOptions());
         benchmark::DoNotOptimize(r.cycles);
     }
 }
@@ -161,11 +161,11 @@ BM_ScnnLayerThreads(benchmark::State &state)
     const ConvLayerParams layer =
         makeConv("bm_layer_mt", 64, 64, 28, 3, 1, 0.35, 0.40);
     const LayerWorkload w = makeWorkload(layer, 13);
-    ScnnSimulator sim(scnnConfig());
+    const auto sim = makeSimulator("scnn");
     RunOptions opts;
     opts.threads = static_cast<int>(state.range(0));
     for (auto _ : state) {
-        const LayerResult r = sim.runLayer(w, opts);
+        const LayerResult r = sim->simulateLayer(w, opts);
         benchmark::DoNotOptimize(r.cycles);
     }
 }

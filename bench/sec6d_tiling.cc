@@ -17,7 +17,7 @@
 #include "driver/experiments.hh"
 #include "nn/model_zoo.hh"
 #include "nn/workload.hh"
-#include "scnn/simulator.hh"
+#include "sim/registry.hh"
 
 using namespace scnn;
 
@@ -26,7 +26,7 @@ main()
 {
     std::printf("Section VI-D: DRAM tiling of large layers (SCNN)\n\n");
 
-    ScnnSimulator sim(scnnConfig());
+    const auto sim = makeSimulator("scnn");
     const EnergyModel energy;
     const AcceleratorConfig cfg = scnnConfig();
 
@@ -50,7 +50,7 @@ main()
             RunOptions opts;
             opts.outputDensityHint = (i + 1 < layers.size())
                 ? layers[i + 1].inputDensity : 0.5;
-            const LayerResult res = sim.runLayer(w, opts);
+            const LayerResult res = sim->simulateLayer(w, opts);
             if (!res.dramTiled)
                 continue;
             ++tiledCount;

@@ -11,10 +11,10 @@
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "analytic/timeloop.hh"
 #include "arch/area_model.hh"
 #include "common/table.hh"
 #include "nn/model_zoo.hh"
+#include "sim/registry.hh"
 
 using namespace scnn;
 
@@ -22,7 +22,6 @@ int
 main()
 {
     const Network net = googLeNet();
-    TimeLoopModel model;
     const AreaModel areaModel;
 
     std::printf("TimeLoop design-space exploration on %s\n\n",
@@ -52,9 +51,12 @@ main()
         cfg.pe.accumBanks = c.banks;
         cfg.name = strfmt("SCNN-%dx%d-%dx%d", c.rows, c.cols, c.f,
                           c.i);
-        cfg.validate();
 
-        const NetworkResult r = model.estimateNetwork(cfg, net);
+        // The registry validates the candidate configuration; a bad
+        // one fails with the full descriptive error list.
+        const NetworkResult r = makeSimulator("timeloop", cfg)
+                                    ->simulateNetwork(net,
+                                                      NetworkRunOptions());
         const double cycles =
             static_cast<double>(r.totalCycles());
         if (bestCycles == 0.0)

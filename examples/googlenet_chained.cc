@@ -13,8 +13,8 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "driver/googlenet_runner.hh"
 #include "nn/model_zoo.hh"
+#include "sim/registry.hh"
 
 using namespace scnn;
 
@@ -24,11 +24,14 @@ main()
     std::printf("Chained GoogLeNet inference on SCNN (emergent "
                 "sparsity)...\n\n");
 
-    ScnnSimulator sim(scnnConfig());
-    const NetworkResult nr = runGoogLeNetChained(sim, 2017);
-
-    // Profile densities by layer name for comparison.
+    // The scnn backend's chained capability routes GoogLeNet's
+    // inception DAG through the dedicated runner.
+    const auto sim = makeSimulator("scnn");
     const Network net = googLeNet();
+    NetworkRunOptions opts;
+    opts.seed = 2017;
+    opts.chained = true;
+    const NetworkResult nr = sim->simulateNetwork(net, opts);
 
     Table t("googlenet_chained",
             {"Layer", "Cycles", "Mult util", "Emergent out density",

@@ -10,11 +10,10 @@
 
 #include <cstdio>
 
-#include "dcnn/simulator.hh"
 #include "nn/reference.hh"
 #include "nn/workload.hh"
-#include "scnn/oracle.hh"
-#include "scnn/simulator.hh"
+#include "sim/backends.hh"
+#include "sim/registry.hh"
 
 using namespace scnn;
 
@@ -42,9 +41,10 @@ main()
                 static_cast<double>(layer.macs()) / 1e6,
                 layer.idealMacs() / 1e6);
 
-    // 3. Simulate on SCNN (cycle-level, functional).
-    ScnnSimulator scnnSim(scnnConfig());
-    const LayerResult scnnRes = scnnSim.runLayer(w);
+    // 3. Simulate on SCNN (cycle-level, functional).  Backends are
+    //    constructed by name through the registry.
+    const auto scnnSim = makeSimulator("scnn");
+    const LayerResult scnnRes = scnnSim->simulateLayer(w, RunOptions());
 
     // 4. Validate against the reference convolution.
     const Tensor3 expected = referenceConv(layer, w.input, w.weights);
@@ -52,8 +52,8 @@ main()
                 "%.2e\n", maxAbsDiff(scnnRes.output, expected));
 
     // 5. Simulate the dense baseline and compare.
-    DcnnSimulator dcnnSim(dcnnConfig());
-    const LayerResult dcnnRes = dcnnSim.runLayer(w);
+    const auto dcnnSim = makeSimulator("dcnn");
+    const LayerResult dcnnRes = dcnnSim->simulateLayer(w, RunOptions());
 
     std::printf("\n%-22s %12s %12s\n", "", "SCNN", "DCNN");
     std::printf("%-22s %12llu %12llu\n", "cycles",
@@ -63,10 +63,14 @@ main()
                 scnnRes.multUtilBusy, dcnnRes.multUtilBusy);
     std::printf("%-22s %12.1f %12.1f\n", "energy (nJ)",
                 scnnRes.energyPj / 1e3, dcnnRes.energyPj / 1e3);
+    // The oracle bound is a pure function of the measured SCNN run --
+    // no second simulation needed.
+    const LayerResult oracleRes =
+        deriveOracleResult(scnnRes, scnnSim->config());
     std::printf("\nSCNN speedup over DCNN: %.2fx (oracle bound "
                 "%.2fx)\n",
                 static_cast<double>(dcnnRes.cycles) / scnnRes.cycles,
                 static_cast<double>(dcnnRes.cycles) /
-                    oracleCycles(scnnRes, scnnConfig()));
+                    oracleRes.cycles);
     return 0;
 }

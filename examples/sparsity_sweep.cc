@@ -11,10 +11,8 @@
 
 #include <cstdio>
 
-#include "analytic/timeloop.hh"
-#include "dcnn/simulator.hh"
 #include "nn/workload.hh"
-#include "scnn/simulator.hh"
+#include "sim/registry.hh"
 
 using namespace scnn;
 
@@ -30,9 +28,9 @@ main()
     base.padX = base.padY = 1;
     base.validate();
 
-    ScnnSimulator scnnSim(scnnConfig());
-    DcnnSimulator dcnnSim(dcnnConfig());
-    TimeLoopModel analytic;
+    const auto scnnSim = makeSimulator("scnn");
+    const auto dcnnSim = makeSimulator("dcnn");
+    const auto analytic = makeSimulator("timeloop");
 
     std::printf("%8s %14s %14s %14s %10s\n", "density", "SCNN cycles",
                 "SCNN (model)", "DCNN cycles", "speedup");
@@ -43,10 +41,10 @@ main()
         layer.name = "sweep_conv";
 
         const LayerWorkload w = makeWorkload(layer, 77);
-        const LayerResult s = scnnSim.runLayer(w);
-        const LayerResult dn = dcnnSim.runLayer(w);
+        const LayerResult s = scnnSim->simulateLayer(w, RunOptions());
+        const LayerResult dn = dcnnSim->simulateLayer(w, RunOptions());
         const LayerResult model =
-            analytic.estimateLayer(scnnConfig(), layer);
+            analytic->simulateLayer(w, RunOptions());
 
         std::printf("%8.1f %14llu %14llu %14llu %9.2fx\n", d,
                     static_cast<unsigned long long>(s.cycles),

@@ -139,7 +139,7 @@ TimeLoopModel::estimateLayer(const AcceleratorConfig &cfg,
                              const AnalyticOptions &opts) const
 {
     layer.validate();
-    cfg.validate();
+    cfg.validateOrDie();
     SCNN_ASSERT(opts.batchN >= 1, "batch size must be positive");
 
     AnalyticOptions single = opts;

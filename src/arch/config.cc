@@ -21,28 +21,108 @@ archKindName(ArchKind kind)
     return "?";
 }
 
-void
+std::vector<std::string>
 AcceleratorConfig::validate() const
 {
+    std::vector<std::string> errors;
+    auto err = [&](const std::string &what) {
+        errors.push_back(strfmt("config %s: ", name.c_str()) + what);
+    };
+
     if (peRows <= 0 || peCols <= 0)
-        fatal("config %s: empty PE array", name.c_str());
+        err(strfmt("empty PE array (%dx%d)", peRows, peCols));
     if (kind == ArchKind::SCNN) {
         if (pe.mulF <= 0 || pe.mulI <= 0)
-            fatal("config %s: empty multiplier array", name.c_str());
+            err(strfmt("empty multiplier array (F=%d, I=%d)",
+                       pe.mulF, pe.mulI));
         if (pe.accumBanks <= 0 || pe.accumEntriesPerBank <= 0)
-            fatal("config %s: empty accumulator", name.c_str());
+            err(strfmt("empty accumulator (%d banks x %d entries)",
+                       pe.accumBanks, pe.accumEntriesPerBank));
         if (pe.iaramBytes <= 0 || pe.oaramBytes <= 0)
-            fatal("config %s: empty activation RAM", name.c_str());
+            err(strfmt("empty activation RAM (IARAM %d B, OARAM %d B)",
+                       pe.iaramBytes, pe.oaramBytes));
+        if (pe.weightFifoBytes <= 0)
+            err("empty weight FIFO");
+        if (pe.xbarQueueDepth <= 0)
+            err("empty crossbar queue");
+        if (pe.kcCap < 0)
+            err(strfmt("negative Kc cap %d", pe.kcCap));
     } else {
         if (pe.dotWidth <= 0)
-            fatal("config %s: empty dot-product unit", name.c_str());
+            err(strfmt("empty dot-product unit (width %d)",
+                       pe.dotWidth));
         if (denseSramBytes == 0)
-            fatal("config %s: no dense SRAM", name.c_str());
+            err("no dense SRAM");
     }
     if (dramBitsPerCycle <= 0)
-        fatal("config %s: no DRAM bandwidth", name.c_str());
+        err("no DRAM bandwidth");
     if (ppuLanes <= 0 || haloLanes <= 0)
-        fatal("config %s: bad PPU/halo lanes", name.c_str());
+        err(strfmt("bad PPU/halo lanes (%d/%d)", ppuLanes, haloLanes));
+    if (clockGhz <= 0.0)
+        err("non-positive clock frequency");
+    return errors;
+}
+
+void
+AcceleratorConfig::validateOrDie() const
+{
+    const std::vector<std::string> errors = validate();
+    if (!errors.empty())
+        fatal("%s", joinConfigErrors(errors).c_str());
+}
+
+std::string
+joinConfigErrors(const std::vector<std::string> &errors)
+{
+    std::string joined;
+    for (const auto &e : errors) {
+        if (!joined.empty())
+            joined += "; ";
+        joined += e;
+    }
+    return joined;
+}
+
+bool
+operator==(const PeConfig &a, const PeConfig &b)
+{
+    return a.mulF == b.mulF && a.mulI == b.mulI &&
+           a.accumBanks == b.accumBanks &&
+           a.accumEntriesPerBank == b.accumEntriesPerBank &&
+           a.xbarQueueDepth == b.xbarQueueDepth &&
+           a.iaramBytes == b.iaramBytes &&
+           a.oaramBytes == b.oaramBytes &&
+           a.weightFifoBytes == b.weightFifoBytes &&
+           a.kcCap == b.kcCap && a.inputHalos == b.inputHalos &&
+           a.dotWidth == b.dotWidth &&
+           a.denseInBufBytes == b.denseInBufBytes &&
+           a.denseWtBufBytes == b.denseWtBufBytes &&
+           a.denseAccBufBytes == b.denseAccBufBytes;
+}
+
+bool
+operator!=(const PeConfig &a, const PeConfig &b)
+{
+    return !(a == b);
+}
+
+bool
+operator==(const AcceleratorConfig &a, const AcceleratorConfig &b)
+{
+    // Name excluded on purpose: equality means "the same hardware",
+    // and benches/tests routinely mutate parameters without renaming.
+    return a.kind == b.kind && a.peRows == b.peRows &&
+           a.peCols == b.peCols && a.pe == b.pe &&
+           a.clockGhz == b.clockGhz &&
+           a.dramBitsPerCycle == b.dramBitsPerCycle &&
+           a.denseSramBytes == b.denseSramBytes &&
+           a.ppuLanes == b.ppuLanes && a.haloLanes == b.haloLanes;
+}
+
+bool
+operator!=(const AcceleratorConfig &a, const AcceleratorConfig &b)
+{
+    return !(a == b);
 }
 
 AcceleratorConfig
@@ -51,7 +131,7 @@ scnnConfig()
     AcceleratorConfig cfg;
     cfg.name = "SCNN";
     cfg.kind = ArchKind::SCNN;
-    cfg.validate();
+    cfg.validateOrDie();
     return cfg;
 }
 
@@ -61,7 +141,7 @@ dcnnConfig()
     AcceleratorConfig cfg;
     cfg.name = "DCNN";
     cfg.kind = ArchKind::DCNN;
-    cfg.validate();
+    cfg.validateOrDie();
     return cfg;
 }
 
@@ -71,7 +151,7 @@ dcnnOptConfig()
     AcceleratorConfig cfg;
     cfg.name = "DCNN-opt";
     cfg.kind = ArchKind::DCNN_OPT;
-    cfg.validate();
+    cfg.validateOrDie();
     return cfg;
 }
 
@@ -110,7 +190,7 @@ scnnWithPeGrid(int rows, int cols)
     // stay proportional.
     cfg.pe.weightFifoBytes =
         scnnConfig().pe.weightFifoBytes * perPe / 16;
-    cfg.validate();
+    cfg.validateOrDie();
     return cfg;
 }
 
@@ -126,7 +206,7 @@ scnnWithPeGridFixedAccum(int rows, int cols)
     // Keep the Kc cap at the Table II value rather than the (now
     // tiny) per-bank entry count.
     cfg.pe.kcCap = 32;
-    cfg.validate();
+    cfg.validateOrDie();
     return cfg;
 }
 

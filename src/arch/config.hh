@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace scnn {
 
@@ -131,9 +132,29 @@ struct AcceleratorConfig
         return denseSramBytes;
     }
 
-    /** fatal() on inconsistent parameters. */
-    void validate() const;
+    /**
+     * Check the configuration for inconsistent parameters.
+     *
+     * @return one descriptive message per problem found (empty when
+     *         the configuration is usable).  The backend registry
+     *         refuses to construct a simulator from a configuration
+     *         with a non-empty error list; callers that cannot
+     *         recover use validateOrDie() instead.
+     */
+    std::vector<std::string> validate() const;
+
+    /** fatal() with the joined validate() errors, if any. */
+    void validateOrDie() const;
 };
+
+/** Field-wise equality (used e.g. to match oracle/SCNN runs). */
+bool operator==(const PeConfig &a, const PeConfig &b);
+bool operator!=(const PeConfig &a, const PeConfig &b);
+bool operator==(const AcceleratorConfig &a, const AcceleratorConfig &b);
+bool operator!=(const AcceleratorConfig &a, const AcceleratorConfig &b);
+
+/** Join a validate() error list into one "; "-separated message. */
+std::string joinConfigErrors(const std::vector<std::string> &errors);
 
 /** The paper's SCNN configuration (Table II). */
 AcceleratorConfig scnnConfig();

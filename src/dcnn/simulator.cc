@@ -84,7 +84,7 @@ validTapFraction(const ConvLayerParams &layer)
 DcnnSimulator::DcnnSimulator(AcceleratorConfig cfg, EnergyModel energy)
     : cfg_(std::move(cfg)), energy_(energy)
 {
-    cfg_.validate();
+    cfg_.validateOrDie();
     SCNN_ASSERT(cfg_.kind == ArchKind::DCNN ||
                 cfg_.kind == ArchKind::DCNN_OPT,
                 "DcnnSimulator requires a dense configuration");
@@ -290,7 +290,7 @@ DcnnSimulator::runLayer(const LayerWorkload &workload,
 
 NetworkResult
 DcnnSimulator::runNetwork(const Network &net, uint64_t seed,
-                          bool evalOnly, bool functional)
+                          bool evalOnly, bool functional, int threads)
 {
     NetworkResult nr;
     nr.networkName = net.name();
@@ -301,6 +301,7 @@ DcnnSimulator::runNetwork(const Network &net, uint64_t seed,
         if (!evalOnly || l.inEval)
             layers.push_back(l);
 
+    const int pinned = resolveThreads(threads);
     for (size_t i = 0; i < layers.size(); ++i) {
         const LayerWorkload w = makeWorkload(layers[i], seed);
         DcnnRunOptions opts;
@@ -310,6 +311,7 @@ DcnnSimulator::runNetwork(const Network &net, uint64_t seed,
         // layer i+1 in the paper's profiles.
         opts.outputDensityHint =
             (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
+        opts.threads = pinned;
         nr.layers.push_back(runLayer(w, opts));
     }
     return nr;

@@ -30,16 +30,14 @@
 
 namespace scnn {
 
-/** Extra options for dense runs. */
+/**
+ * Options for dense runs.  DCNN-opt's compressed-DRAM accounting uses
+ * the base outputDensityHint when the run is not functional; the
+ * network runner wires in the next layer's measured input density
+ * (which is this layer's output density by construction).
+ */
 struct DcnnRunOptions : RunOptions
 {
-    /**
-     * Estimated output activation density, used by DCNN-opt's
-     * compressed-DRAM accounting when the run is not functional.  The
-     * network runner wires in the next layer's measured input density
-     * (which is this layer's output density by construction).
-     */
-    double outputDensityHint = 0.5;
 };
 
 class DcnnSimulator
@@ -53,7 +51,8 @@ class DcnnSimulator
 
     NetworkResult runNetwork(const Network &net, uint64_t seed,
                              bool evalOnly = true,
-                             bool functional = false);
+                             bool functional = false,
+                             int threads = 0);
 
     const AcceleratorConfig &config() const { return cfg_; }
 

@@ -2,11 +2,8 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
-#include "dcnn/simulator.hh"
 #include "nn/model_zoo.hh"
-#include "nn/workload.hh"
-#include "scnn/oracle.hh"
-#include "scnn/simulator.hh"
+#include "sim/session.hh"
 
 namespace scnn {
 
@@ -109,53 +106,33 @@ NetworkComparison::networkSpeedupOracle() const
 NetworkComparison
 compareNetwork(const Network &net, uint64_t seed, int threads)
 {
+    // A thin session client: the session owns workload synthesis (one
+    // workload per layer, shared across the four architectures),
+    // derives the oracle bound from the SCNN run, and fans the layers
+    // out over the thread pool.
+    SimulationRequest req;
+    req.network = net;
+    req.seed = seed;
+    req.threads = threads;
+    req.backends = {{"scnn"}, {"dcnn"}, {"dcnn-opt"}, {"oracle"}};
+    const SimulationResponse resp = runSession(req);
+
+    const NetworkResult &scnn = resp.get("scnn").result;
+    const NetworkResult &dcnn = resp.get("dcnn").result;
+    const NetworkResult &dcnnOpt = resp.get("dcnn-opt").result;
+    const NetworkResult &oracle = resp.get("oracle").result;
+
     NetworkComparison cmp;
     cmp.networkName = net.name();
-
-    std::vector<ConvLayerParams> layers;
-    for (const auto &l : net.layers())
-        if (l.inEval)
-            layers.push_back(l);
-
-    // Each layer's workload owns an RNG stream derived from (layer
-    // name, seed), so the per-layer comparisons are fully independent:
-    // fan them out and collect in layer order.  Simulators are cheap
-    // to construct and stateless across runLayer calls, so each task
-    // builds its own.
-    std::vector<size_t> indices(layers.size());
-    for (size_t i = 0; i < indices.size(); ++i)
-        indices[i] = i;
-    cmp.layers = parallelMap(
-        indices,
-        [&](size_t i) {
-            const LayerWorkload w = makeWorkload(layers[i], seed);
-
-            LayerComparison lc;
-            lc.layerName = layers[i].name;
-
-            RunOptions scnnOpts;
-            scnnOpts.firstLayer = (i == 0);
-            scnnOpts.outputDensityHint = (i + 1 < layers.size())
-                ? layers[i + 1].inputDensity
-                : 0.5;
-            ScnnSimulator scnnSim(scnnConfig());
-            lc.scnn = scnnSim.runLayer(w, scnnOpts);
-
-            DcnnRunOptions denseOpts;
-            denseOpts.firstLayer = (i == 0);
-            denseOpts.functional = false;
-            denseOpts.outputDensityHint = (i + 1 < layers.size())
-                ? layers[i + 1].inputDensity
-                : 0.5;
-            DcnnSimulator dcnnSim(dcnnConfig());
-            DcnnSimulator dcnnOptSim(dcnnOptConfig());
-            lc.dcnn = dcnnSim.runLayer(w, denseOpts);
-            lc.dcnnOpt = dcnnOptSim.runLayer(w, denseOpts);
-
-            lc.oracleCycles = oracleCycles(lc.scnn, scnnConfig());
-            return lc;
-        },
-        threads);
+    cmp.layers.resize(scnn.layers.size());
+    for (size_t i = 0; i < cmp.layers.size(); ++i) {
+        LayerComparison &lc = cmp.layers[i];
+        lc.layerName = scnn.layers[i].layerName;
+        lc.scnn = scnn.layers[i];
+        lc.dcnn = dcnn.layers[i];
+        lc.dcnnOpt = dcnnOpt.layers[i];
+        lc.oracleCycles = oracle.layers[i].cycles;
+    }
     return cmp;
 }
 
@@ -163,24 +140,28 @@ std::vector<DensityPoint>
 densitySweep(const Network &net, const std::vector<double> &densities,
              int threads)
 {
-    const TimeLoopModel model;
     const AcceleratorConfig scnnCfg = scnnConfig();
     const AcceleratorConfig dcnnCfg = dcnnConfig();
     const AcceleratorConfig dcnnOptCfg = dcnnOptConfig();
 
-    // Sweep points are independent; estimateNetwork is const (the
-    // analytical model holds no mutable state), so one model serves
-    // every worker.
+    // Sweep points are independent sessions: TimeLoop (no tensors)
+    // over the three architecture configurations at each density.
+    // Sessions issued from inside a pool worker run their per-layer
+    // loops inline, so the fan-out stays at the sweep level.
     return parallelMap(
         densities,
         [&](double d) {
-            const Network swept = withUniformDensity(net, d, d);
-            const NetworkResult scnnRes =
-                model.estimateNetwork(scnnCfg, swept);
-            const NetworkResult dcnnRes =
-                model.estimateNetwork(dcnnCfg, swept);
-            const NetworkResult dcnnOptRes =
-                model.estimateNetwork(dcnnOptCfg, swept);
+            SimulationRequest req;
+            req.network = withUniformDensity(net, d, d);
+            req.backends = {{"timeloop", "scnn", scnnCfg},
+                            {"timeloop", "dcnn", dcnnCfg},
+                            {"timeloop", "dcnn-opt", dcnnOptCfg}};
+            const SimulationResponse resp = runSession(req);
+
+            const NetworkResult &scnnRes = resp.get("scnn").result;
+            const NetworkResult &dcnnRes = resp.get("dcnn").result;
+            const NetworkResult &dcnnOptRes =
+                resp.get("dcnn-opt").result;
 
             DensityPoint p;
             p.density = d;
@@ -206,8 +187,13 @@ peGranularitySweep(const Network &net,
             const AcceleratorConfig cfg = fixedAccum
                 ? scnnWithPeGridFixedAccum(rows, cols)
                 : scnnWithPeGrid(rows, cols);
-            ScnnSimulator sim(cfg);
-            const NetworkResult res = sim.runNetwork(net, seed);
+
+            SimulationRequest req;
+            req.network = net;
+            req.seed = seed;
+            req.backends = {{"scnn", "scnn", cfg}};
+            const SimulationResponse resp = runSession(req);
+            const NetworkResult &res = resp.get("scnn").result;
 
             GranularityPoint p;
             p.peRows = rows;

@@ -4,6 +4,10 @@
  * comparison that Figures 8/9/10 slice, the density sweep behind
  * Figure 7, and the PE-granularity sweep of Section VI-C.  Bench
  * binaries format these results; tests assert on their shapes.
+ *
+ * All three harnesses are thin clients of the sim/session layer: the
+ * session owns workload synthesis and backend dispatch, and these
+ * functions reshape its responses into the figure-specific records.
  */
 
 #ifndef SCNN_DRIVER_EXPERIMENTS_HH
@@ -13,7 +17,6 @@
 #include <string>
 #include <vector>
 
-#include "analytic/timeloop.hh"
 #include "arch/config.hh"
 #include "nn/network.hh"
 #include "scnn/result.hh"

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "nn/model_zoo.hh"
 #include "nn/reference.hh"
 #include "nn/workload.hh"
@@ -25,7 +26,7 @@ layerIndex(const Network &net)
 /** Run one conv with deterministic weights on a concrete input. */
 Tensor3
 runConv(ScnnSimulator &sim, const ConvLayerParams &layer,
-        const Tensor3 &input, uint64_t seed, bool first,
+        const Tensor3 &input, uint64_t seed, bool first, int threads,
         NetworkResult &nr)
 {
     SCNN_ASSERT(input.channels() == layer.inChannels &&
@@ -44,6 +45,7 @@ runConv(ScnnSimulator &sim, const ConvLayerParams &layer,
 
     RunOptions opts;
     opts.firstLayer = first;
+    opts.threads = threads;
     LayerResult res = sim.runLayer(w, opts);
     Tensor3 out = res.output;
     nr.layers.push_back(std::move(res));
@@ -53,8 +55,9 @@ runConv(ScnnSimulator &sim, const ConvLayerParams &layer,
 } // anonymous namespace
 
 NetworkResult
-runGoogLeNetChained(ScnnSimulator &sim, uint64_t seed)
+runGoogLeNetChained(ScnnSimulator &sim, uint64_t seed, int threads)
 {
+    const int pinned = resolveThreads(threads);
     const Network net = googLeNet();
     const auto idx = layerIndex(net);
     auto layer = [&](const std::string &name) -> const ConvLayerParams & {
@@ -74,19 +77,19 @@ runGoogLeNetChained(ScnnSimulator &sim, uint64_t seed)
     Rng actRng(conv1.name + "/activations", seed);
     Tensor3 act = makeActivations(conv1, actRng); // dense image
 
-    act = runConv(sim, conv1, act, seed, true, nr); // 112x112
+    act = runConv(sim, conv1, act, seed, true, pinned, nr); // 112x112
     // Caffe uses ceil-mode 3x3/2 pooling (112 -> 56); symmetric pad 1
     // reproduces the shape, and pooling over zero padding is
     // harmless on non-negative post-ReLU data.
-    act = maxPool(act, 3, 2, 1);
+    act = maxPool(act, 3, 2, 1, pinned);
     if (act.width() != 56)
         fatal("GoogLeNet stem: unexpected pool1 output %d",
               act.width());
 
-    act = runConv(sim, layer("conv2/3x3_reduce"), act, seed, false,
+    act = runConv(sim, layer("conv2/3x3_reduce"), act, seed, false, pinned,
                   nr);
-    act = runConv(sim, layer("conv2/3x3"), act, seed, false, nr);
-    act = maxPool(act, 3, 2, 1); // 56 -> 28
+    act = runConv(sim, layer("conv2/3x3"), act, seed, false, pinned, nr);
+    act = maxPool(act, 3, 2, 1, pinned); // 56 -> 28
 
     // --- inception modules ---
     const char *modules[] = {"IC_3a", "IC_3b", "IC_4a", "IC_4b",
@@ -96,25 +99,25 @@ runGoogLeNetChained(ScnnSimulator &sim, uint64_t seed)
         const std::string base = std::string(m) + "/";
 
         const Tensor3 b1 =
-            runConv(sim, layer(base + "1x1"), act, seed, false, nr);
+            runConv(sim, layer(base + "1x1"), act, seed, false, pinned, nr);
 
         Tensor3 b3 = runConv(sim, layer(base + "3x3_reduce"), act,
-                             seed, false, nr);
-        b3 = runConv(sim, layer(base + "3x3"), b3, seed, false, nr);
+                             seed, false, pinned, nr);
+        b3 = runConv(sim, layer(base + "3x3"), b3, seed, false, pinned, nr);
 
         Tensor3 b5 = runConv(sim, layer(base + "5x5_reduce"), act,
-                             seed, false, nr);
-        b5 = runConv(sim, layer(base + "5x5"), b5, seed, false, nr);
+                             seed, false, pinned, nr);
+        b5 = runConv(sim, layer(base + "5x5"), b5, seed, false, pinned, nr);
 
-        Tensor3 bp = maxPool(act, 3, 1, 1); // same-size pool
-        bp = runConv(sim, layer(base + "pool_proj"), bp, seed, false,
+        Tensor3 bp = maxPool(act, 3, 1, 1, pinned); // same-size pool
+        bp = runConv(sim, layer(base + "pool_proj"), bp, seed, false, pinned,
                      nr);
 
         act = concatChannels({b1, b3, b5, bp});
 
         // Stage pools: after 3b (28 -> 14) and 4e (14 -> 7).
         if (base == "IC_3b/" || base == "IC_4e/")
-            act = maxPool(act, 3, 2, 1);
+            act = maxPool(act, 3, 2, 1, pinned);
     }
     return nr;
 }

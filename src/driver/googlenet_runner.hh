@@ -25,10 +25,14 @@ namespace scnn {
  * real activation propagation.  Per-layer results appear in network
  * order with emergent "output_density" stats.
  *
- * @param sim  the SCNN simulator to run on.
- * @param seed master seed for the input image and weights.
+ * @param sim     the SCNN simulator to run on.
+ * @param seed    master seed for the input image and weights.
+ * @param threads worker threads, resolved once through
+ *                common/parallel and pinned for every layer (0 =
+ *                SCNN_THREADS / hardware default).
  */
-NetworkResult runGoogLeNetChained(ScnnSimulator &sim, uint64_t seed);
+NetworkResult runGoogLeNetChained(ScnnSimulator &sim, uint64_t seed,
+                                  int threads = 0);
 
 } // namespace scnn
 

@@ -22,6 +22,28 @@ Network::numEvalLayers() const
                       [](const ConvLayerParams &l) { return l.inEval; }));
 }
 
+bool
+Network::isSequential() const
+{
+    for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+        const ConvLayerParams &cur = layers_[i];
+        const ConvLayerParams &nxt = layers_[i + 1];
+        int w = cur.outWidth();
+        int h = cur.outHeight();
+        if (cur.poolWindow > 0) {
+            w = (w + 2 * cur.poolPad - cur.poolWindow) /
+                    cur.poolStride + 1;
+            h = (h + 2 * cur.poolPad - cur.poolWindow) /
+                    cur.poolStride + 1;
+        }
+        if (cur.outChannels != nxt.inChannels || w != nxt.inWidth ||
+            h != nxt.inHeight) {
+            return false;
+        }
+    }
+    return true;
+}
+
 uint64_t
 Network::totalMacs(bool evalOnly) const
 {

@@ -38,6 +38,15 @@ class Network
     /** Layers in the paper's evaluation scope (see inEval). */
     std::vector<ConvLayerParams> evalLayers() const;
 
+    /**
+     * True when the layer list forms a sequential chain: each layer's
+     * output shape (after its declared max-pooling) matches the next
+     * layer's input shape.  Chained execution requires this;
+     * GoogLeNet's inception DAG (branches concatenated by channel)
+     * fails the check and needs the dedicated DAG runner.
+     */
+    bool isSequential() const;
+
     /** Count of evaluation-scope conv layers. */
     size_t numEvalLayers() const;
 

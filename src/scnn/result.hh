@@ -51,9 +51,18 @@ struct RunOptions
      * Worker threads for the per-(PE, output-channel-group) passes
      * (and other per-layer parallel sections).  0 resolves through
      * the SCNN_THREADS / hardware-concurrency chain in
-     * common/parallel.hh.  Results are bit-identical for every value.
+     * common/parallel.hh; the session layer resolves once per request
+     * and pins the value here so every backend sees the same count.
+     * Results are bit-identical for every value.
      */
     int threads = 0;
+
+    /**
+     * Batch size N (the outermost loop of Fig. 3).  Only the analytic
+     * TimeLoop backend models N > 1 (weight broadcast amortized across
+     * the batch); the cycle-level simulators are N = 1.
+     */
+    int batchN = 1;
 };
 
 /** Outcome of simulating one convolutional layer. */

@@ -49,7 +49,7 @@ storedElementsInTile(const Tensor3 &t, const TileRect &tile)
 ScnnSimulator::ScnnSimulator(AcceleratorConfig cfg, EnergyModel energy)
     : cfg_(std::move(cfg)), energy_(energy)
 {
-    cfg_.validate();
+    cfg_.validateOrDie();
     SCNN_ASSERT(cfg_.kind == ArchKind::SCNN,
                 "ScnnSimulator requires an SCNN configuration");
 }
@@ -418,7 +418,7 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
 
 NetworkResult
 ScnnSimulator::runNetwork(const Network &net, uint64_t seed,
-                          bool evalOnly)
+                          bool evalOnly, int threads)
 {
     NetworkResult nr;
     nr.networkName = net.name();
@@ -428,19 +428,24 @@ ScnnSimulator::runNetwork(const Network &net, uint64_t seed,
         if (!evalOnly || l.inEval)
             layers.push_back(l);
 
+    // Resolve the worker count once and pin it for every layer so the
+    // whole run agrees on one value.
+    const int pinned = resolveThreads(threads);
     for (size_t i = 0; i < layers.size(); ++i) {
         const LayerWorkload w = makeWorkload(layers[i], seed);
         RunOptions opts;
         opts.firstLayer = (i == 0);
         opts.outputDensityHint =
             (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
+        opts.threads = pinned;
         nr.layers.push_back(runLayer(w, opts));
     }
     return nr;
 }
 
 NetworkResult
-ScnnSimulator::runNetworkChained(const Network &net, uint64_t seed)
+ScnnSimulator::runNetworkChained(const Network &net, uint64_t seed,
+                                 int threads)
 {
     NetworkResult nr;
     nr.networkName = net.name() + "-chained";
@@ -452,6 +457,7 @@ ScnnSimulator::runNetworkChained(const Network &net, uint64_t seed)
     Rng actRng(layers.front().name + "/activations", seed);
     Tensor3 act = makeActivations(layers.front(), actRng);
 
+    const int pinned = resolveThreads(threads);
     for (size_t i = 0; i < layers.size(); ++i) {
         const ConvLayerParams &layer = layers[i];
         if (act.channels() != layer.inChannels ||
@@ -475,6 +481,7 @@ ScnnSimulator::runNetworkChained(const Network &net, uint64_t seed)
         opts.firstLayer = (i == 0);
         opts.outputDensityHint =
             (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
+        opts.threads = pinned;
         LayerResult res = runLayer(w, opts);
 
         act = res.output;

@@ -42,9 +42,13 @@ class ScnnSimulator
      * @param net      the network.
      * @param seed     master seed for workload synthesis.
      * @param evalOnly restrict to the paper's evaluation scope.
+     * @param threads  worker threads; resolved once through
+     *                 common/parallel and pinned into every layer's
+     *                 RunOptions (0 = SCNN_THREADS / hardware
+     *                 default).
      */
     NetworkResult runNetwork(const Network &net, uint64_t seed,
-                             bool evalOnly = true);
+                             bool evalOnly = true, int threads = 0);
 
     /**
      * Chained whole-network execution: each layer consumes the
@@ -52,10 +56,13 @@ class ScnnSimulator
      * max-pooling between stages), so activation sparsity emerges
      * from the computation instead of being drawn from the profile.
      * Requires a sequential topology (AlexNet/VGG-style; GoogLeNet's
-     * inception DAG is rejected with fatal()).  Per-layer results
-     * carry an "output_density" stat with the emergent density.
+     * inception DAG is rejected with fatal() -- the sim/ service
+     * layer gates on Network::isSequential() and routes the DAG to
+     * the dedicated runner instead).  Per-layer results carry an
+     * "output_density" stat with the emergent density.
      */
-    NetworkResult runNetworkChained(const Network &net, uint64_t seed);
+    NetworkResult runNetworkChained(const Network &net, uint64_t seed,
+                                    int threads = 0);
 
     const AcceleratorConfig &config() const { return cfg_; }
     const EnergyModel &energyModel() const { return energy_; }

@@ -1,0 +1,336 @@
+#include "sim/backends.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "driver/googlenet_runner.hh"
+#include "scnn/oracle.hh"
+
+namespace scnn {
+
+namespace {
+
+/** Which architecture kinds a backend's engine accepts. */
+enum class KindRequirement
+{
+    Scnn,  ///< ArchKind::SCNN only
+    Dense, ///< DCNN or DCNN_OPT
+    Any,   ///< any kind (the analytic model covers all three)
+};
+
+/**
+ * Validate a configuration and check its architecture kind before it
+ * reaches an engine constructor (which would fatal()/panic() on the
+ * same problems); the service boundary reports them recoverably.
+ */
+AcceleratorConfig
+checkedConfig(AcceleratorConfig cfg, KindRequirement want,
+              const char *backend)
+{
+    const std::vector<std::string> errors = cfg.validate();
+    if (!errors.empty()) {
+        throw SimulationError(
+            strfmt("backend '%s': invalid configuration: ", backend) +
+            joinConfigErrors(errors));
+    }
+    const bool isScnn = cfg.kind == ArchKind::SCNN;
+    const bool ok = want == KindRequirement::Any ||
+                    (want == KindRequirement::Scnn) == isScnn;
+    if (!ok) {
+        throw SimulationError(strfmt(
+            "backend '%s' requires a%s configuration, got kind %s "
+            "(config '%s')", backend,
+            want == KindRequirement::Scnn ? "n SCNN"
+                                          : " dense DCNN/DCNN-opt",
+            archKindName(cfg.kind), cfg.name.c_str()));
+    }
+    return cfg;
+}
+
+/**
+ * The shared profile-driven network loop: one synthetic workload per
+ * layer at the profile densities, with the first-layer flag and the
+ * next layer's measured input density (this layer's output density by
+ * construction) wired into the options.  Tensors are only synthesized
+ * for cycle-level backends; analytic ones get a shell workload
+ * carrying just the layer parameters.  This is the single place the
+ * per-layer option chaining lives for every backend.
+ */
+NetworkResult
+profileNetworkRun(Simulator &backend, const Network &net,
+                  const NetworkRunOptions &opts)
+{
+    const BackendCapabilities caps = backend.capabilities();
+    const int pinned = resolveThreads(opts.threads);
+    const bool functional = opts.functional < 0
+        ? caps.functionalByDefault
+        : opts.functional != 0;
+
+    NetworkResult nr;
+    nr.networkName = net.name();
+    nr.archName = backend.config().name;
+
+    std::vector<ConvLayerParams> layers;
+    for (const auto &l : net.layers())
+        if (!opts.evalOnly || l.inEval)
+            layers.push_back(l);
+
+    for (size_t i = 0; i < layers.size(); ++i) {
+        LayerWorkload w;
+        if (caps.cycleLevel)
+            w = makeWorkload(layers[i], opts.seed);
+        else
+            w.layer = layers[i];
+
+        RunOptions ro;
+        ro.firstLayer = (i == 0);
+        ro.outputDensityHint =
+            (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
+        ro.functional = functional;
+        ro.threads = pinned;
+        nr.layers.push_back(backend.simulateLayer(w, ro));
+    }
+    return nr;
+}
+
+/**
+ * Chained whole-network dispatch on the SCNN engine: sequential
+ * topologies run layer-to-layer; the GoogLeNet inception DAG goes
+ * through the dedicated runner; anything else is a clean capability
+ * rejection (not a fatal()).
+ */
+NetworkResult
+scnnChainedRun(ScnnSimulator &sim, const Network &net,
+               const NetworkRunOptions &opts, const char *backend)
+{
+    const int pinned = resolveThreads(opts.threads);
+    if (net.isSequential())
+        return sim.runNetworkChained(net, opts.seed, pinned);
+    if (net.name() == "GoogLeNet")
+        return runGoogLeNetChained(sim, opts.seed, pinned);
+    throw SimulationError(strfmt(
+        "backend '%s': chained execution requires a sequential "
+        "topology, but network '%s' is a DAG (only GoogLeNet's "
+        "inception DAG has a dedicated runner)", backend,
+        net.name().c_str()));
+}
+
+/** checkedConfig for the dense engine, blaming the right backend. */
+AcceleratorConfig
+checkedDenseConfig(AcceleratorConfig cfg)
+{
+    const char *backend =
+        cfg.kind == ArchKind::DCNN_OPT ? "dcnn-opt" : "dcnn";
+    return checkedConfig(std::move(cfg), KindRequirement::Dense,
+                         backend);
+}
+
+[[noreturn]] void
+rejectChained(const char *backend)
+{
+    throw SimulationError(strfmt(
+        "backend '%s' does not support chained execution (activation "
+        "propagation needs a functional cycle-level model); use "
+        "'scnn' or 'oracle'", backend));
+}
+
+} // anonymous namespace
+
+// --- ScnnBackend ------------------------------------------------------
+
+ScnnBackend::ScnnBackend(AcceleratorConfig cfg)
+    : sim_(checkedConfig(std::move(cfg), KindRequirement::Scnn, "scnn"))
+{
+}
+
+BackendCapabilities
+ScnnBackend::capabilities() const
+{
+    BackendCapabilities caps;
+    caps.cycleLevel = true;
+    caps.functional = true;
+    caps.functionalByDefault = true; // timing depends on positions
+    caps.chained = true;
+    caps.chainedDag = true;
+    return caps;
+}
+
+const AcceleratorConfig &
+ScnnBackend::config() const
+{
+    return sim_.config();
+}
+
+LayerResult
+ScnnBackend::simulateLayer(const LayerWorkload &workload,
+                           const RunOptions &opts)
+{
+    return sim_.runLayer(workload, opts);
+}
+
+NetworkResult
+ScnnBackend::simulateNetwork(const Network &net,
+                             const NetworkRunOptions &opts)
+{
+    if (opts.chained)
+        return scnnChainedRun(sim_, net, opts, "scnn");
+    return profileNetworkRun(*this, net, opts);
+}
+
+// --- DcnnBackend ------------------------------------------------------
+
+DcnnBackend::DcnnBackend(AcceleratorConfig cfg)
+    : sim_(checkedDenseConfig(std::move(cfg)))
+{
+}
+
+std::string
+DcnnBackend::name() const
+{
+    return sim_.config().kind == ArchKind::DCNN_OPT ? "dcnn-opt"
+                                                    : "dcnn";
+}
+
+BackendCapabilities
+DcnnBackend::capabilities() const
+{
+    BackendCapabilities caps;
+    caps.cycleLevel = true;
+    caps.functional = true;
+    // Dense timing is position-independent, so sweeps skip the
+    // arithmetic by default.
+    caps.functionalByDefault = false;
+    return caps;
+}
+
+const AcceleratorConfig &
+DcnnBackend::config() const
+{
+    return sim_.config();
+}
+
+LayerResult
+DcnnBackend::simulateLayer(const LayerWorkload &workload,
+                           const RunOptions &opts)
+{
+    DcnnRunOptions dense;
+    static_cast<RunOptions &>(dense) = opts;
+    return sim_.runLayer(workload, dense);
+}
+
+NetworkResult
+DcnnBackend::simulateNetwork(const Network &net,
+                             const NetworkRunOptions &opts)
+{
+    if (opts.chained)
+        rejectChained(name().c_str());
+    return profileNetworkRun(*this, net, opts);
+}
+
+// --- OracleBackend ----------------------------------------------------
+
+LayerResult
+deriveOracleResult(const LayerResult &scnnResult,
+                   const AcceleratorConfig &cfg)
+{
+    LayerResult r = scnnResult;
+    r.archName = "SCNN-oracle";
+    r.stats.set("scnn_cycles", static_cast<double>(scnnResult.cycles));
+    r.cycles = oracleCycles(scnnResult, cfg);
+    // Perfect utilization: no fragmentation, barriers or exposed
+    // drain.  Work counts, functional output and energy events are
+    // the measured SCNN run's (the oracle is the same hardware minus
+    // all stalls; the paper defines it as a performance bound only).
+    r.computeCycles = r.cycles;
+    r.drainExposedCycles = 0;
+    r.peIdleFraction = 0.0;
+    const double slots = static_cast<double>(r.cycles) *
+                         static_cast<double>(cfg.multipliers());
+    // The bound packs landed (in-plane) products perfectly.
+    r.multUtilBusy = slots > 0
+        ? static_cast<double>(r.landedProducts) / slots
+        : 0.0;
+    r.multUtilOverall = r.multUtilBusy;
+    return r;
+}
+
+OracleBackend::OracleBackend(AcceleratorConfig cfg)
+    : sim_(checkedConfig(std::move(cfg), KindRequirement::Scnn, "oracle"))
+{
+}
+
+BackendCapabilities
+OracleBackend::capabilities() const
+{
+    BackendCapabilities caps;
+    caps.cycleLevel = true; // needs the measured non-zero products
+    caps.functional = true;
+    caps.functionalByDefault = true;
+    caps.chained = true;    // wraps the SCNN engine entirely
+    caps.chainedDag = true;
+    return caps;
+}
+
+const AcceleratorConfig &
+OracleBackend::config() const
+{
+    return sim_.config();
+}
+
+LayerResult
+OracleBackend::simulateLayer(const LayerWorkload &workload,
+                             const RunOptions &opts)
+{
+    return deriveOracleResult(sim_.runLayer(workload, opts),
+                              sim_.config());
+}
+
+NetworkResult
+OracleBackend::simulateNetwork(const Network &net,
+                               const NetworkRunOptions &opts)
+{
+    if (!opts.chained)
+        return profileNetworkRun(*this, net, opts);
+    NetworkResult nr = scnnChainedRun(sim_, net, opts, "oracle");
+    for (auto &l : nr.layers)
+        l = deriveOracleResult(l, sim_.config());
+    nr.archName = "SCNN-oracle";
+    return nr;
+}
+
+// --- TimeLoopBackend --------------------------------------------------
+
+TimeLoopBackend::TimeLoopBackend(AcceleratorConfig cfg)
+    : cfg_(checkedConfig(std::move(cfg), KindRequirement::Any,
+                         "timeloop"))
+{
+}
+
+BackendCapabilities
+TimeLoopBackend::capabilities() const
+{
+    return BackendCapabilities(); // analytic: everything false
+}
+
+LayerResult
+TimeLoopBackend::simulateLayer(const LayerWorkload &workload,
+                               const RunOptions &opts)
+{
+    AnalyticOptions ao;
+    ao.firstLayer = opts.firstLayer;
+    ao.outputDensityHint = opts.outputDensityHint;
+    ao.batchN = opts.batchN;
+    return model_.estimateLayer(cfg_, workload.layer, ao);
+}
+
+NetworkResult
+TimeLoopBackend::simulateNetwork(const Network &net,
+                                 const NetworkRunOptions &opts)
+{
+    if (opts.chained)
+        rejectChained("timeloop");
+    return profileNetworkRun(*this, net, opts);
+}
+
+} // namespace scnn

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Adapters wrapping the concrete simulation engines behind the
+ * unified Simulator interface: ScnnBackend (cycle-level
+ * PT-IS-CP-sparse, chained sequential + GoogLeNet DAG), DcnnBackend
+ * (dense baseline, serves both DCNN and DCNN-opt via configuration),
+ * OracleBackend (SCNN(oracle): perfect-utilization cycle bound
+ * derived from a measured SCNN run) and TimeLoopBackend (analytical
+ * expectations, no tensors).
+ *
+ * Construct these through the BackendRegistry (sim/registry.hh); the
+ * classes are exposed so tests can assert on adapter behaviour
+ * directly.
+ */
+
+#ifndef SCNN_SIM_BACKENDS_HH
+#define SCNN_SIM_BACKENDS_HH
+
+#include "analytic/timeloop.hh"
+#include "dcnn/simulator.hh"
+#include "scnn/simulator.hh"
+#include "sim/simulator.hh"
+
+namespace scnn {
+
+/** Cycle-level SCNN (PT-IS-CP-sparse). */
+class ScnnBackend : public Simulator
+{
+  public:
+    explicit ScnnBackend(AcceleratorConfig cfg);
+
+    std::string name() const override { return "scnn"; }
+    BackendCapabilities capabilities() const override;
+    const AcceleratorConfig &config() const override;
+
+    LayerResult simulateLayer(const LayerWorkload &workload,
+                              const RunOptions &opts) override;
+    NetworkResult simulateNetwork(const Network &net,
+                                  const NetworkRunOptions &opts) override;
+
+  private:
+    ScnnSimulator sim_;
+};
+
+/** Dense baseline: DCNN or DCNN-opt depending on the configuration. */
+class DcnnBackend : public Simulator
+{
+  public:
+    explicit DcnnBackend(AcceleratorConfig cfg);
+
+    std::string name() const override;
+    BackendCapabilities capabilities() const override;
+    const AcceleratorConfig &config() const override;
+
+    LayerResult simulateLayer(const LayerWorkload &workload,
+                              const RunOptions &opts) override;
+    NetworkResult simulateNetwork(const Network &net,
+                                  const NetworkRunOptions &opts) override;
+
+  private:
+    DcnnSimulator sim_;
+};
+
+/**
+ * SCNN(oracle): runs the cycle-level SCNN engine and replaces the
+ * cycle count with the Section VI-B upper bound (non-zero products /
+ * multipliers, no fragmentation or barriers).  When a session request
+ * also contains an SCNN backend with the same configuration, the
+ * session derives the oracle from that run instead of re-simulating
+ * (see deriveOracleResult).
+ */
+class OracleBackend : public Simulator
+{
+  public:
+    explicit OracleBackend(AcceleratorConfig cfg);
+
+    std::string name() const override { return "oracle"; }
+    BackendCapabilities capabilities() const override;
+    const AcceleratorConfig &config() const override;
+
+    LayerResult simulateLayer(const LayerWorkload &workload,
+                              const RunOptions &opts) override;
+    NetworkResult simulateNetwork(const Network &net,
+                                  const NetworkRunOptions &opts) override;
+
+  private:
+    ScnnSimulator sim_;
+};
+
+/**
+ * Rewrite a measured SCNN layer result into the corresponding
+ * SCNN(oracle) result (the pure function OracleBackend applies).
+ */
+LayerResult deriveOracleResult(const LayerResult &scnnResult,
+                               const AcceleratorConfig &cfg);
+
+/** TimeLoop analytical model (no tensors; expectations only). */
+class TimeLoopBackend : public Simulator
+{
+  public:
+    explicit TimeLoopBackend(AcceleratorConfig cfg);
+
+    std::string name() const override { return "timeloop"; }
+    BackendCapabilities capabilities() const override;
+    const AcceleratorConfig &config() const override { return cfg_; }
+
+    LayerResult simulateLayer(const LayerWorkload &workload,
+                              const RunOptions &opts) override;
+    NetworkResult simulateNetwork(const Network &net,
+                                  const NetworkRunOptions &opts) override;
+
+  private:
+    AcceleratorConfig cfg_;
+    TimeLoopModel model_;
+};
+
+} // namespace scnn
+
+#endif // SCNN_SIM_BACKENDS_HH

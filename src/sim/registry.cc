@@ -1,0 +1,134 @@
+#include "sim/registry.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "sim/backends.hh"
+
+namespace scnn {
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry;
+    return registry;
+}
+
+BackendRegistry::BackendRegistry()
+{
+    // The five paper architectures.  "scnn"/"oracle"/"timeloop"
+    // default to the Table II SCNN configuration; "timeloop" accepts
+    // any kind (it models all three architectures analytically).
+    registerBackend("scnn", scnnConfig, [](AcceleratorConfig cfg) {
+        return std::unique_ptr<Simulator>(
+            new ScnnBackend(std::move(cfg)));
+    });
+    registerBackend("dcnn", dcnnConfig, [](AcceleratorConfig cfg) {
+        return std::unique_ptr<Simulator>(
+            new DcnnBackend(std::move(cfg)));
+    });
+    registerBackend("dcnn-opt", dcnnOptConfig,
+                    [](AcceleratorConfig cfg) {
+        return std::unique_ptr<Simulator>(
+            new DcnnBackend(std::move(cfg)));
+    });
+    registerBackend("oracle", scnnConfig, [](AcceleratorConfig cfg) {
+        return std::unique_ptr<Simulator>(
+            new OracleBackend(std::move(cfg)));
+    });
+    registerBackend("timeloop", scnnConfig, [](AcceleratorConfig cfg) {
+        return std::unique_ptr<Simulator>(
+            new TimeLoopBackend(std::move(cfg)));
+    });
+}
+
+void
+BackendRegistry::registerBackend(const std::string &name,
+                                 ConfigFactory defaultConfig,
+                                 SimulatorFactory factory)
+{
+    SCNN_ASSERT(!name.empty() && defaultConfig && factory,
+                "incomplete backend registration");
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[name] =
+        Entry{std::move(defaultConfig), std::move(factory)};
+}
+
+bool
+BackendRegistry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(name) > 0;
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &kv : entries_)
+        out.push_back(kv.first); // std::map: already sorted
+    return out;
+}
+
+BackendRegistry::Entry
+BackendRegistry::lookup(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        std::string known;
+        for (const auto &kv : entries_) {
+            if (!known.empty())
+                known += ", ";
+            known += kv.first;
+        }
+        throw SimulationError(
+            strfmt("unknown backend '%s' (registered: %s)",
+                   name.c_str(), known.c_str()));
+    }
+    return it->second;
+}
+
+AcceleratorConfig
+BackendRegistry::defaultConfig(const std::string &name) const
+{
+    return lookup(name).defaultConfig();
+}
+
+std::unique_ptr<Simulator>
+BackendRegistry::make(const std::string &name) const
+{
+    const Entry entry = lookup(name);
+    return entry.factory(entry.defaultConfig());
+}
+
+std::unique_ptr<Simulator>
+BackendRegistry::make(const std::string &name,
+                      AcceleratorConfig cfg) const
+{
+    // The adapters validate kind and parameter consistency and throw
+    // SimulationError with the full descriptive error list.
+    return lookup(name).factory(std::move(cfg));
+}
+
+std::unique_ptr<Simulator>
+makeSimulator(const std::string &name)
+{
+    return BackendRegistry::instance().make(name);
+}
+
+std::unique_ptr<Simulator>
+makeSimulator(const std::string &name, AcceleratorConfig cfg)
+{
+    return BackendRegistry::instance().make(name, std::move(cfg));
+}
+
+std::vector<std::string>
+registeredBackends()
+{
+    return BackendRegistry::instance().names();
+}
+
+} // namespace scnn

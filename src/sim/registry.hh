@@ -1,0 +1,103 @@
+/**
+ * @file
+ * String-keyed backend factory: every architecture model registers
+ * under a stable name ("scnn", "dcnn", "dcnn-opt", "oracle",
+ * "timeloop") with a default configuration, and all drivers, tools
+ * and benches construct simulators through makeSimulator() instead of
+ * naming engine classes.  Adding a backend (a new dataflow, a remote
+ * proxy, a batched wrapper) is one registerBackend() call; every
+ * session client, the scnn_sim CLI and the JSON reporting pick it up
+ * by name with no further plumbing.
+ *
+ * Construction validates the configuration (AcceleratorConfig::
+ * validate) and the architecture kind up front and reports problems
+ * as SimulationError, so inconsistent grids or accumulator parameters
+ * fail with a descriptive message instead of being silently accepted
+ * (or fatal()ing deep inside an engine).
+ */
+
+#ifndef SCNN_SIM_REGISTRY_HH
+#define SCNN_SIM_REGISTRY_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace scnn {
+
+/** Builds a Simulator from an already-validated configuration. */
+using SimulatorFactory =
+    std::function<std::unique_ptr<Simulator>(AcceleratorConfig)>;
+
+/** Produces the backend's default configuration. */
+using ConfigFactory = std::function<AcceleratorConfig()>;
+
+class BackendRegistry
+{
+  public:
+    /** The process-wide registry (built-ins pre-registered). */
+    static BackendRegistry &instance();
+
+    /**
+     * Register (or replace) a backend.  Thread-safe; typically called
+     * once at startup for extension backends.
+     */
+    void registerBackend(const std::string &name,
+                         ConfigFactory defaultConfig,
+                         SimulatorFactory factory);
+
+    bool has(const std::string &name) const;
+
+    /** Registered backend names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * The backend's default configuration (what make(name) uses).
+     * Throws SimulationError on unknown names.
+     */
+    AcceleratorConfig defaultConfig(const std::string &name) const;
+
+    /** Construct a backend with its default configuration. */
+    std::unique_ptr<Simulator> make(const std::string &name) const;
+
+    /**
+     * Construct a backend with an explicit configuration.  The
+     * configuration is validated first; a non-empty error list (or a
+     * kind mismatch) throws SimulationError with every problem named.
+     */
+    std::unique_ptr<Simulator> make(const std::string &name,
+                                    AcceleratorConfig cfg) const;
+
+  private:
+    BackendRegistry(); // registers the built-in backends
+
+    struct Entry
+    {
+        ConfigFactory defaultConfig;
+        SimulatorFactory factory;
+    };
+
+    Entry lookup(const std::string &name) const;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+/** Shorthand for BackendRegistry::instance().make(name). */
+std::unique_ptr<Simulator> makeSimulator(const std::string &name);
+
+/** Shorthand for BackendRegistry::instance().make(name, cfg). */
+std::unique_ptr<Simulator> makeSimulator(const std::string &name,
+                                         AcceleratorConfig cfg);
+
+/** Shorthand for BackendRegistry::instance().names(). */
+std::vector<std::string> registeredBackends();
+
+} // namespace scnn
+
+#endif // SCNN_SIM_REGISTRY_HH

@@ -1,0 +1,306 @@
+#include "sim/session.hh"
+
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "nn/workload.hh"
+#include "sim/backends.hh"
+#include "sim/registry.hh"
+
+namespace scnn {
+
+const BackendRun *
+SimulationResponse::find(const std::string &label) const
+{
+    for (const auto &r : runs)
+        if (r.label == label)
+            return &r;
+    return nullptr;
+}
+
+const BackendRun &
+SimulationResponse::get(const std::string &label) const
+{
+    const BackendRun *run = find(label);
+    if (run == nullptr)
+        throw SimulationError("no backend run labelled '" + label +
+                              "' in the response");
+    if (!run->ok)
+        throw SimulationError("backend run '" + label +
+                              "' failed: " + run->error);
+    return *run;
+}
+
+bool
+SimulationResponse::allOk() const
+{
+    for (const auto &r : runs)
+        if (!r.ok)
+            return false;
+    return true;
+}
+
+namespace {
+
+/**
+ * The donor index an "oracle" spec derives from: an ok "scnn" run on
+ * field-wise identical hardware (config equality, names aside), so
+ * the oracle bound can be computed from the measured SCNN result
+ * instead of re-simulating the layer.  -1 when spec `idx` is not an
+ * oracle or no donor exists (the oracle then simulates on its own).
+ */
+int
+oracleDonor(const std::vector<BackendSpec> &specs,
+            const std::vector<BackendRun> &runs,
+            const std::vector<std::unique_ptr<Simulator>> &sims,
+            size_t idx)
+{
+    if (specs[idx].backend != "oracle" || !runs[idx].ok)
+        return -1;
+    for (size_t j = 0; j < specs.size(); ++j) {
+        if (j == idx || !runs[j].ok)
+            continue;
+        if (specs[j].backend == "scnn" &&
+            sims[j]->config() == sims[idx]->config()) {
+            return static_cast<int>(j);
+        }
+    }
+    return -1;
+}
+
+} // anonymous namespace
+
+SimulationResponse
+runSession(const SimulationRequest &request)
+{
+    const std::vector<BackendSpec> &specs = request.backends;
+    SCNN_ASSERT(!specs.empty(),
+                "session request needs at least one backend");
+
+    SimulationResponse resp;
+    resp.network = request.network.name();
+    resp.seed = request.seed;
+    resp.chained = request.chained;
+    // Resolve the worker count once; every per-layer RunOptions and
+    // fan-out below reuses this pinned value (the satellite contract:
+    // one resolution helper in common/parallel, no per-call-site
+    // duplication).
+    resp.threads = resolveThreads(request.threads);
+
+    // --- construct backends (validation + kind checks up front) ---
+    resp.runs.resize(specs.size());
+    std::vector<std::unique_ptr<Simulator>> sims(specs.size());
+    std::set<std::string> labels;
+    for (size_t i = 0; i < specs.size(); ++i) {
+        BackendRun &run = resp.runs[i];
+        run.backend = specs[i].backend;
+        run.label = specs[i].label.empty() ? specs[i].backend
+                                           : specs[i].label;
+        SCNN_ASSERT(labels.insert(run.label).second,
+                    "duplicate backend label '%s' in session request",
+                    run.label.c_str());
+        try {
+            sims[i] = specs[i].config
+                ? makeSimulator(specs[i].backend, *specs[i].config)
+                : makeSimulator(specs[i].backend);
+            run.arch = sims[i]->config().name;
+            run.capabilities = sims[i]->capabilities();
+            run.ok = true;
+        } catch (const SimulationError &e) {
+            run.ok = false;
+            run.error = e.what();
+        }
+    }
+
+    // --- chained mode: whole-network delegation per backend ---
+    if (request.chained) {
+        for (size_t i = 0; i < specs.size(); ++i) {
+            if (!resp.runs[i].ok)
+                continue;
+            NetworkRunOptions opts;
+            opts.seed = request.seed;
+            opts.evalOnly = request.evalOnly;
+            opts.chained = true;
+            opts.functional = specs[i].functional;
+            opts.threads = resp.threads;
+            try {
+                resp.runs[i].result =
+                    sims[i]->simulateNetwork(request.network, opts);
+            } catch (const SimulationError &e) {
+                resp.runs[i].ok = false;
+                resp.runs[i].error = e.what();
+            }
+        }
+        return resp;
+    }
+
+    // --- shared-workload comparison mode ---
+    std::vector<ConvLayerParams> layers;
+    for (const auto &l : request.network.layers())
+        if (!request.evalOnly || l.inEval)
+            layers.push_back(l);
+
+    // Workload tensors are only synthesized when a cycle-level
+    // backend consumes them; analytic-only requests (e.g. TimeLoop
+    // density sweeps) run on shape/density parameters alone.  An
+    // oracle spec with an scnn donor never touches the tensors
+    // itself.
+    bool needTensors = false;
+    for (size_t i = 0; i < specs.size(); ++i)
+        if (resp.runs[i].ok && resp.runs[i].capabilities.cycleLevel &&
+            oracleDonor(specs, resp.runs, sims, i) < 0)
+            needTensors = true;
+
+    // Each layer's workload owns an RNG stream derived from (layer
+    // name, seed), so per-layer tasks are independent: fan them out
+    // and merge in layer order.  Engines keep all mutable state local
+    // to a call, so one Simulator instance per backend serves every
+    // concurrent layer task.
+    std::vector<size_t> indices(layers.size());
+    for (size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    const auto perLayer = parallelMap(
+        indices,
+        [&](size_t li) {
+            LayerWorkload w;
+            if (needTensors)
+                w = makeWorkload(layers[li], request.seed);
+            else
+                w.layer = layers[li];
+
+            RunOptions base;
+            base.firstLayer = (li == 0);
+            base.outputDensityHint = (li + 1 < layers.size())
+                ? layers[li + 1].inputDensity
+                : 0.5;
+            base.threads = resp.threads;
+
+            std::vector<LayerResult> row(specs.size());
+            // Two passes so an oracle spec can derive from its scnn
+            // donor's result for this layer (one simulation, two
+            // views -- exactly the pre-redesign compareNetwork
+            // arrangement).
+            for (int pass = 0; pass < 2; ++pass) {
+                for (size_t i = 0; i < specs.size(); ++i) {
+                    if (!resp.runs[i].ok)
+                        continue;
+                    const int donor =
+                        oracleDonor(specs, resp.runs, sims, i);
+                    if ((donor >= 0) != (pass == 1))
+                        continue;
+                    if (donor >= 0) {
+                        row[i] = deriveOracleResult(
+                            row[static_cast<size_t>(donor)],
+                            sims[i]->config());
+                        continue;
+                    }
+                    RunOptions opts = base;
+                    opts.functional = specs[i].functional < 0
+                        ? resp.runs[i].capabilities.functionalByDefault
+                        : specs[i].functional != 0;
+                    row[i] = sims[i]->simulateLayer(w, opts);
+                }
+            }
+            return row;
+        },
+        resp.threads);
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        if (!resp.runs[i].ok)
+            continue;
+        NetworkResult &nr = resp.runs[i].result;
+        nr.networkName = resp.network;
+        nr.archName = resp.runs[i].arch;
+        nr.layers.reserve(layers.size());
+        for (const auto &row : perLayer)
+            nr.layers.push_back(row[i]);
+    }
+    return resp;
+}
+
+namespace {
+
+void
+writeLayer(JsonWriter &w, const LayerResult &l)
+{
+    w.beginObject();
+    w.key("name").value(l.layerName);
+    w.key("cycles").value(l.cycles);
+    w.key("compute_cycles").value(l.computeCycles);
+    w.key("drain_exposed_cycles").value(l.drainExposedCycles);
+    w.key("mul_array_ops").value(l.mulArrayOps);
+    w.key("products").value(l.products);
+    w.key("landed_products").value(l.landedProducts);
+    w.key("dense_macs").value(l.denseMacs);
+    w.key("mult_util_busy").value(l.multUtilBusy);
+    w.key("mult_util_overall").value(l.multUtilOverall);
+    w.key("pe_idle_fraction").value(l.peIdleFraction);
+    w.key("energy_pj").value(l.energyPj);
+    w.key("dram_weight_bits").value(l.dramWeightBits);
+    w.key("dram_act_bits").value(l.dramActBits);
+    w.key("dram_tiled").value(l.dramTiled);
+    w.key("num_dram_tiles").value(l.numDramTiles);
+    w.key("stats").beginObject();
+    for (const auto &kv : l.stats.entries())
+        w.key(kv.first).value(kv.second);
+    w.endObject();
+    w.endObject();
+}
+
+} // anonymous namespace
+
+std::string
+toJson(const SimulationResponse &response)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("scnn.simulation_response.v1");
+    w.key("network").value(response.network);
+    w.key("seed").value(response.seed);
+    w.key("chained").value(response.chained);
+    w.key("threads").value(response.threads);
+
+    w.key("backends").beginArray();
+    for (const auto &run : response.runs) {
+        w.beginObject();
+        w.key("backend").value(run.backend);
+        w.key("label").value(run.label);
+        w.key("arch").value(run.arch);
+        w.key("ok").value(run.ok);
+        if (!run.ok) {
+            w.key("error").value(run.error);
+            w.endObject();
+            continue;
+        }
+        w.key("capabilities").beginObject();
+        w.key("cycle_level").value(run.capabilities.cycleLevel);
+        w.key("functional").value(run.capabilities.functional);
+        w.key("chained").value(run.capabilities.chained);
+        w.key("chained_dag").value(run.capabilities.chainedDag);
+        w.endObject();
+
+        const NetworkResult &nr = run.result;
+        w.key("totals").beginObject();
+        w.key("cycles").value(nr.totalCycles());
+        w.key("energy_pj").value(nr.totalEnergyPj());
+        w.key("products").value(nr.totalProducts());
+        w.key("layers").value(
+            static_cast<uint64_t>(nr.layers.size()));
+        w.endObject();
+
+        w.key("layers").beginArray();
+        for (const auto &l : nr.layers)
+            writeLayer(w, l);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace scnn

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The request/response session layer over the unified Simulator
+ * interface: a SimulationRequest names a network, a backend set and
+ * run parameters; runSession() owns workload synthesis (one synthetic
+ * workload per layer, shared across every requested backend, so
+ * backend comparisons are apples-to-apples by construction), fans the
+ * per-layer work out over the shared thread pool, gates each backend
+ * on its declared capabilities, and returns a structured
+ * SimulationResponse that serializes to JSON via common/json.
+ *
+ * The experiment harnesses (compareNetwork, densitySweep,
+ * peGranularitySweep) and the scnn_sim CLI are thin clients of this
+ * layer; future scaling work (sharding, batching, remote serving)
+ * slots in behind the same request/response types.
+ */
+
+#ifndef SCNN_SIM_SESSION_HH
+#define SCNN_SIM_SESSION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+#include "sim/simulator.hh"
+
+namespace scnn {
+
+/** One backend requested in a session. */
+struct BackendSpec
+{
+    /** Registry name ("scnn", "dcnn", "dcnn-opt", "oracle", ...). */
+    std::string backend;
+
+    /**
+     * Key the response is looked up by (useful when one backend runs
+     * under several configurations in the same request, e.g. TimeLoop
+     * over the SCNN and DCNN configs).  Defaults to the backend name.
+     */
+    std::string label;
+
+    /** Configuration override; the registry default when unset. */
+    std::optional<AcceleratorConfig> config;
+
+    /** Functional outputs: -1 = backend default, else 0/1. */
+    int functional = -1;
+};
+
+/** A simulation request: network x backends x run parameters. */
+struct SimulationRequest
+{
+    Network network;
+    std::vector<BackendSpec> backends;
+
+    /** Master seed for workload synthesis. */
+    uint64_t seed = 20170624; // ISCA'17
+
+    /**
+     * Worker threads (0 = SCNN_THREADS / hardware default); resolved
+     * once through common/parallel and pinned for the whole session.
+     * Results are bit-identical for every value.
+     */
+    int threads = 0;
+
+    /** Chained execution (capability-gated per backend). */
+    bool chained = false;
+
+    /** Restrict to the paper's evaluation scope. */
+    bool evalOnly = true;
+};
+
+/** Per-backend outcome of a session. */
+struct BackendRun
+{
+    std::string backend;  ///< registry name
+    std::string label;    ///< lookup key (request's label)
+    std::string arch;     ///< configuration name ("SCNN", "DCNN", ...)
+    BackendCapabilities capabilities;
+
+    /** False when construction or capability gating rejected the run. */
+    bool ok = false;
+    std::string error;    ///< rejection reason when !ok
+
+    NetworkResult result; ///< empty when !ok
+};
+
+/** Structured outcome of a session. */
+struct SimulationResponse
+{
+    std::string network;
+    uint64_t seed = 0;
+    bool chained = false;
+    int threads = 0;      ///< resolved worker-thread count
+
+    std::vector<BackendRun> runs; ///< one per requested backend
+
+    /** Run by label; nullptr when absent. */
+    const BackendRun *find(const std::string &label) const;
+
+    /** Successful run by label; throws SimulationError otherwise. */
+    const BackendRun &get(const std::string &label) const;
+
+    /** True when every requested backend ran successfully. */
+    bool allOk() const;
+};
+
+/**
+ * Execute a request.  Backend construction and capability problems
+ * are reported per backend in the response (the session never
+ * fatal()s on a rejected backend); programming errors such as an
+ * empty backend list or duplicate labels still assert.
+ *
+ * Non-chained sessions run the shared-workload comparison: layers fan
+ * out across the thread pool, each layer synthesizes its workload
+ * once and every backend consumes the same tensors, and an "oracle"
+ * spec is derived from the "scnn" run with the same configuration
+ * instead of re-simulating.  Chained sessions delegate whole-network
+ * execution to each backend in turn.
+ */
+SimulationResponse runSession(const SimulationRequest &request);
+
+/**
+ * Serialize a response as a JSON document (schema
+ * "scnn.simulation_response.v1"): request parameters, then one entry
+ * per backend with capabilities, totals, per-layer metrics and named
+ * stats.  Functional output tensors are omitted.
+ */
+std::string toJson(const SimulationResponse &response);
+
+} // namespace scnn
+
+#endif // SCNN_SIM_SESSION_HH

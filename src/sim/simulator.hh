@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The unified simulation interface: every architecture model in the
+ * repo (cycle-level SCNN, dense DCNN / DCNN-opt, the SCNN(oracle)
+ * bound, the TimeLoop analytical model) is reachable through one
+ * polymorphic `Simulator` with a declared capability set.  Backends
+ * are constructed by name through the BackendRegistry
+ * (sim/registry.hh) and driven either directly or through the
+ * request/response session layer (sim/session.hh), which owns
+ * workload synthesis and result serialization.
+ *
+ * The concrete engine classes (ScnnSimulator, DcnnSimulator,
+ * TimeLoopModel) remain the implementation layer; this interface is
+ * the service seam every driver, tool and bench goes through.
+ */
+
+#ifndef SCNN_SIM_SIMULATOR_HH
+#define SCNN_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "arch/config.hh"
+#include "nn/network.hh"
+#include "nn/workload.hh"
+#include "scnn/result.hh"
+
+namespace scnn {
+
+/**
+ * A recoverable simulation-service error: unknown backend name,
+ * invalid or mismatched configuration, or a request outside the
+ * backend's declared capabilities.  Unlike fatal(), which kills the
+ * process on unrecoverable user errors deep in the engines, a
+ * SimulationError is thrown at the service boundary so sessions can
+ * report per-backend failures and continue with the remaining
+ * backends.
+ */
+class SimulationError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** What a backend can do; sessions gate requests on these flags. */
+struct BackendCapabilities
+{
+    /**
+     * Cycle-level simulation of concrete tensors (SCNN/DCNN/oracle)
+     * as opposed to analytic expectation (TimeLoop).  Sessions only
+     * synthesize workload tensors when a cycle-level backend asks.
+     */
+    bool cycleLevel = false;
+
+    /** Can produce functional output activations. */
+    bool functional = false;
+
+    /**
+     * Whether network-mode runs compute functional outputs by
+     * default.  SCNN's timing depends on non-zero positions, so it is
+     * always functional; the dense baselines skip the arithmetic in
+     * sweeps because their timing is position-independent.
+     */
+    bool functionalByDefault = false;
+
+    /**
+     * Chained whole-network execution on sequential topologies (each
+     * layer consumes the previous layer's simulated output).
+     */
+    bool chained = false;
+
+    /**
+     * Chained execution of GoogLeNet's inception DAG (branch fan-out
+     * and channel concatenation) via the dedicated DAG runner.
+     */
+    bool chainedDag = false;
+};
+
+/** Options for a whole-network simulation request. */
+struct NetworkRunOptions
+{
+    /** Master seed for workload synthesis. */
+    uint64_t seed = 20170624; // ISCA'17
+
+    /** Restrict to the paper's evaluation scope (see inEval). */
+    bool evalOnly = true;
+
+    /**
+     * Chained execution: activation sparsity emerges from the
+     * computation instead of being drawn from the profile.  Requires
+     * the `chained` capability (or `chainedDag` for GoogLeNet);
+     * backends without it throw SimulationError.
+     */
+    bool chained = false;
+
+    /**
+     * Compute functional outputs per layer; -1 uses the backend's
+     * functionalByDefault capability.
+     */
+    int functional = -1;
+
+    /**
+     * Worker threads (0 = SCNN_THREADS / hardware default).  Resolved
+     * once per run and pinned into every per-layer RunOptions so all
+     * parallel sections agree; results are bit-identical for every
+     * value.
+     */
+    int threads = 0;
+};
+
+/**
+ * The unified simulator interface.  Implementations adapt the
+ * concrete engines; construct them through makeSimulator() in
+ * sim/registry.hh rather than directly.
+ */
+class Simulator
+{
+  public:
+    virtual ~Simulator() = default;
+
+    /** Registry name of this backend ("scnn", "timeloop", ...). */
+    virtual std::string name() const = 0;
+
+    virtual BackendCapabilities capabilities() const = 0;
+
+    virtual const AcceleratorConfig &config() const = 0;
+
+    /**
+     * Simulate (or analytically estimate) one layer on a concrete
+     * workload.  Analytic backends read only workload.layer; sessions
+     * may pass an empty-tensor shell when no cycle-level backend is
+     * in the request.
+     */
+    virtual LayerResult simulateLayer(const LayerWorkload &workload,
+                                      const RunOptions &opts) = 0;
+
+    /**
+     * Simulate every layer of a network.  Profile-driven by default;
+     * chained when opts.chained and the topology (or the GoogLeNet
+     * DAG runner) allows it.  Throws SimulationError on requests
+     * outside this backend's capabilities.
+     */
+    virtual NetworkResult simulateNetwork(const Network &net,
+                                          const NetworkRunOptions &opts) = 0;
+};
+
+} // namespace scnn
+
+#endif // SCNN_SIM_SIMULATOR_HH

@@ -78,26 +78,62 @@ TEST(PeGrid, FactorsNonSquareCounts)
     EXPECT_GE(cfg.pe.mulF, cfg.pe.mulI);
 }
 
-TEST(Validate, RejectsBrokenConfigs)
+TEST(Validate, WellFormedConfigsHaveNoErrors)
 {
+    EXPECT_TRUE(scnnConfig().validate().empty());
+    EXPECT_TRUE(dcnnConfig().validate().empty());
+    EXPECT_TRUE(dcnnOptConfig().validate().empty());
+    EXPECT_TRUE(scnnWithPeGrid(4, 4).validate().empty());
+}
+
+TEST(Validate, ReturnsDescriptiveErrorList)
+{
+    auto errorsContain = [](const AcceleratorConfig &cfg,
+                            const std::string &needle) {
+        for (const auto &e : cfg.validate())
+            if (e.find(needle) != std::string::npos)
+                return true;
+        return false;
+    };
+
     AcceleratorConfig cfg = scnnConfig();
     cfg.peRows = 0;
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
-                "empty PE array");
+    EXPECT_TRUE(errorsContain(cfg, "empty PE array"));
 
     cfg = scnnConfig();
     cfg.pe.mulF = 0;
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
-                "multiplier");
+    EXPECT_TRUE(errorsContain(cfg, "multiplier"));
 
     cfg = dcnnConfig();
     cfg.pe.dotWidth = 0;
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
-                "dot-product");
+    EXPECT_TRUE(errorsContain(cfg, "dot-product"));
 
     cfg = scnnConfig();
     cfg.dramBitsPerCycle = 0;
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "DRAM");
+    EXPECT_TRUE(errorsContain(cfg, "DRAM"));
+
+    // Every message names the offending configuration.
+    cfg = scnnConfig();
+    cfg.name = "broken-cfg";
+    cfg.ppuLanes = 0;
+    EXPECT_TRUE(errorsContain(cfg, "broken-cfg"));
+}
+
+TEST(Validate, CollectsAllProblemsNotJustTheFirst)
+{
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.peRows = 0;
+    cfg.dramBitsPerCycle = 0;
+    cfg.pe.iaramBytes = 0;
+    EXPECT_GE(cfg.validate().size(), 3u);
+}
+
+TEST(Validate, OrDieExitsOnBrokenConfig)
+{
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.peRows = 0;
+    EXPECT_EXIT(cfg.validateOrDie(), ::testing::ExitedWithCode(1),
+                "empty PE array");
 }
 
 } // anonymous namespace

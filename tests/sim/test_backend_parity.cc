@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Backend-parity tests: the session's shared-workload results must be
+ * bit-identical to the pre-redesign experiment harness, which built
+ * the engine classes directly (one workload per layer, SCNN +
+ * DCNN/DCNN-opt with functional off, oracle derived from the SCNN
+ * run).  This pins the api_redesign: moving the stack onto the
+ * Simulator/session layer changed no number anywhere, at any thread
+ * count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/timeloop.hh"
+#include "dcnn/simulator.hh"
+#include "driver/experiments.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "scnn/oracle.hh"
+#include "scnn/simulator.hh"
+#include "sim/session.hh"
+
+namespace scnn {
+namespace {
+
+constexpr uint64_t kSeed = 20170624;
+
+/**
+ * The pre-redesign compareNetwork loop, verbatim: direct engine
+ * construction, per-layer shared workload, next-layer density hints.
+ */
+std::vector<LayerComparison>
+legacyCompare(const Network &net, uint64_t seed)
+{
+    std::vector<ConvLayerParams> layers;
+    for (const auto &l : net.layers())
+        if (l.inEval)
+            layers.push_back(l);
+
+    std::vector<LayerComparison> out;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const LayerWorkload w = makeWorkload(layers[i], seed);
+
+        LayerComparison lc;
+        lc.layerName = layers[i].name;
+
+        RunOptions scnnOpts;
+        scnnOpts.firstLayer = (i == 0);
+        scnnOpts.outputDensityHint = (i + 1 < layers.size())
+            ? layers[i + 1].inputDensity
+            : 0.5;
+        ScnnSimulator scnnSim(scnnConfig());
+        lc.scnn = scnnSim.runLayer(w, scnnOpts);
+
+        DcnnRunOptions denseOpts;
+        denseOpts.firstLayer = (i == 0);
+        denseOpts.functional = false;
+        denseOpts.outputDensityHint = (i + 1 < layers.size())
+            ? layers[i + 1].inputDensity
+            : 0.5;
+        DcnnSimulator dcnnSim(dcnnConfig());
+        DcnnSimulator dcnnOptSim(dcnnOptConfig());
+        lc.dcnn = dcnnSim.runLayer(w, denseOpts);
+        lc.dcnnOpt = dcnnOptSim.runLayer(w, denseOpts);
+
+        lc.oracleCycles = oracleCycles(lc.scnn, scnnConfig());
+        out.push_back(std::move(lc));
+    }
+    return out;
+}
+
+void
+expectLayerBitIdentical(const LayerResult &a, const LayerResult &b,
+                        const std::string &context)
+{
+    EXPECT_EQ(a.layerName, b.layerName) << context;
+    EXPECT_EQ(a.cycles, b.cycles) << context;
+    EXPECT_EQ(a.computeCycles, b.computeCycles) << context;
+    EXPECT_EQ(a.drainExposedCycles, b.drainExposedCycles) << context;
+    EXPECT_EQ(a.mulArrayOps, b.mulArrayOps) << context;
+    EXPECT_EQ(a.products, b.products) << context;
+    EXPECT_EQ(a.landedProducts, b.landedProducts) << context;
+    EXPECT_EQ(a.denseMacs, b.denseMacs) << context;
+    // Doubles compared exactly: parity means bit-identical.
+    EXPECT_EQ(a.multUtilBusy, b.multUtilBusy) << context;
+    EXPECT_EQ(a.multUtilOverall, b.multUtilOverall) << context;
+    EXPECT_EQ(a.peIdleFraction, b.peIdleFraction) << context;
+    EXPECT_EQ(a.energyPj, b.energyPj) << context;
+    EXPECT_EQ(a.dramWeightBits, b.dramWeightBits) << context;
+    EXPECT_EQ(a.dramActBits, b.dramActBits) << context;
+    EXPECT_EQ(a.dramTiled, b.dramTiled) << context;
+}
+
+TEST(BackendParity, SessionMatchesLegacyCompareAt128Threads)
+{
+    const Network net = tinyTestNetwork();
+    const std::vector<LayerComparison> legacy =
+        legacyCompare(net, kSeed);
+
+    for (int threads : {1, 2, 8}) {
+        const NetworkComparison cmp =
+            compareNetwork(net, kSeed, threads);
+        ASSERT_EQ(cmp.layers.size(), legacy.size())
+            << "threads=" << threads;
+        for (size_t i = 0; i < legacy.size(); ++i) {
+            const std::string ctx = "threads=" +
+                std::to_string(threads) + " layer=" +
+                legacy[i].layerName;
+            expectLayerBitIdentical(cmp.layers[i].scnn,
+                                    legacy[i].scnn, ctx + " scnn");
+            expectLayerBitIdentical(cmp.layers[i].dcnn,
+                                    legacy[i].dcnn, ctx + " dcnn");
+            expectLayerBitIdentical(cmp.layers[i].dcnnOpt,
+                                    legacy[i].dcnnOpt,
+                                    ctx + " dcnn-opt");
+            EXPECT_EQ(cmp.layers[i].oracleCycles,
+                      legacy[i].oracleCycles)
+                << ctx << " oracle";
+        }
+    }
+}
+
+TEST(BackendParity, SessionNetworkRunMatchesEngineRunNetwork)
+{
+    // peGranularitySweep moved from ScnnSimulator::runNetwork onto
+    // the session; both paths must agree bit-for-bit.
+    const Network net = tinyTestNetwork();
+    const AcceleratorConfig cfg = scnnWithPeGrid(4, 4);
+
+    ScnnSimulator engine(cfg);
+    const NetworkResult direct = engine.runNetwork(net, 5);
+
+    SimulationRequest req;
+    req.network = net;
+    req.seed = 5;
+    req.backends = {{"scnn", "scnn", cfg}};
+    const NetworkResult viaSession =
+        runSession(req).get("scnn").result;
+
+    ASSERT_EQ(direct.layers.size(), viaSession.layers.size());
+    for (size_t i = 0; i < direct.layers.size(); ++i)
+        expectLayerBitIdentical(direct.layers[i],
+                                viaSession.layers[i],
+                                direct.layers[i].layerName);
+}
+
+TEST(BackendParity, SessionDensityPointMatchesEngineEstimate)
+{
+    // densitySweep moved from TimeLoopModel::estimateNetwork onto the
+    // session; spot-check one density point per architecture.
+    const Network swept =
+        withUniformDensity(tinyTestNetwork(), 0.4, 0.4);
+    const TimeLoopModel model;
+
+    SimulationRequest req;
+    req.network = swept;
+    req.backends = {{"timeloop", "scnn", scnnConfig()},
+                    {"timeloop", "dcnn", dcnnConfig()},
+                    {"timeloop", "dcnn-opt", dcnnOptConfig()}};
+    const SimulationResponse resp = runSession(req);
+
+    for (const auto &[label, cfg] :
+         {std::pair<std::string, AcceleratorConfig>{"scnn",
+                                                    scnnConfig()},
+          {"dcnn", dcnnConfig()},
+          {"dcnn-opt", dcnnOptConfig()}}) {
+        const NetworkResult direct = model.estimateNetwork(cfg, swept);
+        const NetworkResult &via = resp.get(label).result;
+        ASSERT_EQ(direct.layers.size(), via.layers.size()) << label;
+        EXPECT_EQ(direct.totalCycles(), via.totalCycles()) << label;
+        EXPECT_EQ(direct.totalEnergyPj(), via.totalEnergyPj())
+            << label;
+    }
+}
+
+TEST(BackendParity, CompareNetworkDeterministicAcrossThreadCounts)
+{
+    const Network net = tinyTestNetwork();
+    const NetworkComparison one = compareNetwork(net, 99, 1);
+    const NetworkComparison eight = compareNetwork(net, 99, 8);
+    ASSERT_EQ(one.layers.size(), eight.layers.size());
+    for (size_t i = 0; i < one.layers.size(); ++i) {
+        expectLayerBitIdentical(one.layers[i].scnn,
+                                eight.layers[i].scnn, "scnn");
+        EXPECT_EQ(one.layers[i].oracleCycles,
+                  eight.layers[i].oracleCycles);
+    }
+}
+
+} // anonymous namespace
+} // namespace scnn

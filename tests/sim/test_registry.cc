@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Backend-registry tests: every paper architecture is constructible
+ * by name with a coherent (name, kind, capabilities) triple; unknown
+ * names and invalid or kind-mismatched configurations are rejected
+ * recoverably (SimulationError carrying the descriptive validate()
+ * error list), never with fatal().
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/backends.hh"
+#include "sim/registry.hh"
+
+namespace scnn {
+namespace {
+
+TEST(Registry, AllPaperBackendsRegistered)
+{
+    const std::vector<std::string> names = registeredBackends();
+    for (const char *expected :
+         {"scnn", "dcnn", "dcnn-opt", "oracle", "timeloop"}) {
+        EXPECT_TRUE(BackendRegistry::instance().has(expected))
+            << expected;
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+    }
+}
+
+TEST(Registry, RoundTripEveryBackendName)
+{
+    for (const std::string &name : registeredBackends()) {
+        const auto sim = makeSimulator(name);
+        ASSERT_NE(sim, nullptr) << name;
+        EXPECT_EQ(sim->name(), name);
+        EXPECT_TRUE(sim->config().validate().empty()) << name;
+    }
+}
+
+TEST(Registry, DefaultConfigsMatchThePaperTables)
+{
+    EXPECT_EQ(makeSimulator("scnn")->config().kind, ArchKind::SCNN);
+    EXPECT_EQ(makeSimulator("dcnn")->config().kind, ArchKind::DCNN);
+    EXPECT_EQ(makeSimulator("dcnn-opt")->config().kind,
+              ArchKind::DCNN_OPT);
+    EXPECT_EQ(makeSimulator("oracle")->config().kind, ArchKind::SCNN);
+    EXPECT_EQ(makeSimulator("timeloop")->config().kind,
+              ArchKind::SCNN);
+    EXPECT_EQ(makeSimulator("scnn")->config().multipliers(), 1024);
+    EXPECT_EQ(makeSimulator("dcnn")->config().multipliers(), 1024);
+}
+
+TEST(Registry, CapabilitiesDistinguishTheBackends)
+{
+    const auto scnn = makeSimulator("scnn");
+    EXPECT_TRUE(scnn->capabilities().cycleLevel);
+    EXPECT_TRUE(scnn->capabilities().functional);
+    EXPECT_TRUE(scnn->capabilities().chained);
+    EXPECT_TRUE(scnn->capabilities().chainedDag);
+
+    const auto dcnn = makeSimulator("dcnn");
+    EXPECT_TRUE(dcnn->capabilities().cycleLevel);
+    EXPECT_FALSE(dcnn->capabilities().chained);
+    EXPECT_FALSE(dcnn->capabilities().functionalByDefault);
+
+    const auto timeloop = makeSimulator("timeloop");
+    EXPECT_FALSE(timeloop->capabilities().cycleLevel);
+    EXPECT_FALSE(timeloop->capabilities().functional);
+    EXPECT_FALSE(timeloop->capabilities().chained);
+}
+
+TEST(Registry, UnknownNameThrowsWithRegisteredList)
+{
+    try {
+        makeSimulator("npu-9000");
+        FAIL() << "expected SimulationError";
+    } catch (const SimulationError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("npu-9000"), std::string::npos);
+        EXPECT_NE(msg.find("scnn"), std::string::npos); // lists names
+    }
+}
+
+TEST(Registry, InvalidConfigRejectedWithErrorList)
+{
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.peRows = 0;
+    cfg.dramBitsPerCycle = 0;
+    try {
+        makeSimulator("scnn", cfg);
+        FAIL() << "expected SimulationError";
+    } catch (const SimulationError &e) {
+        const std::string msg = e.what();
+        // Both problems named, not just the first.
+        EXPECT_NE(msg.find("empty PE array"), std::string::npos);
+        EXPECT_NE(msg.find("DRAM"), std::string::npos);
+    }
+}
+
+TEST(Registry, KindMismatchRejected)
+{
+    EXPECT_THROW(makeSimulator("scnn", dcnnConfig()), SimulationError);
+    EXPECT_THROW(makeSimulator("oracle", dcnnConfig()),
+                 SimulationError);
+    EXPECT_THROW(makeSimulator("dcnn", scnnConfig()), SimulationError);
+    // TimeLoop models all three architectures.
+    EXPECT_NO_THROW(makeSimulator("timeloop", dcnnConfig()));
+    EXPECT_NO_THROW(makeSimulator("timeloop", dcnnOptConfig()));
+}
+
+TEST(Registry, DcnnBackendNameTracksKind)
+{
+    EXPECT_EQ(makeSimulator("dcnn-opt")->name(), "dcnn-opt");
+    EXPECT_EQ(makeSimulator("dcnn", dcnnOptConfig())->name(),
+              "dcnn-opt");
+}
+
+TEST(Registry, ExtensionBackendsRegisterByName)
+{
+    // The load-bearing seam: a new backend is one registration.
+    BackendRegistry::instance().registerBackend(
+        "scnn-alias", scnnConfig, [](AcceleratorConfig cfg) {
+            return std::unique_ptr<Simulator>(
+                new ScnnBackend(std::move(cfg)));
+        });
+    EXPECT_TRUE(BackendRegistry::instance().has("scnn-alias"));
+    EXPECT_EQ(makeSimulator("scnn-alias")->name(), "scnn");
+}
+
+} // anonymous namespace
+} // namespace scnn

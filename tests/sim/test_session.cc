@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Session-layer tests: shared-workload semantics, capability gating
+ * (chained requests on incapable backends and on the GoogLeNet DAG
+ * are rejected cleanly in the response, never with fatal()), oracle
+ * derivation from the SCNN sibling run, analytic-only requests, and
+ * the JSON serialization of responses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hh"
+#include "sim/session.hh"
+
+namespace scnn {
+namespace {
+
+SimulationRequest
+tinyRequest(std::vector<BackendSpec> backends)
+{
+    SimulationRequest req;
+    req.network = tinyTestNetwork();
+    req.seed = 7;
+    req.backends = std::move(backends);
+    return req;
+}
+
+TEST(Session, SharedWorkloadComparisonAcrossBackends)
+{
+    const SimulationResponse resp = runSession(
+        tinyRequest({{"scnn"}, {"dcnn"}, {"dcnn-opt"}, {"timeloop"}}));
+    EXPECT_TRUE(resp.allOk());
+    ASSERT_EQ(resp.runs.size(), 4u);
+    const size_t layers = tinyTestNetwork().numEvalLayers();
+    for (const auto &run : resp.runs) {
+        EXPECT_TRUE(run.ok) << run.backend << ": " << run.error;
+        EXPECT_EQ(run.result.layers.size(), layers) << run.backend;
+    }
+    // Same workload, different architectures: the dense backends
+    // report identical dense-MAC counts per layer as SCNN.
+    const auto &scnn = resp.get("scnn").result;
+    const auto &dcnn = resp.get("dcnn").result;
+    for (size_t i = 0; i < layers; ++i) {
+        EXPECT_EQ(scnn.layers[i].denseMacs, dcnn.layers[i].denseMacs);
+        EXPECT_EQ(scnn.layers[i].layerName, dcnn.layers[i].layerName);
+    }
+}
+
+TEST(Session, OracleDerivedFromScnnSiblingRun)
+{
+    const SimulationResponse resp =
+        runSession(tinyRequest({{"scnn"}, {"oracle"}}));
+    EXPECT_TRUE(resp.allOk());
+    const auto &scnn = resp.get("scnn").result;
+    const auto &oracle = resp.get("oracle").result;
+    ASSERT_EQ(scnn.layers.size(), oracle.layers.size());
+    for (size_t i = 0; i < scnn.layers.size(); ++i) {
+        EXPECT_LE(oracle.layers[i].cycles, scnn.layers[i].cycles);
+        // Derived view of the same simulation: identical work counts
+        // and a back-pointer to the measured cycles.
+        EXPECT_EQ(oracle.layers[i].products, scnn.layers[i].products);
+        EXPECT_EQ(oracle.layers[i].stats.get("scnn_cycles"),
+                  static_cast<double>(scnn.layers[i].cycles));
+        EXPECT_EQ(oracle.layers[i].archName, "SCNN-oracle");
+    }
+}
+
+TEST(Session, TwoCycleLevelSpecsOfTheSameBackendGetRealTensors)
+{
+    // Regression: the tensor-synthesis exemption must only apply to
+    // oracle specs with a donor, not to any pair of same-config scnn
+    // specs (which would otherwise run on empty shell workloads).
+    const SimulationResponse resp = runSession(
+        tinyRequest({{"scnn", "a"}, {"scnn", "b"}}));
+    EXPECT_TRUE(resp.allOk());
+    const auto &a = resp.get("a").result;
+    const auto &b = resp.get("b").result;
+    ASSERT_FALSE(a.layers.empty());
+    EXPECT_GT(a.totalProducts(), 0u);
+    for (size_t i = 0; i < a.layers.size(); ++i)
+        EXPECT_EQ(a.layers[i].cycles, b.layers[i].cycles);
+}
+
+TEST(Session, OracleIgnoresDonorWithDifferentHardware)
+{
+    // An scnn spec whose config was mutated without renaming (the
+    // ablation-bench pattern) is not valid donor hardware for a
+    // default-config oracle: the oracle must simulate on its own
+    // Table II configuration instead.
+    AcceleratorConfig mutated = scnnConfig(); // name stays "SCNN"
+    mutated.pe.accumBanks = 8;
+    const SimulationResponse mixed = runSession(
+        tinyRequest({{"scnn", "scnn", mutated}, {"oracle"}}));
+    const SimulationResponse alone =
+        runSession(tinyRequest({{"oracle"}}));
+    EXPECT_TRUE(mixed.allOk());
+    const auto &viaMixed = mixed.get("oracle").result;
+    const auto &viaAlone = alone.get("oracle").result;
+    ASSERT_EQ(viaMixed.layers.size(), viaAlone.layers.size());
+    for (size_t i = 0; i < viaMixed.layers.size(); ++i)
+        EXPECT_EQ(viaMixed.layers[i].cycles,
+                  viaAlone.layers[i].cycles);
+}
+
+TEST(Session, StandaloneOracleMatchesDerivedOracle)
+{
+    const SimulationResponse together =
+        runSession(tinyRequest({{"scnn"}, {"oracle"}}));
+    const SimulationResponse alone =
+        runSession(tinyRequest({{"oracle"}}));
+    const auto &a = together.get("oracle").result;
+    const auto &b = alone.get("oracle").result;
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t i = 0; i < a.layers.size(); ++i)
+        EXPECT_EQ(a.layers[i].cycles, b.layers[i].cycles);
+}
+
+TEST(Session, ChainedOnGoogLeNetRejectedCleanlyForDenseBackends)
+{
+    // The old API fatal()ed inside runNetworkChained on the inception
+    // DAG; the session reports a per-backend capability error and the
+    // process lives on.
+    SimulationRequest req;
+    req.network = googLeNet();
+    req.backends = {{"dcnn"}, {"timeloop"}};
+    req.chained = true;
+    const SimulationResponse resp = runSession(req);
+    ASSERT_EQ(resp.runs.size(), 2u);
+    for (const auto &run : resp.runs) {
+        EXPECT_FALSE(run.ok) << run.backend;
+        EXPECT_NE(run.error.find("chained"), std::string::npos)
+            << run.backend;
+        EXPECT_TRUE(run.result.layers.empty());
+    }
+}
+
+TEST(Session, ChainedOnNonSequentialNonGoogLeNetRejectedCleanly)
+{
+    // A DAG-shaped network that is not GoogLeNet: no runner exists,
+    // so even the scnn backend must reject it cleanly.
+    Network net("frankennet");
+    net.addLayer(makeConv("f1", 8, 16, 8, 3, 1, 0.5, 0.5));
+    net.addLayer(makeConv("f2", 64, 16, 8, 3, 1, 0.5, 0.5)); // mismatch
+    ASSERT_FALSE(net.isSequential());
+
+    SimulationRequest req;
+    req.network = net;
+    req.backends = {{"scnn"}};
+    req.chained = true;
+    const SimulationResponse resp = runSession(req);
+    ASSERT_FALSE(resp.runs.front().ok);
+    EXPECT_NE(resp.runs.front().error.find("sequential"),
+              std::string::npos);
+}
+
+TEST(Session, ChainedSequentialRunsThroughTheScnnBackend)
+{
+    SimulationRequest req;
+    req.network = tinyTestNetwork();
+    req.seed = 11;
+    req.backends = {{"scnn"}};
+    req.chained = true;
+    const SimulationResponse resp = runSession(req);
+    ASSERT_TRUE(resp.runs.front().ok) << resp.runs.front().error;
+    const auto &nr = resp.runs.front().result;
+    EXPECT_EQ(nr.networkName, "tiny-chained");
+    ASSERT_FALSE(nr.layers.empty());
+    for (const auto &l : nr.layers)
+        EXPECT_TRUE(l.stats.has("chained_input_density"))
+            << l.layerName;
+}
+
+TEST(Session, BadBackendDoesNotPoisonTheRequest)
+{
+    AcceleratorConfig broken = scnnConfig();
+    broken.ppuLanes = 0;
+    const SimulationResponse resp = runSession(tinyRequest(
+        {{"scnn"}, {"scnn", "broken", broken}, {"bogus-backend"}}));
+    EXPECT_FALSE(resp.allOk());
+    EXPECT_TRUE(resp.get("scnn").ok);
+    EXPECT_FALSE(resp.find("broken")->ok);
+    EXPECT_NE(resp.find("broken")->error.find("PPU"),
+              std::string::npos);
+    EXPECT_FALSE(resp.find("bogus-backend")->ok);
+    EXPECT_THROW(resp.get("bogus-backend"), SimulationError);
+}
+
+TEST(Session, AnalyticOnlyRequestsSkipTensorSynthesis)
+{
+    // TimeLoop-only sessions run on layer parameters alone; the shell
+    // workload means even a huge network costs no tensor memory.
+    // (Behaviourally observable: results match estimateNetwork, and
+    // the request completes quickly.)
+    SimulationRequest req;
+    req.network = vgg16();
+    req.backends = {{"timeloop", "a", scnnConfig()},
+                    {"timeloop", "b", dcnnConfig()}};
+    const SimulationResponse resp = runSession(req);
+    EXPECT_TRUE(resp.allOk());
+    EXPECT_GT(resp.get("a").result.totalCycles(), 0u);
+    EXPECT_GT(resp.get("b").result.totalCycles(), 0u);
+    EXPECT_EQ(resp.get("a").arch, "SCNN");
+    EXPECT_EQ(resp.get("b").arch, "DCNN");
+}
+
+TEST(Session, ResponseSerializesToBalancedJson)
+{
+    AcceleratorConfig broken = scnnConfig();
+    broken.peRows = 0;
+    const SimulationResponse resp = runSession(
+        tinyRequest({{"scnn"}, {"timeloop"},
+                     {"scnn", "bad", broken}}));
+    const std::string doc = toJson(resp); // fatal()s if unbalanced
+    EXPECT_EQ(doc.front(), '{');
+    EXPECT_EQ(doc.back(), '}');
+    EXPECT_NE(doc.find("\"schema\":\"scnn.simulation_response.v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"backend\":\"scnn\""), std::string::npos);
+    EXPECT_NE(doc.find("\"totals\""), std::string::npos);
+    EXPECT_NE(doc.find("\"stats\""), std::string::npos);
+    // The failed backend carries its error instead of results.
+    EXPECT_NE(doc.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(doc.find("empty PE array"), std::string::npos);
+    // Quotes in error text and stat names survive escaping: the
+    // document has balanced braces/brackets.
+    int depth = 0;
+    bool inStr = false;
+    for (size_t i = 0; i < doc.size(); ++i) {
+        const char c = doc[i];
+        if (inStr) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inStr = false;
+            continue;
+        }
+        if (c == '"')
+            inStr = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Session, ThreadsResolvedOncePerRequest)
+{
+    SimulationRequest req = tinyRequest({{"timeloop"}});
+    req.threads = 3;
+    const SimulationResponse resp = runSession(req);
+    EXPECT_EQ(resp.threads, 3);
+    // 0 resolves through the common/parallel chain to >= 1.
+    req.threads = 0;
+    EXPECT_GE(runSession(req).threads, 1);
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,17 +1,23 @@
 /**
  * @file
- * scnn_sim: command-line front end to the simulators.
+ * scnn_sim: command-line front end to the simulation service.
  *
  * Usage:
  *   scnn_sim [--network=alexnet|googlenet|vgg16|tiny]
- *            [--arch=scnn|dcnn|dcnn-opt|timeloop]
+ *            [--arch=<registered backend>] [--list-backends]
  *            [--grid=RxC] [--fixed-accum] [--input-halos]
  *            [--density=W,A] [--seed=N] [--chained] [--all-layers]
- *            [--threads=N]
+ *            [--threads=N] [--json[=path]]
  *
+ * Backends are looked up by name in the BackendRegistry (scnn, dcnn,
+ * dcnn-opt, oracle, timeloop, plus anything registered by
+ * extensions); the whole run goes through the sim/session layer.
  * Prints a per-layer table (cycles, utilization, idle fraction,
- * energy, DRAM traffic, tiling) and network totals.  Exits non-zero
- * on bad arguments.
+ * energy, DRAM traffic, tiling) and network totals; --json emits the
+ * structured SimulationResponse as JSON to stdout (or to a file with
+ * --json=path) alongside the table.  Exits non-zero on bad arguments,
+ * unknown backends, invalid configurations and capability-gated
+ * requests (e.g. --chained on a backend without chained support).
  *
  * --threads=N (or the SCNN_THREADS environment variable) sets the
  * worker-thread count for the simulators' parallel sections; results
@@ -23,14 +29,13 @@
 #include <cstring>
 #include <string>
 
-#include "analytic/timeloop.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/table.hh"
-#include "dcnn/simulator.hh"
-#include "driver/googlenet_runner.hh"
 #include "nn/model_zoo.hh"
-#include "scnn/simulator.hh"
+#include "sim/registry.hh"
+#include "sim/session.hh"
 
 using namespace scnn;
 
@@ -46,22 +51,38 @@ struct Options
     bool inputHalos = false;
     bool chained = false;
     bool evalOnly = true;
+    bool json = false;
+    std::string jsonPath; // empty: JSON to stdout
     double weightDensity = -1.0; // <0: use profile
     double actDensity = -1.0;
     uint64_t seed = 20170624;
 };
+
+std::string
+backendList()
+{
+    std::string out;
+    for (const auto &name : registeredBackends()) {
+        if (!out.empty())
+            out += "|";
+        out += name;
+    }
+    return out;
+}
 
 void
 usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--network=alexnet|googlenet|vgg16|tiny]\n"
-                 "          [--arch=scnn|dcnn|dcnn-opt|timeloop]\n"
+                 "          [--arch=%s]\n"
+                 "          [--list-backends]\n"
                  "          [--grid=RxC] [--fixed-accum] "
                  "[--input-halos]\n"
                  "          [--density=W,A] [--seed=N] [--chained]\n"
-                 "          [--all-layers] [--threads=N]\n",
-                 argv0);
+                 "          [--all-layers] [--threads=N] "
+                 "[--json[=path]]\n",
+                 argv0, backendList().c_str());
     std::exit(2);
 }
 
@@ -96,6 +117,15 @@ parse(int argc, char **argv)
                 usage(argv[0]);
         } else if (consume(argv[i], "--seed", v)) {
             o.seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (consume(argv[i], "--json", v)) {
+            o.json = true;
+            o.jsonPath = v;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            o.json = true;
+        } else if (std::strcmp(argv[i], "--list-backends") == 0) {
+            for (const auto &name : registeredBackends())
+                std::printf("%s\n", name.c_str());
+            std::exit(0);
         } else if (std::strcmp(argv[i], "--fixed-accum") == 0) {
             o.fixedAccum = true;
         } else if (std::strcmp(argv[i], "--input-halos") == 0) {
@@ -128,6 +158,31 @@ pickNetwork(const Options &o)
     if (o.weightDensity >= 0.0)
         net = withUniformDensity(net, o.weightDensity, o.actDensity);
     return net;
+}
+
+/**
+ * The backend configuration for this invocation: the registry default
+ * for the arch, with the SCNN-family grid flags applied when the
+ * default is an SCNN-kind configuration (dense baselines have no PE
+ * grid to re-arrange).
+ */
+AcceleratorConfig
+pickConfig(const Options &o)
+{
+    AcceleratorConfig cfg =
+        BackendRegistry::instance().defaultConfig(o.arch);
+    if (cfg.kind == ArchKind::SCNN) {
+        const int pes = o.gridRows * o.gridCols;
+        if (pes <= 0 || cfg.multipliers() % pes != 0)
+            fatal("--grid=%dx%d does not divide the %d chip "
+                  "multipliers", o.gridRows, o.gridCols,
+                  cfg.multipliers());
+        cfg = o.fixedAccum
+            ? scnnWithPeGridFixedAccum(o.gridRows, o.gridCols)
+            : scnnWithPeGrid(o.gridRows, o.gridCols);
+        cfg.pe.inputHalos = o.inputHalos;
+    }
+    return cfg;
 }
 
 void
@@ -165,51 +220,46 @@ main(int argc, char **argv)
     const Options o = parse(argc, argv);
     const Network net = pickNetwork(o);
 
-    AcceleratorConfig cfg;
-    if (o.arch == "scnn" || o.arch == "timeloop") {
-        cfg = o.fixedAccum
-            ? scnnWithPeGridFixedAccum(o.gridRows, o.gridCols)
-            : scnnWithPeGrid(o.gridRows, o.gridCols);
-        cfg.pe.inputHalos = o.inputHalos;
-    } else if (o.arch == "dcnn") {
-        cfg = dcnnConfig();
-    } else if (o.arch == "dcnn-opt") {
-        cfg = dcnnOptConfig();
-    } else {
-        fatal("unknown arch '%s'", o.arch.c_str());
+    SimulationRequest req;
+    req.network = net;
+    req.seed = o.seed;
+    req.chained = o.chained;
+    req.evalOnly = o.evalOnly;
+    try {
+        BackendSpec spec;
+        spec.backend = o.arch;
+        spec.config = pickConfig(o);
+        req.backends.push_back(std::move(spec));
+    } catch (const SimulationError &e) {
+        fatal("%s", e.what());
     }
 
+    const AcceleratorConfig &cfg = *req.backends.front().config;
     std::printf("%s on %s (seed %llu)\n\n", cfg.name.c_str(),
                 net.name().c_str(),
                 static_cast<unsigned long long>(o.seed));
 
-    if (o.arch == "timeloop") {
-        TimeLoopModel model;
-        printResult(model.estimateNetwork(cfg, net, o.evalOnly), cfg);
-        return 0;
+    const SimulationResponse resp = runSession(req);
+    const BackendRun &run = resp.runs.front();
+    if (!run.ok)
+        fatal("%s", run.error.c_str());
+
+    printResult(run.result, cfg);
+    if (o.chained) {
+        std::printf("\nemergent output densities:");
+        for (const auto &l : run.result.layers)
+            std::printf(" %s=%.2f", l.layerName.c_str(),
+                        l.stats.getOr("output_density", 0.0));
+        std::printf("\n");
     }
-    if (o.arch == "scnn") {
-        ScnnSimulator sim(cfg);
-        NetworkResult nr;
-        if (o.chained && o.network == "googlenet")
-            nr = runGoogLeNetChained(sim, o.seed); // inception DAG
-        else if (o.chained)
-            nr = sim.runNetworkChained(net, o.seed);
-        else
-            nr = sim.runNetwork(net, o.seed, o.evalOnly);
-        printResult(nr, cfg);
-        if (o.chained) {
-            std::printf("\nemergent output densities:");
-            for (const auto &l : nr.layers)
-                std::printf(" %s=%.2f", l.layerName.c_str(),
-                            l.stats.getOr("output_density", 0.0));
-            std::printf("\n");
+
+    if (o.json) {
+        const std::string doc = toJson(resp);
+        if (o.jsonPath.empty()) {
+            std::printf("\n%s\n", doc.c_str());
+        } else if (!writeJsonFile(o.jsonPath, doc)) {
+            fatal("cannot write JSON to '%s'", o.jsonPath.c_str());
         }
-        return 0;
     }
-    if (o.chained)
-        fatal("--chained requires --arch=scnn");
-    DcnnSimulator sim(cfg);
-    printResult(sim.runNetwork(net, o.seed, o.evalOnly, false), cfg);
     return 0;
 }
