@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Simulator throughput benchmark: wall-clock layers/sec and
+ * products/sec for whole-network simulation, per backend and worker
+ * thread count.  This is the end-to-end complement of the
+ * google-benchmark micro kernels: it runs the real session layer
+ * (workload synthesis included in setup, excluded from the timed
+ * region is nothing -- the timed region is the full runSession call,
+ * which is what a serving deployment pays per request).
+ *
+ * Results go to BENCH_sim_throughput.json (schema
+ * scnn.sim_throughput.v1) so successive PRs can track simulator
+ * throughput; CI runs a tiny-network smoke and archives the file.
+ *
+ * Usage:
+ *   bench_sim_throughput [--networks=alexnet,googlenet]
+ *                        [--backends=scnn,scnn-stats,dcnn-opt,timeloop]
+ *                        [--threads-list=1,2,8] [--repeat=N]
+ *                        [--out=BENCH_sim_throughput.json]
+ *
+ * The pseudo-backend "scnn-stats" is the scnn backend with functional
+ * outputs disabled (RunOptions::functional = false): the stats-only
+ * kernels produce identical timing/energy numbers without touching an
+ * accumulator, which is the fast path for pure performance sweeps.
+ * With --repeat=N the best (minimum) wall time of N runs is reported.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/table.hh"
+#include "nn/model_zoo.hh"
+#include "sim/registry.hh"
+#include "sim/session.hh"
+
+using namespace scnn;
+
+namespace {
+
+struct Options
+{
+    std::vector<std::string> networks = {"alexnet", "googlenet"};
+    std::vector<std::string> backends = {"scnn", "scnn-stats", "dcnn",
+                                         "dcnn-opt", "timeloop"};
+    std::vector<int> threadsList = {1, 2, 8};
+    int repeat = 1;
+    uint64_t seed = 20170624;
+    std::string out = "BENCH_sim_throughput.json";
+};
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= csv.size()) {
+        const size_t comma = csv.find(',', start);
+        const size_t end = comma == std::string::npos ? csv.size()
+                                                      : comma;
+        if (end > start)
+            out.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool
+consume(const char *arg, const char *key, std::string &out)
+{
+    const size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (consume(argv[i], "--networks", v)) {
+            o.networks = splitList(v);
+        } else if (consume(argv[i], "--backends", v)) {
+            o.backends = splitList(v);
+        } else if (consume(argv[i], "--threads-list", v)) {
+            o.threadsList.clear();
+            for (const auto &t : splitList(v))
+                o.threadsList.push_back(std::atoi(t.c_str()));
+        } else if (consume(argv[i], "--repeat", v)) {
+            o.repeat = std::atoi(v.c_str());
+        } else if (consume(argv[i], "--seed", v)) {
+            o.seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (consume(argv[i], "--out", v)) {
+            o.out = v;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--networks=a,b] [--backends=a,b]\n"
+                "          [--threads-list=1,2,8] [--repeat=N]\n"
+                "          [--seed=N] [--out=path.json]\n",
+                argv[0]);
+            std::exit(2);
+        }
+    }
+    if (o.networks.empty() || o.backends.empty() ||
+        o.threadsList.empty() || o.repeat < 1)
+        fatal("empty sweep dimension");
+    return o;
+}
+
+Network
+pickNetwork(const std::string &name)
+{
+    if (name == "alexnet")
+        return alexNet();
+    if (name == "googlenet")
+        return googLeNet();
+    if (name == "vgg16")
+        return vgg16();
+    if (name == "tiny")
+        return tinyTestNetwork();
+    fatal("unknown network '%s'", name.c_str());
+}
+
+struct Measurement
+{
+    std::string network;
+    std::string backend;
+    int threads = 0;
+    double wallMs = 0.0;
+    uint64_t layers = 0;
+    uint64_t products = 0;
+    uint64_t cycles = 0;
+
+    double
+    layersPerSec() const
+    {
+        return wallMs > 0.0 ? 1e3 * static_cast<double>(layers) / wallMs
+                            : 0.0;
+    }
+
+    double
+    productsPerSec() const
+    {
+        return wallMs > 0.0
+            ? 1e3 * static_cast<double>(products) / wallMs
+            : 0.0;
+    }
+};
+
+Measurement
+measure(const Network &net, const std::string &backend, int threads,
+        const Options &o)
+{
+    Measurement m;
+    m.network = net.name();
+    m.backend = backend;
+    m.threads = threads;
+
+    SimulationRequest req;
+    req.network = net;
+    req.seed = o.seed;
+    req.threads = threads;
+    req.evalOnly = true;
+    BackendSpec spec;
+    // "scnn-stats" = the scnn engine with the stats-only kernels.
+    spec.backend = backend == "scnn-stats" ? "scnn" : backend;
+    if (backend == "scnn-stats")
+        spec.functional = 0;
+    req.backends.push_back(std::move(spec));
+
+    double bestMs = -1.0;
+    for (int rep = 0; rep < o.repeat; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const SimulationResponse resp = runSession(req);
+        const auto t1 = std::chrono::steady_clock::now();
+        const BackendRun &run = resp.runs.front();
+        if (!run.ok)
+            fatal("backend '%s' failed: %s", backend.c_str(),
+                  run.error.c_str());
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (bestMs < 0.0 || ms < bestMs)
+            bestMs = ms;
+        m.layers = run.result.layers.size();
+        m.products = run.result.totalProducts();
+        m.cycles = run.result.totalCycles();
+    }
+    m.wallMs = bestMs;
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    argc = consumeThreadsFlag(argc, argv);
+    const Options o = parse(argc, argv);
+
+    std::vector<Measurement> results;
+    Table t("sim_throughput",
+            {"Network", "Backend", "Threads", "Wall (ms)", "Layers/s",
+             "Products/s"});
+    for (const auto &netName : o.networks) {
+        const Network net = pickNetwork(netName);
+        for (const auto &backend : o.backends) {
+            for (int threads : o.threadsList) {
+                const Measurement m = measure(net, backend, threads, o);
+                t.addRow({m.network, m.backend,
+                          std::to_string(m.threads),
+                          Table::num(m.wallMs, 1),
+                          Table::num(m.layersPerSec(), 1),
+                          Table::num(m.productsPerSec(), 0)});
+                results.push_back(m);
+            }
+        }
+    }
+    t.print();
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("scnn.sim_throughput.v1");
+    w.key("seed").value(o.seed);
+    w.key("repeat").value(o.repeat);
+    w.key("results").beginArray();
+    for (const auto &m : results) {
+        w.beginObject();
+        w.key("network").value(m.network);
+        w.key("backend").value(m.backend);
+        w.key("threads").value(m.threads);
+        w.key("wall_ms").value(m.wallMs);
+        w.key("layers").value(m.layers);
+        w.key("layers_per_sec").value(m.layersPerSec());
+        w.key("products").value(m.products);
+        w.key("products_per_sec").value(m.productsPerSec());
+        w.key("cycles").value(m.cycles);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    if (!writeJsonFile(o.out, w.str()))
+        return 1;
+    std::printf("\nwrote %s\n", o.out.c_str());
+    return 0;
+}

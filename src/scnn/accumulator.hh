@@ -43,6 +43,8 @@ class AccumulatorBanks
                               int queueDepth = 4)
         : numBanks_(numBanks), channelStride_(channelStride),
           queueDepth_(queueDepth),
+          bankMask_((numBanks & (numBanks - 1)) == 0 ? numBanks - 1
+                                                     : -1),
           nextFree_(static_cast<size_t>(numBanks), 0)
     {
         SCNN_ASSERT(numBanks > 0, "accumulator needs at least one bank");
@@ -69,10 +71,26 @@ class AccumulatorBanks
     int
     bankOf(int kLocal, int axLocal, int ayLocal, int accH) const
     {
-        const long addr = static_cast<long>(axLocal) * accH + ayLocal +
-                          static_cast<long>(kLocal) * channelStride_;
-        return static_cast<int>(addr % numBanks_);
+        return bankOfAddr(static_cast<long>(axLocal) * accH + ayLocal +
+                          static_cast<long>(kLocal) * channelStride_);
     }
+
+    /**
+     * Bank of a precomputed accumulator-local address (position
+     * offset plus kLocal * channelStride()); lets the PE kernel share
+     * the position sub-expression with its private-buffer index.
+     */
+    int
+    bankOfAddr(long addr) const
+    {
+        // Power-of-two bank counts (the common case: A = 2*F*I = 32)
+        // hash with a mask instead of an integer division; addresses
+        // are non-negative, so the results are identical.
+        return static_cast<int>(bankMask_ >= 0 ? (addr & bankMask_)
+                                               : (addr % numBanks_));
+    }
+
+    long channelStride() const { return channelStride_; }
 
     /** Begin a multiplier-array operation at the current cycle. */
     void
@@ -90,6 +108,39 @@ class AccumulatorBanks
         const uint64_t backlog = nf - now_;
         if (backlog > opMax_)
             opMax_ = backlog;
+    }
+
+    /**
+     * Register-resident operation state for the PE kernel hot path:
+     * the current cycle and the deepest backlog live in a caller
+     * local instead of being re-loaded/stored through the object for
+     * every product.  Semantically identical to
+     * beginOp()/route()/finishOp().
+     */
+    struct OpState
+    {
+        uint64_t now;
+        uint64_t opMax;
+    };
+
+    OpState opBegin() const { return {now_, 0}; }
+
+    void
+    opRoute(OpState &op, int bank)
+    {
+        uint64_t &nf = nextFree_[static_cast<size_t>(bank)];
+        nf = (nf > op.now ? nf : op.now) + 1;
+        const uint64_t backlog = nf - op.now;
+        if (backlog > op.opMax)
+            op.opMax = backlog;
+    }
+
+    /** @return cycles consumed by the operation (>= 1). */
+    uint64_t
+    opFinish(const OpState &op)
+    {
+        opMax_ = op.opMax;
+        return finishOp();
     }
 
     /**
@@ -112,21 +163,38 @@ class AccumulatorBanks
         }
         const uint64_t cost = next - now_;
         now_ = next;
-        costHist_.sample(static_cast<double>(cost));
+        // Stall-free ops (the overwhelming majority) batch into one
+        // weighted histogram sample flushed on read: counts, totals
+        // and the (integer-valued) weighted sum come out identical,
+        // without a floating-point bucket computation per operation.
+        if (cost == 1)
+            ++unitCostOps_;
+        else
+            costHist_.sample(static_cast<double>(cost));
         return cost;
     }
 
     /** Histogram of per-op cost (1 = no stall). */
-    const Histogram &costHistogram() const { return costHist_; }
+    const Histogram &
+    costHistogram() const
+    {
+        if (unitCostOps_ > 0) {
+            costHist_.sample(1.0, unitCostOps_);
+            unitCostOps_ = 0;
+        }
+        return costHist_;
+    }
 
   private:
     int numBanks_;
     long channelStride_;
     int queueDepth_;
+    long bankMask_; ///< numBanks - 1 when a power of two, else -1
     std::vector<uint64_t> nextFree_;
     uint64_t now_ = 0;
     uint64_t opMax_ = 0;
-    Histogram costHist_{1.0, 17.0, 16};
+    mutable Histogram costHist_{1.0, 17.0, 16};
+    mutable uint64_t unitCostOps_ = 0;
 };
 
 } // namespace scnn

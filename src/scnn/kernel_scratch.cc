@@ -1,0 +1,12 @@
+#include "scnn/kernel_scratch.hh"
+
+namespace scnn {
+
+KernelScratch &
+KernelScratch::local()
+{
+    static thread_local KernelScratch scratch;
+    return scratch;
+}
+
+} // namespace scnn

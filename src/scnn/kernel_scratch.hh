@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reusable per-thread scratch for the SCNN layer hot path.
+ *
+ * ScnnSimulator::runLayer keeps all mutable state local to the call
+ * so one simulator instance can serve concurrent per-layer tasks
+ * (the sim/session layer fans layers over the thread pool).  The
+ * buffers it needs -- compressed input tiles, per-input-channel
+ * weight blocks rebuilt for every output-channel group, per-PE
+ * functional accumulators, the per-group output merge plane, and the
+ * per-PE bookkeeping arrays -- used to be reallocated per call (and
+ * the weight blocks per *group*).  KernelScratch owns them instead:
+ * one instance per OS thread (thread_local), fetched at the top of
+ * runLayer and reused across groups, layers and networks handled by
+ * that thread.
+ *
+ * Safety: a thread runs at most one runLayer frame at a time (nested
+ * parallel sections execute inline on pool workers and never enter
+ * runLayer recursively), so the frame owns its thread's scratch for
+ * the duration of the call.  Workers spawned by the frame's inner
+ * parallelFor sections write only into per-slot elements of these
+ * vectors, never into their own thread's scratch.
+ */
+
+#ifndef SCNN_SCNN_KERNEL_SCRATCH_HH
+#define SCNN_SCNN_KERNEL_SCRATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "scnn/pe.hh"
+#include "tensor/sparse_block.hh"
+
+namespace scnn {
+
+struct KernelScratch
+{
+    /** Per-PE compressed input tiles (rebuilt per layer). */
+    std::vector<CompressedActTile> tiles;
+
+    /** Per-input-channel weight blocks (rebuilt per group). */
+    std::vector<CompressedWeightBlock> wtBlocks;
+
+    /** Per-PE private functional accumulators (reset per group). */
+    std::vector<GroupAccum> groupAccums;
+
+    /** Per-PE pass stats for the current group. */
+    std::vector<PeGroupStats> groupStats;
+
+    /**
+     * Dense (kc, outW, outH) double-precision merge plane for one
+     * output-channel group (output-halo mode, where neighbouring
+     * accumulator rects overlap and PE drains must merge).
+     */
+    std::vector<double> groupPlane;
+
+    /** Per-PE scratch for the output RLE accounting fan-out. */
+    std::vector<uint64_t> perPeStored;
+
+    // Per-PE sequencer bookkeeping.
+    std::vector<uint64_t> prevDrain;
+    std::vector<uint64_t> peGroupTime;
+    std::vector<uint64_t> busyCycles;
+
+    /**
+     * Per-weight address offsets of the current (channel, phase)
+     * substream, precomputed once per pass by the PE kernel (the
+     * weight span is re-streamed against every stationary activation
+     * vector, so the per-entry multiply moves out of the product
+     * loop):
+     *   wBank[j] = kRel * channelStride - (rq * accH + sq)
+     *   wAcc[j]  = kRel * accPlane      - (rq * accH + sq)
+     * so bank address and private-buffer index are single additions
+     * to the activation's position base.  The functional kernel packs
+     * the pair into one 64-bit word (wAcc high, wBank low) so the
+     * product loop issues a single load per weight.
+     */
+    std::vector<int32_t> wBank;
+    std::vector<uint64_t> wPacked;
+
+    /**
+     * Per-activation state of the current stationary vector (up to I
+     * entries): position base, value, raw quotient coordinates, and
+     * whether every tap of the substream lands in the window (the
+     * interior fast path skips the per-product landing check).
+     */
+    std::vector<long> aPos;
+    std::vector<double> aVal;
+    std::vector<int> aXq;
+    std::vector<int> aYq;
+    std::vector<uint8_t> aInterior;
+
+    /** The calling thread's scratch (created on first use). */
+    static KernelScratch &local();
+};
+
+} // namespace scnn
+
+#endif // SCNN_SCNN_KERNEL_SCRATCH_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "scnn/kernel_scratch.hh"
+
 namespace scnn {
 
 ProcessingElement::ProcessingElement(const AcceleratorConfig &cfg,
@@ -19,28 +21,63 @@ ProcessingElement::ProcessingElement(const AcceleratorConfig &cfg,
     overlapArea_ = (ox1 > ox0 && oy1 > oy0)
         ? static_cast<long>(ox1 - ox0) * (oy1 - oy0)
         : 0;
+
+    // Select the kernel pair once per layer: stride-1 layers take the
+    // single-phase path, and the paper's F = I = 4 multiplier
+    // geometry gets the unrolled-op instantiation.
+    const bool stride1 = layer_.strideX == 1 && layer_.strideY == 1;
+    if (cfg_.pe.mulF == 4 && cfg_.pe.mulI == 4) {
+        if (stride1) {
+            kernelFunctional_ =
+                &ProcessingElement::runGroupImpl<true, true, 4>;
+            kernelStatsOnly_ =
+                &ProcessingElement::runGroupImpl<false, true, 4>;
+        } else {
+            kernelFunctional_ =
+                &ProcessingElement::runGroupImpl<true, false, 4>;
+            kernelStatsOnly_ =
+                &ProcessingElement::runGroupImpl<false, false, 4>;
+        }
+    } else if (stride1) {
+        kernelFunctional_ =
+            &ProcessingElement::runGroupImpl<true, true, 0>;
+        kernelStatsOnly_ =
+            &ProcessingElement::runGroupImpl<false, true, 0>;
+    } else {
+        kernelFunctional_ =
+            &ProcessingElement::runGroupImpl<true, false, 0>;
+        kernelStatsOnly_ =
+            &ProcessingElement::runGroupImpl<false, false, 0>;
+    }
 }
 
+/**
+ * The F x I Cartesian-product kernel (Fig. 4).  Template parameters
+ * compile the two per-product conditionals of the generic loop out of
+ * the hot path:
+ *  - Functional: accumulate value products into the private GroupAccum
+ *    (false: timing/work counters only, no accumulator memory touched);
+ *  - Stride1: output coordinates are plain subtractions of pre-padded
+ *    activation coordinates and filter taps (general strides divide by
+ *    the stride after phase decomposition; the divisions are exact).
+ */
+template <bool Functional, bool Stride1, int FixedFI>
 PeGroupStats
-ProcessingElement::runGroup(const CompressedActTile &acts,
-                            const std::vector<CompressedWeightBlock>
-                                &wtBlocks,
-                            int k0, GroupAccum *accum)
+ProcessingElement::runGroupImpl(const CompressedActTile &acts,
+                                const std::vector<CompressedWeightBlock>
+                                    &wtBlocks,
+                                GroupAccum *accum)
 {
     PeGroupStats st;
-    if (inTile_.empty() || accRect_.empty())
-        return st;
 
-    banks_.reset();
-
-    const int F = cfg_.pe.mulF;
-    const int I = cfg_.pe.mulI;
-    const int padX = layer_.padX;
-    const int padY = layer_.padY;
-    const int strideX = layer_.strideX;
-    const int strideY = layer_.strideY;
+    const size_t F = FixedFI > 0 ? static_cast<size_t>(FixedFI)
+                                 : static_cast<size_t>(cfg_.pe.mulF);
+    const size_t I = FixedFI > 0 ? static_cast<size_t>(FixedFI)
+                                 : static_cast<size_t>(cfg_.pe.mulI);
     const int accH = accRect_.height();
-    const int phases = layer_.geometry().phases();
+    const int accX0 = accRect_.x0;
+    const int accY0 = accRect_.y0;
+    const int phases = Stride1 ? 1 : layer_.geometry().phases();
 
     // Landing window: with output halos the PE accumulates every
     // in-plane product of its private inputs (the accumulator rect
@@ -54,65 +91,326 @@ ProcessingElement::runGroup(const CompressedActTile &acts,
     const int loY = cfg_.pe.inputHalos ? accRect_.y0 : 0;
     const int hiY = cfg_.pe.inputHalos ? accRect_.y1
                                        : layer_.outHeight();
+    // One unsigned comparison per axis covers both window bounds.
+    const unsigned winW = static_cast<unsigned>(hiX - loX);
+    const unsigned winH = static_cast<unsigned>(hiY - loY);
+
+    // Private accumulator layout, hoisted out of the product loop.
+    // The GroupAccum rect is this PE's accRect, so the bank address
+    // and the buffer index share the (ox, oy) position offset:
+    //   pos    = (ox - accX0) * accH + (oy - accY0)
+    //   bank   = hash(pos + kRel * channelStride)
+    //   buffer = kRel * accPlane + pos
+    // pos splits into an activation base minus a per-weight offset,
+    // and the per-weight parts fold into the precomputed wBank/wAcc
+    // arrays (see KernelScratch), leaving one addition per product.
+    double *accBase = nullptr;
+    long accPlane = 0;
+    if (Functional) {
+        accBase = accum->values.data();
+        accPlane = accum->rect.area();
+        SCNN_ASSERT(accum->values.size() <=
+                        static_cast<size_t>(INT32_MAX),
+                    "group accumulator exceeds 2^31 entries");
+    }
+    const long chanStride = banks_.channelStride();
+    KernelScratch &ks = KernelScratch::local();
+    ks.aPos.resize(I);
+    ks.aVal.resize(I);
+    ks.aXq.resize(I);
+    ks.aYq.resize(I);
+    ks.aInterior.resize(I);
+    long *const aPos = ks.aPos.data();
+    double *const aVal = ks.aVal.data();
+    int *const aXq = ks.aXq.data();
+    int *const aYq = ks.aYq.data();
+    uint8_t *const aInterior = ks.aInterior.data();
+
+    uint64_t cycles = 0, mulOps = 0, products = 0, landed = 0;
+    uint64_t actEntries = 0, wtEntries = 0, conflictStalls = 0;
 
     for (int c = 0; c < acts.numChannels(); ++c) {
         const CompressedWeightBlock &block = wtBlocks[c];
         for (int p = 0; p < phases; ++p) {
-            const std::vector<ActEntry> &A = acts.entries(c, p);
-            const std::vector<WtEntry> &W = block.entries(p);
+            const CompressedActTile::Span A = acts.span(c, p);
+            const CompressedWeightBlock::Span W = block.span(p);
             if (A.empty() || W.empty())
                 continue;
 
-            st.actEntries += A.size();
+            actEntries += A.count;
 
-            const size_t nA = A.size();
-            const size_t nW = W.size();
+            const size_t nA = A.count;
+            const size_t nW = W.count;
+
+            // Fold the per-weight address parts once per substream
+            // (the span is re-streamed nA / I times below) and track
+            // the tap-coordinate extremes for the interior test.
+            ks.wBank.resize(nW);
+            if (Functional)
+                ks.wPacked.resize(nW);
+            int minRq = W.rq[0], maxRq = W.rq[0];
+            int minSq = W.sq[0], maxSq = W.sq[0];
+            for (size_t j = 0; j < nW; ++j) {
+                const int rq = W.rq[j];
+                const int sq = W.sq[j];
+                minRq = std::min(minRq, rq);
+                maxRq = std::max(maxRq, rq);
+                minSq = std::min(minSq, sq);
+                maxSq = std::max(maxSq, sq);
+                const long wp = static_cast<long>(rq) * accH + sq;
+                const int32_t bank = static_cast<int32_t>(
+                    W.kRel[j] * chanStride - wp);
+                ks.wBank[j] = bank;
+                if (Functional) {
+                    const int32_t acc = static_cast<int32_t>(
+                        W.kRel[j] * accPlane - wp);
+                    ks.wPacked[j] =
+                        (static_cast<uint64_t>(
+                             static_cast<uint32_t>(acc))
+                         << 32) |
+                        static_cast<uint32_t>(bank);
+                }
+            }
+            const int32_t *wBank = ks.wBank.data();
+            const uint64_t *wPacked =
+                Functional ? ks.wPacked.data() : nullptr;
+
             for (size_t ai = 0; ai < nA; ai += I) {
                 const size_t aEnd = std::min(nA, ai + I);
+                const size_t nAv = aEnd - ai;
+
+                // Stationary-vector state, computed once per vector
+                // instead of once per weight chunk.  An activation is
+                // "interior" when every tap of this substream lands
+                // in the window; the product loop then needs no
+                // per-product landing check.
+                bool allInterior = true;
+                for (size_t i = 0; i < nAv; ++i) {
+                    const int axq = A.xq[ai + i];
+                    const int ayq = A.yq[ai + i];
+                    aXq[i] = axq;
+                    aYq[i] = ayq;
+                    aPos[i] = static_cast<long>(axq - accX0) * accH +
+                              (ayq - accY0);
+                    aInterior[i] =
+                        static_cast<uint8_t>(axq - maxRq >= loX &&
+                                             axq - minRq < hiX &&
+                                             ayq - maxSq >= loY &&
+                                             ayq - minSq < hiY);
+                    allInterior = allInterior && aInterior[i] != 0;
+                    if (Functional)
+                        aVal[i] =
+                            static_cast<double>(A.value[ai + i]);
+                }
+
                 // Weights are re-streamed from the FIFO against each
                 // stationary activation vector (Fig. 4, loop D).
-                st.wtEntries += nW;
+                wtEntries += nW;
+
+                if (allInterior) {
+                    // Every product of every op of this stationary
+                    // vector lands: no per-product or per-activation
+                    // checks at all.  With a compile-time F the full
+                    // chunks run with a constant trip count (the
+                    // loop unrolls); only the tail chunk is generic.
+                    const size_t nWfull =
+                        FixedFI > 0 ? nW - nW % F : 0;
+                    for (size_t wi = 0; wi < nWfull; wi += F) {
+                        AccumulatorBanks::OpState op =
+                            banks_.opBegin();
+                        products += nAv * F;
+                        landed += nAv * F;
+                        const auto productRow = [&](size_t i) {
+                            const long base = aPos[i];
+                            if (Functional) {
+                                const double av = aVal[i];
+                                for (size_t w = wi; w < wi + F; ++w) {
+                                    const uint64_t pk = wPacked[w];
+                                    banks_.opRoute(
+                                        op,
+                                        banks_.bankOfAddr(
+                                            base +
+                                            static_cast<int32_t>(
+                                                pk)));
+                                    accBase[base +
+                                            static_cast<int32_t>(
+                                                pk >> 32)] +=
+                                        av * static_cast<double>(
+                                                 W.value[w]);
+                                }
+                            } else {
+                                for (size_t w = wi; w < wi + F; ++w) {
+                                    banks_.opRoute(
+                                        op, banks_.bankOfAddr(
+                                                base + wBank[w]));
+                                }
+                            }
+                        };
+                        if (nAv == I) {
+                            // Full stationary vector: constant trip
+                            // count, the whole F x I op straight-
+                            // lines.
+                            for (size_t i = 0; i < I; ++i)
+                                productRow(i);
+                        } else {
+                            for (size_t i = 0; i < nAv; ++i)
+                                productRow(i);
+                        }
+                        const uint64_t opc = banks_.opFinish(op);
+                        cycles += opc;
+                        conflictStalls += opc - 1;
+                        ++mulOps;
+                    }
+                    for (size_t wi = nWfull; wi < nW; wi += F) {
+                        const size_t wEnd = std::min(nW, wi + F);
+                        AccumulatorBanks::OpState op =
+                            banks_.opBegin();
+                        products += nAv * (wEnd - wi);
+                        landed += nAv * (wEnd - wi);
+                        for (size_t i = 0; i < nAv; ++i) {
+                            const long base = aPos[i];
+                            if (Functional) {
+                                const double av = aVal[i];
+                                for (size_t w = wi; w < wEnd; ++w) {
+                                    const uint64_t pk = wPacked[w];
+                                    banks_.opRoute(
+                                        op,
+                                        banks_.bankOfAddr(
+                                            base +
+                                            static_cast<int32_t>(
+                                                pk)));
+                                    accBase[base +
+                                            static_cast<int32_t>(
+                                                pk >> 32)] +=
+                                        av * static_cast<double>(
+                                                 W.value[w]);
+                                }
+                            } else {
+                                for (size_t w = wi; w < wEnd; ++w) {
+                                    banks_.opRoute(
+                                        op, banks_.bankOfAddr(
+                                                base + wBank[w]));
+                                }
+                            }
+                        }
+                        const uint64_t opc = banks_.opFinish(op);
+                        cycles += opc;
+                        conflictStalls += opc - 1;
+                        ++mulOps;
+                    }
+                    continue;
+                }
+
                 for (size_t wi = 0; wi < nW; wi += F) {
                     const size_t wEnd = std::min(nW, wi + F);
-                    banks_.beginOp();
-                    st.products += (aEnd - ai) * (wEnd - wi);
-                    for (size_t a = ai; a < aEnd; ++a) {
-                        const int axp = A[a].x + padX;
-                        const int ayp = A[a].y + padY;
+                    AccumulatorBanks::OpState op = banks_.opBegin();
+                    products += nAv * (wEnd - wi);
+                    for (size_t i = 0; i < nAv; ++i) {
+                        const long base = aPos[i];
+                        double av = 0.0;
+                        if (Functional)
+                            av = aVal[i];
+                        if (aInterior[i]) {
+                            // Interior fast path: every product
+                            // lands.
+                            landed += wEnd - wi;
+                            for (size_t w = wi; w < wEnd; ++w) {
+                                if (Functional) {
+                                    const uint64_t pk = wPacked[w];
+                                    banks_.opRoute(
+                                        op,
+                                        banks_.bankOfAddr(
+                                            base +
+                                            static_cast<int32_t>(pk)));
+                                    accBase[base +
+                                            static_cast<int32_t>(
+                                                pk >> 32)] +=
+                                        av * static_cast<double>(
+                                                 W.value[w]);
+                                } else {
+                                    banks_.opRoute(
+                                        op, banks_.bankOfAddr(
+                                                base + wBank[w]));
+                                }
+                            }
+                            continue;
+                        }
+                        const int axq = aXq[i];
+                        const int ayq = aYq[i];
                         for (size_t w = wi; w < wEnd; ++w) {
-                            // Phases match, so the divisions are
-                            // exact.
-                            const int ox = (axp - W[w].r) / strideX;
-                            const int oy = (ayp - W[w].s) / strideY;
-                            if (ox < loX || ox >= hiX || oy < loY ||
-                                oy >= hiY) {
+                            // Operand coordinates are stored as
+                            // stride quotients and phases match, so
+                            // the output coordinate is one
+                            // subtraction for any stride.
+                            const int ox = axq - W.rq[w];
+                            const int oy = ayq - W.sq[w];
+                            if (static_cast<unsigned>(ox - loX) >=
+                                    winW ||
+                                static_cast<unsigned>(oy - loY) >=
+                                    winH) {
                                 continue; // edge product: slot burned
                             }
-                            ++st.landed;
-                            const int bank = banks_.bankOf(
-                                W[w].k - k0, ox - accRect_.x0,
-                                oy - accRect_.y0, accH);
-                            banks_.route(bank);
-                            if (accum) {
+                            ++landed;
+                            if (Functional) {
+                                const uint64_t pk = wPacked[w];
+                                banks_.opRoute(
+                                    op,
+                                    banks_.bankOfAddr(
+                                        base +
+                                        static_cast<int32_t>(pk)));
                                 // Landed coordinates always fall in
                                 // accRect (it covers the reachable
                                 // output footprint), so the private
                                 // buffer needs no bounds checks.
-                                accum->at(W[w].k - k0, ox, oy) +=
-                                    static_cast<double>(A[a].value) *
-                                    static_cast<double>(W[w].value);
+                                accBase[base + static_cast<int32_t>(
+                                                   pk >> 32)] +=
+                                    av *
+                                    static_cast<double>(W.value[w]);
+                            } else {
+                                banks_.opRoute(
+                                    op, banks_.bankOfAddr(
+                                            base + wBank[w]));
                             }
                         }
                     }
-                    const uint64_t opc = banks_.finishOp();
-                    st.cycles += opc;
-                    st.conflictStalls += opc - 1;
-                    ++st.mulOps;
+                    const uint64_t opc = banks_.opFinish(op);
+                    cycles += opc;
+                    conflictStalls += opc - 1;
+                    ++mulOps;
                 }
             }
         }
     }
+
+    st.cycles = cycles;
+    st.mulOps = mulOps;
+    st.products = products;
+    st.landed = landed;
+    st.actEntries = actEntries;
+    st.wtEntries = wtEntries;
+    st.conflictStalls = conflictStalls;
     return st;
+}
+
+PeGroupStats
+ProcessingElement::runGroup(const CompressedActTile &acts,
+                            const std::vector<CompressedWeightBlock>
+                                &wtBlocks,
+                            int k0, GroupAccum *accum)
+{
+    if (inTile_.empty() || accRect_.empty())
+        return PeGroupStats();
+
+    SCNN_ASSERT(wtBlocks.empty() ||
+                    wtBlocks.front().k0() == k0,
+                "weight blocks built for group k0=%d, runGroup got "
+                "k0=%d", wtBlocks.empty() ? -1 : wtBlocks.front().k0(),
+                k0);
+
+    banks_.reset();
+    return accum
+        ? (this->*kernelFunctional_)(acts, wtBlocks, accum)
+        : (this->*kernelStatsOnly_)(acts, wtBlocks, nullptr);
 }
 
 } // namespace scnn

@@ -15,6 +15,16 @@
  * Products whose output coordinate falls outside the output plane
  * (activation near the plane border paired with an out-of-range filter
  * tap) occupy a multiplier slot but are dropped before the crossbar.
+ *
+ * The F x I kernel is template-specialized on {functional, stats-only}
+ * x {stride-1 fast path, general stride} and the pair of variants is
+ * selected once at PE construction: the stride-1 path computes output
+ * coordinates with plain subtraction (no division), and the stats-only
+ * path compiles the functional accumulation out entirely (the cycle /
+ * product / stall counters do not depend on it).  Both consume the
+ * structure-of-arrays substreams of tensor/sparse_block.hh, whose
+ * coordinates are pre-biased (x + padX, k - k0) so the inner loop is
+ * branch-light streaming over flat arrays.
  */
 
 #ifndef SCNN_SCNN_PE_HH
@@ -97,12 +107,15 @@ class ProcessingElement
      *
      * @param acts     this PE's compressed input activations.
      * @param wtBlocks per-input-channel compressed weight blocks for
-     *                 this group (shared across PEs).
+     *                 this group (shared across PEs); their k0 must
+     *                 match the k0 argument.
      * @param k0       first output channel of the group.
      * @param accum    optional private functional accumulator for this
      *                 pass; must be reset() over this PE's accRect and
      *                 the group's channel count.  Landed products are
-     *                 added at (k - k0, ox, oy).
+     *                 added at (k - k0, ox, oy).  When null the
+     *                 stats-only kernel runs and no accumulator memory
+     *                 is touched.
      */
     PeGroupStats runGroup(const CompressedActTile &acts,
                           const std::vector<CompressedWeightBlock>
@@ -127,6 +140,22 @@ class ProcessingElement
     AccumulatorBanks &banks() { return banks_; }
 
   private:
+    /**
+     * @tparam FixedFI compile-time multiplier-array geometry F = I =
+     *         FixedFI (0 = use the configured pe.mulF / pe.mulI at
+     *         runtime).  The paper's F = I = 4 gets a dedicated
+     *         instantiation whose op loops fully unroll.
+     */
+    template <bool Functional, bool Stride1, int FixedFI>
+    PeGroupStats runGroupImpl(const CompressedActTile &acts,
+                              const std::vector<CompressedWeightBlock>
+                                  &wtBlocks,
+                              GroupAccum *accum);
+
+    using KernelFn = PeGroupStats (ProcessingElement::*)(
+        const CompressedActTile &,
+        const std::vector<CompressedWeightBlock> &, GroupAccum *);
+
     const AcceleratorConfig &cfg_;
     const ConvLayerParams &layer_;
     TileRect inTile_;
@@ -134,6 +163,8 @@ class ProcessingElement
     TileRect accRect_;
     long overlapArea_ = 0;
     AccumulatorBanks banks_;
+    KernelFn kernelFunctional_;  ///< selected once per layer
+    KernelFn kernelStatsOnly_;   ///< selected once per layer
 };
 
 } // namespace scnn

@@ -63,6 +63,14 @@ struct RunOptions
      * the batch); the cycle-level simulators are N = 1.
      */
     int batchN = 1;
+
+    /**
+     * Record per-stage wall time (compress / kernel / drain / encode)
+     * into the layer stats as profile_*_ms entries.  Off by default:
+     * the timer reads would otherwise sit on the hot path, and the
+     * extra stats keys would perturb stat-set comparisons.
+     */
+    bool profile = false;
 };
 
 /** Outcome of simulating one convolutional layer. */

@@ -1,12 +1,14 @@
 #include "scnn/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "nn/reference.hh"
+#include "scnn/kernel_scratch.hh"
 #include "scnn/pe.hh"
 #include "scnn/tiling.hh"
 
@@ -26,6 +28,8 @@ ceilDiv(uint64_t a, uint64_t b)
 /**
  * RLE storage accounting of a tensor region restricted to one PE's
  * output tile, encoded per channel in scan order (the OARAM form).
+ * Streams through the incremental counter: no dense scratch buffer
+ * and no per-channel RleStream allocation.
  */
 uint64_t
 storedElementsInTile(const Tensor3 &t, const TileRect &tile)
@@ -33,16 +37,48 @@ storedElementsInTile(const Tensor3 &t, const TileRect &tile)
     if (tile.empty())
         return 0;
     uint64_t total = 0;
-    std::vector<float> dense(static_cast<size_t>(tile.area()));
+    RleCounter rc;
     for (int c = 0; c < t.channels(); ++c) {
-        size_t i = 0;
+        rc.reset();
         for (int x = tile.x0; x < tile.x1; ++x)
             for (int y = tile.y0; y < tile.y1; ++y)
-                dense[i++] = t.get(c, x, y);
-        total += rleEncode(dense).storedElements();
+                rc.feed(t.get(c, x, y));
+        total += rc.stored;
     }
     return total;
 }
+
+/**
+ * Wall-clock accumulator for the four pipeline stages reported by
+ * --profile.  Inactive (no clock reads) unless RunOptions::profile.
+ */
+struct StageClock
+{
+    enum Stage { Compress = 0, Kernel, Drain, Encode, NumStages };
+
+    explicit StageClock(bool enabled) : on(enabled) {}
+
+    void
+    start()
+    {
+        if (on)
+            t0 = std::chrono::steady_clock::now();
+    }
+
+    void
+    stop(Stage s)
+    {
+        if (!on)
+            return;
+        const auto t1 = std::chrono::steady_clock::now();
+        ms[s] += std::chrono::duration<double, std::milli>(t1 - t0)
+                     .count();
+    }
+
+    bool on;
+    std::chrono::steady_clock::time_point t0;
+    double ms[NumStages] = {0.0, 0.0, 0.0, 0.0};
+};
 
 } // anonymous namespace
 
@@ -86,9 +122,14 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
     const int kc = chooseKc(layer, cfg_, maxAccArea);
     const int numGroups = static_cast<int>(ceilDiv(K, kc));
 
+    // All large reusable buffers live in the calling thread's scratch
+    // and survive across groups, layers and networks.
+    KernelScratch &scratch = KernelScratch::local();
+    StageClock clock(opts.profile);
+
     // --- compress each PE's input tile (parallel: slot-per-PE) ---
-    std::vector<std::unique_ptr<CompressedActTile>> tiles(
-        static_cast<size_t>(numPes));
+    clock.start();
+    scratch.tiles.resize(static_cast<size_t>(numPes));
     std::vector<std::unique_ptr<ProcessingElement>> pes(
         static_cast<size_t>(numPes));
     parallelFor(
@@ -107,34 +148,43 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
             const TileRect acc = cfg_.pe.inputHalos
                 ? out
                 : tiling.accumRect(pr, pc);
-            tiles[p] = std::make_unique<CompressedActTile>(
-                workload.input, in.x0, in.x1, in.y0, in.y1, geom);
+            scratch.tiles[p].rebuild(workload.input, in.x0, in.x1,
+                                     in.y0, in.y1, geom);
             pes[p] = std::make_unique<ProcessingElement>(
                 cfg_, layer, in, out, acc);
         },
         opts.threads);
+    clock.stop(StageClock::Compress);
     uint64_t inStoredTotal = 0;
     uint64_t maxInBitsPerPe = 0;
     for (int p = 0; p < numPes; ++p) {
-        inStoredTotal += tiles[p]->storedElements();
+        inStoredTotal += scratch.tiles[p].storedElements();
         maxInBitsPerPe =
-            std::max(maxInBitsPerPe, tiles[p]->storageBits());
+            std::max(maxInBitsPerPe, scratch.tiles[p].storageBits());
     }
 
-    // --- dense functional accumulator over the full output plane ---
-    std::vector<double> accum(static_cast<size_t>(K) * outW * outH,
-                              0.0);
-    // Per-(PE, group) private functional buffers: each PE accumulates
-    // its pass in isolation and the buffers are drained into `accum`
-    // serially in PE order, so output bits never depend on the thread
-    // count.
-    std::vector<GroupAccum> groupAccums(
-        opts.functional ? static_cast<size_t>(numPes) : 0);
+    // --- functional output and merge scratch ---
+    // In output-halo mode neighbouring accumulator rects overlap, so
+    // PE drains merge through a dense (kc, outW, outH) double plane
+    // per group.  In input-halo mode every accumulator rect is the
+    // PE's private output tile: drains are disjoint and go straight
+    // into the output tensor.
+    const bool functional = opts.functional;
+    const bool disjointDrain = cfg_.pe.inputHalos;
+    Tensor3 out = functional ? Tensor3(K, outW, outH) : Tensor3();
+    if (functional) {
+        scratch.groupAccums.resize(static_cast<size_t>(numPes));
+        if (!disjointDrain) {
+            scratch.groupPlane.resize(static_cast<size_t>(kc) * outW *
+                                      outH);
+        }
+    }
 
     // --- per-PE running state ---
-    std::vector<uint64_t> prevDrain(numPes, 0);
-    std::vector<uint64_t> peGroupTime(numPes, 0);
-    std::vector<uint64_t> busyCycles(numPes, 0);
+    scratch.prevDrain.assign(static_cast<size_t>(numPes), 0);
+    scratch.peGroupTime.assign(static_cast<size_t>(numPes), 0);
+    scratch.busyCycles.assign(static_cast<size_t>(numPes), 0);
+    scratch.groupStats.resize(static_cast<size_t>(numPes));
 
     uint64_t layerCycles = 0;
     uint64_t idleCycleSum = 0;
@@ -146,69 +196,83 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
     uint64_t ppuElemsTotal = 0;
     uint64_t conflictStallTotal = 0;
 
-    std::vector<CompressedWeightBlock> wtBlocks;
+    scratch.wtBlocks.resize(static_cast<size_t>(C));
     for (int g = 0; g < numGroups; ++g) {
         const int k0 = g * kc;
         const int k1 = std::min(K, k0 + kc);
         const int kcActual = k1 - k0;
 
         // Weight-block construction RLE-encodes a Kc x R x S volume
-        // per input channel; channels are independent, so build them
-        // in parallel and account serially in channel order.
-        std::vector<std::unique_ptr<CompressedWeightBlock>> built(
-            static_cast<size_t>(C));
+        // per input channel; channels are independent, so rebuild the
+        // per-channel blocks in place (slot-per-channel, capacity
+        // reused across groups) and account serially in channel
+        // order.
+        clock.start();
         parallelFor(
             static_cast<size_t>(C),
             [&](size_t c) {
-                built[c] = std::make_unique<CompressedWeightBlock>(
-                    workload.weights, k0, k1, static_cast<int>(c), C,
-                    layer.groups, geom);
+                scratch.wtBlocks[c].rebuild(workload.weights, k0, k1,
+                                            static_cast<int>(c), C,
+                                            layer.groups, geom);
             },
             opts.threads);
-        wtBlocks.clear();
-        wtBlocks.reserve(C);
+        clock.stop(StageClock::Compress);
         uint64_t wtBitsGroup = 0;
-        for (int c = 0; c < C; ++c) {
-            wtBitsGroup += built[c]->storedElements() * kRleElemBits;
-            wtBlocks.push_back(std::move(*built[c]));
-        }
+        for (int c = 0; c < C; ++c)
+            wtBitsGroup += scratch.wtBlocks[c].storedElements() *
+                           kRleElemBits;
         wtDramBits += wtBitsGroup;
 
         // The per-(PE, group) passes between the inter-PE barriers are
         // independent: run them across the pool, then merge stats and
         // functional partial sums deterministically in PE order.
-        std::vector<PeGroupStats> groupStats(
-            static_cast<size_t>(numPes));
+        clock.start();
         parallelFor(
             static_cast<size_t>(numPes),
             [&](size_t p) {
                 GroupAccum *ga = nullptr;
-                if (opts.functional) {
-                    ga = &groupAccums[p];
+                if (functional) {
+                    ga = &scratch.groupAccums[p];
                     ga->reset(pes[p]->accRect(), kcActual);
                 }
-                groupStats[p] =
-                    pes[p]->runGroup(*tiles[p], wtBlocks, k0, ga);
+                scratch.groupStats[p] = pes[p]->runGroup(
+                    scratch.tiles[p], scratch.wtBlocks, k0, ga);
             },
             opts.threads);
+        clock.stop(StageClock::Kernel);
 
+        clock.start();
+        if (functional && !disjointDrain) {
+            scratch.groupPlane.assign(
+                static_cast<size_t>(kcActual) * outW * outH, 0.0);
+        }
         uint64_t wallCompute = 0;
         for (int p = 0; p < numPes; ++p) {
-            const PeGroupStats &st = groupStats[p];
+            const PeGroupStats &st = scratch.groupStats[p];
 
-            if (opts.functional) {
-                const GroupAccum &ga = groupAccums[p];
+            if (functional) {
+                // Sparse per-tile drain: only non-zero partial sums
+                // leave the PE's private buffer, in PE order.
+                const GroupAccum &ga = scratch.groupAccums[p];
+                const double *src = ga.values.data();
                 for (int kl = 0; kl < ga.kc; ++kl) {
-                    const size_t k = static_cast<size_t>(k0 + kl);
-                    size_t src = static_cast<size_t>(kl) *
-                                 static_cast<size_t>(ga.rect.area());
                     for (int ox = ga.rect.x0; ox < ga.rect.x1; ++ox) {
                         for (int oy = ga.rect.y0; oy < ga.rect.y1;
                              ++oy, ++src) {
-                            const double v = ga.values[src];
-                            if (v != 0.0) {
-                                accum[(k * outW + ox) * outH + oy] +=
-                                    v;
+                            const double v = *src;
+                            if (v == 0.0)
+                                continue;
+                            if (disjointDrain) {
+                                float f = static_cast<float>(v);
+                                if (layer.applyRelu)
+                                    f = std::max(f, 0.0f);
+                                out.set(k0 + kl, ox, oy, f);
+                            } else {
+                                scratch.groupPlane
+                                    [(static_cast<size_t>(kl) * outW +
+                                      ox) *
+                                         outH +
+                                     oy] += v;
                             }
                         }
                     }
@@ -221,23 +285,41 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
             actFetchedEntries += st.actEntries;
             wtFetchedEntries += st.wtEntries;
             conflictStallTotal += st.conflictStalls;
-            busyCycles[p] += st.cycles;
+            scratch.busyCycles[p] += st.cycles;
 
             // Drain of the previous group's accumulator overlaps this
             // group's compute (double buffering, Section IV).
-            peGroupTime[p] = std::max(st.cycles, prevDrain[p]);
+            scratch.peGroupTime[p] =
+                std::max(st.cycles, scratch.prevDrain[p]);
 
             const uint64_t ownElems = static_cast<uint64_t>(kcActual) *
                                       pes[p]->overlapArea();
             const uint64_t haloElems = static_cast<uint64_t>(kcActual) *
                                        pes[p]->haloAreaPerChannel();
-            prevDrain[p] =
+            scratch.prevDrain[p] =
                 ceilDiv(ownElems, cfg_.ppuLanes) +
                 ceilDiv(haloElems, cfg_.haloLanes);
             haloElemsTotal += haloElems;
             ppuElemsTotal += ownElems;
-            wallCompute = std::max(wallCompute, peGroupTime[p]);
+            wallCompute = std::max(wallCompute, scratch.peGroupTime[p]);
         }
+
+        if (functional && !disjointDrain) {
+            // This group owns output channels [k0, k1) exclusively, so
+            // the merged plane is final: post-activate and store.
+            const double *src = scratch.groupPlane.data();
+            for (int kl = 0; kl < kcActual; ++kl) {
+                for (int ox = 0; ox < outW; ++ox) {
+                    for (int oy = 0; oy < outH; ++oy, ++src) {
+                        float f = static_cast<float>(*src);
+                        if (layer.applyRelu)
+                            f = std::max(f, 0.0f);
+                        out.set(k0 + kl, ox, oy, f);
+                    }
+                }
+            }
+        }
+        clock.stop(StageClock::Drain);
 
         // Weight broadcast for this group must stream from DRAM; the
         // group cannot complete faster than the broadcast.
@@ -248,52 +330,37 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
         layerCycles += wall;
         computeCyclesMax += wallCompute;
         for (int p = 0; p < numPes; ++p)
-            idleCycleSum += wall - peGroupTime[p];
+            idleCycleSum += wall - scratch.peGroupTime[p];
     }
 
     // Final drain of the last group is exposed.
     uint64_t finalDrain = 0;
     for (int p = 0; p < numPes; ++p)
-        finalDrain = std::max(finalDrain, prevDrain[p]);
+        finalDrain = std::max(finalDrain, scratch.prevDrain[p]);
     layerCycles += finalDrain;
     res.drainExposedCycles = finalDrain;
-
-    // --- functional output ---
-    Tensor3 out(K, outW, outH);
-    if (opts.functional) {
-        size_t i = 0;
-        for (int k = 0; k < K; ++k) {
-            for (int x = 0; x < outW; ++x) {
-                for (int y = 0; y < outH; ++y, ++i) {
-                    float v = static_cast<float>(accum[i]);
-                    if (layer.applyRelu)
-                        v = std::max(v, 0.0f);
-                    out.set(k, x, y, v);
-                }
-            }
-        }
-    }
 
     // --- OARAM occupancy and DRAM tiling decision ---
     // Capacity decisions use the measured density profile (see
     // RunOptions::outputDensityHint); the actually-produced
     // compressed size is reported in the stats.
+    clock.start();
     uint64_t outStoredActual = 0;
-    if (opts.functional) {
-        std::vector<uint64_t> perPeStored(
-            static_cast<size_t>(numPes), 0);
+    if (functional) {
+        scratch.perPeStored.assign(static_cast<size_t>(numPes), 0);
         parallelFor(
             static_cast<size_t>(numPes),
             [&](size_t p) {
                 const int pr = static_cast<int>(p) / cfg_.peCols;
                 const int pc = static_cast<int>(p) % cfg_.peCols;
-                perPeStored[p] = storedElementsInTile(
+                scratch.perPeStored[p] = storedElementsInTile(
                     out, tiling.outputTile(pr, pc));
             },
             opts.threads);
         for (int p = 0; p < numPes; ++p)
-            outStoredActual += perPeStored[static_cast<size_t>(p)];
+            outStoredActual += scratch.perPeStored[static_cast<size_t>(p)];
     }
+    clock.stop(StageClock::Encode);
 
     long maxOutTileArea = 0;
     for (int pr = 0; pr < cfg_.peRows; ++pr)
@@ -345,7 +412,7 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
     // --- utilization ---
     uint64_t busyTotal = 0;
     for (int p = 0; p < numPes; ++p)
-        busyTotal += busyCycles[p];
+        busyTotal += scratch.busyCycles[p];
     const double slotsBusy = static_cast<double>(busyTotal) *
                              cfg_.pe.mulF * cfg_.pe.mulI;
     res.multUtilBusy =
@@ -376,8 +443,8 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
                          static_cast<double>(haloElemsTotal);
     // IARAM streams are re-read once per output-channel group.
     uint64_t iaramBits = 0;
-    for (const auto &t : tiles)
-        iaramBits += t->storageBits();
+    for (int p = 0; p < numPes; ++p)
+        iaramBits += scratch.tiles[p].storageBits();
     ev.iaramReadBits =
         static_cast<double>(iaramBits) * static_cast<double>(numGroups);
     ev.wfifoReadBits =
@@ -411,8 +478,17 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
                   static_cast<double>(maxOutBitsPerPe));
     res.stats.set("final_drain_cycles", static_cast<double>(finalDrain));
     res.stats.set("idle_cycle_sum", static_cast<double>(idleCycleSum));
-    if (opts.functional)
+    if (functional)
         res.stats.set("output_density", res.output.density());
+    if (opts.profile) {
+        res.stats.set("profile_compress_ms",
+                      clock.ms[StageClock::Compress]);
+        res.stats.set("profile_kernel_ms",
+                      clock.ms[StageClock::Kernel]);
+        res.stats.set("profile_drain_ms", clock.ms[StageClock::Drain]);
+        res.stats.set("profile_encode_ms",
+                      clock.ms[StageClock::Encode]);
+    }
     return res;
 }
 
@@ -445,7 +521,8 @@ ScnnSimulator::runNetwork(const Network &net, uint64_t seed,
 
 NetworkResult
 ScnnSimulator::runNetworkChained(const Network &net, uint64_t seed,
-                                 int threads)
+                                 int threads, bool keepOutputs,
+                                 bool profile)
 {
     NetworkResult nr;
     nr.networkName = net.name() + "-chained";
@@ -482,12 +559,22 @@ ScnnSimulator::runNetworkChained(const Network &net, uint64_t seed,
         opts.outputDensityHint =
             (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
         opts.threads = pinned;
+        opts.profile = profile;
         LayerResult res = runLayer(w, opts);
 
-        act = res.output;
+        // Feed the output forward without deep-copying it: pooling
+        // reads it in place, and a caller that does not keep per-layer
+        // outputs lets the tensor move straight into the next stage.
         if (layer.poolWindow > 0) {
-            act = maxPool(act, layer.poolWindow, layer.poolStride,
-                          layer.poolPad, opts.threads);
+            act = maxPool(res.output, layer.poolWindow,
+                          layer.poolStride, layer.poolPad,
+                          opts.threads);
+            if (!keepOutputs)
+                res.output = Tensor3();
+        } else if (keepOutputs) {
+            act = res.output;
+        } else {
+            act = std::move(res.output);
         }
         res.stats.set("chained_input_density", w.input.density());
         nr.layers.push_back(std::move(res));

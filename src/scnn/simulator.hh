@@ -60,9 +60,20 @@ class ScnnSimulator
      * layer gates on Network::isSequential() and routes the DAG to
      * the dedicated runner instead).  Per-layer results carry an
      * "output_density" stat with the emergent density.
+     *
+     * @param keepOutputs retain each layer's functional output tensor
+     *        in its LayerResult.  When false the output is moved into
+     *        the next layer's input (or dropped after pooling)
+     *        instead of deep-copied -- callers that only read
+     *        stats/densities (the CLI, throughput benches) skip one
+     *        full-tensor copy per layer.
+     * @param profile record per-stage wall times (RunOptions::profile)
+     *        in every layer's stats.
      */
     NetworkResult runNetworkChained(const Network &net, uint64_t seed,
-                                    int threads = 0);
+                                    int threads = 0,
+                                    bool keepOutputs = true,
+                                    bool profile = false);
 
     const AcceleratorConfig &config() const { return cfg_; }
     const EnergyModel &energyModel() const { return energy_; }

@@ -89,6 +89,7 @@ profileNetworkRun(Simulator &backend, const Network &net,
             (i + 1 < layers.size()) ? layers[i + 1].inputDensity : 0.5;
         ro.functional = functional;
         ro.threads = pinned;
+        ro.profile = opts.profile;
         nr.layers.push_back(backend.simulateLayer(w, ro));
     }
     return nr;
@@ -106,7 +107,8 @@ scnnChainedRun(ScnnSimulator &sim, const Network &net,
 {
     const int pinned = resolveThreads(opts.threads);
     if (net.isSequential())
-        return sim.runNetworkChained(net, opts.seed, pinned);
+        return sim.runNetworkChained(net, opts.seed, pinned,
+                                     opts.keepOutputs, opts.profile);
     if (net.name() == "GoogLeNet")
         return runGoogLeNetChained(sim, opts.seed, pinned);
     throw SimulationError(strfmt(

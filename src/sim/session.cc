@@ -127,6 +127,8 @@ runSession(const SimulationRequest &request)
             opts.chained = true;
             opts.functional = specs[i].functional;
             opts.threads = resp.threads;
+            opts.keepOutputs = request.keepOutputs;
+            opts.profile = request.profile;
             try {
                 resp.runs[i].result =
                     sims[i]->simulateNetwork(request.network, opts);
@@ -178,6 +180,7 @@ runSession(const SimulationRequest &request)
                 ? layers[li + 1].inputDensity
                 : 0.5;
             base.threads = resp.threads;
+            base.profile = request.profile;
 
             std::vector<LayerResult> row(specs.size());
             // Two passes so an oracle spec can derive from its scnn

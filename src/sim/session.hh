@@ -69,6 +69,20 @@ struct SimulationRequest
 
     /** Restrict to the paper's evaluation scope. */
     bool evalOnly = true;
+
+    /**
+     * Chained runs only: keep each layer's functional output tensor
+     * in the response (NetworkRunOptions::keepOutputs).  Clients that
+     * only read stats pass false to skip a per-layer tensor copy.
+     */
+    bool keepOutputs = true;
+
+    /**
+     * Per-stage wall-time profiling (RunOptions::profile): layers of
+     * profiled runs carry profile_{compress,kernel,drain,encode}_ms
+     * stats.
+     */
+    bool profile = false;
 };
 
 /** Per-backend outcome of a session. */

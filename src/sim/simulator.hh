@@ -107,6 +107,17 @@ struct NetworkRunOptions
      * value.
      */
     int threads = 0;
+
+    /**
+     * Chained runs only: retain each layer's functional output tensor
+     * in its LayerResult.  Callers that read stats/densities only
+     * (the CLI, throughput benches) pass false to skip one
+     * full-tensor deep copy per layer.
+     */
+    bool keepOutputs = true;
+
+    /** Record per-stage wall times (RunOptions::profile) per layer. */
+    bool profile = false;
 };
 
 /**

@@ -62,6 +62,16 @@ rleEncode(FloatSpan dense, int maxRun)
     return out;
 }
 
+uint64_t
+rleStoredElements(FloatSpan dense, int maxRun)
+{
+    SCNN_ASSERT(maxRun >= 0 && maxRun <= 255, "bad maxRun %d", maxRun);
+    RleCounter rc(maxRun);
+    for (float v : dense)
+        rc.feed(v);
+    return rc.stored;
+}
+
 std::vector<float>
 rleDecode(const RleStream &stream, size_t n)
 {

@@ -90,6 +90,56 @@ struct RleStream
 RleStream rleEncode(FloatSpan dense, int maxRun = 15);
 
 /**
+ * Incremental stored-element counter: feed() the dense stream in scan
+ * order and read back exactly rleEncode(stream).storedElements(),
+ * without materializing the stream (no allocation).  The single
+ * source of truth for the counting rule is rleEncode(); the test
+ * suite pins the two against each other.
+ */
+struct RleCounter
+{
+    int maxRun = 15;
+    int run = 0;
+    uint64_t stored = 0;
+
+    RleCounter() = default;
+    explicit RleCounter(int maxRunIn) : maxRun(maxRunIn) {}
+
+    void
+    feed(float v)
+    {
+        if (v == 0.0f) {
+            if (run == maxRun) {
+                // Placeholder element: occupies a stored slot and
+                // resets the run counter (matches rleEncode).
+                ++stored;
+                run = 0;
+            } else {
+                ++run;
+            }
+        } else {
+            ++stored;
+            run = 0;
+        }
+    }
+
+    /** Trailing zeros need no storage; start the next substream. */
+    void
+    reset()
+    {
+        run = 0;
+        stored = 0;
+    }
+};
+
+/**
+ * Stored elements of a dense stream (non-zeros + placeholders)
+ * without building the RleStream; equals
+ * rleEncode(dense, maxRun).storedElements().
+ */
+uint64_t rleStoredElements(FloatSpan dense, int maxRun = 15);
+
+/**
  * Decode a stream back to dense form.
  *
  * @param stream the compressed block.

@@ -6,78 +6,148 @@
 
 namespace scnn {
 
-namespace {
-
-/**
- * RLE-account a scan-order substream: given the dense values of one
- * (channel, phase) substream, count stored elements (non-zeros plus
- * placeholders for zero runs longer than 15).
- */
-uint64_t
-accountStream(const std::vector<float> &dense)
-{
-    const RleStream s = rleEncode(dense);
-    return s.storedElements();
-}
-
-} // anonymous namespace
-
-CompressedActTile::CompressedActTile(const Tensor3 &acts, int x0, int x1,
-                                     int y0, int y1,
-                                     const ConvGeometry &geom)
-    : channels_(acts.channels()), phases_(geom.phases()),
-      x0_(x0), x1_(x1), y0_(y0), y1_(y1)
+void
+CompressedActTile::rebuild(const Tensor3 &acts, int x0, int x1, int y0,
+                           int y1, const ConvGeometry &geom)
 {
     SCNN_ASSERT(x0 >= 0 && x1 <= acts.width() && y0 >= 0 &&
                 y1 <= acts.height() && x0 <= x1 && y0 <= y1,
                 "bad tile rectangle [%d,%d)x[%d,%d)", x0, x1, y0, y1);
 
-    lists_.resize(static_cast<size_t>(channels_) * phases_);
-    stored_.assign(channels_, 0);
+    channels_ = acts.channels();
+    phases_ = geom.phases();
+    x0_ = x0;
+    x1_ = x1;
+    y0_ = y0;
+    y1_ = y1;
+    padX_ = geom.padX;
+    padY_ = geom.padY;
+    strideX_ = geom.strideX;
+    strideY_ = geom.strideY;
 
-    // Scratch dense substreams, one per phase, reused across channels.
-    std::vector<std::vector<float>> substream(phases_);
+    values_.clear();
+    xq_.clear();
+    yq_.clear();
+    offsets_.assign(static_cast<size_t>(channels_) * phases_ + 1, 0);
+    stored_.assign(static_cast<size_t>(channels_), 0);
+    nonZeros_ = 0;
+    storedTotal_ = 0;
+    denseElements_ = 0;
+
+    const uint64_t tileArea = static_cast<uint64_t>(x1 - x0) *
+                              static_cast<uint64_t>(y1 - y0);
+
+    if (phases_ == 1) {
+        // Stride 1: one substream per channel in plain scan order --
+        // stream straight into the flat SoA arrays.
+        RleCounter rc;
+        for (int c = 0; c < channels_; ++c) {
+            rc.reset();
+            for (int x = x0; x < x1; ++x) {
+                for (int y = y0; y < y1; ++y) {
+                    const float v = acts.get(c, x, y);
+                    rc.feed(v);
+                    if (v != 0.0f) {
+                        values_.push_back(v);
+                        // Stride 1: the quotient is the padded
+                        // coordinate itself.
+                        xq_.push_back(
+                            static_cast<int16_t>(x + padX_));
+                        yq_.push_back(
+                            static_cast<int16_t>(y + padY_));
+                    }
+                }
+            }
+            offsets_[static_cast<size_t>(c) + 1] =
+                static_cast<uint32_t>(values_.size());
+            stored_[c] = rc.stored;
+            storedTotal_ += rc.stored;
+            denseElements_ += tileArea;
+        }
+        nonZeros_ = values_.size();
+        return;
+    }
+
+    // Strided: substreams partition by phase.  Per channel, a first
+    // pass counts non-zeros per phase (and does the RLE accounting of
+    // each phase substream); a second pass scatters into the final
+    // SoA position via per-phase cursors.  No per-call scratch beyond
+    // these two phase-sized arrays.
+    std::vector<uint32_t> phaseCount(static_cast<size_t>(phases_));
+    std::vector<uint32_t> cursor(static_cast<size_t>(phases_));
+    std::vector<RleCounter> counters(static_cast<size_t>(phases_));
 
     for (int c = 0; c < channels_; ++c) {
-        for (auto &v : substream)
-            v.clear();
+        std::fill(phaseCount.begin(), phaseCount.end(), 0);
+        for (auto &rc : counters)
+            rc.reset();
         for (int x = x0; x < x1; ++x) {
             for (int y = y0; y < y1; ++y) {
                 const float v = acts.get(c, x, y);
                 const int phase = geom.actPhase(x, y);
-                substream[phase].push_back(v);
-                if (v != 0.0f) {
-                    lists_[static_cast<size_t>(c) * phases_ + phase]
-                        .push_back({v, static_cast<int16_t>(x),
-                                    static_cast<int16_t>(y)});
-                    ++nonZeros_;
-                }
+                counters[phase].feed(v);
+                if (v != 0.0f)
+                    ++phaseCount[phase];
             }
         }
+
+        const size_t base = static_cast<size_t>(c) * phases_;
+        uint32_t off = offsets_[base];
+        for (int p = 0; p < phases_; ++p) {
+            cursor[p] = off;
+            off += phaseCount[p];
+            offsets_[base + p + 1] = off;
+        }
+        values_.resize(off);
+        xq_.resize(off);
+        yq_.resize(off);
+
+        for (int x = x0; x < x1; ++x) {
+            for (int y = y0; y < y1; ++y) {
+                const float v = acts.get(c, x, y);
+                if (v == 0.0f)
+                    continue;
+                const int phase = geom.actPhase(x, y);
+                const uint32_t i = cursor[phase]++;
+                values_[i] = v;
+                xq_[i] = static_cast<int16_t>((x + padX_) / strideX_);
+                yq_[i] = static_cast<int16_t>((y + padY_) / strideY_);
+            }
+        }
+
         uint64_t stored = 0;
-        for (const auto &sub : substream)
-            stored += accountStream(sub);
+        for (const auto &rc : counters)
+            stored += rc.stored;
         stored_[c] = stored;
         storedTotal_ += stored;
-        denseElements_ += static_cast<uint64_t>(x1 - x0) *
-                          static_cast<uint64_t>(y1 - y0);
+        denseElements_ += tileArea;
     }
+    nonZeros_ = values_.size();
 }
 
-uint64_t
-CompressedActTile::channelNonZeros(int c) const
+std::vector<ActEntry>
+CompressedActTile::decodedEntries(int c, int phase) const
 {
-    uint64_t n = 0;
-    for (int p = 0; p < phases_; ++p)
-        n += entries(c, p).size();
-    return n;
+    const Span sp = span(c, phase);
+    // Phase encodes the stride remainders (see ConvGeometry::actPhase).
+    const int rhoX = phase / strideY_;
+    const int rhoY = phase % strideY_;
+    std::vector<ActEntry> out;
+    out.reserve(sp.count);
+    for (size_t i = 0; i < sp.count; ++i) {
+        out.push_back(
+            {sp.value[i],
+             static_cast<int16_t>(sp.xq[i] * strideX_ + rhoX - padX_),
+             static_cast<int16_t>(sp.yq[i] * strideY_ + rhoY -
+                                  padY_)});
+    }
+    return out;
 }
 
-CompressedWeightBlock::CompressedWeightBlock(const Tensor4 &weights,
-                                             int k0, int k1, int c,
-                                             int totalC, int convGroups,
-                                             const ConvGeometry &geom)
-    : phases_(geom.phases())
+void
+CompressedWeightBlock::rebuild(const Tensor4 &weights, int k0, int k1,
+                               int c, int totalC, int convGroups,
+                               const ConvGeometry &geom)
 {
     const int K = weights.k();
     const int cPerGroup = totalC / convGroups;
@@ -89,12 +159,25 @@ CompressedWeightBlock::CompressedWeightBlock(const Tensor4 &weights,
                 k0, k1);
     SCNN_ASSERT(c >= 0 && c < totalC, "bad channel %d", c);
 
-    lists_.resize(phases_);
+    phases_ = geom.phases();
+    k0_ = k0;
+    strideX_ = geom.strideX;
+    strideY_ = geom.strideY;
+    values_.clear();
+    kRel_.clear();
+    rq_.clear();
+    sq_.clear();
+    offsets_.assign(static_cast<size_t>(phases_) + 1, 0);
+    stored_ = 0;
+    nonZeros_ = 0;
+    denseElements_ = 0;
 
     const int myConvGroup = c / cPerGroup;
     const int cLocal = c % cPerGroup;
-
-    std::vector<std::vector<float>> substream(phases_);
+    // In-group output-channel range (structurally absent pairs store
+    // nothing and generate no work).
+    const int kLo = std::max(k0, myConvGroup * kPerGroup);
+    const int kHi = std::min(k1, (myConvGroup + 1) * kPerGroup);
 
     // Scan order is (r, s, k) with the output channel innermost: a
     // vector of F consecutive non-zero weights then spans F different
@@ -104,27 +187,95 @@ CompressedWeightBlock::CompressedWeightBlock(const Tensor4 &weights,
     // operation alias the same output element and serialize in the
     // accumulator banks -- the contention the paper's A = 2*F*I
     // banking is sized to avoid.)
+    if (phases_ == 1) {
+        RleCounter rc;
+        for (int r = 0; r < weights.r(); ++r) {
+            for (int s = 0; s < weights.s(); ++s) {
+                for (int k = kLo; k < kHi; ++k) {
+                    const float v = weights.get(k, cLocal, r, s);
+                    rc.feed(v);
+                    if (v != 0.0f) {
+                        values_.push_back(v);
+                        kRel_.push_back(static_cast<int16_t>(k - k0));
+                        // Stride 1: tap quotient == tap coordinate.
+                        rq_.push_back(static_cast<int16_t>(r));
+                        sq_.push_back(static_cast<int16_t>(s));
+                    }
+                    ++denseElements_;
+                }
+            }
+        }
+        offsets_[1] = static_cast<uint32_t>(values_.size());
+        stored_ = rc.stored;
+        nonZeros_ = values_.size();
+        return;
+    }
+
+    std::vector<uint32_t> phaseCount(static_cast<size_t>(phases_));
+    std::vector<uint32_t> cursor(static_cast<size_t>(phases_));
+    std::vector<RleCounter> counters(static_cast<size_t>(phases_));
+
     for (int r = 0; r < weights.r(); ++r) {
         for (int s = 0; s < weights.s(); ++s) {
             const int phase = geom.wtPhase(r, s);
-            for (int k = k0; k < k1; ++k) {
-                if (k / kPerGroup != myConvGroup)
-                    continue; // structurally absent: no storage
+            for (int k = kLo; k < kHi; ++k) {
                 const float v = weights.get(k, cLocal, r, s);
-                substream[phase].push_back(v);
-                if (v != 0.0f) {
-                    lists_[phase].push_back(
-                        {v, static_cast<int16_t>(k),
-                         static_cast<int16_t>(r),
-                         static_cast<int16_t>(s)});
-                    ++nonZeros_;
-                }
+                counters[phase].feed(v);
+                if (v != 0.0f)
+                    ++phaseCount[phase];
                 ++denseElements_;
             }
         }
     }
-    for (const auto &sub : substream)
-        stored_ += accountStream(sub);
+
+    uint32_t off = 0;
+    for (int p = 0; p < phases_; ++p) {
+        cursor[p] = off;
+        off += phaseCount[p];
+        offsets_[static_cast<size_t>(p) + 1] = off;
+    }
+    values_.resize(off);
+    kRel_.resize(off);
+    rq_.resize(off);
+    sq_.resize(off);
+
+    for (int r = 0; r < weights.r(); ++r) {
+        for (int s = 0; s < weights.s(); ++s) {
+            const int phase = geom.wtPhase(r, s);
+            for (int k = kLo; k < kHi; ++k) {
+                const float v = weights.get(k, cLocal, r, s);
+                if (v == 0.0f)
+                    continue;
+                const uint32_t i = cursor[phase]++;
+                values_[i] = v;
+                kRel_[i] = static_cast<int16_t>(k - k0);
+                rq_[i] = static_cast<int16_t>(r / strideX_);
+                sq_[i] = static_cast<int16_t>(s / strideY_);
+            }
+        }
+    }
+
+    for (const auto &rc : counters)
+        stored_ += rc.stored;
+    nonZeros_ = off;
+}
+
+std::vector<WtEntry>
+CompressedWeightBlock::decodedEntries(int phase) const
+{
+    const Span sp = span(phase);
+    // Phase encodes the stride remainders (see ConvGeometry::wtPhase).
+    const int rhoX = phase / strideY_;
+    const int rhoY = phase % strideY_;
+    std::vector<WtEntry> out;
+    out.reserve(sp.count);
+    for (size_t i = 0; i < sp.count; ++i) {
+        out.push_back(
+            {sp.value[i], static_cast<int16_t>(sp.kRel[i] + k0_),
+             static_cast<int16_t>(sp.rq[i] * strideX_ + rhoX),
+             static_cast<int16_t>(sp.sq[i] * strideY_ + rhoY)});
+    }
+    return out;
 }
 
 uint64_t
@@ -133,10 +284,8 @@ storedElementsPerChannel(const Tensor3 &acts)
     uint64_t total = 0;
     const size_t plane = static_cast<size_t>(acts.width()) *
                          static_cast<size_t>(acts.height());
-    for (int c = 0; c < acts.channels(); ++c) {
-        FloatSpan dense(acts.plane(c), plane);
-        total += rleEncode(dense).storedElements();
-    }
+    for (int c = 0; c < acts.channels(); ++c)
+        total += rleStoredElements(FloatSpan(acts.plane(c), plane));
     return total;
 }
 
@@ -144,16 +293,14 @@ uint64_t
 storedElementsPerFilter(const Tensor4 &weights)
 {
     uint64_t total = 0;
-    const size_t filter = static_cast<size_t>(weights.r()) *
-                          static_cast<size_t>(weights.s());
-    std::vector<float> dense(filter);
+    RleCounter rc;
     for (int k = 0; k < weights.k(); ++k) {
         for (int c = 0; c < weights.c(); ++c) {
-            size_t i = 0;
+            rc.reset();
             for (int r = 0; r < weights.r(); ++r)
                 for (int s = 0; s < weights.s(); ++s)
-                    dense[i++] = weights.get(k, c, r, s);
-            total += rleEncode(dense).storedElements();
+                    rc.feed(weights.get(k, c, r, s));
+            total += rc.stored;
         }
     }
     return total;

@@ -12,6 +12,21 @@
  * Kc x R x S subvolume.  Both carry exact RLE storage accounting (via
  * tensor/rle.hh) used for buffer occupancy and DRAM traffic.
  *
+ * Storage is structure-of-arrays: per (channel, phase) substream the
+ * values and coordinates live in separate flat arrays so the PE's
+ * F x I Cartesian-product kernel streams each operand field
+ * contiguously.  Coordinates are pre-biased for the kernel --
+ * activations carry the padded stride quotients ((x + padX) / strideX,
+ * (y + padY) / strideY), weights carry the tap quotients (r / strideX,
+ * s / strideY) and k relative to the group base k0 -- so the inner
+ * loop computes every output coordinate with one subtraction: within
+ * a phase the activation and tap coordinates share the same stride
+ * remainder, hence (x + padX - r) / strideX == (x + padX) / strideX -
+ * r / strideX exactly, with no per-product division, padding or
+ * group-offset arithmetic for *any* stride.  Both containers support
+ * rebuild() so a caller can reuse one object (and its heap capacity)
+ * across output-channel groups and layers.
+ *
  * Strided convolutions are handled by phase decomposition: the dense
  * output o(ox,oy) sums in(ox*sx + r - px, oy*sy + s - py), so an input
  * at x pairs with filter taps r satisfying (x + px) == r (mod sx).
@@ -75,32 +90,66 @@ struct WtEntry
 
 /**
  * Compressed activations of one PE's input tile: per channel, per
- * stride phase, the non-zero entries in (x, y) scan order with global
- * input coordinates, plus RLE storage accounting.
+ * stride phase, the non-zero entries in (x, y) scan order, stored as
+ * structure-of-arrays with pre-padded coordinates, plus RLE storage
+ * accounting.
  */
 class CompressedActTile
 {
   public:
+    /** SoA view of one (channel, phase) substream. */
+    struct Span
+    {
+        const float *value = nullptr;
+        const int16_t *xq = nullptr; ///< (x + padX) / strideX
+        const int16_t *yq = nullptr; ///< (y + padY) / strideY
+        size_t count = 0;
+
+        size_t size() const { return count; }
+        bool empty() const { return count == 0; }
+    };
+
+    CompressedActTile() = default;
+
     /**
      * @param acts  full input activation tensor.
      * @param x0,x1,y0,y1 the tile rectangle [x0,x1) x [y0,y1).
      * @param geom  convolution geometry (for phase decomposition).
      */
     CompressedActTile(const Tensor3 &acts, int x0, int x1, int y0,
-                      int y1, const ConvGeometry &geom);
+                      int y1, const ConvGeometry &geom)
+    {
+        rebuild(acts, x0, x1, y0, y1, geom);
+    }
+
+    /** Re-encode a tile in place, reusing the heap capacity. */
+    void rebuild(const Tensor3 &acts, int x0, int x1, int y0, int y1,
+                 const ConvGeometry &geom);
 
     int numChannels() const { return channels_; }
     int numPhases() const { return phases_; }
 
-    /** Non-zero entries for (channel, phase). */
-    const std::vector<ActEntry> &
-    entries(int c, int phase) const
+    /** SoA substream for (channel, phase). */
+    Span
+    span(int c, int phase) const
     {
-        return lists_[static_cast<size_t>(c) * phases_ + phase];
+        const size_t li = static_cast<size_t>(c) * phases_ + phase;
+        const uint32_t b = offsets_[li];
+        return {values_.data() + b, xq_.data() + b, yq_.data() + b,
+                offsets_[li + 1] - b};
     }
 
+    /** Decoded (unpadded) entries for (channel, phase); allocates --
+     *  for tests and tools, not the kernel path. */
+    std::vector<ActEntry> decodedEntries(int c, int phase) const;
+
     /** Total non-zeros in channel c (all phases). */
-    uint64_t channelNonZeros(int c) const;
+    uint64_t
+    channelNonZeros(int c) const
+    {
+        const size_t b = static_cast<size_t>(c) * phases_;
+        return offsets_[b + phases_] - offsets_[b];
+    }
 
     /** RLE stored elements (non-zeros + placeholders) in channel c. */
     uint64_t channelStoredElements(int c) const { return stored_[c]; }
@@ -122,10 +171,17 @@ class CompressedActTile
     int y1() const { return y1_; }
 
   private:
-    int channels_;
-    int phases_;
-    int x0_, x1_, y0_, y1_;
-    std::vector<std::vector<ActEntry>> lists_;
+    int channels_ = 0;
+    int phases_ = 1;
+    int x0_ = 0, x1_ = 0, y0_ = 0, y1_ = 0;
+    int padX_ = 0, padY_ = 0;
+    int strideX_ = 1, strideY_ = 1;
+    std::vector<float> values_;
+    std::vector<int16_t> xq_;
+    std::vector<int16_t> yq_;
+    /** Substream bounds: entry (c, p) is
+     *  [offsets_[c*phases+p], offsets_[c*phases+p+1]). */
+    std::vector<uint32_t> offsets_;
     std::vector<uint64_t> stored_;
     uint64_t nonZeros_ = 0;
     uint64_t storedTotal_ = 0;
@@ -134,8 +190,10 @@ class CompressedActTile
 
 /**
  * Compressed weights for one (output-channel group, input channel)
- * pair: non-zero entries over the Kc x R x S subvolume in (k, r, s)
- * scan order, partitioned by stride phase, with RLE accounting.
+ * pair: non-zero entries over the Kc x R x S subvolume in (r, s, k)
+ * scan order, partitioned by stride phase, stored as
+ * structure-of-arrays with k held relative to the group base k0, with
+ * RLE accounting.
  *
  * Grouped convolutions (AlexNet conv2/4/5) are honored: output channel
  * k connects to input channel c only within the same convolution
@@ -145,6 +203,21 @@ class CompressedActTile
 class CompressedWeightBlock
 {
   public:
+    /** SoA view of one phase substream. */
+    struct Span
+    {
+        const float *value = nullptr;
+        const int16_t *kRel = nullptr; ///< k - k0
+        const int16_t *rq = nullptr;   ///< r / strideX
+        const int16_t *sq = nullptr;   ///< s / strideY
+        size_t count = 0;
+
+        size_t size() const { return count; }
+        bool empty() const { return count == 0; }
+    };
+
+    CompressedWeightBlock() = default;
+
     /**
      * @param weights   layer weights, shape (K, C/groups, R, S).
      * @param k0,k1     output-channel range [k0, k1) of this group.
@@ -155,15 +228,31 @@ class CompressedWeightBlock
      */
     CompressedWeightBlock(const Tensor4 &weights, int k0, int k1, int c,
                           int totalC, int convGroups,
-                          const ConvGeometry &geom);
+                          const ConvGeometry &geom)
+    {
+        rebuild(weights, k0, k1, c, totalC, convGroups, geom);
+    }
+
+    /** Re-encode a group block in place, reusing the heap capacity --
+     *  the per-group hot path rebuilds one block per input channel
+     *  without touching the allocator. */
+    void rebuild(const Tensor4 &weights, int k0, int k1, int c,
+                 int totalC, int convGroups, const ConvGeometry &geom);
 
     int numPhases() const { return phases_; }
+    int k0() const { return k0_; }
 
-    const std::vector<WtEntry> &
-    entries(int phase) const
+    Span
+    span(int phase) const
     {
-        return lists_[phase];
+        const uint32_t b = offsets_[phase];
+        return {values_.data() + b, kRel_.data() + b, rq_.data() + b,
+                sq_.data() + b, offsets_[phase + 1] - b};
     }
+
+    /** Decoded entries (global k) for a phase; allocates -- for tests
+     *  and tools, not the kernel path. */
+    std::vector<WtEntry> decodedEntries(int phase) const;
 
     uint64_t nonZeros() const { return nonZeros_; }
     uint64_t storedElements() const { return stored_; }
@@ -176,8 +265,14 @@ class CompressedWeightBlock
     }
 
   private:
-    int phases_;
-    std::vector<std::vector<WtEntry>> lists_;
+    int phases_ = 1;
+    int k0_ = 0;
+    int strideX_ = 1, strideY_ = 1;
+    std::vector<float> values_;
+    std::vector<int16_t> kRel_;
+    std::vector<int16_t> rq_;
+    std::vector<int16_t> sq_;
+    std::vector<uint32_t> offsets_; ///< phases_ + 1 bounds
     uint64_t stored_ = 0;
     uint64_t nonZeros_ = 0;
     uint64_t denseElements_ = 0;

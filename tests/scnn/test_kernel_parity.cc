@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Kernel parity golden tests for the specialized SoA kernel layer.
+ *
+ * The PE's F x I Cartesian-product kernel was rebuilt from an AoS
+ * per-product loop (per-product landing-window branches, stride
+ * divisions, per-product bank-address multiplies) into template-
+ * specialized streaming kernels over structure-of-arrays substreams.
+ * These tests pin the refactor:
+ *
+ *  1. runGroup must be bit-identical -- every stat counter and every
+ *     functional partial sum -- to a reference implementation of the
+ *     pre-refactor loop, on PE tiles of AlexNet conv1..conv5 (conv1
+ *     exercises the general-stride path at stride 4, conv2/4/5 the
+ *     grouped-convolution weight blocks), in both halo modes.
+ *  2. The stats-only kernel must report exactly the same counters as
+ *     the functional kernel.
+ *  3. Full-layer LayerResults (cycles, products, landed, conflict
+ *     stalls, energy, functional outputs) must be bit-identical
+ *     across 1/2/8 worker threads in both halo modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "scnn/pe.hh"
+#include "scnn/simulator.hh"
+#include "scnn/tiling.hh"
+
+namespace scnn {
+namespace {
+
+/**
+ * The pre-refactor AoS kernel, kept verbatim as the golden reference:
+ * decoded coordinate entries, per-product landing-window branches,
+ * stride divisions, and per-product bank addressing through the
+ * scalar beginOp()/route()/finishOp() interface.
+ */
+PeGroupStats
+referenceRunGroup(const AcceleratorConfig &cfg,
+                  const ConvLayerParams &layer,
+                  const CompressedActTile &acts,
+                  const std::vector<CompressedWeightBlock> &wtBlocks,
+                  int k0, TileRect inTile, TileRect accRect,
+                  GroupAccum *accum)
+{
+    PeGroupStats st;
+    if (inTile.empty() || accRect.empty())
+        return st;
+
+    AccumulatorBanks banks(cfg.pe.accumBanks, 2 * cfg.pe.mulI,
+                           cfg.pe.xbarQueueDepth);
+    const size_t F = static_cast<size_t>(cfg.pe.mulF);
+    const size_t I = static_cast<size_t>(cfg.pe.mulI);
+    const int padX = layer.padX;
+    const int padY = layer.padY;
+    const int strideX = layer.strideX;
+    const int strideY = layer.strideY;
+    const int accH = accRect.height();
+    const int phases = layer.geometry().phases();
+
+    const int loX = cfg.pe.inputHalos ? accRect.x0 : 0;
+    const int hiX = cfg.pe.inputHalos ? accRect.x1 : layer.outWidth();
+    const int loY = cfg.pe.inputHalos ? accRect.y0 : 0;
+    const int hiY = cfg.pe.inputHalos ? accRect.y1 : layer.outHeight();
+
+    for (int c = 0; c < acts.numChannels(); ++c) {
+        for (int p = 0; p < phases; ++p) {
+            const std::vector<ActEntry> A = acts.decodedEntries(c, p);
+            const std::vector<WtEntry> W =
+                wtBlocks[static_cast<size_t>(c)].decodedEntries(p);
+            if (A.empty() || W.empty())
+                continue;
+
+            st.actEntries += A.size();
+
+            const size_t nA = A.size();
+            const size_t nW = W.size();
+            for (size_t ai = 0; ai < nA; ai += I) {
+                const size_t aEnd = std::min(nA, ai + I);
+                st.wtEntries += nW;
+                for (size_t wi = 0; wi < nW; wi += F) {
+                    const size_t wEnd = std::min(nW, wi + F);
+                    banks.beginOp();
+                    st.products += (aEnd - ai) * (wEnd - wi);
+                    for (size_t a = ai; a < aEnd; ++a) {
+                        const int axp = A[a].x + padX;
+                        const int ayp = A[a].y + padY;
+                        for (size_t w = wi; w < wEnd; ++w) {
+                            const int ox = (axp - W[w].r) / strideX;
+                            const int oy = (ayp - W[w].s) / strideY;
+                            if (ox < loX || ox >= hiX || oy < loY ||
+                                oy >= hiY) {
+                                continue;
+                            }
+                            ++st.landed;
+                            const int bank = banks.bankOf(
+                                W[w].k - k0, ox - accRect.x0,
+                                oy - accRect.y0, accH);
+                            banks.route(bank);
+                            if (accum) {
+                                accum->at(W[w].k - k0, ox, oy) +=
+                                    static_cast<double>(A[a].value) *
+                                    static_cast<double>(W[w].value);
+                            }
+                        }
+                    }
+                    const uint64_t opc = banks.finishOp();
+                    st.cycles += opc;
+                    st.conflictStalls += opc - 1;
+                    ++st.mulOps;
+                }
+            }
+        }
+    }
+    return st;
+}
+
+void
+expectStatsEqual(const PeGroupStats &a, const PeGroupStats &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.mulOps, b.mulOps) << what;
+    EXPECT_EQ(a.products, b.products) << what;
+    EXPECT_EQ(a.landed, b.landed) << what;
+    EXPECT_EQ(a.actEntries, b.actEntries) << what;
+    EXPECT_EQ(a.wtEntries, b.wtEntries) << what;
+    EXPECT_EQ(a.conflictStalls, b.conflictStalls) << what;
+}
+
+/** Kernel-level parity on one PE of one AlexNet layer. */
+void
+checkKernelParity(const ConvLayerParams &layer, bool inputHalos,
+                  int pr, int pc, int k0, int kc)
+{
+    AcceleratorConfig cfg = scnnConfig();
+    cfg.pe.inputHalos = inputHalos;
+
+    const LayerWorkload w = makeWorkload(layer, 20170624);
+    const ConvGeometry geom = layer.geometry();
+    SpatialTiling tiling(layer, cfg.peRows, cfg.peCols);
+
+    const TileRect out = tiling.outputTile(pr, pc);
+    const TileRect in = inputHalos ? tiling.inputHaloTile(pr, pc)
+                                   : tiling.inputTile(pr, pc);
+    const TileRect acc = inputHalos ? out : tiling.accumRect(pr, pc);
+
+    CompressedActTile tile(w.input, in.x0, in.x1, in.y0, in.y1, geom);
+    std::vector<CompressedWeightBlock> blocks;
+    blocks.reserve(static_cast<size_t>(layer.inChannels));
+    const int k1 = std::min(layer.outChannels, k0 + kc);
+    for (int c = 0; c < layer.inChannels; ++c)
+        blocks.emplace_back(w.weights, k0, k1, c, layer.inChannels,
+                            layer.groups, geom);
+
+    const std::string what = layer.name + (inputHalos ? "/ih" : "/oh") +
+                             "/pe(" + std::to_string(pr) + "," +
+                             std::to_string(pc) + ")/k0=" +
+                             std::to_string(k0);
+
+    ProcessingElement pe(cfg, layer, in, out, acc);
+    GroupAccum newAccum;
+    newAccum.reset(acc, k1 - k0);
+    const PeGroupStats got =
+        pe.runGroup(tile, blocks, k0, &newAccum);
+
+    GroupAccum refAccum;
+    refAccum.reset(acc, k1 - k0);
+    const PeGroupStats ref = referenceRunGroup(
+        cfg, layer, tile, blocks, k0, in, acc, &refAccum);
+
+    expectStatsEqual(ref, got, what);
+    ASSERT_EQ(refAccum.values.size(), newAccum.values.size()) << what;
+    for (size_t i = 0; i < refAccum.values.size(); ++i) {
+        ASSERT_EQ(refAccum.values[i], newAccum.values[i])
+            << what << " accum[" << i << "]";
+    }
+
+    // The stats-only kernel must count exactly what the functional
+    // kernel counts.
+    const PeGroupStats statsOnly = pe.runGroup(tile, blocks, k0,
+                                               nullptr);
+    expectStatsEqual(got, statsOnly, what + "/stats-only");
+}
+
+std::vector<ConvLayerParams>
+alexNetConvLayers()
+{
+    const Network net = alexNet();
+    return net.layers();
+}
+
+TEST(KernelParity, AlexNetLayersMatchPreRefactorKernel)
+{
+    for (const ConvLayerParams &layer : alexNetConvLayers()) {
+        for (const bool inputHalos : {false, true}) {
+            // An interior PE, a corner PE (landing-window edge
+            // cases), and a second channel group (k-relative
+            // offsets).
+            checkKernelParity(layer, inputHalos, 3, 4, 0, 16);
+            checkKernelParity(layer, inputHalos, 0, 0, 0, 16);
+            checkKernelParity(layer, inputHalos, 7, 7, 16, 16);
+        }
+    }
+}
+
+void
+expectLayerResultsBitIdentical(const LayerResult &a,
+                               const LayerResult &b,
+                               const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.computeCycles, b.computeCycles) << what;
+    EXPECT_EQ(a.drainExposedCycles, b.drainExposedCycles) << what;
+    EXPECT_EQ(a.mulArrayOps, b.mulArrayOps) << what;
+    EXPECT_EQ(a.products, b.products) << what;
+    EXPECT_EQ(a.landedProducts, b.landedProducts) << what;
+    EXPECT_EQ(a.stats.get("conflict_stall_cycles"),
+              b.stats.get("conflict_stall_cycles"))
+        << what;
+    EXPECT_EQ(a.energyPj, b.energyPj) << what;
+    EXPECT_EQ(a.dramWeightBits, b.dramWeightBits) << what;
+    EXPECT_EQ(a.dramActBits, b.dramActBits) << what;
+    EXPECT_EQ(a.stats.entries(), b.stats.entries()) << what;
+    ASSERT_EQ(a.output.channels(), b.output.channels()) << what;
+    if (a.output.channels() > 0)
+        EXPECT_EQ(maxAbsDiff(a.output, b.output), 0.0) << what;
+}
+
+TEST(KernelParity, AlexNetLayerResultsIdenticalAt1_2_8Threads)
+{
+    for (const ConvLayerParams &layer : alexNetConvLayers()) {
+        const LayerWorkload w = makeWorkload(layer, 20170624);
+        for (const bool inputHalos : {false, true}) {
+            AcceleratorConfig cfg = scnnConfig();
+            cfg.pe.inputHalos = inputHalos;
+            ScnnSimulator sim(cfg);
+
+            RunOptions base;
+            base.threads = 1;
+            const LayerResult serial = sim.runLayer(w, base);
+            for (int threads : {2, 8}) {
+                RunOptions opts;
+                opts.threads = threads;
+                expectLayerResultsBitIdentical(
+                    serial, sim.runLayer(w, opts),
+                    layer.name + (inputHalos ? "/ih" : "/oh") +
+                        "/threads=" + std::to_string(threads));
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace scnn

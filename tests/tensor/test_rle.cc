@@ -146,5 +146,38 @@ INSTANTIATE_TEST_SUITE_P(Densities, RleRoundTrip,
                          ::testing::Values(0.0, 0.01, 0.05, 0.1, 0.25,
                                            0.5, 0.75, 0.9, 1.0));
 
+TEST(RleCounter, MatchesEncoderStoredElements)
+{
+    // The incremental counter is the allocation-free twin of
+    // rleEncode's accounting; pin them against each other across
+    // densities and run lengths, including all-zero streams and the
+    // default 15-zero index limit.
+    Rng rng(99);
+    for (double density : {0.0, 0.01, 0.06, 0.3, 1.0}) {
+        for (size_t n : {size_t(0), size_t(1), size_t(17),
+                         size_t(1000)}) {
+            std::vector<float> dense(n, 0.0f);
+            for (auto &v : dense)
+                if (rng.bernoulli(density))
+                    v = static_cast<float>(rng.uniform(0.1, 1.0));
+
+            RleCounter rc;
+            for (float v : dense)
+                rc.feed(v);
+            EXPECT_EQ(rc.stored, rleEncode(dense).storedElements())
+                << "density=" << density << " n=" << n;
+            EXPECT_EQ(rleStoredElements(dense),
+                      rleEncode(dense).storedElements());
+        }
+    }
+
+    // Non-default maxRun.
+    std::vector<float> zeros(64, 0.0f);
+    RleCounter rc(7);
+    for (float v : zeros)
+        rc.feed(v);
+    EXPECT_EQ(rc.stored, rleEncode(zeros, 7).storedElements());
+}
+
 } // anonymous namespace
 } // namespace scnn

@@ -40,7 +40,7 @@ TEST(CompressedActTile, CollectsNonZerosWithCoords)
     EXPECT_EQ(tile.numChannels(), 2);
     EXPECT_EQ(tile.nonZeros(), 2u);
 
-    const auto &c0 = tile.entries(0, 0);
+    const auto &c0 = tile.decodedEntries(0, 0);
     ASSERT_EQ(c0.size(), 1u);
     EXPECT_EQ(c0[0].x, 1);
     EXPECT_EQ(c0[0].y, 2);
@@ -85,9 +85,9 @@ TEST(CompressedActTile, PhasePartitionCoversAll)
     uint64_t total = 0;
     for (int c = 0; c < 3; ++c)
         for (int p = 0; p < g.phases(); ++p) {
-            for (const auto &e : tile.entries(c, p))
+            for (const auto &e : tile.decodedEntries(c, p))
                 EXPECT_EQ(g.actPhase(e.x, e.y), p);
-            total += tile.entries(c, p).size();
+            total += tile.decodedEntries(c, p).size();
         }
     EXPECT_EQ(total, acts.nonZeros());
 }
@@ -102,7 +102,7 @@ TEST(CompressedWeightBlock, CollectsGroupRange)
     ConvGeometry g;
     CompressedWeightBlock block(w, 0, 2, 0, 2, 1, g);
     ASSERT_EQ(block.nonZeros(), 1u);
-    const auto &e = block.entries(0);
+    const auto &e = block.decodedEntries(0);
     EXPECT_EQ(e[0].k, 1);
     EXPECT_EQ(e[0].r, 0);
     EXPECT_EQ(e[0].s, 0);
@@ -114,7 +114,7 @@ TEST(CompressedWeightBlock, ScanOrderIsRSKWithChannelInnermost)
     Tensor4 w(2, 1, 2, 2, 1.0f); // all non-zero
     ConvGeometry g;
     CompressedWeightBlock block(w, 0, 2, 0, 1, 1, g);
-    const auto &e = block.entries(0);
+    const auto &e = block.decodedEntries(0);
     ASSERT_EQ(e.size(), 8u);
     // (r, s, k) lexicographic, k innermost: consecutive vector
     // entries span output channels so Cartesian-product outputs land
@@ -133,12 +133,12 @@ TEST(CompressedWeightBlock, GroupedConvSkipsUnconnected)
     CompressedWeightBlock lo(w, 0, 4, 0, 4, 2, g);
     // Channel 0 connects to k 0,1 only.
     EXPECT_EQ(lo.nonZeros(), 2u);
-    for (const auto &e : lo.entries(0))
+    for (const auto &e : lo.decodedEntries(0))
         EXPECT_LT(e.k, 2);
 
     CompressedWeightBlock hi(w, 0, 4, 3, 4, 2, g);
     EXPECT_EQ(hi.nonZeros(), 2u);
-    for (const auto &e : hi.entries(0))
+    for (const auto &e : hi.decodedEntries(0))
         EXPECT_GE(e.k, 2);
 
     // A group range fully outside the conv group stores nothing.
@@ -154,9 +154,9 @@ TEST(CompressedWeightBlock, PhasePartition)
     CompressedWeightBlock block(w, 0, 1, 0, 1, 1, g);
     uint64_t total = 0;
     for (int p = 0; p < 4; ++p) {
-        for (const auto &e : block.entries(p))
+        for (const auto &e : block.decodedEntries(p))
             EXPECT_EQ(g.wtPhase(e.r, e.s), p);
-        total += block.entries(p).size();
+        total += block.decodedEntries(p).size();
     }
     EXPECT_EQ(total, 16u);
 }

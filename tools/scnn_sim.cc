@@ -7,7 +7,8 @@
  *            [--arch=<registered backend>] [--list-backends]
  *            [--grid=RxC] [--fixed-accum] [--input-halos]
  *            [--density=W,A] [--seed=N] [--chained] [--all-layers]
- *            [--threads=N] [--json[=path]]
+ *            [--threads=N] [--json[=path]] [--profile]
+ *            [--no-functional]
  *
  * Backends are looked up by name in the BackendRegistry (scnn, dcnn,
  * dcnn-opt, oracle, timeloop, plus anything registered by
@@ -22,6 +23,12 @@
  * --threads=N (or the SCNN_THREADS environment variable) sets the
  * worker-thread count for the simulators' parallel sections; results
  * are bit-identical for every value.
+ *
+ * --profile prints a per-stage wall-time breakdown of the simulation
+ * pipeline (compress / kernel / drain / encode) after the result
+ * table.  --no-functional requests the stats-only kernels: timing,
+ * work and energy stats are unchanged but no functional output is
+ * computed (fastest way to sweep performance numbers).
  */
 
 #include <cstdio>
@@ -51,6 +58,8 @@ struct Options
     bool inputHalos = false;
     bool chained = false;
     bool evalOnly = true;
+    bool profile = false;
+    bool noFunctional = false;
     bool json = false;
     std::string jsonPath; // empty: JSON to stdout
     double weightDensity = -1.0; // <0: use profile
@@ -81,7 +90,8 @@ usage(const char *argv0)
                  "[--input-halos]\n"
                  "          [--density=W,A] [--seed=N] [--chained]\n"
                  "          [--all-layers] [--threads=N] "
-                 "[--json[=path]]\n",
+                 "[--json[=path]]\n"
+                 "          [--profile] [--no-functional]\n",
                  argv0, backendList().c_str());
     std::exit(2);
 }
@@ -134,9 +144,18 @@ parse(int argc, char **argv)
             o.chained = true;
         } else if (std::strcmp(argv[i], "--all-layers") == 0) {
             o.evalOnly = false;
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            o.profile = true;
+        } else if (std::strcmp(argv[i], "--no-functional") == 0) {
+            o.noFunctional = true;
         } else {
             usage(argv[0]);
         }
+    }
+    if (o.noFunctional && o.chained) {
+        fatal("--no-functional cannot be combined with --chained: "
+              "chained execution feeds each layer's functional output "
+              "into the next layer");
     }
     return o;
 }
@@ -225,10 +244,17 @@ main(int argc, char **argv)
     req.seed = o.seed;
     req.chained = o.chained;
     req.evalOnly = o.evalOnly;
+    req.profile = o.profile;
+    // The CLI only reads stats and densities from chained runs; let
+    // each layer's output move into the next stage instead of being
+    // deep-copied into the response.
+    req.keepOutputs = false;
     try {
         BackendSpec spec;
         spec.backend = o.arch;
         spec.config = pickConfig(o);
+        if (o.noFunctional)
+            spec.functional = 0;
         req.backends.push_back(std::move(spec));
     } catch (const SimulationError &e) {
         fatal("%s", e.what());
@@ -245,6 +271,29 @@ main(int argc, char **argv)
         fatal("%s", run.error.c_str());
 
     printResult(run.result, cfg);
+    if (o.profile) {
+        Table t("profile_" + run.result.networkName,
+                {"Layer", "Compress (ms)", "Kernel (ms)", "Drain (ms)",
+                 "Encode (ms)"});
+        double total[4] = {0.0, 0.0, 0.0, 0.0};
+        static const char *keys[4] = {
+            "profile_compress_ms", "profile_kernel_ms",
+            "profile_drain_ms", "profile_encode_ms"};
+        for (const auto &l : run.result.layers) {
+            std::vector<std::string> row = {l.layerName};
+            for (int s = 0; s < 4; ++s) {
+                const double ms = l.stats.getOr(keys[s], 0.0);
+                total[s] += ms;
+                row.push_back(Table::num(ms, 2));
+            }
+            t.addRow(row);
+        }
+        t.addRow({"total", Table::num(total[0], 2),
+                  Table::num(total[1], 2), Table::num(total[2], 2),
+                  Table::num(total[3], 2)});
+        std::printf("\n");
+        t.print();
+    }
     if (o.chained) {
         std::printf("\nemergent output densities:");
         for (const auto &l : run.result.layers)
