@@ -22,9 +22,18 @@
  * outputs disabled (RunOptions::functional = false): the stats-only
  * kernels produce identical timing/energy numbers without touching an
  * accumulator, which is the fast path for pure performance sweeps.
- * With --repeat=N the best (minimum) wall time of N runs is reported.
+ *
+ * With --repeat=N every (network, backend, threads) cell is timed N
+ * times and the repeats are *interleaved* across cells -- the sweep
+ * runs as N full rounds -- so slow machine-level drift (thermal
+ * throttling, a background process) biases every cell equally
+ * instead of whichever cell happened to run last.  The headline
+ * wall_ms is the median of the N samples; the minimum is reported
+ * alongside (schema scnn.sim_throughput.v2) and tools/bench_diff.py
+ * compares two such files with a tolerance.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +44,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "common/table.hh"
 #include "nn/model_zoo.hh"
 #include "sim/registry.hh"
@@ -139,7 +149,9 @@ struct Measurement
     std::string network;
     std::string backend;
     int threads = 0;
-    double wallMs = 0.0;
+    double wallMs = 0.0;    ///< median of the per-round samples
+    double wallMsMin = 0.0; ///< fastest round
+    std::vector<double> samples;
     uint64_t layers = 0;
     uint64_t products = 0;
     uint64_t cycles = 0;
@@ -160,15 +172,11 @@ struct Measurement
     }
 };
 
-Measurement
-measure(const Network &net, const std::string &backend, int threads,
-        const Options &o)
+/** Time one full runSession pass of a cell; record the sample. */
+void
+measureOnce(const Network &net, const std::string &backend,
+            int threads, const Options &o, Measurement &m)
 {
-    Measurement m;
-    m.network = net.name();
-    m.backend = backend;
-    m.threads = threads;
-
     SimulationRequest req;
     req.network = net;
     req.seed = o.seed;
@@ -181,25 +189,28 @@ measure(const Network &net, const std::string &backend, int threads,
         spec.functional = 0;
     req.backends.push_back(std::move(spec));
 
-    double bestMs = -1.0;
-    for (int rep = 0; rep < o.repeat; ++rep) {
-        const auto t0 = std::chrono::steady_clock::now();
-        const SimulationResponse resp = runSession(req);
-        const auto t1 = std::chrono::steady_clock::now();
-        const BackendRun &run = resp.runs.front();
-        if (!run.ok)
-            fatal("backend '%s' failed: %s", backend.c_str(),
-                  run.error.c_str());
-        const double ms =
-            std::chrono::duration<double, std::milli>(t1 - t0).count();
-        if (bestMs < 0.0 || ms < bestMs)
-            bestMs = ms;
-        m.layers = run.result.layers.size();
-        m.products = run.result.totalProducts();
-        m.cycles = run.result.totalCycles();
-    }
-    m.wallMs = bestMs;
-    return m;
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimulationResponse resp = runSession(req);
+    const auto t1 = std::chrono::steady_clock::now();
+    const BackendRun &run = resp.runs.front();
+    if (!run.ok)
+        fatal("backend '%s' failed: %s", backend.c_str(),
+              run.error.c_str());
+    m.samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    m.layers = run.result.layers.size();
+    m.products = run.result.totalProducts();
+    m.cycles = run.result.totalCycles();
+}
+
+/** Median of the collected samples (mean of the middle pair). */
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2]
+                      : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
 } // namespace
@@ -210,31 +221,52 @@ main(int argc, char **argv)
     argc = consumeThreadsFlag(argc, argv);
     const Options o = parse(argc, argv);
 
+    // One Measurement per sweep cell, then `repeat` interleaved
+    // rounds over all cells.
     std::vector<Measurement> results;
-    Table t("sim_throughput",
-            {"Network", "Backend", "Threads", "Wall (ms)", "Layers/s",
-             "Products/s"});
-    for (const auto &netName : o.networks) {
-        const Network net = pickNetwork(netName);
+    std::vector<Network> nets;
+    for (const auto &netName : o.networks)
+        nets.push_back(pickNetwork(netName));
+    for (size_t ni = 0; ni < nets.size(); ++ni) {
         for (const auto &backend : o.backends) {
             for (int threads : o.threadsList) {
-                const Measurement m = measure(net, backend, threads, o);
-                t.addRow({m.network, m.backend,
-                          std::to_string(m.threads),
-                          Table::num(m.wallMs, 1),
-                          Table::num(m.layersPerSec(), 1),
-                          Table::num(m.productsPerSec(), 0)});
-                results.push_back(m);
+                Measurement m;
+                m.network = nets[ni].name();
+                m.backend = backend;
+                m.threads = threads;
+                results.push_back(std::move(m));
             }
         }
+    }
+    for (int rep = 0; rep < o.repeat; ++rep) {
+        size_t cell = 0;
+        for (size_t ni = 0; ni < nets.size(); ++ni)
+            for (const auto &backend : o.backends)
+                for (int threads : o.threadsList)
+                    measureOnce(nets[ni], backend, threads, o,
+                                results[cell++]);
+    }
+
+    Table t("sim_throughput",
+            {"Network", "Backend", "Threads", "Wall med (ms)",
+             "Wall min (ms)", "Layers/s", "Products/s"});
+    for (auto &m : results) {
+        m.wallMs = median(m.samples);
+        m.wallMsMin =
+            *std::min_element(m.samples.begin(), m.samples.end());
+        t.addRow({m.network, m.backend, std::to_string(m.threads),
+                  Table::num(m.wallMs, 1), Table::num(m.wallMsMin, 1),
+                  Table::num(m.layersPerSec(), 1),
+                  Table::num(m.productsPerSec(), 0)});
     }
     t.print();
 
     JsonWriter w;
     w.beginObject();
-    w.key("schema").value("scnn.sim_throughput.v1");
+    w.key("schema").value("scnn.sim_throughput.v2");
     w.key("seed").value(o.seed);
     w.key("repeat").value(o.repeat);
+    w.key("simd").value(simd::activeDescription());
     w.key("results").beginArray();
     for (const auto &m : results) {
         w.beginObject();
@@ -242,6 +274,7 @@ main(int argc, char **argv)
         w.key("backend").value(m.backend);
         w.key("threads").value(m.threads);
         w.key("wall_ms").value(m.wallMs);
+        w.key("wall_ms_min").value(m.wallMsMin);
         w.key("layers").value(m.layers);
         w.key("layers_per_sec").value(m.layersPerSec());
         w.key("products").value(m.products);

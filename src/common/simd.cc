@@ -1,0 +1,76 @@
+#include "common/simd.hh"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace scnn {
+namespace simd {
+
+namespace {
+
+std::atomic<Mode> gMode{Mode::Native};
+
+Mode
+modeFromEnv()
+{
+    const char *env = std::getenv("SCNN_SIMD");
+    if (env == nullptr || *env == '\0')
+        return Mode::Native;
+    if (std::strcmp(env, "native") == 0)
+        return Mode::Native;
+    if (std::strcmp(env, "scalar") == 0)
+        return Mode::Scalar;
+    fatal("SCNN_SIMD='%s' is not a valid mode (scalar|native)", env);
+}
+
+std::atomic<bool> gInitialized{false};
+
+} // anonymous namespace
+
+Mode
+mode()
+{
+    if (!gInitialized.load(std::memory_order_acquire)) {
+        gMode.store(modeFromEnv(), std::memory_order_relaxed);
+        gInitialized.store(true, std::memory_order_release);
+    }
+    return gMode.load(std::memory_order_relaxed);
+}
+
+void
+setMode(Mode m)
+{
+    gInitialized.store(true, std::memory_order_release);
+    gMode.store(m, std::memory_order_relaxed);
+}
+
+const char *
+tierName()
+{
+    return kTierName;
+}
+
+const char *
+activeDescription()
+{
+    static std::string desc = [] {
+        std::string s = kTierName;
+        s += " (";
+        s += std::to_string(kFloatLanes);
+        s += kFloatLanes == 1 ? " float lane" : " float lanes";
+        s += ")";
+        return s;
+    }();
+    static std::string descScalar = desc + ", forced scalar kernels";
+    static std::string descNative = desc + ", native kernels";
+    if (!kKernelVectorized)
+        return desc.c_str();
+    return mode() == Mode::Scalar ? descScalar.c_str()
+                                  : descNative.c_str();
+}
+
+} // namespace simd
+} // namespace scnn

@@ -1,0 +1,899 @@
+/**
+ * @file
+ * Portable SIMD lane layer for the SoA kernel stack.
+ *
+ * One ISA tier is picked at build time from what the compiler is
+ * allowed to emit (see SCNN_SIMD_ARCH in CMakeLists.txt):
+ *
+ *   tier      float lanes  double lanes  int32 lanes
+ *   avx512         16            8            16
+ *   avx2            8            4             8
+ *   neon            4            2             4
+ *   scalar          1            1             1
+ *
+ * `Vec<T>` (T = float, double, int32_t) wraps one native register of
+ * that tier with load/store/broadcast/arithmetic plus the sparse-
+ * kernel specials: zero-lane masks, compress-store, 64-bit gather/
+ * scatter addressed by int32 lanes, conflict detection and lane
+ * popcounts.  Capabilities that only exist on some tiers (gather,
+ * scatter, conflict detection) are exposed as constexpr flags so
+ * kernels can `if constexpr` their way to the widest scheme the build
+ * supports; everything else has a correct scalar-loop fallback, so
+ * code written against the layer compiles on every tier.
+ *
+ * Runtime override: SCNN_SIMD=scalar|native (default native) selects
+ * between the vectorized kernels and their scalar twins at kernel-
+ * dispatch time.  The override exists for parity testing -- both paths
+ * are required to produce bit-identical functional results and stats
+ * -- and as an escape hatch; it does not change the compiled tier.
+ *
+ * Masks are plain uint32_t with one bit per lane (bit i = lane i),
+ * so mask plumbing is identical on every tier.
+ */
+
+#ifndef SCNN_COMMON_SIMD_HH
+#define SCNN_COMMON_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#if defined(__AVX512F__) && defined(__AVX512CD__) && \
+    defined(__AVX512VL__) && defined(__AVX512BW__) && \
+    defined(__AVX512DQ__)
+#define SCNN_SIMD_AVX512 1
+#include <immintrin.h>
+#elif defined(__AVX2__)
+#define SCNN_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#define SCNN_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define SCNN_SIMD_SCALAR 1
+#endif
+
+namespace scnn {
+namespace simd {
+
+// ---------------------------------------------------------------- tier
+
+#if defined(SCNN_SIMD_AVX512)
+constexpr int kFloatLanes = 16;
+constexpr int kDoubleLanes = 8;
+constexpr int kInt32Lanes = 16;
+constexpr bool kHasGather = true;
+constexpr bool kHasScatter = true;
+constexpr bool kHasConflict = true;
+constexpr bool kHasCompress = true;
+constexpr const char *kTierName = "avx512";
+#elif defined(SCNN_SIMD_AVX2)
+constexpr int kFloatLanes = 8;
+constexpr int kDoubleLanes = 4;
+constexpr int kInt32Lanes = 8;
+constexpr bool kHasGather = true;
+constexpr bool kHasScatter = false;
+constexpr bool kHasConflict = false;
+constexpr bool kHasCompress = false;
+constexpr const char *kTierName = "avx2";
+#elif defined(SCNN_SIMD_NEON)
+constexpr int kFloatLanes = 4;
+constexpr int kDoubleLanes = 2;
+constexpr int kInt32Lanes = 4;
+constexpr bool kHasGather = false;
+constexpr bool kHasScatter = false;
+constexpr bool kHasConflict = false;
+constexpr bool kHasCompress = false;
+constexpr const char *kTierName = "neon";
+#else
+constexpr int kFloatLanes = 1;
+constexpr int kDoubleLanes = 1;
+constexpr int kInt32Lanes = 1;
+constexpr bool kHasGather = false;
+constexpr bool kHasScatter = false;
+constexpr bool kHasConflict = false;
+constexpr bool kHasCompress = false;
+constexpr const char *kTierName = "scalar";
+#endif
+
+/** True when the build tier has lanes at all (not the scalar tier). */
+constexpr bool kVectorBuild = kFloatLanes > 1;
+
+/**
+ * True when the PE Cartesian-product kernels have a vector scheme on
+ * this tier.  The scheme needs hardware gather + scatter + conflict
+ * detection (AVX-512); AVX2/NEON/scalar builds run the scalar PE
+ * kernels regardless of SCNN_SIMD while still vectorizing the RLE,
+ * compress and drain scans through Vec<T>.
+ */
+constexpr bool kKernelVectorized =
+    kHasGather && kHasScatter && kHasConflict;
+
+/** One bit per lane, bit i = lane i. */
+using LaneMask = uint32_t;
+
+constexpr LaneMask
+maskN(int n)
+{
+    return n >= 32 ? ~LaneMask(0) : ((LaneMask(1) << n) - 1);
+}
+
+// ------------------------------------------------------- runtime mode
+
+enum class Mode { Scalar, Native };
+
+/**
+ * Active kernel-dispatch mode: Native unless SCNN_SIMD=scalar (read
+ * once at first use).  SCNN_SIMD=native is accepted and explicit;
+ * anything else is fatal so CI legs cannot silently fall through.
+ */
+Mode mode();
+
+/** Override the mode (parity tests alternate per case). */
+void setMode(Mode m);
+
+/** Build-tier name, e.g. "avx512". */
+const char *tierName();
+
+/**
+ * Human-readable description of the active kernel configuration,
+ * e.g. "avx512 (16 float lanes, native)" or "avx512, forced scalar".
+ */
+const char *activeDescription();
+
+// ----------------------------------------------------- aligned vector
+
+/**
+ * Minimal 64-byte-aligning allocator: SoA kernel buffers allocated
+ * through it start on a cache-line boundary, so full-width vector
+ * loads never split a line.  Value-equal to std::allocator for
+ * container semantics (rebinding, equality).
+ */
+template <typename T, size_t Align = 64>
+struct AlignedAllocator
+{
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &)
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *
+    allocate(size_t n)
+    {
+        if (n == 0)
+            return nullptr;
+        void *p = ::operator new(n * sizeof(T),
+                                 std::align_val_t(Align));
+        return static_cast<T *>(p);
+    }
+
+    void
+    deallocate(T *p, size_t)
+    {
+        ::operator delete(p, std::align_val_t(Align));
+    }
+
+    bool operator==(const AlignedAllocator &) const { return true; }
+    bool operator!=(const AlignedAllocator &) const { return false; }
+};
+
+/** 64-byte-aligned std::vector: drop-in for kernel SoA buffers. */
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+// ------------------------------------------------------------- Vec<T>
+
+template <typename T>
+struct Vec;
+
+#if defined(SCNN_SIMD_AVX512)
+
+template <>
+struct Vec<float>
+{
+    static constexpr int kLanes = 16;
+    __m512 v;
+
+    static Vec loadu(const float *p) { return {_mm512_loadu_ps(p)}; }
+    static Vec load(const float *p) { return {_mm512_load_ps(p)}; }
+    static Vec broadcast(float x) { return {_mm512_set1_ps(x)}; }
+    static Vec zero() { return {_mm512_setzero_ps()}; }
+    void storeu(float *p) const { _mm512_storeu_ps(p, v); }
+    void store(float *p) const { _mm512_store_ps(p, v); }
+
+    friend Vec operator+(Vec a, Vec b)
+    {
+        return {_mm512_add_ps(a.v, b.v)};
+    }
+    friend Vec operator*(Vec a, Vec b)
+    {
+        return {_mm512_mul_ps(a.v, b.v)};
+    }
+};
+
+/** Fused multiply-add a*b + c (one rounding). */
+inline Vec<float>
+fma(Vec<float> a, Vec<float> b, Vec<float> c)
+{
+    return {_mm512_fmadd_ps(a.v, b.v, c.v)};
+}
+
+/** Lanes equal to +/-0.0f. */
+inline LaneMask
+zeroMask(Vec<float> a)
+{
+    return _mm512_cmp_ps_mask(a.v, _mm512_setzero_ps(), _CMP_EQ_OQ);
+}
+
+/** Lanes strictly less than 0.0f (matches scalar `f < 0.0f`). */
+inline LaneMask
+ltZeroMask(Vec<float> a)
+{
+    return _mm512_cmp_ps_mask(a.v, _mm512_setzero_ps(), _CMP_LT_OQ);
+}
+
+/** Per-lane select: mask bit set -> b, clear -> a. */
+inline Vec<float>
+select(Vec<float> a, Vec<float> b, LaneMask m)
+{
+    return {_mm512_mask_mov_ps(a.v, static_cast<__mmask16>(m), b.v)};
+}
+
+/**
+ * Store the lanes selected by m contiguously at p; @return the number
+ * of lanes stored.
+ */
+inline int
+compressStore(float *p, Vec<float> a, LaneMask m)
+{
+    _mm512_mask_compressstoreu_ps(p, static_cast<__mmask16>(m), a.v);
+    return __builtin_popcount(m);
+}
+
+template <>
+struct Vec<double>
+{
+    static constexpr int kLanes = 8;
+    __m512d v;
+
+    static Vec loadu(const double *p) { return {_mm512_loadu_pd(p)}; }
+    static Vec load(const double *p) { return {_mm512_load_pd(p)}; }
+    static Vec broadcast(double x) { return {_mm512_set1_pd(x)}; }
+    static Vec zero() { return {_mm512_setzero_pd()}; }
+    void storeu(double *p) const { _mm512_storeu_pd(p, v); }
+    void store(double *p) const { _mm512_store_pd(p, v); }
+
+    friend Vec operator+(Vec a, Vec b)
+    {
+        return {_mm512_add_pd(a.v, b.v)};
+    }
+    friend Vec operator*(Vec a, Vec b)
+    {
+        return {_mm512_mul_pd(a.v, b.v)};
+    }
+};
+
+inline Vec<double>
+fma(Vec<double> a, Vec<double> b, Vec<double> c)
+{
+    return {_mm512_fmadd_pd(a.v, b.v, c.v)};
+}
+
+template <>
+struct Vec<int32_t>
+{
+    static constexpr int kLanes = 16;
+    __m512i v;
+
+    static Vec loadu(const int32_t *p)
+    {
+        return {_mm512_loadu_si512(p)};
+    }
+    static Vec load(const int32_t *p)
+    {
+        return {_mm512_load_si512(p)};
+    }
+    static Vec broadcast(int32_t x) { return {_mm512_set1_epi32(x)}; }
+    static Vec zero() { return {_mm512_setzero_si512()}; }
+    void storeu(int32_t *p) const { _mm512_storeu_si512(p, v); }
+    void store(int32_t *p) const { _mm512_store_si512(p, v); }
+
+    /** Broadcast 4 consecutive int32 to every 128-bit group. */
+    static Vec
+    broadcast4(const int32_t *p)
+    {
+        return {_mm512_broadcast_i32x4(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)))};
+    }
+
+    friend Vec operator+(Vec a, Vec b)
+    {
+        return {_mm512_add_epi32(a.v, b.v)};
+    }
+    friend Vec operator-(Vec a, Vec b)
+    {
+        return {_mm512_sub_epi32(a.v, b.v)};
+    }
+    friend Vec operator&(Vec a, Vec b)
+    {
+        return {_mm512_and_si512(a.v, b.v)};
+    }
+};
+
+/** Per-lane unsigned max on 32-bit lanes. */
+inline Vec<int32_t>
+maxU32(Vec<int32_t> a, Vec<int32_t> b)
+{
+    return {_mm512_max_epu32(a.v, b.v)};
+}
+
+/** Unsigned max across all 32-bit lanes. */
+inline uint32_t
+reduceMaxU32(Vec<int32_t> a)
+{
+    return _mm512_reduce_max_epu32(a.v);
+}
+
+/** Unsigned max across the 32-bit lanes selected by m (0 if none). */
+inline uint32_t
+reduceMaxU32(Vec<int32_t> a, LaneMask m)
+{
+    return _mm512_mask_reduce_max_epu32(static_cast<__mmask16>(m),
+                                        a.v);
+}
+
+/** Gather 32-bit lanes p[idx[i]] for all int32 index lanes. */
+inline Vec<int32_t>
+gather32(const uint32_t *p, Vec<int32_t> idx)
+{
+    return {_mm512_i32gather_epi32(idx.v, p, 4)};
+}
+
+/**
+ * Scatter 32-bit lanes to p[idx[i]].  Lanes are written in ascending
+ * lane order, so with duplicate indices the highest lane wins (the
+ * conflict-count routing scheme relies on this).
+ */
+inline void
+scatter32(uint32_t *p, Vec<int32_t> idx, Vec<int32_t> a)
+{
+    _mm512_i32scatter_epi32(p, idx.v, a.v, 4);
+}
+
+/** Lane-table permute: out[i] = table[idx[i] & 15]. */
+inline Vec<int32_t>
+permute(Vec<int32_t> table, Vec<int32_t> idx)
+{
+    return {_mm512_permutexvar_epi32(idx.v, table.v)};
+}
+
+/** Per-lane select: mask bit set -> b, clear -> a. */
+inline Vec<int32_t>
+select(Vec<int32_t> a, Vec<int32_t> b, LaneMask m)
+{
+    return {
+        _mm512_mask_mov_epi32(a.v, static_cast<__mmask16>(m), b.v)};
+}
+
+/**
+ * Conflict detection (AVX-512CD): lane i receives a bitmask of the
+ * lanes j < i holding the same value.
+ */
+inline Vec<int32_t>
+conflict(Vec<int32_t> a)
+{
+    return {_mm512_conflict_epi32(a.v)};
+}
+
+/** Per-lane popcount. */
+inline Vec<int32_t>
+popcount(Vec<int32_t> a)
+{
+#if defined(__AVX512VPOPCNTDQ__)
+    return {_mm512_popcnt_epi32(a.v)};
+#else
+    // SWAR popcount; conflict masks only populate the low 16 bits but
+    // this is correct for full 32-bit lanes.
+    __m512i x = a.v;
+    const __m512i m1 = _mm512_set1_epi32(0x55555555);
+    const __m512i m2 = _mm512_set1_epi32(0x33333333);
+    const __m512i m4 = _mm512_set1_epi32(0x0f0f0f0f);
+    x = _mm512_sub_epi32(x,
+                         _mm512_and_si512(_mm512_srli_epi32(x, 1), m1));
+    x = _mm512_add_epi32(_mm512_and_si512(x, m2),
+                         _mm512_and_si512(_mm512_srli_epi32(x, 2), m2));
+    x = _mm512_and_si512(_mm512_add_epi32(x, _mm512_srli_epi32(x, 4)),
+                         m4);
+    x = _mm512_add_epi32(x, _mm512_srli_epi32(x, 8));
+    x = _mm512_add_epi32(x, _mm512_srli_epi32(x, 16));
+    return {_mm512_and_si512(x, _mm512_set1_epi32(0x3f))};
+#endif
+}
+
+/** Any lane of a equal to an earlier lane? (masked to valid lanes) */
+inline bool
+hasConflict(Vec<int32_t> ids, LaneMask valid)
+{
+    const __m512i c = _mm512_conflict_epi32(ids.v);
+    return _mm512_mask_test_epi32_mask(static_cast<__mmask16>(valid),
+                                       c, c) != 0;
+}
+
+namespace detail {
+inline __m256i
+idxHalf(Vec<int32_t> idx, int half)
+{
+    return half == 0 ? _mm512_castsi512_si256(idx.v)
+                     : _mm512_extracti64x4_epi64(idx.v, 1);
+}
+inline __mmask8
+maskHalf(LaneMask m, int half)
+{
+    return static_cast<__mmask8>(half == 0 ? m : (m >> 8));
+}
+} // namespace detail
+
+inline Vec<double>
+gatherF64(const double *p, Vec<int32_t> idx, int half, LaneMask m)
+{
+    return {_mm512_mask_i32gather_pd(_mm512_setzero_pd(),
+                                     detail::maskHalf(m, half),
+                                     detail::idxHalf(idx, half), p, 8)};
+}
+
+inline void
+scatterF64(double *p, Vec<int32_t> idx, int half, Vec<double> a,
+           LaneMask m)
+{
+    _mm512_mask_i32scatter_pd(p, detail::maskHalf(m, half),
+                              detail::idxHalf(idx, half), a.v, 8);
+}
+
+/** [lo, lo, lo, lo, hi, hi, hi, hi] for the F = 4 row pairs. */
+inline Vec<double>
+dupHalves(double lo, double hi)
+{
+    return {_mm512_insertf64x4(_mm512_broadcastsd_pd(_mm_set_sd(lo)),
+                               _mm256_set1_pd(hi), 1)};
+}
+
+/**
+ * Convert the first n (<= 4) floats at p to doubles, duplicated to
+ * both 256-bit halves; lanes past n read nothing (masked load) and
+ * convert from zero.
+ */
+inline Vec<double>
+dup4Floats(const float *p, int n = 4)
+{
+    const __m128 f = n >= 4
+        ? _mm_loadu_ps(p)
+        : _mm_maskz_loadu_ps(static_cast<__mmask8>(maskN(n)), p);
+    return {_mm512_broadcast_f64x4(_mm256_cvtps_pd(f))};
+}
+
+/**
+ * Convert the float lanes selected by m (low 8 bits) at p to doubles;
+ * masked-off lanes read nothing and convert from zero.
+ */
+inline Vec<double>
+cvt8Floats(const float *p, LaneMask m)
+{
+    return {_mm512_cvtps_pd(
+        _mm256_maskz_loadu_ps(static_cast<__mmask8>(m), p))};
+}
+
+/** Narrow two double vectors to one float vector [lo..., hi...]. */
+inline Vec<float>
+narrowToFloat(Vec<double> lo, Vec<double> hi)
+{
+    return {_mm512_insertf32x8(
+        _mm512_castps256_ps512(_mm512_cvtpd_ps(lo.v)),
+        _mm512_cvtpd_ps(hi.v), 1)};
+}
+
+#elif defined(SCNN_SIMD_AVX2)
+
+template <>
+struct Vec<float>
+{
+    static constexpr int kLanes = 8;
+    __m256 v;
+
+    static Vec loadu(const float *p) { return {_mm256_loadu_ps(p)}; }
+    static Vec load(const float *p) { return {_mm256_load_ps(p)}; }
+    static Vec broadcast(float x) { return {_mm256_set1_ps(x)}; }
+    static Vec zero() { return {_mm256_setzero_ps()}; }
+    void storeu(float *p) const { _mm256_storeu_ps(p, v); }
+    void store(float *p) const { _mm256_store_ps(p, v); }
+
+    friend Vec operator+(Vec a, Vec b)
+    {
+        return {_mm256_add_ps(a.v, b.v)};
+    }
+    friend Vec operator*(Vec a, Vec b)
+    {
+        return {_mm256_mul_ps(a.v, b.v)};
+    }
+};
+
+inline Vec<float>
+fma(Vec<float> a, Vec<float> b, Vec<float> c)
+{
+#if defined(__FMA__)
+    return {_mm256_fmadd_ps(a.v, b.v, c.v)};
+#else
+    return {_mm256_add_ps(_mm256_mul_ps(a.v, b.v), c.v)};
+#endif
+}
+
+inline LaneMask
+zeroMask(Vec<float> a)
+{
+    return static_cast<LaneMask>(_mm256_movemask_ps(
+        _mm256_cmp_ps(a.v, _mm256_setzero_ps(), _CMP_EQ_OQ)));
+}
+
+inline LaneMask
+ltZeroMask(Vec<float> a)
+{
+    return static_cast<LaneMask>(_mm256_movemask_ps(
+        _mm256_cmp_ps(a.v, _mm256_setzero_ps(), _CMP_LT_OQ)));
+}
+
+inline Vec<float>
+select(Vec<float> a, Vec<float> b, LaneMask m)
+{
+    alignas(32) static const uint32_t kBit[8] = {1, 2, 4, 8,
+                                                 16, 32, 64, 128};
+    const __m256i bits =
+        _mm256_load_si256(reinterpret_cast<const __m256i *>(kBit));
+    const __m256i sel = _mm256_cmpeq_epi32(
+        _mm256_and_si256(_mm256_set1_epi32(static_cast<int>(m)), bits),
+        bits);
+    return {_mm256_blendv_ps(a.v, b.v, _mm256_castsi256_ps(sel))};
+}
+
+inline int
+compressStore(float *p, Vec<float> a, LaneMask m)
+{
+    alignas(32) float tmp[8];
+    _mm256_storeu_ps(tmp, a.v);
+    int n = 0;
+    LaneMask bits = m & 0xffu;
+    while (bits) {
+        const int i = __builtin_ctz(bits);
+        p[n++] = tmp[i];
+        bits &= bits - 1;
+    }
+    return n;
+}
+
+template <>
+struct Vec<double>
+{
+    static constexpr int kLanes = 4;
+    __m256d v;
+
+    static Vec loadu(const double *p) { return {_mm256_loadu_pd(p)}; }
+    static Vec load(const double *p) { return {_mm256_load_pd(p)}; }
+    static Vec broadcast(double x) { return {_mm256_set1_pd(x)}; }
+    static Vec zero() { return {_mm256_setzero_pd()}; }
+    void storeu(double *p) const { _mm256_storeu_pd(p, v); }
+    void store(double *p) const { _mm256_store_pd(p, v); }
+
+    friend Vec operator+(Vec a, Vec b)
+    {
+        return {_mm256_add_pd(a.v, b.v)};
+    }
+    friend Vec operator*(Vec a, Vec b)
+    {
+        return {_mm256_mul_pd(a.v, b.v)};
+    }
+};
+
+inline Vec<double>
+fma(Vec<double> a, Vec<double> b, Vec<double> c)
+{
+#if defined(__FMA__)
+    return {_mm256_fmadd_pd(a.v, b.v, c.v)};
+#else
+    return {_mm256_add_pd(_mm256_mul_pd(a.v, b.v), c.v)};
+#endif
+}
+
+template <>
+struct Vec<int32_t>
+{
+    static constexpr int kLanes = 8;
+    __m256i v;
+
+    static Vec loadu(const int32_t *p)
+    {
+        return {_mm256_loadu_si256(reinterpret_cast<const __m256i *>(p))};
+    }
+    static Vec load(const int32_t *p)
+    {
+        return {_mm256_load_si256(reinterpret_cast<const __m256i *>(p))};
+    }
+    static Vec broadcast(int32_t x) { return {_mm256_set1_epi32(x)}; }
+    static Vec zero() { return {_mm256_setzero_si256()}; }
+    void storeu(int32_t *p) const
+    {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+    void store(int32_t *p) const
+    {
+        _mm256_store_si256(reinterpret_cast<__m256i *>(p), v);
+    }
+
+    static Vec
+    broadcast4(const int32_t *p)
+    {
+        return {_mm256_broadcastsi128_si256(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)))};
+    }
+
+    friend Vec operator+(Vec a, Vec b)
+    {
+        return {_mm256_add_epi32(a.v, b.v)};
+    }
+    friend Vec operator&(Vec a, Vec b)
+    {
+        return {_mm256_and_si256(a.v, b.v)};
+    }
+};
+
+/** Narrow two double vectors to one float vector [lo..., hi...]. */
+inline Vec<float>
+narrowToFloat(Vec<double> lo, Vec<double> hi)
+{
+    return {_mm256_insertf128_ps(
+        _mm256_castps128_ps256(_mm256_cvtpd_ps(lo.v)),
+        _mm256_cvtpd_ps(hi.v), 1)};
+}
+
+/**
+ * Gather 4 doubles p[idx[i]] from the int32 index lanes in half
+ * `half`; masked-off lanes return 0.  (AVX2 has no scatter; callers
+ * store lanes back through memory.)
+ */
+inline Vec<double>
+gatherF64(const double *p, Vec<int32_t> idx, int half, LaneMask m)
+{
+    alignas(32) static const uint64_t kBit[4] = {1, 2, 4, 8};
+    const __m128i h = half == 0 ? _mm256_castsi256_si128(idx.v)
+                                : _mm256_extracti128_si256(idx.v, 1);
+    const LaneMask hm = (half == 0 ? m : (m >> 4)) & 0xf;
+    const __m256i bits =
+        _mm256_load_si256(reinterpret_cast<const __m256i *>(kBit));
+    const __m256i sel = _mm256_cmpeq_epi64(
+        _mm256_and_si256(_mm256_set1_epi64x(static_cast<long long>(hm)),
+                         bits),
+        bits);
+    return {_mm256_mask_i32gather_pd(_mm256_setzero_pd(), p, h,
+                                     _mm256_castsi256_pd(sel), 8)};
+}
+
+#elif defined(SCNN_SIMD_NEON)
+
+template <>
+struct Vec<float>
+{
+    static constexpr int kLanes = 4;
+    float32x4_t v;
+
+    static Vec loadu(const float *p) { return {vld1q_f32(p)}; }
+    static Vec load(const float *p) { return {vld1q_f32(p)}; }
+    static Vec broadcast(float x) { return {vdupq_n_f32(x)}; }
+    static Vec zero() { return {vdupq_n_f32(0.0f)}; }
+    void storeu(float *p) const { vst1q_f32(p, v); }
+    void store(float *p) const { vst1q_f32(p, v); }
+
+    friend Vec operator+(Vec a, Vec b) { return {vaddq_f32(a.v, b.v)}; }
+    friend Vec operator*(Vec a, Vec b) { return {vmulq_f32(a.v, b.v)}; }
+};
+
+inline Vec<float>
+fma(Vec<float> a, Vec<float> b, Vec<float> c)
+{
+    return {vfmaq_f32(c.v, a.v, b.v)};
+}
+
+namespace detail {
+inline LaneMask
+maskFromU32(uint32x4_t m)
+{
+    // Narrow each lane to one bit: lane i contributes bit i.
+    alignas(16) uint32_t tmp[4];
+    vst1q_u32(tmp, m);
+    return (tmp[0] & 1u) | ((tmp[1] & 1u) << 1) | ((tmp[2] & 1u) << 2) |
+           ((tmp[3] & 1u) << 3);
+}
+} // namespace detail
+
+inline LaneMask
+zeroMask(Vec<float> a)
+{
+    return detail::maskFromU32(vceqq_f32(a.v, vdupq_n_f32(0.0f)));
+}
+
+inline LaneMask
+ltZeroMask(Vec<float> a)
+{
+    return detail::maskFromU32(vcltq_f32(a.v, vdupq_n_f32(0.0f)));
+}
+
+inline Vec<float>
+select(Vec<float> a, Vec<float> b, LaneMask m)
+{
+    alignas(16) float tmp[4];
+    vst1q_f32(tmp, a.v);
+    alignas(16) float tb[4];
+    vst1q_f32(tb, b.v);
+    for (int i = 0; i < 4; ++i)
+        if (m & (1u << i))
+            tmp[i] = tb[i];
+    return {vld1q_f32(tmp)};
+}
+
+inline int
+compressStore(float *p, Vec<float> a, LaneMask m)
+{
+    alignas(16) float tmp[4];
+    vst1q_f32(tmp, a.v);
+    int n = 0;
+    LaneMask bits = m & 0xfu;
+    while (bits) {
+        p[n++] = tmp[__builtin_ctz(bits)];
+        bits &= bits - 1;
+    }
+    return n;
+}
+
+template <>
+struct Vec<double>
+{
+    static constexpr int kLanes = 2;
+    float64x2_t v;
+
+    static Vec loadu(const double *p) { return {vld1q_f64(p)}; }
+    static Vec load(const double *p) { return {vld1q_f64(p)}; }
+    static Vec broadcast(double x) { return {vdupq_n_f64(x)}; }
+    static Vec zero() { return {vdupq_n_f64(0.0)}; }
+    void storeu(double *p) const { vst1q_f64(p, v); }
+    void store(double *p) const { vst1q_f64(p, v); }
+
+    friend Vec operator+(Vec a, Vec b) { return {vaddq_f64(a.v, b.v)}; }
+    friend Vec operator*(Vec a, Vec b) { return {vmulq_f64(a.v, b.v)}; }
+};
+
+inline Vec<double>
+fma(Vec<double> a, Vec<double> b, Vec<double> c)
+{
+    return {vfmaq_f64(c.v, a.v, b.v)};
+}
+
+template <>
+struct Vec<int32_t>
+{
+    static constexpr int kLanes = 4;
+    int32x4_t v;
+
+    static Vec loadu(const int32_t *p) { return {vld1q_s32(p)}; }
+    static Vec load(const int32_t *p) { return {vld1q_s32(p)}; }
+    static Vec broadcast(int32_t x) { return {vdupq_n_s32(x)}; }
+    static Vec zero() { return {vdupq_n_s32(0)}; }
+    void storeu(int32_t *p) const { vst1q_s32(p, v); }
+    void store(int32_t *p) const { vst1q_s32(p, v); }
+
+    friend Vec operator+(Vec a, Vec b) { return {vaddq_s32(a.v, b.v)}; }
+    friend Vec operator&(Vec a, Vec b) { return {vandq_s32(a.v, b.v)}; }
+};
+
+/** Narrow two double vectors to one float vector [lo..., hi...]. */
+inline Vec<float>
+narrowToFloat(Vec<double> lo, Vec<double> hi)
+{
+    return {vcombine_f32(vcvt_f32_f64(lo.v), vcvt_f32_f64(hi.v))};
+}
+
+#else // scalar tier
+
+/** One-lane implementation shared by the scalar-tier specializations. */
+template <typename T>
+struct Vec
+{
+    static constexpr int kLanes = 1;
+    T v;
+
+    static Vec loadu(const T *p) { return {*p}; }
+    static Vec load(const T *p) { return {*p}; }
+    static Vec broadcast(T x) { return {x}; }
+    static Vec zero() { return {T(0)}; }
+    void storeu(T *p) const { *p = v; }
+    void store(T *p) const { *p = v; }
+
+    friend Vec operator+(Vec a, Vec b)
+    {
+        return {static_cast<T>(a.v + b.v)};
+    }
+    friend Vec operator*(Vec a, Vec b)
+    {
+        return {static_cast<T>(a.v * b.v)};
+    }
+};
+
+inline Vec<int32_t>
+operator&(Vec<int32_t> a, Vec<int32_t> b)
+{
+    return {a.v & b.v};
+}
+
+inline Vec<float>
+fma(Vec<float> a, Vec<float> b, Vec<float> c)
+{
+    return {a.v * b.v + c.v};
+}
+
+inline Vec<double>
+fma(Vec<double> a, Vec<double> b, Vec<double> c)
+{
+    return {a.v * b.v + c.v};
+}
+
+inline LaneMask
+zeroMask(Vec<float> a)
+{
+    return a.v == 0.0f ? 1u : 0u;
+}
+
+inline LaneMask
+ltZeroMask(Vec<float> a)
+{
+    return a.v < 0.0f ? 1u : 0u;
+}
+
+inline Vec<float>
+select(Vec<float> a, Vec<float> b, LaneMask m)
+{
+    return (m & 1u) ? b : a;
+}
+
+inline int
+compressStore(float *p, Vec<float> a, LaneMask m)
+{
+    if (m & 1u) {
+        *p = a.v;
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * Scalar-tier placeholder so guarded vector code compiles; callers
+ * gate on kVectorBuild (two double lanes cannot narrow into one
+ * float lane), so the second operand is never meaningful here.
+ */
+inline Vec<float>
+narrowToFloat(Vec<double> lo, Vec<double>)
+{
+    return {static_cast<float>(lo.v)};
+}
+
+#endif // tier selection
+
+} // namespace simd
+} // namespace scnn
+
+#endif // SCNN_COMMON_SIMD_HH

@@ -92,6 +92,9 @@ class AccumulatorBanks
 
     long channelStride() const { return channelStride_; }
 
+    /** numBanks - 1 when a power of two, else -1 (hash uses %). */
+    long bankMask() const { return bankMask_; }
+
     /** Begin a multiplier-array operation at the current cycle. */
     void
     beginOp()

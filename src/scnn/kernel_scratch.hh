@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.hh"
 #include "scnn/pe.hh"
 #include "tensor/sparse_block.hh"
 
@@ -50,9 +51,10 @@ struct KernelScratch
     /**
      * Dense (kc, outW, outH) double-precision merge plane for one
      * output-channel group (output-halo mode, where neighbouring
-     * accumulator rects overlap and PE drains must merge).
+     * accumulator rects overlap and PE drains must merge).  Aligned
+     * so the vectorized drain rows start on cache-line boundaries.
      */
-    std::vector<double> groupPlane;
+    simd::AlignedVec<double> groupPlane;
 
     /** Per-PE scratch for the output RLE accounting fan-out. */
     std::vector<uint64_t> perPeStored;
@@ -71,24 +73,42 @@ struct KernelScratch
      *   wBank[j] = kRel * channelStride - (rq * accH + sq)
      *   wAcc[j]  = kRel * accPlane      - (rq * accH + sq)
      * so bank address and private-buffer index are single additions
-     * to the activation's position base.  The functional kernel packs
-     * the pair into one 64-bit word (wAcc high, wBank low) so the
-     * product loop issues a single load per weight.
+     * to the activation's position base.  The scalar functional
+     * kernel packs the pair into one 64-bit word (wAcc high, wBank
+     * low) so the product loop issues a single load per weight; the
+     * SIMD kernels keep wBank/wAcc as separate int32 lane arrays,
+     * padded to a full vector width past the substream end (pad lanes
+     * are masked or replaced by sentinels, never routed or stored).
      */
-    std::vector<int32_t> wBank;
-    std::vector<uint64_t> wPacked;
+    simd::AlignedVec<int32_t> wBank;
+    simd::AlignedVec<uint64_t> wPacked;
+    simd::AlignedVec<int32_t> wAcc;
 
     /**
      * Per-activation state of the current stationary vector (up to I
      * entries): position base, value, raw quotient coordinates, and
      * whether every tap of the substream lands in the window (the
      * interior fast path skips the per-product landing check).
+     * aPosI32 is the SIMD kernels' int32 copy of aPos (interior
+     * products always have non-negative in-range addresses), padded
+     * to a full vector width.
      */
     std::vector<long> aPos;
-    std::vector<double> aVal;
+    simd::AlignedVec<double> aVal;
+    simd::AlignedVec<int32_t> aPosI32;
     std::vector<int> aXq;
     std::vector<int> aYq;
     std::vector<uint8_t> aInterior;
+
+    /**
+     * The SIMD kernels' bank next-free clocks, held as 32-bit values
+     * relative to a rebased epoch of the pass clock (residual
+     * backlogs are tiny, so 2^30 cycles of headroom costs one
+     * rebase per billion cycles).  Sized numBanks plus one full lane
+     * width: masked-off op lanes are redirected to the per-lane pad
+     * slots, whose backlog provably never alters an op cost.
+     */
+    simd::AlignedVec<uint32_t> bankClock32;
 
     /** The calling thread's scratch (created on first use). */
     static KernelScratch &local();

@@ -2,9 +2,117 @@
 
 #include <algorithm>
 
+#include "common/simd.hh"
 #include "scnn/kernel_scratch.hh"
 
 namespace scnn {
+
+#if defined(SCNN_SIMD_AVX512)
+
+/*
+ * Vectorized interior-op helpers (AVX-512 lane layer).
+ *
+ * Lane layout of an F = I = 4 operation: lane l holds the product of
+ * stationary activation row l >> 2 and weight column l & 3, i.e. the
+ * exact (i outer, w inner) order of the scalar kernel.
+ *
+ * Bank routing uses a conflict-count scheme that is *algebraically
+ * identical* to routing the op's products one at a time through
+ * AccumulatorBanks::opRoute: within one operation the clock `now` is
+ * fixed, so k same-bank products leave that bank at
+ * max(nextFree, now) + k and the deepest per-product backlog equals
+ * the deepest final per-bank backlog.  vpconflictd gives each lane
+ * the count of earlier same-bank lanes, every lane computes its
+ * cumulative backlog from the *pre-op* clocks (the gather precedes
+ * the scatter), and the ascending-lane scatter order guarantees the
+ * last (fully counted) lane wins each bank's clock.
+ *
+ * The SIMD kernels keep the bank clocks as 32-bit values relative to
+ * a rebased epoch of the pass clock (KernelScratch::bankClock32), so
+ * one full-width gather + scatter serves all 16 lanes; residual
+ * backlogs never exceed the queue depth, and the epoch rebases long
+ * before 2^32 relative cycles.  Masked-off tail lanes are redirected
+ * to per-lane sentinel slots in the pad region past the live banks,
+ * so they can never alias a live bank, and they are excluded from
+ * the backlog maximum, so the op cost comes from live lanes alone.
+ *
+ * Functional accumulation scatters products into the private
+ * GroupAccum.  Every product of a clean operation owns a distinct
+ * precomputed accumulator offset, so gather-add-scatter performs the
+ * same single add per address as the scalar loop and the result is
+ * bit-identical regardless of lane order.  When vpconflictd detects
+ * two lanes sharing an address (e.g. two (activation, tap) pairs of
+ * one op reaching the same output element), the op falls back to the
+ * scalar accumulation order -- the documented
+ * scatter-with-conflict-fallback contract.
+ */
+namespace {
+
+using simd::LaneMask;
+using simd::Vec;
+
+alignas(64) constexpr int32_t kRow4Idx[16] = {0, 0, 0, 0, 1, 1, 1, 1,
+                                              2, 2, 2, 2, 3, 3, 3, 3};
+alignas(64) constexpr int32_t kLaneIota[16] = {0, 1, 2,  3,  4,  5,
+                                               6, 7, 8,  9,  10, 11,
+                                               12, 13, 14, 15};
+
+/** Valid-lane mask of a (rows x cols) op in the 4x4 lane layout. */
+inline LaneMask
+mask4x4(size_t rows, int cols)
+{
+    return (static_cast<LaneMask>((1u << cols) - 1) * 0x1111u) &
+           simd::maskN(static_cast<int>(4 * rows));
+}
+
+/**
+ * Route one operation chunk of up to 16 products; @return the chunk's
+ * deepest cumulative backlog (composes with further chunks of the
+ * same op by max).  Lanes outside m route to their pad sentinel slot.
+ */
+inline uint32_t
+routeOp16(uint32_t *clk, uint32_t now32, Vec<int32_t> ids, LaneMask m,
+          Vec<int32_t> sentinels)
+{
+    ids = simd::select(sentinels, ids, m);
+    const Vec<int32_t> cnt = simd::popcount(simd::conflict(ids)) +
+                             Vec<int32_t>::broadcast(1);
+    const Vec<int32_t> nowV =
+        Vec<int32_t>::broadcast(static_cast<int32_t>(now32));
+    const Vec<int32_t> nf = simd::gather32(clk, ids);
+    const Vec<int32_t> bk = (simd::maxU32(nf, nowV) - nowV) + cnt;
+    simd::scatter32(clk, ids, nowV + bk);
+    // Only the live lanes feed the op maximum: sentinel slots are
+    // re-routed by every chunk of an op, so their backlog is not
+    // bounded by the live residual bound within a multi-chunk op.
+    return simd::reduceMaxU32(bk, m);
+}
+
+/** Conflict-free 16-lane gather-add-scatter accumulation. */
+inline void
+accumOp16(double *acc, Vec<int32_t> ids, LaneMask m, Vec<double> avLo,
+          Vec<double> avHi, Vec<double> wv)
+{
+    // Explicit mul then add: the scalar twin compiles to the same two
+    // IEEE roundings (-ffp-contract=off), keeping results identical.
+    const Vec<double> lo = simd::gatherF64(acc, ids, 0, m) + avLo * wv;
+    simd::scatterF64(acc, ids, 0, lo, m);
+    const Vec<double> hi = simd::gatherF64(acc, ids, 1, m) + avHi * wv;
+    simd::scatterF64(acc, ids, 1, hi, m);
+}
+
+/** Conflict-free 8-lane gather-add-scatter accumulation. */
+inline void
+accumOp8(double *acc, Vec<int32_t> ids, LaneMask m, Vec<double> av,
+         Vec<double> wv)
+{
+    const Vec<double> s = simd::gatherF64(acc, ids, 0, m) + av * wv;
+    simd::scatterF64(acc, ids, 0, s, m);
+}
+
+} // anonymous namespace
+
+#endif // SCNN_SIMD_AVX512
 
 ProcessingElement::ProcessingElement(const AcceleratorConfig &cfg,
                                      const ConvLayerParams &layer,
@@ -23,31 +131,64 @@ ProcessingElement::ProcessingElement(const AcceleratorConfig &cfg,
         : 0;
 
     // Select the kernel pair once per layer: stride-1 layers take the
-    // single-phase path, and the paper's F = I = 4 multiplier
-    // geometry gets the unrolled-op instantiation.
+    // single-phase path, the paper's F = I = 4 multiplier geometry
+    // gets the unrolled-op instantiation, and on builds whose lane
+    // layer supports the vector scheme the SIMD twins are bound
+    // unless SCNN_SIMD=scalar forces the scalar ones.  The vector
+    // scheme needs a power-of-two bank hash and int32-addressable
+    // accumulator footprints (both always true for the paper's
+    // configurations).
     const bool stride1 = layer_.strideX == 1 && layer_.strideY == 1;
-    if (cfg_.pe.mulF == 4 && cfg_.pe.mulI == 4) {
+    const bool fi4 = cfg_.pe.mulF == 4 && cfg_.pe.mulI == 4;
+    if constexpr (simd::kKernelVectorized) {
+        // The vector kernels hold accumulator offsets in int32 lanes:
+        // the largest address is bounded by (kc + R + 2) * accArea
+        // (kRel * accPlane plus an activation base that can overhang
+        // the plane by maxRq rows), with kc capped by the Kc policy.
+        const long maxKc = std::min<long>(
+            layer_.outChannels,
+            cfg_.pe.kcCap > 0 ? cfg_.pe.kcCap
+                              : cfg_.pe.accumEntriesPerBank);
+        const long maxAddr =
+            (maxKc + layer_.filterW + 2) * accRect_.area();
+        const bool vec = simd::mode() == simd::Mode::Native &&
+                         banks_.bankMask() >= 0 &&
+                         maxAddr < (INT32_MAX / 2);
+        if (vec) {
+            selectKernels<true>(stride1, fi4);
+            return;
+        }
+    }
+    selectKernels<false>(stride1, fi4);
+}
+
+template <bool Simd>
+void
+ProcessingElement::selectKernels(bool stride1, bool fi4)
+{
+    if (fi4) {
         if (stride1) {
             kernelFunctional_ =
-                &ProcessingElement::runGroupImpl<true, true, 4>;
+                &ProcessingElement::runGroupImpl<true, true, 4, Simd>;
             kernelStatsOnly_ =
-                &ProcessingElement::runGroupImpl<false, true, 4>;
+                &ProcessingElement::runGroupImpl<false, true, 4, Simd>;
         } else {
             kernelFunctional_ =
-                &ProcessingElement::runGroupImpl<true, false, 4>;
+                &ProcessingElement::runGroupImpl<true, false, 4, Simd>;
             kernelStatsOnly_ =
-                &ProcessingElement::runGroupImpl<false, false, 4>;
+                &ProcessingElement::runGroupImpl<false, false, 4,
+                                                 Simd>;
         }
     } else if (stride1) {
         kernelFunctional_ =
-            &ProcessingElement::runGroupImpl<true, true, 0>;
+            &ProcessingElement::runGroupImpl<true, true, 0, Simd>;
         kernelStatsOnly_ =
-            &ProcessingElement::runGroupImpl<false, true, 0>;
+            &ProcessingElement::runGroupImpl<false, true, 0, Simd>;
     } else {
         kernelFunctional_ =
-            &ProcessingElement::runGroupImpl<true, false, 0>;
+            &ProcessingElement::runGroupImpl<true, false, 0, Simd>;
         kernelStatsOnly_ =
-            &ProcessingElement::runGroupImpl<false, false, 0>;
+            &ProcessingElement::runGroupImpl<false, false, 0, Simd>;
     }
 }
 
@@ -59,9 +200,13 @@ ProcessingElement::ProcessingElement(const AcceleratorConfig &cfg,
  *    (false: timing/work counters only, no accumulator memory touched);
  *  - Stride1: output coordinates are plain subtractions of pre-padded
  *    activation coordinates and filter taps (general strides divide by
- *    the stride after phase decomposition; the divisions are exact).
+ *    the stride after phase decomposition; the divisions are exact);
+ *  - Simd: interior (no landing check) operations run on the SIMD
+ *    lane layer -- vector bank ids, conflict-count routing and
+ *    gather/scatter accumulation -- with bit-identical results; edge
+ *    operations always take the scalar path.
  */
-template <bool Functional, bool Stride1, int FixedFI>
+template <bool Functional, bool Stride1, int FixedFI, bool Simd>
 PeGroupStats
 ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                                 const std::vector<CompressedWeightBlock>
@@ -116,15 +261,85 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
     const long chanStride = banks_.channelStride();
     KernelScratch &ks = KernelScratch::local();
     ks.aPos.resize(I);
-    ks.aVal.resize(I);
     ks.aXq.resize(I);
     ks.aYq.resize(I);
     ks.aInterior.resize(I);
+    if constexpr (Simd) {
+        // Padded, zero-initialized lane copies: stationary vectors
+        // shorter than the pad leave deterministic values in the
+        // unused lanes, which the vector ops mask or sentinel away.
+        ks.aVal.assign(std::max<size_t>(I, 4), 0.0);
+        ks.aPosI32.assign(std::max<size_t>(I, 16), 0);
+    } else {
+        ks.aVal.resize(std::max<size_t>(I, 4));
+    }
     long *const aPos = ks.aPos.data();
     double *const aVal = ks.aVal.data();
     int *const aXq = ks.aXq.data();
     int *const aYq = ks.aYq.data();
     uint8_t *const aInterior = ks.aInterior.data();
+
+#if defined(SCNN_SIMD_AVX512)
+    [[maybe_unused]] Vec<int32_t> rowIdxV{}, bankMaskV{}, sentinelV{};
+    [[maybe_unused]] uint32_t *clk = nullptr;
+    [[maybe_unused]] uint64_t clockEpoch = 0;
+    if constexpr (Simd) {
+        rowIdxV = Vec<int32_t>::load(kRow4Idx);
+        bankMaskV = Vec<int32_t>::broadcast(
+            static_cast<int32_t>(banks_.bankMask()));
+        sentinelV = Vec<int32_t>::load(kLaneIota) +
+                    Vec<int32_t>::broadcast(banks_.numBanks());
+        // Pass-relative 32-bit bank clocks plus the 16 sentinel pad
+        // slots; banks_.reset() has zeroed the pass clock.
+        ks.bankClock32.assign(
+            static_cast<size_t>(banks_.numBanks()) + 16, 0);
+        clk = ks.bankClock32.data();
+    }
+    // Pass clock relative to the rebased epoch; residual backlogs are
+    // bounded by the queue depth, so rebasing far below 2^32 keeps
+    // every relative value exact.
+    const auto curNow32 = [&]() -> uint32_t {
+        const uint64_t now = banks_.now();
+        if (now - clockEpoch >= (1ull << 30)) {
+            const uint32_t shift =
+                static_cast<uint32_t>(now - clockEpoch);
+            for (auto &c : ks.bankClock32)
+                c = c > shift ? c - shift : 0;
+            clockEpoch = now;
+        }
+        return static_cast<uint32_t>(now - clockEpoch);
+    };
+#endif
+
+    // Scalar-op wrappers: the SIMD kernels route their edge (landing-
+    // checked) products through the same 32-bit clock array as the
+    // vector interior ops, reusing OpState::opMax as the backlog
+    // accumulator so opFinish() is common to both paths; the scalar
+    // kernels route through AccumulatorBanks directly.
+    [[maybe_unused]] uint32_t edgeNow32 = 0;
+    const auto beginOp = [&]() -> AccumulatorBanks::OpState {
+#if defined(SCNN_SIMD_AVX512)
+        if constexpr (Simd) {
+            edgeNow32 = curNow32();
+            return {0, 0};
+        }
+#endif
+        return banks_.opBegin();
+    };
+    const auto routeProduct = [&](AccumulatorBanks::OpState &op,
+                                  int bank) {
+#if defined(SCNN_SIMD_AVX512)
+        if constexpr (Simd) {
+            uint32_t &nf = clk[bank];
+            nf = (nf > edgeNow32 ? nf : edgeNow32) + 1;
+            const uint32_t backlog = nf - edgeNow32;
+            if (backlog > op.opMax)
+                op.opMax = backlog;
+            return;
+        }
+#endif
+        banks_.opRoute(op, bank);
+    };
 
     uint64_t cycles = 0, mulOps = 0, products = 0, landed = 0;
     uint64_t actEntries = 0, wtEntries = 0, conflictStalls = 0;
@@ -144,10 +359,16 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
 
             // Fold the per-weight address parts once per substream
             // (the span is re-streamed nA / I times below) and track
-            // the tap-coordinate extremes for the interior test.
-            ks.wBank.resize(nW);
-            if (Functional)
+            // the tap-coordinate extremes for the interior test.  The
+            // SIMD kernels keep wBank/wAcc padded one full vector
+            // past nW so tail-chunk lane loads stay in bounds (the
+            // pad lanes are masked or sentineled, never used).
+            ks.wBank.resize(Simd ? nW + 16 : nW);
+            if (Functional) {
                 ks.wPacked.resize(nW);
+                if (Simd)
+                    ks.wAcc.resize(nW + 16);
+            }
             int minRq = W.rq[0], maxRq = W.rq[0];
             int minSq = W.sq[0], maxSq = W.sq[0];
             for (size_t j = 0; j < nW; ++j) {
@@ -169,11 +390,22 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                              static_cast<uint32_t>(acc))
                          << 32) |
                         static_cast<uint32_t>(bank);
+                    if constexpr (Simd)
+                        ks.wAcc[j] = acc;
                 }
+            }
+            if constexpr (Simd) {
+                for (size_t j = nW; j < nW + 16; ++j)
+                    ks.wBank[j] = 0;
+                if (Functional)
+                    for (size_t j = nW; j < nW + 16; ++j)
+                        ks.wAcc[j] = 0;
             }
             const int32_t *wBank = ks.wBank.data();
             const uint64_t *wPacked =
                 Functional ? ks.wPacked.data() : nullptr;
+            [[maybe_unused]] const int32_t *wAcc =
+                (Simd && Functional) ? ks.wAcc.data() : nullptr;
 
             for (size_t ai = 0; ai < nA; ai += I) {
                 const size_t aEnd = std::min(nA, ai + I);
@@ -192,6 +424,9 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                     aYq[i] = ayq;
                     aPos[i] = static_cast<long>(axq - accX0) * accH +
                               (ayq - accY0);
+                    if constexpr (Simd)
+                        ks.aPosI32[i] =
+                            static_cast<int32_t>(aPos[i]);
                     aInterior[i] =
                         static_cast<uint8_t>(axq - maxRq >= loX &&
                                              axq - minRq < hiX &&
@@ -208,6 +443,154 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                 wtEntries += nW;
 
                 if (allInterior) {
+#if defined(SCNN_SIMD_AVX512)
+                    if constexpr (Simd) {
+                        if constexpr (FixedFI == 4) {
+                            // One zmm per op: 4 stationary rows x a
+                            // broadcast 4-weight column, masked when
+                            // the stationary vector or the final
+                            // weight chunk is ragged.
+                            const Vec<int32_t> basesV = simd::permute(
+                                Vec<int32_t>::load(
+                                    ks.aPosI32.data()),
+                                rowIdxV);
+                            for (size_t wi = 0; wi < nW; wi += 4) {
+                                const int fw = static_cast<int>(
+                                    std::min<size_t>(4, nW - wi));
+                                const LaneMask m = mask4x4(nAv, fw);
+                                const uint32_t now32 = curNow32();
+                                const Vec<int32_t> idsB =
+                                    (basesV +
+                                     Vec<int32_t>::broadcast4(
+                                         wBank + wi)) &
+                                    bankMaskV;
+                                const uint32_t opMax = routeOp16(
+                                    clk, now32, idsB, m, sentinelV);
+                                const uint64_t opc = banks_.opFinish(
+                                    {0, opMax});
+                                cycles += opc;
+                                conflictStalls += opc - 1;
+                                ++mulOps;
+                                products += nAv * fw;
+                                landed += nAv * fw;
+                                if constexpr (Functional) {
+                                    const Vec<int32_t> idsA =
+                                        basesV +
+                                        Vec<int32_t>::broadcast4(
+                                            wAcc + wi);
+                                    if (!simd::hasConflict(idsA, m)) {
+                                        accumOp16(
+                                            accBase, idsA, m,
+                                            simd::dupHalves(aVal[0],
+                                                            aVal[1]),
+                                            simd::dupHalves(aVal[2],
+                                                            aVal[3]),
+                                            simd::dup4Floats(
+                                                W.value + wi, fw));
+                                    } else {
+                                        // Conflict fallback: scalar
+                                        // order (i outer, w inner).
+                                        for (size_t i = 0; i < nAv;
+                                             ++i) {
+                                            const long base = aPos[i];
+                                            const double av = aVal[i];
+                                            for (size_t w = wi;
+                                                 w <
+                                                 wi + static_cast<
+                                                          size_t>(fw);
+                                                 ++w)
+                                                accBase[base +
+                                                        wAcc[w]] +=
+                                                    av *
+                                                    static_cast<
+                                                        double>(
+                                                        W.value[w]);
+                                        }
+                                    }
+                                }
+                            }
+                        } else {
+                            // Generic F/I: per-row half-width chunks
+                            // composed into one op cost.
+                            for (size_t wi = 0; wi < nW; wi += F) {
+                                const size_t wEnd =
+                                    std::min(nW, wi + F);
+                                const uint32_t now32 = curNow32();
+                                uint32_t opMax = 0;
+                                for (size_t i = 0; i < nAv; ++i) {
+                                    const int32_t base =
+                                        ks.aPosI32[i];
+                                    const Vec<int32_t> baseV =
+                                        Vec<int32_t>::broadcast(base);
+                                    [[maybe_unused]] Vec<double> avV{};
+                                    if constexpr (Functional)
+                                        avV = Vec<double>::broadcast(
+                                            aVal[i]);
+                                    for (size_t w = wi; w < wEnd;
+                                         w += 8) {
+                                        const int n = static_cast<int>(
+                                            std::min<size_t>(
+                                                8, wEnd - w));
+                                        const LaneMask m =
+                                            simd::maskN(n);
+                                        const Vec<int32_t> idsB =
+                                            (baseV +
+                                             Vec<int32_t>::loadu(
+                                                 wBank + w)) &
+                                            bankMaskV;
+                                        opMax = std::max(
+                                            opMax,
+                                            routeOp16(clk, now32,
+                                                      idsB, m,
+                                                      sentinelV));
+                                        if constexpr (Functional) {
+                                            const Vec<int32_t> idsA =
+                                                baseV +
+                                                Vec<int32_t>::loadu(
+                                                    wAcc + w);
+                                            if (!simd::hasConflict(
+                                                    idsA, m)) {
+                                                accumOp8(
+                                                    accBase, idsA, m,
+                                                    avV,
+                                                    simd::cvt8Floats(
+                                                        W.value + w,
+                                                        m));
+                                            } else {
+                                                const double av =
+                                                    aVal[i];
+                                                for (size_t w2 = w;
+                                                     w2 <
+                                                     w + static_cast<
+                                                             size_t>(
+                                                             n);
+                                                     ++w2)
+                                                    accBase
+                                                        [static_cast<
+                                                             long>(
+                                                             base) +
+                                                         wAcc[w2]] +=
+                                                        av *
+                                                        static_cast<
+                                                            double>(
+                                                            W.value
+                                                                [w2]);
+                                            }
+                                        }
+                                    }
+                                }
+                                const uint64_t opc = banks_.opFinish(
+                                    {0, opMax});
+                                cycles += opc;
+                                conflictStalls += opc - 1;
+                                ++mulOps;
+                                products += nAv * (wEnd - wi);
+                                landed += nAv * (wEnd - wi);
+                            }
+                        }
+                        continue;
+                    }
+#endif // SCNN_SIMD_AVX512
                     // Every product of every op of this stationary
                     // vector lands: no per-product or per-activation
                     // checks at all.  With a compile-time F the full
@@ -217,7 +600,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                         FixedFI > 0 ? nW - nW % F : 0;
                     for (size_t wi = 0; wi < nWfull; wi += F) {
                         AccumulatorBanks::OpState op =
-                            banks_.opBegin();
+                            beginOp();
                         products += nAv * F;
                         landed += nAv * F;
                         const auto productRow = [&](size_t i) {
@@ -226,7 +609,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                                 const double av = aVal[i];
                                 for (size_t w = wi; w < wi + F; ++w) {
                                     const uint64_t pk = wPacked[w];
-                                    banks_.opRoute(
+                                    routeProduct(
                                         op,
                                         banks_.bankOfAddr(
                                             base +
@@ -240,7 +623,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                                 }
                             } else {
                                 for (size_t w = wi; w < wi + F; ++w) {
-                                    banks_.opRoute(
+                                    routeProduct(
                                         op, banks_.bankOfAddr(
                                                 base + wBank[w]));
                                 }
@@ -264,7 +647,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                     for (size_t wi = nWfull; wi < nW; wi += F) {
                         const size_t wEnd = std::min(nW, wi + F);
                         AccumulatorBanks::OpState op =
-                            banks_.opBegin();
+                            beginOp();
                         products += nAv * (wEnd - wi);
                         landed += nAv * (wEnd - wi);
                         for (size_t i = 0; i < nAv; ++i) {
@@ -273,7 +656,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                                 const double av = aVal[i];
                                 for (size_t w = wi; w < wEnd; ++w) {
                                     const uint64_t pk = wPacked[w];
-                                    banks_.opRoute(
+                                    routeProduct(
                                         op,
                                         banks_.bankOfAddr(
                                             base +
@@ -287,7 +670,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                                 }
                             } else {
                                 for (size_t w = wi; w < wEnd; ++w) {
-                                    banks_.opRoute(
+                                    routeProduct(
                                         op, banks_.bankOfAddr(
                                                 base + wBank[w]));
                                 }
@@ -303,7 +686,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
 
                 for (size_t wi = 0; wi < nW; wi += F) {
                     const size_t wEnd = std::min(nW, wi + F);
-                    AccumulatorBanks::OpState op = banks_.opBegin();
+                    AccumulatorBanks::OpState op = beginOp();
                     products += nAv * (wEnd - wi);
                     for (size_t i = 0; i < nAv; ++i) {
                         const long base = aPos[i];
@@ -317,7 +700,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                             for (size_t w = wi; w < wEnd; ++w) {
                                 if (Functional) {
                                     const uint64_t pk = wPacked[w];
-                                    banks_.opRoute(
+                                    routeProduct(
                                         op,
                                         banks_.bankOfAddr(
                                             base +
@@ -328,7 +711,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                                         av * static_cast<double>(
                                                  W.value[w]);
                                 } else {
-                                    banks_.opRoute(
+                                    routeProduct(
                                         op, banks_.bankOfAddr(
                                                 base + wBank[w]));
                                 }
@@ -353,7 +736,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                             ++landed;
                             if (Functional) {
                                 const uint64_t pk = wPacked[w];
-                                banks_.opRoute(
+                                routeProduct(
                                     op,
                                     banks_.bankOfAddr(
                                         base +
@@ -367,7 +750,7 @@ ProcessingElement::runGroupImpl(const CompressedActTile &acts,
                                     av *
                                     static_cast<double>(W.value[w]);
                             } else {
-                                banks_.opRoute(
+                                routeProduct(
                                     op, banks_.bankOfAddr(
                                             base + wBank[w]));
                             }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "arch/config.hh"
+#include "common/simd.hh"
 #include "nn/layer.hh"
 #include "scnn/accumulator.hh"
 #include "scnn/tiling.hh"
@@ -65,7 +66,9 @@ struct GroupAccum
 {
     TileRect rect;              ///< output-plane window covered
     int kc = 0;                 ///< output channels in the group
-    std::vector<double> values; ///< (kLocal, ox - x0, oy - y0) dense
+    /** (kLocal, ox - x0, oy - y0) dense; 64-byte aligned so vector
+     *  gathers/drains never split cache lines. */
+    simd::AlignedVec<double> values;
 
     void
     reset(const TileRect &r, int kcActual)
@@ -145,8 +148,14 @@ class ProcessingElement
      *         FixedFI (0 = use the configured pe.mulF / pe.mulI at
      *         runtime).  The paper's F = I = 4 gets a dedicated
      *         instantiation whose op loops fully unroll.
+     * @tparam Simd interior ops run on the SIMD lane layer
+     *         (common/simd.hh): vectorized bank ids, conflict-count
+     *         routing and gather/scatter accumulation.  Only selected
+     *         when the build tier supports it and SCNN_SIMD is not
+     *         forcing the scalar twins; results are bit-identical
+     *         either way.
      */
-    template <bool Functional, bool Stride1, int FixedFI>
+    template <bool Functional, bool Stride1, int FixedFI, bool Simd>
     PeGroupStats runGroupImpl(const CompressedActTile &acts,
                               const std::vector<CompressedWeightBlock>
                                   &wtBlocks,
@@ -155,6 +164,10 @@ class ProcessingElement
     using KernelFn = PeGroupStats (ProcessingElement::*)(
         const CompressedActTile &,
         const std::vector<CompressedWeightBlock> &, GroupAccum *);
+
+    /** Bind the {functional, stats-only} pair for this layer. */
+    template <bool Simd>
+    void selectKernels(bool stride1, bool fi4);
 
     const AcceleratorConfig &cfg_;
     const ConvLayerParams &layer_;

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "nn/reference.hh"
 #include "scnn/kernel_scratch.hh"
 #include "scnn/pe.hh"
@@ -37,15 +38,71 @@ storedElementsInTile(const Tensor3 &t, const TileRect &tile)
     if (tile.empty())
         return 0;
     uint64_t total = 0;
+    const int h = t.height();
+    const int rh = tile.height();
     RleCounter rc;
     for (int c = 0; c < t.channels(); ++c) {
         rc.reset();
+        const float *plane = t.plane(c);
+        // Rows are contiguous in y; the span feed scans them with
+        // vector compares.
         for (int x = tile.x0; x < tile.x1; ++x)
-            for (int y = tile.y0; y < tile.y1; ++y)
-                rc.feed(t.get(c, x, y));
+            rc.feed(plane + static_cast<size_t>(x) * h + tile.y0,
+                    static_cast<size_t>(rh));
         total += rc.stored;
     }
     return total;
+}
+
+/**
+ * dst[i] += src[i] over one accumulator-rect row (contiguous in oy).
+ * Dense vector adds replace the old skip-if-zero merge: adding an
+ * exact 0.0 is an identity on every value the plane can hold (partial
+ * sums are never -0.0: products of non-zero floats cannot underflow
+ * to zero in double, and round-to-nearest addition never produces
+ * -0.0 from distinct operands), so the result is bit-identical.
+ */
+void
+addRow(double *dst, const double *src, long n)
+{
+    using V = simd::Vec<double>;
+    long i = 0;
+    if constexpr (simd::kVectorBuild) {
+        for (; i + V::kLanes <= n; i += V::kLanes)
+            (V::loadu(dst + i) + V::loadu(src + i)).storeu(dst + i);
+    }
+    for (; i < n; ++i)
+        dst[i] += src[i];
+}
+
+/**
+ * Convert one drained row of double partial sums to the float output
+ * (optionally ReLU-clamped).  The vector clamp keeps the exact
+ * std::max(f, 0.0f) semantics: only lanes strictly below zero are
+ * replaced.
+ */
+template <bool Relu>
+void
+drainRowToFloat(const double *src, float *dst, long n)
+{
+    using VD = simd::Vec<double>;
+    using VF = simd::Vec<float>;
+    long i = 0;
+    if constexpr (simd::kVectorBuild) {
+        for (; i + VF::kLanes <= n; i += VF::kLanes) {
+            VF f = simd::narrowToFloat(
+                VD::loadu(src + i), VD::loadu(src + i + VD::kLanes));
+            if constexpr (Relu)
+                f = simd::select(f, VF::zero(), simd::ltZeroMask(f));
+            f.storeu(dst + i);
+        }
+    }
+    for (; i < n; ++i) {
+        float f = static_cast<float>(src[i]);
+        if constexpr (Relu)
+            f = std::max(f, 0.0f);
+        dst[i] = f;
+    }
 }
 
 /**
@@ -251,30 +308,36 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
             const PeGroupStats &st = scratch.groupStats[p];
 
             if (functional) {
-                // Sparse per-tile drain: only non-zero partial sums
-                // leave the PE's private buffer, in PE order.
+                // Per-tile drain of the PE's private buffer, in PE
+                // order, one contiguous oy row at a time on the lane
+                // layer.  Input-halo mode (disjoint accumulator
+                // rects) converts straight into the output tensor;
+                // output-halo mode merges into the group plane.
                 const GroupAccum &ga = scratch.groupAccums[p];
                 const double *src = ga.values.data();
+                const int rh = ga.rect.height();
                 for (int kl = 0; kl < ga.kc; ++kl) {
                     for (int ox = ga.rect.x0; ox < ga.rect.x1; ++ox) {
-                        for (int oy = ga.rect.y0; oy < ga.rect.y1;
-                             ++oy, ++src) {
-                            const double v = *src;
-                            if (v == 0.0)
-                                continue;
-                            if (disjointDrain) {
-                                float f = static_cast<float>(v);
-                                if (layer.applyRelu)
-                                    f = std::max(f, 0.0f);
-                                out.set(k0 + kl, ox, oy, f);
-                            } else {
-                                scratch.groupPlane
-                                    [(static_cast<size_t>(kl) * outW +
-                                      ox) *
-                                         outH +
-                                     oy] += v;
-                            }
+                        if (disjointDrain) {
+                            float *dst = out.data() +
+                                (static_cast<size_t>(k0 + kl) * outW +
+                                 ox) *
+                                    outH +
+                                ga.rect.y0;
+                            if (layer.applyRelu)
+                                drainRowToFloat<true>(src, dst, rh);
+                            else
+                                drainRowToFloat<false>(src, dst, rh);
+                        } else {
+                            addRow(scratch.groupPlane.data() +
+                                       (static_cast<size_t>(kl) *
+                                            outW +
+                                        ox) *
+                                           outH +
+                                       ga.rect.y0,
+                                   src, rh);
                         }
+                        src += rh;
                     }
                 }
             }
@@ -306,18 +369,17 @@ ScnnSimulator::runLayer(const LayerWorkload &workload,
 
         if (functional && !disjointDrain) {
             // This group owns output channels [k0, k1) exclusively, so
-            // the merged plane is final: post-activate and store.
+            // the merged plane is final: post-activate and store.  The
+            // plane and the output channel block are both dense and
+            // contiguous, so this is one long vector row.
             const double *src = scratch.groupPlane.data();
-            for (int kl = 0; kl < kcActual; ++kl) {
-                for (int ox = 0; ox < outW; ++ox) {
-                    for (int oy = 0; oy < outH; ++oy, ++src) {
-                        float f = static_cast<float>(*src);
-                        if (layer.applyRelu)
-                            f = std::max(f, 0.0f);
-                        out.set(k0 + kl, ox, oy, f);
-                    }
-                }
-            }
+            float *dst = out.data() +
+                         static_cast<size_t>(k0) * outW * outH;
+            const long n = static_cast<long>(kcActual) * outW * outH;
+            if (layer.applyRelu)
+                drainRowToFloat<true>(src, dst, n);
+            else
+                drainRowToFloat<false>(src, dst, n);
         }
         clock.stop(StageClock::Drain);
 

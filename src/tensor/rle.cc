@@ -31,6 +31,22 @@ RleStream::placeholders() const
     return n;
 }
 
+void
+RleCounter::feed(const float *p, size_t n)
+{
+    size_t i = 0;
+    if (maxRun == 15) {
+        using V = simd::Vec<float>;
+        constexpr int W = V::kLanes;
+        if constexpr (simd::kVectorBuild) {
+            for (; i + W <= n; i += W)
+                feedZeroMask(simd::zeroMask(V::loadu(p + i)), W);
+        }
+    }
+    for (; i < n; ++i)
+        feed(p[i]);
+}
+
 RleStream
 rleEncode(FloatSpan dense, int maxRun)
 {
@@ -38,6 +54,56 @@ rleEncode(FloatSpan dense, int maxRun)
 
     RleStream out;
     out.decodedLength = dense.size();
+
+    // The paper's 4-bit-index encoding scans with vector compares:
+    // the zero-lane mask of each chunk drives the same run arithmetic
+    // as RleCounter (a zero gap of g positions entered with run r
+    // emits floor((r + g) / 16) placeholders), and only the stored
+    // elements are touched per-element.
+    if (maxRun == 15 && simd::kVectorBuild) {
+        using V = simd::Vec<float>;
+        constexpr int W = V::kLanes;
+        const float *p = dense.begin();
+        const size_t n = dense.size();
+        int run = 0;
+        const auto emitGap = [&](int gap) {
+            int total = run + gap;
+            while (total >= 16) {
+                out.values.push_back(0.0f);
+                out.zeroRuns.push_back(15);
+                total -= 16;
+            }
+            run = total;
+        };
+        size_t i = 0;
+        for (; i + W <= n; i += W) {
+            simd::LaneMask nz =
+                ~simd::zeroMask(V::loadu(p + i)) & simd::maskN(W);
+            int pos = 0;
+            while (nz) {
+                const int l = __builtin_ctz(nz);
+                emitGap(l - pos);
+                out.values.push_back(p[i + l]);
+                out.zeroRuns.push_back(static_cast<uint8_t>(run));
+                run = 0;
+                pos = l + 1;
+                nz &= nz - 1;
+            }
+            emitGap(W - pos);
+        }
+        for (; i < n; ++i) {
+            if (p[i] == 0.0f) {
+                emitGap(1);
+            } else {
+                out.values.push_back(p[i]);
+                out.zeroRuns.push_back(static_cast<uint8_t>(run));
+                run = 0;
+            }
+        }
+        // Trailing zeros need no storage: the decoder pads to the
+        // expected length.
+        return out;
+    }
 
     int run = 0;
     for (float v : dense) {
@@ -67,8 +133,7 @@ rleStoredElements(FloatSpan dense, int maxRun)
 {
     SCNN_ASSERT(maxRun >= 0 && maxRun <= 255, "bad maxRun %d", maxRun);
     RleCounter rc(maxRun);
-    for (float v : dense)
-        rc.feed(v);
+    rc.feed(dense.begin(), dense.size());
     return rc.stored;
 }
 

@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.hh"
+
 namespace scnn {
 
 /**
@@ -123,12 +125,47 @@ struct RleCounter
         }
     }
 
+    /**
+     * Feed a contiguous dense span; exactly equivalent to feed()ing
+     * each element in order.  The hot path (maxRun = 15) scans the
+     * span with full-width vector compares and processes the
+     * resulting zero-lane masks with integer run arithmetic: a zero
+     * gap of g dense positions entered with run r yields
+     * floor((r + g) / 16) placeholder elements and leaves
+     * run = (r + g) mod 16, so the per-element branch chain drops out.
+     */
+    void feed(const float *p, size_t n);
+
     /** Trailing zeros need no storage; start the next substream. */
     void
     reset()
     {
         run = 0;
         stored = 0;
+    }
+
+  private:
+    /**
+     * Account one chunk of w dense elements whose zero lanes are the
+     * set bits of z (bit i = element i == 0.0f).  maxRun must be 15.
+     */
+    void
+    feedZeroMask(simd::LaneMask z, int w)
+    {
+        simd::LaneMask nz = ~z & simd::maskN(w);
+        stored += static_cast<uint64_t>(__builtin_popcount(nz));
+        int pos = 0;
+        int r = run;
+        while (nz) {
+            const int i = __builtin_ctz(nz);
+            stored += static_cast<uint64_t>(r + (i - pos)) >> 4;
+            r = 0;
+            pos = i + 1;
+            nz &= nz - 1;
+        }
+        const int tail = r + (w - pos);
+        stored += static_cast<uint64_t>(tail) >> 4;
+        run = tail & 15;
     }
 };
 

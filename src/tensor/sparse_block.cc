@@ -38,26 +38,73 @@ CompressedActTile::rebuild(const Tensor3 &acts, int x0, int x1, int y0,
                               static_cast<uint64_t>(y1 - y0);
 
     if (phases_ == 1) {
-        // Stride 1: one substream per channel in plain scan order --
-        // stream straight into the flat SoA arrays.
+        // Stride 1: one substream per channel in plain scan order.
+        // Tile rows are contiguous in y, so each row is scanned with
+        // vector compares; non-zero values compress-store into the
+        // flat SoA arrays and only the surviving lanes get per-entry
+        // coordinate work (zero-heavy chunks are skipped in bulk).
+        // The RLE accounting streams the same rows through the
+        // counter's span feed.
         RleCounter rc;
+        const int h = acts.height();
+        const int rh = y1 - y0;
+        using V = simd::Vec<float>;
         for (int c = 0; c < channels_; ++c) {
             rc.reset();
+            const float *plane = acts.plane(c);
+            // One worst-case (dense) grow per channel, trimmed once
+            // at the end: the scan writes through bare cursors.
+            const size_t cur = values_.size();
+            values_.resize(cur + tileArea);
+            xq_.resize(cur + tileArea);
+            yq_.resize(cur + tileArea);
+            float *vout = values_.data() + cur;
+            int16_t *xout = xq_.data() + cur;
+            int16_t *yout = yq_.data() + cur;
+            size_t cnt = 0;
             for (int x = x0; x < x1; ++x) {
-                for (int y = y0; y < y1; ++y) {
-                    const float v = acts.get(c, x, y);
-                    rc.feed(v);
+                const float *row =
+                    plane + static_cast<size_t>(x) * h + y0;
+                rc.feed(row, static_cast<size_t>(rh));
+
+                // Stride 1: the quotient is the padded coordinate
+                // itself.
+                const int16_t xp = static_cast<int16_t>(x + padX_);
+                int y = 0;
+                if constexpr (simd::kVectorBuild) {
+                    for (; y + V::kLanes <= rh; y += V::kLanes) {
+                        const V v = V::loadu(row + y);
+                        simd::LaneMask nz = ~simd::zeroMask(v) &
+                                            simd::maskN(V::kLanes);
+                        if (!nz)
+                            continue;
+                        simd::compressStore(vout + cnt, v, nz);
+                        size_t k = cnt;
+                        while (nz) {
+                            const int l = __builtin_ctz(nz);
+                            xout[k] = xp;
+                            yout[k] = static_cast<int16_t>(y0 + y +
+                                                           l + padY_);
+                            ++k;
+                            nz &= nz - 1;
+                        }
+                        cnt = k;
+                    }
+                }
+                for (; y < rh; ++y) {
+                    const float v = row[y];
                     if (v != 0.0f) {
-                        values_.push_back(v);
-                        // Stride 1: the quotient is the padded
-                        // coordinate itself.
-                        xq_.push_back(
-                            static_cast<int16_t>(x + padX_));
-                        yq_.push_back(
-                            static_cast<int16_t>(y + padY_));
+                        vout[cnt] = v;
+                        xout[cnt] = xp;
+                        yout[cnt] =
+                            static_cast<int16_t>(y0 + y + padY_);
+                        ++cnt;
                     }
                 }
             }
+            values_.resize(cur + cnt);
+            xq_.resize(cur + cnt);
+            yq_.resize(cur + cnt);
             offsets_[static_cast<size_t>(c) + 1] =
                 static_cast<uint32_t>(values_.size());
             stored_[c] = rc.stored;

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/simd.hh"
 #include "tensor/rle.hh"
 #include "tensor/tensor.hh"
 
@@ -176,9 +177,11 @@ class CompressedActTile
     int x0_ = 0, x1_ = 0, y0_ = 0, y1_ = 0;
     int padX_ = 0, padY_ = 0;
     int strideX_ = 1, strideY_ = 1;
-    std::vector<float> values_;
-    std::vector<int16_t> xq_;
-    std::vector<int16_t> yq_;
+    // 64-byte aligned: the PE kernels stream these with full-width
+    // vector loads.
+    simd::AlignedVec<float> values_;
+    simd::AlignedVec<int16_t> xq_;
+    simd::AlignedVec<int16_t> yq_;
     /** Substream bounds: entry (c, p) is
      *  [offsets_[c*phases+p], offsets_[c*phases+p+1]). */
     std::vector<uint32_t> offsets_;
@@ -268,10 +271,12 @@ class CompressedWeightBlock
     int phases_ = 1;
     int k0_ = 0;
     int strideX_ = 1, strideY_ = 1;
-    std::vector<float> values_;
-    std::vector<int16_t> kRel_;
-    std::vector<int16_t> rq_;
-    std::vector<int16_t> sq_;
+    // 64-byte aligned: the PE kernels stream these with full-width
+    // vector loads.
+    simd::AlignedVec<float> values_;
+    simd::AlignedVec<int16_t> kRel_;
+    simd::AlignedVec<int16_t> rq_;
+    simd::AlignedVec<int16_t> sq_;
     std::vector<uint32_t> offsets_; ///< phases_ + 1 bounds
     uint64_t stored_ = 0;
     uint64_t nonZeros_ = 0;

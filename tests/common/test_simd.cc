@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit tests of the portable SIMD lane layer (common/simd.hh): lane
+ * arithmetic, masks, compress-store, the gather/scatter/conflict
+ * specials of the kernel tier, the aligned allocator, and the
+ * SCNN_SIMD runtime mode plumbing.  Every op is checked against a
+ * scalar reference on the same data, so the suite passes on every
+ * build tier (the scalar tier exercises the width-1 implementations).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/simd.hh"
+
+namespace scnn {
+namespace {
+
+using simd::LaneMask;
+using simd::Vec;
+
+TEST(Simd, TierIsConsistent)
+{
+    EXPECT_EQ(Vec<float>::kLanes, simd::kFloatLanes);
+    EXPECT_EQ(Vec<double>::kLanes, simd::kDoubleLanes);
+    EXPECT_EQ(Vec<int32_t>::kLanes, simd::kInt32Lanes);
+    EXPECT_GE(simd::kFloatLanes, 1);
+    EXPECT_STREQ(simd::tierName(), simd::kTierName);
+    if (simd::kKernelVectorized) {
+        EXPECT_TRUE(simd::kHasGather);
+        EXPECT_TRUE(simd::kHasScatter);
+        EXPECT_TRUE(simd::kHasConflict);
+    }
+}
+
+TEST(Simd, ModeOverrideRoundTrip)
+{
+    const simd::Mode ambient = simd::mode();
+    simd::setMode(simd::Mode::Scalar);
+    EXPECT_EQ(simd::mode(), simd::Mode::Scalar);
+    simd::setMode(simd::Mode::Native);
+    EXPECT_EQ(simd::mode(), simd::Mode::Native);
+    simd::setMode(ambient);
+    EXPECT_NE(simd::activeDescription(), nullptr);
+}
+
+TEST(Simd, MaskN)
+{
+    EXPECT_EQ(simd::maskN(0), 0u);
+    EXPECT_EQ(simd::maskN(1), 1u);
+    EXPECT_EQ(simd::maskN(4), 0xfu);
+    EXPECT_EQ(simd::maskN(16), 0xffffu);
+    EXPECT_EQ(simd::maskN(32), 0xffffffffu);
+}
+
+TEST(Simd, AlignedVecIsCacheLineAligned)
+{
+    simd::AlignedVec<float> f(100, 1.0f);
+    simd::AlignedVec<double> d(100, 2.0);
+    simd::AlignedVec<int16_t> h(100, 3);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(f.data()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(d.data()) % 64, 0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(h.data()) % 64, 0u);
+    f.resize(1000);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(f.data()) % 64, 0u);
+}
+
+TEST(Simd, FloatLaneArithmeticAndMasks)
+{
+    constexpr int W = Vec<float>::kLanes;
+    Rng rng(7);
+    simd::AlignedVec<float> a(W), b(W), out(W);
+    for (int i = 0; i < W; ++i) {
+        a[i] = (i % 3 == 0) ? 0.0f
+                            : static_cast<float>(rng.uniform(-2.0, 2.0));
+        b[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+    }
+    const Vec<float> va = Vec<float>::load(a.data());
+    const Vec<float> vb = Vec<float>::loadu(b.data());
+
+    (va + vb).storeu(out.data());
+    for (int i = 0; i < W; ++i)
+        EXPECT_EQ(out[i], a[i] + b[i]) << i;
+
+    (va * vb).store(out.data());
+    for (int i = 0; i < W; ++i)
+        EXPECT_EQ(out[i], a[i] * b[i]) << i;
+
+    simd::fma(va, vb, Vec<float>::broadcast(0.5f)).storeu(out.data());
+    for (int i = 0; i < W; ++i)
+        EXPECT_NEAR(out[i], a[i] * b[i] + 0.5f, 1e-6) << i;
+
+    const LaneMask z = simd::zeroMask(va);
+    const LaneMask lt = simd::ltZeroMask(va);
+    for (int i = 0; i < W; ++i) {
+        EXPECT_EQ((z >> i) & 1u, a[i] == 0.0f ? 1u : 0u) << i;
+        EXPECT_EQ((lt >> i) & 1u, a[i] < 0.0f ? 1u : 0u) << i;
+    }
+
+    // select: set bits take the second operand.
+    const LaneMask sel = 0b0110u & simd::maskN(W);
+    simd::select(va, vb, sel).storeu(out.data());
+    for (int i = 0; i < W; ++i)
+        EXPECT_EQ(out[i], ((sel >> i) & 1u) ? b[i] : a[i]) << i;
+}
+
+TEST(Simd, CompressStoreMatchesScalarCompaction)
+{
+    constexpr int W = Vec<float>::kLanes;
+    Rng rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+        simd::AlignedVec<float> src(W);
+        for (int i = 0; i < W; ++i)
+            src[i] = rng.bernoulli(0.5)
+                ? static_cast<float>(rng.uniform(0.1, 1.0))
+                : 0.0f;
+        const Vec<float> v = Vec<float>::loadu(src.data());
+        const LaneMask keep = ~simd::zeroMask(v) & simd::maskN(W);
+
+        std::vector<float> got(W + 1, -1.0f);
+        const int n = simd::compressStore(got.data(), v, keep);
+
+        std::vector<float> want;
+        for (int i = 0; i < W; ++i)
+            if (src[i] != 0.0f)
+                want.push_back(src[i]);
+        ASSERT_EQ(static_cast<size_t>(n), want.size());
+        for (size_t i = 0; i < want.size(); ++i)
+            EXPECT_EQ(got[i], want[i]) << i;
+        EXPECT_EQ(got[want.size()], -1.0f) << "overwrote past count";
+    }
+}
+
+TEST(Simd, DoubleLaneArithmetic)
+{
+    constexpr int W = Vec<double>::kLanes;
+    simd::AlignedVec<double> a(W), b(W), out(W);
+    for (int i = 0; i < W; ++i) {
+        a[i] = 1.25 * i - 3.0;
+        b[i] = 0.5 * i + 1.0;
+    }
+    (Vec<double>::load(a.data()) + Vec<double>::loadu(b.data()))
+        .storeu(out.data());
+    for (int i = 0; i < W; ++i)
+        EXPECT_EQ(out[i], a[i] + b[i]) << i;
+    (Vec<double>::load(a.data()) * Vec<double>::broadcast(2.0))
+        .store(out.data());
+    for (int i = 0; i < W; ++i)
+        EXPECT_EQ(out[i], a[i] * 2.0) << i;
+}
+
+TEST(Simd, Int32LaneArithmetic)
+{
+    constexpr int W = Vec<int32_t>::kLanes;
+    simd::AlignedVec<int32_t> a(W), out(W);
+    for (int i = 0; i < W; ++i)
+        a[i] = 100 * i - 50;
+    (Vec<int32_t>::load(a.data()) + Vec<int32_t>::broadcast(7))
+        .storeu(out.data());
+    for (int i = 0; i < W; ++i)
+        EXPECT_EQ(out[i], a[i] + 7) << i;
+    (Vec<int32_t>::load(a.data()) & Vec<int32_t>::broadcast(31))
+        .store(out.data());
+    for (int i = 0; i < W; ++i)
+        EXPECT_EQ(out[i], a[i] & 31) << i;
+}
+
+#if defined(SCNN_SIMD_AVX512)
+
+TEST(SimdKernelTier, ConflictAndPopcount)
+{
+    // ids with known duplicate structure: lane i's conflict mask
+    // holds the earlier lanes with the same value.
+    alignas(64) const int32_t ids[16] = {3, 5, 3, 7, 5, 3, 9, 9,
+                                         1, 2, 3, 4, 5, 6, 7, 8};
+    const Vec<int32_t> v = Vec<int32_t>::load(ids);
+    alignas(64) int32_t cnt[16];
+    (simd::popcount(simd::conflict(v)) + Vec<int32_t>::broadcast(1))
+        .store(cnt);
+    for (int i = 0; i < 16; ++i) {
+        int expect = 1;
+        for (int j = 0; j < i; ++j)
+            if (ids[j] == ids[i])
+                ++expect;
+        EXPECT_EQ(cnt[i], expect) << i;
+    }
+
+    EXPECT_FALSE(simd::hasConflict(v, 0x3u));  // lanes {3, 5}
+    EXPECT_TRUE(simd::hasConflict(v, 0x7u));   // dup 3 at lane 2
+    EXPECT_TRUE(simd::hasConflict(v, 0x1u | (1u << 10)));
+    EXPECT_FALSE(simd::hasConflict(v, (1u << 6) | (1u << 8)));
+    // A valid lane that duplicates an *earlier* masked-off lane still
+    // reports a conflict: the kernels only ever mask high (tail)
+    // lanes, so this conservative semantic never misses a real dup.
+    EXPECT_TRUE(simd::hasConflict(v, 1u << 7));
+}
+
+TEST(SimdKernelTier, Gather32Scatter32)
+{
+    simd::AlignedVec<uint32_t> table(64);
+    for (int i = 0; i < 64; ++i)
+        table[i] = 1000u + i;
+    alignas(64) const int32_t idx[16] = {5,  0, 63, 7, 7, 12, 31, 2,
+                                         40, 1, 1,  9, 8, 50, 33, 4};
+    const Vec<int32_t> vidx = Vec<int32_t>::load(idx);
+    alignas(64) int32_t got[16];
+    simd::gather32(table.data(), vidx).store(got);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(static_cast<uint32_t>(got[i]), table[idx[i]]) << i;
+
+    // Scatter: ascending lane order, highest duplicate lane wins.
+    alignas(64) int32_t vals[16];
+    for (int i = 0; i < 16; ++i)
+        vals[i] = 2000 + i;
+    simd::scatter32(table.data(), vidx, Vec<int32_t>::load(vals));
+    EXPECT_EQ(table[7], 2004u);  // lanes 3 and 4 -> lane 4 wins
+    EXPECT_EQ(table[1], 2010u);  // lanes 9 and 10 -> lane 10 wins
+    EXPECT_EQ(table[5], 2000u);
+    EXPECT_EQ(table[63], 2002u);
+    EXPECT_EQ(table[6], 1006u) << "untouched entry";
+}
+
+TEST(SimdKernelTier, GatherScatterF64)
+{
+    simd::AlignedVec<double> dtab(32);
+    for (int i = 0; i < 32; ++i)
+        dtab[i] = 0.5 * i;
+    alignas(64) const int32_t idx[16] = {1, 3, 5,  7,  9,  11, 13, 15,
+                                         0, 2, 30, 31, 17, 19, 21, 23};
+    const Vec<int32_t> vidx = Vec<int32_t>::load(idx);
+
+    alignas(64) double dlo[8], dhi[8];
+    simd::gatherF64(dtab.data(), vidx, 0, 0xffffu).storeu(dlo);
+    simd::gatherF64(dtab.data(), vidx, 1, 0xffffu).storeu(dhi);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(dlo[i], dtab[idx[i]]) << i;
+        EXPECT_EQ(dhi[i], dtab[idx[8 + i]]) << i;
+    }
+
+    // Masked gather returns 0 in masked-off lanes.
+    simd::gatherF64(dtab.data(), vidx, 0, 0x5u).storeu(dlo);
+    EXPECT_EQ(dlo[1], 0.0);
+    EXPECT_EQ(dlo[2], dtab[idx[2]]);
+
+    // F64 scatter through half 1.
+    simd::scatterF64(dtab.data(), vidx, 1,
+                     Vec<double>::broadcast(-1.0), 0xffffu);
+    EXPECT_EQ(dtab[30], -1.0);
+    EXPECT_EQ(dtab[1], 0.5) << "half-0 index untouched by half-1";
+}
+
+TEST(SimdKernelTier, LaneShuffles)
+{
+    alignas(64) const int32_t four[4] = {11, 22, 33, 44};
+    alignas(64) int32_t got[16];
+    Vec<int32_t>::broadcast4(four).store(got);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(got[i], four[i % 4]) << i;
+
+    alignas(64) const int32_t table[16] = {0, 10, 20, 30, 40, 50,
+                                           60, 70, 80, 90, 100, 110,
+                                           120, 130, 140, 150};
+    alignas(64) const int32_t perm[16] = {0, 0, 0, 0, 1, 1, 1, 1,
+                                          2, 2, 2, 2, 3, 3, 3, 3};
+    simd::permute(Vec<int32_t>::load(table), Vec<int32_t>::load(perm))
+        .store(got);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(got[i], table[i / 4]) << i;
+
+    alignas(64) double dgot[8];
+    simd::dupHalves(1.5, -2.5).storeu(dgot);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(dgot[i], i < 4 ? 1.5 : -2.5) << i;
+
+    const float wf[4] = {0.5f, 1.5f, 2.5f, 3.5f};
+    simd::dup4Floats(wf).storeu(dgot);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(dgot[i], static_cast<double>(wf[i % 4])) << i;
+    simd::dup4Floats(wf, 2).storeu(dgot);
+    EXPECT_EQ(dgot[0], 0.5);
+    EXPECT_EQ(dgot[1], 1.5);
+    EXPECT_EQ(dgot[2], 0.0) << "masked tail converts from zero";
+
+    const float w8[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    simd::cvt8Floats(w8, 0x1fu).storeu(dgot);
+    EXPECT_EQ(dgot[4], 5.0);
+    EXPECT_EQ(dgot[5], 0.0);
+
+    EXPECT_EQ(simd::reduceMaxU32(Vec<int32_t>::load(table)), 150u);
+}
+
+#endif // SCNN_SIMD_AVX512
+
+TEST(Simd, NarrowToFloatMatchesScalarCast)
+{
+    if constexpr (simd::kVectorBuild) {
+        constexpr int WD = Vec<double>::kLanes;
+        simd::AlignedVec<double> src(2 * WD);
+        for (int i = 0; i < 2 * WD; ++i)
+            src[i] = -1.3 * i + 4.0;
+        simd::AlignedVec<float> got(2 * WD);
+        simd::narrowToFloat(Vec<double>::load(src.data()),
+                            Vec<double>::load(src.data() + WD))
+            .storeu(got.data());
+        for (int i = 0; i < 2 * WD; ++i)
+            EXPECT_EQ(got[i], static_cast<float>(src[i])) << i;
+    }
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Property sweep pinning the SIMD kernel twins against each other:
+ * for every combination of activation density x stride x multiplier-
+ * array shape (F, I) -- including shapes whose substreams leave
+ * ragged tails smaller than the vector width, a non-power-of-two
+ * bank count (which must dispatch to the scalar kernels), grouped
+ * convolution and both halo modes -- a full ScnnSimulator::runLayer
+ * under SCNN_SIMD=native must produce a LayerResult that is
+ * bit-identical (timing stats, energy, extra stats, functional
+ * output) to SCNN_SIMD=scalar.
+ *
+ * On build tiers without the vector kernel scheme the two modes bind
+ * the same kernels and the sweep degenerates to a determinism check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/config.hh"
+#include "common/simd.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "scnn/simulator.hh"
+#include "tensor/tensor.hh"
+
+namespace scnn {
+namespace {
+
+void
+expectBitIdentical(const LayerResult &a, const LayerResult &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.computeCycles, b.computeCycles) << what;
+    EXPECT_EQ(a.drainExposedCycles, b.drainExposedCycles) << what;
+    EXPECT_EQ(a.mulArrayOps, b.mulArrayOps) << what;
+    EXPECT_EQ(a.products, b.products) << what;
+    EXPECT_EQ(a.landedProducts, b.landedProducts) << what;
+    EXPECT_EQ(a.stats.get("conflict_stall_cycles"),
+              b.stats.get("conflict_stall_cycles"))
+        << what;
+    EXPECT_EQ(a.energyPj, b.energyPj) << what;
+    EXPECT_EQ(a.dramWeightBits, b.dramWeightBits) << what;
+    EXPECT_EQ(a.dramActBits, b.dramActBits) << what;
+    EXPECT_EQ(a.stats.entries(), b.stats.entries()) << what;
+    ASSERT_EQ(a.output.channels(), b.output.channels()) << what;
+    if (a.output.channels() > 0)
+        EXPECT_EQ(maxAbsDiff(a.output, b.output), 0.0) << what;
+}
+
+struct ArrayShape
+{
+    int f;
+    int i;
+};
+
+TEST(SimdParity, DensityStrideShapeSweep)
+{
+    const simd::Mode ambient = simd::mode();
+
+    // F = I = 4 is the paper shape (dedicated kernel); 8x8 and 2x4
+    // exercise the generic kernel's full and ragged vector tails;
+    // 5x3 yields 30 banks (not a power of two), which must fall back
+    // to the scalar kernels under both modes.
+    const ArrayShape shapes[] = {{4, 4}, {8, 8}, {2, 4}, {5, 3}};
+    const double densities[] = {0.05, 0.35, 0.9};
+    const int strides[] = {1, 2, 3};
+
+    int caseNo = 0;
+    for (const ArrayShape shape : shapes) {
+        for (const double density : densities) {
+            for (const int stride : strides) {
+                for (const bool inputHalos : {false, true}) {
+                    ConvLayerParams layer;
+                    layer.name = "sweep_f" + std::to_string(shape.f) +
+                                 "i" + std::to_string(shape.i) + "_d" +
+                                 std::to_string(density) + "_s" +
+                                 std::to_string(stride) +
+                                 (inputHalos ? "_ih" : "_oh");
+                    // Odd extents and channel counts leave ragged
+                    // activation vectors and weight chunks at every
+                    // F/I shape.
+                    layer.inChannels = 6;
+                    layer.outChannels = 14;
+                    layer.inWidth = 17;
+                    layer.inHeight = 13;
+                    layer.filterW = 3;
+                    layer.filterH = 3;
+                    layer.strideX = stride;
+                    layer.strideY = stride;
+                    layer.padX = 1;
+                    layer.padY = 1;
+                    layer.groups = 2;
+                    layer.weightDensity = 0.5;
+                    layer.inputDensity = density;
+                    layer.validate();
+
+                    AcceleratorConfig cfg = scnnConfig();
+                    cfg.pe.mulF = shape.f;
+                    cfg.pe.mulI = shape.i;
+                    cfg.pe.accumBanks = 2 * shape.f * shape.i;
+                    cfg.pe.inputHalos = inputHalos;
+                    ScnnSimulator sim(cfg);
+
+                    const LayerWorkload w =
+                        makeWorkload(layer, 977 + caseNo);
+                    ++caseNo;
+
+                    RunOptions opts;
+                    opts.threads = 1;
+                    simd::setMode(simd::Mode::Scalar);
+                    const LayerResult scalar = sim.runLayer(w, opts);
+                    simd::setMode(simd::Mode::Native);
+                    const LayerResult native = sim.runLayer(w, opts);
+                    simd::setMode(ambient);
+
+                    expectBitIdentical(scalar, native, layer.name);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Stats-only runs (RunOptions::functional = false) must agree across
+ * modes too: the vector routing path is shared, but the stats-only
+ * kernels skip all functional lanes.
+ */
+TEST(SimdParity, StatsOnlyRunsAgreeAcrossModes)
+{
+    const simd::Mode ambient = simd::mode();
+    ConvLayerParams layer =
+        makeConv("sweep_stats", 7, 13, 19, 3, 1, 0.45, 0.3);
+    AcceleratorConfig cfg = scnnConfig();
+    ScnnSimulator sim(cfg);
+    const LayerWorkload w = makeWorkload(layer, 4242);
+
+    RunOptions opts;
+    opts.threads = 1;
+    opts.functional = false;
+    simd::setMode(simd::Mode::Scalar);
+    const LayerResult scalar = sim.runLayer(w, opts);
+    simd::setMode(simd::Mode::Native);
+    const LayerResult native = sim.runLayer(w, opts);
+    simd::setMode(ambient);
+
+    expectBitIdentical(scalar, native, "stats-only");
+    EXPECT_EQ(native.output.channels(), 0)
+        << "stats-only runs produce no functional output";
+}
+
+} // anonymous namespace
+} // namespace scnn

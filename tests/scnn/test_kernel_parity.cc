@@ -18,6 +18,13 @@
  *  3. Full-layer LayerResults (cycles, products, landed, conflict
  *     stalls, energy, functional outputs) must be bit-identical
  *     across 1/2/8 worker threads in both halo modes.
+ *
+ * Every case runs under both SCNN_SIMD kernel modes -- the scalar
+ * twins and the vectorized lane-layer kernels -- which pins the
+ * SIMD rebuild (conflict-count bank routing, gather/scatter
+ * accumulation with the conflict fallback) bit-identical to both the
+ * scalar kernels and the pre-refactor reference.  On builds whose
+ * lane layer has no vector kernel scheme the two modes coincide.
  */
 
 #include <gtest/gtest.h>
@@ -26,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "nn/model_zoo.hh"
 #include "nn/workload.hh"
 #include "scnn/pe.hh"
@@ -34,6 +42,20 @@
 
 namespace scnn {
 namespace {
+
+/** Run a callback under each SCNN_SIMD mode, restoring the ambient
+ *  mode afterwards; the callback receives a tag for messages. */
+template <typename Fn>
+void
+forEachSimdMode(Fn &&fn)
+{
+    const simd::Mode ambient = simd::mode();
+    for (const simd::Mode m : {simd::Mode::Native, simd::Mode::Scalar}) {
+        simd::setMode(m);
+        fn(m == simd::Mode::Native ? "/simd=native" : "/simd=scalar");
+    }
+    simd::setMode(ambient);
+}
 
 /**
  * The pre-refactor AoS kernel, kept verbatim as the golden reference:
@@ -134,10 +156,12 @@ expectStatsEqual(const PeGroupStats &a, const PeGroupStats &b,
     EXPECT_EQ(a.conflictStalls, b.conflictStalls) << what;
 }
 
-/** Kernel-level parity on one PE of one AlexNet layer. */
+/** Kernel-level parity on one PE of one AlexNet layer, under the
+ *  active SCNN_SIMD mode. */
 void
 checkKernelParity(const ConvLayerParams &layer, bool inputHalos,
-                  int pr, int pc, int k0, int kc)
+                  int pr, int pc, int k0, int kc,
+                  const std::string &modeTag)
 {
     AcceleratorConfig cfg = scnnConfig();
     cfg.pe.inputHalos = inputHalos;
@@ -162,7 +186,7 @@ checkKernelParity(const ConvLayerParams &layer, bool inputHalos,
     const std::string what = layer.name + (inputHalos ? "/ih" : "/oh") +
                              "/pe(" + std::to_string(pr) + "," +
                              std::to_string(pc) + ")/k0=" +
-                             std::to_string(k0);
+                             std::to_string(k0) + modeTag;
 
     ProcessingElement pe(cfg, layer, in, out, acc);
     GroupAccum newAccum;
@@ -198,16 +222,21 @@ alexNetConvLayers()
 
 TEST(KernelParity, AlexNetLayersMatchPreRefactorKernel)
 {
-    for (const ConvLayerParams &layer : alexNetConvLayers()) {
-        for (const bool inputHalos : {false, true}) {
-            // An interior PE, a corner PE (landing-window edge
-            // cases), and a second channel group (k-relative
-            // offsets).
-            checkKernelParity(layer, inputHalos, 3, 4, 0, 16);
-            checkKernelParity(layer, inputHalos, 0, 0, 0, 16);
-            checkKernelParity(layer, inputHalos, 7, 7, 16, 16);
+    forEachSimdMode([&](const std::string &modeTag) {
+        for (const ConvLayerParams &layer : alexNetConvLayers()) {
+            for (const bool inputHalos : {false, true}) {
+                // An interior PE, a corner PE (landing-window edge
+                // cases), and a second channel group (k-relative
+                // offsets).
+                checkKernelParity(layer, inputHalos, 3, 4, 0, 16,
+                                  modeTag);
+                checkKernelParity(layer, inputHalos, 0, 0, 0, 16,
+                                  modeTag);
+                checkKernelParity(layer, inputHalos, 7, 7, 16, 16,
+                                  modeTag);
+            }
         }
-    }
+    });
 }
 
 void
@@ -242,17 +271,27 @@ TEST(KernelParity, AlexNetLayerResultsIdenticalAt1_2_8Threads)
             cfg.pe.inputHalos = inputHalos;
             ScnnSimulator sim(cfg);
 
+            // The serial scalar-kernel run is the anchor; every
+            // SCNN_SIMD mode x thread count must reproduce it bit for
+            // bit (stats, energy, functional output).
+            const simd::Mode ambient = simd::mode();
+            simd::setMode(simd::Mode::Scalar);
             RunOptions base;
             base.threads = 1;
             const LayerResult serial = sim.runLayer(w, base);
-            for (int threads : {2, 8}) {
-                RunOptions opts;
-                opts.threads = threads;
-                expectLayerResultsBitIdentical(
-                    serial, sim.runLayer(w, opts),
-                    layer.name + (inputHalos ? "/ih" : "/oh") +
-                        "/threads=" + std::to_string(threads));
-            }
+            simd::setMode(ambient);
+
+            forEachSimdMode([&](const std::string &modeTag) {
+                for (int threads : {1, 2, 8}) {
+                    RunOptions opts;
+                    opts.threads = threads;
+                    expectLayerResultsBitIdentical(
+                        serial, sim.runLayer(w, opts),
+                        layer.name + (inputHalos ? "/ih" : "/oh") +
+                            "/threads=" + std::to_string(threads) +
+                            modeTag);
+                }
+            });
         }
     }
 }

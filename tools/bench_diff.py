@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files with a percentage tolerance.
+
+Supports both benchmark formats this repo commits:
+
+* ``scnn.sim_throughput.v*`` (bench_sim_throughput): rows keyed by
+  (network, backend, threads); default metric ``products_per_sec``
+  (higher is better).  ``wall_ms`` / ``wall_ms_min`` (lower is
+  better) can be selected with --metric.
+* google-benchmark JSON (bench_micro_kernels): entries keyed by
+  benchmark name; metric ``real_time`` (lower is better).  When the
+  file carries aggregate entries only the ``_median`` rows are
+  compared; raw iteration entries are used otherwise.
+
+Only keys present in *both* files are compared, so a quick smoke run
+(e.g. the tiny network in CI) can be gated against a committed
+baseline that also contains the full sweep.  Exits non-zero when any
+shared key regresses by more than --tolerance percent.
+
+Usage:
+  tools/bench_diff.py BASELINE NEW [--tolerance=PCT] [--metric=NAME]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def throughput_rows(doc, metric):
+    rows = {}
+    for r in doc.get("results", []):
+        key = "%s/%s/t%s" % (r["network"], r["backend"], r["threads"])
+        if metric in r:
+            rows[key] = float(r[metric])
+    return rows
+
+
+def gbench_rows(doc, metric):
+    entries = doc.get("benchmarks", [])
+    has_aggregates = any(
+        e.get("run_type") == "aggregate" for e in entries)
+    rows = {}
+    for e in entries:
+        name = e.get("name", "")
+        if has_aggregates:
+            if e.get("aggregate_name") != "median":
+                continue
+            key = e.get("run_name", name)
+        else:
+            key = name
+        if metric in e:
+            rows[key] = float(e[metric])
+    return rows
+
+
+def extract(doc, metric):
+    """@return (rows, higher_is_better, metric_name)."""
+    schema = doc.get("schema", "")
+    if schema.startswith("scnn.sim_throughput"):
+        m = metric or "products_per_sec"
+        return throughput_rows(doc, m), not m.startswith("wall_ms"), m
+    if "benchmarks" in doc:
+        m = metric or "real_time"
+        return gbench_rows(doc, m), False, m
+    raise SystemExit("unrecognized benchmark schema in input")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files; non-zero exit on "
+                    "regression beyond the tolerance.")
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--tolerance", type=float, default=10.0,
+                    help="allowed regression in percent (default 10)")
+    ap.add_argument("--metric", default=None,
+                    help="metric to compare (default: "
+                         "products_per_sec for throughput files, "
+                         "real_time for google-benchmark files)")
+    args = ap.parse_args()
+
+    base_doc, new_doc = load(args.baseline), load(args.new)
+    base, base_hib, metric = extract(base_doc, args.metric)
+    new, new_hib, _ = extract(new_doc, args.metric)
+    if base_hib != new_hib:
+        raise SystemExit("baseline and new file disagree on metric "
+                         "direction")
+    higher_is_better = base_hib
+
+    shared = sorted(set(base) & set(new))
+    if not shared:
+        raise SystemExit("no shared benchmark keys between %s and %s"
+                         % (args.baseline, args.new))
+    only_base = sorted(set(base) - set(new))
+    only_new = sorted(set(new) - set(base))
+
+    width = max(len(k) for k in shared)
+    print("metric: %s (%s is better), tolerance: %.1f%%"
+          % (metric, "higher" if higher_is_better else "lower",
+             args.tolerance))
+    regressions = []
+    for key in shared:
+        old_v, new_v = base[key], new[key]
+        if old_v == 0:
+            delta = 0.0
+        elif higher_is_better:
+            delta = (new_v / old_v - 1.0) * 100.0
+        else:
+            delta = (old_v / new_v - 1.0) * 100.0
+        # delta > 0 means improvement in both directions.
+        regressed = delta < -args.tolerance
+        status = "REGRESSION" if regressed else (
+            "improved" if delta > args.tolerance else "ok")
+        if regressed:
+            regressions.append(key)
+        print("  %-*s  %14.6g -> %14.6g  %+7.1f%%  %s"
+              % (width, key, old_v, new_v, delta, status))
+    for key in only_base:
+        print("  %-*s  (baseline only, skipped)" % (width, key))
+    for key in only_new:
+        print("  %-*s  (new only, skipped)" % (width, key))
+
+    if regressions:
+        print("FAIL: %d key(s) regressed more than %.1f%%: %s"
+              % (len(regressions), args.tolerance,
+                 ", ".join(regressions)))
+        return 1
+    print("PASS: no regression beyond %.1f%% across %d shared key(s)"
+          % (args.tolerance, len(shared)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,9 +26,12 @@
  *
  * --profile prints a per-stage wall-time breakdown of the simulation
  * pipeline (compress / kernel / drain / encode) after the result
- * table.  --no-functional requests the stats-only kernels: timing,
- * work and energy stats are unchanged but no functional output is
- * computed (fastest way to sweep performance numbers).
+ * table, plus per-stage products/sec and the active SIMD lane width
+ * and kernel mode (see SCNN_SIMD in common/simd.hh), so a throughput
+ * regression is attributable to a stage at a glance.
+ * --no-functional requests the stats-only kernels: timing, work and
+ * energy stats are unchanged but no functional output is computed
+ * (fastest way to sweep performance numbers).
  */
 
 #include <cstdio>
@@ -39,6 +42,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "common/table.hh"
 #include "nn/model_zoo.hh"
 #include "sim/registry.hh"
@@ -279,6 +283,7 @@ main(int argc, char **argv)
         static const char *keys[4] = {
             "profile_compress_ms", "profile_kernel_ms",
             "profile_drain_ms", "profile_encode_ms"};
+        uint64_t products = 0;
         for (const auto &l : run.result.layers) {
             std::vector<std::string> row = {l.layerName};
             for (int s = 0; s < 4; ++s) {
@@ -286,13 +291,26 @@ main(int argc, char **argv)
                 total[s] += ms;
                 row.push_back(Table::num(ms, 2));
             }
+            products += l.products;
             t.addRow(row);
         }
         t.addRow({"total", Table::num(total[0], 2),
                   Table::num(total[1], 2), Table::num(total[2], 2),
                   Table::num(total[3], 2)});
+        // Per-stage products/sec: the network's product count over
+        // each stage's wall time, so a throughput regression is
+        // attributable to a stage at a glance.
+        std::vector<std::string> rate = {"Mproducts/s"};
+        for (int s = 0; s < 4; ++s)
+            rate.push_back(total[s] > 0.0
+                ? Table::num(static_cast<double>(products) /
+                                 total[s] / 1e3,
+                             1)
+                : "-");
+        t.addRow(rate);
         std::printf("\n");
         t.print();
+        std::printf("SIMD: %s\n", simd::activeDescription());
     }
     if (o.chained) {
         std::printf("\nemergent output densities:");
