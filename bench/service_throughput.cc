@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Sustained request throughput of the SimulationService vs the serial
+ * runSession() client it wraps.
+ *
+ * The serial baseline issues R identical requests back-to-back
+ * through runSession(), synthesizing the workload from scratch each
+ * time (what a loop of standalone clients costs).  The service legs
+ * push the same R requests through a SimulationService at 1 / 4 / 16
+ * max in-flight sessions, in two flavours:
+ *
+ *   - "service": both caches on (the deployment default).  Repeat
+ *     requests hit the response cache, so the sustained rate measures
+ *     the amortization a long-lived service wins over stateless
+ *     clients (FSCNN-style: setup work paid once per distinct
+ *     request, not per request).
+ *   - "service-nodedup": response cache off, workload cache on.
+ *     Every request re-simulates; only the tensor synthesis is
+ *     amortized.  This is the lower bound the service sustains on a
+ *     stream of all-distinct requests that share a network.
+ *
+ * Every service reply is byte-compared against the serial client's
+ * JSON for the same request -- the speedup is only reported if all
+ * responses are bit-identical.
+ *
+ * Usage:
+ *   bench_service_throughput [--network=tiny|alexnet|...]
+ *       [--requests=N] [--inflight-list=1,4,16]
+ *       [--backends=scnn[,dcnn,...]] [--out=path] [--threads=N]
+ *
+ * Emits a table and a machine-readable JSON document (schema
+ * "scnn.service_throughput.v1", default BENCH_service_throughput.json)
+ * with requests/sec and speedup per (mode, inflight) cell.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/table.hh"
+#include "nn/model_zoo.hh"
+#include "sim/service.hh"
+#include "sim/session.hh"
+
+using namespace scnn;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options
+{
+    std::string network = "tiny";
+    std::string backends = "scnn";
+    int requests = 200;
+    std::vector<int> inflightList = {1, 4, 16};
+    std::string out = "BENCH_service_throughput.json";
+};
+
+struct Cell
+{
+    std::string mode;
+    int inflight = 0;
+    double wallMs = 0.0;
+    double rps = 0.0;
+    double speedup = 1.0;
+    bool identical = true;
+    double responseHitRate = 0.0;
+    double workloadHitRate = 0.0;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--network=tiny|alexnet|googlenet|vgg16]\n"
+                 "          [--requests=N] [--inflight-list=1,4,16]\n"
+                 "          [--backends=scnn[,dcnn,...]] [--out=path]\n"
+                 "          [--threads=N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+bool
+consume(const char *arg, const char *key, std::string &out)
+{
+    const size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (consume(argv[i], "--network", v)) {
+            o.network = v;
+        } else if (consume(argv[i], "--backends", v)) {
+            o.backends = v;
+        } else if (consume(argv[i], "--requests", v)) {
+            o.requests = std::atoi(v.c_str());
+            if (o.requests <= 0)
+                fatal("bad --requests value '%s'", v.c_str());
+        } else if (consume(argv[i], "--inflight-list", v)) {
+            o.inflightList.clear();
+            for (const auto &item : splitList(v)) {
+                const int n = std::atoi(item.c_str());
+                if (n <= 0)
+                    fatal("bad --inflight-list entry '%s'",
+                          item.c_str());
+                o.inflightList.push_back(n);
+            }
+            if (o.inflightList.empty())
+                usage(argv[0]);
+        } else if (consume(argv[i], "--out", v)) {
+            o.out = v;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+SimulationRequest
+buildRequest(const Options &o)
+{
+    SimulationRequest req;
+    if (o.network == "alexnet")
+        req.network = alexNet();
+    else if (o.network == "googlenet")
+        req.network = googLeNet();
+    else if (o.network == "vgg16")
+        req.network = vgg16();
+    else if (o.network == "tiny")
+        req.network = tinyTestNetwork();
+    else
+        fatal("unknown network '%s'", o.network.c_str());
+    for (const auto &name : splitList(o.backends)) {
+        if (name.empty())
+            fatal("empty entry in --backends");
+        BackendSpec spec;
+        spec.backend = name;
+        req.backends.push_back(std::move(spec));
+    }
+    // One pool thread per session: concurrent sessions share the
+    // pool, and the serial twin must resolve to the same count for
+    // the byte-compare to hold.
+    req.threads = 1;
+    return req;
+}
+
+Cell
+runService(const SimulationRequest &req, int requests, int inflight,
+           bool dedup, const std::string &serialJson,
+           double serialRps)
+{
+    Cell cell;
+    cell.mode = dedup ? "service" : "service-nodedup";
+    cell.inflight = inflight;
+
+    ServiceConfig cfg;
+    cfg.workers = inflight;
+    cfg.queueCapacity = std::max(64, inflight * 4);
+    cfg.sessionThreads = 1;
+    cfg.cacheResponses = dedup;
+    SimulationService service(cfg);
+
+    const Clock::time_point start = Clock::now();
+    std::vector<SessionTicket> tickets;
+    tickets.reserve(static_cast<size_t>(requests));
+    for (int i = 0; i < requests; ++i)
+        tickets.push_back(service.submit(req));
+    for (auto &ticket : tickets) {
+        const ServiceReply &reply = ticket.wait();
+        if (reply.outcome != ServiceOutcome::Ok)
+            fatal("service request #%llu failed: %s",
+                  static_cast<unsigned long long>(
+                      reply.requestIndex),
+                  reply.error.c_str());
+        if (*reply.responseJson != serialJson)
+            cell.identical = false;
+    }
+    cell.wallMs = std::chrono::duration<double, std::milli>(
+                      Clock::now() - start)
+                      .count();
+    cell.rps = requests / (cell.wallMs / 1e3);
+    cell.speedup = cell.rps / serialRps;
+
+    const ServiceStats stats = service.stats();
+    const uint64_t rTotal =
+        stats.responseCacheHits + stats.responseCacheMisses;
+    const uint64_t wTotal =
+        stats.workloadCacheHits + stats.workloadCacheMisses;
+    cell.responseHitRate =
+        rTotal ? static_cast<double>(stats.responseCacheHits) /
+                     static_cast<double>(rTotal)
+               : 0.0;
+    cell.workloadHitRate =
+        wTotal ? static_cast<double>(stats.workloadCacheHits) /
+                     static_cast<double>(wTotal)
+               : 0.0;
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    argc = consumeThreadsFlag(argc, argv);
+    const Options o = parse(argc, argv);
+    const SimulationRequest req = buildRequest(o);
+
+    // Warm the thread-local kernel scratch and the code paths so the
+    // serial baseline is not charged one-time setup.
+    runSession(req);
+    const std::string serialJson = toJson(runSession(req));
+
+    const Clock::time_point start = Clock::now();
+    for (int i = 0; i < o.requests; ++i) {
+        const SimulationResponse resp = runSession(req);
+        if (toJson(resp) != serialJson)
+            fatal("serial runSession() is not deterministic");
+    }
+    const double serialMs =
+        std::chrono::duration<double, std::milli>(Clock::now() -
+                                                  start)
+            .count();
+    const double serialRps = o.requests / (serialMs / 1e3);
+
+    std::vector<Cell> cells;
+    cells.push_back({"serial", 1, serialMs, serialRps, 1.0, true,
+                     0.0, 0.0});
+    for (int inflight : o.inflightList) {
+        cells.push_back(runService(req, o.requests, inflight, false,
+                                   serialJson, serialRps));
+        cells.push_back(runService(req, o.requests, inflight, true,
+                                   serialJson, serialRps));
+    }
+
+    Table t("service_throughput_" + o.network,
+            {"Mode", "In-flight", "Req/s", "Speedup", "Identical",
+             "Resp hit", "Wkld hit"});
+    for (const auto &c : cells) {
+        t.addRow({c.mode, std::to_string(c.inflight),
+                  Table::num(c.rps, 1), Table::num(c.speedup, 2),
+                  c.identical ? "y" : "N",
+                  Table::num(c.responseHitRate, 2),
+                  Table::num(c.workloadHitRate, 2)});
+    }
+    t.print();
+
+    bool allIdentical = true;
+    for (const auto &c : cells)
+        allIdentical = allIdentical && c.identical;
+    if (!allIdentical)
+        fatal("service responses diverged from the serial client");
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("scnn.service_throughput.v1");
+    w.key("network").value(o.network);
+    w.key("backends").value(o.backends);
+    w.key("requests").value(o.requests);
+    w.key("all_identical").value(allIdentical);
+    w.key("cells").beginArray();
+    for (const auto &c : cells) {
+        w.beginObject();
+        w.key("mode").value(c.mode);
+        w.key("inflight").value(c.inflight);
+        w.key("wall_ms").value(c.wallMs);
+        w.key("requests_per_sec").value(c.rps);
+        w.key("speedup_vs_serial").value(c.speedup);
+        w.key("identical").value(c.identical);
+        w.key("response_cache_hit_rate").value(c.responseHitRate);
+        w.key("workload_cache_hit_rate").value(c.workloadHitRate);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    if (!o.out.empty())
+        writeJsonFile(o.out, w.str());
+    return 0;
+}

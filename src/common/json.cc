@@ -1,7 +1,10 @@
 #include "common/json.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -178,6 +181,412 @@ writeJsonFile(const std::string &path, const std::string &doc)
     std::fputc('\n', f);
     std::fclose(f);
     return true;
+}
+
+// --- parser -----------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &kv : object)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+const char *
+JsonValue::kindName(Kind k)
+{
+    switch (k) {
+    case Kind::Null:
+        return "null";
+    case Kind::Bool:
+        return "bool";
+    case Kind::Number:
+        return "number";
+    case Kind::String:
+        return "string";
+    case Kind::Array:
+        return "array";
+    case Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Recursive-descent parser over a fixed buffer.  Failure is reported
+ * through fail() (records the first error with its byte offset) and a
+ * false return threaded up the call chain; no exceptions, so a parse
+ * attempt on adversarial input cannot escape the false/error contract.
+ */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, const JsonParseLimits &limits)
+        : text_(text), limits_(limits)
+    {
+    }
+
+    bool
+    parse(JsonValue &out, std::string &error)
+    {
+        if (text_.size() > limits_.maxDocumentBytes) {
+            error = strfmt("document of %zu bytes exceeds the %zu-byte"
+                           " limit", text_.size(),
+                           limits_.maxDocumentBytes);
+            return false;
+        }
+        if (!parseValue(out, 0) || !expectEnd()) {
+            error = error_;
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (error_.empty())
+            error_ = strfmt("%s at byte %zu", what, pos_);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    expectEnd()
+    {
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after the JSON value");
+        return true;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("unrecognized literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    countElement()
+    {
+        if (++elements_ > limits_.maxElements)
+            return fail("too many array/object elements");
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        // Caller consumed the opening quote.
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            if (out.size() > limits_.maxStringBytes)
+                return fail("string exceeds the length limit");
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_; // consume the backslash
+            if (pos_ >= text_.size())
+                return fail("unterminated escape sequence");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                unsigned cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: require the low half.
+                    if (text_.compare(pos_, 2, "\\u") != 0)
+                        return fail("unpaired UTF-16 surrogate");
+                    pos_ += 2;
+                    unsigned lo = 0;
+                    if (!parseHex4(lo))
+                        return false;
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        return fail("invalid UTF-16 surrogate pair");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    return fail("unpaired UTF-16 surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                return fail("unknown escape sequence");
+            }
+        }
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&] {
+            const size_t first = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+            return pos_ > first;
+        };
+        if (pos_ < text_.size() && text_[pos_] == '0') {
+            ++pos_; // leading zero: no further integer digits
+        } else if (!digits()) {
+            pos_ = start;
+            return fail("malformed number");
+        }
+        bool integral = true;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            integral = false;
+            if (!digits())
+                return fail("malformed number (missing fraction)");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            integral = false;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digits())
+                return fail("malformed number (missing exponent)");
+        }
+        const std::string lit = text_.substr(start, pos_ - start);
+        out.kind = JsonValue::Kind::Number;
+        errno = 0;
+        out.number = std::strtod(lit.c_str(), nullptr);
+        if (!std::isfinite(out.number))
+            return fail("number out of double range");
+        if (integral && lit[0] != '-') {
+            errno = 0;
+            char *end = nullptr;
+            const unsigned long long u =
+                std::strtoull(lit.c_str(), &end, 10);
+            if (errno == 0 && end != nullptr && *end == '\0') {
+                out.isUnsigned = true;
+                out.uint64 = static_cast<uint64_t>(u);
+            }
+        }
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, size_t depth)
+    {
+        if (depth > limits_.maxDepth)
+            return fail("nesting exceeds the depth limit");
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        switch (c) {
+        case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        case '"':
+            ++pos_;
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        case '[': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                if (!countElement())
+                    return false;
+                out.array.emplace_back();
+                if (!parseValue(out.array.back(), depth + 1))
+                    return false;
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or ']' in array");
+            }
+        }
+        case '{': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                if (!countElement())
+                    return false;
+                skipSpace();
+                if (pos_ >= text_.size() || text_[pos_] != '"')
+                    return fail("expected a string object key");
+                ++pos_;
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (out.find(key) != nullptr)
+                    return fail("duplicate object key");
+                skipSpace();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':' after object key");
+                ++pos_;
+                out.object.emplace_back(std::move(key), JsonValue());
+                if (!parseValue(out.object.back().second, depth + 1))
+                    return false;
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return fail("expected ',' or '}' in object");
+            }
+        }
+        default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            return fail("unexpected character");
+        }
+    }
+
+    const std::string &text_;
+    const JsonParseLimits &limits_;
+    size_t pos_ = 0;
+    size_t elements_ = 0;
+    std::string error_;
+};
+
+} // anonymous namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error,
+          const JsonParseLimits &limits)
+{
+    out = JsonValue();
+    error.clear();
+    JsonParser parser(text, limits);
+    return parser.parse(out, error);
 }
 
 } // namespace scnn

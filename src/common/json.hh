@@ -1,9 +1,15 @@
 /**
  * @file
- * Minimal streaming JSON writer for machine-readable bench output
- * (the BENCH_*.json files that track the perf trajectory across PRs).
- * Commas and indentation are managed automatically; values are
- * emitted in insertion order.  Not a parser -- write-only.
+ * Minimal JSON support: a streaming writer for machine-readable bench
+ * output (the BENCH_*.json files that track the perf trajectory across
+ * PRs) and a defensive recursive-descent parser for the simulation
+ * service's JSON-lines request protocol (tools/scnn_serve).
+ *
+ * The parser is built for untrusted input: it never throws and never
+ * fatal()s -- malformed documents produce a false return plus a
+ * position-tagged error string -- and it enforces explicit limits
+ * (nesting depth, string length, element count, document size) so
+ * adversarial lines cannot exhaust the server.
  */
 
 #ifndef SCNN_COMMON_JSON_HH
@@ -11,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace scnn {
@@ -56,6 +63,58 @@ std::string jsonEscape(const std::string &s);
  * unwritable results directory.
  */
 bool writeJsonFile(const std::string &path, const std::string &doc);
+
+/** Parser limits; defaults are sized for service request lines. */
+struct JsonParseLimits
+{
+    size_t maxDepth = 32;            ///< nesting depth
+    size_t maxStringBytes = 1 << 16; ///< one string literal
+    size_t maxElements = 4096;       ///< total array/object members
+    size_t maxDocumentBytes = 1 << 20; ///< whole document
+};
+
+/**
+ * A parsed JSON value.  Numbers are kept as doubles plus an exact
+ * unsigned view when the literal was a non-negative integer that fits
+ * uint64_t (seeds exceed the 53-bit double mantissa).  Object members
+ * preserve insertion order; duplicate keys are a parse error (the
+ * service must not silently drop half of a conflicting request).
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    bool isUnsigned = false;   ///< uint64 holds the exact value
+    uint64_t uint64 = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    static const char *kindName(Kind k);
+};
+
+/**
+ * Parse a complete JSON document (trailing garbage is an error).
+ * Returns false and sets `error` (with a byte offset) on malformed
+ * input or any exceeded limit; never throws, never fatal()s.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error,
+               const JsonParseLimits &limits = JsonParseLimits());
 
 } // namespace scnn
 

@@ -1,0 +1,955 @@
+#include "sim/service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+#include "sim/registry.hh"
+
+namespace scnn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Retained latency samples for the percentile window. */
+constexpr size_t kLatencyWindow = 8192;
+
+double
+msSince(Clock::time_point start, Clock::time_point end)
+{
+    return std::chrono::duration<double, std::milli>(end - start)
+        .count();
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/**
+ * Percentile over an unordered sample window (nearest-rank).  Zero
+ * when no samples were retained yet.
+ */
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const size_t rank = static_cast<size_t>(
+        std::min<double>(samples.size() - 1,
+                         std::ceil(p * samples.size()) - 1));
+    return samples[rank];
+}
+
+/**
+ * Cache key of the workload a non-chained session consumes: network
+ * signature (every layer parameter, densities included) x seed x
+ * evalOnly.  makeWorkload() depends on nothing else.
+ */
+std::string
+workloadKey(const SimulationRequest &request)
+{
+    return networkSignature(request.network) +
+           "|seed=" + std::to_string(request.seed) +
+           "|eval=" + (request.evalOnly ? "1" : "0");
+}
+
+/**
+ * Full request signature for the response cache.  Covers every
+ * SimulationRequest field that can influence the response bytes
+ * (threads included: the resolved count is echoed in the JSON).
+ * Requests with explicit config overrides are not signable by this
+ * scheme and bypass the response cache.
+ */
+std::string
+requestSignature(const SimulationRequest &request)
+{
+    std::string sig = workloadKey(request);
+    sig += "|threads=" + std::to_string(request.threads);
+    sig += request.chained ? "|chained" : "";
+    sig += request.keepOutputs ? "|keep" : "";
+    for (const auto &spec : request.backends) {
+        const std::string &label =
+            spec.label.empty() ? spec.backend : spec.label;
+        // Backend and label are client-controlled strings: length-
+        // prefix them so no crafted name can collide with another
+        // request's delimiter structure and steal its cache entry.
+        sig += "|spec=" + std::to_string(spec.backend.size()) + ":" +
+               spec.backend + "," + std::to_string(label.size()) +
+               ":" + label + "," + std::to_string(spec.functional);
+    }
+    return sig;
+}
+
+bool
+responseCacheable(const SimulationRequest &request)
+{
+    if (request.profile)
+        return false; // wall times are volatile
+    for (const auto &spec : request.backends)
+        if (spec.config)
+            return false; // config not covered by the signature
+    return true;
+}
+
+/**
+ * Whether a backend simulates concrete tensors (memoized per name:
+ * cycleLevel is a property of the architecture kind, not of the
+ * configuration).  Unknown names report false -- they fail per
+ * backend in the session and need no tensors.
+ */
+bool
+backendIsCycleLevel(const std::string &name)
+{
+    static std::mutex mu;
+    static std::map<std::string, bool> memo;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo.find(name);
+    if (it != memo.end())
+        return it->second;
+    bool cycle = false;
+    try {
+        cycle = makeSimulator(name)->capabilities().cycleLevel;
+    } catch (const SimulationError &) {
+        cycle = false;
+    }
+    memo.emplace(name, cycle);
+    return cycle;
+}
+
+/**
+ * Service-side mirror of the session's needTensors gate: analytic-
+ * only requests (and oracle specs that will derive from an scnn
+ * sibling) run on layer parameters alone, so prefetching workload
+ * tensors for them would only burn synthesis time and cache space.
+ * Conservative in the donor direction: an oracle whose configuration
+ * ends up not matching its scnn sibling simply synthesizes inside
+ * the session (uncached), which is correct either way.
+ */
+bool
+requestWantsTensors(const SimulationRequest &request)
+{
+    bool hasScnn = false;
+    for (const auto &spec : request.backends)
+        hasScnn = hasScnn || spec.backend == "scnn";
+    for (const auto &spec : request.backends) {
+        if (!backendIsCycleLevel(spec.backend))
+            continue;
+        if (spec.backend == "oracle" && hasScnn)
+            continue; // derives from the sibling's run
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Request-content validation shared by submit paths: problems a
+ * session would treat as programming errors (and panic on) must come
+ * back as structured Error replies from a service that accepts
+ * arbitrary client requests.
+ */
+std::string
+validateRequest(const SimulationRequest &request)
+{
+    if (request.backends.empty())
+        return "request has no backends";
+    if (request.threads < 0)
+        return "negative thread budget " +
+               std::to_string(request.threads);
+    std::set<std::string> labels;
+    for (const auto &spec : request.backends) {
+        if (spec.backend.empty())
+            return "backend spec with an empty backend name";
+        const std::string &label =
+            spec.label.empty() ? spec.backend : spec.label;
+        if (!labels.insert(label).second)
+            return "duplicate backend label '" + label + "'";
+    }
+    return "";
+}
+
+} // anonymous namespace
+
+std::string
+networkSignature(const Network &net)
+{
+    std::string sig =
+        std::to_string(net.name().size()) + ":" + net.name();
+    for (const auto &l : net.layers()) {
+        sig += ";" + std::to_string(l.name.size()) + ":" + l.name +
+               ":";
+        const int ints[] = {l.inChannels, l.outChannels, l.inWidth,
+                            l.inHeight,   l.filterW,     l.filterH,
+                            l.strideX,    l.strideY,     l.padX,
+                            l.padY,       l.groups,      l.poolWindow,
+                            l.poolStride, l.poolPad};
+        for (int v : ints)
+            sig += std::to_string(v) + ",";
+        sig += l.applyRelu ? "r," : "-,";
+        sig += l.inEval ? "e," : "-,";
+        sig += fmtDouble(l.weightDensity) + "," +
+               fmtDouble(l.inputDensity) + "," +
+               fmtDouble(l.actSpatialSigma) + "," +
+               fmtDouble(l.actChannelSigma);
+    }
+    return sig;
+}
+
+const char *
+serviceOutcomeName(ServiceOutcome o)
+{
+    switch (o) {
+    case ServiceOutcome::Ok:
+        return "ok";
+    case ServiceOutcome::Error:
+        return "error";
+    case ServiceOutcome::Cancelled:
+        return "cancelled";
+    case ServiceOutcome::DeadlineExpired:
+        return "deadline_expired";
+    }
+    return "?";
+}
+
+// --- SessionTicket ----------------------------------------------------
+
+struct SessionTicket::State
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ServiceReply reply;
+    uint64_t index = 0;
+    std::shared_ptr<std::atomic<bool>> cancel =
+        std::make_shared<std::atomic<bool>>(false);
+};
+
+ServiceReply
+SessionTicket::wait() const
+{
+    SCNN_ASSERT(state_ != nullptr, "wait() on an empty ticket");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return state_->reply;
+}
+
+bool
+SessionTicket::done() const
+{
+    SCNN_ASSERT(state_ != nullptr, "done() on an empty ticket");
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+}
+
+bool
+SessionTicket::cancel()
+{
+    SCNN_ASSERT(state_ != nullptr, "cancel() on an empty ticket");
+    state_->cancel->store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return !state_->done;
+}
+
+uint64_t
+SessionTicket::index() const
+{
+    SCNN_ASSERT(state_ != nullptr, "index() on an empty ticket");
+    return state_->index;
+}
+
+// --- SimulationService ------------------------------------------------
+
+struct SimulationService::Job
+{
+    SimulationRequest request;
+    double deadlineMs = 0.0;
+    Clock::time_point submitted;
+    Clock::time_point started;
+    std::shared_ptr<SessionTicket::State> state;
+};
+
+SimulationService::SimulationService(ServiceConfig cfg) : cfg_(cfg)
+{
+    SCNN_ASSERT(cfg_.workers > 0, "service needs at least one worker");
+    SCNN_ASSERT(cfg_.queueCapacity > 0,
+                "service needs a positive queue capacity");
+    latencyMs_.reserve(kLatencyWindow);
+    queuedMs_.reserve(kLatencyWindow);
+    workers_.reserve(static_cast<size_t>(cfg_.workers));
+    for (int i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SimulationService::~SimulationService()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    // Workers drain the remaining queue before exiting (a queued
+    // request is a promise); callers wanting a fast teardown cancel
+    // their tickets first.
+    workAvailable_.notify_all();
+    spaceAvailable_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+SessionTicket
+SimulationService::finishedTicket(ServiceReply reply)
+{
+    SessionTicket ticket;
+    ticket.state_ = std::make_shared<SessionTicket::State>();
+    ticket.state_->index = reply.requestIndex;
+    ticket.state_->done = true;
+    ticket.state_->reply = std::move(reply);
+    return ticket;
+}
+
+SessionTicket
+SimulationService::submit(SimulationRequest request, double deadlineMs)
+{
+    return *submitImpl(std::move(request), deadlineMs, true);
+}
+
+std::optional<SessionTicket>
+SimulationService::trySubmit(SimulationRequest request,
+                             double deadlineMs)
+{
+    return submitImpl(std::move(request), deadlineMs, false);
+}
+
+std::optional<SessionTicket>
+SimulationService::submitImpl(SimulationRequest request,
+                              double deadlineMs, bool blocking)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (blocking) {
+        spaceAvailable_.wait(lock, [&] {
+            return stop_ ||
+                   queue_.size() <
+                       static_cast<size_t>(cfg_.queueCapacity);
+        });
+    } else if (!stop_ &&
+               queue_.size() >=
+                   static_cast<size_t>(cfg_.queueCapacity)) {
+        return std::nullopt;
+    }
+    const uint64_t index = nextIndex_++;
+    if (stop_) {
+        ++errors_;
+        ServiceReply reply;
+        reply.outcome = ServiceOutcome::Error;
+        reply.requestIndex = index;
+        reply.error = "request #" + std::to_string(index) +
+                      ": service is shutting down";
+        return finishedTicket(std::move(reply));
+    }
+    const std::string invalid = validateRequest(request);
+    if (!invalid.empty()) {
+        ++errors_;
+        ServiceReply reply;
+        reply.outcome = ServiceOutcome::Error;
+        reply.requestIndex = index;
+        reply.error =
+            "request #" + std::to_string(index) + ": " + invalid;
+        return finishedTicket(std::move(reply));
+    }
+
+    auto job = std::make_shared<Job>();
+    job->request = std::move(request);
+    job->deadlineMs =
+        deadlineMs > 0.0 ? deadlineMs : cfg_.defaultDeadlineMs;
+    job->submitted = Clock::now();
+    job->state = std::make_shared<SessionTicket::State>();
+    job->state->index = index;
+
+    SessionTicket ticket;
+    ticket.state_ = job->state;
+
+    queue_.push_back(std::move(job));
+    maxQueueDepth_ =
+        std::max(maxQueueDepth_, static_cast<int>(queue_.size()));
+    lock.unlock();
+    workAvailable_.notify_one();
+    return ticket;
+}
+
+void
+SimulationService::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [&] { return queue_.empty() && inflight_ == 0; });
+}
+
+void
+SimulationService::workerLoop()
+{
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workAvailable_.wait(lock, [&] {
+                return stop_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++inflight_;
+        }
+        spaceAvailable_.notify_one();
+        process(job);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inflight_;
+            if (queue_.empty() && inflight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+std::shared_ptr<const std::vector<LayerWorkload>>
+SimulationService::workloadsFor(const SimulationRequest &request,
+                                bool &hit)
+{
+    const std::string key = workloadKey(request);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = workloadCache_.find(key);
+        if (it != workloadCache_.end()) {
+            ++workloadHits_;
+            hit = true;
+            workloadLru_.splice(workloadLru_.begin(), workloadLru_,
+                                it->second.lru);
+            return it->second.workloads;
+        }
+        ++workloadMisses_;
+        hit = false;
+    }
+
+    // Synthesize outside the service lock (this is the expensive
+    // part the cache amortizes).  Concurrent misses on one key may
+    // synthesize twice; the tensors are deterministic, so whichever
+    // insertion wins the entry is identical.
+    auto built = std::make_shared<std::vector<LayerWorkload>>();
+    for (const auto &layer : sessionLayers(request))
+        built->push_back(makeWorkload(layer, request.seed));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = workloadCache_.find(key);
+    if (it != workloadCache_.end())
+        return it->second.workloads;
+    workloadLru_.push_front(key);
+    workloadCache_[key] = {built, workloadLru_.begin()};
+    while (workloadCache_.size() > cfg_.workloadCacheCapacity) {
+        workloadCache_.erase(workloadLru_.back());
+        workloadLru_.pop_back();
+    }
+    return built;
+}
+
+void
+SimulationService::complete(const std::shared_ptr<Job> &job,
+                            ServiceReply reply)
+{
+    reply.requestIndex = job->state->index;
+    const Clock::time_point now = Clock::now();
+    reply.queueMs = msSince(job->submitted, job->started);
+    reply.runMs = msSince(job->started, now);
+    const double totalMs = msSince(job->submitted, now);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        switch (reply.outcome) {
+        case ServiceOutcome::Ok:
+            ++completedOk_;
+            break;
+        case ServiceOutcome::Error:
+            ++errors_;
+            break;
+        case ServiceOutcome::Cancelled:
+            ++cancelled_;
+            break;
+        case ServiceOutcome::DeadlineExpired:
+            ++deadlineExpired_;
+            break;
+        }
+        latencyMaxMs_ = std::max(latencyMaxMs_, totalMs);
+        if (latencyMs_.size() < kLatencyWindow) {
+            latencyMs_.push_back(totalMs);
+        } else {
+            latencyMs_[latencyNext_] = totalMs;
+            latencyNext_ = (latencyNext_ + 1) % kLatencyWindow;
+        }
+        if (queuedMs_.size() < kLatencyWindow) {
+            queuedMs_.push_back(reply.queueMs);
+        } else {
+            queuedMs_[queuedNext_] = reply.queueMs;
+            queuedNext_ = (queuedNext_ + 1) % kLatencyWindow;
+        }
+    }
+
+    auto &state = *job->state;
+    {
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.reply = std::move(reply);
+        state.done = true;
+    }
+    state.cv.notify_all();
+}
+
+void
+SimulationService::process(const std::shared_ptr<Job> &job)
+{
+    job->started = Clock::now();
+    const uint64_t index = job->state->index;
+    const std::string tag = "request #" + std::to_string(index);
+    ServiceReply reply;
+
+    if (job->state->cancel->load(std::memory_order_relaxed)) {
+        reply.outcome = ServiceOutcome::Cancelled;
+        reply.error = tag + ": cancelled while queued";
+        complete(job, std::move(reply));
+        return;
+    }
+    const double waitedMs = msSince(job->submitted, job->started);
+    if (job->deadlineMs > 0.0 && waitedMs > job->deadlineMs) {
+        reply.outcome = ServiceOutcome::DeadlineExpired;
+        reply.error = tag + ": deadline of " +
+                      fmtDouble(job->deadlineMs) +
+                      " ms expired after " + fmtDouble(waitedMs) +
+                      " ms in queue";
+        complete(job, std::move(reply));
+        return;
+    }
+
+    SimulationRequest &req = job->request;
+    // Budget the session's parallel sections: concurrent sessions
+    // share the one process pool, so a request that left threads = 0
+    // gets the configured per-session slice rather than the whole
+    // machine.
+    if (req.threads == 0 && cfg_.sessionThreads > 0)
+        req.threads = cfg_.sessionThreads;
+
+    const bool cacheable =
+        cfg_.cacheResponses && responseCacheable(req);
+    std::string signature;
+    if (cacheable) {
+        signature = requestSignature(req);
+        bool hit = false;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = responseCache_.find(signature);
+            if (it != responseCache_.end()) {
+                ++responseHits_;
+                responseLru_.splice(responseLru_.begin(),
+                                    responseLru_, it->second.lru);
+                reply.outcome = ServiceOutcome::Ok;
+                reply.response = it->second.response;
+                reply.responseJson = it->second.json;
+                reply.responseCacheHit = true;
+                hit = true;
+            } else {
+                ++responseMisses_;
+            }
+        }
+        if (hit) {
+            complete(job, std::move(reply));
+            return;
+        }
+    }
+
+    if (cfg_.cacheWorkloads && !req.chained &&
+        !req.sharedWorkloads && requestWantsTensors(req))
+        req.sharedWorkloads =
+            workloadsFor(req, reply.workloadCacheHit);
+
+    req.cancel = job->state->cancel;
+    try {
+        auto response = std::make_shared<SimulationResponse>(
+            runSession(req));
+        auto json =
+            std::make_shared<const std::string>(toJson(*response));
+        reply.outcome = ServiceOutcome::Ok;
+        reply.response = std::move(response);
+        reply.responseJson = std::move(json);
+        if (cacheable) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (responseCache_.find(signature) ==
+                responseCache_.end()) {
+                responseLru_.push_front(signature);
+                responseCache_[signature] = {reply.response,
+                                             reply.responseJson,
+                                             responseLru_.begin()};
+                while (responseCache_.size() >
+                       cfg_.responseCacheCapacity) {
+                    responseCache_.erase(responseLru_.back());
+                    responseLru_.pop_back();
+                }
+            }
+        }
+    } catch (const SimulationError &e) {
+        if (job->state->cancel->load(std::memory_order_relaxed)) {
+            reply.outcome = ServiceOutcome::Cancelled;
+            reply.error = tag + ": cancelled mid-flight (" +
+                          e.what() + ")";
+        } else {
+            reply.outcome = ServiceOutcome::Error;
+            reply.error = tag + ": " + e.what();
+        }
+    } catch (const std::exception &e) {
+        reply.outcome = ServiceOutcome::Error;
+        reply.error = tag + ": unexpected exception: " + e.what();
+    }
+    complete(job, std::move(reply));
+}
+
+ServiceStats
+SimulationService::stats() const
+{
+    ServiceStats s;
+    std::vector<double> latency, queued;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.submitted = nextIndex_;
+        s.completedOk = completedOk_;
+        s.errors = errors_;
+        s.cancelled = cancelled_;
+        s.deadlineExpired = deadlineExpired_;
+        s.queueDepth = static_cast<int>(queue_.size());
+        s.inflight = inflight_;
+        s.maxQueueDepth = maxQueueDepth_;
+        s.workloadCacheHits = workloadHits_;
+        s.workloadCacheMisses = workloadMisses_;
+        s.workloadCacheEntries = workloadCache_.size();
+        s.responseCacheHits = responseHits_;
+        s.responseCacheMisses = responseMisses_;
+        s.responseCacheEntries = responseCache_.size();
+        s.latencyMaxMs = latencyMaxMs_;
+        latency = latencyMs_;
+        queued = queuedMs_;
+    }
+    s.latencyP50Ms = percentile(latency, 0.50);
+    s.latencyP95Ms = percentile(latency, 0.95);
+    s.queueP50Ms = percentile(queued, 0.50);
+    s.queueP95Ms = percentile(std::move(queued), 0.95);
+    return s;
+}
+
+std::string
+SimulationService::statsJson() const
+{
+    const ServiceStats s = stats();
+    auto rate = [](uint64_t hits, uint64_t misses) {
+        const uint64_t total = hits + misses;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(total);
+    };
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("scnn.service_stats.v1");
+    w.key("workers").value(cfg_.workers);
+    w.key("queue_capacity").value(cfg_.queueCapacity);
+    w.key("session_threads").value(cfg_.sessionThreads);
+    w.key("submitted").value(s.submitted);
+    w.key("completed_ok").value(s.completedOk);
+    w.key("errors").value(s.errors);
+    w.key("cancelled").value(s.cancelled);
+    w.key("deadline_expired").value(s.deadlineExpired);
+    w.key("queue_depth").value(s.queueDepth);
+    w.key("inflight").value(s.inflight);
+    w.key("max_queue_depth").value(s.maxQueueDepth);
+    w.key("workload_cache").beginObject();
+    w.key("enabled").value(cfg_.cacheWorkloads);
+    w.key("entries").value(static_cast<uint64_t>(
+        s.workloadCacheEntries));
+    w.key("hits").value(s.workloadCacheHits);
+    w.key("misses").value(s.workloadCacheMisses);
+    w.key("hit_rate").value(
+        rate(s.workloadCacheHits, s.workloadCacheMisses));
+    w.endObject();
+    w.key("response_cache").beginObject();
+    w.key("enabled").value(cfg_.cacheResponses);
+    w.key("entries").value(static_cast<uint64_t>(
+        s.responseCacheEntries));
+    w.key("hits").value(s.responseCacheHits);
+    w.key("misses").value(s.responseCacheMisses);
+    w.key("hit_rate").value(
+        rate(s.responseCacheHits, s.responseCacheMisses));
+    w.endObject();
+    w.key("latency_ms").beginObject();
+    w.key("p50").value(s.latencyP50Ms);
+    w.key("p95").value(s.latencyP95Ms);
+    w.key("max").value(s.latencyMaxMs);
+    w.endObject();
+    w.key("queue_ms").beginObject();
+    w.key("p50").value(s.queueP50Ms);
+    w.key("p95").value(s.queueP95Ms);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+// --- JSON-lines request parsing ---------------------------------------
+
+namespace {
+
+/** Limits for one protocol line; see also the scnn_serve line cap. */
+const JsonParseLimits &
+requestLimits()
+{
+    static const JsonParseLimits limits = [] {
+        JsonParseLimits l;
+        l.maxDepth = 8;          // request documents are shallow
+        l.maxStringBytes = 256;  // names and labels only
+        l.maxElements = 256;
+        l.maxDocumentBytes = 1 << 16;
+        return l;
+    }();
+    return limits;
+}
+
+constexpr size_t kMaxBackendSpecs = 32;
+
+bool
+asBool(const JsonValue &v, const char *field, bool &out,
+       std::string &error)
+{
+    if (!v.isBool()) {
+        error = std::string("'") + field + "' must be a boolean, got " +
+                JsonValue::kindName(v.kind);
+        return false;
+    }
+    out = v.boolean;
+    return true;
+}
+
+bool
+asBoundedInt(const JsonValue &v, const char *field, int64_t lo,
+             int64_t hi, int64_t &out, std::string &error)
+{
+    if (!v.isNumber() || v.number != std::floor(v.number)) {
+        error = std::string("'") + field + "' must be an integer";
+        return false;
+    }
+    if (v.number < static_cast<double>(lo) ||
+        v.number > static_cast<double>(hi)) {
+        error = std::string("'") + field + "' out of range [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]";
+        return false;
+    }
+    out = static_cast<int64_t>(v.number);
+    return true;
+}
+
+bool
+parseBackendSpec(const JsonValue &v, BackendSpec &spec,
+                 std::string &error)
+{
+    if (v.isString()) {
+        if (v.string.empty()) {
+            error = "backend name must not be empty";
+            return false;
+        }
+        spec.backend = v.string;
+        return true;
+    }
+    if (!v.isObject()) {
+        error = std::string("backend spec must be a string or an "
+                            "object, got ") +
+                JsonValue::kindName(v.kind);
+        return false;
+    }
+    for (const auto &kv : v.object) {
+        const std::string &key = kv.first;
+        const JsonValue &val = kv.second;
+        if (key == "backend" || key == "label") {
+            if (!val.isString() || val.string.empty()) {
+                error = "'" + key + "' must be a non-empty string";
+                return false;
+            }
+            (key == "backend" ? spec.backend : spec.label) =
+                val.string;
+        } else if (key == "functional") {
+            if (val.isBool()) {
+                spec.functional = val.boolean ? 1 : 0;
+            } else {
+                int64_t f = 0;
+                if (!asBoundedInt(val, "functional", -1, 1, f, error))
+                    return false;
+                spec.functional = static_cast<int>(f);
+            }
+        } else {
+            error = "unknown backend spec key '" + key + "'";
+            return false;
+        }
+    }
+    if (spec.backend.empty()) {
+        error = "backend spec object needs a 'backend' name";
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+parseRequestLine(const std::string &line, ParsedServiceRequest &out,
+                 std::string &error)
+{
+    out = ParsedServiceRequest();
+    JsonValue doc;
+    if (!parseJson(line, doc, error, requestLimits()))
+        return false;
+    if (!doc.isObject()) {
+        error = std::string("request must be a JSON object, got ") +
+                JsonValue::kindName(doc.kind);
+        return false;
+    }
+
+    SimulationRequest &req = out.request;
+    std::string networkName;
+    double densityW = -1.0, densityA = -1.0;
+
+    for (const auto &kv : doc.object) {
+        const std::string &key = kv.first;
+        const JsonValue &v = kv.second;
+        if (key == "network") {
+            if (!v.isString()) {
+                error = "'network' must be a string";
+                return false;
+            }
+            networkName = v.string;
+        } else if (key == "backends") {
+            if (!v.isArray()) {
+                error = "'backends' must be an array";
+                return false;
+            }
+            if (v.array.empty()) {
+                error = "'backends' must not be empty";
+                return false;
+            }
+            if (v.array.size() > kMaxBackendSpecs) {
+                error = "'backends' has " +
+                        std::to_string(v.array.size()) +
+                        " entries (limit " +
+                        std::to_string(kMaxBackendSpecs) + ")";
+                return false;
+            }
+            for (const auto &entry : v.array) {
+                BackendSpec spec;
+                if (!parseBackendSpec(entry, spec, error))
+                    return false;
+                req.backends.push_back(std::move(spec));
+            }
+        } else if (key == "seed") {
+            if (!v.isNumber() || !v.isUnsigned) {
+                error = "'seed' must be a non-negative integer";
+                return false;
+            }
+            req.seed = v.uint64;
+        } else if (key == "threads") {
+            int64_t t = 0;
+            if (!asBoundedInt(v, "threads", 0, 256, t, error))
+                return false;
+            req.threads = static_cast<int>(t);
+        } else if (key == "chained") {
+            if (!asBool(v, "chained", req.chained, error))
+                return false;
+        } else if (key == "eval_only") {
+            if (!asBool(v, "eval_only", req.evalOnly, error))
+                return false;
+        } else if (key == "keep_outputs") {
+            if (!asBool(v, "keep_outputs", req.keepOutputs, error))
+                return false;
+        } else if (key == "profile") {
+            if (!asBool(v, "profile", req.profile, error))
+                return false;
+        } else if (key == "density") {
+            if (!v.isArray() || v.array.size() != 2 ||
+                !v.array[0].isNumber() || !v.array[1].isNumber()) {
+                error = "'density' must be a [weight, activation] "
+                        "pair of numbers";
+                return false;
+            }
+            densityW = v.array[0].number;
+            densityA = v.array[1].number;
+            if (!(densityW > 0.0 && densityW <= 1.0) ||
+                !(densityA > 0.0 && densityA <= 1.0)) {
+                error = "'density' values must be in (0, 1]";
+                return false;
+            }
+        } else if (key == "deadline_ms") {
+            if (!v.isNumber() || !(v.number >= 0.0)) {
+                error = "'deadline_ms' must be a non-negative number";
+                return false;
+            }
+            out.deadlineMs = v.number;
+        } else {
+            error = "unknown request key '" + key + "'";
+            return false;
+        }
+    }
+
+    if (networkName.empty()) {
+        error = "request needs a 'network'";
+        return false;
+    }
+    if (req.backends.empty()) {
+        error = "request needs a non-empty 'backends' array";
+        return false;
+    }
+    if (networkName == "alexnet")
+        req.network = alexNet();
+    else if (networkName == "googlenet")
+        req.network = googLeNet();
+    else if (networkName == "vgg16")
+        req.network = vgg16();
+    else if (networkName == "tiny")
+        req.network = tinyTestNetwork();
+    else {
+        error = "unknown network '" + networkName +
+                "' (want alexnet|googlenet|vgg16|tiny)";
+        return false;
+    }
+    if (densityW > 0.0)
+        req.network = withUniformDensity(req.network, densityW,
+                                         densityA);
+
+    // Chained execution feeds each layer's functional output forward,
+    // so a spec that disables functional output cannot chain (the CLI
+    // enforces the same combination).
+    if (req.chained)
+        for (const auto &spec : req.backends)
+            if (spec.functional == 0) {
+                error = "chained requests cannot disable functional "
+                        "output (backend '" +
+                        spec.backend + "')";
+                return false;
+            }
+
+    const std::string invalid = validateRequest(req);
+    if (!invalid.empty()) {
+        error = invalid;
+        return false;
+    }
+    return true;
+}
+
+} // namespace scnn

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * The concurrent simulation service: a long-lived front end that
+ * accepts many SimulationRequests at once and multiplexes them over
+ * the process-wide compute resources.
+ *
+ *  - Admission: a bounded FIFO request queue.  submit() blocks when
+ *    the queue is full (backpressure toward the producer); trySubmit()
+ *    refuses instead.  Requests are identified by their arrival index.
+ *
+ *  - Scheduling: a fixed set of service workers (the max-inflight
+ *    bound) each runs one session at a time through runSession().
+ *    Service workers are plain threads, NOT common/parallel pool
+ *    workers, so a session's internal parallelFor fans out to the one
+ *    shared pool exactly as it does for a standalone runSession() --
+ *    no nested pool, no oversubscription.  Each session gets a thread
+ *    budget (request.threads, defaulted to ServiceConfig::
+ *    sessionThreads) so concurrent sessions share the pool instead of
+ *    each claiming the whole machine.
+ *
+ *  - Workload cache: (network signature x seed x evalOnly) -> the
+ *    immutable per-layer tensors a non-chained session consumes.  N
+ *    requests for the same network synthesize once; makeWorkload() is
+ *    deterministic in (layer name, seed), so cached and fresh tensors
+ *    are bit-identical.
+ *
+ *  - Response cache: simulation here is a pure function of the
+ *    request (results are bit-identical across thread counts and SIMD
+ *    modes, which the test suite asserts), so completed responses are
+ *    memoized by full request signature.  Repeat requests are served
+ *    the same immutable response object -- byte-identical JSON --
+ *    without re-simulating.  Profiled requests and requests with
+ *    explicit config overrides bypass this cache.
+ *
+ *  - Deadlines and cancellation: a request carries an optional
+ *    deadline (milliseconds from submission).  A request whose
+ *    deadline has passed when a worker picks it up is failed with
+ *    DeadlineExpired without running.  SessionTicket::cancel() raises
+ *    a flag the session checks between layers (and between chained
+ *    backends); a cancelled session aborts and reports Cancelled.
+ *
+ *  - Metrics: queue depth, latency percentiles, cache hit rates and
+ *    outcome counters, exposed as a "scnn.service_stats.v1" JSON
+ *    block (statsJson()).
+ *
+ * The JSON-lines request parser for tools/scnn_serve lives here too,
+ * so the server loop and the robustness tests share one
+ * implementation.
+ */
+
+#ifndef SCNN_SIM_SERVICE_HH
+#define SCNN_SIM_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/session.hh"
+
+namespace scnn {
+
+/** Static configuration of a SimulationService. */
+struct ServiceConfig
+{
+    /**
+     * Service workers = the max number of in-flight sessions.  Each
+     * worker drives one session at a time; sessions' internal
+     * parallel sections share the one process-wide pool.
+     */
+    int workers = 2;
+
+    /** Bounded FIFO admission queue (excluding in-flight sessions). */
+    int queueCapacity = 64;
+
+    /**
+     * Default per-session thread budget applied to requests that left
+     * threads = 0.  With several sessions in flight, budgeting 1-2
+     * threads each shares the pool fairly; 0 keeps the standalone
+     * behaviour (each session resolves to the full default), which
+     * oversubscribes under load.
+     */
+    int sessionThreads = 1;
+
+    bool cacheWorkloads = true;
+    bool cacheResponses = true;
+
+    /** LRU capacities (entries). */
+    size_t workloadCacheCapacity = 8;
+    size_t responseCacheCapacity = 64;
+
+    /**
+     * Deadline (ms from submission) applied to requests submitted
+     * without one.  0 = no deadline.
+     */
+    double defaultDeadlineMs = 0.0;
+};
+
+/** Terminal state of a serviced request. */
+enum class ServiceOutcome
+{
+    Ok,              ///< response delivered
+    Error,           ///< request invalid or session raised
+    Cancelled,       ///< cancelled before completion
+    DeadlineExpired, ///< deadline passed while queued
+};
+
+const char *serviceOutcomeName(ServiceOutcome o);
+
+/** What a ticket resolves to. */
+struct ServiceReply
+{
+    ServiceOutcome outcome = ServiceOutcome::Error;
+
+    /** Arrival index of the request (0-based, service lifetime). */
+    uint64_t requestIndex = 0;
+
+    /** Error description when outcome != Ok (tagged "request #N"). */
+    std::string error;
+
+    /** The response; null unless outcome == Ok.  Immutable, shared
+     *  with the caches and other tickets. */
+    std::shared_ptr<const SimulationResponse> response;
+
+    /** toJson(*response), serialized once; null unless Ok.  Repeat
+     *  requests share the identical bytes. */
+    std::shared_ptr<const std::string> responseJson;
+
+    bool responseCacheHit = false;
+    bool workloadCacheHit = false;
+
+    double queueMs = 0.0; ///< admission -> dequeue
+    double runMs = 0.0;   ///< dequeue -> completion
+};
+
+/**
+ * Handle to one submitted request.  Copyable (shared state); wait()
+ * blocks until the service completes the request.
+ */
+class SessionTicket
+{
+  public:
+    SessionTicket() = default;
+
+    /**
+     * Blocks until the reply is available, then returns it (by
+     * value: the heavy payloads are shared pointers, and a ticket
+     * may be a temporary -- submit(...).wait() is a supported
+     * idiom).
+     */
+    ServiceReply wait() const;
+
+    /** True once the reply is available (wait() will not block). */
+    bool done() const;
+
+    /**
+     * Request cancellation.  Returns true when the request had not
+     * yet completed (the reply will be Cancelled if the flag is seen
+     * before the session finishes; a session that wins the race still
+     * completes Ok).  False when the reply was already delivered.
+     */
+    bool cancel();
+
+    /** Arrival index of the request. */
+    uint64_t index() const;
+
+  private:
+    friend class SimulationService;
+    struct State;
+    std::shared_ptr<State> state_;
+};
+
+/** A metrics snapshot; see statsJson() for the serialized form. */
+struct ServiceStats
+{
+    uint64_t submitted = 0;
+    uint64_t completedOk = 0;
+    uint64_t errors = 0;
+    uint64_t cancelled = 0;
+    uint64_t deadlineExpired = 0;
+
+    int queueDepth = 0;    ///< currently queued (not in flight)
+    int inflight = 0;      ///< sessions running right now
+    int maxQueueDepth = 0; ///< high-water mark
+
+    uint64_t workloadCacheHits = 0;
+    uint64_t workloadCacheMisses = 0;
+    size_t workloadCacheEntries = 0;
+    uint64_t responseCacheHits = 0;
+    uint64_t responseCacheMisses = 0;
+    size_t responseCacheEntries = 0;
+
+    /** End-to-end latency (submission -> completion) percentiles over
+     *  the retained sample window, in ms. */
+    double latencyP50Ms = 0.0;
+    double latencyP95Ms = 0.0;
+    double latencyMaxMs = 0.0;
+    double queueP50Ms = 0.0;
+    double queueP95Ms = 0.0;
+};
+
+class SimulationService
+{
+  public:
+    explicit SimulationService(ServiceConfig cfg = ServiceConfig());
+
+    /** Stops admission, completes all queued work, joins workers. */
+    ~SimulationService();
+
+    SimulationService(const SimulationService &) = delete;
+    SimulationService &operator=(const SimulationService &) = delete;
+
+    /**
+     * Enqueue a request; blocks while the queue is full
+     * (backpressure).  deadlineMs <= 0 applies the configured
+     * default.  Invalid requests (empty backend list, duplicate
+     * labels, negative threads) resolve immediately to an Error reply
+     * -- the service never panics on request content.
+     */
+    SessionTicket submit(SimulationRequest request,
+                         double deadlineMs = 0.0);
+
+    /** Non-blocking submit; nullopt when the queue is full. */
+    std::optional<SessionTicket> trySubmit(SimulationRequest request,
+                                           double deadlineMs = 0.0);
+
+    /** Blocks until no request is queued or in flight. */
+    void drain();
+
+    ServiceStats stats() const;
+
+    /** Metrics snapshot, schema "scnn.service_stats.v1". */
+    std::string statsJson() const;
+
+    const ServiceConfig &config() const { return cfg_; }
+
+  private:
+    struct Job;
+
+    std::optional<SessionTicket> submitImpl(SimulationRequest request,
+                                            double deadlineMs,
+                                            bool blocking);
+    void workerLoop();
+    void process(const std::shared_ptr<Job> &job);
+    void complete(const std::shared_ptr<Job> &job, ServiceReply reply);
+    std::shared_ptr<const std::vector<LayerWorkload>>
+    workloadsFor(const SimulationRequest &request, bool &hit);
+    SessionTicket finishedTicket(ServiceReply reply);
+
+    ServiceConfig cfg_;
+
+    mutable std::mutex mu_;
+    std::condition_variable workAvailable_;
+    std::condition_variable spaceAvailable_;
+    std::condition_variable idle_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+
+    uint64_t nextIndex_ = 0;
+    int inflight_ = 0;
+    int maxQueueDepth_ = 0;
+    uint64_t completedOk_ = 0, errors_ = 0, cancelled_ = 0,
+             deadlineExpired_ = 0;
+
+    /** Latency sample window (ring, kLatencyWindow entries). */
+    std::vector<double> latencyMs_, queuedMs_;
+    size_t latencyNext_ = 0, queuedNext_ = 0;
+    double latencyMaxMs_ = 0.0;
+
+    /** LRU caches: key -> value, most-recently-used list front. */
+    struct WorkloadEntry
+    {
+        std::shared_ptr<const std::vector<LayerWorkload>> workloads;
+        std::list<std::string>::iterator lru;
+    };
+    struct ResponseEntry
+    {
+        std::shared_ptr<const SimulationResponse> response;
+        std::shared_ptr<const std::string> json;
+        std::list<std::string>::iterator lru;
+    };
+    std::map<std::string, WorkloadEntry> workloadCache_;
+    std::list<std::string> workloadLru_;
+    uint64_t workloadHits_ = 0, workloadMisses_ = 0;
+    std::map<std::string, ResponseEntry> responseCache_;
+    std::list<std::string> responseLru_;
+    uint64_t responseHits_ = 0, responseMisses_ = 0;
+};
+
+/**
+ * One line of the JSON-lines request protocol, parsed.  See
+ * parseRequestLine() for the field reference.
+ */
+struct ParsedServiceRequest
+{
+    SimulationRequest request;
+    double deadlineMs = 0.0; ///< 0 = none / service default
+};
+
+/**
+ * Parse one request line of the scnn_serve protocol:
+ *
+ *   {"network": "tiny" | "alexnet" | "googlenet" | "vgg16",
+ *    "backends": ["scnn", {"backend": "timeloop", "label": "tl",
+ *                          "functional": 0}, ...],
+ *    "seed": 20170624, "threads": 1, "chained": false,
+ *    "eval_only": true, "keep_outputs": false, "profile": false,
+ *    "density": [0.5, 0.5], "deadline_ms": 250}
+ *
+ * Only "network" and "backends" are required.  Unknown keys, wrong
+ * types, duplicate labels, out-of-range values and oversized
+ * documents are reported as a false return with a descriptive
+ * `error`; this function never throws and never fatal()s.  An
+ * unknown *backend name* parses fine -- the session reports it as a
+ * structured per-backend failure, which is the protocol's contract.
+ */
+bool parseRequestLine(const std::string &line,
+                      ParsedServiceRequest &out, std::string &error);
+
+/**
+ * Canonical signature of a network's full parameter set (name plus
+ * every field of every layer).  Two networks with equal signatures
+ * synthesize identical workloads at equal seeds; the service's cache
+ * keys build on this.
+ */
+std::string networkSignature(const Network &net);
+
+} // namespace scnn
+
+#endif // SCNN_SIM_SERVICE_HH

@@ -72,7 +72,41 @@ oracleDonor(const std::vector<BackendSpec> &specs,
     return -1;
 }
 
+/**
+ * Attribution tag for a backend spec's errors: multiplexed-service
+ * clients see many responses interleaved, so every SimulationError a
+ * session surfaces names the spec (label + registry name) and its
+ * index in the request that raised it.
+ */
+std::string
+specTag(const std::string &label, const std::string &backend,
+        size_t idx)
+{
+    return "backend spec #" + std::to_string(idx) + " ('" + label +
+           "', " + backend + ")";
+}
+
+/** Throw when the request's cancel flag has been raised. */
+void
+checkCancelled(const SimulationRequest &request, const char *where)
+{
+    if (request.cancel &&
+        request.cancel->load(std::memory_order_relaxed))
+        throw SimulationError(std::string("session cancelled ") +
+                              where);
+}
+
 } // anonymous namespace
+
+std::vector<ConvLayerParams>
+sessionLayers(const SimulationRequest &request)
+{
+    std::vector<ConvLayerParams> layers;
+    for (const auto &l : request.network.layers())
+        if (!request.evalOnly || l.inEval)
+            layers.push_back(l);
+    return layers;
+}
 
 SimulationResponse
 runSession(const SimulationRequest &request)
@@ -112,7 +146,8 @@ runSession(const SimulationRequest &request)
             run.ok = true;
         } catch (const SimulationError &e) {
             run.ok = false;
-            run.error = e.what();
+            run.error =
+                specTag(run.label, run.backend, i) + ": " + e.what();
         }
     }
 
@@ -121,6 +156,8 @@ runSession(const SimulationRequest &request)
         for (size_t i = 0; i < specs.size(); ++i) {
             if (!resp.runs[i].ok)
                 continue;
+            checkCancelled(request,
+                           "before a chained backend started");
             NetworkRunOptions opts;
             opts.seed = request.seed;
             opts.evalOnly = request.evalOnly;
@@ -134,17 +171,30 @@ runSession(const SimulationRequest &request)
                     sims[i]->simulateNetwork(request.network, opts);
             } catch (const SimulationError &e) {
                 resp.runs[i].ok = false;
-                resp.runs[i].error = e.what();
+                resp.runs[i].error =
+                    specTag(resp.runs[i].label, resp.runs[i].backend,
+                            i) +
+                    ": " + e.what();
             }
         }
         return resp;
     }
 
     // --- shared-workload comparison mode ---
-    std::vector<ConvLayerParams> layers;
-    for (const auto &l : request.network.layers())
-        if (!request.evalOnly || l.inEval)
-            layers.push_back(l);
+    const std::vector<ConvLayerParams> layers = sessionLayers(request);
+    const std::vector<LayerWorkload> *shared =
+        request.sharedWorkloads ? request.sharedWorkloads.get()
+                                : nullptr;
+    if (shared != nullptr) {
+        SCNN_ASSERT(shared->size() == layers.size(),
+                    "sharedWorkloads has %zu entries for %zu session "
+                    "layers", shared->size(), layers.size());
+        for (size_t i = 0; i < layers.size(); ++i)
+            SCNN_ASSERT((*shared)[i].layer.name == layers[i].name,
+                        "sharedWorkloads[%zu] is '%s', session layer "
+                        "is '%s'", i, (*shared)[i].layer.name.c_str(),
+                        layers[i].name.c_str());
+    }
 
     // Workload tensors are only synthesized when a cycle-level
     // backend consumes them; analytic-only requests (e.g. TimeLoop
@@ -168,11 +218,19 @@ runSession(const SimulationRequest &request)
     const auto perLayer = parallelMap(
         indices,
         [&](size_t li) {
-            LayerWorkload w;
-            if (needTensors)
-                w = makeWorkload(layers[li], request.seed);
-            else
-                w.layer = layers[li];
+            checkCancelled(request, ("before layer '" +
+                                     layers[li].name + "'").c_str());
+            // Shared (cached) workloads are consumed in place -- no
+            // per-request tensor copy; otherwise synthesize locally.
+            LayerWorkload local;
+            if (shared == nullptr) {
+                if (needTensors)
+                    local = makeWorkload(layers[li], request.seed);
+                else
+                    local.layer = layers[li];
+            }
+            const LayerWorkload &w =
+                shared != nullptr ? (*shared)[li] : local;
 
             RunOptions base;
             base.firstLayer = (li == 0);
@@ -205,7 +263,15 @@ runSession(const SimulationRequest &request)
                     opts.functional = specs[i].functional < 0
                         ? resp.runs[i].capabilities.functionalByDefault
                         : specs[i].functional != 0;
-                    row[i] = sims[i]->simulateLayer(w, opts);
+                    try {
+                        row[i] = sims[i]->simulateLayer(w, opts);
+                    } catch (const SimulationError &e) {
+                        throw SimulationError(
+                            specTag(resp.runs[i].label,
+                                    resp.runs[i].backend, i) +
+                            ", layer '" + w.layer.name +
+                            "': " + e.what());
+                    }
                 }
             }
             return row;

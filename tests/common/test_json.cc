@@ -88,5 +88,112 @@ TEST(JsonWriter, WriteJsonFileRoundTrips)
     std::remove(path.c_str());
 }
 
+TEST(JsonParser, ParsesScalarsArraysAndObjects)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(
+        "{\"a\": 1, \"b\": [true, false, null], \"c\": {\"d\": "
+        "\"text\"}, \"e\": -2.5e3}",
+        v, err))
+        << err;
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_TRUE(a->isUnsigned);
+    EXPECT_EQ(a->uint64, 1u);
+    const JsonValue *b = v.find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(b->array.size(), 3u);
+    EXPECT_TRUE(b->array[0].boolean);
+    EXPECT_TRUE(b->array[2].isNull());
+    EXPECT_EQ(v.find("c")->find("d")->string, "text");
+    EXPECT_DOUBLE_EQ(v.find("e")->number, -2500.0);
+    EXPECT_FALSE(v.find("e")->isUnsigned);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParser, Exact64BitSeedsSurviveParsing)
+{
+    // 2^53 + 1 is not representable as a double; the uint64 view must
+    // keep the exact value for seeds.
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson("9007199254740993", v, err)) << err;
+    ASSERT_TRUE(v.isUnsigned);
+    EXPECT_EQ(v.uint64, 9007199254740993ull);
+    ASSERT_TRUE(parseJson("18446744073709551615", v, err)) << err;
+    EXPECT_EQ(v.uint64, 18446744073709551615ull);
+    // One past uint64 max: still a valid JSON number (as a double),
+    // but no exact unsigned view.
+    ASSERT_TRUE(parseJson("18446744073709551616", v, err)) << err;
+    EXPECT_FALSE(v.isUnsigned);
+}
+
+TEST(JsonParser, DecodesEscapesAndUtf16Surrogates)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(
+        R"("line\nquote\" back\\ \u00e9\u20ac\ud83d\ude00 raw")",
+        v, err))
+        << err;
+    EXPECT_EQ(v.string, "line\nquote\" back\\ \xc3\xa9\xe2\x82\xac"
+                        "\xf0\x9f\x98\x80 raw");
+}
+
+TEST(JsonParser, RoundTripsTheWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("scnn \"quoted\" \n");
+    w.key("count").value(uint64_t(42));
+    w.key("ratio").value(0.3333333333333333);
+    w.key("flags").beginArray();
+    w.value(true).value(false);
+    w.endArray();
+    w.endObject();
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(w.str(), v, err)) << err;
+    EXPECT_EQ(v.find("name")->string, "scnn \"quoted\" \n");
+    EXPECT_EQ(v.find("count")->uint64, 42u);
+    EXPECT_DOUBLE_EQ(v.find("ratio")->number, 0.3333333333333333);
+    ASSERT_EQ(v.find("flags")->array.size(), 2u);
+}
+
+TEST(JsonParser, EnforcesConfiguredLimits)
+{
+    JsonValue v;
+    std::string err;
+    JsonParseLimits limits;
+    limits.maxDepth = 3;
+    EXPECT_FALSE(parseJson("[[[[1]]]]", v, err, limits));
+    EXPECT_NE(err.find("depth"), std::string::npos) << err;
+
+    limits = JsonParseLimits();
+    limits.maxStringBytes = 4;
+    EXPECT_FALSE(parseJson("\"abcdefgh\"", v, err, limits));
+    EXPECT_NE(err.find("length"), std::string::npos) << err;
+
+    limits = JsonParseLimits();
+    limits.maxElements = 3;
+    EXPECT_FALSE(parseJson("[1,2,3,4]", v, err, limits));
+    EXPECT_NE(err.find("elements"), std::string::npos) << err;
+
+    limits = JsonParseLimits();
+    limits.maxDocumentBytes = 8;
+    EXPECT_FALSE(parseJson("[1,2,3,4,5]", v, err, limits));
+    EXPECT_NE(err.find("limit"), std::string::npos) << err;
+}
+
+TEST(JsonParser, ReportsThePositionOfTheFirstError)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"ok\": 1, \"bad\": tru}", v, err));
+    EXPECT_NE(err.find("at byte"), std::string::npos) << err;
+}
+
 } // anonymous namespace
 } // namespace scnn

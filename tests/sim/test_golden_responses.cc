@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Golden-response regression suite: the serialized SimulationResponse
+ * for the tiny network on every registered backend is byte-compared
+ * against a committed fixture (tests/golden/tiny_<backend>.json).
+ * Any semantic drift in the simulators, the session layer or the JSON
+ * serialization fails loudly with a diff pointer instead of slipping
+ * into downstream consumers.
+ *
+ * Requests are fully pinned (seed, threads = 1, profile off), and the
+ * stack guarantees bit-identical results across thread counts, SIMD
+ * modes and compilers, so the comparison is exact.  Wall-time stats
+ * (profile_*_ms) would be volatile; they are masked defensively even
+ * though pinned requests never carry them.
+ *
+ * Regenerating after an *intentional* semantic change:
+ *
+ *   SCNN_UPDATE_GOLDEN=1 ./build/sim_test_golden_responses
+ *
+ * then review the fixture diff like any other code change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nn/model_zoo.hh"
+#include "sim/registry.hh"
+#include "sim/session.hh"
+
+namespace scnn {
+namespace {
+
+#ifndef SCNN_SOURCE_TESTS_DIR
+#error "SCNN_SOURCE_TESTS_DIR must point at the source tests/ dir"
+#endif
+
+std::string
+fixturePath(const std::string &backend)
+{
+    return std::string(SCNN_SOURCE_TESTS_DIR) + "/golden/tiny_" +
+           backend + ".json";
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("SCNN_UPDATE_GOLDEN");
+    return env != nullptr && *env != '\0' &&
+           std::string(env) != "0";
+}
+
+/**
+ * Mask wall-clock stats: any "profile_*_ms" value is replaced by 0 so
+ * a fixture recorded with profiling off stays comparable even if a
+ * future request variant records timings.
+ */
+std::string
+maskVolatile(const std::string &json)
+{
+    std::string out = json;
+    size_t pos = 0;
+    while ((pos = out.find("\"profile_", pos)) != std::string::npos) {
+        const size_t colon = out.find(':', pos);
+        if (colon == std::string::npos)
+            break;
+        size_t end = colon + 1;
+        while (end < out.size() && out[end] != ',' &&
+               out[end] != '}')
+            ++end;
+        out.replace(colon + 1, end - (colon + 1), " 0");
+        pos = colon;
+    }
+    return out;
+}
+
+std::string
+liveResponse(const std::string &backend)
+{
+    SimulationRequest req;
+    req.network = tinyTestNetwork();
+    req.threads = 1; // resolved count is echoed in the JSON
+    BackendSpec spec;
+    spec.backend = backend;
+    req.backends.push_back(std::move(spec));
+    const SimulationResponse resp = runSession(req);
+    const BackendRun &run = resp.runs.front();
+    EXPECT_TRUE(run.ok) << run.error;
+    return toJson(resp);
+}
+
+class GoldenResponse : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GoldenResponse, MatchesCommittedFixture)
+{
+    const std::string backend = GetParam();
+    const std::string path = fixturePath(backend);
+    const std::string live = maskVolatile(liveResponse(backend));
+
+    if (updateRequested()) {
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << live << "\n";
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << "missing fixture " << path
+        << " (regenerate with SCNN_UPDATE_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string golden = buf.str();
+    // writeJsonFile-style fixtures end in one newline.
+    if (!golden.empty() && golden.back() == '\n')
+        golden.pop_back();
+
+    EXPECT_EQ(maskVolatile(golden), live)
+        << "live response for backend '" << backend
+        << "' diverged from " << path
+        << "\nIf the semantic change is intentional, regenerate via"
+        << "\n  SCNN_UPDATE_GOLDEN=1 and review the fixture diff.";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, GoldenResponse,
+    ::testing::ValuesIn(registeredBackends()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+/** The fixture set tracks the registry: exactly the five built-ins
+ *  (extensions would register under new names and need fixtures). */
+TEST(GoldenResponse, CoversAllFiveBuiltinBackends)
+{
+    const std::vector<std::string> names = registeredBackends();
+    ASSERT_GE(names.size(), 5u);
+    for (const char *expected :
+         {"scnn", "dcnn", "dcnn-opt", "oracle", "timeloop"})
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+}
+
+} // namespace
+} // namespace scnn

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Robustness property suite for the JSON-lines request parser
+ * (parseRequestLine + the common/json parser underneath): malformed,
+ * truncated, mutated and adversarially oversized input must always
+ * come back as a structured (false, error) result -- never a throw,
+ * never fatal(), never a crash.  An unknown *backend name* is the one
+ * deliberate pass-through: it parses fine and surfaces as a per-
+ * backend failure inside a normal response, which the end-to-end
+ * test at the bottom pins down.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/random.hh"
+#include "sim/service.hh"
+
+namespace scnn {
+namespace {
+
+/** Shorthand: parse, expect failure, return the error message. */
+std::string
+expectReject(const std::string &line)
+{
+    ParsedServiceRequest out;
+    std::string error;
+    bool ok = true;
+    EXPECT_NO_THROW(ok = parseRequestLine(line, out, error))
+        << line;
+    EXPECT_FALSE(ok) << "accepted: " << line;
+    EXPECT_FALSE(error.empty()) << "no error text for: " << line;
+    return error;
+}
+
+const char *kValid =
+    R"({"network":"tiny","backends":["scnn",{"backend":"timeloop","label":"tl","functional":false}],"seed":7,"threads":2,"chained":false,"eval_only":true,"keep_outputs":false,"profile":false,"density":[0.5,0.75],"deadline_ms":250})";
+
+TEST(RequestParse, ValidLineRoundTrips)
+{
+    ParsedServiceRequest out;
+    std::string error;
+    ASSERT_TRUE(parseRequestLine(kValid, out, error)) << error;
+    EXPECT_EQ(out.request.network.name(), "tiny-uniform");
+    ASSERT_EQ(out.request.backends.size(), 2u);
+    EXPECT_EQ(out.request.backends[0].backend, "scnn");
+    EXPECT_EQ(out.request.backends[1].backend, "timeloop");
+    EXPECT_EQ(out.request.backends[1].label, "tl");
+    EXPECT_EQ(out.request.backends[1].functional, 0);
+    EXPECT_EQ(out.request.seed, 7u);
+    EXPECT_EQ(out.request.threads, 2);
+    EXPECT_FALSE(out.request.keepOutputs);
+    EXPECT_DOUBLE_EQ(out.deadlineMs, 250.0);
+}
+
+TEST(RequestParse, MinimalLineUsesDefaults)
+{
+    ParsedServiceRequest out;
+    std::string error;
+    ASSERT_TRUE(parseRequestLine(
+        R"({"network":"tiny","backends":["scnn"]})", out, error))
+        << error;
+    EXPECT_EQ(out.request.seed, 20170624u);
+    EXPECT_EQ(out.request.threads, 0);
+    EXPECT_TRUE(out.request.evalOnly);
+    EXPECT_DOUBLE_EQ(out.deadlineMs, 0.0);
+}
+
+TEST(RequestParse, MalformedDocumentsAreRejectedStructurally)
+{
+    // Truncated / syntactically broken documents.
+    expectReject("");
+    expectReject("   ");
+    expectReject("{");
+    expectReject("}");
+    expectReject("[");
+    expectReject("nul");
+    expectReject("{\"network\":\"tiny\"");
+    expectReject("{\"network\":\"tiny\",}");
+    expectReject("{\"network\" \"tiny\"}");
+    expectReject("{'network':'tiny'}");          // wrong quotes
+    expectReject("{\"a\":1} trailing");          // trailing garbage
+    expectReject("{\"a\":1}{\"b\":2}");          // two documents
+    expectReject("{\"a\":\"\x01\"}");            // raw control char
+    expectReject("{\"a\":\"\\q\"}");             // bad escape
+    expectReject("{\"a\":\"\\ud800\"}");         // lone surrogate
+    expectReject("{\"a\":01}");                  // leading zero
+    expectReject("{\"a\":1.}");                  // empty fraction
+    expectReject("{\"a\":1e}");                  // empty exponent
+    expectReject("{\"a\":1e999}");               // double overflow
+    expectReject("{\"a\":NaN}");                 // not JSON
+    expectReject("{\"a\":1,\"a\":2}");           // duplicate key
+}
+
+TEST(RequestParse, WrongTypesAndUnknownFieldsAreNamed)
+{
+    EXPECT_NE(expectReject(R"({"network":5,"backends":["scnn"]})")
+                  .find("'network'"),
+              std::string::npos);
+    EXPECT_NE(expectReject(
+                  R"({"network":"tiny","backends":"scnn"})")
+                  .find("'backends'"),
+              std::string::npos);
+    EXPECT_NE(expectReject(R"({"network":"tiny","backends":[]})")
+                  .find("backends"),
+              std::string::npos);
+    EXPECT_NE(expectReject(
+                  R"({"network":"tiny","backends":[42]})")
+                  .find("backend spec"),
+              std::string::npos);
+    EXPECT_NE(expectReject(
+                  R"({"network":"tiny","backends":["scnn"],"seed":-1})")
+                  .find("'seed'"),
+              std::string::npos);
+    EXPECT_NE(expectReject(
+                  R"({"network":"tiny","backends":["scnn"],"seed":1.5})")
+                  .find("'seed'"),
+              std::string::npos);
+    EXPECT_NE(
+        expectReject(
+            R"({"network":"tiny","backends":["scnn"],"threads":-2})")
+            .find("'threads'"),
+        std::string::npos);
+    EXPECT_NE(
+        expectReject(
+            R"({"network":"tiny","backends":["scnn"],"threads":100000})")
+            .find("'threads'"),
+        std::string::npos);
+    EXPECT_NE(
+        expectReject(
+            R"({"network":"tiny","backends":["scnn"],"chained":"yes"})")
+            .find("'chained'"),
+        std::string::npos);
+    EXPECT_NE(
+        expectReject(
+            R"({"network":"tiny","backends":["scnn"],"density":[2,0.5]})")
+            .find("'density'"),
+        std::string::npos);
+    EXPECT_NE(
+        expectReject(
+            R"({"network":"tiny","backends":["scnn"],"deadline_ms":-1})")
+            .find("'deadline_ms'"),
+        std::string::npos);
+    EXPECT_NE(expectReject(
+                  R"({"network":"tiny","backends":["scnn"],"frob":1})")
+                  .find("unknown request key"),
+              std::string::npos);
+    EXPECT_NE(
+        expectReject(
+            R"({"network":"tiny","backends":[{"backend":"scnn","nope":1}]})")
+            .find("unknown backend spec key"),
+        std::string::npos);
+    EXPECT_NE(expectReject(R"({"backends":["scnn"]})")
+                  .find("'network'"),
+              std::string::npos);
+    EXPECT_NE(expectReject(R"({"network":"resnet50","backends":["scnn"]})")
+                  .find("unknown network"),
+              std::string::npos);
+    // Duplicate labels would panic deep in the session; the parser
+    // must catch them at the boundary.
+    EXPECT_NE(
+        expectReject(
+            R"({"network":"tiny","backends":["scnn","scnn"]})")
+            .find("duplicate"),
+        std::string::npos);
+    // Chained + functional=0 is a contradiction (chaining consumes
+    // each layer's functional output).
+    EXPECT_NE(
+        expectReject(
+            R"({"network":"tiny","backends":[{"backend":"scnn","functional":0}],"chained":true})")
+            .find("chained"),
+        std::string::npos);
+}
+
+TEST(RequestParse, OversizedFieldsHitExplicitLimits)
+{
+    // A label far beyond the 256-byte string limit.
+    std::string longLabel(100000, 'x');
+    expectReject(R"({"network":"tiny","backends":[{"backend":"scnn","label":")" +
+                 longLabel + R"("}]})");
+
+    // Deep nesting beyond the depth limit.
+    std::string deep(64, '[');
+    deep += std::string(64, ']');
+    expectReject(R"({"network":)" + deep + "}");
+
+    // More backend specs than the protocol allows.
+    std::string many = R"({"network":"tiny","backends":[)";
+    for (int i = 0; i < 64; ++i)
+        many += std::string(i ? "," : "") + "\"b" +
+                std::to_string(i) + "\"";
+    many += "]}";
+    EXPECT_NE(expectReject(many).find("entries"),
+              std::string::npos);
+
+    // A document beyond the per-line byte limit.
+    std::string huge = R"({"network":"tiny","backends":["scnn"],)";
+    huge += R"("profile":false,"pad":")";
+    huge += std::string(1 << 17, 'y');
+    huge += "\"}";
+    expectReject(huge);
+}
+
+TEST(RequestParse, EveryTruncationOfAValidLineIsHandled)
+{
+    const std::string full(kValid);
+    for (size_t len = 0; len < full.size(); ++len) {
+        ParsedServiceRequest out;
+        std::string error;
+        bool ok = true;
+        EXPECT_NO_THROW(
+            ok = parseRequestLine(full.substr(0, len), out, error));
+        EXPECT_FALSE(ok) << "prefix of length " << len
+                         << " unexpectedly parsed";
+    }
+    ParsedServiceRequest out;
+    std::string error;
+    EXPECT_TRUE(parseRequestLine(full, out, error)) << error;
+}
+
+TEST(RequestParse, RandomByteMutationsNeverCrashTheParser)
+{
+    const std::string base(kValid);
+    Rng rng("request-parse-fuzz", 20170624);
+    for (int iter = 0; iter < 3000; ++iter) {
+        std::string line = base;
+        const int edits = 1 + static_cast<int>(rng.uniformInt(3));
+        for (int e = 0; e < edits; ++e) {
+            const size_t pos = rng.uniformInt(line.size());
+            line[pos] =
+                static_cast<char>(rng.uniformInt(256));
+        }
+        ParsedServiceRequest out;
+        std::string error;
+        bool ok = false;
+        EXPECT_NO_THROW(ok = parseRequestLine(line, out, error));
+        if (ok) {
+            // Whatever survived mutation must still satisfy the
+            // protocol invariants the service relies on.
+            EXPECT_FALSE(out.request.backends.empty());
+            EXPECT_FALSE(out.request.network.name().empty());
+        } else {
+            EXPECT_FALSE(error.empty());
+        }
+    }
+}
+
+TEST(RequestParse, UnknownBackendFlowsThroughAsStructuredFailure)
+{
+    // The parser accepts it; the session reports it per backend; the
+    // service returns a normal Ok reply carrying the failure.
+    ParsedServiceRequest parsed;
+    std::string error;
+    ASSERT_TRUE(parseRequestLine(
+        R"({"network":"tiny","backends":["no-such-backend"],"threads":1})",
+        parsed, error))
+        << error;
+
+    SimulationService service;
+    const ServiceReply &reply =
+        service.submit(parsed.request).wait();
+    ASSERT_EQ(reply.outcome, ServiceOutcome::Ok) << reply.error;
+    ASSERT_EQ(reply.response->runs.size(), 1u);
+    EXPECT_FALSE(reply.response->runs.front().ok);
+    // Satellite contract: session errors are tagged with the
+    // offending spec name and index.
+    EXPECT_NE(reply.response->runs.front().error.find(
+                  "backend spec #0"),
+              std::string::npos)
+        << reply.response->runs.front().error;
+}
+
+} // namespace
+} // namespace scnn

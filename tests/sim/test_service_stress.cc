@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Concurrency soak for the SimulationService: dozens of interleaved
+ * sessions with mixed networks, backend sets and thread budgets --
+ * cache hits and misses, structured per-backend failures, mid-flight
+ * cancellations, deadline expiry and queue backpressure -- with every
+ * successful response byte-compared against its serial runSession()
+ * twin.  The suite runs under ASan/UBSan in CI, so it also proves the
+ * service drains and tears down cleanly with no leaks or races on
+ * the shared caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "nn/model_zoo.hh"
+#include "sim/service.hh"
+#include "sim/session.hh"
+
+namespace scnn {
+namespace {
+
+SimulationRequest
+makeRequest(std::vector<BackendSpec> backends, uint64_t seed = 20170624,
+            int threads = 1)
+{
+    SimulationRequest req;
+    req.network = tinyTestNetwork();
+    req.backends = std::move(backends);
+    req.seed = seed;
+    req.threads = threads;
+    return req;
+}
+
+/** The interleaved request mix (all tiny-sized, so the soak is fast
+ *  even under sanitizers). */
+std::vector<SimulationRequest>
+requestMix()
+{
+    std::vector<SimulationRequest> mix;
+    mix.push_back(makeRequest({{"scnn"}}));
+    mix.push_back(makeRequest({{"scnn"}}, 20170624, 2));
+    mix.push_back(makeRequest(
+        {{"scnn"}, {"dcnn"}, {"dcnn-opt"}, {"oracle"}, {"timeloop"}}));
+    mix.push_back(makeRequest({{"scnn"}}, 7));
+    mix.push_back(makeRequest({{"timeloop"}})); // analytic only
+    mix.push_back(makeRequest({{"dcnn"}, {"dcnn-opt"}}));
+    // Unknown backend: a structured per-backend failure, still a
+    // normal (and cacheable) response.
+    mix.push_back(makeRequest({{"scnn"}, {"bogus-backend"}}));
+
+    SimulationRequest dense = makeRequest({{"scnn"}, {"timeloop"}});
+    dense.network = withUniformDensity(tinyTestNetwork(), 0.4, 0.6);
+    mix.push_back(std::move(dense));
+
+    SimulationRequest chained = makeRequest({{"scnn"}});
+    chained.chained = true;
+    chained.keepOutputs = false;
+    mix.push_back(std::move(chained));
+
+    SimulationRequest allLayers = makeRequest({{"scnn"}});
+    allLayers.evalOnly = false;
+    mix.push_back(std::move(allLayers));
+    return mix;
+}
+
+TEST(ServiceStress, InterleavedSessionsMatchSerialTwinsBitExactly)
+{
+    const std::vector<SimulationRequest> mix = requestMix();
+
+    // Serial twins, computed through the plain session path (no
+    // service, no caches).
+    std::vector<std::string> twins;
+    twins.reserve(mix.size());
+    for (const auto &req : mix)
+        twins.push_back(toJson(runSession(req)));
+
+    ServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.queueCapacity = 8; // deliberately small: submit blocks
+    cfg.workloadCacheCapacity = 4;
+    cfg.responseCacheCapacity = 16;
+    SimulationService service(cfg);
+
+    constexpr int kRounds = 6; // 6 x 10 = 60 interleaved sessions
+    std::vector<SessionTicket> tickets;
+    std::vector<size_t> shape;
+    std::vector<bool> tryCancel;
+    for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < mix.size(); ++i) {
+            tickets.push_back(service.submit(mix[i]));
+            shape.push_back(i);
+            // A few mid-flight cancellations per round, spread over
+            // different request shapes.
+            const bool cancelThis =
+                (tickets.size() % 7) == 0 && round % 2 == 1;
+            tryCancel.push_back(cancelThis);
+            if (cancelThis)
+                tickets.back().cancel();
+        }
+    }
+
+    uint64_t cancelled = 0, ok = 0;
+    for (size_t i = 0; i < tickets.size(); ++i) {
+        const ServiceReply &reply = tickets[i].wait();
+        if (reply.outcome == ServiceOutcome::Cancelled) {
+            EXPECT_TRUE(tryCancel[i]);
+            EXPECT_NE(reply.error.find("cancelled"),
+                      std::string::npos)
+                << reply.error;
+            ++cancelled;
+            continue;
+        }
+        ASSERT_EQ(reply.outcome, ServiceOutcome::Ok)
+            << reply.error;
+        ASSERT_NE(reply.responseJson, nullptr);
+        // The heart of the soak: concurrent, cached, budgeted
+        // execution must be byte-identical to the serial client.
+        EXPECT_EQ(*reply.responseJson, twins[shape[i]])
+            << "request " << i << " (shape " << shape[i]
+            << ") diverged from its serial twin";
+        ++ok;
+    }
+    EXPECT_EQ(ok + cancelled, tickets.size());
+
+    service.drain();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, tickets.size());
+    EXPECT_EQ(stats.completedOk, ok);
+    EXPECT_EQ(stats.cancelled, cancelled);
+    EXPECT_EQ(stats.errors, 0u);
+    EXPECT_EQ(stats.queueDepth, 0);
+    EXPECT_EQ(stats.inflight, 0);
+    EXPECT_GT(stats.responseCacheHits + stats.responseCacheMisses,
+              0u);
+    // 10 distinct shapes cycled 6 times: the response cache must be
+    // doing real work.
+    EXPECT_GT(stats.responseCacheHits, 0u);
+    EXPECT_GT(stats.maxQueueDepth, 0);
+    EXPECT_LE(stats.maxQueueDepth, cfg.queueCapacity);
+}
+
+TEST(ServiceStress, CachesOffStillMatchesSerialTwins)
+{
+    const std::vector<SimulationRequest> mix = requestMix();
+    ServiceConfig cfg;
+    cfg.workers = 3;
+    cfg.cacheWorkloads = false;
+    cfg.cacheResponses = false;
+    SimulationService service(cfg);
+
+    std::vector<SessionTicket> tickets;
+    for (int round = 0; round < 2; ++round)
+        for (const auto &req : mix)
+            tickets.push_back(service.submit(req));
+    size_t i = 0;
+    for (auto &ticket : tickets) {
+        const ServiceReply &reply = ticket.wait();
+        ASSERT_EQ(reply.outcome, ServiceOutcome::Ok) << reply.error;
+        EXPECT_FALSE(reply.responseCacheHit);
+        EXPECT_FALSE(reply.workloadCacheHit);
+        EXPECT_EQ(*reply.responseJson,
+                  toJson(runSession(mix[i % mix.size()])));
+        ++i;
+    }
+}
+
+TEST(ServiceStress, CraftedLabelsCannotCollideInTheResponseCache)
+{
+    // The response-cache key length-prefixes client-controlled
+    // strings; a label crafted to mimic another request's delimiter
+    // structure must not steal that request's cache entry.
+    SimulationRequest two =
+        makeRequest({{"scnn", "L"}, {"scnn", "M"}});
+    SimulationRequest one = makeRequest(
+        {{"scnn", "4:scnn,1:L,-1|spec=4:scnn,1:M"}});
+
+    SimulationService service;
+    const ServiceReply first = service.submit(two).wait();
+    const ServiceReply second = service.submit(one).wait();
+    ASSERT_EQ(first.outcome, ServiceOutcome::Ok) << first.error;
+    ASSERT_EQ(second.outcome, ServiceOutcome::Ok) << second.error;
+    EXPECT_FALSE(second.responseCacheHit);
+    EXPECT_NE(*first.responseJson, *second.responseJson);
+    EXPECT_EQ(second.response->runs.size(), 1u);
+    EXPECT_EQ(*first.responseJson, toJson(runSession(two)));
+    EXPECT_EQ(*second.responseJson, toJson(runSession(one)));
+}
+
+TEST(ServiceStress, AnalyticOnlyRequestsSkipWorkloadSynthesis)
+{
+    // The session's needTensors gate is mirrored service-side: a
+    // timeloop-only request must not synthesize (or cache) tensors.
+    SimulationService service;
+    const ServiceReply reply =
+        service.submit(makeRequest({{"timeloop"}})).wait();
+    ASSERT_EQ(reply.outcome, ServiceOutcome::Ok) << reply.error;
+    EXPECT_FALSE(reply.workloadCacheHit);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.workloadCacheHits + stats.workloadCacheMisses,
+              0u);
+    EXPECT_EQ(stats.workloadCacheEntries, 0u);
+
+    // An oracle with an scnn sibling derives from it -- tensors are
+    // synthesized once for the pair, not per spec.
+    const ServiceReply pair =
+        service.submit(makeRequest({{"scnn"}, {"oracle"}})).wait();
+    ASSERT_EQ(pair.outcome, ServiceOutcome::Ok) << pair.error;
+    EXPECT_EQ(service.stats().workloadCacheMisses, 1u);
+}
+
+TEST(ServiceStress, InvalidRequestsResolveToStructuredErrors)
+{
+    SimulationService service;
+
+    SimulationRequest empty;
+    empty.network = tinyTestNetwork();
+    const ServiceReply &r1 = service.submit(empty).wait();
+    EXPECT_EQ(r1.outcome, ServiceOutcome::Error);
+    EXPECT_NE(r1.error.find("no backends"), std::string::npos)
+        << r1.error;
+
+    const ServiceReply &r2 =
+        service.submit(makeRequest({{"scnn", "same"},
+                                    {"dcnn", "same"}}))
+            .wait();
+    EXPECT_EQ(r2.outcome, ServiceOutcome::Error);
+    EXPECT_NE(r2.error.find("duplicate backend label"),
+              std::string::npos)
+        << r2.error;
+    // Error replies are tagged with the request index for
+    // attribution in multiplexed streams.
+    EXPECT_NE(r2.error.find("request #"), std::string::npos)
+        << r2.error;
+}
+
+TEST(ServiceStress, QueuedDeadlineExpiresWithoutRunning)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1; // force queueing behind the blocker
+    SimulationService service(cfg);
+
+    const SimulationRequest blocker = makeRequest(
+        {{"scnn"}, {"dcnn"}, {"dcnn-opt"}, {"oracle"}, {"timeloop"}});
+    SessionTicket first = service.submit(blocker);
+    // 1 ns deadline: guaranteed to have expired by the time the
+    // worker dequeues it from behind the blocker.
+    SessionTicket second =
+        service.submit(makeRequest({{"scnn"}}), 1e-6);
+
+    EXPECT_EQ(first.wait().outcome, ServiceOutcome::Ok)
+        << first.wait().error;
+    const ServiceReply &expired = second.wait();
+    EXPECT_EQ(expired.outcome, ServiceOutcome::DeadlineExpired);
+    EXPECT_NE(expired.error.find("deadline"), std::string::npos)
+        << expired.error;
+    EXPECT_EQ(expired.response, nullptr);
+
+    service.drain();
+    EXPECT_EQ(service.stats().deadlineExpired, 1u);
+}
+
+TEST(ServiceStress, CancelAfterCompletionReportsTooLate)
+{
+    SimulationService service;
+    SessionTicket ticket = service.submit(makeRequest({{"timeloop"}}));
+    const ServiceReply &reply = ticket.wait();
+    EXPECT_EQ(reply.outcome, ServiceOutcome::Ok) << reply.error;
+    // The reply was already delivered; cancel() must report that and
+    // leave the delivered reply untouched.
+    EXPECT_FALSE(ticket.cancel());
+    EXPECT_EQ(ticket.wait().outcome, ServiceOutcome::Ok);
+}
+
+TEST(ServiceStress, StatsJsonIsWellFormedAndCarriesTheSchema)
+{
+    SimulationService service;
+    service.submit(makeRequest({{"timeloop"}})).wait();
+    const std::string doc = service.statsJson();
+    EXPECT_NE(doc.find("\"scnn.service_stats.v1\""),
+              std::string::npos);
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(parseJson(doc, parsed, error)) << error;
+    ASSERT_TRUE(parsed.isObject());
+    EXPECT_NE(parsed.find("latency_ms"), nullptr);
+    EXPECT_NE(parsed.find("workload_cache"), nullptr);
+    EXPECT_NE(parsed.find("response_cache"), nullptr);
+    const JsonValue *submitted = parsed.find("submitted");
+    ASSERT_NE(submitted, nullptr);
+    EXPECT_EQ(submitted->uint64, 1u);
+}
+
+/** Teardown with work still queued: the destructor drains the queue
+ *  (a queued request is a promise), then joins cleanly. */
+TEST(ServiceStress, DestructorDrainsQueuedWork)
+{
+    std::vector<SessionTicket> tickets;
+    {
+        ServiceConfig cfg;
+        cfg.workers = 1;
+        SimulationService service(cfg);
+        for (int i = 0; i < 6; ++i)
+            tickets.push_back(service.submit(makeRequest({{"scnn"}})));
+    }
+    for (auto &ticket : tickets)
+        EXPECT_EQ(ticket.wait().outcome, ServiceOutcome::Ok);
+}
+
+} // namespace
+} // namespace scnn

@@ -256,5 +256,68 @@ TEST(Session, ThreadsResolvedOncePerRequest)
     EXPECT_GE(runSession(req).threads, 1);
 }
 
+TEST(Session, ErrorsAreTaggedWithSpecNameAndIndex)
+{
+    // A multiplexed service interleaves many responses; every
+    // session-surfaced error names the offending spec and its index
+    // so mid-batch failures stay attributable.
+    AcceleratorConfig broken = scnnConfig();
+    broken.ppuLanes = 0;
+    const SimulationResponse resp = runSession(tinyRequest(
+        {{"scnn"}, {"scnn", "broken", broken}, {"bogus-backend"}}));
+    EXPECT_NE(resp.find("broken")->error.find(
+                  "backend spec #1 ('broken', scnn)"),
+              std::string::npos)
+        << resp.find("broken")->error;
+    EXPECT_NE(resp.find("bogus-backend")->error.find(
+                  "backend spec #2 ('bogus-backend', bogus-backend)"),
+              std::string::npos)
+        << resp.find("bogus-backend")->error;
+}
+
+TEST(Session, ChainedErrorsCarryTheSpecTagToo)
+{
+    SimulationRequest req;
+    req.network = tinyTestNetwork();
+    req.backends = {{"timeloop", "tl"}}; // cannot chain
+    req.chained = true;
+    const SimulationResponse resp = runSession(req);
+    ASSERT_FALSE(resp.runs.front().ok);
+    EXPECT_NE(resp.runs.front().error.find(
+                  "backend spec #0 ('tl', timeloop)"),
+              std::string::npos)
+        << resp.runs.front().error;
+}
+
+TEST(Session, SharedWorkloadsProduceBitIdenticalResponses)
+{
+    // The service's workload cache hands sessions pre-synthesized
+    // tensors; the response must be byte-identical to a session that
+    // synthesizes its own.
+    SimulationRequest req = tinyRequest({{"scnn"}, {"timeloop"}});
+    req.threads = 1;
+    const std::string fresh = toJson(runSession(req));
+
+    auto shared = std::make_shared<std::vector<LayerWorkload>>();
+    for (const auto &layer : sessionLayers(req))
+        shared->push_back(makeWorkload(layer, req.seed));
+    req.sharedWorkloads = shared;
+    EXPECT_EQ(toJson(runSession(req)), fresh);
+}
+
+TEST(Session, PreCancelledSessionAbortsWithSimulationError)
+{
+    SimulationRequest req = tinyRequest({{"scnn"}});
+    auto flag = std::make_shared<std::atomic<bool>>(true);
+    req.cancel = flag;
+    EXPECT_THROW(runSession(req), SimulationError);
+
+    // Chained sessions check between backends.
+    SimulationRequest chained = tinyRequest({{"scnn"}});
+    chained.chained = true;
+    chained.cancel = flag;
+    EXPECT_THROW(runSession(chained), SimulationError);
+}
+
 } // anonymous namespace
 } // namespace scnn

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * scnn_serve: JSON-lines front end to the SimulationService.
+ *
+ * Protocol: one request object per stdin line (see parseRequestLine
+ * in sim/service.hh for the field reference), one JSON line on stdout
+ * per input line, in input order:
+ *
+ *  - a "scnn.simulation_response.v1" document for a completed
+ *    session (byte-identical to toJson(runSession(request)) for the
+ *    same request), or
+ *  - a "scnn.service_error.v1" document when the line could not be
+ *    parsed, the request was invalid, the session failed, or the
+ *    deadline expired:
+ *      {"schema": "scnn.service_error.v1", "line": N,
+ *       "outcome": "error" | "cancelled" | "deadline_expired",
+ *       "error": "<description>"}
+ *
+ * Requests are admitted into a bounded queue and executed by up to
+ * --max-inflight concurrent sessions multiplexed over the shared
+ * thread pool; reading stops (stdin backpressure) while the queue is
+ * full.  Identical requests are served from the response cache and
+ * repeated networks from the workload cache (disable with
+ * --no-cache).
+ *
+ * Usage:
+ *   scnn_serve [--max-inflight=N] [--queue=N] [--session-threads=N]
+ *              [--deadline-ms=X] [--no-cache] [--metrics[=path]]
+ *              [--threads=N] [--echo]
+ *
+ * --metrics prints a "scnn.service_stats.v1" block on exit to stderr
+ * (or writes it to a file with --metrics=path) so batch drivers can
+ * collect queue/latency/cache metrics as an artifact.  --echo copies
+ * each request line to stderr before serving it (trace aid).
+ *
+ * Exit status is 0 when every line produced a response line (error
+ * responses included -- protocol errors are data, not crashes), 2 on
+ * bad command-line usage.
+ */
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "sim/service.hh"
+
+using namespace scnn;
+
+namespace {
+
+/** Hard cap on one request line; longer lines get an error line. */
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+struct Options
+{
+    ServiceConfig service;
+    bool metrics = false;
+    std::string metricsPath; // empty: stderr
+    bool echo = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--max-inflight=N] [--queue=N]\n"
+                 "          [--session-threads=N] [--deadline-ms=X]\n"
+                 "          [--no-cache] [--metrics[=path]]\n"
+                 "          [--threads=N] [--echo]\n",
+                 argv0);
+    std::exit(2);
+}
+
+bool
+consume(const char *arg, const char *key, std::string &out)
+{
+    const size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+int
+parsePositive(const std::string &v, const char *flag)
+{
+    char *end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || n <= 0 || n > 1024)
+        fatal("bad %s value '%s' (want an integer in [1, 1024])",
+              flag, v.c_str());
+    return static_cast<int>(n);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    // Serving default: a couple of in-flight sessions, one pool
+    // thread each; override per deployment.
+    o.service.workers = 2;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (consume(argv[i], "--max-inflight", v)) {
+            o.service.workers = parsePositive(v, "--max-inflight");
+        } else if (consume(argv[i], "--queue", v)) {
+            o.service.queueCapacity = parsePositive(v, "--queue");
+        } else if (consume(argv[i], "--session-threads", v)) {
+            o.service.sessionThreads =
+                parsePositive(v, "--session-threads");
+        } else if (consume(argv[i], "--deadline-ms", v)) {
+            char *end = nullptr;
+            o.service.defaultDeadlineMs =
+                std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' ||
+                o.service.defaultDeadlineMs < 0.0)
+                fatal("bad --deadline-ms value '%s'", v.c_str());
+        } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+            o.service.cacheWorkloads = false;
+            o.service.cacheResponses = false;
+        } else if (consume(argv[i], "--metrics", v)) {
+            o.metrics = true;
+            o.metricsPath = v;
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            o.metrics = true;
+        } else if (std::strcmp(argv[i], "--echo") == 0) {
+            o.echo = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+/** An input line's slot in the in-order output sequence. */
+struct PendingLine
+{
+    bool ready = false;    ///< `text` already final (parse error)
+    std::string text;      ///< ready output line
+    SessionTicket ticket;  ///< pending session otherwise
+};
+
+std::string errorLine(uint64_t lineNo, const char *outcome,
+                      const std::string &message);
+std::string replyLine(uint64_t lineNo, const ServiceReply &reply);
+
+/**
+ * In-order response writer: a dedicated thread drains a bounded
+ * deque of pending lines, waiting on each head-of-line ticket in
+ * turn, so a completed response is emitted as soon as its
+ * predecessors are -- even while the reader sits blocked on stdin
+ * (request/response-lockstep clients would otherwise deadlock).  The
+ * bound makes the reorder buffer itself apply backpressure for lines
+ * that never reach the service queue (parse errors, oversized
+ * lines): push() blocks until the writer catches up, so a flood of
+ * garbage lines cannot grow memory without limit.
+ */
+class OrderedEmitter
+{
+  public:
+    explicit OrderedEmitter(size_t capacity)
+        : capacity_(capacity), writer_([this] { writerLoop(); })
+    {
+    }
+
+    /** Append the next line's slot; blocks while the buffer is full. */
+    void
+    push(PendingLine slot)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        space_.wait(lock,
+                    [&] { return pending_.size() < capacity_; });
+        pending_.push_back(std::move(slot));
+        ready_.notify_one();
+    }
+
+    /** Signal EOF, drain everything, join the writer. */
+    void
+    finish()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            eof_ = true;
+        }
+        ready_.notify_one();
+        writer_.join();
+    }
+
+  private:
+    void
+    writerLoop()
+    {
+        uint64_t lineNo = 0;
+        for (;;) {
+            PendingLine slot;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                ready_.wait(lock, [&] {
+                    return eof_ || !pending_.empty();
+                });
+                if (pending_.empty())
+                    return; // EOF and fully drained
+                slot = std::move(pending_.front());
+                pending_.pop_front();
+            }
+            space_.notify_one();
+            // ticket.wait() blocks only this writer; the reader
+            // keeps accepting lines meanwhile.
+            const std::string text =
+                slot.ready ? slot.text
+                           : replyLine(lineNo, slot.ticket.wait());
+            std::fputs(text.c_str(), stdout);
+            std::fputc('\n', stdout);
+            std::fflush(stdout);
+            ++lineNo;
+        }
+    }
+
+    const size_t capacity_;
+    std::mutex mu_;
+    std::condition_variable ready_;
+    std::condition_variable space_;
+    std::deque<PendingLine> pending_;
+    bool eof_ = false;
+    std::thread writer_;
+};
+
+std::string
+errorLine(uint64_t lineNo, const char *outcome,
+          const std::string &message)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("scnn.service_error.v1");
+    w.key("line").value(lineNo);
+    w.key("outcome").value(outcome);
+    w.key("error").value(message);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+replyLine(uint64_t lineNo, const ServiceReply &reply)
+{
+    switch (reply.outcome) {
+    case ServiceOutcome::Ok:
+        return *reply.responseJson;
+    case ServiceOutcome::Cancelled:
+        return errorLine(lineNo, "cancelled", reply.error);
+    case ServiceOutcome::DeadlineExpired:
+        return errorLine(lineNo, "deadline_expired", reply.error);
+    case ServiceOutcome::Error:
+        break;
+    }
+    return errorLine(lineNo, "error", reply.error);
+}
+
+/**
+ * Read one line of unbounded length safely: lines beyond the cap are
+ * consumed to their end but flagged oversized (one error line each,
+ * still one output per input).
+ */
+bool
+readLine(std::string &line, bool &oversized)
+{
+    line.clear();
+    oversized = false;
+    int c;
+    while ((c = std::fgetc(stdin)) != EOF) {
+        if (c == '\n')
+            return true;
+        if (line.size() < kMaxLineBytes)
+            line += static_cast<char>(c);
+        else
+            oversized = true;
+    }
+    return !line.empty();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    argc = consumeThreadsFlag(argc, argv);
+    const Options o = parse(argc, argv);
+
+    SimulationService service(o.service);
+    // The reorder bound covers everything the service can have in
+    // flight plus a slab of ready (error) lines.
+    OrderedEmitter emitter(
+        static_cast<size_t>(o.service.queueCapacity) +
+        static_cast<size_t>(o.service.workers) + 64);
+    uint64_t lineNo = 0;
+
+    std::string line;
+    bool oversized = false;
+    while (readLine(line, oversized)) {
+        if (o.echo)
+            std::fprintf(stderr, "line %llu: %s\n",
+                         static_cast<unsigned long long>(lineNo),
+                         line.c_str());
+        PendingLine slot;
+        if (oversized) {
+            slot.ready = true;
+            slot.text = errorLine(
+                lineNo, "error",
+                strfmt("request line exceeds the %zu-byte limit",
+                       kMaxLineBytes));
+        } else if (line.find_first_not_of(" \t\r") ==
+                   std::string::npos) {
+            slot.ready = true;
+            slot.text = errorLine(lineNo, "error", "empty line");
+        } else {
+            ParsedServiceRequest parsed;
+            std::string error;
+            if (parseRequestLine(line, parsed, error)) {
+                // submit() blocks while the queue is full: admission
+                // backpressure travels up to our stdin reader.
+                slot.ticket = service.submit(
+                    std::move(parsed.request), parsed.deadlineMs);
+            } else {
+                slot.ready = true;
+                slot.text = errorLine(lineNo, "error", error);
+            }
+        }
+        emitter.push(std::move(slot));
+        ++lineNo;
+    }
+    emitter.finish();
+
+    if (o.metrics) {
+        const std::string stats = service.statsJson();
+        if (o.metricsPath.empty())
+            std::fprintf(stderr, "%s\n", stats.c_str());
+        else if (!writeJsonFile(o.metricsPath, stats))
+            fatal("cannot write metrics to '%s'",
+                  o.metricsPath.c_str());
+    }
+    return 0;
+}
