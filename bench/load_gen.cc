@@ -1,0 +1,667 @@
+/**
+ * @file
+ * Open-loop load generator for the scnn_serve TCP front end -- the
+ * reference sharded client.
+ *
+ * The generator spawns a fleet of N scnn_serve shard processes (or
+ * connects to an externally launched fleet with --connect), draws
+ * request arrival times from a Poisson process (exponential
+ * interarrivals at the offered rate; --rate=0 means "as fast as
+ * possible"), hash-routes every request to its shard with
+ * shardForRequest(), and measures reply latency *from the scheduled
+ * arrival time* -- the open-loop discipline, so a saturated server
+ * shows up as growing latency and shed replies rather than as a
+ * politely slowed-down client.
+ *
+ * The default run is the committed benchmark suite (four cells):
+ *
+ *   steady_cached/1shard    offered rate well below capacity, hot
+ *                           response cache: completed/s tracks the
+ *                           offered rate, latency stays flat.
+ *   max_cached/1shard       unpaced flood of cacheable requests: the
+ *                           single-shard serving ceiling (socket +
+ *                           parse + cache hit).
+ *   shard_affinity/1shard   a paced stream cycling over 96 distinct
+ *   shard_affinity/2shard   workload signatures -- more than one
+ *                           shard's response LRU holds, half of it
+ *                           per shard once hash-routed.  The 2-shard
+ *                           fleet serves the stream from hot caches
+ *                           while the single shard re-simulates and
+ *                           sheds: the cache-affinity win
+ *                           shardForRequest() exists for (ok/s of the
+ *                           2-shard cell >= the 1-shard cell).
+ *   overload_uncached/1shard  offered rate far above the simulate
+ *                           rate with a tiny queue: demonstrates load
+ *                           shedding -- ok+shed == offered, the shed
+ *                           fraction is large, and ok/s rides the
+ *                           service capacity.
+ *
+ * Emits a table plus a machine-readable JSON document (schema
+ * "scnn.load_gen.v1", default BENCH_load_gen.json) with per-cell
+ * throughput, outcome counts, latency percentiles and a log-scale
+ * latency histogram.  tools/bench_diff.py gates ok_per_sec per cell.
+ *
+ * Usage:
+ *   bench_load_gen [--out=path] [--serve-bin=path] [--quick]
+ *                  [--connect=host:port[,host:port...]]
+ *                  [--threads=N]
+ *
+ * --connect skips process spawning and drives the given endpoints as
+ * the shard fleet (shard i = endpoint i); the cell suite still runs,
+ * restricted to cells whose shard count matches the endpoint count.
+ */
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+#include "nn/model_zoo.hh"
+#include "sim/service.hh"
+#include "sim/session.hh"
+
+#ifndef SCNN_SERVE_BIN
+#define SCNN_SERVE_BIN "scnn_serve"
+#endif
+
+using namespace scnn;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+// --- options ----------------------------------------------------------
+
+struct Endpoint
+{
+    std::string host;
+    int port = 0;
+};
+
+struct Options
+{
+    std::string out = "BENCH_load_gen.json";
+    std::string serveBin = SCNN_SERVE_BIN;
+    std::vector<Endpoint> connect; ///< empty: spawn shards ourselves
+    bool quick = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--out=path] [--serve-bin=path] [--quick]\n"
+                 "          [--connect=host:port[,host:port...]]\n"
+                 "          [--threads=N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+bool
+consume(const char *arg, const char *key, std::string &out)
+{
+    const size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (consume(argv[i], "--out", v)) {
+            o.out = v;
+        } else if (consume(argv[i], "--serve-bin", v)) {
+            o.serveBin = v;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            o.quick = true;
+        } else if (consume(argv[i], "--connect", v)) {
+            size_t start = 0;
+            while (start <= v.size()) {
+                const size_t comma = v.find(',', start);
+                const std::string spec =
+                    comma == std::string::npos
+                        ? v.substr(start)
+                        : v.substr(start, comma - start);
+                const size_t colon = spec.rfind(':');
+                if (colon == std::string::npos || colon == 0)
+                    fatal("bad --connect entry '%s' (want host:port)",
+                          spec.c_str());
+                Endpoint ep;
+                ep.host = spec.substr(0, colon);
+                ep.port = std::atoi(spec.c_str() + colon + 1);
+                if (ep.port <= 0 || ep.port > 65535)
+                    fatal("bad --connect port in '%s'", spec.c_str());
+                o.connect.push_back(std::move(ep));
+                if (comma == std::string::npos)
+                    break;
+                start = comma + 1;
+            }
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+// --- shard fleet ------------------------------------------------------
+
+struct ShardProc
+{
+    pid_t pid = -1;
+    Endpoint endpoint;
+};
+
+std::string
+tempPath(const char *stem, int n)
+{
+    return strfmt("/tmp/%s_%d_%d", stem, static_cast<int>(getpid()),
+                  n);
+}
+
+ShardProc
+spawnShard(const std::string &bin, int index,
+           const std::vector<std::string> &serveArgs)
+{
+    ShardProc s;
+    const std::string portFile = tempPath("scnn_loadgen_port", index);
+    std::remove(portFile.c_str());
+
+    std::vector<std::string> args = {bin, "--listen=127.0.0.1:0",
+                                     "--port-file=" + portFile};
+    args.insert(args.end(), serveArgs.begin(), serveArgs.end());
+    std::vector<char *> argv;
+    for (const auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+
+    s.pid = fork();
+    if (s.pid == 0) {
+        const int devnull = open("/dev/null", O_RDWR);
+        dup2(devnull, STDIN_FILENO);
+        dup2(devnull, STDERR_FILENO);
+        execv(argv[0], argv.data());
+        _exit(127);
+    }
+
+    const Clock::time_point start = Clock::now();
+    for (;;) {
+        std::FILE *f = std::fopen(portFile.c_str(), "r");
+        if (f != nullptr) {
+            int port = 0;
+            const int got = std::fscanf(f, "%d", &port);
+            std::fclose(f);
+            if (got == 1 && port > 0) {
+                s.endpoint = {"127.0.0.1", port};
+                break;
+            }
+        }
+        int status = 0;
+        if (waitpid(s.pid, &status, WNOHANG) == s.pid)
+            fatal("shard %d (%s) exited during startup", index,
+                  bin.c_str());
+        if (msSince(start) > 30000.0)
+            fatal("shard %d never wrote its port file", index);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::remove(portFile.c_str());
+    return s;
+}
+
+void
+stopShard(ShardProc &s)
+{
+    if (s.pid <= 0)
+        return;
+    kill(s.pid, SIGTERM);
+    const Clock::time_point start = Clock::now();
+    for (;;) {
+        int status = 0;
+        if (waitpid(s.pid, &status, WNOHANG) == s.pid)
+            break;
+        if (msSince(start) > 30000.0) {
+            kill(s.pid, SIGKILL);
+            waitpid(s.pid, nullptr, 0);
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    s.pid = -1;
+}
+
+int
+connectTo(const Endpoint &ep)
+{
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket: %s", std::strerror(errno));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(ep.port));
+    if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+        fatal("bad shard host '%s' (want an IPv4 address)",
+              ep.host.c_str());
+    for (int attempt = 0;; ++attempt) {
+        if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) == 0)
+            return fd;
+        if (attempt > 200)
+            fatal("cannot connect to shard %s:%d: %s",
+                  ep.host.c_str(), ep.port, std::strerror(errno));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+// --- one benchmark cell -----------------------------------------------
+
+struct CellSpec
+{
+    std::string name;
+    int shards = 1;
+    double offeredRps = 0.0; ///< 0 = unpaced (as fast as possible)
+    int requests = 0;
+    int distinctSeeds = 0; ///< 0 = every request distinct (uncached)
+    std::vector<std::string> serveArgs;
+};
+
+/** Fixed log-scale latency buckets (upper bounds, ms). */
+const double kBucketsMs[] = {0.25, 0.5, 1,  2,   4,   8,  16,
+                             32,   64,  128, 256, 512, 1024};
+constexpr size_t kBuckets = sizeof(kBucketsMs) / sizeof(double) + 1;
+
+struct CellResult
+{
+    CellSpec spec;
+    uint64_t ok = 0, shed = 0, errors = 0;
+    double wallMs = 0.0;
+    double completedPerSec = 0.0;
+    double okPerSec = 0.0;
+    double p50Ms = 0.0, p95Ms = 0.0, p99Ms = 0.0, maxMs = 0.0;
+    uint64_t histogram[kBuckets] = {};
+};
+
+/** The one request shape the suite serves (the tiny network). */
+std::string
+requestLine(uint64_t seed)
+{
+    return strfmt("{\"network\":\"tiny\",\"backends\":[\"scnn\"],"
+                  "\"seed\":%llu,\"threads\":1}",
+                  static_cast<unsigned long long>(seed));
+}
+
+SimulationRequest
+routingRequest(uint64_t seed)
+{
+    SimulationRequest req;
+    req.network = tinyTestNetwork();
+    req.backends.push_back({});
+    req.backends.back().backend = "scnn";
+    req.seed = seed;
+    req.threads = 1;
+    return req;
+}
+
+/** One shard's slice of the schedule, driven over one connection. */
+struct ShardPlan
+{
+    std::vector<double> sendAtMs;  ///< scheduled arrival offsets
+    std::vector<uint64_t> seeds;   ///< request seed per line
+    std::vector<double> latencyMs; ///< reply latency (all outcomes)
+    std::vector<int> outcome;      ///< 0 ok, 1 shed, 2 error
+};
+
+void
+driveShard(const Endpoint &ep, Clock::time_point epoch,
+           ShardPlan &plan)
+{
+    const int fd = connectTo(ep);
+    const size_t n = plan.sendAtMs.size();
+    plan.latencyMs.assign(n, 0.0);
+    plan.outcome.assign(n, 2);
+
+    std::thread sender([&] {
+        std::string batch;
+        for (size_t i = 0; i < n; ++i) {
+            const auto due =
+                epoch + std::chrono::duration<double, std::milli>(
+                            plan.sendAtMs[i]);
+            if (Clock::now() < due)
+                std::this_thread::sleep_until(due);
+            batch = requestLine(plan.seeds[i]);
+            batch += '\n';
+            const char *data = batch.data();
+            size_t left = batch.size();
+            while (left > 0) {
+                const ssize_t w = write(fd, data, left);
+                if (w < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    fatal("write to shard %s:%d failed: %s",
+                          ep.host.c_str(), ep.port,
+                          std::strerror(errno));
+                }
+                data += w;
+                left -= static_cast<size_t>(w);
+            }
+        }
+        shutdown(fd, SHUT_WR);
+    });
+
+    // Replies come back in request order on the connection; classify
+    // by schema prefix (cheap -- no full JSON parse on the hot path).
+    std::string buf;
+    size_t pos = 0, replyIdx = 0;
+    char chunk[1 << 16];
+    while (replyIdx < n) {
+        const size_t nl = buf.find('\n', pos);
+        if (nl != std::string::npos) {
+            const double lat =
+                msSince(epoch) - plan.sendAtMs[replyIdx];
+            plan.latencyMs[replyIdx] = lat > 0.0 ? lat : 0.0;
+            static const std::string okPrefix =
+                "{\"schema\":\"scnn.simulation_response.v1\"";
+            if (buf.compare(pos, okPrefix.size(), okPrefix) == 0)
+                plan.outcome[replyIdx] = 0;
+            else if (buf.find("\"outcome\":\"shed\"", pos) !=
+                     std::string::npos &&
+                     buf.find("\"outcome\":\"shed\"", pos) < nl)
+                plan.outcome[replyIdx] = 1;
+            else
+                plan.outcome[replyIdx] = 2;
+            pos = nl + 1;
+            ++replyIdx;
+            continue;
+        }
+        buf.erase(0, pos);
+        pos = 0;
+        const ssize_t r = read(fd, chunk, sizeof(chunk));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("read from shard %s:%d failed: %s", ep.host.c_str(),
+                  ep.port, std::strerror(errno));
+        }
+        if (r == 0)
+            fatal("shard %s:%d closed after %zu of %zu replies",
+                  ep.host.c_str(), ep.port, replyIdx, n);
+        buf.append(chunk, static_cast<size_t>(r));
+    }
+    sender.join();
+    close(fd);
+}
+
+CellResult
+runCell(const CellSpec &spec, const Options &opts)
+{
+    // Spawn the fleet (or adopt the --connect endpoints).
+    std::vector<ShardProc> procs;
+    std::vector<Endpoint> endpoints;
+    if (!opts.connect.empty()) {
+        endpoints = opts.connect;
+    } else {
+        for (int i = 0; i < spec.shards; ++i) {
+            procs.push_back(
+                spawnShard(opts.serveBin, i, spec.serveArgs));
+            endpoints.push_back(procs.back().endpoint);
+        }
+    }
+    const int nShards = static_cast<int>(endpoints.size());
+
+    // Draw the global Poisson schedule, hash-route each request to
+    // its shard.  Seeded: the schedule is identical run to run.
+    Rng rng("load_gen/" + spec.name, 20170624);
+    std::vector<ShardPlan> plans(static_cast<size_t>(nShards));
+    {
+        double atMs = 0.0;
+        for (int i = 0; i < spec.requests; ++i) {
+            if (spec.offeredRps > 0.0) {
+                const double u = rng.uniform();
+                atMs += -std::log(1.0 - u) /
+                        spec.offeredRps * 1e3;
+            }
+            const uint64_t seed =
+                spec.distinctSeeds > 0
+                    ? static_cast<uint64_t>(
+                          i % spec.distinctSeeds)
+                    : static_cast<uint64_t>(i);
+            const int shard =
+                shardForRequest(routingRequest(seed), nShards);
+            plans[static_cast<size_t>(shard)].sendAtMs.push_back(
+                atMs);
+            plans[static_cast<size_t>(shard)].seeds.push_back(seed);
+        }
+    }
+
+    // Warm each shard (connection setup, first-request synthesis)
+    // outside the measured window.
+    for (const auto &ep : endpoints) {
+        ShardPlan warm;
+        warm.sendAtMs = {0.0};
+        warm.seeds = {0};
+        driveShard(ep, Clock::now(), warm);
+    }
+
+    const Clock::time_point epoch = Clock::now();
+    std::vector<std::thread> drivers;
+    for (int s = 0; s < nShards; ++s)
+        drivers.emplace_back([&, s] {
+            if (!plans[static_cast<size_t>(s)].seeds.empty())
+                driveShard(endpoints[static_cast<size_t>(s)], epoch,
+                           plans[static_cast<size_t>(s)]);
+        });
+    for (auto &t : drivers)
+        t.join();
+    const double wallMs = msSince(epoch);
+
+    for (auto &p : procs)
+        stopShard(p);
+
+    // Aggregate.
+    CellResult r;
+    r.spec = spec;
+    r.wallMs = wallMs;
+    std::vector<double> lat;
+    for (const auto &p : plans) {
+        for (size_t i = 0; i < p.outcome.size(); ++i) {
+            switch (p.outcome[i]) {
+            case 0:
+                ++r.ok;
+                break;
+            case 1:
+                ++r.shed;
+                break;
+            default:
+                ++r.errors;
+                break;
+            }
+            lat.push_back(p.latencyMs[i]);
+            size_t b = 0;
+            while (b < kBuckets - 1 &&
+                   p.latencyMs[i] > kBucketsMs[b])
+                ++b;
+            ++r.histogram[b];
+        }
+    }
+    std::sort(lat.begin(), lat.end());
+    auto pct = [&](double q) {
+        if (lat.empty())
+            return 0.0;
+        const size_t idx = static_cast<size_t>(
+            q * static_cast<double>(lat.size() - 1));
+        return lat[idx];
+    };
+    r.p50Ms = pct(0.50);
+    r.p95Ms = pct(0.95);
+    r.p99Ms = pct(0.99);
+    r.maxMs = lat.empty() ? 0.0 : lat.back();
+    const double wallSec = wallMs / 1e3;
+    r.completedPerSec =
+        static_cast<double>(r.ok + r.shed + r.errors) / wallSec;
+    r.okPerSec = static_cast<double>(r.ok) / wallSec;
+    return r;
+}
+
+std::vector<CellSpec>
+suite(bool quick)
+{
+    const int scale = quick ? 10 : 1;
+    std::vector<CellSpec> cells;
+    // Comfortable steady state: hot cache, rate far below capacity.
+    cells.push_back({"steady_cached",
+                     1,
+                     1000.0,
+                     3000 / scale,
+                     4,
+                     {"--max-inflight=2", "--queue=256",
+                      "--session-threads=1"}});
+    // Unpaced flood of cacheable requests: the serving ceiling.
+    cells.push_back({"max_cached",
+                     1,
+                     0.0,
+                     30000 / scale,
+                     4,
+                     {"--max-inflight=2", "--queue=1024",
+                      "--session-threads=1"}});
+    // The sharding cells: one offered stream cycling over 96
+    // distinct workload signatures -- more than one shard's 64-entry
+    // response LRU holds (cyclic access thrashes an LRU to a 0% hit
+    // rate), half of it per shard once hash-routed over two.  The
+    // unsharded server re-simulates every request and sheds what it
+    // cannot absorb; the 2-shard fleet serves the same stream from
+    // hot caches.  This is the cache-affinity win shardForRequest()
+    // exists for, and it does not depend on spare cores.
+    cells.push_back({"shard_affinity",
+                     1,
+                     2000.0,
+                     6000 / scale,
+                     96,
+                     {"--max-inflight=2", "--queue=256",
+                      "--session-threads=1"}});
+    cells.push_back({"shard_affinity",
+                     2,
+                     2000.0,
+                     6000 / scale,
+                     96,
+                     {"--max-inflight=2", "--queue=256",
+                      "--session-threads=1"}});
+    // Offered rate far above the simulate rate, tiny queue: the load
+    // shedding story.  Every request distinct, so nothing caches.
+    cells.push_back({"overload_uncached",
+                     1,
+                     4000.0,
+                     4000 / scale,
+                     0,
+                     {"--max-inflight=2", "--queue=8",
+                      "--session-threads=1"}});
+    return cells;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    argc = consumeThreadsFlag(argc, argv);
+    const Options opts = parse(argc, argv);
+    signal(SIGPIPE, SIG_IGN);
+
+    std::vector<CellResult> results;
+    for (const auto &spec : suite(opts.quick)) {
+        if (!opts.connect.empty() &&
+            static_cast<int>(opts.connect.size()) != spec.shards)
+            continue; // fleet size fixed by --connect
+        results.push_back(runCell(spec, opts));
+    }
+    if (results.empty())
+        fatal("no cell matches the --connect fleet size");
+
+    Table t("load_gen",
+            {"Cell", "Shards", "Offered/s", "Req", "Ok", "Shed",
+             "Ok/s", "p50 ms", "p95 ms", "max ms"});
+    for (const auto &r : results) {
+        t.addRow({r.spec.name, std::to_string(r.spec.shards),
+                  r.spec.offeredRps > 0.0
+                      ? Table::num(r.spec.offeredRps, 0)
+                      : std::string("max"),
+                  std::to_string(r.spec.requests),
+                  std::to_string(r.ok), std::to_string(r.shed),
+                  Table::num(r.okPerSec, 1), Table::num(r.p50Ms, 2),
+                  Table::num(r.p95Ms, 2), Table::num(r.maxMs, 2)});
+    }
+    t.print();
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("scnn.load_gen.v1");
+    w.key("network").value("tiny");
+    w.key("backends").value("scnn");
+    w.key("cells").beginArray();
+    for (const auto &r : results) {
+        w.beginObject();
+        w.key("cell").value(r.spec.name);
+        w.key("shards").value(r.spec.shards);
+        w.key("offered_rps").value(r.spec.offeredRps);
+        w.key("requests").value(r.spec.requests);
+        w.key("distinct_seeds").value(r.spec.distinctSeeds);
+        w.key("ok").value(r.ok);
+        w.key("shed").value(r.shed);
+        w.key("errors").value(r.errors);
+        w.key("wall_ms").value(r.wallMs);
+        w.key("completed_per_sec").value(r.completedPerSec);
+        w.key("ok_per_sec").value(r.okPerSec);
+        w.key("latency_ms").beginObject();
+        w.key("p50").value(r.p50Ms);
+        w.key("p95").value(r.p95Ms);
+        w.key("p99").value(r.p99Ms);
+        w.key("max").value(r.maxMs);
+        w.endObject();
+        w.key("latency_histogram").beginArray();
+        for (size_t b = 0; b < kBuckets; ++b) {
+            w.beginObject();
+            if (b < kBuckets - 1)
+                w.key("le_ms").value(kBucketsMs[b]);
+            else
+                w.key("le_ms").value(std::string("inf"));
+            w.key("count").value(r.histogram[b]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    if (!opts.out.empty())
+        writeJsonFile(opts.out, w.str());
+    return 0;
+}

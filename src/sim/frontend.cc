@@ -1,0 +1,337 @@
+#include "sim/frontend.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <poll.h>
+#include <thread>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace scnn {
+
+namespace {
+
+/** Full write with EINTR retry; false once the peer is gone. */
+bool
+writeAll(int fd, const char *data, size_t n)
+{
+    while (n > 0) {
+        const ssize_t w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+/**
+ * Buffered line reader over a fd, with an optional stop fd polled
+ * alongside it.  EOF yields a trailing unterminated line (a pipe that
+ * ends without '\n' still carried a request); a stop signal drops
+ * any partial line -- forced drain means "consume nothing further".
+ */
+class FdLineReader
+{
+  public:
+    FdLineReader(int fd, int stopFd, size_t maxLine)
+        : fd_(fd), stopFd_(stopFd), maxLine_(maxLine)
+    {
+    }
+
+    bool stopped() const { return stopped_; }
+
+    /** Next request line; false at EOF / stop / peer error. */
+    bool
+    next(std::string &line, bool &oversized)
+    {
+        line.clear();
+        oversized = false;
+        for (;;) {
+            while (pos_ < buf_.size()) {
+                const char c = buf_[pos_++];
+                if (c == '\n')
+                    return true;
+                if (line.size() < maxLine_)
+                    line += c;
+                else
+                    oversized = true;
+            }
+            buf_.clear();
+            pos_ = 0;
+            switch (fill()) {
+            case Fill::Data:
+                break;
+            case Fill::Eof:
+                return !line.empty();
+            case Fill::Stopped:
+                stopped_ = true;
+                return false;
+            }
+        }
+    }
+
+  private:
+    enum class Fill { Data, Eof, Stopped };
+
+    Fill
+    fill()
+    {
+        for (;;) {
+            struct pollfd fds[2];
+            fds[0] = {fd_, POLLIN, 0};
+            fds[1] = {stopFd_, POLLIN, 0};
+            const nfds_t n = stopFd_ >= 0 ? 2 : 1;
+            if (::poll(fds, n, -1) < 0) {
+                if (errno == EINTR)
+                    continue;
+                return Fill::Eof;
+            }
+            if (n == 2 && (fds[1].revents & (POLLIN | POLLHUP)))
+                return Fill::Stopped;
+            if (!(fds[0].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            char chunk[1 << 16];
+            const ssize_t r = ::read(fd_, chunk, sizeof(chunk));
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                return Fill::Eof;
+            }
+            if (r == 0)
+                return Fill::Eof;
+            buf_.append(chunk, static_cast<size_t>(r));
+            return Fill::Data;
+        }
+    }
+
+    const int fd_;
+    const int stopFd_;
+    const size_t maxLine_;
+    std::string buf_;
+    size_t pos_ = 0;
+    bool stopped_ = false;
+};
+
+/** An input line's slot in the in-order output sequence. */
+struct PendingLine
+{
+    bool ready = false;   ///< `text` already final (parse/shed error)
+    std::string text;     ///< ready output line
+    SessionTicket ticket; ///< pending session otherwise
+};
+
+/**
+ * In-order reply writer: a dedicated thread drains a bounded deque of
+ * pending lines, waiting on each head-of-line ticket in turn, so a
+ * completed reply is emitted as soon as its predecessors are -- even
+ * while the reader sits blocked on the transport (request/response-
+ * lockstep clients would otherwise deadlock).  The bound makes the
+ * reorder buffer itself apply backpressure for lines that never reach
+ * the service queue (parse errors, oversized lines, shed lines):
+ * push() blocks until the writer catches up, so a flood of garbage
+ * cannot grow memory without limit.  A failed write (peer gone)
+ * flips writeFailed(); the writer then discards -- the reader should
+ * stop feeding it, and finish() still drains every slot.
+ */
+class OrderedEmitter
+{
+  public:
+    OrderedEmitter(int outFd, size_t capacity)
+        : outFd_(outFd), capacity_(capacity),
+          writer_([this] { writerLoop(); })
+    {
+    }
+
+    /** Append the next line's slot; blocks while the buffer is full. */
+    void
+    push(PendingLine slot)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        space_.wait(lock, [&] { return pending_.size() < capacity_; });
+        pending_.push_back(std::move(slot));
+        ready_.notify_one();
+    }
+
+    /** Signal EOF, drain everything, join the writer. */
+    void
+    finish()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            eof_ = true;
+        }
+        ready_.notify_one();
+        writer_.join();
+    }
+
+    bool
+    writeFailed() const
+    {
+        return writeFailed_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void
+    writerLoop()
+    {
+        uint64_t lineNo = 0;
+        for (;;) {
+            PendingLine slot;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                ready_.wait(lock,
+                            [&] { return eof_ || !pending_.empty(); });
+                if (pending_.empty())
+                    return; // EOF and fully drained
+                slot = std::move(pending_.front());
+                pending_.pop_front();
+            }
+            space_.notify_one();
+            if (writeFailed()) {
+                // The peer is gone: discard, but still wait out the
+                // ticket so every admitted session is accounted for
+                // before finish() returns.
+                if (!slot.ready)
+                    slot.ticket.wait();
+                ++lineNo;
+                continue;
+            }
+            // ticket.wait() blocks only this writer; the reader
+            // keeps accepting lines meanwhile.
+            std::string text =
+                slot.ready ? std::move(slot.text)
+                           : serviceReplyLine(lineNo, slot.ticket.wait());
+            text += '\n';
+            if (!writeAll(outFd_, text.data(), text.size()))
+                writeFailed_.store(true, std::memory_order_relaxed);
+            ++lineNo;
+        }
+    }
+
+    const int outFd_;
+    const size_t capacity_;
+    std::mutex mu_;
+    std::condition_variable ready_;
+    std::condition_variable space_;
+    std::deque<PendingLine> pending_;
+    bool eof_ = false;
+    std::atomic<bool> writeFailed_{false};
+    std::thread writer_;
+};
+
+} // anonymous namespace
+
+std::string
+serviceErrorLine(uint64_t line, const char *outcome,
+                 const std::string &message)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("scnn.service_error.v1");
+    w.key("line").value(line);
+    w.key("outcome").value(outcome);
+    w.key("error").value(message);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+serviceReplyLine(uint64_t line, const ServiceReply &reply)
+{
+    switch (reply.outcome) {
+    case ServiceOutcome::Ok:
+        return *reply.responseJson;
+    case ServiceOutcome::Cancelled:
+        return serviceErrorLine(line, "cancelled", reply.error);
+    case ServiceOutcome::DeadlineExpired:
+        return serviceErrorLine(line, "deadline_expired", reply.error);
+    case ServiceOutcome::Error:
+        break;
+    }
+    return serviceErrorLine(line, "error", reply.error);
+}
+
+StreamOutcome
+serveLineStream(SimulationService &service, int inFd, int outFd,
+                const FrontendOptions &opts, int stopFd)
+{
+    StreamOutcome out;
+    // The reorder bound covers everything the service can have in
+    // flight plus a slab of ready (error/shed) lines.
+    OrderedEmitter emitter(
+        outFd,
+        static_cast<size_t>(service.config().queueCapacity) +
+            static_cast<size_t>(service.config().workers) + 64);
+    FdLineReader reader(inFd, stopFd, opts.maxLineBytes);
+
+    std::string line;
+    bool oversized = false;
+    uint64_t lineNo = 0;
+    while (reader.next(line, oversized)) {
+        if (emitter.writeFailed())
+            break;
+        if (opts.echo)
+            std::fprintf(stderr, "%s line %llu: %s\n",
+                         opts.peer.c_str(),
+                         static_cast<unsigned long long>(lineNo),
+                         line.c_str());
+        PendingLine slot;
+        if (oversized) {
+            slot.ready = true;
+            slot.text = serviceErrorLine(
+                lineNo, "error",
+                strfmt("request line exceeds the %zu-byte limit",
+                       opts.maxLineBytes));
+        } else if (line.find_first_not_of(" \t\r") ==
+                   std::string::npos) {
+            slot.ready = true;
+            slot.text = serviceErrorLine(lineNo, "error", "empty line");
+        } else {
+            ParsedServiceRequest parsed;
+            std::string error;
+            if (!parseRequestLine(line, parsed, error)) {
+                slot.ready = true;
+                slot.text = serviceErrorLine(lineNo, "error", error);
+            } else if (opts.shed) {
+                auto ticket = service.trySubmit(
+                    std::move(parsed.request), parsed.deadlineMs);
+                if (ticket) {
+                    slot.ticket = std::move(*ticket);
+                } else {
+                    ++out.shed;
+                    slot.ready = true;
+                    slot.text = serviceErrorLine(
+                        lineNo, "shed",
+                        strfmt("admission queue full (capacity %d): "
+                               "request shed",
+                               service.config().queueCapacity));
+                }
+            } else {
+                // submit() blocks while the queue is full: admission
+                // backpressure travels up to the transport.
+                slot.ticket = service.submit(std::move(parsed.request),
+                                             parsed.deadlineMs);
+            }
+        }
+        emitter.push(std::move(slot));
+        ++lineNo;
+    }
+    emitter.finish();
+    out.lines = lineNo;
+    out.writeFailed = emitter.writeFailed();
+    out.forcedStop = reader.stopped();
+    return out;
+}
+
+} // namespace scnn

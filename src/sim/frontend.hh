@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The JSON-lines front end of the simulation service: one byte stream
+ * in (requests, one JSON object per line), one byte stream out
+ * (replies, one JSON line per input line, in input order).
+ *
+ * tools/scnn_serve uses this for both of its transports -- the
+ * stdin/stdout pipe and every accepted TCP connection run the same
+ * serveLineStream() loop over one shared SimulationService -- and the
+ * TCP integration tests drive it through real sockets.  The protocol
+ * itself is specified in docs/PROTOCOL.md.
+ *
+ * Per stream the loop guarantees:
+ *
+ *  - exactly one reply line per request line, in request order, even
+ *    though sessions complete out of order (a bounded reorder buffer
+ *    with a dedicated writer thread re-sequences them);
+ *  - a parse error, an oversized line or an empty line produces a
+ *    structured "scnn.service_error.v1" reply, never a dropped line
+ *    or a crash;
+ *  - admission control in one of two modes: *blocking* (submit()
+ *    blocks while the service queue is full, pushing backpressure
+ *    into the transport -- the pipe mode) or *shedding* (trySubmit();
+ *    a saturated queue turns the line into an immediate
+ *    outcome:"shed" error reply -- the TCP mode, where one slow
+ *    client must not stall the listener).
+ *
+ * A stream stops at transport EOF, when the peer vanishes mid-write,
+ * or when `stopFd` becomes readable (the server's forced-drain
+ * signal); in every case the reorder buffer is drained first, so a
+ * reply is written for every request that was admitted.
+ */
+
+#ifndef SCNN_SIM_FRONTEND_HH
+#define SCNN_SIM_FRONTEND_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/service.hh"
+
+namespace scnn {
+
+/** Per-stream behaviour of serveLineStream(). */
+struct FrontendOptions
+{
+    /** Copy each request line to stderr before serving (trace aid). */
+    bool echo = false;
+
+    /**
+     * Admission policy: false = blocking submit() (backpressure up
+     * the transport), true = trySubmit() with an outcome:"shed"
+     * error reply when the admission queue is saturated.
+     */
+    bool shed = false;
+
+    /** Hard cap on one request line; longer lines get an error line. */
+    size_t maxLineBytes = 1 << 20;
+
+    /** Stream label used in --echo traces ("stdin", "client 3"). */
+    std::string peer = "stdin";
+};
+
+/** What a finished stream did (for metrics and tests). */
+struct StreamOutcome
+{
+    uint64_t lines = 0;      ///< request lines consumed
+    uint64_t shed = 0;       ///< lines refused at admission
+    bool writeFailed = false; ///< peer vanished mid-write
+    bool forcedStop = false;  ///< stopFd fired before EOF
+};
+
+/**
+ * One "scnn.service_error.v1" reply line.  `outcome` is one of
+ * "error", "cancelled", "deadline_expired" or "shed"; `line` is the
+ * 0-based request line the reply answers.
+ */
+std::string serviceErrorLine(uint64_t line, const char *outcome,
+                             const std::string &message);
+
+/** The reply line for a completed service reply (the response JSON
+ *  verbatim on Ok, a service_error line otherwise). */
+std::string serviceReplyLine(uint64_t line, const ServiceReply &reply);
+
+/**
+ * Serve one byte stream of the JSON-lines protocol: read request
+ * lines from `inFd`, write reply lines to `outFd`, both until EOF
+ * (or peer loss, or `stopFd` readable).  Blocks the calling thread
+ * for the stream's lifetime; spawns one internal writer thread.
+ *
+ * @param stopFd when >= 0, a fd polled alongside `inFd`; once it
+ *        becomes readable the stream stops consuming input (pending
+ *        replies are still flushed).  Pass the read end of the
+ *        server's drain pipe.
+ */
+StreamOutcome serveLineStream(SimulationService &service, int inFd,
+                              int outFd, const FrontendOptions &opts,
+                              int stopFd = -1);
+
+} // namespace scnn
+
+#endif // SCNN_SIM_FRONTEND_HH

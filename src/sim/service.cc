@@ -8,6 +8,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "nn/model_zoo.hh"
 #include "nn/workload.hh"
 #include "sim/registry.hh"
@@ -53,19 +54,6 @@ percentile(std::vector<double> samples, double p)
 }
 
 /**
- * Cache key of the workload a non-chained session consumes: network
- * signature (every layer parameter, densities included) x seed x
- * evalOnly.  makeWorkload() depends on nothing else.
- */
-std::string
-workloadKey(const SimulationRequest &request)
-{
-    return networkSignature(request.network) +
-           "|seed=" + std::to_string(request.seed) +
-           "|eval=" + (request.evalOnly ? "1" : "0");
-}
-
-/**
  * Full request signature for the response cache.  Covers every
  * SimulationRequest field that can influence the response bytes
  * (threads included: the resolved count is echoed in the JSON).
@@ -75,7 +63,7 @@ workloadKey(const SimulationRequest &request)
 std::string
 requestSignature(const SimulationRequest &request)
 {
-    std::string sig = workloadKey(request);
+    std::string sig = workloadCacheKey(request);
     sig += "|threads=" + std::to_string(request.threads);
     sig += request.chained ? "|chained" : "";
     sig += request.keepOutputs ? "|keep" : "";
@@ -204,6 +192,25 @@ networkSignature(const Network &net)
                fmtDouble(l.actChannelSigma);
     }
     return sig;
+}
+
+std::string
+workloadCacheKey(const SimulationRequest &request)
+{
+    // Every input of makeWorkload(): network signature (every layer
+    // parameter, densities included) x seed x evalOnly.
+    return networkSignature(request.network) +
+           "|seed=" + std::to_string(request.seed) +
+           "|eval=" + (request.evalOnly ? "1" : "0");
+}
+
+int
+shardForRequest(const SimulationRequest &request, int nShards)
+{
+    SCNN_ASSERT(nShards > 0, "shardForRequest with %d shards",
+                nShards);
+    return static_cast<int>(hashLabel(workloadCacheKey(request)) %
+                            static_cast<uint64_t>(nShards));
 }
 
 const char *
@@ -427,7 +434,7 @@ std::shared_ptr<const std::vector<LayerWorkload>>
 SimulationService::workloadsFor(const SimulationRequest &request,
                                 bool &hit)
 {
-    const std::string key = workloadKey(request);
+    const std::string key = workloadCacheKey(request);
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = workloadCache_.find(key);

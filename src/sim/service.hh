@@ -334,6 +334,25 @@ bool parseRequestLine(const std::string &line,
  */
 std::string networkSignature(const Network &net);
 
+/**
+ * The workload signature of a request: networkSignature() x seed x
+ * evalOnly -- exactly the service's workload-cache key.  Requests
+ * with equal keys consume identical synthesized tensors.
+ */
+std::string workloadCacheKey(const SimulationRequest &request);
+
+/**
+ * Deterministic shard routing for multi-process serving: the shard
+ * index (in [0, nShards)) a request belongs to, derived from a
+ * stable hash of its workload signature.  Routing by workload
+ * signature -- not by full request -- sends every request that
+ * shares synthesized tensors to the same shard, so each shard's
+ * workload and response LRU caches stay hot on its slice of the
+ * request space.  Clients and routers must use this one function so
+ * a shard fleet agrees on the placement (see docs/OPERATIONS.md).
+ */
+int shardForRequest(const SimulationRequest &request, int nShards);
+
 } // namespace scnn
 
 #endif // SCNN_SIM_SERVICE_HH

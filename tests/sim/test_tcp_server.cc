@@ -1,0 +1,611 @@
+/**
+ * @file
+ * Integration suite for the TCP front end: drives the real scnn_serve
+ * binary (SCNN_SERVE_BIN, injected by CMake) over real sockets.
+ *
+ *  - many concurrent clients, interleaved lockstep and pipelined
+ *    traffic, every reply byte-identical to its serial runSession()
+ *    twin and in per-client request order;
+ *  - saturation: a flooded 1-deep admission queue sheds with
+ *    structured outcome:"shed" replies -- one reply per line, never a
+ *    hang or a crash;
+ *  - graceful drain: SIGTERM closes the listener immediately, every
+ *    admitted request still gets its reply, and the process exits 0
+ *    (both the client-half-close path and the grace-timeout path);
+ *  - CLI fail-fast contract: unwritable --metrics/--port-file paths
+ *    and in-use --listen ports are one-line fatal errors;
+ *  - shard routing: shardForRequest() is stable, in range, and
+ *    spreads distinct workload signatures while keeping
+ *    backend-variant requests of one workload on one shard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <netinet/in.h>
+#include <set>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/json.hh"
+#include "nn/model_zoo.hh"
+#include "sim/service.hh"
+#include "sim/session.hh"
+
+namespace scnn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+uniquePath(const char *stem)
+{
+    static std::atomic<int> counter{0};
+    return testing::TempDir() + stem + "_" +
+           std::to_string(getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+// --- process helpers --------------------------------------------------
+
+pid_t
+spawn(const std::vector<std::string> &args,
+      const std::string &stderrPath)
+{
+    std::vector<char *> argv;
+    for (const auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid != 0)
+        return pid;
+    // Child: stdin from /dev/null (pipe mode then sees EOF), stderr
+    // captured for assertions.
+    const int devnull = open("/dev/null", O_RDONLY);
+    dup2(devnull, STDIN_FILENO);
+    const int errFd = open(stderrPath.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (errFd >= 0)
+        dup2(errFd, STDERR_FILENO);
+    execv(argv[0], argv.data());
+    _exit(127);
+}
+
+/** Wait for exit with a timeout; SIGKILLs and fails on a hang. */
+int
+waitForExit(pid_t pid, double timeoutSec = 60.0)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::duration<double>(timeoutSec);
+    int status = 0;
+    for (;;) {
+        const pid_t r = waitpid(pid, &status, WNOHANG);
+        if (r == pid)
+            break;
+        if (Clock::now() > deadline) {
+            kill(pid, SIGKILL);
+            waitpid(pid, &status, 0);
+            ADD_FAILURE() << "server did not exit in " << timeoutSec
+                          << "s; killed";
+            return -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+struct Server
+{
+    pid_t pid = -1;
+    int port = 0;
+    std::string errPath;
+
+    /** SIGTERM + wait; returns the exit status. */
+    int
+    stop()
+    {
+        kill(pid, SIGTERM);
+        return waitForExit(pid);
+    }
+};
+
+Server
+startServer(const std::vector<std::string> &extraArgs)
+{
+    Server s;
+    s.errPath = uniquePath("scnn_serve_err");
+    const std::string portFile = uniquePath("scnn_serve_port");
+    std::vector<std::string> args = {SCNN_SERVE_BIN,
+                                     "--listen=127.0.0.1:0",
+                                     "--port-file=" + portFile};
+    args.insert(args.end(), extraArgs.begin(), extraArgs.end());
+    s.pid = spawn(args, s.errPath);
+
+    const auto deadline = Clock::now() + std::chrono::seconds(30);
+    for (;;) {
+        const std::string text = slurp(portFile);
+        if (!text.empty()) {
+            s.port = std::atoi(text.c_str());
+            break;
+        }
+        int status = 0;
+        if (waitpid(s.pid, &status, WNOHANG) == s.pid) {
+            ADD_FAILURE() << "server exited during startup: "
+                          << slurp(s.errPath);
+            s.pid = -1;
+            break;
+        }
+        if (Clock::now() > deadline) {
+            ADD_FAILURE() << "server never wrote its port file";
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GT(s.port, 0);
+    return s;
+}
+
+// --- socket helpers ---------------------------------------------------
+
+/** One JSON-lines client connection (blocking, 120 s read timeout). */
+class LineClient
+{
+  public:
+    explicit LineClient(int port)
+    {
+        fd_ = socket(AF_INET, SOCK_STREAM, 0);
+        struct timeval tv = {120, 0};
+        setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        for (int attempt = 0;; ++attempt) {
+            if (connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)) == 0)
+                return;
+            if (attempt > 100) {
+                close(fd_);
+                fd_ = -1;
+                return;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+    }
+
+    ~LineClient()
+    {
+        if (fd_ >= 0)
+            close(fd_);
+    }
+
+    bool connected() const { return fd_ >= 0; }
+
+    bool
+    sendLine(const std::string &line)
+    {
+        std::string data = line + "\n";
+        size_t off = 0;
+        while (off < data.size()) {
+            const ssize_t w =
+                write(fd_, data.data() + off, data.size() - off);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += static_cast<size_t>(w);
+        }
+        return true;
+    }
+
+    /** False on EOF / timeout / error. */
+    bool
+    recvLine(std::string &out)
+    {
+        out.clear();
+        for (;;) {
+            const size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                out = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[1 << 14];
+            const ssize_t r = read(fd_, chunk, sizeof(chunk));
+            if (r < 0 && errno == EINTR)
+                continue;
+            if (r <= 0)
+                return false;
+            buf_.append(chunk, static_cast<size_t>(r));
+        }
+    }
+
+    void halfClose() { shutdown(fd_, SHUT_WR); }
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+// --- request shapes ---------------------------------------------------
+
+std::string
+requestLine(uint64_t seed)
+{
+    return "{\"network\":\"tiny\",\"backends\":[\"scnn\"],\"seed\":" +
+           std::to_string(seed) + ",\"threads\":1}";
+}
+
+SimulationRequest
+request(uint64_t seed)
+{
+    SimulationRequest req;
+    req.network = tinyTestNetwork();
+    req.backends.push_back({});
+    req.backends.back().backend = "scnn";
+    req.seed = seed;
+    req.threads = 1;
+    return req;
+}
+
+/** Serial twins for a seed list (the byte-identity references). */
+std::vector<std::string>
+serialTwins(const std::vector<uint64_t> &seeds)
+{
+    std::vector<std::string> twins;
+    for (uint64_t s : seeds)
+        twins.push_back(toJson(runSession(request(s))));
+    return twins;
+}
+
+// --- the tests --------------------------------------------------------
+
+TEST(ShardRouting, StableInRangeAndWorkloadAffine)
+{
+    const SimulationRequest a = request(11);
+    for (int n : {1, 2, 3, 8}) {
+        const int shard = shardForRequest(a, n);
+        EXPECT_GE(shard, 0);
+        EXPECT_LT(shard, n);
+        // Stable: the same request always routes identically.
+        EXPECT_EQ(shard, shardForRequest(a, n));
+    }
+    // Requests differing only in their backend set share synthesized
+    // tensors, so they must land on the same shard (cache affinity).
+    SimulationRequest b = request(11);
+    b.backends.push_back({});
+    b.backends.back().backend = "timeloop";
+    EXPECT_EQ(shardForRequest(a, 8), shardForRequest(b, 8));
+    // Distinct workload signatures spread: 16 seeds over 2 shards
+    // must hit both (deterministic; pinned by the stable hash).
+    std::set<int> used;
+    for (uint64_t seed = 0; seed < 16; ++seed)
+        used.insert(shardForRequest(request(seed), 2));
+    EXPECT_EQ(used.size(), 2u);
+}
+
+TEST(TcpServer, SixteenConcurrentClientsInOrderByteIdentical)
+{
+    const std::vector<uint64_t> seeds = {11, 12, 13, 14};
+    const std::vector<std::string> twins = serialTwins(seeds);
+
+    // Queue large enough that 16 pipelined clients can never
+    // saturate it: this test pins byte identity, not shedding.
+    Server server = startServer(
+        {"--max-inflight=4", "--queue=1024", "--session-threads=1"});
+    ASSERT_GT(server.port, 0);
+
+    constexpr int kClients = 16;
+    constexpr int kPerClient = 6;
+    std::vector<std::string> failures(kClients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            LineClient conn(server.port);
+            if (!conn.connected()) {
+                failures[c] = "connect failed";
+                return;
+            }
+            auto shapeAt = [&](int i) {
+                return static_cast<size_t>((c + i) % 4);
+            };
+            std::string reply;
+            if (c % 2 == 0) {
+                // Lockstep: request, reply, request, reply...
+                for (int i = 0; i < kPerClient; ++i) {
+                    const size_t s = shapeAt(i);
+                    if (!conn.sendLine(requestLine(seeds[s])) ||
+                        !conn.recvLine(reply)) {
+                        failures[c] = "lockstep send/recv failed";
+                        return;
+                    }
+                    if (reply != twins[s]) {
+                        failures[c] = "lockstep reply " +
+                                      std::to_string(i) +
+                                      " diverged from serial twin";
+                        return;
+                    }
+                }
+            } else {
+                // Pipelined: all requests first, then all replies,
+                // which must come back in request order.
+                for (int i = 0; i < kPerClient; ++i)
+                    if (!conn.sendLine(requestLine(
+                            seeds[shapeAt(i)]))) {
+                        failures[c] = "pipelined send failed";
+                        return;
+                    }
+                conn.halfClose();
+                for (int i = 0; i < kPerClient; ++i) {
+                    if (!conn.recvLine(reply)) {
+                        failures[c] = "pipelined recv failed at " +
+                                      std::to_string(i);
+                        return;
+                    }
+                    if (reply != twins[shapeAt(i)]) {
+                        failures[c] =
+                            "pipelined reply " + std::to_string(i) +
+                            " out of order or diverged";
+                        return;
+                    }
+                }
+                if (conn.recvLine(reply))
+                    failures[c] = "extra reply after the stream";
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    for (int c = 0; c < kClients; ++c)
+        EXPECT_EQ(failures[c], "") << "client " << c;
+
+    EXPECT_EQ(server.stop(), 0) << slurp(server.errPath);
+}
+
+TEST(TcpServer, SaturationShedsWithStructuredRepliesAndNeverHangs)
+{
+    // One worker, a 1-deep queue: a flood of distinct (uncacheable)
+    // requests is guaranteed to saturate admission.
+    Server server = startServer(
+        {"--max-inflight=1", "--queue=1", "--session-threads=1"});
+    ASSERT_GT(server.port, 0);
+
+    constexpr int kFlood = 200;
+    LineClient conn(server.port);
+    ASSERT_TRUE(conn.connected());
+    for (int i = 0; i < kFlood; ++i)
+        ASSERT_TRUE(conn.sendLine(
+            requestLine(1000 + static_cast<uint64_t>(i))));
+    conn.halfClose();
+
+    int ok = 0, shed = 0;
+    std::string reply;
+    for (int i = 0; i < kFlood; ++i) {
+        ASSERT_TRUE(conn.recvLine(reply))
+            << "stream ended after " << i << " replies";
+        JsonValue doc;
+        std::string error;
+        ASSERT_TRUE(parseJson(reply, doc, error)) << error;
+        const JsonValue *schema = doc.find("schema");
+        ASSERT_NE(schema, nullptr);
+        if (schema->string == "scnn.simulation_response.v1") {
+            // In-order: the echoed seed identifies the request line.
+            const JsonValue *seed = doc.find("seed");
+            ASSERT_NE(seed, nullptr);
+            EXPECT_EQ(seed->uint64,
+                      1000 + static_cast<uint64_t>(i));
+            ++ok;
+        } else {
+            ASSERT_EQ(schema->string, "scnn.service_error.v1")
+                << reply;
+            const JsonValue *outcome = doc.find("outcome");
+            ASSERT_NE(outcome, nullptr);
+            EXPECT_EQ(outcome->string, "shed") << reply;
+            // The line field pins per-client ordering of shed
+            // replies too.
+            const JsonValue *line = doc.find("line");
+            ASSERT_NE(line, nullptr);
+            EXPECT_EQ(line->uint64, static_cast<uint64_t>(i));
+            ++shed;
+        }
+    }
+    EXPECT_FALSE(conn.recvLine(reply)) << "extra reply: " << reply;
+    EXPECT_EQ(ok + shed, kFlood);
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(shed, 1) << "flood never saturated the queue";
+
+    EXPECT_EQ(server.stop(), 0) << slurp(server.errPath);
+}
+
+TEST(TcpServer, SigtermDrainsInFlightRepliesAndRefusesNewClients)
+{
+    const std::vector<uint64_t> seeds = {5};
+    const std::vector<std::string> twins = serialTwins(seeds);
+
+    Server server = startServer({"--max-inflight=2", "--queue=64"});
+    ASSERT_GT(server.port, 0);
+
+    constexpr int kPipelined = 32;
+    LineClient conn(server.port);
+    ASSERT_TRUE(conn.connected());
+    for (int i = 0; i < kPipelined; ++i)
+        ASSERT_TRUE(conn.sendLine(requestLine(5)));
+
+    // Drain: the listener must close (new connections refused), but
+    // the established stream keeps its promise -- one reply per
+    // request line already sent, byte-identical to the serial twin.
+    kill(server.pid, SIGTERM);
+    const auto deadline = Clock::now() + std::chrono::seconds(20);
+    bool refused = false;
+    while (!refused && Clock::now() < deadline) {
+        const int fd = socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(server.port));
+        inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        refused = connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) != 0;
+        close(fd);
+        if (!refused)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    EXPECT_TRUE(refused)
+        << "listener still accepting after SIGTERM";
+
+    conn.halfClose();
+    std::string reply;
+    for (int i = 0; i < kPipelined; ++i) {
+        ASSERT_TRUE(conn.recvLine(reply))
+            << "reply " << i << " dropped during drain";
+        EXPECT_EQ(reply, twins[0]) << "reply " << i;
+    }
+    EXPECT_FALSE(conn.recvLine(reply)) << "extra reply: " << reply;
+
+    EXPECT_EQ(waitForExit(server.pid), 0) << slurp(server.errPath);
+}
+
+TEST(TcpServer, DrainGraceForcesStreamEndForLingeringClients)
+{
+    Server server = startServer({"--drain-grace-ms=200"});
+    ASSERT_GT(server.port, 0);
+
+    LineClient conn(server.port);
+    ASSERT_TRUE(conn.connected());
+    std::string reply;
+    for (int i = 0; i < 2; ++i) {
+        ASSERT_TRUE(conn.sendLine(requestLine(5)));
+        ASSERT_TRUE(conn.recvLine(reply));
+    }
+    // The client lingers without closing: after the grace period the
+    // server must cut the stream itself and still exit 0.
+    kill(server.pid, SIGTERM);
+    EXPECT_FALSE(conn.recvLine(reply))
+        << "server kept the stream past the grace period: " << reply;
+    EXPECT_EQ(waitForExit(server.pid), 0) << slurp(server.errPath);
+}
+
+// --- CLI fail-fast contract -------------------------------------------
+
+struct CliResult
+{
+    int exitCode = 0;
+    std::string stderrText;
+};
+
+CliResult
+runCli(const std::vector<std::string> &extraArgs)
+{
+    const std::string errPath = uniquePath("scnn_serve_cli_err");
+    std::vector<std::string> args = {SCNN_SERVE_BIN};
+    args.insert(args.end(), extraArgs.begin(), extraArgs.end());
+    const pid_t pid = spawn(args, errPath);
+    CliResult r;
+    r.exitCode = waitForExit(pid, 30.0);
+    r.stderrText = slurp(errPath);
+    return r;
+}
+
+TEST(ServeCli, UnwritableMetricsPathFailsFastWithOneLine)
+{
+    const CliResult r =
+        runCli({"--metrics=/nonexistent-dir-scnn/metrics.json"});
+    EXPECT_EQ(r.exitCode, 1) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("cannot write --metrics"),
+              std::string::npos)
+        << r.stderrText;
+}
+
+TEST(ServeCli, UnwritablePortFileFailsFastWithOneLine)
+{
+    const CliResult r = runCli(
+        {"--listen=127.0.0.1:0",
+         "--port-file=/nonexistent-dir-scnn/port"});
+    EXPECT_EQ(r.exitCode, 1) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("cannot write --port-file"),
+              std::string::npos)
+        << r.stderrText;
+}
+
+TEST(ServeCli, PortFileWithoutListenIsAUsageError)
+{
+    const CliResult r = runCli({"--port-file=/tmp/x"});
+    EXPECT_EQ(r.exitCode, 1) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("--port-file requires --listen"),
+              std::string::npos)
+        << r.stderrText;
+}
+
+TEST(ServeCli, InUseListenPortFailsFastWithOneLine)
+{
+    // Occupy a port, then ask scnn_serve to listen on it.
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)),
+              0);
+    ASSERT_EQ(listen(fd, 1), 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                          &len),
+              0);
+    const int port = ntohs(addr.sin_port);
+
+    const CliResult r = runCli(
+        {"--listen=127.0.0.1:" + std::to_string(port)});
+    close(fd);
+    EXPECT_EQ(r.exitCode, 1) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("cannot listen on"),
+              std::string::npos)
+        << r.stderrText;
+}
+
+TEST(ServeCli, MalformedListenSpecFailsFast)
+{
+    const CliResult r = runCli({"--listen=not-a-port"});
+    EXPECT_EQ(r.exitCode, 1) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("bad --listen"), std::string::npos)
+        << r.stderrText;
+}
+
+TEST(ServeCli, UnknownFlagPrintsUsage)
+{
+    const CliResult r = runCli({"--definitely-not-a-flag"});
+    EXPECT_EQ(r.exitCode, 2) << r.stderrText;
+    EXPECT_NE(r.stderrText.find("usage:"), std::string::npos)
+        << r.stderrText;
+}
+
+} // namespace
+} // namespace scnn

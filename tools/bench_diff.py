@@ -7,6 +7,10 @@ Supports both benchmark formats this repo commits:
   (network, backend, threads); default metric ``products_per_sec``
   (higher is better).  ``wall_ms`` / ``wall_ms_min`` (lower is
   better) can be selected with --metric.
+* ``scnn.load_gen.v*`` (bench_load_gen): cells keyed by
+  (cell, shards); default metric ``ok_per_sec`` (higher is better).
+  ``completed_per_sec`` (higher) and ``wall_ms`` (lower) can be
+  selected with --metric.
 * google-benchmark JSON (bench_micro_kernels): entries keyed by
   benchmark name; metric ``real_time`` (lower is better).  When the
   file carries aggregate entries only the ``_median`` rows are
@@ -40,6 +44,15 @@ def throughput_rows(doc, metric):
     return rows
 
 
+def load_gen_rows(doc, metric):
+    rows = {}
+    for c in doc.get("cells", []):
+        key = "%s/%dshard" % (c["cell"], c["shards"])
+        if metric in c:
+            rows[key] = float(c[metric])
+    return rows
+
+
 def gbench_rows(doc, metric):
     entries = doc.get("benchmarks", [])
     has_aggregates = any(
@@ -64,6 +77,9 @@ def extract(doc, metric):
     if schema.startswith("scnn.sim_throughput"):
         m = metric or "products_per_sec"
         return throughput_rows(doc, m), not m.startswith("wall_ms"), m
+    if schema.startswith("scnn.load_gen"):
+        m = metric or "ok_per_sec"
+        return load_gen_rows(doc, m), not m.startswith("wall_ms"), m
     if "benchmarks" in doc:
         m = metric or "real_time"
         return gbench_rows(doc, m), False, m

@@ -1,63 +1,84 @@
 /**
  * @file
- * scnn_serve: JSON-lines front end to the SimulationService.
+ * scnn_serve: the network-facing front end of the SimulationService.
  *
- * Protocol: one request object per stdin line (see parseRequestLine
- * in sim/service.hh for the field reference), one JSON line on stdout
- * per input line, in input order:
+ * Two transports share one service (admission queue, workers, caches,
+ * metrics) and one JSON-lines protocol (docs/PROTOCOL.md):
  *
- *  - a "scnn.simulation_response.v1" document for a completed
- *    session (byte-identical to toJson(runSession(request)) for the
- *    same request), or
- *  - a "scnn.service_error.v1" document when the line could not be
- *    parsed, the request was invalid, the session failed, or the
- *    deadline expired:
- *      {"schema": "scnn.service_error.v1", "line": N,
- *       "outcome": "error" | "cancelled" | "deadline_expired",
- *       "error": "<description>"}
+ *  - Pipe mode (default): one request object per stdin line, one JSON
+ *    reply line on stdout per input line, in input order.  Admission
+ *    is *blocking*: reading stops (stdin backpressure) while the
+ *    queue is full.
+ *  - TCP mode (--listen): a listener accepting many concurrent
+ *    clients, one thread per connection, each connection its own
+ *    in-order JSON-lines stream over the shared service.  Admission
+ *    is *shedding*: when the queue is saturated a request line gets
+ *    an immediate {"schema":"scnn.service_error.v1","outcome":"shed"}
+ *    reply instead of stalling the other clients.
  *
- * Requests are admitted into a bounded queue and executed by up to
- * --max-inflight concurrent sessions multiplexed over the shared
- * thread pool; reading stops (stdin backpressure) while the queue is
- * full.  Identical requests are served from the response cache and
- * repeated networks from the workload cache (disable with
- * --no-cache).
+ * Graceful drain (TCP mode): on SIGTERM/SIGINT the listener closes
+ * immediately (new connections are refused), established connections
+ * keep being served until their clients half-close, and after
+ * --drain-grace-ms the server stops reading mid-stream; every request
+ * already admitted still receives its reply before the process flushes
+ * metrics and exits 0.  A second signal skips the grace period.  In
+ * pipe mode a signal behaves like EOF: stop reading, flush every
+ * pending reply, exit 0.
+ *
+ * Sharding: scnn_serve itself is single-process; a fleet of N
+ * processes becomes a sharded deployment by routing each request to
+ * shardForRequest(request, N) -- bench/load_gen.cc is the reference
+ * client and docs/OPERATIONS.md the runbook.
  *
  * Usage:
- *   scnn_serve [--max-inflight=N] [--queue=N] [--session-threads=N]
+ *   scnn_serve [--listen=[host:]port] [--port-file=path]
+ *              [--drain-grace-ms=X]
+ *              [--max-inflight=N] [--queue=N] [--session-threads=N]
  *              [--deadline-ms=X] [--no-cache] [--metrics[=path]]
  *              [--threads=N] [--echo]
  *
- * --metrics prints a "scnn.service_stats.v1" block on exit to stderr
- * (or writes it to a file with --metrics=path) so batch drivers can
- * collect queue/latency/cache metrics as an artifact.  --echo copies
- * each request line to stderr before serving it (trace aid).
+ * --listen=0 binds an ephemeral port; --port-file writes the bound
+ * port (one decimal line) once listening, so harnesses can launch
+ * shards without picking ports.  --metrics prints a
+ * "scnn.service_stats.v1" block on exit to stderr (or a file with
+ * --metrics=path).  --echo copies each request line to stderr before
+ * serving it (trace aid).
  *
- * Exit status is 0 when every line produced a response line (error
- * responses included -- protocol errors are data, not crashes), 2 on
- * bad command-line usage.
+ * Flag validation is fail-fast: an unwritable --metrics/--port-file
+ * path or an in-use --listen port is a one-line fatal error at
+ * startup, never a crash or a silent ignore.
+ *
+ * Exit status is 0 when every consumed line produced a reply line
+ * (error and shed replies included -- protocol errors are data, not
+ * crashes), 1 on startup errors, 2 on bad command-line usage.
  */
 
-#include <condition_variable>
+#include <arpa/inet.h>
+#include <atomic>
+#include <chrono>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
-#include <mutex>
+#include <memory>
+#include <netinet/in.h>
+#include <poll.h>
 #include <string>
+#include <sys/socket.h>
 #include <thread>
+#include <unistd.h>
+#include <vector>
 
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "sim/frontend.hh"
 #include "sim/service.hh"
 
 using namespace scnn;
 
 namespace {
-
-/** Hard cap on one request line; longer lines get an error line. */
-constexpr size_t kMaxLineBytes = 1 << 20;
 
 struct Options
 {
@@ -65,13 +86,20 @@ struct Options
     bool metrics = false;
     std::string metricsPath; // empty: stderr
     bool echo = false;
+    bool listen = false;
+    std::string listenHost = "127.0.0.1";
+    int listenPort = -1;
+    std::string portFile;
+    double drainGraceMs = 10000.0;
 };
 
 void
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--max-inflight=N] [--queue=N]\n"
+                 "usage: %s [--listen=[host:]port] [--port-file=path]\n"
+                 "          [--drain-grace-ms=X]\n"
+                 "          [--max-inflight=N] [--queue=N]\n"
                  "          [--session-threads=N] [--deadline-ms=X]\n"
                  "          [--no-cache] [--metrics[=path]]\n"
                  "          [--threads=N] [--echo]\n",
@@ -101,6 +129,56 @@ parsePositive(const std::string &v, const char *flag)
     return static_cast<int>(n);
 }
 
+double
+parseNonNegMs(const std::string &v, const char *flag)
+{
+    char *end = nullptr;
+    const double ms = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || !(ms >= 0.0))
+        fatal("bad %s value '%s' (want a non-negative number of "
+              "milliseconds)",
+              flag, v.c_str());
+    return ms;
+}
+
+void
+parseListenSpec(const std::string &spec, Options &o)
+{
+    std::string portPart = spec;
+    const size_t colon = spec.rfind(':');
+    if (colon != std::string::npos) {
+        o.listenHost = spec.substr(0, colon);
+        portPart = spec.substr(colon + 1);
+        if (o.listenHost.empty())
+            fatal("bad --listen value '%s' (empty host)", spec.c_str());
+    }
+    char *end = nullptr;
+    const long port = std::strtol(portPart.c_str(), &end, 10);
+    if (end == portPart.c_str() || *end != '\0' || port < 0 ||
+        port > 65535)
+        fatal("bad --listen value '%s' (want [host:]port with port in "
+              "[0, 65535])",
+              spec.c_str());
+    o.listen = true;
+    o.listenPort = static_cast<int>(port);
+}
+
+/**
+ * Fail-fast writability probe for paths written at exit / after
+ * listen: "a" mode creates the file if missing without truncating an
+ * existing one, so a pre-existing file is left intact until the real
+ * write replaces it.
+ */
+void
+requireWritable(const std::string &path, const char *flag)
+{
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    if (f == nullptr)
+        fatal("cannot write %s file '%s': %s", flag, path.c_str(),
+              std::strerror(errno));
+    std::fclose(f);
+}
+
 Options
 parse(int argc, char **argv)
 {
@@ -118,12 +196,16 @@ parse(int argc, char **argv)
             o.service.sessionThreads =
                 parsePositive(v, "--session-threads");
         } else if (consume(argv[i], "--deadline-ms", v)) {
-            char *end = nullptr;
             o.service.defaultDeadlineMs =
-                std::strtod(v.c_str(), &end);
-            if (end == v.c_str() || *end != '\0' ||
-                o.service.defaultDeadlineMs < 0.0)
-                fatal("bad --deadline-ms value '%s'", v.c_str());
+                parseNonNegMs(v, "--deadline-ms");
+        } else if (consume(argv[i], "--drain-grace-ms", v)) {
+            o.drainGraceMs = parseNonNegMs(v, "--drain-grace-ms");
+        } else if (consume(argv[i], "--listen", v)) {
+            parseListenSpec(v, o);
+        } else if (consume(argv[i], "--port-file", v)) {
+            if (v.empty())
+                fatal("bad --port-file value (empty path)");
+            o.portFile = v;
         } else if (std::strcmp(argv[i], "--no-cache") == 0) {
             o.service.cacheWorkloads = false;
             o.service.cacheResponses = false;
@@ -138,152 +220,197 @@ parse(int argc, char **argv)
             usage(argv[0]);
         }
     }
+    if (!o.metricsPath.empty())
+        requireWritable(o.metricsPath, "--metrics");
+    if (!o.portFile.empty()) {
+        if (!o.listen)
+            fatal("--port-file requires --listen");
+        requireWritable(o.portFile, "--port-file");
+    }
     return o;
 }
 
-/** An input line's slot in the in-order output sequence. */
-struct PendingLine
-{
-    bool ready = false;    ///< `text` already final (parse error)
-    std::string text;      ///< ready output line
-    SessionTicket ticket;  ///< pending session otherwise
-};
-
-std::string errorLine(uint64_t lineNo, const char *outcome,
-                      const std::string &message);
-std::string replyLine(uint64_t lineNo, const ServiceReply &reply);
+// --- drain signalling -------------------------------------------------
 
 /**
- * In-order response writer: a dedicated thread drains a bounded
- * deque of pending lines, waiting on each head-of-line ticket in
- * turn, so a completed response is emitted as soon as its
- * predecessors are -- even while the reader sits blocked on stdin
- * (request/response-lockstep clients would otherwise deadlock).  The
- * bound makes the reorder buffer itself apply backpressure for lines
- * that never reach the service queue (parse errors, oversized
- * lines): push() blocks until the writer catches up, so a flood of
- * garbage lines cannot grow memory without limit.
+ * Self-pipes bridging the signal handler into poll() loops: the first
+ * SIGTERM/SIGINT marks `drain` readable (listener closes, pipe mode
+ * stops reading), the second marks `force` readable (connection
+ * readers stop mid-stream).  Write ends are written from the handler
+ * only (async-signal-safe); read ends are polled, never read, so a
+ * fired signal stays visible to every poller.
  */
-class OrderedEmitter
+int g_drainPipe[2] = {-1, -1};
+int g_forcePipe[2] = {-1, -1};
+volatile sig_atomic_t g_signalCount = 0;
+
+void
+onTermSignal(int)
 {
-  public:
-    explicit OrderedEmitter(size_t capacity)
-        : capacity_(capacity), writer_([this] { writerLoop(); })
-    {
-    }
+    const sig_atomic_t n = ++g_signalCount;
+    const char byte = '!';
+    if (n == 1)
+        (void)!write(g_drainPipe[1], &byte, 1);
+    else if (n == 2)
+        (void)!write(g_forcePipe[1], &byte, 1);
+}
 
-    /** Append the next line's slot; blocks while the buffer is full. */
-    void
-    push(PendingLine slot)
-    {
-        std::unique_lock<std::mutex> lock(mu_);
-        space_.wait(lock,
-                    [&] { return pending_.size() < capacity_; });
-        pending_.push_back(std::move(slot));
-        ready_.notify_one();
-    }
+void
+installDrainSignals()
+{
+    if (pipe(g_drainPipe) != 0 || pipe(g_forcePipe) != 0)
+        fatal("cannot create drain pipes: %s", std::strerror(errno));
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onTermSignal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+}
 
-    /** Signal EOF, drain everything, join the writer. */
-    void
-    finish()
-    {
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            eof_ = true;
-        }
-        ready_.notify_one();
-        writer_.join();
-    }
+void
+forceDrainNow()
+{
+    const char byte = '!';
+    (void)!write(g_forcePipe[1], &byte, 1);
+}
 
-  private:
-    void
-    writerLoop()
-    {
-        uint64_t lineNo = 0;
-        for (;;) {
-            PendingLine slot;
-            {
-                std::unique_lock<std::mutex> lock(mu_);
-                ready_.wait(lock, [&] {
-                    return eof_ || !pending_.empty();
-                });
-                if (pending_.empty())
-                    return; // EOF and fully drained
-                slot = std::move(pending_.front());
-                pending_.pop_front();
-            }
-            space_.notify_one();
-            // ticket.wait() blocks only this writer; the reader
-            // keeps accepting lines meanwhile.
-            const std::string text =
-                slot.ready ? slot.text
-                           : replyLine(lineNo, slot.ticket.wait());
-            std::fputs(text.c_str(), stdout);
-            std::fputc('\n', stdout);
-            std::fflush(stdout);
-            ++lineNo;
-        }
-    }
+// --- TCP mode ---------------------------------------------------------
 
-    const size_t capacity_;
-    std::mutex mu_;
-    std::condition_variable ready_;
-    std::condition_variable space_;
-    std::deque<PendingLine> pending_;
-    bool eof_ = false;
-    std::thread writer_;
+int
+openListener(const Options &o, int &boundPort)
+{
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("cannot create listen socket: %s", std::strerror(errno));
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(o.listenPort));
+    if (inet_pton(AF_INET, o.listenHost.c_str(), &addr.sin_addr) != 1)
+        fatal("bad --listen host '%s' (want an IPv4 address)",
+              o.listenHost.c_str());
+    if (bind(fd, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0)
+        fatal("cannot listen on %s:%d: %s", o.listenHost.c_str(),
+              o.listenPort, std::strerror(errno));
+    if (listen(fd, 128) != 0)
+        fatal("cannot listen on %s:%d: %s", o.listenHost.c_str(),
+              o.listenPort, std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    if (getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) !=
+        0)
+        fatal("getsockname failed: %s", std::strerror(errno));
+    boundPort = ntohs(addr.sin_port);
+    return fd;
+}
+
+struct Connection
+{
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
 };
 
-std::string
-errorLine(uint64_t lineNo, const char *outcome,
-          const std::string &message)
+/** Reap finished connection threads (join + drop). */
+void
+reap(std::vector<std::unique_ptr<Connection>> &conns, bool all)
 {
-    JsonWriter w;
-    w.beginObject();
-    w.key("schema").value("scnn.service_error.v1");
-    w.key("line").value(lineNo);
-    w.key("outcome").value(outcome);
-    w.key("error").value(message);
-    w.endObject();
-    return w.str();
+    for (auto it = conns.begin(); it != conns.end();) {
+        if (all || (*it)->done.load(std::memory_order_acquire)) {
+            (*it)->thread.join();
+            it = conns.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
-std::string
-replyLine(uint64_t lineNo, const ServiceReply &reply)
+int
+serveTcp(const Options &o, SimulationService &service)
 {
-    switch (reply.outcome) {
-    case ServiceOutcome::Ok:
-        return *reply.responseJson;
-    case ServiceOutcome::Cancelled:
-        return errorLine(lineNo, "cancelled", reply.error);
-    case ServiceOutcome::DeadlineExpired:
-        return errorLine(lineNo, "deadline_expired", reply.error);
-    case ServiceOutcome::Error:
-        break;
+    int boundPort = 0;
+    const int listenFd = openListener(o, boundPort);
+    if (!o.portFile.empty()) {
+        if (!writeJsonFile(o.portFile,
+                           std::to_string(boundPort)))
+            fatal("cannot write --port-file '%s'", o.portFile.c_str());
     }
-    return errorLine(lineNo, "error", reply.error);
-}
+    std::fprintf(stderr, "scnn_serve: listening on %s:%d\n",
+                 o.listenHost.c_str(), boundPort);
 
-/**
- * Read one line of unbounded length safely: lines beyond the cap are
- * consumed to their end but flagged oversized (one error line each,
- * still one output per input).
- */
-bool
-readLine(std::string &line, bool &oversized)
-{
-    line.clear();
-    oversized = false;
-    int c;
-    while ((c = std::fgetc(stdin)) != EOF) {
-        if (c == '\n')
-            return true;
-        if (line.size() < kMaxLineBytes)
-            line += static_cast<char>(c);
-        else
-            oversized = true;
+    std::vector<std::unique_ptr<Connection>> conns;
+    uint64_t clientNo = 0;
+    bool draining = false;
+    while (!draining) {
+        struct pollfd fds[2] = {{listenFd, POLLIN, 0},
+                                {g_drainPipe[0], POLLIN, 0}};
+        if (poll(fds, 2, -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("poll failed on the listener: %s",
+                  std::strerror(errno));
+        }
+        if (fds[1].revents & POLLIN) {
+            draining = true;
+            break;
+        }
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        const int fd = accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            fatal("accept failed: %s", std::strerror(errno));
+        }
+        reap(conns, false);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        Connection *raw = conn.get();
+        FrontendOptions fo;
+        fo.echo = o.echo;
+        fo.shed = true;
+        fo.peer = strfmt("client %llu",
+                         static_cast<unsigned long long>(clientNo++));
+        conn->thread = std::thread([&service, raw, fo] {
+            serveLineStream(service, raw->fd, raw->fd, fo,
+                            g_forcePipe[0]);
+            close(raw->fd);
+            raw->done.store(true, std::memory_order_release);
+        });
+        conns.push_back(std::move(conn));
     }
-    return !line.empty();
+
+    // Drain: refuse new connections immediately, keep serving the
+    // established ones until their clients half-close; after the
+    // grace period (or a second signal) stop reading mid-stream.
+    // Either way every admitted request still gets its reply.
+    close(listenFd);
+    std::fprintf(stderr,
+                 "scnn_serve: draining (%zu connection(s), grace "
+                 "%.0f ms)\n",
+                 conns.size(), o.drainGraceMs);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double, std::milli>(o.drainGraceMs);
+    bool forced = false;
+    for (;;) {
+        reap(conns, false);
+        if (conns.empty())
+            break;
+        if (!forced && std::chrono::steady_clock::now() >= deadline) {
+            forceDrainNow();
+            forced = true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    reap(conns, true);
+    return 0;
 }
 
 } // namespace
@@ -293,50 +420,21 @@ main(int argc, char **argv)
 {
     argc = consumeThreadsFlag(argc, argv);
     const Options o = parse(argc, argv);
+    installDrainSignals();
 
     SimulationService service(o.service);
-    // The reorder bound covers everything the service can have in
-    // flight plus a slab of ready (error) lines.
-    OrderedEmitter emitter(
-        static_cast<size_t>(o.service.queueCapacity) +
-        static_cast<size_t>(o.service.workers) + 64);
-    uint64_t lineNo = 0;
-
-    std::string line;
-    bool oversized = false;
-    while (readLine(line, oversized)) {
-        if (o.echo)
-            std::fprintf(stderr, "line %llu: %s\n",
-                         static_cast<unsigned long long>(lineNo),
-                         line.c_str());
-        PendingLine slot;
-        if (oversized) {
-            slot.ready = true;
-            slot.text = errorLine(
-                lineNo, "error",
-                strfmt("request line exceeds the %zu-byte limit",
-                       kMaxLineBytes));
-        } else if (line.find_first_not_of(" \t\r") ==
-                   std::string::npos) {
-            slot.ready = true;
-            slot.text = errorLine(lineNo, "error", "empty line");
-        } else {
-            ParsedServiceRequest parsed;
-            std::string error;
-            if (parseRequestLine(line, parsed, error)) {
-                // submit() blocks while the queue is full: admission
-                // backpressure travels up to our stdin reader.
-                slot.ticket = service.submit(
-                    std::move(parsed.request), parsed.deadlineMs);
-            } else {
-                slot.ready = true;
-                slot.text = errorLine(lineNo, "error", error);
-            }
-        }
-        emitter.push(std::move(slot));
-        ++lineNo;
+    if (o.listen) {
+        serveTcp(o, service);
+    } else {
+        FrontendOptions fo;
+        fo.echo = o.echo;
+        fo.shed = false; // pipe mode: blocking backpressure
+        fo.peer = "stdin";
+        // In pipe mode the first signal already means "stop reading,
+        // flush, exit": pass the drain pipe as the stream's stop fd.
+        serveLineStream(service, STDIN_FILENO, STDOUT_FILENO, fo,
+                        g_drainPipe[0]);
     }
-    emitter.finish();
 
     if (o.metrics) {
         const std::string stats = service.statsJson();

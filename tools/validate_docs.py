@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate the documentation layer against the real implementation.
+
+Three checks over README.md and docs/*.md:
+
+1. Every fenced ```json block must parse as a standalone JSON
+   document (the same parser ``python3 -m json.tool`` uses), so the
+   worked examples in docs/PROTOCOL.md cannot rot into
+   pseudo-JSON.
+2. Every fenced ```jsonl block is piped line-by-line through a live
+   ``scnn_serve`` process (``--serve-bin``): the server must produce
+   exactly one reply line per input line, and every reply must be
+   well-formed -- parseable JSON carrying a recognized ``schema``
+   (``scnn.simulation_response.v1`` or ``scnn.service_error.v1``).
+   Request-line examples are therefore executable, not illustrative.
+3. Every relative markdown link must resolve to an existing file
+   (anchors stripped; http/https/mailto links skipped), so
+   cross-references between the docs cannot silently break.
+
+Exits non-zero on the first category of failure, after printing every
+finding.
+
+Usage:
+  tools/validate_docs.py [--serve-bin=build/scnn_serve] [--repo=.]
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPLY_SCHEMAS = {"scnn.simulation_response.v1",
+                 "scnn.service_error.v1"}
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+# [text](target) -- skips images' extra ! harmlessly; ignores
+# reference-style links, which the docs do not use.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files(repo):
+    files = [os.path.join(repo, "README.md")]
+    docs = os.path.join(repo, "docs")
+    if os.path.isdir(docs):
+        files += sorted(
+            os.path.join(docs, f) for f in os.listdir(docs)
+            if f.endswith(".md"))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def fenced_blocks(path):
+    """Yield (language, first_line_number, text) per fenced block."""
+    lang, start, lines = None, 0, []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            m = FENCE_RE.match(line)
+            if m and lang is None:
+                lang, start, lines = m.group(1), lineno, []
+            elif line.rstrip("\n").strip() == "```" and lang is not None:
+                yield lang, start, "".join(lines)
+                lang = None
+            elif lang is not None:
+                lines.append(line)
+    if lang is not None:
+        raise SystemExit("%s: unclosed code fence at line %d"
+                         % (path, start))
+
+
+def check_json_blocks(files):
+    errors = []
+    count = 0
+    for path in files:
+        for lang, lineno, text in fenced_blocks(path):
+            if lang != "json":
+                continue
+            count += 1
+            try:
+                json.loads(text)
+            except ValueError as e:
+                errors.append("%s:%d: invalid JSON block: %s"
+                              % (path, lineno, e))
+    print("json blocks: %d checked, %d invalid" % (count, len(errors)))
+    return errors
+
+
+def check_jsonl_blocks(files, serve_bin):
+    errors = []
+    blocks = 0
+    for path in files:
+        for lang, lineno, text in fenced_blocks(path):
+            if lang != "jsonl":
+                continue
+            blocks += 1
+            requests = [l for l in text.splitlines() if l.strip()]
+            proc = subprocess.run(
+                [serve_bin], input="\n".join(requests) + "\n",
+                capture_output=True, text=True, timeout=600)
+            if proc.returncode != 0:
+                errors.append(
+                    "%s:%d: scnn_serve exited %d on the example "
+                    "block:\n%s"
+                    % (path, lineno, proc.returncode, proc.stderr))
+                continue
+            replies = proc.stdout.splitlines()
+            if len(replies) != len(requests):
+                errors.append(
+                    "%s:%d: %d request line(s) produced %d reply "
+                    "line(s)"
+                    % (path, lineno, len(requests), len(replies)))
+                continue
+            for i, reply in enumerate(replies):
+                try:
+                    doc = json.loads(reply)
+                except ValueError as e:
+                    errors.append("%s:%d: reply %d is not JSON: %s"
+                                  % (path, lineno, i, e))
+                    continue
+                schema = doc.get("schema")
+                if schema not in REPLY_SCHEMAS:
+                    errors.append(
+                        "%s:%d: reply %d has unrecognized schema %r"
+                        % (path, lineno, i, schema))
+    print("jsonl blocks: %d driven through %s, %d failure(s)"
+          % (blocks, serve_bin, len(errors)))
+    return errors
+
+
+def check_links(files, repo):
+    errors = []
+    count = 0
+    for path in files:
+        in_fence = False
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                if line.startswith("```"):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                for target in LINK_RE.findall(line):
+                    if target.startswith(("http://", "https://",
+                                          "mailto:", "#")):
+                        continue
+                    count += 1
+                    rel = target.split("#", 1)[0]
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), rel))
+                    if not os.path.exists(resolved):
+                        errors.append(
+                            "%s:%d: broken link '%s' (-> %s)"
+                            % (path, lineno, target,
+                               os.path.relpath(resolved, repo)))
+    print("intra-repo links: %d checked, %d broken"
+          % (count, len(errors)))
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate docs examples and links against the "
+                    "implementation.")
+    ap.add_argument("--serve-bin", default="build/scnn_serve",
+                    help="scnn_serve binary for jsonl example blocks")
+    ap.add_argument("--repo", default=".",
+                    help="repository root (default: cwd)")
+    args = ap.parse_args()
+
+    files = doc_files(args.repo)
+    if not files:
+        raise SystemExit("no documentation files found under %s"
+                         % args.repo)
+    print("validating: %s" % ", ".join(
+        os.path.relpath(f, args.repo) for f in files))
+
+    errors = check_json_blocks(files)
+    if not os.path.exists(args.serve_bin):
+        raise SystemExit("scnn_serve binary not found at %s "
+                         "(build it or pass --serve-bin)"
+                         % args.serve_bin)
+    errors += check_jsonl_blocks(files, args.serve_bin)
+    errors += check_links(files, args.repo)
+
+    for e in errors:
+        print("FAIL: %s" % e)
+    if errors:
+        print("FAIL: %d documentation error(s)" % len(errors))
+        return 1
+    print("PASS: all documentation examples and links are valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
