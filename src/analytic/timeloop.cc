@@ -605,4 +605,13 @@ TimeLoopModel::estimateNetwork(const AcceleratorConfig &cfg,
     return nr;
 }
 
+AnalyticScore
+analyticScore(const AcceleratorConfig &cfg, const Network &net,
+              bool evalOnly)
+{
+    static const TimeLoopModel model;
+    const NetworkResult nr = model.estimateNetwork(cfg, net, evalOnly);
+    return {nr.totalCycles(), nr.totalEnergyPj()};
+}
+
 } // namespace scnn

@@ -103,6 +103,22 @@ class TimeLoopModel
                              const AnalyticOptions &opts) const;
 };
 
+/** Scalar summary of an analytic network estimate. */
+struct AnalyticScore
+{
+    uint64_t cycles = 0;
+    double energyPj = 0.0;
+};
+
+/**
+ * One-call TimeLoop estimate of a whole network -- the DSE funnel's
+ * cheap pre-filter.  Orders of magnitude faster than cycle-level
+ * simulation (no tensors are synthesized), deterministic in
+ * (cfg, net, evalOnly).
+ */
+AnalyticScore analyticScore(const AcceleratorConfig &cfg,
+                            const Network &net, bool evalOnly = true);
+
 } // namespace scnn
 
 #endif // SCNN_ANALYTIC_TIMELOOP_HH

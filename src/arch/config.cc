@@ -155,6 +155,96 @@ dcnnOptConfig()
     return cfg;
 }
 
+const std::vector<std::string> &
+configFieldNames()
+{
+    static const std::vector<std::string> fields = {
+        "pe_rows", "pe_cols", "mul_f", "mul_i", "accum_banks",
+        "accum_entries_per_bank", "xbar_queue_depth", "iaram_bytes",
+        "oaram_bytes", "weight_fifo_bytes", "kc_cap", "input_halos",
+        "ppu_lanes", "halo_lanes", "dram_bits_per_cycle",
+    };
+    return fields;
+}
+
+bool
+setConfigField(AcceleratorConfig &cfg, const std::string &field,
+               int64_t value)
+{
+    const int iv = static_cast<int>(value);
+    if (field == "pe_rows") cfg.peRows = iv;
+    else if (field == "pe_cols") cfg.peCols = iv;
+    else if (field == "mul_f") cfg.pe.mulF = iv;
+    else if (field == "mul_i") cfg.pe.mulI = iv;
+    else if (field == "accum_banks") cfg.pe.accumBanks = iv;
+    else if (field == "accum_entries_per_bank")
+        cfg.pe.accumEntriesPerBank = iv;
+    else if (field == "xbar_queue_depth") cfg.pe.xbarQueueDepth = iv;
+    else if (field == "iaram_bytes") cfg.pe.iaramBytes = iv;
+    else if (field == "oaram_bytes") cfg.pe.oaramBytes = iv;
+    else if (field == "weight_fifo_bytes")
+        cfg.pe.weightFifoBytes = iv;
+    else if (field == "kc_cap") cfg.pe.kcCap = iv;
+    else if (field == "input_halos") cfg.pe.inputHalos = (value != 0);
+    else if (field == "ppu_lanes") cfg.ppuLanes = iv;
+    else if (field == "halo_lanes") cfg.haloLanes = iv;
+    else if (field == "dram_bits_per_cycle")
+        cfg.dramBitsPerCycle = iv;
+    else return false;
+    return true;
+}
+
+bool
+getConfigField(const AcceleratorConfig &cfg, const std::string &field,
+               int64_t &value)
+{
+    if (field == "pe_rows") value = cfg.peRows;
+    else if (field == "pe_cols") value = cfg.peCols;
+    else if (field == "mul_f") value = cfg.pe.mulF;
+    else if (field == "mul_i") value = cfg.pe.mulI;
+    else if (field == "accum_banks") value = cfg.pe.accumBanks;
+    else if (field == "accum_entries_per_bank")
+        value = cfg.pe.accumEntriesPerBank;
+    else if (field == "xbar_queue_depth")
+        value = cfg.pe.xbarQueueDepth;
+    else if (field == "iaram_bytes") value = cfg.pe.iaramBytes;
+    else if (field == "oaram_bytes") value = cfg.pe.oaramBytes;
+    else if (field == "weight_fifo_bytes")
+        value = cfg.pe.weightFifoBytes;
+    else if (field == "kc_cap") value = cfg.pe.kcCap;
+    else if (field == "input_halos")
+        value = cfg.pe.inputHalos ? 1 : 0;
+    else if (field == "ppu_lanes") value = cfg.ppuLanes;
+    else if (field == "halo_lanes") value = cfg.haloLanes;
+    else if (field == "dram_bits_per_cycle")
+        value = cfg.dramBitsPerCycle;
+    else return false;
+    return true;
+}
+
+std::string
+configSignature(const AcceleratorConfig &cfg)
+{
+    // Every field operator== compares, in a fixed order; covers the
+    // dense-PE parameters too so DCNN-base sweeps hash correctly.
+    std::string sig = archKindName(cfg.kind);
+    const long long ints[] = {
+        cfg.peRows, cfg.peCols, cfg.pe.mulF, cfg.pe.mulI,
+        cfg.pe.accumBanks, cfg.pe.accumEntriesPerBank,
+        cfg.pe.xbarQueueDepth, cfg.pe.iaramBytes, cfg.pe.oaramBytes,
+        cfg.pe.weightFifoBytes, cfg.pe.kcCap,
+        cfg.pe.inputHalos ? 1 : 0, cfg.pe.dotWidth,
+        cfg.pe.denseInBufBytes, cfg.pe.denseWtBufBytes,
+        cfg.pe.denseAccBufBytes, cfg.dramBitsPerCycle,
+        static_cast<long long>(cfg.denseSramBytes), cfg.ppuLanes,
+        cfg.haloLanes,
+    };
+    for (long long v : ints)
+        sig += strfmt(",%lld", v);
+    sig += strfmt(",%.17g", cfg.clockGhz);
+    return sig;
+}
+
 AcceleratorConfig
 scnnWithPeGrid(int rows, int cols)
 {

@@ -156,6 +156,35 @@ bool operator!=(const AcceleratorConfig &a, const AcceleratorConfig &b);
 /** Join a validate() error list into one "; "-separated message. */
 std::string joinConfigErrors(const std::vector<std::string> &errors);
 
+/**
+ * The integer configuration fields addressable by snake_case name --
+ * the vocabulary shared by the DSE sweep axes (src/dse/spec) and the
+ * wire protocol's per-backend "config" override (docs/PROTOCOL.md).
+ * Booleans (input_halos) are carried as 0/1.
+ */
+const std::vector<std::string> &configFieldNames();
+
+/**
+ * Set one named field on a configuration.
+ *
+ * @return false when `field` is not in configFieldNames(); the value
+ *         is applied unchecked otherwise (callers run validate()).
+ */
+bool setConfigField(AcceleratorConfig &cfg, const std::string &field,
+                    int64_t value);
+
+/** Read one named field; false when `field` is unknown. */
+bool getConfigField(const AcceleratorConfig &cfg,
+                    const std::string &field, int64_t &value);
+
+/**
+ * Canonical signature of every parameter of a configuration (the name
+ * is excluded, matching operator==).  Equal signatures imply equal
+ * simulation behaviour; shardForRequest() folds this into the routing
+ * hash for config-override requests.
+ */
+std::string configSignature(const AcceleratorConfig &cfg);
+
 /** The paper's SCNN configuration (Table II). */
 AcceleratorConfig scnnConfig();
 

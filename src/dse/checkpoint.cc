@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Checkpoint record serialization and the durable append writer.
+ */
+
+#include "dse/checkpoint.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace scnn {
+
+const char *
+dseStageName(DseStage stage)
+{
+    switch (stage) {
+      case DseStage::Invalid: return "invalid";
+      case DseStage::Pruned: return "pruned";
+      case DseStage::Simulated: return "simulated";
+      case DseStage::Error: return "error";
+    }
+    panic("bad DseStage %d", (int)stage);
+}
+
+namespace {
+
+bool
+stageFromName(const std::string &name, DseStage &stage)
+{
+    if (name == "invalid") stage = DseStage::Invalid;
+    else if (name == "pruned") stage = DseStage::Pruned;
+    else if (name == "simulated") stage = DseStage::Simulated;
+    else if (name == "error") stage = DseStage::Error;
+    else return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+serializeCheckpointRecord(const CheckpointRecord &rec)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("scnn.dse_checkpoint.v1");
+    w.key("point").value(rec.pointId);
+    w.key("indices").beginArray();
+    for (int idx : rec.indices)
+        w.value(idx);
+    w.endArray();
+    w.key("stage").value(dseStageName(rec.stage));
+    if (rec.stage != DseStage::Invalid) {
+        w.key("analytic_cycles").value(rec.analyticCycles);
+        w.key("analytic_energy_pj").value(rec.analyticEnergyPj);
+    }
+    if (rec.stage == DseStage::Simulated) {
+        w.key("cycles").value(rec.cycles);
+        w.key("energy_pj").value(rec.energyPj);
+        w.key("area_mm2").value(rec.areaMm2);
+    }
+    if (!rec.error.empty())
+        w.key("error").value(rec.error);
+    w.endObject();
+    return w.str();
+}
+
+bool
+parseCheckpointRecord(const std::string &line, CheckpointRecord &rec,
+                      std::string &error)
+{
+    JsonValue doc;
+    if (!parseJson(line, doc, error))
+        return false;
+    if (!doc.isObject()) {
+        error = "checkpoint record must be an object";
+        return false;
+    }
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->string != "scnn.dse_checkpoint.v1") {
+        error = "missing or wrong checkpoint schema";
+        return false;
+    }
+
+    for (const auto &member : doc.object) {
+        const std::string &k = member.first;
+        if (k != "schema" && k != "point" && k != "indices" &&
+            k != "stage" && k != "analytic_cycles" &&
+            k != "analytic_energy_pj" && k != "cycles" &&
+            k != "energy_pj" && k != "area_mm2" && k != "error") {
+            error = strfmt("unknown checkpoint key '%s'", k.c_str());
+            return false;
+        }
+    }
+
+    rec = CheckpointRecord();
+    const JsonValue *point = doc.find("point");
+    if (!point || !point->isString() || point->string.empty()) {
+        error = "record requires a non-empty \"point\"";
+        return false;
+    }
+    rec.pointId = point->string;
+
+    const JsonValue *indices = doc.find("indices");
+    if (!indices || !indices->isArray()) {
+        error = "record requires an \"indices\" array";
+        return false;
+    }
+    for (const JsonValue &v : indices->array) {
+        if (!v.isNumber() || !v.isUnsigned) {
+            error = "indices must be non-negative integers";
+            return false;
+        }
+        rec.indices.push_back(static_cast<int>(v.uint64));
+    }
+
+    const JsonValue *stage = doc.find("stage");
+    if (!stage || !stage->isString() ||
+        !stageFromName(stage->string, rec.stage)) {
+        error = "record requires a valid \"stage\"";
+        return false;
+    }
+
+    if (rec.stage != DseStage::Invalid) {
+        const JsonValue *ac = doc.find("analytic_cycles");
+        const JsonValue *ae = doc.find("analytic_energy_pj");
+        if (!ac || !ac->isUnsigned || !ae || !ae->isNumber()) {
+            error = "record requires analytic scores";
+            return false;
+        }
+        rec.analyticCycles = ac->uint64;
+        rec.analyticEnergyPj = ae->number;
+    }
+    if (rec.stage == DseStage::Simulated) {
+        const JsonValue *cy = doc.find("cycles");
+        const JsonValue *en = doc.find("energy_pj");
+        const JsonValue *ar = doc.find("area_mm2");
+        if (!cy || !cy->isUnsigned || !en || !en->isNumber() ||
+            !ar || !ar->isNumber()) {
+            error = "simulated record requires objective values";
+            return false;
+        }
+        rec.cycles = cy->uint64;
+        rec.energyPj = en->number;
+        rec.areaMm2 = ar->number;
+    }
+    if (const JsonValue *err = doc.find("error")) {
+        if (!err->isString()) {
+            error = "\"error\" must be a string";
+            return false;
+        }
+        rec.error = err->string;
+    }
+    return true;
+}
+
+bool
+loadCheckpoint(const std::string &path,
+               std::vector<CheckpointRecord> &records, bool &droppedTail,
+               std::string &error)
+{
+    records.clear();
+    droppedTail = false;
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return true; // fresh sweep
+
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    size_t pos = 0;
+    while (pos < text.size()) {
+        const size_t nl = text.find('\n', pos);
+        const bool complete = nl != std::string::npos;
+        const std::string line =
+            text.substr(pos, complete ? nl - pos : std::string::npos);
+        const size_t next = complete ? nl + 1 : text.size();
+
+        if (line.empty()) {
+            pos = next;
+            continue;
+        }
+
+        CheckpointRecord rec;
+        std::string lineError;
+        if (!parseCheckpointRecord(line, rec, lineError)) {
+            // A torn tail (crash mid-append) is expected; anything
+            // earlier means the file is not ours.
+            if (next >= text.size()) {
+                droppedTail = true;
+                return true;
+            }
+            error = strfmt("corrupt checkpoint record in %s "
+                           "(not the final line): %s",
+                           path.c_str(), lineError.c_str());
+            return false;
+        }
+        if (!complete) {
+            // Parsed but unterminated: the final fsync never landed,
+            // so treat it as torn and re-evaluate the point.
+            droppedTail = true;
+            return true;
+        }
+        records.push_back(std::move(rec));
+        pos = next;
+    }
+    return true;
+}
+
+bool
+CheckpointWriter::open(const std::string &path, std::string &error,
+                       ChkWriterOptions options)
+{
+    SCNN_ASSERT(!file_, "checkpoint writer reopened");
+    SCNN_ASSERT(options.syncEvery > 0, "syncEvery must be positive");
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_) {
+        error = strfmt("cannot open checkpoint %s: %s", path.c_str(),
+                       std::strerror(errno));
+        return false;
+    }
+    options_ = options;
+    sinceSync_ = 0;
+    return true;
+}
+
+bool
+CheckpointWriter::add(const CheckpointRecord &rec)
+{
+    SCNN_ASSERT(file_, "checkpoint writer not open");
+    const std::string line = serializeCheckpointRecord(rec);
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fputc('\n', file_) == EOF)
+        return false;
+    if (++sinceSync_ >= options_.syncEvery)
+        return flush();
+    return true;
+}
+
+bool
+CheckpointWriter::flush()
+{
+    SCNN_ASSERT(file_, "checkpoint writer not open");
+    if (std::fflush(file_) != 0)
+        return false;
+    if (::fsync(fileno(file_)) != 0)
+        return false;
+    sinceSync_ = 0;
+    return true;
+}
+
+void
+CheckpointWriter::close()
+{
+    if (!file_)
+        return;
+    flush();
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+} // namespace scnn

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Append-only JSON-lines sweep checkpoint (`scnn.dse_checkpoint.v1`).
+ *
+ * Every evaluated point -- invalid, analytically pruned, fully
+ * simulated, or failed -- appends exactly one record, so a killed
+ * sweep resumes by replaying the file and skipping every point it has
+ * already seen.  Records are deliberately timestamp-free and
+ * serialized with a fixed key order: the byte content of a checkpoint
+ * depends only on (spec, network, strategy, seed), which is what lets
+ * the resume tests compare a kill+resume run against a straight-through
+ * run byte-for-byte after sorting lines.
+ *
+ * Durability contract: records are buffered and fsync'd in batches
+ * (`ChkWriterOptions::syncEvery`), so a crash loses at most the last
+ * unsynced batch plus possibly a torn final line.  The loader
+ * therefore tolerates exactly one trailing partial/corrupt line (the
+ * point is simply re-evaluated on resume); corruption anywhere earlier
+ * is a hard error -- that file was not produced by this writer.
+ */
+
+#ifndef SCNN_DSE_CHECKPOINT_HH
+#define SCNN_DSE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace scnn {
+
+/** How far through the funnel a point got. */
+enum class DseStage
+{
+    Invalid,   ///< failed AcceleratorConfig::validate()
+    Pruned,    ///< analytic score over the adaptive threshold
+    Simulated, ///< full simulation completed
+    Error,     ///< simulation attempted and failed
+};
+
+const char *dseStageName(DseStage stage);
+
+/** One checkpoint line. */
+struct CheckpointRecord
+{
+    std::string pointId;      ///< SweepSpec::pointId()
+    std::vector<int> indices; ///< axis indices of the point
+    DseStage stage = DseStage::Invalid;
+
+    // Analytic funnel score (absent for Invalid).
+    uint64_t analyticCycles = 0;
+    double analyticEnergyPj = 0.0;
+
+    // Full-simulation objectives (Simulated only).
+    uint64_t cycles = 0;
+    double energyPj = 0.0;
+    double areaMm2 = 0.0;
+
+    /** Diagnostic for Invalid/Error records. */
+    std::string error;
+};
+
+/** Serialize one record as a single JSON line (no trailing newline). */
+std::string serializeCheckpointRecord(const CheckpointRecord &rec);
+
+/**
+ * Parse one checkpoint line.  Returns false with `error` set on
+ * malformed JSON, a wrong schema, or missing/mistyped fields.
+ */
+bool parseCheckpointRecord(const std::string &line,
+                           CheckpointRecord &rec, std::string &error);
+
+/**
+ * Load a checkpoint file.  `records` receives every parsed record in
+ * file order (callers dedupe by pointId; last occurrence wins).
+ *
+ * A missing file is success with zero records (a fresh sweep).  A
+ * final line that is incomplete (no trailing newline) or unparsable is
+ * dropped -- `droppedTail` is set true so the caller can log the
+ * re-evaluation.  An unparsable line anywhere *before* the last is a
+ * hard failure.
+ */
+bool loadCheckpoint(const std::string &path,
+                    std::vector<CheckpointRecord> &records,
+                    bool &droppedTail, std::string &error);
+
+struct ChkWriterOptions
+{
+    /** fsync after this many appended records (and on flush/close). */
+    int syncEvery = 16;
+};
+
+/**
+ * Append-only checkpoint writer.  open() creates or appends; add()
+ * writes one line through stdio and fsyncs every `syncEvery` records.
+ */
+class CheckpointWriter
+{
+  public:
+    CheckpointWriter() = default;
+    ~CheckpointWriter() { close(); }
+
+    CheckpointWriter(const CheckpointWriter &) = delete;
+    CheckpointWriter &operator=(const CheckpointWriter &) = delete;
+
+    /** Open for appending; returns false with `error` on failure. */
+    bool open(const std::string &path, std::string &error,
+              ChkWriterOptions options = ChkWriterOptions());
+
+    /** Append one record; returns false on a write error. */
+    bool add(const CheckpointRecord &rec);
+
+    /** Flush stdio buffers and fsync. */
+    bool flush();
+
+    /** flush() then close the file; idempotent. */
+    void close();
+
+    bool isOpen() const { return file_ != nullptr; }
+
+  private:
+    FILE *file_ = nullptr;
+    ChkWriterOptions options_;
+    int sinceSync_ = 0;
+};
+
+} // namespace scnn
+
+#endif // SCNN_DSE_CHECKPOINT_HH

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * In-process and remote (TCP fleet) DSE evaluators.
+ */
+
+#include "dse/evaluate.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "nn/model_zoo.hh"
+#include "sim/service.hh"
+#include "sim/simulator.hh"
+
+namespace scnn {
+
+namespace {
+
+/** Registry backend matching a configuration's architecture kind. */
+const char *
+backendForKind(ArchKind kind)
+{
+    switch (kind) {
+      case ArchKind::SCNN: return "scnn";
+      case ArchKind::DCNN: return "dcnn";
+      case ArchKind::DCNN_OPT: return "dcnn-opt";
+    }
+    panic("bad ArchKind %d", (int)kind);
+}
+
+const char *
+baseNameForKind(ArchKind kind)
+{
+    switch (kind) {
+      case ArchKind::SCNN: return "scnn";
+      case ArchKind::DCNN: return "dcnn";
+      case ArchKind::DCNN_OPT: return "dcnn-opt";
+    }
+    panic("bad ArchKind %d", (int)kind);
+}
+
+/** The request a sweep point simulates, shared by both transports. */
+SimulationRequest
+requestFor(const Network &net, uint64_t seed,
+           const AcceleratorConfig &cfg)
+{
+    SimulationRequest req;
+    req.network = net;
+    req.seed = seed;
+    req.threads = 1;
+    req.evalOnly = true;
+    BackendSpec spec;
+    spec.backend = backendForKind(cfg.kind);
+    spec.config = cfg;
+    req.backends.push_back(std::move(spec));
+    return req;
+}
+
+// --- in-process --------------------------------------------------------
+
+class InProcessEvaluator : public DseEvaluator
+{
+  public:
+    InProcessEvaluator(Network net, uint64_t seed,
+                       InProcessEvalOptions options)
+        : net_(std::move(net)), seed_(seed)
+    {
+        ServiceConfig cfg;
+        cfg.workers = options.workers;
+        cfg.sessionThreads = options.sessionThreads;
+        service_ = std::make_unique<SimulationService>(cfg);
+    }
+
+    std::vector<EvalResult>
+    evaluate(const std::vector<AcceleratorConfig> &configs) override
+    {
+        std::vector<SessionTicket> tickets;
+        tickets.reserve(configs.size());
+        for (const AcceleratorConfig &cfg : configs)
+            tickets.push_back(
+                service_->submit(requestFor(net_, seed_, cfg)));
+
+        std::vector<EvalResult> results(configs.size());
+        for (size_t i = 0; i < tickets.size(); ++i) {
+            const ServiceReply reply = tickets[i].wait();
+            EvalResult &r = results[i];
+            if (reply.outcome != ServiceOutcome::Ok) {
+                r.error = reply.error;
+                continue;
+            }
+            const BackendRun &run = reply.response->runs.at(0);
+            if (!run.ok) {
+                r.error = run.error;
+                continue;
+            }
+            r.ok = true;
+            r.cycles = run.result.totalCycles();
+            r.energyPj = run.result.totalEnergyPj();
+        }
+        return results;
+    }
+
+    std::string describe() const override { return "in-process"; }
+
+  private:
+    Network net_;
+    uint64_t seed_;
+    std::unique_ptr<SimulationService> service_;
+};
+
+// --- remote fleet ------------------------------------------------------
+
+/** One connected shard: a socket plus a line-buffered reader. */
+class ShardConnection
+{
+  public:
+    ~ShardConnection()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool
+    connectTo(const std::string &endpoint, std::string &error)
+    {
+        std::string host = "127.0.0.1", portPart = endpoint;
+        const size_t colon = endpoint.rfind(':');
+        if (colon != std::string::npos) {
+            host = endpoint.substr(0, colon);
+            portPart = endpoint.substr(colon + 1);
+        }
+        char *end = nullptr;
+        const long port = std::strtol(portPart.c_str(), &end, 10);
+        if (end == portPart.c_str() || *end != '\0' || port <= 0 ||
+            port > 65535) {
+            error = strfmt("bad endpoint '%s' (want host:port)",
+                           endpoint.c_str());
+            return false;
+        }
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0) {
+            error = strfmt("socket: %s", std::strerror(errno));
+            return false;
+        }
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+            error = strfmt("bad endpoint host '%s' (want an IPv4 "
+                           "address)", host.c_str());
+            return false;
+        }
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            error = strfmt("cannot connect to %s: %s",
+                           endpoint.c_str(), std::strerror(errno));
+            return false;
+        }
+        endpoint_ = endpoint;
+        return true;
+    }
+
+    bool
+    sendLine(const std::string &line)
+    {
+        std::string out = line;
+        out += '\n';
+        size_t off = 0;
+        while (off < out.size()) {
+            const ssize_t n =
+                ::write(fd_, out.data() + off, out.size() - off);
+            if (n <= 0) {
+                if (n < 0 && errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += static_cast<size_t>(n);
+        }
+        return true;
+    }
+
+    bool
+    recvLine(std::string &line)
+    {
+        for (;;) {
+            const size_t nl = buffer_.find('\n');
+            if (nl != std::string::npos) {
+                line = buffer_.substr(0, nl);
+                buffer_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[4096];
+            const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                return false;
+            buffer_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+    const std::string &endpoint() const { return endpoint_; }
+
+  private:
+    int fd_ = -1;
+    std::string endpoint_;
+    std::string buffer_;
+};
+
+/** Parse one reply line into an EvalResult; "shed" asks for a retry. */
+bool
+parseReplyLine(const std::string &line, EvalResult &r, bool &shed)
+{
+    shed = false;
+    r = EvalResult();
+    JsonValue doc;
+    std::string parseError;
+    if (!parseJson(line, doc, parseError)) {
+        r.error = "unparsable reply: " + parseError;
+        return true;
+    }
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString()) {
+        r.error = "reply without a schema";
+        return true;
+    }
+    if (schema->string == "scnn.service_error.v1") {
+        const JsonValue *outcome = doc.find("outcome");
+        if (outcome && outcome->isString() &&
+            outcome->string == "shed") {
+            shed = true;
+            return true;
+        }
+        const JsonValue *err = doc.find("error");
+        r.error = err && err->isString() ? err->string
+                                         : "service error";
+        return true;
+    }
+    if (schema->string != "scnn.simulation_response.v1") {
+        r.error = "unexpected reply schema " + schema->string;
+        return true;
+    }
+    const JsonValue *backends = doc.find("backends");
+    if (!backends || !backends->isArray() || backends->array.empty()) {
+        r.error = "reply without backends";
+        return true;
+    }
+    const JsonValue &run = backends->array[0];
+    const JsonValue *ok = run.find("ok");
+    if (!ok || !ok->isBool() || !ok->boolean) {
+        const JsonValue *err = run.find("error");
+        r.error = err && err->isString() ? err->string
+                                         : "backend failed";
+        return true;
+    }
+    const JsonValue *totals = run.find("totals");
+    const JsonValue *cycles = totals ? totals->find("cycles") : nullptr;
+    const JsonValue *energy =
+        totals ? totals->find("energy_pj") : nullptr;
+    if (!cycles || !cycles->isUnsigned || !energy ||
+        !energy->isNumber()) {
+        r.error = "reply without totals";
+        return true;
+    }
+    r.ok = true;
+    r.cycles = cycles->uint64;
+    // JsonWriter emits doubles with %.17g, so this round-trips the
+    // server's energy bit-exactly -- remote and in-process frontiers
+    // compare equal on doubles because of this.
+    r.energyPj = energy->number;
+    return true;
+}
+
+class RemoteEvaluator : public DseEvaluator
+{
+  public:
+    RemoteEvaluator(std::vector<std::unique_ptr<ShardConnection>> conns,
+                    Network net, std::string networkName,
+                    uint64_t seed, RemoteEvalOptions options)
+        : conns_(std::move(conns)), net_(std::move(net)),
+          networkName_(std::move(networkName)), seed_(seed),
+          options_(options)
+    {
+    }
+
+    std::vector<EvalResult>
+    evaluate(const std::vector<AcceleratorConfig> &configs) override
+    {
+        const int nShards = static_cast<int>(conns_.size());
+        std::vector<std::vector<size_t>> slices(conns_.size());
+        for (size_t i = 0; i < configs.size(); ++i) {
+            const int shard = shardForRequest(
+                requestFor(net_, seed_, configs[i]), nShards);
+            slices[shard].push_back(i);
+        }
+
+        // One thread per shard, one request in flight per connection:
+        // replies are in-order per stream, and a window of one can
+        // never deadlock against the server's bounded reorder buffer.
+        std::vector<EvalResult> results(configs.size());
+        std::vector<std::string> failures(conns_.size());
+        std::vector<std::thread> threads;
+        for (size_t s = 0; s < conns_.size(); ++s) {
+            threads.emplace_back([&, s] {
+                runSlice(*conns_[s], slices[s], configs, results,
+                         failures[s]);
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+        for (size_t s = 0; s < failures.size(); ++s)
+            if (!failures[s].empty())
+                throw SimulationError(
+                    strfmt("shard %zu (%s): %s", s,
+                           conns_[s]->endpoint().c_str(),
+                           failures[s].c_str()));
+        return results;
+    }
+
+    std::string
+    describe() const override
+    {
+        return strfmt("remote (%zu shard%s)", conns_.size(),
+                      conns_.size() == 1 ? "" : "s");
+    }
+
+  private:
+    void
+    runSlice(ShardConnection &conn, const std::vector<size_t> &slice,
+             const std::vector<AcceleratorConfig> &configs,
+             std::vector<EvalResult> &results, std::string &failure)
+    {
+        for (size_t idx : slice) {
+            const std::string line =
+                remoteRequestLine(networkName_, seed_, configs[idx]);
+            int retries = 0;
+            for (;;) {
+                if (!conn.sendLine(line)) {
+                    failure = "connection lost while sending";
+                    return;
+                }
+                std::string reply;
+                if (!conn.recvLine(reply)) {
+                    failure = "connection lost while receiving";
+                    return;
+                }
+                bool shed = false;
+                parseReplyLine(reply, results[idx], shed);
+                if (!shed)
+                    break;
+                if (++retries > options_.maxShedRetries) {
+                    results[idx].ok = false;
+                    results[idx].error =
+                        "shed by the shard after retries";
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        options_.shedRetryDelayMs));
+            }
+        }
+    }
+
+    std::vector<std::unique_ptr<ShardConnection>> conns_;
+    Network net_;
+    std::string networkName_;
+    uint64_t seed_;
+    RemoteEvalOptions options_;
+};
+
+} // namespace
+
+bool
+networkByName(const std::string &name, Network &net)
+{
+    if (name == "alexnet") net = alexNet();
+    else if (name == "googlenet") net = googLeNet();
+    else if (name == "vgg16") net = vgg16();
+    else if (name == "tiny") net = tinyTestNetwork();
+    else return false;
+    return true;
+}
+
+std::string
+remoteRequestLine(const std::string &networkName, uint64_t seed,
+                  const AcceleratorConfig &cfg)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("network").value(networkName);
+    w.key("backends").beginArray();
+    w.beginObject();
+    w.key("backend").value(backendForKind(cfg.kind));
+    w.key("config").beginObject();
+    w.key("base").value(baseNameForKind(cfg.kind));
+    for (const std::string &field : configFieldNames()) {
+        int64_t value = 0;
+        SCNN_ASSERT(getConfigField(cfg, field, value),
+                    "field %s not readable", field.c_str());
+        w.key(field).value(static_cast<uint64_t>(value));
+    }
+    w.endObject();
+    w.endObject();
+    w.endArray();
+    w.key("seed").value(seed);
+    w.key("threads").value(1);
+    w.endObject();
+    return w.str();
+}
+
+std::unique_ptr<DseEvaluator>
+makeInProcessEvaluator(Network net, uint64_t seed,
+                       InProcessEvalOptions options)
+{
+    return std::make_unique<InProcessEvaluator>(std::move(net), seed,
+                                                options);
+}
+
+std::unique_ptr<DseEvaluator>
+makeRemoteEvaluator(const std::vector<std::string> &endpoints,
+                    const std::string &networkName, uint64_t seed,
+                    std::string &error, RemoteEvalOptions options)
+{
+    SCNN_ASSERT(!endpoints.empty(), "remote evaluator needs endpoints");
+    Network net;
+    if (!networkByName(networkName, net)) {
+        error = strfmt("unknown network '%s'", networkName.c_str());
+        return nullptr;
+    }
+    std::vector<std::unique_ptr<ShardConnection>> conns;
+    for (const std::string &endpoint : endpoints) {
+        auto conn = std::make_unique<ShardConnection>();
+        if (!conn->connectTo(endpoint, error))
+            return nullptr;
+        conns.push_back(std::move(conn));
+    }
+    return std::make_unique<RemoteEvaluator>(
+        std::move(conns), std::move(net), networkName, seed, options);
+}
+
+} // namespace scnn

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Full-simulation evaluators for the DSE funnel's survivors.
+ *
+ * Two interchangeable implementations score a batch of candidate
+ * configurations on one network:
+ *
+ *  - In-process: a private SimulationService (bounded queue, worker
+ *    threads, workload cache) run inside the sweep process.
+ *  - Remote: JSON-lines requests with per-backend "config" overrides
+ *    against a fleet of `scnn_serve --listen` shards, routed with
+ *    shardForRequest() (one client thread per shard, one request in
+ *    flight per connection; "shed" replies are retried after a short
+ *    delay).
+ *
+ * Simulation is a pure function of (network, seed, config) with
+ * bit-identical results across thread counts and SIMD modes, and the
+ * response JSON serializes doubles with %.17g, so both evaluators
+ * produce bit-identical objective values -- the acceptance criterion
+ * that the Pareto frontier is the same in-process and through a TCP
+ * fleet rests on exactly this.
+ */
+
+#ifndef SCNN_DSE_EVALUATE_HH
+#define SCNN_DSE_EVALUATE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "nn/network.hh"
+
+namespace scnn {
+
+/** Outcome of fully simulating one candidate configuration. */
+struct EvalResult
+{
+    bool ok = false;
+    std::string error;    ///< failure reason when !ok
+    uint64_t cycles = 0;
+    double energyPj = 0.0;
+};
+
+class DseEvaluator
+{
+  public:
+    virtual ~DseEvaluator() = default;
+
+    /**
+     * Simulate every configuration in `configs` on the evaluator's
+     * network; returns one result per config, in input order.  Never
+     * throws for per-point failures (they come back as !ok results);
+     * throws SimulationError when the evaluator itself breaks (e.g.
+     * a shard connection dies).
+     */
+    virtual std::vector<EvalResult>
+    evaluate(const std::vector<AcceleratorConfig> &configs) = 0;
+
+    /** Human-readable transport description for the report. */
+    virtual std::string describe() const = 0;
+};
+
+/** Resolve a zoo network by its wire name; false if unknown. */
+bool networkByName(const std::string &name, Network &net);
+
+struct InProcessEvalOptions
+{
+    int workers = 2;        ///< concurrent sessions
+    int sessionThreads = 1; ///< pool threads per session
+};
+
+std::unique_ptr<DseEvaluator>
+makeInProcessEvaluator(Network net, uint64_t seed,
+                       InProcessEvalOptions options =
+                           InProcessEvalOptions());
+
+struct RemoteEvalOptions
+{
+    /** Rounds of re-sending a shed request before giving up. */
+    int maxShedRetries = 1000;
+    /** Delay between shed retries (ms). */
+    double shedRetryDelayMs = 20.0;
+};
+
+/**
+ * Connect to a fleet of scnn_serve shards.  `endpoints[i]` ("host:port")
+ * must be shard i of an `endpoints.size()`-shard fleet -- requests are
+ * routed with shardForRequest().  `networkName` is the wire name the
+ * shards resolve ("tiny", "alexnet", ...).  Returns nullptr with
+ * `error` set when any connection fails.
+ */
+std::unique_ptr<DseEvaluator>
+makeRemoteEvaluator(const std::vector<std::string> &endpoints,
+                    const std::string &networkName, uint64_t seed,
+                    std::string &error,
+                    RemoteEvalOptions options = RemoteEvalOptions());
+
+/**
+ * The JSON-lines request line a remote evaluation sends for one
+ * configuration (exposed for tests and docs examples): a single
+ * backend spec whose "config" carries every sweepable field of `cfg`.
+ */
+std::string remoteRequestLine(const std::string &networkName,
+                              uint64_t seed,
+                              const AcceleratorConfig &cfg);
+
+} // namespace scnn
+
+#endif // SCNN_DSE_EVALUATE_HH

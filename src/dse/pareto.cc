@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Pareto-frontier engine implementation.
+ */
+
+#include "dse/pareto.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace scnn {
+
+bool
+dominates(const DsePoint &a, const DsePoint &b)
+{
+    if (a.cycles > b.cycles || a.energyPj > b.energyPj ||
+        a.areaMm2 > b.areaMm2)
+        return false;
+    return a.cycles < b.cycles || a.energyPj < b.energyPj ||
+           a.areaMm2 < b.areaMm2;
+}
+
+bool
+ParetoFront::add(DsePoint p)
+{
+    for (const DsePoint &q : points_) {
+        if (q.id == p.id)
+            return false;
+        if (dominates(q, p))
+            return false;
+    }
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [&](const DsePoint &q) {
+                                     return dominates(p, q);
+                                 }),
+                  points_.end());
+    points_.push_back(std::move(p));
+    return true;
+}
+
+std::vector<DsePoint>
+ParetoFront::sorted() const
+{
+    std::vector<DsePoint> out = points_;
+    sortForReport(out);
+    return out;
+}
+
+void
+sortForReport(std::vector<DsePoint> &points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const DsePoint &a, const DsePoint &b) {
+                  if (a.cycles != b.cycles)
+                      return a.cycles < b.cycles;
+                  if (a.energyPj != b.energyPj)
+                      return a.energyPj < b.energyPj;
+                  if (a.areaMm2 != b.areaMm2)
+                      return a.areaMm2 < b.areaMm2;
+                  return a.id < b.id;
+              });
+}
+
+std::vector<std::vector<DsePoint>>
+paretoFronts(std::vector<DsePoint> points, int maxRanks)
+{
+    // Drop later duplicates of the same id up front so a replayed
+    // point cannot appear on two ranks.
+    std::unordered_set<std::string> seen;
+    std::vector<DsePoint> pool;
+    pool.reserve(points.size());
+    for (DsePoint &p : points) {
+        if (seen.insert(p.id).second)
+            pool.push_back(std::move(p));
+    }
+
+    std::vector<std::vector<DsePoint>> fronts;
+    while (!pool.empty() &&
+           (maxRanks <= 0 || (int)fronts.size() < maxRanks)) {
+        std::vector<DsePoint> front, rest;
+        for (const DsePoint &p : pool) {
+            bool dominated = false;
+            for (const DsePoint &q : pool) {
+                if (dominates(q, p)) {
+                    dominated = true;
+                    break;
+                }
+            }
+            (dominated ? rest : front).push_back(p);
+        }
+        sortForReport(front);
+        fronts.push_back(std::move(front));
+        pool = std::move(rest);
+    }
+    return fronts;
+}
+
+} // namespace scnn

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Streaming Pareto-frontier extraction over the design-space
+ * objectives (cycles, energy, area), all minimized.
+ *
+ * The DSE funnel feeds evaluated configuration points into a
+ * ParetoFront one at a time (sweeps are resumable streams, so the
+ * engine cannot assume it sees the whole population at once).  The
+ * frontier is the non-dominated set: a point is dropped exactly when
+ * some other point is no worse on every objective and strictly better
+ * on at least one.  Points that tie on *every* objective are mutually
+ * non-dominating and are all retained (distinct configurations can
+ * share an objective vector); re-adding a point id that is already on
+ * the frontier is a no-op, so replaying a checkpoint cannot inflate
+ * the frontier.
+ *
+ * paretoFronts() peels rank-k fronts (rank 1 = the frontier, rank 2 =
+ * the frontier after removing rank 1, ...) for --top-k reporting.
+ */
+
+#ifndef SCNN_DSE_PARETO_HH
+#define SCNN_DSE_PARETO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scnn {
+
+/** One evaluated design point with its (minimized) objectives. */
+struct DsePoint
+{
+    /** Canonical point id ("pe_rows=4,mul_f=8,..."). */
+    std::string id;
+
+    /** Axis indices into the SweepSpec (one per axis). */
+    std::vector<int> indices;
+
+    // --- objectives, all lower-is-better ---
+    uint64_t cycles = 0;   ///< simulated network cycles
+    double energyPj = 0.0; ///< simulated network energy
+    double areaMm2 = 0.0;  ///< modelled chip area
+};
+
+/**
+ * @return true when `a` dominates `b`: no worse on every objective
+ *         and strictly better on at least one.  A point never
+ *         dominates an objective-wise identical point.
+ */
+bool dominates(const DsePoint &a, const DsePoint &b);
+
+class ParetoFront
+{
+  public:
+    /**
+     * Offer a point to the frontier.
+     *
+     * @return true when the point is now on the frontier (it was not
+     *         dominated by any member); dominated members are removed.
+     *         False when an existing member dominates it, or when a
+     *         member with the same id is already present (duplicate
+     *         replays are no-ops regardless of their objectives).
+     */
+    bool add(DsePoint p);
+
+    /** Current frontier, in insertion order. */
+    const std::vector<DsePoint> &points() const { return points_; }
+
+    size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+    /**
+     * The frontier sorted for reporting: ascending (cycles, energyPj,
+     * areaMm2, id) -- a deterministic order independent of insertion
+     * order, so straight-through and resumed sweeps serialize
+     * identical frontiers.
+     */
+    std::vector<DsePoint> sorted() const;
+
+  private:
+    std::vector<DsePoint> points_;
+};
+
+/** Deterministic report order: ascending (cycles, energy, area, id). */
+void sortForReport(std::vector<DsePoint> &points);
+
+/**
+ * Successive non-dominated fronts of `points` (rank 1 first), at most
+ * `maxRanks` of them (0 = all).  Duplicate ids keep their first
+ * occurrence only.  Each front comes back in report order.
+ */
+std::vector<std::vector<DsePoint>>
+paretoFronts(std::vector<DsePoint> points, int maxRanks);
+
+} // namespace scnn
+
+#endif // SCNN_DSE_PARETO_HH

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * SweepSpec parsing and point materialization.
+ */
+
+#include "dse/spec.hh"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace scnn {
+
+namespace {
+
+/** Product cap: specs beyond this are almost certainly typos. */
+constexpr uint64_t kMaxPoints = 1ull << 40;
+
+bool
+expectObjectKeys(const JsonValue &obj, const std::set<std::string> &keys,
+                 const char *what, std::string &error)
+{
+    for (const auto &member : obj.object) {
+        if (!keys.count(member.first)) {
+            error = strfmt("unknown key \"%s\" in %s",
+                           member.first.c_str(), what);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+intField(const JsonValue &obj, const char *key, int64_t &out,
+         bool &present, std::string &error)
+{
+    present = false;
+    const JsonValue *v = obj.find(key);
+    if (!v)
+        return true;
+    // Accept any integral-valued number the parser saw (isUnsigned
+    // covers non-negative literals; small negatives come back as exact
+    // doubles).
+    if (!v->isNumber() || v->number != static_cast<double>(
+            static_cast<int64_t>(v->number))) {
+        error = strfmt("\"%s\" must be an integer", key);
+        return false;
+    }
+    out = v->isUnsigned ? static_cast<int64_t>(v->uint64)
+                        : static_cast<int64_t>(v->number);
+    present = true;
+    return true;
+}
+
+bool
+parseAxis(const JsonValue &node, SweepAxis &axis, std::string &error)
+{
+    if (!node.isObject()) {
+        error = "axis entries must be objects";
+        return false;
+    }
+    if (!expectObjectKeys(node, {"field", "values", "range", "log2"},
+                          "axis", error))
+        return false;
+
+    const JsonValue *field = node.find("field");
+    if (!field || !field->isString()) {
+        error = "axis requires a string \"field\"";
+        return false;
+    }
+    axis.field = field->string;
+    {
+        AcceleratorConfig probe;
+        if (!setConfigField(probe, axis.field, 1)) {
+            error = strfmt("unknown sweep field \"%s\"",
+                           axis.field.c_str());
+            return false;
+        }
+    }
+
+    const JsonValue *values = node.find("values");
+    const JsonValue *range = node.find("range");
+    const JsonValue *log2 = node.find("log2");
+    const int kinds = !!values + !!range + !!log2;
+    if (kinds != 1) {
+        error = strfmt("axis \"%s\" needs exactly one of "
+                       "\"values\"/\"range\"/\"log2\"",
+                       axis.field.c_str());
+        return false;
+    }
+
+    if (values) {
+        if (!values->isArray() || values->array.empty()) {
+            error = strfmt("axis \"%s\": \"values\" must be a "
+                           "non-empty array", axis.field.c_str());
+            return false;
+        }
+        for (const JsonValue &v : values->array) {
+            if (!v.isNumber() || v.number != static_cast<double>(
+                    static_cast<int64_t>(v.number))) {
+                error = strfmt("axis \"%s\": values must be integers",
+                               axis.field.c_str());
+                return false;
+            }
+            axis.values.push_back(
+                v.isUnsigned ? static_cast<int64_t>(v.uint64)
+                             : static_cast<int64_t>(v.number));
+        }
+        return true;
+    }
+
+    const JsonValue &spec = range ? *range : *log2;
+    const char *kind = range ? "range" : "log2";
+    if (!spec.isObject()) {
+        error = strfmt("axis \"%s\": \"%s\" must be an object",
+                       axis.field.c_str(), kind);
+        return false;
+    }
+    if (!expectObjectKeys(spec,
+                          range ? std::set<std::string>{"lo", "hi", "step"}
+                                : std::set<std::string>{"lo", "hi"},
+                          kind, error))
+        return false;
+
+    int64_t lo = 0, hi = 0, step = 1;
+    bool haveLo = false, haveHi = false, haveStep = false;
+    if (!intField(spec, "lo", lo, haveLo, error) ||
+        !intField(spec, "hi", hi, haveHi, error) ||
+        !intField(spec, "step", step, haveStep, error))
+        return false;
+    if (!haveLo || !haveHi) {
+        error = strfmt("axis \"%s\": \"%s\" requires \"lo\" and \"hi\"",
+                       axis.field.c_str(), kind);
+        return false;
+    }
+    if (hi < lo) {
+        error = strfmt("axis \"%s\": hi < lo", axis.field.c_str());
+        return false;
+    }
+
+    if (range) {
+        if (haveStep && step <= 0) {
+            error = strfmt("axis \"%s\": step must be positive",
+                           axis.field.c_str());
+            return false;
+        }
+        for (int64_t v = lo; v <= hi; v += step)
+            axis.values.push_back(v);
+    } else {
+        if (lo <= 0) {
+            error = strfmt("axis \"%s\": log2 lo must be positive",
+                           axis.field.c_str());
+            return false;
+        }
+        for (int64_t v = lo; v <= hi; v *= 2)
+            axis.values.push_back(v);
+    }
+    return true;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+sweepableFields()
+{
+    return configFieldNames();
+}
+
+uint64_t
+SweepSpec::totalPoints() const
+{
+    uint64_t total = 1;
+    for (const SweepAxis &axis : axes) {
+        total *= axis.values.size();
+        SCNN_ASSERT(total <= kMaxPoints, "sweep space overflow");
+    }
+    return total;
+}
+
+std::vector<int>
+SweepSpec::indicesFor(uint64_t ordinal) const
+{
+    SCNN_ASSERT(ordinal < totalPoints(), "ordinal %llu out of range",
+                (unsigned long long)ordinal);
+    std::vector<int> indices(axes.size(), 0);
+    for (size_t i = axes.size(); i-- > 0;) {
+        const uint64_t n = axes[i].values.size();
+        indices[i] = static_cast<int>(ordinal % n);
+        ordinal /= n;
+    }
+    return indices;
+}
+
+std::string
+SweepSpec::pointId(const std::vector<int> &indices) const
+{
+    SCNN_ASSERT(indices.size() == axes.size(),
+                "index arity %zu != axis count %zu", indices.size(),
+                axes.size());
+    std::string id;
+    for (size_t i = 0; i < axes.size(); ++i) {
+        SCNN_ASSERT(indices[i] >= 0 &&
+                    (size_t)indices[i] < axes[i].values.size(),
+                    "index %d out of range on axis %s", indices[i],
+                    axes[i].field.c_str());
+        if (!id.empty())
+            id += ',';
+        id += strfmt("%s=%lld", axes[i].field.c_str(),
+                     (long long)axes[i].values[indices[i]]);
+    }
+    return id;
+}
+
+std::vector<std::string>
+SweepSpec::materialize(const std::vector<int> &indices,
+                       AcceleratorConfig &cfg) const
+{
+    SCNN_ASSERT(indices.size() == axes.size(),
+                "index arity %zu != axis count %zu", indices.size(),
+                axes.size());
+    cfg = base;
+    for (size_t i = 0; i < axes.size(); ++i) {
+        const bool known =
+            setConfigField(cfg, axes[i].field,
+                           axes[i].values[indices[i]]);
+        SCNN_ASSERT(known, "unknown field %s survived parsing",
+                    axes[i].field.c_str());
+    }
+    cfg.name = pointId(indices);
+    return cfg.validate();
+}
+
+bool
+parseSweepSpec(const std::string &text, SweepSpec &spec,
+               std::string &error)
+{
+    JsonValue doc;
+    if (!parseJson(text, doc, error))
+        return false;
+    if (!doc.isObject()) {
+        error = "spec must be a JSON object";
+        return false;
+    }
+    if (!expectObjectKeys(doc, {"schema", "name", "base", "axes"},
+                          "spec", error))
+        return false;
+
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->string != "scnn.dse_spec.v1") {
+        error = "spec requires \"schema\": \"scnn.dse_spec.v1\"";
+        return false;
+    }
+
+    spec = SweepSpec();
+    if (const JsonValue *name = doc.find("name")) {
+        if (!name->isString()) {
+            error = "\"name\" must be a string";
+            return false;
+        }
+        spec.name = name->string;
+    }
+
+    spec.base = scnnConfig();
+    if (const JsonValue *base = doc.find("base")) {
+        if (!base->isString()) {
+            error = "\"base\" must be a string";
+            return false;
+        }
+        if (base->string == "scnn") spec.base = scnnConfig();
+        else if (base->string == "dcnn") spec.base = dcnnConfig();
+        else if (base->string == "dcnn-opt") spec.base = dcnnOptConfig();
+        else {
+            error = strfmt("unknown base \"%s\" (scnn|dcnn|dcnn-opt)",
+                           base->string.c_str());
+            return false;
+        }
+    }
+
+    const JsonValue *axes = doc.find("axes");
+    if (!axes || !axes->isArray() || axes->array.empty()) {
+        error = "spec requires a non-empty \"axes\" array";
+        return false;
+    }
+    std::set<std::string> seenFields;
+    for (const JsonValue &node : axes->array) {
+        SweepAxis axis;
+        if (!parseAxis(node, axis, error))
+            return false;
+        if (!seenFields.insert(axis.field).second) {
+            error = strfmt("duplicate axis for field \"%s\"",
+                           axis.field.c_str());
+            return false;
+        }
+        spec.axes.push_back(std::move(axis));
+    }
+
+    uint64_t total = 1;
+    for (const SweepAxis &axis : spec.axes) {
+        total *= axis.values.size();
+        if (total > kMaxPoints) {
+            error = "sweep space exceeds 2^40 points";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadSweepSpec(const std::string &path, SweepSpec &spec,
+              std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = strfmt("cannot open spec file %s", path.c_str());
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseSweepSpec(text.str(), spec, error);
+}
+
+} // namespace scnn

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Sweep-space description for design-space exploration.
+ *
+ * A `SweepSpec` names a base configuration (the paper's SCNN design by
+ * default) and a list of axes, each varying one integer
+ * `AcceleratorConfig`/`PeConfig` field over an explicit value list, an
+ * inclusive stepped range, or a log2 ladder.  The sweep space is the
+ * cartesian product of the axes; a point is addressed by one index per
+ * axis and materialized by applying the axis values on top of the base
+ * config, then checked with `AcceleratorConfig::validate()` (invalid
+ * corners of the product are recorded, not silently skipped, so
+ * checkpoint accounting covers the whole space).
+ *
+ * Specs are parsed from JSON (`scnn.dse_spec.v1`):
+ *
+ *     {"schema": "scnn.dse_spec.v1",
+ *      "name": "pe-grid-tiny",
+ *      "base": "scnn",
+ *      "axes": [
+ *        {"field": "pe_rows", "values": [2, 4, 8]},
+ *        {"field": "accum_banks", "log2": {"lo": 8, "hi": 64}},
+ *        {"field": "kc_cap", "range": {"lo": 0, "hi": 32, "step": 16}}]}
+ *
+ * Unknown keys anywhere in the document are rejected (same contract as
+ * the service request parser) so a typo'd axis cannot silently sweep
+ * nothing.
+ */
+
+#ifndef SCNN_DSE_SPEC_HH
+#define SCNN_DSE_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+
+namespace scnn {
+
+/** One sweep axis: a config field and its candidate values. */
+struct SweepAxis
+{
+    std::string field;           ///< snake_case field name (see below)
+    std::vector<int64_t> values; ///< expanded candidate values, in order
+};
+
+/** Field names an axis may vary; also the pointId() key order. */
+const std::vector<std::string> &sweepableFields();
+
+struct SweepSpec
+{
+    std::string name;        ///< spec name (report metadata)
+    AcceleratorConfig base;  ///< configuration the axes perturb
+    std::vector<SweepAxis> axes;
+
+    /** Cartesian-product size (capped: parse rejects > 2^40 points). */
+    uint64_t totalPoints() const;
+
+    /**
+     * Decode a flat enumeration ordinal into per-axis indices
+     * (row-major: the last axis varies fastest).
+     */
+    std::vector<int> indicesFor(uint64_t ordinal) const;
+
+    /**
+     * Canonical point id, e.g. "accum_banks=16,pe_rows=4": the swept
+     * fields in axis order with their values.  Stable across runs and
+     * processes; the checkpoint/dedupe key.
+     */
+    std::string pointId(const std::vector<int> &indices) const;
+
+    /**
+     * Build the configuration at `indices` on top of `base`.
+     *
+     * @return empty error list when the point is valid; otherwise the
+     *         `validate()` messages (cfg is still the materialized,
+     *         invalid configuration).
+     */
+    std::vector<std::string>
+    materialize(const std::vector<int> &indices,
+                AcceleratorConfig &cfg) const;
+};
+
+/**
+ * Parse a `scnn.dse_spec.v1` document.  Returns false with a
+ * descriptive `error` on malformed JSON, unknown keys/fields,
+ * empty/duplicate axes, non-positive ranges, or an oversized product.
+ * Never throws.
+ */
+bool parseSweepSpec(const std::string &text, SweepSpec &spec,
+                    std::string &error);
+
+/** parseSweepSpec() on a file's contents. */
+bool loadSweepSpec(const std::string &path, SweepSpec &spec,
+                   std::string &error);
+
+} // namespace scnn
+
+#endif // SCNN_DSE_SPEC_HH

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Sweep strategies and the funnel driver.
+ */
+
+#include "dse/sweep.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "analytic/timeloop.hh"
+#include "arch/area_model.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/simulator.hh"
+
+namespace scnn {
+
+const char *
+sweepStrategyName(SweepStrategy s)
+{
+    switch (s) {
+      case SweepStrategy::Grid: return "grid";
+      case SweepStrategy::Random: return "random";
+      case SweepStrategy::Evolve: return "evolve";
+    }
+    panic("bad SweepStrategy %d", (int)s);
+}
+
+bool
+sweepStrategyFromName(const std::string &name, SweepStrategy &s)
+{
+    if (name == "grid") s = SweepStrategy::Grid;
+    else if (name == "random") s = SweepStrategy::Random;
+    else if (name == "evolve") s = SweepStrategy::Evolve;
+    else return false;
+    return true;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * A deterministic source of candidate points.  The driver calls
+ * next() for candidates, observe() once per candidate with its final
+ * record (fresh or replayed), and flushes pending evaluations
+ * whenever wantsFlush() -- adaptive strategies use that to see a full
+ * generation's results before producing the next.
+ */
+class CandidateStream
+{
+  public:
+    virtual ~CandidateStream() = default;
+    virtual bool next(std::vector<int> &indices) = 0;
+    virtual void observe(const CheckpointRecord &rec) { (void)rec; }
+    virtual bool wantsFlush() const { return false; }
+};
+
+class GridStream : public CandidateStream
+{
+  public:
+    GridStream(const SweepSpec &spec, const SweepOptions &options)
+        : spec_(spec), total_(spec.totalPoints()),
+          limit_(options.maxPoints), ordinal_(options.shardIndex),
+          step_(options.shardCount)
+    {
+    }
+
+    bool
+    next(std::vector<int> &indices) override
+    {
+        if (ordinal_ >= total_ || (limit_ > 0 && emitted_ >= limit_))
+            return false;
+        indices = spec_.indicesFor(ordinal_);
+        ordinal_ += step_;
+        ++emitted_;
+        return true;
+    }
+
+  private:
+    const SweepSpec &spec_;
+    const uint64_t total_;
+    const uint64_t limit_;
+    uint64_t ordinal_;
+    const uint64_t step_;
+    uint64_t emitted_ = 0;
+};
+
+class RandomStream : public CandidateStream
+{
+  public:
+    RandomStream(const SweepSpec &spec, const SweepOptions &options)
+        : spec_(spec), total_(spec.totalPoints()),
+          rng_("dse/random", options.seed ^ hashLabel(spec.name)),
+          shardIndex_(options.shardIndex),
+          shardCount_(options.shardCount)
+    {
+        limit_ = options.maxPoints > 0
+                     ? options.maxPoints
+                     : std::min<uint64_t>(total_, 256);
+        // Draw without replacement, giving up after a bounded number
+        // of collisions so small spaces terminate.
+        maxDraws_ = limit_ * 4 + 16;
+    }
+
+    bool
+    next(std::vector<int> &indices) override
+    {
+        while (emitted_ < limit_ && draws_ < maxDraws_) {
+            const uint64_t ordinal = rng_.uniformInt(total_);
+            ++draws_;
+            if (!picked_.insert(ordinal).second)
+                continue;
+            const uint64_t unique = emitted_++;
+            if (unique % static_cast<uint64_t>(shardCount_) !=
+                static_cast<uint64_t>(shardIndex_))
+                continue;
+            indices = spec_.indicesFor(ordinal);
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    const SweepSpec &spec_;
+    const uint64_t total_;
+    Rng rng_;
+    const int shardIndex_;
+    const int shardCount_;
+    uint64_t limit_ = 0;
+    uint64_t maxDraws_ = 0;
+    uint64_t draws_ = 0;
+    uint64_t emitted_ = 0;
+    std::set<uint64_t> picked_;
+};
+
+/**
+ * Seeded (mu + lambda)-style evolutionary search over axis indices:
+ * tournament selection over everything observed so far, uniform
+ * crossover, per-gene mutation.  Deterministic under a fixed seed
+ * because observations arrive in candidate order (the driver
+ * guarantees that, resumed or not).
+ */
+class EvolveStream : public CandidateStream
+{
+  public:
+    EvolveStream(const SweepSpec &spec, const SweepOptions &options)
+        : spec_(spec),
+          rng_("dse/evolve", options.seed ^ hashLabel(spec.name))
+    {
+        budget_ = options.maxPoints > 0 ? options.maxPoints : 128;
+        population_ = static_cast<int>(
+            std::min<uint64_t>(16, spec.totalPoints()));
+    }
+
+    bool
+    next(std::vector<int> &indices) override
+    {
+        if (emitted_ >= budget_)
+            return false;
+        if (queue_.empty())
+            buildGeneration();
+        indices = queue_.front();
+        queue_.pop_front();
+        ++emitted_;
+        return true;
+    }
+
+    void
+    observe(const CheckpointRecord &rec) override
+    {
+        double fitness = std::numeric_limits<double>::infinity();
+        switch (rec.stage) {
+          case DseStage::Simulated:
+            fitness = static_cast<double>(rec.cycles) * rec.energyPj;
+            break;
+          case DseStage::Pruned:
+            // Pruned points still guide the search, discounted so a
+            // simulated point always beats its analytic sibling.
+            fitness = 4.0 * static_cast<double>(rec.analyticCycles) *
+                      rec.analyticEnergyPj;
+            break;
+          case DseStage::Invalid:
+          case DseStage::Error:
+            break;
+        }
+        // Keep the first observation of an id (replays repeat ids).
+        if (fitnessById_.emplace(rec.pointId, fitness).second)
+            observed_.push_back({rec.indices, fitness});
+    }
+
+    bool wantsFlush() const override { return queue_.empty(); }
+
+  private:
+    std::vector<int>
+    randomGenome()
+    {
+        std::vector<int> g(spec_.axes.size());
+        for (size_t i = 0; i < g.size(); ++i)
+            g[i] = static_cast<int>(
+                rng_.uniformInt(spec_.axes[i].values.size()));
+        return g;
+    }
+
+    const std::vector<int> &
+    tournament()
+    {
+        const size_t a = rng_.uniformInt(observed_.size());
+        const size_t b = rng_.uniformInt(observed_.size());
+        return observed_[observed_[a].fitness <= observed_[b].fitness
+                             ? a : b].indices;
+    }
+
+    void
+    buildGeneration()
+    {
+        if (observed_.empty()) {
+            for (int i = 0; i < population_; ++i)
+                queue_.push_back(randomGenome());
+            return;
+        }
+        for (int c = 0; c < population_; ++c) {
+            const std::vector<int> &pa = tournament();
+            const std::vector<int> &pb = tournament();
+            std::vector<int> child(spec_.axes.size());
+            for (size_t i = 0; i < child.size(); ++i) {
+                child[i] = rng_.bernoulli(0.5) ? pa[i] : pb[i];
+                if (rng_.bernoulli(0.35))
+                    child[i] = static_cast<int>(rng_.uniformInt(
+                        spec_.axes[i].values.size()));
+            }
+            queue_.push_back(std::move(child));
+        }
+    }
+
+    struct Observed
+    {
+        std::vector<int> indices;
+        double fitness;
+    };
+
+    const SweepSpec &spec_;
+    Rng rng_;
+    uint64_t budget_ = 0;
+    int population_ = 0;
+    uint64_t emitted_ = 0;
+    std::deque<std::vector<int>> queue_;
+    std::map<std::string, double> fitnessById_;
+    std::vector<Observed> observed_;
+};
+
+std::unique_ptr<CandidateStream>
+makeStream(const SweepSpec &spec, const SweepOptions &options)
+{
+    switch (options.strategy) {
+      case SweepStrategy::Grid:
+        return std::make_unique<GridStream>(spec, options);
+      case SweepStrategy::Random:
+        return std::make_unique<RandomStream>(spec, options);
+      case SweepStrategy::Evolve:
+        return std::make_unique<EvolveStream>(spec, options);
+    }
+    panic("bad SweepStrategy %d", (int)options.strategy);
+}
+
+/** One candidate waiting for its batch to complete. */
+struct Pending
+{
+    CheckpointRecord record;
+    bool fresh = false;    ///< needs appending to the checkpoint
+    bool needsSim = false; ///< stage decided at flush
+    AcceleratorConfig cfg; ///< materialized (needsSim only)
+};
+
+} // namespace
+
+SweepOutcome
+runSweep(const SweepSpec &spec, const Network &net,
+         DseEvaluator &evaluator, const SweepOptions &options)
+{
+    SCNN_ASSERT(options.batchSize > 0, "batch size must be positive");
+    SCNN_ASSERT(options.pruneFactor > 1.0,
+                "prune factor must exceed 1");
+    SCNN_ASSERT(options.shardCount >= 1 && options.shardIndex >= 0 &&
+                    options.shardIndex < options.shardCount,
+                "bad shard %d/%d", options.shardIndex,
+                options.shardCount);
+    if (options.strategy == SweepStrategy::Evolve)
+        SCNN_ASSERT(options.shardCount == 1,
+                    "evolve cannot split across shards (its "
+                    "trajectory depends on every evaluation)");
+
+    // Replay state: every point already in the checkpoint, by id.
+    // `fromCheckpoint` keeps the pre-run ids apart so stats.resumed
+    // counts genuine replays, not ids this run evaluated and the
+    // strategy re-emitted later (evolve does that).
+    std::map<std::string, CheckpointRecord> seen;
+    std::set<std::string> fromCheckpoint;
+    if (!options.checkpointPath.empty()) {
+        std::vector<CheckpointRecord> records;
+        bool droppedTail = false;
+        std::string error;
+        if (!loadCheckpoint(options.checkpointPath, records,
+                            droppedTail, error))
+            throw SimulationError(error);
+        if (droppedTail) {
+            warn("checkpoint %s has a torn final line; that point "
+                 "will be re-evaluated",
+                 options.checkpointPath.c_str());
+            // Neutralize the fragment before appending: rewrite the
+            // surviving records, or the first fresh append would glue
+            // onto the torn line and hard-fail the *next* load.
+            FILE *f = std::fopen(options.checkpointPath.c_str(), "wb");
+            if (!f)
+                throw SimulationError("cannot rewrite checkpoint: " +
+                                      options.checkpointPath);
+            for (const CheckpointRecord &rec : records) {
+                const std::string line =
+                    serializeCheckpointRecord(rec) + "\n";
+                if (std::fwrite(line.data(), 1, line.size(), f) !=
+                    line.size()) {
+                    std::fclose(f);
+                    throw SimulationError(
+                        "cannot rewrite checkpoint: " +
+                        options.checkpointPath);
+                }
+            }
+            std::fclose(f);
+        }
+        for (CheckpointRecord &rec : records) {
+            fromCheckpoint.insert(rec.pointId);
+            seen[rec.pointId] = std::move(rec);
+        }
+    }
+
+    CheckpointWriter writer;
+    if (!options.checkpointPath.empty()) {
+        std::string error;
+        if (!writer.open(options.checkpointPath, error))
+            throw SimulationError(error);
+    }
+
+    std::unique_ptr<CandidateStream> stream =
+        makeStream(spec, options);
+    const AreaModel areaModel;
+
+    SweepOutcome outcome;
+    FunnelStats &stats = outcome.stats;
+    uint64_t bestAnalytic = std::numeric_limits<uint64_t>::max();
+    uint64_t newRecords = 0;
+    std::vector<Pending> pending;
+    size_t pendingSim = 0;
+
+    // Finalize the pending window: simulate the survivors, append
+    // fresh records in candidate order, feed frontier and strategy.
+    // Returns false when stopAfter says to leave the rest for a
+    // resume.
+    auto flush = [&]() -> bool {
+        if (pending.empty())
+            return true;
+        std::vector<AcceleratorConfig> configs;
+        std::vector<size_t> configOwner;
+        for (size_t i = 0; i < pending.size(); ++i) {
+            if (pending[i].needsSim) {
+                configs.push_back(pending[i].cfg);
+                configOwner.push_back(i);
+            }
+        }
+        if (!configs.empty()) {
+            const auto start = Clock::now();
+            const std::vector<EvalResult> results =
+                evaluator.evaluate(configs);
+            stats.evalSeconds +=
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            SCNN_ASSERT(results.size() == configs.size(),
+                        "evaluator returned %zu results for %zu "
+                        "configs", results.size(), configs.size());
+            for (size_t i = 0; i < results.size(); ++i) {
+                Pending &p = pending[configOwner[i]];
+                if (results[i].ok) {
+                    p.record.stage = DseStage::Simulated;
+                    p.record.cycles = results[i].cycles;
+                    p.record.energyPj = results[i].energyPj;
+                    p.record.areaMm2 =
+                        areaModel.chipArea(p.cfg).total();
+                } else {
+                    p.record.stage = DseStage::Error;
+                    p.record.error = results[i].error;
+                }
+            }
+        }
+        bool stop = false;
+        for (Pending &p : pending) {
+            // Cut exactly at the requested record count: the rest of
+            // the window stays unwritten and a resume re-evaluates
+            // it, keeping the partial checkpoint a strict byte
+            // prefix of an uninterrupted run's.
+            if (options.stopAfter > 0 &&
+                newRecords >= options.stopAfter) {
+                stop = true;
+                break;
+            }
+            const CheckpointRecord &rec = p.record;
+            if (p.fresh) {
+                if (writer.isOpen() && !writer.add(rec))
+                    throw SimulationError(
+                        "checkpoint write failed: " +
+                        options.checkpointPath);
+                seen[rec.pointId] = rec;
+                ++newRecords;
+            }
+            switch (rec.stage) {
+              case DseStage::Invalid: ++stats.invalid; break;
+              case DseStage::Pruned: ++stats.pruned; break;
+              case DseStage::Error: ++stats.errors; break;
+              case DseStage::Simulated: {
+                ++stats.simulated;
+                DsePoint point;
+                point.id = rec.pointId;
+                point.indices = rec.indices;
+                point.cycles = rec.cycles;
+                point.energyPj = rec.energyPj;
+                point.areaMm2 = rec.areaMm2;
+                outcome.simulatedPoints.push_back(point);
+                outcome.frontier.add(std::move(point));
+                break;
+              }
+            }
+            stream->observe(rec);
+        }
+        pending.clear();
+        pendingSim = 0;
+        if (writer.isOpen() && !writer.flush())
+            throw SimulationError("checkpoint fsync failed: " +
+                                  options.checkpointPath);
+        if (stop) {
+            outcome.stoppedEarly = true;
+            return false;
+        }
+        return true;
+    };
+
+    std::set<std::string> emittedThisRun;
+    bool running = true;
+    while (running) {
+        if (pendingSim >= static_cast<size_t>(options.batchSize) ||
+            (!pending.empty() && stream->wantsFlush())) {
+            if (!flush())
+                break;
+        }
+        std::vector<int> indices;
+        if (!stream->next(indices)) {
+            running = false;
+            flush();
+            break;
+        }
+        ++stats.candidates;
+        const std::string id = spec.pointId(indices);
+
+        const auto seenIt = seen.find(id);
+        if (seenIt != seen.end()) {
+            // Replay: feed the funnel and the strategy exactly as a
+            // fresh evaluation would, without re-evaluating.
+            if (fromCheckpoint.count(id))
+                ++stats.resumed;
+            Pending p;
+            p.record = seenIt->second;
+            if (p.record.stage != DseStage::Invalid)
+                bestAnalytic = std::min(bestAnalytic,
+                                        p.record.analyticCycles);
+            pending.push_back(std::move(p));
+            continue;
+        }
+        if (!emittedThisRun.insert(id).second)
+            continue; // in-flight duplicate (evolve twins in a batch)
+
+        Pending p;
+        p.fresh = true;
+        p.record.pointId = id;
+        p.record.indices = indices;
+        const std::vector<std::string> problems =
+            spec.materialize(indices, p.cfg);
+        if (!problems.empty()) {
+            p.record.stage = DseStage::Invalid;
+            p.record.error = joinConfigErrors(problems);
+        } else {
+            const AnalyticScore score = analyticScore(p.cfg, net);
+            p.record.analyticCycles = score.cycles;
+            p.record.analyticEnergyPj = score.energyPj;
+            bestAnalytic = std::min(bestAnalytic, score.cycles);
+            if (static_cast<double>(score.cycles) >
+                options.pruneFactor *
+                    static_cast<double>(bestAnalytic)) {
+                p.record.stage = DseStage::Pruned;
+            } else {
+                p.needsSim = true;
+                ++pendingSim;
+            }
+        }
+        pending.push_back(std::move(p));
+    }
+    writer.close();
+    return outcome;
+}
+
+} // namespace scnn

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The sweep driver: strategy -> analytic funnel -> full simulation ->
+ * Pareto frontier, with resumable checkpointing.
+ *
+ * A strategy (grid, random, or a seeded evolutionary search) emits
+ * candidate points in a deterministic order.  Each candidate flows
+ * through the funnel:
+ *
+ *   1. materialize + validate()          -> stage "invalid"
+ *   2. analytic (TimeLoop) score; prune
+ *      when analytic cycles exceed
+ *      pruneFactor x best-so-far         -> stage "pruned"
+ *   3. full simulation via a
+ *      DseEvaluator (in-process or
+ *      TCP fleet), in batches            -> stage "simulated"/"error"
+ *
+ * Every candidate appends exactly one checkpoint record, in candidate
+ * order.  Resume replays the checkpoint before running: replayed
+ * points are not re-evaluated, but they feed the funnel state (the
+ * adaptive threshold), the frontier and the strategy exactly as a
+ * fresh evaluation would, so a killed-and-resumed sweep walks the
+ * identical trajectory and its checkpoint converges to the same bytes
+ * as a straight-through run.
+ *
+ * The prune threshold is intentionally one-sided (cycles only): the
+ * funnel's job is to discard configurations that are analytically far
+ * off the throughput frontier cheaply, not to decide Pareto
+ * membership -- that is the simulator's and the Pareto engine's job.
+ */
+
+#ifndef SCNN_DSE_SWEEP_HH
+#define SCNN_DSE_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/checkpoint.hh"
+#include "dse/evaluate.hh"
+#include "dse/pareto.hh"
+#include "dse/spec.hh"
+
+namespace scnn {
+
+enum class SweepStrategy
+{
+    Grid,   ///< exhaustive cartesian enumeration
+    Random, ///< seeded uniform sampling (without re-evaluation)
+    Evolve, ///< seeded mutation/crossover over axis indices
+};
+
+const char *sweepStrategyName(SweepStrategy s);
+bool sweepStrategyFromName(const std::string &name, SweepStrategy &s);
+
+struct SweepOptions
+{
+    SweepStrategy strategy = SweepStrategy::Grid;
+
+    /** Strategy seed (random/evolve); the trajectory is a pure
+     *  function of (spec, network, strategy, seed, shard). */
+    uint64_t seed = 1;
+
+    /**
+     * Candidate budget.  Grid: 0 = the whole space.  Random: number
+     * of draws (0 = min(space, 256)).  Evolve: newly *simulated or
+     * pruned* point budget (0 = 128).
+     */
+    uint64_t maxPoints = 0;
+
+    /** Analytic prune threshold multiplier (> 1).  A candidate is
+     *  pruned when its analytic cycles exceed pruneFactor x the best
+     *  analytic cycles seen so far. */
+    double pruneFactor = 1.25;
+
+    /** Enumeration split for multi-process sweeps: this process
+     *  handles candidates with sequence % shardCount == shardIndex.
+     *  Rejected for Evolve (its trajectory is not splittable). */
+    int shardIndex = 0;
+    int shardCount = 1;
+
+    /** Checkpoint file; empty = no checkpointing (and no resume). */
+    std::string checkpointPath;
+
+    /** Survivors simulated per evaluator batch. */
+    int batchSize = 16;
+
+    /** Stop (leaving the checkpoint resumable) after this many new
+     *  records; 0 = run to completion.  The kill+resume tests use
+     *  this to emulate a crash at a deterministic spot. */
+    uint64_t stopAfter = 0;
+};
+
+/** Funnel accounting over one run (resumed points included). */
+struct FunnelStats
+{
+    uint64_t candidates = 0; ///< points the strategy emitted
+    uint64_t resumed = 0;    ///< replayed from the checkpoint
+    uint64_t invalid = 0;
+    uint64_t pruned = 0;
+    uint64_t simulated = 0;
+    uint64_t errors = 0;
+    double evalSeconds = 0.0; ///< wall time in DseEvaluator::evaluate
+};
+
+struct SweepOutcome
+{
+    bool stoppedEarly = false; ///< stopAfter hit; checkpoint resumable
+    FunnelStats stats;
+
+    /** Every fully simulated point (replayed + fresh), with
+     *  objectives, in funnel order. */
+    std::vector<DsePoint> simulatedPoints;
+
+    /** The non-dominated set over simulatedPoints. */
+    ParetoFront frontier;
+};
+
+/**
+ * Run a sweep.  Throws SimulationError on environment failures (an
+ * unreadable checkpoint, a lost shard connection, an unwritable
+ * checkpoint file); per-point simulation failures become stage
+ * "error" records and the sweep continues.
+ */
+SweepOutcome runSweep(const SweepSpec &spec, const Network &net,
+                      DseEvaluator &evaluator,
+                      const SweepOptions &options);
+
+} // namespace scnn
+
+#endif // SCNN_DSE_SWEEP_HH

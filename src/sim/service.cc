@@ -209,8 +209,32 @@ shardForRequest(const SimulationRequest &request, int nShards)
 {
     SCNN_ASSERT(nShards > 0, "shardForRequest with %d shards",
                 nShards);
-    return static_cast<int>(hashLabel(workloadCacheKey(request)) %
-                            static_cast<uint64_t>(nShards));
+    std::string key = workloadCacheKey(request);
+    // Config-override requests (the DSE sweep traffic) fold the
+    // override into the routing key: they bypass the response cache
+    // anyway, and routing purely by workload signature would pin an
+    // entire single-network sweep to one shard while the rest of the
+    // fleet idles.  The workload cache still converges -- each shard
+    // synthesizes the network's tensors once.  Requests without
+    // overrides keep the exact PR 6 placement.
+    bool overridden = false;
+    for (const auto &spec : request.backends) {
+        if (spec.config) {
+            key += "|cfg=" + configSignature(*spec.config);
+            overridden = true;
+        }
+    }
+    uint64_t h = hashLabel(key);
+    if (overridden) {
+        // FNV-1a's low bits avalanche poorly over near-identical
+        // strings, and `% nShards` keeps only the low bits; finalize
+        // so a sweep's traffic spreads across the fleet.
+        h += 0x9E3779B97F4A7C15ull;
+        h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+        h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+        h ^= h >> 31;
+    }
+    return static_cast<int>(h % static_cast<uint64_t>(nShards));
 }
 
 const char *
@@ -351,6 +375,7 @@ SimulationService::submitImpl(SimulationRequest request,
     } else if (!stop_ &&
                queue_.size() >=
                    static_cast<size_t>(cfg_.queueCapacity)) {
+        ++shed_;
         return std::nullopt;
     }
     const uint64_t index = nextIndex_++;
@@ -638,6 +663,7 @@ SimulationService::stats() const
         s.errors = errors_;
         s.cancelled = cancelled_;
         s.deadlineExpired = deadlineExpired_;
+        s.shed = shed_;
         s.queueDepth = static_cast<int>(queue_.size());
         s.inflight = inflight_;
         s.maxQueueDepth = maxQueueDepth_;
@@ -679,6 +705,24 @@ SimulationService::statsJson() const
     w.key("errors").value(s.errors);
     w.key("cancelled").value(s.cancelled);
     w.key("deadline_expired").value(s.deadlineExpired);
+    w.key("shed").value(s.shed);
+    // Monotonic per-outcome counters under one roof: what a DSE
+    // driver's funnel accounting cross-checks against (the flat keys
+    // above stay for the dashboards that already scrape them).
+    w.key("requests_total").beginObject();
+    w.key("submitted").value(s.submitted);
+    w.key("ok").value(s.completedOk);
+    w.key("error").value(s.errors);
+    w.key("cancelled").value(s.cancelled);
+    w.key("deadline_expired").value(s.deadlineExpired);
+    w.key("shed").value(s.shed);
+    w.endObject();
+    if (cfg_.shardCount > 0) {
+        w.key("shard").beginObject();
+        w.key("index").value(cfg_.shardIndex);
+        w.key("count").value(cfg_.shardCount);
+        w.endObject();
+    }
     w.key("queue_depth").value(s.queueDepth);
     w.key("inflight").value(s.inflight);
     w.key("max_queue_depth").value(s.maxQueueDepth);
@@ -765,6 +809,64 @@ asBoundedInt(const JsonValue &v, const char *field, int64_t lo,
     return true;
 }
 
+/**
+ * A backend spec's "config" override: a base architecture plus named
+ * integer fields (the configFieldNames() vocabulary).  Validation of
+ * the *values* is deferred to the registry, which reports a
+ * structured per-backend failure -- the protocol's contract for
+ * semantic problems; this parser only rejects structural ones
+ * (unknown keys, wrong types).
+ */
+bool
+parseConfigOverride(const JsonValue &v, AcceleratorConfig &cfg,
+                    std::string &error)
+{
+    if (!v.isObject()) {
+        error = std::string("'config' must be an object, got ") +
+                JsonValue::kindName(v.kind);
+        return false;
+    }
+    cfg = scnnConfig();
+    // Resolve "base" first regardless of key order: the base decides
+    // which defaults the field overrides land on.
+    for (const auto &kv : v.object) {
+        if (kv.first != "base")
+            continue;
+        const JsonValue &val = kv.second;
+        if (!val.isString()) {
+            error = "config 'base' must be a string";
+            return false;
+        }
+        if (val.string == "scnn") cfg = scnnConfig();
+        else if (val.string == "dcnn") cfg = dcnnConfig();
+        else if (val.string == "dcnn-opt") cfg = dcnnOptConfig();
+        else {
+            error = "unknown config base '" + val.string +
+                    "' (want scnn|dcnn|dcnn-opt)";
+            return false;
+        }
+    }
+    for (const auto &kv : v.object) {
+        const std::string &key = kv.first;
+        const JsonValue &val = kv.second;
+        if (key == "base")
+            continue;
+        int64_t value = 0;
+        if (val.isBool()) {
+            value = val.boolean ? 1 : 0;
+        } else if (!asBoundedInt(val, key.c_str(), 0, int64_t(1) << 40,
+                                 value, error)) {
+            return false;
+        }
+        if (!setConfigField(cfg, key, value)) {
+            error = "unknown config field '" + key + "'";
+            return false;
+        }
+    }
+    cfg.name = "override";
+    return true;
+}
+
 bool
 parseBackendSpec(const JsonValue &v, BackendSpec &spec,
                  std::string &error)
@@ -793,6 +895,11 @@ parseBackendSpec(const JsonValue &v, BackendSpec &spec,
             }
             (key == "backend" ? spec.backend : spec.label) =
                 val.string;
+        } else if (key == "config") {
+            AcceleratorConfig cfg;
+            if (!parseConfigOverride(val, cfg, error))
+                return false;
+            spec.config = std::move(cfg);
         } else if (key == "functional") {
             if (val.isBool()) {
                 spec.functional = val.boolean ? 1 : 0;

@@ -102,6 +102,15 @@ struct ServiceConfig
      * without one.  0 = no deadline.
      */
     double defaultDeadlineMs = 0.0;
+
+    /**
+     * Shard identity in a multi-process fleet (scnn_serve --shard /
+     * SCNN_SHARD=i/N): echoed in statsJson() so a DSE driver can
+     * cross-check its routing against server-side counters.
+     * shardCount 0 = not part of a fleet (no "shard" stats block).
+     */
+    int shardIndex = 0;
+    int shardCount = 0;
 };
 
 /** Terminal state of a serviced request. */
@@ -186,6 +195,7 @@ struct ServiceStats
     uint64_t errors = 0;
     uint64_t cancelled = 0;
     uint64_t deadlineExpired = 0;
+    uint64_t shed = 0; ///< trySubmit() refusals (queue saturated)
 
     int queueDepth = 0;    ///< currently queued (not in flight)
     int inflight = 0;      ///< sessions running right now
@@ -269,7 +279,7 @@ class SimulationService
     int inflight_ = 0;
     int maxQueueDepth_ = 0;
     uint64_t completedOk_ = 0, errors_ = 0, cancelled_ = 0,
-             deadlineExpired_ = 0;
+             deadlineExpired_ = 0, shed_ = 0;
 
     /** Latency sample window (ring, kLatencyWindow entries). */
     std::vector<double> latencyMs_, queuedMs_;

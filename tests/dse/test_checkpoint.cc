@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit suite for the append-only sweep checkpoint
+ * (scnn.dse_checkpoint.v1): serialize/parse round trips with the
+ * fixed key order, the torn-tail tolerance contract (exactly one
+ * trailing partial/corrupt line is dropped and reported, earlier
+ * corruption is a hard error), writer append semantics, and the
+ * missing-file-is-fresh-sweep case.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "dse/checkpoint.hh"
+
+namespace scnn {
+namespace {
+
+std::string
+uniquePath(const char *stem)
+{
+    static std::atomic<int> counter{0};
+    return testing::TempDir() + stem + "_" +
+           std::to_string(getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
+}
+
+CheckpointRecord
+simulatedRecord(const std::string &id)
+{
+    CheckpointRecord rec;
+    rec.pointId = id;
+    rec.indices = {1, 0, 2};
+    rec.stage = DseStage::Simulated;
+    rec.analyticCycles = 1234;
+    rec.analyticEnergyPj = 5.5;
+    rec.cycles = 1500;
+    rec.energyPj = 6.25;
+    rec.areaMm2 = 7.875;
+    return rec;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+}
+
+TEST(Checkpoint, EveryStageRoundTrips)
+{
+    CheckpointRecord inv;
+    inv.pointId = "pe_rows=0";
+    inv.indices = {0};
+    inv.stage = DseStage::Invalid;
+    inv.error = "config pe_rows=0: empty PE array (0x8)";
+
+    CheckpointRecord pruned;
+    pruned.pointId = "pe_rows=2";
+    pruned.indices = {1};
+    pruned.stage = DseStage::Pruned;
+    pruned.analyticCycles = 999;
+    pruned.analyticEnergyPj = 0.5;
+
+    CheckpointRecord err = simulatedRecord("pe_rows=4");
+    err.stage = DseStage::Error;
+    err.error = "backend exploded";
+    // Objectives are serialized for simulated records only, so a
+    // round-trippable error record must not carry them.
+    err.cycles = 0;
+    err.energyPj = 0.0;
+    err.areaMm2 = 0.0;
+
+    for (const CheckpointRecord &rec :
+         {inv, pruned, simulatedRecord("pe_rows=8"), err}) {
+        const std::string line = serializeCheckpointRecord(rec);
+        EXPECT_EQ(line.find('\n'), std::string::npos);
+        CheckpointRecord back;
+        std::string error;
+        ASSERT_TRUE(parseCheckpointRecord(line, back, error))
+            << line << ": " << error;
+        EXPECT_EQ(back.pointId, rec.pointId);
+        EXPECT_EQ(back.indices, rec.indices);
+        EXPECT_EQ(back.stage, rec.stage);
+        EXPECT_EQ(back.analyticCycles, rec.analyticCycles);
+        EXPECT_EQ(back.analyticEnergyPj, rec.analyticEnergyPj);
+        EXPECT_EQ(back.cycles, rec.cycles);
+        EXPECT_EQ(back.energyPj, rec.energyPj);
+        EXPECT_EQ(back.areaMm2, rec.areaMm2);
+        EXPECT_EQ(back.error, rec.error);
+        // Byte-stable: re-serializing reproduces the line exactly.
+        EXPECT_EQ(serializeCheckpointRecord(back), line);
+    }
+}
+
+TEST(Checkpoint, ObjectiveDoublesSurviveTheRoundTripBitExactly)
+{
+    CheckpointRecord rec = simulatedRecord("p");
+    rec.energyPj = 1.0 / 3.0;
+    rec.areaMm2 = 0.1 + 0.2; // not representable; tests %.17g
+    CheckpointRecord back;
+    std::string error;
+    ASSERT_TRUE(parseCheckpointRecord(serializeCheckpointRecord(rec),
+                                      back, error))
+        << error;
+    EXPECT_EQ(back.energyPj, rec.energyPj);
+    EXPECT_EQ(back.areaMm2, rec.areaMm2);
+}
+
+TEST(Checkpoint, ParseRejectsGarbageStructurally)
+{
+    CheckpointRecord rec;
+    std::string error;
+    for (const char *line :
+         {"", "{", "[]", "{}",
+          R"({"schema":"scnn.dse_checkpoint.v2","point":"p","indices":[0],"stage":"pruned"})",
+          R"({"schema":"scnn.dse_checkpoint.v1","indices":[0],"stage":"pruned"})",
+          R"({"schema":"scnn.dse_checkpoint.v1","point":"p","indices":[0],"stage":"later"})",
+          R"({"schema":"scnn.dse_checkpoint.v1","point":"p","indices":[0],"stage":"simulated"})",
+          R"({"schema":"scnn.dse_checkpoint.v1","point":"p","indices":[0],"stage":"pruned","analytic_cycles":1,"analytic_energy_pj":1.0,"frob":1})"}) {
+        EXPECT_FALSE(parseCheckpointRecord(line, rec, error)) << line;
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(Checkpoint, MissingFileIsAFreshSweep)
+{
+    std::vector<CheckpointRecord> records;
+    bool droppedTail = true;
+    std::string error;
+    ASSERT_TRUE(loadCheckpoint(uniquePath("chk_missing"), records,
+                               droppedTail, error))
+        << error;
+    EXPECT_TRUE(records.empty());
+    EXPECT_FALSE(droppedTail);
+}
+
+TEST(Checkpoint, WriterAppendsAndLoaderReplays)
+{
+    const std::string path = uniquePath("chk_rw");
+    {
+        CheckpointWriter writer;
+        std::string error;
+        ASSERT_TRUE(writer.open(path, error)) << error;
+        for (int i = 0; i < 5; ++i)
+            ASSERT_TRUE(
+                writer.add(simulatedRecord("p" + std::to_string(i))));
+        writer.close();
+    }
+    // A second writer appends (resume semantics), never truncates.
+    {
+        CheckpointWriter writer;
+        std::string error;
+        ASSERT_TRUE(writer.open(path, error)) << error;
+        ASSERT_TRUE(writer.add(simulatedRecord("p5")));
+    }
+    std::vector<CheckpointRecord> records;
+    bool droppedTail = true;
+    std::string error;
+    ASSERT_TRUE(loadCheckpoint(path, records, droppedTail, error))
+        << error;
+    EXPECT_FALSE(droppedTail);
+    ASSERT_EQ(records.size(), 6u);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(records[i].pointId, "p" + std::to_string(i));
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TornFinalLineIsDroppedAndReported)
+{
+    const std::string good =
+        serializeCheckpointRecord(simulatedRecord("good"));
+
+    // Torn mid-record: the crash cut the final write short.
+    const std::string pathTorn = uniquePath("chk_torn");
+    writeFile(pathTorn, good + "\n" +
+                            good.substr(0, good.size() / 2));
+    std::vector<CheckpointRecord> records;
+    bool droppedTail = false;
+    std::string error;
+    ASSERT_TRUE(
+        loadCheckpoint(pathTorn, records, droppedTail, error))
+        << error;
+    EXPECT_TRUE(droppedTail);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records.front().pointId, "good");
+
+    // A complete final record with no trailing newline is also
+    // treated as torn (the newline is the commit marker).
+    const std::string pathNoNl = uniquePath("chk_nonl");
+    writeFile(pathNoNl, good + "\n" + good);
+    records.clear();
+    droppedTail = false;
+    ASSERT_TRUE(
+        loadCheckpoint(pathNoNl, records, droppedTail, error))
+        << error;
+    EXPECT_TRUE(droppedTail);
+    EXPECT_EQ(records.size(), 1u);
+
+    std::remove(pathTorn.c_str());
+    std::remove(pathNoNl.c_str());
+}
+
+TEST(Checkpoint, EarlierCorruptionIsAHardError)
+{
+    const std::string good =
+        serializeCheckpointRecord(simulatedRecord("good"));
+    const std::string path = uniquePath("chk_corrupt");
+    writeFile(path, "{\"half\":\n" + good + "\n");
+    std::vector<CheckpointRecord> records;
+    bool droppedTail = false;
+    std::string error;
+    EXPECT_FALSE(
+        loadCheckpoint(path, records, droppedTail, error));
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeAfterTornTailConvergesToTheSameBytes)
+{
+    // The workflow the sweep driver relies on: a reference file of
+    // records 0..4; a crashed twin holding 0..2 plus a torn copy of
+    // record 3.  Resuming (append the records the loader did not
+    // return) must converge to the reference bytes, with the torn
+    // fragment neutralized first.
+    std::vector<CheckpointRecord> all;
+    for (int i = 0; i < 5; ++i)
+        all.push_back(simulatedRecord("p" + std::to_string(i)));
+
+    const std::string refPath = uniquePath("chk_ref");
+    {
+        CheckpointWriter w;
+        std::string error;
+        ASSERT_TRUE(w.open(refPath, error)) << error;
+        for (const auto &rec : all)
+            ASSERT_TRUE(w.add(rec));
+    }
+
+    const std::string crashPath = uniquePath("chk_crash");
+    {
+        std::string bytes;
+        for (int i = 0; i < 3; ++i)
+            bytes += serializeCheckpointRecord(all[i]) + "\n";
+        const std::string torn = serializeCheckpointRecord(all[3]);
+        bytes += torn.substr(0, torn.size() - 7);
+        writeFile(crashPath, bytes);
+    }
+
+    std::vector<CheckpointRecord> replay;
+    bool droppedTail = false;
+    std::string error;
+    ASSERT_TRUE(
+        loadCheckpoint(crashPath, replay, droppedTail, error))
+        << error;
+    ASSERT_TRUE(droppedTail);
+    ASSERT_EQ(replay.size(), 3u);
+
+    // Truncate the torn fragment the way the sweep writer's open()
+    // path is expected to be used after a detected tail drop: rewrite
+    // the surviving records, then append the remainder.
+    {
+        std::string bytes;
+        for (const auto &rec : replay)
+            bytes += serializeCheckpointRecord(rec) + "\n";
+        writeFile(crashPath, bytes);
+        CheckpointWriter w;
+        ASSERT_TRUE(w.open(crashPath, error)) << error;
+        for (size_t i = replay.size(); i < all.size(); ++i)
+            ASSERT_TRUE(w.add(all[i]));
+    }
+
+    std::ifstream a(refPath, std::ios::binary);
+    std::ifstream b(crashPath, std::ios::binary);
+    std::string refBytes((std::istreambuf_iterator<char>(a)),
+                         std::istreambuf_iterator<char>());
+    std::string crashBytes((std::istreambuf_iterator<char>(b)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_EQ(refBytes, crashBytes);
+    std::remove(refPath.c_str());
+    std::remove(crashPath.c_str());
+}
+
+} // namespace
+} // namespace scnn

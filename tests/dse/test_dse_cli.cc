@@ -1,0 +1,367 @@
+/**
+ * @file
+ * End-to-end suite for the scnn_dse CLI (SCNN_DSE_BIN, injected by
+ * CMake): real process spawns over a real sweep of real simulations.
+ *
+ *  - a grid sweep emits a well-formed scnn.dse_report.v1 whose funnel
+ *    accounts for every candidate and whose frontier is non-empty;
+ *  - --stop-after exits 3 leaving a resumable checkpoint, and the
+ *    resumed run converges to the straight-through run's checkpoint
+ *    bytes and frontier;
+ *  - the same sweep against a live 2-shard scnn_serve fleet
+ *    (--connect) produces a bit-identical frontier, and the shards'
+ *    metrics files carry requests_total plus their shard identity;
+ *  - usage errors exit 2, runtime failures exit 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace scnn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+uniquePath(const char *stem)
+{
+    static std::atomic<int> counter{0};
+    return testing::TempDir() + stem + "_" +
+           std::to_string(getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+pid_t
+spawn(const std::vector<std::string> &args,
+      const std::string &stderrPath)
+{
+    std::vector<char *> argv;
+    for (const auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid != 0)
+        return pid;
+    const int devnull = open("/dev/null", O_RDWR);
+    dup2(devnull, STDIN_FILENO);
+    dup2(devnull, STDOUT_FILENO);
+    const int errFd = open(stderrPath.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (errFd >= 0)
+        dup2(errFd, STDERR_FILENO);
+    execv(argv[0], argv.data());
+    _exit(127);
+}
+
+int
+waitForExit(pid_t pid, double timeoutSec = 120.0)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::duration<double>(timeoutSec);
+    int status = 0;
+    for (;;) {
+        const pid_t r = waitpid(pid, &status, WNOHANG);
+        if (r == pid)
+            break;
+        if (Clock::now() > deadline) {
+            kill(pid, SIGKILL);
+            waitpid(pid, &status, 0);
+            ADD_FAILURE() << "process did not exit in " << timeoutSec
+                          << "s; killed";
+            return -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+/** Run scnn_dse to completion; returns the exit status. */
+int
+runDse(const std::vector<std::string> &extraArgs,
+       std::string *errOut = nullptr)
+{
+    const std::string errPath = uniquePath("dse_err");
+    std::vector<std::string> args = {SCNN_DSE_BIN};
+    args.insert(args.end(), extraArgs.begin(), extraArgs.end());
+    const int status = waitForExit(spawn(args, errPath));
+    if (errOut)
+        *errOut = slurp(errPath);
+    return status;
+}
+
+/** A 12-point spec over the PE array; sweeps finish in seconds. */
+std::string
+writeSpec()
+{
+    const std::string path = uniquePath("dse_spec");
+    std::ofstream out(path);
+    out << R"({"schema": "scnn.dse_spec.v1", "name": "cli-test",
+               "axes": [
+                 {"field": "pe_rows", "values": [2, 4, 8]},
+                 {"field": "mul_i", "values": [1, 2]},
+                 {"field": "accum_banks", "values": [16, 32]}]})";
+    return path;
+}
+
+JsonValue
+loadReport(const std::string &path)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(slurp(path), v, error)) << error;
+    return v;
+}
+
+uint64_t
+funnelField(const JsonValue &report, const char *field)
+{
+    const JsonValue *funnel = report.find("funnel");
+    EXPECT_NE(funnel, nullptr);
+    const JsonValue *v = funnel->find(field);
+    EXPECT_NE(v, nullptr) << field;
+    return v ? v->uint64 : 0;
+}
+
+TEST(DseCli, GridSweepEmitsAWellFormedReport)
+{
+    const std::string spec = writeSpec();
+    const std::string reportPath = uniquePath("dse_report");
+    std::string err;
+    ASSERT_EQ(runDse({"--spec=" + spec, "--network=tiny",
+                      "--strategy=grid", "--quiet",
+                      "--json=" + reportPath},
+                     &err),
+              0)
+        << err;
+
+    const JsonValue report = loadReport(reportPath);
+    ASSERT_TRUE(report.isObject());
+    EXPECT_EQ(report.find("schema")->string, "scnn.dse_report.v1");
+    EXPECT_EQ(report.find("spec")->string, "cli-test");
+    EXPECT_EQ(report.find("network")->string, "tiny");
+    EXPECT_EQ(report.find("strategy")->string, "grid");
+    EXPECT_NE(report.find("transport")->string.find("in-process"),
+              std::string::npos);
+    EXPECT_FALSE(report.find("stopped_early")->boolean);
+
+    EXPECT_EQ(funnelField(report, "candidates"), 12u);
+    EXPECT_EQ(funnelField(report, "invalid") +
+                  funnelField(report, "pruned") +
+                  funnelField(report, "simulated") +
+                  funnelField(report, "errors"),
+              12u);
+    EXPECT_EQ(funnelField(report, "errors"), 0u);
+    EXPECT_GT(funnelField(report, "simulated"), 0u);
+
+    const JsonValue *frontier = report.find("frontier");
+    ASSERT_TRUE(frontier && frontier->isArray());
+    EXPECT_FALSE(frontier->array.empty());
+    EXPECT_EQ(report.find("frontier_size")->uint64,
+              frontier->array.size());
+    for (const JsonValue &p : frontier->array) {
+        EXPECT_TRUE(p.find("point")->isString());
+        EXPECT_TRUE(p.find("cycles")->isUnsigned);
+        EXPECT_GT(p.find("cycles")->uint64, 0u);
+        EXPECT_GT(p.find("energy_pj")->number, 0.0);
+        EXPECT_GT(p.find("area_mm2")->number, 0.0);
+    }
+    const JsonValue *fronts = report.find("fronts");
+    ASSERT_TRUE(fronts && fronts->isArray());
+    ASSERT_FALSE(fronts->array.empty());
+    // Rank 1 is the frontier.
+    EXPECT_EQ(fronts->array.front().array.size(),
+              frontier->array.size());
+}
+
+TEST(DseCli, StopAfterLeavesAResumableCheckpoint)
+{
+    const std::string spec = writeSpec();
+    const std::string refCkpt = uniquePath("dse_ref");
+    const std::string refReport = uniquePath("dse_refrep");
+    const std::string resCkpt = uniquePath("dse_res");
+    const std::string resReport = uniquePath("dse_resrep");
+    std::string err;
+
+    ASSERT_EQ(runDse({"--spec=" + spec, "--network=tiny", "--quiet",
+                      "--checkpoint=" + refCkpt,
+                      "--json=" + refReport},
+                     &err),
+              0)
+        << err;
+    // Kill after 4 records: exit 3 says "resumable".
+    ASSERT_EQ(runDse({"--spec=" + spec, "--network=tiny", "--quiet",
+                      "--checkpoint=" + resCkpt, "--stop-after=4"},
+                     &err),
+              3)
+        << err;
+    ASSERT_EQ(runDse({"--spec=" + spec, "--network=tiny", "--quiet",
+                      "--checkpoint=" + resCkpt,
+                      "--json=" + resReport},
+                     &err),
+              0)
+        << err;
+
+    EXPECT_EQ(slurp(refCkpt), slurp(resCkpt));
+    const JsonValue ref = loadReport(refReport);
+    const JsonValue res = loadReport(resReport);
+    EXPECT_GT(funnelField(res, "resumed"), 0u);
+    // Identical frontier, independently serialized.
+    EXPECT_EQ(ref.find("frontier_size")->uint64,
+              res.find("frontier_size")->uint64);
+    const auto &fa = ref.find("frontier")->array;
+    const auto &fb = res.find("frontier")->array;
+    ASSERT_EQ(fa.size(), fb.size());
+    for (size_t i = 0; i < fa.size(); ++i) {
+        EXPECT_EQ(fa[i].find("point")->string,
+                  fb[i].find("point")->string);
+        EXPECT_EQ(fa[i].find("cycles")->uint64,
+                  fb[i].find("cycles")->uint64);
+        EXPECT_EQ(fa[i].find("energy_pj")->number,
+                  fb[i].find("energy_pj")->number);
+    }
+}
+
+TEST(DseCli, TwoShardFleetMatchesInProcessBitForBit)
+{
+    const std::string spec = writeSpec();
+
+    // Start a 2-shard fleet on ephemeral ports.
+    struct Shard
+    {
+        pid_t pid;
+        int port;
+        std::string metricsPath;
+    };
+    std::vector<Shard> shards;
+    for (int i = 0; i < 2; ++i) {
+        const std::string portFile = uniquePath("dse_port");
+        const std::string errPath = uniquePath("dse_serve_err");
+        Shard s;
+        s.metricsPath = uniquePath("dse_metrics");
+        s.pid = spawn({SCNN_SERVE_BIN, "--listen=127.0.0.1:0",
+                       "--port-file=" + portFile,
+                       "--shard=" + std::to_string(i) + "/2",
+                       "--metrics=" + s.metricsPath},
+                      errPath);
+        const auto deadline = Clock::now() + std::chrono::seconds(30);
+        s.port = 0;
+        while (Clock::now() < deadline) {
+            const std::string text = slurp(portFile);
+            if (!text.empty()) {
+                s.port = std::atoi(text.c_str());
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        ASSERT_GT(s.port, 0) << slurp(errPath);
+        shards.push_back(s);
+    }
+
+    const std::string localReport = uniquePath("dse_local");
+    const std::string remoteReport = uniquePath("dse_remote");
+    std::string err;
+    ASSERT_EQ(runDse({"--spec=" + spec, "--network=tiny", "--quiet",
+                      "--json=" + localReport},
+                     &err),
+              0)
+        << err;
+    ASSERT_EQ(
+        runDse({"--spec=" + spec, "--network=tiny", "--quiet",
+                "--connect=127.0.0.1:" +
+                    std::to_string(shards[0].port) + ",127.0.0.1:" +
+                    std::to_string(shards[1].port),
+                "--json=" + remoteReport},
+               &err),
+        0)
+        << err;
+
+    for (Shard &s : shards) {
+        kill(s.pid, SIGTERM);
+        EXPECT_EQ(waitForExit(s.pid), 0);
+    }
+
+    const JsonValue local = loadReport(localReport);
+    const JsonValue remote = loadReport(remoteReport);
+    EXPECT_NE(remote.find("transport")->string.find("remote"),
+              std::string::npos);
+    const auto &fl = local.find("frontier")->array;
+    const auto &fr = remote.find("frontier")->array;
+    ASSERT_EQ(fl.size(), fr.size());
+    ASSERT_FALSE(fl.empty());
+    for (size_t i = 0; i < fl.size(); ++i) {
+        EXPECT_EQ(fl[i].find("point")->string,
+                  fr[i].find("point")->string);
+        EXPECT_EQ(fl[i].find("cycles")->uint64,
+                  fr[i].find("cycles")->uint64);
+        // Bit-exact: %.17g round trip, no tolerance.
+        EXPECT_EQ(fl[i].find("energy_pj")->number,
+                  fr[i].find("energy_pj")->number);
+    }
+
+    // Both shards carried traffic and report their identity.
+    uint64_t totalOk = 0;
+    for (const Shard &s : shards) {
+        JsonValue m;
+        std::string perror;
+        ASSERT_TRUE(parseJson(slurp(s.metricsPath), m, perror))
+            << perror;
+        const JsonValue *totals = m.find("requests_total");
+        ASSERT_NE(totals, nullptr);
+        totalOk += totals->find("ok")->uint64;
+        const JsonValue *shard = m.find("shard");
+        ASSERT_NE(shard, nullptr);
+        EXPECT_EQ(shard->find("count")->uint64, 2u);
+    }
+    EXPECT_EQ(totalOk, funnelField(remote, "simulated"));
+}
+
+TEST(DseCli, UsageAndRuntimeErrorsUseDistinctExitCodes)
+{
+    std::string err;
+    EXPECT_EQ(runDse({}, &err), 2); // --spec required
+    EXPECT_NE(err.find("usage"), std::string::npos);
+    EXPECT_EQ(runDse({"--spec=x", "--frobnicate"}, &err), 2);
+    // Unreadable spec / unknown network are runtime failures.
+    EXPECT_EQ(runDse({"--spec=/nonexistent.json"}, &err), 1);
+    const std::string spec = writeSpec();
+    EXPECT_EQ(runDse({"--spec=" + spec, "--network=resnet50"}, &err),
+              1);
+    EXPECT_NE(err.find("network"), std::string::npos);
+    // Evolve cannot be sharded.
+    EXPECT_EQ(runDse({"--spec=" + spec, "--strategy=evolve",
+                      "--shard=0/2"},
+                     &err),
+              1);
+    // A dead endpoint is a connect failure.
+    EXPECT_EQ(runDse({"--spec=" + spec, "--network=tiny",
+                      "--connect=127.0.0.1:1"},
+                     &err),
+              1);
+}
+
+} // namespace
+} // namespace scnn

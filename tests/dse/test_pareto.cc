@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit suite for the streaming Pareto engine (src/dse/pareto):
+ * dominance semantics over (cycles, energy, area), duplicate and
+ * full-tie handling, degenerate single/empty sets, rank-k front
+ * peeling, and a randomized cross-check of the streaming front
+ * against a brute-force O(n^2) reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.hh"
+#include "dse/pareto.hh"
+
+namespace scnn {
+namespace {
+
+DsePoint
+point(const std::string &id, uint64_t cycles, double energy,
+      double area)
+{
+    DsePoint p;
+    p.id = id;
+    p.cycles = cycles;
+    p.energyPj = energy;
+    p.areaMm2 = area;
+    return p;
+}
+
+std::set<std::string>
+ids(const std::vector<DsePoint> &points)
+{
+    std::set<std::string> out;
+    for (const DsePoint &p : points)
+        out.insert(p.id);
+    return out;
+}
+
+TEST(Pareto, DominanceRequiresStrictImprovementSomewhere)
+{
+    const DsePoint a = point("a", 10, 5.0, 2.0);
+    const DsePoint better = point("b", 9, 5.0, 2.0);
+    const DsePoint equal = point("c", 10, 5.0, 2.0);
+    const DsePoint mixed = point("d", 9, 6.0, 2.0);
+
+    EXPECT_TRUE(dominates(better, a));
+    EXPECT_FALSE(dominates(a, better));
+    // Full tie: neither dominates.
+    EXPECT_FALSE(dominates(equal, a));
+    EXPECT_FALSE(dominates(a, equal));
+    // Better on one axis, worse on another: incomparable.
+    EXPECT_FALSE(dominates(mixed, a));
+    EXPECT_FALSE(dominates(a, mixed));
+}
+
+TEST(Pareto, EmptyAndSingletonFronts)
+{
+    ParetoFront front;
+    EXPECT_TRUE(front.empty());
+    EXPECT_EQ(front.size(), 0u);
+    EXPECT_TRUE(front.sorted().empty());
+
+    EXPECT_TRUE(front.add(point("only", 5, 1.0, 1.0)));
+    EXPECT_EQ(front.size(), 1u);
+    EXPECT_EQ(front.sorted().front().id, "only");
+}
+
+TEST(Pareto, DominatedInsertIsRejectedAndDominatorEvicts)
+{
+    ParetoFront front;
+    EXPECT_TRUE(front.add(point("mid", 10, 10.0, 10.0)));
+    // Strictly worse: rejected, front unchanged.
+    EXPECT_FALSE(front.add(point("worse", 11, 11.0, 11.0)));
+    EXPECT_EQ(front.size(), 1u);
+    // Strictly better: accepted and evicts the dominated member.
+    EXPECT_TRUE(front.add(point("best", 9, 9.0, 9.0)));
+    EXPECT_EQ(front.size(), 1u);
+    EXPECT_EQ(front.sorted().front().id, "best");
+}
+
+TEST(Pareto, OneInsertCanEvictManyMembers)
+{
+    ParetoFront front;
+    // Mutually incomparable: each trades cycles against energy.
+    EXPECT_TRUE(front.add(point("a", 10, 30.0, 1.0)));
+    EXPECT_TRUE(front.add(point("b", 20, 20.0, 1.0)));
+    EXPECT_TRUE(front.add(point("c", 30, 10.0, 1.0)));
+    EXPECT_EQ(front.size(), 3u);
+    // Dominates all three at once.
+    EXPECT_TRUE(front.add(point("d", 10, 10.0, 1.0)));
+    EXPECT_EQ(front.size(), 1u);
+    EXPECT_EQ(front.sorted().front().id, "d");
+}
+
+TEST(Pareto, FullObjectiveTiesCoexist)
+{
+    ParetoFront front;
+    EXPECT_TRUE(front.add(point("t1", 10, 5.0, 2.0)));
+    // The same objectives under a different id: kept (neither
+    // dominates), so equivalent designs all surface.
+    EXPECT_TRUE(front.add(point("t2", 10, 5.0, 2.0)));
+    EXPECT_EQ(front.size(), 2u);
+}
+
+TEST(Pareto, DuplicateIdsAreDroppedKeepingTheFirst)
+{
+    ParetoFront front;
+    EXPECT_TRUE(front.add(point("dup", 10, 5.0, 2.0)));
+    // A re-submitted id is ignored even when its objectives would
+    // win -- one checkpoint record per point is the invariant and
+    // replays must not double-insert.
+    EXPECT_FALSE(front.add(point("dup", 1, 1.0, 1.0)));
+    EXPECT_EQ(front.size(), 1u);
+    EXPECT_EQ(front.sorted().front().cycles, 10u);
+}
+
+TEST(Pareto, SortedOrderIsCyclesEnergyAreaId)
+{
+    ParetoFront front;
+    front.add(point("b", 10, 5.0, 2.0));
+    front.add(point("a", 10, 5.0, 2.0));
+    front.add(point("c", 5, 9.0, 2.0));
+    const std::vector<DsePoint> sorted = front.sorted();
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_EQ(sorted[0].id, "c");
+    EXPECT_EQ(sorted[1].id, "a");
+    EXPECT_EQ(sorted[2].id, "b");
+}
+
+TEST(Pareto, RankTwoFrontsPeelCorrectly)
+{
+    // Rank 1: {a, b} (incomparable); rank 2: {c, d}; rank 3: {e}.
+    const std::vector<DsePoint> pts = {
+        point("a", 1, 10.0, 1.0), point("b", 10, 1.0, 1.0),
+        point("c", 2, 11.0, 1.0), point("d", 11, 2.0, 1.0),
+        point("e", 12, 12.0, 2.0),
+    };
+    const auto fronts = paretoFronts(pts, 2);
+    ASSERT_EQ(fronts.size(), 2u);
+    EXPECT_EQ(ids(fronts[0]), (std::set<std::string>{"a", "b"}));
+    EXPECT_EQ(ids(fronts[1]), (std::set<std::string>{"c", "d"}));
+
+    const auto all = paretoFronts(pts, 10);
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(ids(all[2]), (std::set<std::string>{"e"}));
+}
+
+TEST(Pareto, RankFrontsDedupeIds)
+{
+    const std::vector<DsePoint> pts = {
+        point("a", 1, 10.0, 1.0),
+        point("a", 9, 9.0, 9.0), // replayed duplicate
+        point("b", 10, 1.0, 1.0),
+    };
+    const auto fronts = paretoFronts(pts, 10);
+    ASSERT_EQ(fronts.size(), 1u);
+    EXPECT_EQ(ids(fronts[0]), (std::set<std::string>{"a", "b"}));
+    // The first occurrence's objectives win.
+    for (const DsePoint &p : fronts[0])
+        if (p.id == "a")
+            EXPECT_EQ(p.cycles, 1u);
+}
+
+/** Brute-force reference: p is on the front iff nothing dominates it. */
+std::set<std::string>
+referenceFront(const std::vector<DsePoint> &pts)
+{
+    std::set<std::string> out;
+    for (const DsePoint &p : pts) {
+        bool dominated = false;
+        for (const DsePoint &q : pts)
+            if (dominates(q, p)) {
+                dominated = true;
+                break;
+            }
+        if (!dominated)
+            out.insert(p.id);
+    }
+    return out;
+}
+
+TEST(Pareto, RandomizedStreamsMatchTheBruteForceReference)
+{
+    Rng rng("pareto-fuzz", 20170624);
+    for (int iter = 0; iter < 200; ++iter) {
+        const int n = 1 + static_cast<int>(rng.uniformInt(60));
+        std::vector<DsePoint> pts;
+        ParetoFront front;
+        for (int i = 0; i < n; ++i) {
+            // A small value range forces plenty of ties and
+            // duplicate objective vectors.
+            const DsePoint p = point(
+                "p" + std::to_string(i),
+                1 + rng.uniformInt(8),
+                static_cast<double>(1 + rng.uniformInt(8)),
+                static_cast<double>(1 + rng.uniformInt(8)));
+            pts.push_back(p);
+            front.add(p);
+        }
+        EXPECT_EQ(ids(front.points()), referenceFront(pts))
+            << "iteration " << iter << " with " << n << " points";
+        // Insertion order must not matter.
+        ParetoFront reversed;
+        for (auto it = pts.rbegin(); it != pts.rend(); ++it)
+            reversed.add(*it);
+        EXPECT_EQ(ids(reversed.points()), ids(front.points()));
+    }
+}
+
+} // namespace
+} // namespace scnn

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit suite for the sweep-spec layer (src/dse/spec): JSON parsing of
+ * scnn.dse_spec.v1 with its strict unknown-key contract, axis
+ * expansion (values / range / log2), ordinal decoding, point ids, and
+ * materialization + validation against AcceleratorConfig.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "dse/spec.hh"
+
+namespace scnn {
+namespace {
+
+/** Shorthand: parse, expect failure, return the error message. */
+std::string
+expectReject(const std::string &text)
+{
+    SweepSpec spec;
+    std::string error;
+    bool ok = true;
+    EXPECT_NO_THROW(ok = parseSweepSpec(text, spec, error)) << text;
+    EXPECT_FALSE(ok) << "accepted: " << text;
+    EXPECT_FALSE(error.empty()) << "no error text for: " << text;
+    return error;
+}
+
+const char *kValid = R"({
+  "schema": "scnn.dse_spec.v1",
+  "name": "t",
+  "base": "scnn",
+  "axes": [
+    {"field": "pe_rows", "values": [2, 4, 8]},
+    {"field": "accum_banks", "log2": {"lo": 8, "hi": 32}},
+    {"field": "kc_cap", "range": {"lo": 0, "hi": 4, "step": 2}}
+  ]
+})";
+
+TEST(SweepSpec, ValidSpecExpandsEveryAxisKind)
+{
+    SweepSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseSweepSpec(kValid, spec, error)) << error;
+    EXPECT_EQ(spec.name, "t");
+    ASSERT_EQ(spec.axes.size(), 3u);
+    EXPECT_EQ(spec.axes[0].values,
+              (std::vector<int64_t>{2, 4, 8}));
+    EXPECT_EQ(spec.axes[1].values,
+              (std::vector<int64_t>{8, 16, 32}));
+    EXPECT_EQ(spec.axes[2].values,
+              (std::vector<int64_t>{0, 2, 4}));
+    EXPECT_EQ(spec.totalPoints(), 27u);
+}
+
+TEST(SweepSpec, OrdinalDecodingIsRowMajorLastAxisFastest)
+{
+    SweepSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseSweepSpec(kValid, spec, error)) << error;
+    EXPECT_EQ(spec.indicesFor(0), (std::vector<int>{0, 0, 0}));
+    EXPECT_EQ(spec.indicesFor(1), (std::vector<int>{0, 0, 1}));
+    EXPECT_EQ(spec.indicesFor(3), (std::vector<int>{0, 1, 0}));
+    EXPECT_EQ(spec.indicesFor(26), (std::vector<int>{2, 2, 2}));
+
+    // Every ordinal decodes to a distinct id.
+    std::set<std::string> ids;
+    for (uint64_t o = 0; o < spec.totalPoints(); ++o)
+        ids.insert(spec.pointId(spec.indicesFor(o)));
+    EXPECT_EQ(ids.size(), spec.totalPoints());
+}
+
+TEST(SweepSpec, PointIdListsFieldsInAxisOrder)
+{
+    SweepSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseSweepSpec(kValid, spec, error)) << error;
+    EXPECT_EQ(spec.pointId({1, 2, 0}),
+              "pe_rows=4,accum_banks=32,kc_cap=0");
+}
+
+TEST(SweepSpec, MaterializeAppliesValuesAndValidates)
+{
+    SweepSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseSweepSpec(kValid, spec, error)) << error;
+
+    AcceleratorConfig cfg;
+    EXPECT_TRUE(spec.materialize({2, 0, 1}, cfg).empty());
+    EXPECT_EQ(cfg.peRows, 8);
+    EXPECT_EQ(cfg.pe.accumBanks, 8);
+    EXPECT_EQ(cfg.pe.kcCap, 2);
+    // The point id doubles as the config name for error messages.
+    EXPECT_EQ(cfg.name, spec.pointId({2, 0, 1}));
+    // Unswept fields keep their base values.
+    EXPECT_EQ(cfg.peCols, scnnConfig().peCols);
+}
+
+TEST(SweepSpec, InvalidCornersComeBackAsValidateErrors)
+{
+    SweepSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseSweepSpec(R"({
+      "schema": "scnn.dse_spec.v1",
+      "name": "t",
+      "axes": [{"field": "ppu_lanes", "values": [0, 1]}]
+    })", spec, error)) << error;
+
+    AcceleratorConfig cfg;
+    const auto problems = spec.materialize({0}, cfg);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.front().find("lanes"), std::string::npos);
+    EXPECT_TRUE(spec.materialize({1}, cfg).empty());
+}
+
+TEST(SweepSpec, MalformedDocumentsAreRejectedStructurally)
+{
+    expectReject("");
+    expectReject("{");
+    expectReject("[]");
+    expectReject("{}"); // missing schema
+    expectReject(R"({"schema": "scnn.dse_spec.v2", "name": "t",
+                     "axes": [{"field": "pe_rows", "values": [2]}]})");
+    // Unknown keys at every level.
+    EXPECT_NE(expectReject(R"({"schema": "scnn.dse_spec.v1",
+                   "name": "t", "frob": 1,
+                   "axes": [{"field": "pe_rows", "values": [2]}]})")
+                  .find("unknown"),
+              std::string::npos);
+    expectReject(R"({"schema": "scnn.dse_spec.v1", "name": "t",
+        "axes": [{"field": "pe_rows", "values": [2], "nope": 1}]})");
+    // Unknown field name.
+    EXPECT_NE(expectReject(R"({"schema": "scnn.dse_spec.v1",
+                   "name": "t",
+                   "axes": [{"field": "warp_cores", "values": [2]}]})")
+                  .find("warp_cores"),
+              std::string::npos);
+    // Unknown base.
+    expectReject(R"({"schema": "scnn.dse_spec.v1", "name": "t",
+                     "base": "tpu",
+                     "axes": [{"field": "pe_rows", "values": [2]}]})");
+    // No axes / empty axes.
+    expectReject(R"({"schema": "scnn.dse_spec.v1", "name": "t"})");
+    expectReject(R"({"schema": "scnn.dse_spec.v1", "name": "t",
+                     "axes": []})");
+    // Empty values list.
+    expectReject(R"({"schema": "scnn.dse_spec.v1", "name": "t",
+                     "axes": [{"field": "pe_rows", "values": []}]})");
+    // Duplicate axis field.
+    EXPECT_NE(expectReject(R"({"schema": "scnn.dse_spec.v1",
+                   "name": "t",
+                   "axes": [{"field": "pe_rows", "values": [2]},
+                            {"field": "pe_rows", "values": [4]}]})")
+                  .find("duplicate"),
+              std::string::npos);
+    // An axis needs exactly one kind.
+    expectReject(R"({"schema": "scnn.dse_spec.v1", "name": "t",
+        "axes": [{"field": "pe_rows"}]})");
+    expectReject(R"({"schema": "scnn.dse_spec.v1", "name": "t",
+        "axes": [{"field": "pe_rows", "values": [2],
+                  "range": {"lo": 1, "hi": 2}}]})");
+    // Broken ranges.
+    expectReject(R"({"schema": "scnn.dse_spec.v1", "name": "t",
+        "axes": [{"field": "pe_rows",
+                  "range": {"lo": 4, "hi": 2}}]})");
+    expectReject(R"({"schema": "scnn.dse_spec.v1", "name": "t",
+        "axes": [{"field": "pe_rows",
+                  "range": {"lo": 1, "hi": 8, "step": 0}}]})");
+    expectReject(R"({"schema": "scnn.dse_spec.v1", "name": "t",
+        "axes": [{"field": "pe_rows", "log2": {"lo": 0, "hi": 8}}]})");
+}
+
+TEST(SweepSpec, OversizedProductsAreRejected)
+{
+    // 9 axes x 32 values each = 2^45 points > the 2^40 cap.
+    std::string doc = R"({"schema": "scnn.dse_spec.v1", "name": "big",
+                          "axes": [)";
+    const auto &fields = sweepableFields();
+    ASSERT_GE(fields.size(), 9u);
+    for (int i = 0; i < 9; ++i) {
+        if (i)
+            doc += ",";
+        doc += R"({"field": ")" + fields[i] +
+               R"(", "range": {"lo": 1, "hi": 32}})";
+    }
+    doc += "]}";
+    EXPECT_NE(expectReject(doc).find("points"), std::string::npos);
+}
+
+TEST(SweepSpec, EverySweepableFieldRoundTrips)
+{
+    // Each advertised field parses as an axis and materializes.
+    for (const std::string &field : sweepableFields()) {
+        SweepSpec spec;
+        std::string error;
+        const std::string doc =
+            R"({"schema": "scnn.dse_spec.v1", "name": "t",
+                "axes": [{"field": ")" + field +
+            R"(", "values": [1]}]})";
+        ASSERT_TRUE(parseSweepSpec(doc, spec, error))
+            << field << ": " << error;
+        AcceleratorConfig cfg;
+        spec.materialize({0}, cfg); // must not crash; may be invalid
+        int64_t readBack = -1;
+        ASSERT_TRUE(getConfigField(cfg, field, readBack)) << field;
+        EXPECT_EQ(readBack, 1) << field;
+    }
+}
+
+TEST(SweepSpec, LoadFromMissingFileFails)
+{
+    SweepSpec spec;
+    std::string error;
+    EXPECT_FALSE(loadSweepSpec("/nonexistent/spec.json", spec, error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace scnn

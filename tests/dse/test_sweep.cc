@@ -1,0 +1,380 @@
+/**
+ * @file
+ * Suite for the sweep driver (src/dse/sweep) with a stub evaluator:
+ * funnel accounting (invalid / pruned / simulated / error), the
+ * adaptive prune threshold, checkpoint kill+resume byte-for-byte
+ * convergence for every strategy, torn-tail recovery, strategy
+ * determinism, and grid sharding forming an exact partition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "dse/sweep.hh"
+#include "nn/model_zoo.hh"
+#include "sim/simulator.hh"
+
+namespace scnn {
+namespace {
+
+std::string
+uniquePath(const char *stem)
+{
+    static std::atomic<int> counter{0};
+    return testing::TempDir() + stem + "_" +
+           std::to_string(getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+SweepSpec
+parseSpec(const std::string &doc)
+{
+    SweepSpec spec;
+    std::string error;
+    EXPECT_TRUE(parseSweepSpec(doc, spec, error)) << error;
+    return spec;
+}
+
+/** A small 2-axis space over the PE array: 4 x 3 = 12 points. */
+const char *kSpecDoc = R"({
+  "schema": "scnn.dse_spec.v1",
+  "name": "sweep-test",
+  "axes": [
+    {"field": "pe_rows", "values": [1, 2, 4, 8]},
+    {"field": "mul_f", "values": [1, 2, 4]}
+  ]
+})";
+
+/**
+ * Deterministic stand-in for full simulation: cycles derived from the
+ * config (so the Pareto structure is stable), no real simulator.
+ * Configs named in `failIds` come back as errors.
+ */
+class StubEvaluator : public DseEvaluator
+{
+  public:
+    std::set<std::string> failIds;
+    int batches = 0;
+    std::vector<size_t> batchSizes;
+
+    std::vector<EvalResult>
+    evaluate(const std::vector<AcceleratorConfig> &configs) override
+    {
+        ++batches;
+        batchSizes.push_back(configs.size());
+        std::vector<EvalResult> out;
+        for (const AcceleratorConfig &cfg : configs) {
+            EvalResult r;
+            if (failIds.count(cfg.name)) {
+                r.error = "stub failure";
+            } else {
+                r.ok = true;
+                r.cycles = 100000ull /
+                           (static_cast<uint64_t>(cfg.peRows) *
+                            static_cast<uint64_t>(cfg.pe.mulF));
+                r.energyPj = 10.0 * cfg.peRows * cfg.pe.mulF;
+            }
+            out.push_back(r);
+        }
+        return out;
+    }
+
+    std::string describe() const override { return "stub"; }
+};
+
+TEST(Sweep, GridFunnelAccountsForEveryPoint)
+{
+    const SweepSpec spec = parseSpec(kSpecDoc);
+    const Network net = tinyTestNetwork();
+    StubEvaluator eval;
+    SweepOptions opt;
+    opt.pruneFactor = 1.05; // tight: most of the space prunes
+
+    const SweepOutcome out = runSweep(spec, net, eval, opt);
+    const FunnelStats &s = out.stats;
+    EXPECT_EQ(s.candidates, 12u);
+    EXPECT_EQ(s.resumed, 0u);
+    EXPECT_EQ(s.invalid + s.pruned + s.simulated + s.errors, 12u);
+    EXPECT_GT(s.pruned, 0u);
+    EXPECT_GT(s.simulated, 0u);
+    EXPECT_FALSE(out.frontier.empty());
+    EXPECT_EQ(out.simulatedPoints.size(), s.simulated);
+    // The frontier is drawn from the simulated points.
+    std::set<std::string> simIds;
+    for (const DsePoint &p : out.simulatedPoints)
+        simIds.insert(p.id);
+    for (const DsePoint &p : out.frontier.points())
+        EXPECT_TRUE(simIds.count(p.id)) << p.id;
+}
+
+TEST(Sweep, TheFirstCandidateIsNeverPruned)
+{
+    // Grid order starts at pe_rows=1,mul_f=1 -- analytically the
+    // slowest point.  The adaptive threshold must admit it (there is
+    // no "best" yet), not prune the whole space against nothing.
+    const SweepSpec spec = parseSpec(kSpecDoc);
+    StubEvaluator eval;
+    SweepOptions opt;
+    opt.maxPoints = 1;
+    const SweepOutcome out =
+        runSweep(spec, tinyTestNetwork(), eval, opt);
+    EXPECT_EQ(out.stats.candidates, 1u);
+    EXPECT_EQ(out.stats.pruned, 0u);
+    EXPECT_EQ(out.stats.simulated, 1u);
+}
+
+TEST(Sweep, InvalidCornersAreRecordedNotSimulated)
+{
+    const SweepSpec spec = parseSpec(R"({
+      "schema": "scnn.dse_spec.v1",
+      "name": "inv",
+      "axes": [{"field": "ppu_lanes", "values": [0, 2]}]
+    })");
+    StubEvaluator eval;
+    const SweepOutcome out =
+        runSweep(spec, tinyTestNetwork(), eval, SweepOptions());
+    EXPECT_EQ(out.stats.invalid, 1u);
+    EXPECT_EQ(out.stats.simulated, 1u);
+}
+
+TEST(Sweep, EvaluatorErrorsBecomeErrorRecordsAndTheSweepContinues)
+{
+    const SweepSpec spec = parseSpec(kSpecDoc);
+    StubEvaluator eval;
+    eval.failIds.insert("pe_rows=8,mul_f=4");
+    SweepOptions opt;
+    opt.pruneFactor = 100.0; // nothing prunes
+    const SweepOutcome out =
+        runSweep(spec, tinyTestNetwork(), eval, opt);
+    EXPECT_EQ(out.stats.errors, 1u);
+    EXPECT_EQ(out.stats.simulated, 11u);
+    for (const DsePoint &p : out.frontier.points())
+        EXPECT_NE(p.id, "pe_rows=8,mul_f=4");
+}
+
+TEST(Sweep, BatchSizeBoundsEvaluatorCalls)
+{
+    const SweepSpec spec = parseSpec(kSpecDoc);
+    StubEvaluator eval;
+    SweepOptions opt;
+    opt.pruneFactor = 100.0;
+    opt.batchSize = 5;
+    runSweep(spec, tinyTestNetwork(), eval, opt);
+    for (size_t n : eval.batchSizes)
+        EXPECT_LE(n, 5u);
+    EXPECT_GE(eval.batches, 3);
+}
+
+std::string
+checkpointedRun(SweepStrategy strategy, uint64_t stopAfter,
+                const std::string &path, FunnelStats *statsOut = nullptr,
+                bool *stoppedOut = nullptr)
+{
+    const SweepSpec spec = parseSpec(kSpecDoc);
+    StubEvaluator eval;
+    SweepOptions opt;
+    opt.strategy = strategy;
+    opt.seed = 11;
+    opt.checkpointPath = path;
+    opt.stopAfter = stopAfter;
+    opt.batchSize = 3;
+    const SweepOutcome out =
+        runSweep(spec, tinyTestNetwork(), eval, opt);
+    if (statsOut)
+        *statsOut = out.stats;
+    if (stoppedOut)
+        *stoppedOut = out.stoppedEarly;
+    // Serialize the frontier for comparison across runs.
+    std::string digest;
+    for (const DsePoint &p : out.frontier.sorted())
+        digest += p.id + ";";
+    return digest;
+}
+
+TEST(Sweep, KillAndResumeConvergesByteForByte)
+{
+    for (const SweepStrategy strategy :
+         {SweepStrategy::Grid, SweepStrategy::Random,
+          SweepStrategy::Evolve}) {
+        SCOPED_TRACE(sweepStrategyName(strategy));
+        const std::string refPath = uniquePath("sweep_ref");
+        const std::string resPath = uniquePath("sweep_res");
+
+        const std::string refFrontier =
+            checkpointedRun(strategy, 0, refPath);
+
+        bool stopped = false;
+        checkpointedRun(strategy, 5, resPath, nullptr, &stopped);
+        EXPECT_TRUE(stopped);
+        // The partial checkpoint is a strict prefix of the
+        // reference: same trajectory, cut short.
+        const std::string refBytes = slurp(refPath);
+        const std::string partial = slurp(resPath);
+        EXPECT_LT(partial.size(), refBytes.size());
+        EXPECT_EQ(refBytes.compare(0, partial.size(), partial), 0);
+
+        FunnelStats resumedStats;
+        const std::string resumedFrontier = checkpointedRun(
+            strategy, 0, resPath, &resumedStats, &stopped);
+        EXPECT_FALSE(stopped);
+        EXPECT_GT(resumedStats.resumed, 0u);
+        EXPECT_EQ(slurp(resPath), refBytes);
+        EXPECT_EQ(resumedFrontier, refFrontier);
+
+        std::remove(refPath.c_str());
+        std::remove(resPath.c_str());
+    }
+}
+
+TEST(Sweep, ResumedRunsDoNotReEvaluate)
+{
+    const std::string path = uniquePath("sweep_noreval");
+    checkpointedRun(SweepStrategy::Grid, 0, path);
+    // Re-running a finished sweep touches the evaluator zero times.
+    const SweepSpec spec = parseSpec(kSpecDoc);
+    StubEvaluator eval;
+    SweepOptions opt;
+    opt.checkpointPath = path;
+    opt.batchSize = 3;
+    const SweepOutcome out =
+        runSweep(spec, tinyTestNetwork(), eval, opt);
+    EXPECT_EQ(eval.batches, 0);
+    EXPECT_EQ(out.stats.resumed, 12u);
+    EXPECT_FALSE(out.frontier.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, TornCheckpointTailIsReEvaluatedOnResume)
+{
+    const std::string refPath = uniquePath("sweep_tref");
+    const std::string tornPath = uniquePath("sweep_torn");
+    const std::string refFrontier =
+        checkpointedRun(SweepStrategy::Grid, 0, refPath);
+
+    // Clone the reference and tear the final line mid-record.
+    std::string bytes = slurp(refPath);
+    ASSERT_GT(bytes.size(), 20u);
+    {
+        std::ofstream out(tornPath, std::ios::binary);
+        out << bytes.substr(0, bytes.size() - 9);
+    }
+    const std::string resumedFrontier =
+        checkpointedRun(SweepStrategy::Grid, 0, tornPath);
+    EXPECT_EQ(resumedFrontier, refFrontier);
+    EXPECT_EQ(slurp(tornPath), bytes);
+    std::remove(refPath.c_str());
+    std::remove(tornPath.c_str());
+}
+
+TEST(Sweep, CorruptMidFileCheckpointThrows)
+{
+    const std::string path = uniquePath("sweep_corrupt");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "{\"broken\":\n{\"also broken\":\n";
+    }
+    const SweepSpec spec = parseSpec(kSpecDoc);
+    StubEvaluator eval;
+    SweepOptions opt;
+    opt.checkpointPath = path;
+    EXPECT_THROW(runSweep(spec, tinyTestNetwork(), eval, opt),
+                 SimulationError);
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, StrategiesAreDeterministicUnderAFixedSeed)
+{
+    for (const SweepStrategy strategy :
+         {SweepStrategy::Random, SweepStrategy::Evolve}) {
+        SCOPED_TRACE(sweepStrategyName(strategy));
+        const SweepSpec spec = parseSpec(kSpecDoc);
+        SweepOptions opt;
+        opt.strategy = strategy;
+        opt.seed = 42;
+        StubEvaluator e1, e2;
+        const SweepOutcome a =
+            runSweep(spec, tinyTestNetwork(), e1, opt);
+        const SweepOutcome b =
+            runSweep(spec, tinyTestNetwork(), e2, opt);
+        EXPECT_EQ(a.stats.candidates, b.stats.candidates);
+        EXPECT_EQ(a.stats.simulated, b.stats.simulated);
+        ASSERT_EQ(a.simulatedPoints.size(), b.simulatedPoints.size());
+        for (size_t i = 0; i < a.simulatedPoints.size(); ++i)
+            EXPECT_EQ(a.simulatedPoints[i].id,
+                      b.simulatedPoints[i].id);
+
+        // A different seed explores differently (coarse check).
+        SweepOptions other = opt;
+        other.seed = 43;
+        StubEvaluator e3;
+        const SweepOutcome c =
+            runSweep(spec, tinyTestNetwork(), e3, other);
+        std::string da, dc;
+        for (const DsePoint &p : a.simulatedPoints)
+            da += p.id + ";";
+        for (const DsePoint &p : c.simulatedPoints)
+            dc += p.id + ";";
+        EXPECT_NE(da, dc);
+    }
+}
+
+TEST(Sweep, GridShardsPartitionTheSpaceExactly)
+{
+    const SweepSpec spec = parseSpec(kSpecDoc);
+    std::map<std::string, int> coverage;
+    uint64_t totalCandidates = 0;
+    for (int i = 0; i < 3; ++i) {
+        StubEvaluator eval;
+        SweepOptions opt;
+        opt.shardIndex = i;
+        opt.shardCount = 3;
+        opt.pruneFactor = 100.0;
+        const SweepOutcome out =
+            runSweep(spec, tinyTestNetwork(), eval, opt);
+        totalCandidates += out.stats.candidates;
+        for (const DsePoint &p : out.simulatedPoints)
+            ++coverage[p.id];
+    }
+    EXPECT_EQ(totalCandidates, spec.totalPoints());
+    EXPECT_EQ(coverage.size(), spec.totalPoints());
+    for (const auto &kv : coverage)
+        EXPECT_EQ(kv.second, 1) << kv.first;
+}
+
+TEST(Sweep, RandomSamplesWithoutReplacement)
+{
+    const SweepSpec spec = parseSpec(kSpecDoc);
+    StubEvaluator eval;
+    SweepOptions opt;
+    opt.strategy = SweepStrategy::Random;
+    opt.seed = 5;
+    opt.maxPoints = 8;
+    opt.pruneFactor = 100.0;
+    const SweepOutcome out =
+        runSweep(spec, tinyTestNetwork(), eval, opt);
+    EXPECT_LE(out.stats.candidates, 8u);
+    std::set<std::string> ids;
+    for (const DsePoint &p : out.simulatedPoints)
+        EXPECT_TRUE(ids.insert(p.id).second) << p.id;
+}
+
+} // namespace
+} // namespace scnn

@@ -248,6 +248,76 @@ TEST(RequestParse, RandomByteMutationsNeverCrashTheParser)
     }
 }
 
+TEST(RequestParse, ConfigOverridesParseIntoTheBackendSpec)
+{
+    ParsedServiceRequest out;
+    std::string error;
+    ASSERT_TRUE(parseRequestLine(
+        R"({"network":"tiny","backends":[{"backend":"scnn","config":{"base":"scnn","pe_rows":4,"mul_f":2,"input_halos":true}}],"threads":1})",
+        out, error))
+        << error;
+    ASSERT_EQ(out.request.backends.size(), 1u);
+    const auto &cfg = out.request.backends[0].config;
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->peRows, 4);
+    EXPECT_EQ(cfg->pe.mulF, 2);
+    EXPECT_TRUE(cfg->pe.inputHalos);
+    // Unswept fields keep the base's defaults.
+    EXPECT_EQ(cfg->peCols, scnnConfig().peCols);
+
+    // "base" applies first regardless of key order.
+    ASSERT_TRUE(parseRequestLine(
+        R"({"network":"tiny","backends":[{"backend":"dcnn","config":{"pe_rows":2,"base":"dcnn"}}],"threads":1})",
+        out, error))
+        << error;
+    ASSERT_TRUE(out.request.backends[0].config.has_value());
+    EXPECT_EQ(out.request.backends[0].config->kind, ArchKind::DCNN);
+    EXPECT_EQ(out.request.backends[0].config->peRows, 2);
+}
+
+TEST(RequestParse, ConfigOverrideStructuralErrorsAreRejected)
+{
+    // Wrong type for the object itself.
+    expectReject(
+        R"({"network":"tiny","backends":[{"backend":"scnn","config":7}]})");
+    // Unknown base / unknown field / mistyped value.
+    EXPECT_NE(
+        expectReject(
+            R"({"network":"tiny","backends":[{"backend":"scnn","config":{"base":"tpu"}}]})")
+            .find("base"),
+        std::string::npos);
+    EXPECT_NE(
+        expectReject(
+            R"({"network":"tiny","backends":[{"backend":"scnn","config":{"warp_cores":2}}]})")
+            .find("warp_cores"),
+        std::string::npos);
+    expectReject(
+        R"({"network":"tiny","backends":[{"backend":"scnn","config":{"pe_rows":"four"}}]})");
+    expectReject(
+        R"({"network":"tiny","backends":[{"backend":"scnn","config":{"pe_rows":1.5}}]})");
+    expectReject(
+        R"({"network":"tiny","backends":[{"backend":"scnn","config":{"pe_rows":-1}}]})");
+}
+
+TEST(RequestParse, SemanticallyInvalidOverridesFailPerBackend)
+{
+    // Structurally fine, semantically broken (a zero-size PE array):
+    // the parser passes it through and the session reports a normal
+    // structured per-backend failure.
+    ParsedServiceRequest parsed;
+    std::string error;
+    ASSERT_TRUE(parseRequestLine(
+        R"({"network":"tiny","backends":[{"backend":"scnn","config":{"pe_rows":0}}],"threads":1})",
+        parsed, error))
+        << error;
+    SimulationService service;
+    const ServiceReply &reply =
+        service.submit(parsed.request).wait();
+    ASSERT_EQ(reply.outcome, ServiceOutcome::Ok) << reply.error;
+    ASSERT_EQ(reply.response->runs.size(), 1u);
+    EXPECT_FALSE(reply.response->runs.front().ok);
+}
+
 TEST(RequestParse, UnknownBackendFlowsThroughAsStructuredFailure)
 {
     // The parser accepts it; the session reports it per backend; the

@@ -295,6 +295,81 @@ TEST(ServiceStress, StatsJsonIsWellFormedAndCarriesTheSchema)
     EXPECT_EQ(submitted->uint64, 1u);
 }
 
+TEST(ServiceStress, ShedRefusalsAreCountedMonotonically)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 1;
+    SimulationService service(cfg);
+
+    // One blocker in flight plus a full 1-deep queue; every further
+    // trySubmit must shed and be counted.
+    std::vector<SessionTicket> tickets;
+    tickets.push_back(service.submit(makeRequest(
+        {{"scnn"}, {"dcnn"}, {"dcnn-opt"}, {"oracle"}, {"timeloop"}})));
+    uint64_t shed = 0;
+    while (shed < 3) {
+        auto t = service.trySubmit(makeRequest({{"scnn"}}));
+        if (t)
+            tickets.push_back(std::move(*t));
+        else
+            ++shed;
+    }
+    for (auto &t : tickets)
+        EXPECT_EQ(t.wait().outcome, ServiceOutcome::Ok)
+            << t.wait().error;
+    service.drain();
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.shed, shed);
+    // Shed requests were never admitted, so they are not "submitted".
+    EXPECT_EQ(stats.submitted, tickets.size());
+    EXPECT_EQ(stats.completedOk, tickets.size());
+}
+
+TEST(ServiceStress, StatsJsonBreaksDownRequestsTotalByOutcome)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 1;
+    SimulationService service(cfg);
+    service.submit(makeRequest({{"timeloop"}})).wait();
+
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(parseJson(service.statsJson(), parsed, error))
+        << error;
+    const JsonValue *totals = parsed.find("requests_total");
+    ASSERT_NE(totals, nullptr);
+    for (const char *key : {"submitted", "ok", "error", "cancelled",
+                            "deadline_expired", "shed"})
+        ASSERT_NE(totals->find(key), nullptr) << key;
+    EXPECT_EQ(totals->find("submitted")->uint64, 1u);
+    EXPECT_EQ(totals->find("ok")->uint64, 1u);
+    EXPECT_EQ(totals->find("shed")->uint64, 0u);
+    // The flat legacy "shed" counter is also present (additive key,
+    // same schema version).
+    ASSERT_NE(parsed.find("shed"), nullptr);
+    // Not part of a fleet: no shard identity block.
+    EXPECT_EQ(parsed.find("shard"), nullptr);
+}
+
+TEST(ServiceStress, ShardIdentityIsEchoedWhenConfigured)
+{
+    ServiceConfig cfg;
+    cfg.shardIndex = 1;
+    cfg.shardCount = 4;
+    SimulationService service(cfg);
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(parseJson(service.statsJson(), parsed, error))
+        << error;
+    const JsonValue *shard = parsed.find("shard");
+    ASSERT_NE(shard, nullptr);
+    EXPECT_EQ(shard->find("index")->uint64, 1u);
+    EXPECT_EQ(shard->find("count")->uint64, 4u);
+}
+
 /** Teardown with work still queued: the destructor drains the queue
  *  (a queued request is a promise), then joins cleanly. */
 TEST(ServiceStress, DestructorDrainsQueuedWork)

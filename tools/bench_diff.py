@@ -15,6 +15,10 @@ Supports both benchmark formats this repo commits:
   benchmark name; metric ``real_time`` (lower is better).  When the
   file carries aggregate entries only the ``_median`` rows are
   compared; raw iteration entries are used otherwise.
+* ``scnn.dse_report.v*`` (scnn_dse --json): one row keyed by
+  (network, strategy); default metric ``survivors_per_sec`` (higher
+  is better).  ``frontier_size`` (higher) can be selected with
+  --metric to catch a frontier collapse.
 
 Only keys present in *both* files are compared, so a quick smoke run
 (e.g. the tiny network in CI) can be gated against a committed
@@ -71,6 +75,16 @@ def gbench_rows(doc, metric):
     return rows
 
 
+def dse_report_rows(doc, metric):
+    key = "%s/%s" % (doc.get("network", "?"), doc.get("strategy", "?"))
+    if metric == "frontier_size":
+        return {key: float(doc.get("frontier_size", 0))}
+    funnel = doc.get("funnel", {})
+    if metric in funnel:
+        return {key: float(funnel[metric])}
+    return {}
+
+
 def extract(doc, metric):
     """@return (rows, higher_is_better, metric_name)."""
     schema = doc.get("schema", "")
@@ -80,6 +94,9 @@ def extract(doc, metric):
     if schema.startswith("scnn.load_gen"):
         m = metric or "ok_per_sec"
         return load_gen_rows(doc, m), not m.startswith("wall_ms"), m
+    if schema.startswith("scnn.dse_report"):
+        m = metric or "survivors_per_sec"
+        return dse_report_rows(doc, m), m != "eval_seconds", m
     if "benchmarks" in doc:
         m = metric or "real_time"
         return gbench_rows(doc, m), False, m

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * scnn_dse: design-space exploration over the accelerator
+ * configuration space (src/dse).
+ *
+ * Usage:
+ *   scnn_dse --spec=spec.json [--network=tiny|alexnet|googlenet|vgg16]
+ *            [--strategy=grid|random|evolve] [--seed=N]
+ *            [--max-points=N] [--prune-factor=X] [--batch=N]
+ *            [--checkpoint=path] [--stop-after=N] [--shard=i/N]
+ *            [--connect=host:port[,host:port...]]
+ *            [--workers=N] [--session-threads=N]
+ *            [--top-k=K] [--json[=path]] [--quiet] [--threads=N]
+ *
+ * The sweep space comes from a scnn.dse_spec.v1 JSON file (--spec).
+ * Candidates flow through the analytic funnel; survivors are fully
+ * simulated either in-process (default; --workers concurrent
+ * sessions) or remotely against a fleet of `scnn_serve --listen`
+ * shards (--connect, one endpoint per shard in shard order, routed
+ * via shardForRequest).  --checkpoint makes the sweep resumable:
+ * re-running the identical command continues where the previous run
+ * stopped.  --stop-after=N stops after N newly checkpointed points
+ * and exits 3 (the kill+resume tests and operators use this to bound
+ * a run); --shard=i/N splits a grid/random enumeration across
+ * processes.
+ *
+ * --json emits a scnn.dse_report.v1 document (stdout, or a file with
+ * --json=path): funnel accounting, the Pareto frontier over (cycles,
+ * energy_pj, area_mm2), and the top --top-k non-dominated ranks.
+ *
+ * Exit status: 0 complete, 1 runtime failure, 2 bad usage, 3 stopped
+ * early by --stop-after (checkpoint left resumable).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/table.hh"
+#include "dse/sweep.hh"
+#include "sim/simulator.hh"
+
+using namespace scnn;
+
+namespace {
+
+struct Options
+{
+    std::string specPath;
+    std::string network = "tiny";
+    SweepStrategy strategy = SweepStrategy::Grid;
+    uint64_t seed = 1;
+    uint64_t maxPoints = 0;
+    double pruneFactor = 1.25;
+    int batchSize = 16;
+    std::string checkpointPath;
+    uint64_t stopAfter = 0;
+    int shardIndex = 0;
+    int shardCount = 1;
+    std::vector<std::string> endpoints; // empty: in-process
+    int workers = 2;
+    int sessionThreads = 1;
+    int topK = 3;
+    bool json = false;
+    std::string jsonPath; // empty: stdout
+    bool quiet = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --spec=spec.json\n"
+        "          [--network=tiny|alexnet|googlenet|vgg16]\n"
+        "          [--strategy=grid|random|evolve] [--seed=N]\n"
+        "          [--max-points=N] [--prune-factor=X] [--batch=N]\n"
+        "          [--checkpoint=path] [--stop-after=N] "
+        "[--shard=i/N]\n"
+        "          [--connect=host:port[,host:port...]]\n"
+        "          [--workers=N] [--session-threads=N]\n"
+        "          [--top-k=K] [--json[=path]] [--quiet] "
+        "[--threads=N]\n",
+        argv0);
+    std::exit(2);
+}
+
+bool
+consume(const char *arg, const char *key, std::string &out)
+{
+    const size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+parseU64(const std::string &v, const char *flag)
+{
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0')
+        fatal("bad %s value '%s' (want a non-negative integer)", flag,
+              v.c_str());
+    return n;
+}
+
+int
+parsePositive(const std::string &v, const char *flag)
+{
+    const uint64_t n = parseU64(v, flag);
+    if (n == 0 || n > 4096)
+        fatal("bad %s value '%s' (want an integer in [1, 4096])", flag,
+              v.c_str());
+    return static_cast<int>(n);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (consume(argv[i], "--spec", v)) {
+            o.specPath = v;
+        } else if (consume(argv[i], "--network", v)) {
+            o.network = v;
+        } else if (consume(argv[i], "--strategy", v)) {
+            if (!sweepStrategyFromName(v, o.strategy))
+                fatal("bad --strategy value '%s' (want "
+                      "grid|random|evolve)", v.c_str());
+        } else if (consume(argv[i], "--seed", v)) {
+            o.seed = parseU64(v, "--seed");
+        } else if (consume(argv[i], "--max-points", v)) {
+            o.maxPoints = parseU64(v, "--max-points");
+        } else if (consume(argv[i], "--prune-factor", v)) {
+            char *end = nullptr;
+            o.pruneFactor = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' ||
+                !(o.pruneFactor > 1.0))
+                fatal("bad --prune-factor value '%s' (want a number "
+                      "> 1)", v.c_str());
+        } else if (consume(argv[i], "--batch", v)) {
+            o.batchSize = parsePositive(v, "--batch");
+        } else if (consume(argv[i], "--checkpoint", v)) {
+            if (v.empty())
+                fatal("bad --checkpoint value (empty path)");
+            o.checkpointPath = v;
+        } else if (consume(argv[i], "--stop-after", v)) {
+            o.stopAfter = parseU64(v, "--stop-after");
+        } else if (consume(argv[i], "--shard", v)) {
+            if (std::sscanf(v.c_str(), "%d/%d", &o.shardIndex,
+                            &o.shardCount) != 2 ||
+                o.shardIndex < 0 || o.shardCount <= 0 ||
+                o.shardIndex >= o.shardCount)
+                fatal("bad --shard value '%s' (want i/N with "
+                      "0 <= i < N)", v.c_str());
+        } else if (consume(argv[i], "--connect", v)) {
+            size_t pos = 0;
+            while (pos <= v.size()) {
+                const size_t comma = v.find(',', pos);
+                const std::string endpoint = v.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                if (endpoint.empty())
+                    fatal("bad --connect value '%s' (empty endpoint)",
+                          v.c_str());
+                o.endpoints.push_back(endpoint);
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+        } else if (consume(argv[i], "--workers", v)) {
+            o.workers = parsePositive(v, "--workers");
+        } else if (consume(argv[i], "--session-threads", v)) {
+            o.sessionThreads = parsePositive(v, "--session-threads");
+        } else if (consume(argv[i], "--top-k", v)) {
+            o.topK = parsePositive(v, "--top-k");
+        } else if (consume(argv[i], "--json", v)) {
+            o.json = true;
+            o.jsonPath = v;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            o.json = true;
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            o.quiet = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (o.specPath.empty()) {
+        std::fprintf(stderr, "%s: --spec is required\n", argv[0]);
+        usage(argv[0]);
+    }
+    return o;
+}
+
+void
+writeFrontierPoints(JsonWriter &w, const std::vector<DsePoint> &points)
+{
+    w.beginArray();
+    for (const DsePoint &p : points) {
+        w.beginObject();
+        w.key("point").value(p.id);
+        w.key("indices").beginArray();
+        for (int idx : p.indices)
+            w.value(idx);
+        w.endArray();
+        w.key("cycles").value(p.cycles);
+        w.key("energy_pj").value(p.energyPj);
+        w.key("area_mm2").value(p.areaMm2);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+std::string
+reportJson(const Options &o, const SweepSpec &spec,
+           const DseEvaluator &evaluator, const SweepOutcome &outcome)
+{
+    const FunnelStats &s = outcome.stats;
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("scnn.dse_report.v1");
+    w.key("spec").value(spec.name);
+    w.key("network").value(o.network);
+    w.key("strategy").value(sweepStrategyName(o.strategy));
+    w.key("seed").value(o.seed);
+    w.key("prune_factor").value(o.pruneFactor);
+    w.key("transport").value(evaluator.describe());
+    w.key("shard").beginObject();
+    w.key("index").value(o.shardIndex);
+    w.key("count").value(o.shardCount);
+    w.endObject();
+    w.key("stopped_early").value(outcome.stoppedEarly);
+    w.key("funnel").beginObject();
+    w.key("candidates").value(s.candidates);
+    w.key("resumed").value(s.resumed);
+    w.key("invalid").value(s.invalid);
+    w.key("pruned").value(s.pruned);
+    w.key("simulated").value(s.simulated);
+    w.key("errors").value(s.errors);
+    w.key("eval_seconds").value(s.evalSeconds);
+    w.key("survivors_per_sec")
+        .value(s.evalSeconds > 0.0
+                   ? static_cast<double>(s.simulated) / s.evalSeconds
+                   : 0.0);
+    w.endObject();
+    const std::vector<DsePoint> frontier = outcome.frontier.sorted();
+    w.key("frontier_size").value(
+        static_cast<uint64_t>(frontier.size()));
+    w.key("frontier");
+    writeFrontierPoints(w, frontier);
+    w.key("fronts").beginArray();
+    for (const std::vector<DsePoint> &front :
+         paretoFronts(outcome.simulatedPoints, o.topK))
+        writeFrontierPoints(w, front);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+printSummary(const Options &o, const SweepOutcome &outcome)
+{
+    const FunnelStats &s = outcome.stats;
+    std::printf("funnel: %llu candidates (%llu resumed) -> "
+                "%llu invalid, %llu pruned, %llu simulated, "
+                "%llu errors\n",
+                (unsigned long long)s.candidates,
+                (unsigned long long)s.resumed,
+                (unsigned long long)s.invalid,
+                (unsigned long long)s.pruned,
+                (unsigned long long)s.simulated,
+                (unsigned long long)s.errors);
+
+    Table t("dse_frontier",
+            {"point", "cycles", "energy (pJ)", "area (mm2)"});
+    for (const DsePoint &p : outcome.frontier.sorted()) {
+        t.addRow({p.id, strfmt("%llu", (unsigned long long)p.cycles),
+                  strfmt("%.4g", p.energyPj),
+                  strfmt("%.3f", p.areaMm2)});
+    }
+    std::printf("Pareto frontier (%zu point%s):\n",
+                outcome.frontier.size(),
+                outcome.frontier.size() == 1 ? "" : "s");
+    t.print();
+    if (outcome.stoppedEarly)
+        std::printf("stopped early after --stop-after=%llu new "
+                    "records; re-run to resume\n",
+                    (unsigned long long)o.stopAfter);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    argc = consumeThreadsFlag(argc, argv);
+    const Options o = parse(argc, argv);
+
+    SweepSpec spec;
+    std::string error;
+    if (!loadSweepSpec(o.specPath, spec, error))
+        fatal("bad sweep spec %s: %s", o.specPath.c_str(),
+              error.c_str());
+
+    Network net;
+    if (!networkByName(o.network, net))
+        fatal("unknown network '%s' "
+              "(want tiny|alexnet|googlenet|vgg16)",
+              o.network.c_str());
+
+    std::unique_ptr<DseEvaluator> evaluator;
+    if (o.endpoints.empty()) {
+        InProcessEvalOptions eo;
+        eo.workers = o.workers;
+        eo.sessionThreads = o.sessionThreads;
+        evaluator = makeInProcessEvaluator(net, 20170624, eo);
+    } else {
+        evaluator = makeRemoteEvaluator(o.endpoints, o.network,
+                                        20170624, error);
+        if (!evaluator)
+            fatal("cannot connect to the shard fleet: %s",
+                  error.c_str());
+    }
+
+    SweepOptions so;
+    so.strategy = o.strategy;
+    so.seed = o.seed;
+    so.maxPoints = o.maxPoints;
+    so.pruneFactor = o.pruneFactor;
+    so.batchSize = o.batchSize;
+    so.checkpointPath = o.checkpointPath;
+    so.stopAfter = o.stopAfter;
+    so.shardIndex = o.shardIndex;
+    so.shardCount = o.shardCount;
+    if (o.strategy == SweepStrategy::Evolve && o.shardCount != 1)
+        fatal("--shard cannot split an evolve sweep (its trajectory "
+              "depends on every evaluation)");
+
+    SweepOutcome outcome;
+    try {
+        outcome = runSweep(spec, net, *evaluator, so);
+    } catch (const SimulationError &e) {
+        fatal("sweep failed: %s", e.what());
+    }
+
+    if (!o.quiet)
+        printSummary(o, outcome);
+    if (o.json) {
+        const std::string doc =
+            reportJson(o, spec, *evaluator, outcome);
+        if (o.jsonPath.empty())
+            std::printf("%s\n", doc.c_str());
+        else if (!writeJsonFile(o.jsonPath, doc))
+            fatal("cannot write report to '%s'", o.jsonPath.c_str());
+    }
+    return outcome.stoppedEarly ? 3 : 0;
+}

@@ -32,10 +32,17 @@
  *
  * Usage:
  *   scnn_serve [--listen=[host:]port] [--port-file=path]
- *              [--drain-grace-ms=X]
+ *              [--drain-grace-ms=X] [--shard=i/N]
  *              [--max-inflight=N] [--queue=N] [--session-threads=N]
  *              [--deadline-ms=X] [--no-cache] [--metrics[=path]]
  *              [--threads=N] [--echo]
+ *
+ * --shard=i/N (or the SCNN_SHARD=i/N environment variable; the flag
+ * wins) declares this process's place in an N-shard fleet.  It does
+ * not change serving behaviour -- clients route via shardForRequest()
+ * -- but the metrics snapshot then carries the shard identity, so a
+ * sweep driver can cross-check its routing against per-shard
+ * requests_total counters.
  *
  * --listen=0 binds an ephemeral port; --port-file writes the bound
  * port (one decimal line) once listening, so harnesses can launch
@@ -98,7 +105,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--listen=[host:]port] [--port-file=path]\n"
-                 "          [--drain-grace-ms=X]\n"
+                 "          [--drain-grace-ms=X] [--shard=i/N]\n"
                  "          [--max-inflight=N] [--queue=N]\n"
                  "          [--session-threads=N] [--deadline-ms=X]\n"
                  "          [--no-cache] [--metrics[=path]]\n"
@@ -139,6 +146,31 @@ parseNonNegMs(const std::string &v, const char *flag)
               "milliseconds)",
               flag, v.c_str());
     return ms;
+}
+
+/** Parse an "i/N" shard topology (0 <= i < N) into the service cfg. */
+void
+parseShardSpec(const std::string &spec, const char *source,
+               ServiceConfig &service)
+{
+    const size_t slash = spec.find('/');
+    char *end = nullptr;
+    long index = -1, count = -1;
+    if (slash != std::string::npos) {
+        const std::string idxPart = spec.substr(0, slash);
+        const std::string cntPart = spec.substr(slash + 1);
+        index = std::strtol(idxPart.c_str(), &end, 10);
+        const bool idxOk = end != idxPart.c_str() && *end == '\0';
+        count = std::strtol(cntPart.c_str(), &end, 10);
+        const bool cntOk = end != cntPart.c_str() && *end == '\0';
+        if (!idxOk || !cntOk)
+            index = count = -1;
+    }
+    if (index < 0 || count <= 0 || index >= count || count > 4096)
+        fatal("bad %s value '%s' (want i/N with 0 <= i < N)", source,
+              spec.c_str());
+    service.shardIndex = static_cast<int>(index);
+    service.shardCount = static_cast<int>(count);
 }
 
 void
@@ -186,6 +218,8 @@ parse(int argc, char **argv)
     // Serving default: a couple of in-flight sessions, one pool
     // thread each; override per deployment.
     o.service.workers = 2;
+    if (const char *env = std::getenv("SCNN_SHARD"))
+        parseShardSpec(env, "SCNN_SHARD", o.service);
     for (int i = 1; i < argc; ++i) {
         std::string v;
         if (consume(argv[i], "--max-inflight", v)) {
@@ -200,6 +234,8 @@ parse(int argc, char **argv)
                 parseNonNegMs(v, "--deadline-ms");
         } else if (consume(argv[i], "--drain-grace-ms", v)) {
             o.drainGraceMs = parseNonNegMs(v, "--drain-grace-ms");
+        } else if (consume(argv[i], "--shard", v)) {
+            parseShardSpec(v, "--shard", o.service);
         } else if (consume(argv[i], "--listen", v)) {
             parseListenSpec(v, o);
         } else if (consume(argv[i], "--port-file", v)) {
