@@ -1,0 +1,72 @@
+#include "common/retry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace scnn {
+
+std::string
+validateRetryPolicy(const RetryPolicy &policy)
+{
+    if (!(policy.baseDelayMs >= 0.0))
+        return "baseDelayMs must be >= 0";
+    if (!(policy.multiplier >= 1.0))
+        return "multiplier must be >= 1";
+    if (!(policy.maxDelayMs >= policy.baseDelayMs))
+        return "maxDelayMs must be >= baseDelayMs";
+    if (!(policy.jitter >= 0.0 && policy.jitter < 1.0))
+        return "jitter must be in [0, 1)";
+    if (policy.maxAttempts < 0)
+        return "maxAttempts must be >= 0";
+    if (!(policy.deadlineMs >= 0.0))
+        return "deadlineMs must be >= 0";
+    if (policy.maxAttempts == 0 && policy.deadlineMs == 0.0)
+        return "one of maxAttempts and deadlineMs must bound the "
+               "schedule";
+    return "";
+}
+
+RetrySchedule::RetrySchedule(const RetryPolicy &policy, uint64_t seed,
+                             const std::string &label)
+    : policy_(policy), seed_(seed), label_(label),
+      rng_("retry/" + label, seed)
+{
+    const std::string problem = validateRetryPolicy(policy);
+    SCNN_ASSERT(problem.empty(), "bad RetryPolicy (%s): %s",
+                label.c_str(), problem.c_str());
+}
+
+bool
+RetrySchedule::next(double &delayMs)
+{
+    if (policy_.maxAttempts > 0 && attempts_ >= policy_.maxAttempts)
+        return false;
+    // Exponential growth clamped at the ceiling; computed from the
+    // attempt number, not the previous jittered value, so jitter
+    // never compounds.
+    double planned = policy_.baseDelayMs *
+                     std::pow(policy_.multiplier, attempts_);
+    planned = std::min(planned, policy_.maxDelayMs);
+    if (policy_.jitter > 0.0)
+        planned *= rng_.uniform(1.0 - policy_.jitter,
+                                1.0 + policy_.jitter);
+    if (policy_.deadlineMs > 0.0 &&
+        plannedMs_ + planned > policy_.deadlineMs)
+        return false;
+    plannedMs_ += planned;
+    ++attempts_;
+    delayMs = planned;
+    return true;
+}
+
+void
+RetrySchedule::reset()
+{
+    attempts_ = 0;
+    plannedMs_ = 0.0;
+    rng_ = Rng("retry/" + label_, seed_);
+}
+
+} // namespace scnn

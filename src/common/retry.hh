@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deadline-capped exponential backoff with deterministic seeded
+ * jitter -- the one retry policy every reconnect/retry site in the
+ * serving and DSE stack routes through.
+ *
+ * Retrying is where distributed systems quietly lose their
+ * determinism and their manners: ad-hoc retry loops either hammer a
+ * saturated peer (no backoff), retry forever (no deadline), or
+ * synchronize into thundering herds (no jitter).  This policy fixes
+ * all three while keeping the repository's reproducibility contract:
+ * the jitter comes from the seeded Rng, so the exact delay sequence
+ * of attempt 1, 2, 3, ... is a pure function of (policy, label,
+ * seed) -- a chaos test can assert on it, and two runs of the same
+ * sweep back off identically.
+ *
+ * The budget is expressed over *planned* delay, not wall-clock time:
+ * a RetrySchedule sums the delays it has handed out and refuses the
+ * attempt that would push the total past deadlineMs.  That keeps the
+ * schedule deterministic (no clock reads) while still bounding how
+ * long a caller can spin against a dead peer.
+ *
+ * Typical use:
+ *
+ *   RetrySchedule retry(policy, seed, "shard 3 reconnect");
+ *   double delayMs;
+ *   while (retry.next(delayMs)) {
+ *       sleepFor(delayMs);
+ *       if (tryTheThing())
+ *           break;
+ *   }
+ *   // retry budget exhausted -> escalate (fail over, give up)
+ */
+
+#ifndef SCNN_COMMON_RETRY_HH
+#define SCNN_COMMON_RETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hh"
+
+namespace scnn {
+
+/** Shape of an exponential-backoff retry budget. */
+struct RetryPolicy
+{
+    /** Delay before the first retry (before jitter). */
+    double baseDelayMs = 10.0;
+
+    /** Per-attempt growth factor (>= 1). */
+    double multiplier = 2.0;
+
+    /** Ceiling a single delay is clamped to (before jitter). */
+    double maxDelayMs = 1000.0;
+
+    /**
+     * Jitter fraction in [0, 1): each delay is scaled by a factor
+     * drawn uniformly from [1 - jitter, 1 + jitter).  0 disables
+     * jitter entirely.
+     */
+    double jitter = 0.25;
+
+    /** Hard cap on attempts; 0 = bounded by the deadline only. */
+    int maxAttempts = 8;
+
+    /**
+     * Budget over the *sum of planned delays*: the attempt whose
+     * delay would push the running total past this is refused.
+     * 0 = bounded by maxAttempts only.  At least one of maxAttempts
+     * and deadlineMs must be nonzero.
+     */
+    double deadlineMs = 0.0;
+};
+
+/**
+ * One retry sequence under a policy.  next() hands out the delay to
+ * sleep before the upcoming attempt; false means the budget (attempts
+ * or deadline) is exhausted and the caller should escalate.  The
+ * delay sequence is deterministic in (policy, seed, label).
+ */
+class RetrySchedule
+{
+  public:
+    RetrySchedule(const RetryPolicy &policy, uint64_t seed,
+                  const std::string &label);
+
+    /**
+     * Plan the next attempt.  On true, `delayMs` is the jittered
+     * delay to wait before retrying.  On false the budget is spent
+     * and `delayMs` is untouched.
+     */
+    bool next(double &delayMs);
+
+    /** Attempts handed out so far. */
+    int attempts() const { return attempts_; }
+
+    /** Total delay handed out so far (ms). */
+    double plannedMs() const { return plannedMs_; }
+
+    /** Forget all progress: the next next() starts from attempt 1. */
+    void reset();
+
+  private:
+    const RetryPolicy policy_;
+    const uint64_t seed_;
+    const std::string label_;
+    Rng rng_;
+    int attempts_ = 0;
+    double plannedMs_ = 0.0;
+};
+
+/** Validate a policy; returns a description of the first problem, or
+ *  an empty string when the policy is usable. */
+std::string validateRetryPolicy(const RetryPolicy &policy);
+
+} // namespace scnn
+
+#endif // SCNN_COMMON_RETRY_HH

@@ -7,9 +7,11 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -18,6 +20,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "nn/model_zoo.hh"
+#include "sim/frontend.hh"
 #include "sim/service.hh"
 #include "sim/simulator.hh"
 
@@ -119,15 +122,17 @@ class InProcessEvaluator : public DseEvaluator
 
 // --- remote fleet ------------------------------------------------------
 
-/** One connected shard: a socket plus a line-buffered reader. */
+/**
+ * One shard's connection: a socket plus a line-buffered reader, with
+ * reconnection (the endpoint is remembered) and a ping/pong health
+ * probe.  All I/O is deadline-capped by the caller's timeout; a
+ * vanished or silent peer surfaces as a false return, never a signal
+ * or an unbounded block.
+ */
 class ShardConnection
 {
   public:
-    ~ShardConnection()
-    {
-        if (fd_ >= 0)
-            ::close(fd_);
-    }
+    ~ShardConnection() { close(); }
 
     bool
     connectTo(const std::string &endpoint, std::string &error)
@@ -164,10 +169,32 @@ class ShardConnection
                       sizeof(addr)) != 0) {
             error = strfmt("cannot connect to %s: %s",
                            endpoint.c_str(), std::strerror(errno));
+            close();
             return false;
         }
         endpoint_ = endpoint;
         return true;
+    }
+
+    /** Drop the connection (half-finished replies included). */
+    void
+    close()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = -1;
+        buffer_.clear();
+    }
+
+    bool alive() const { return fd_ >= 0; }
+
+    /** Re-dial the remembered endpoint (a fresh, empty stream). */
+    bool
+    reconnect(std::string &error)
+    {
+        const std::string endpoint = endpoint_;
+        close();
+        return connectTo(endpoint, error);
     }
 
     bool
@@ -175,22 +202,19 @@ class ShardConnection
     {
         std::string out = line;
         out += '\n';
-        size_t off = 0;
-        while (off < out.size()) {
-            const ssize_t n =
-                ::write(fd_, out.data() + off, out.size() - off);
-            if (n <= 0) {
-                if (n < 0 && errno == EINTR)
-                    continue;
-                return false;
-            }
-            off += static_cast<size_t>(n);
-        }
-        return true;
+        // MSG_NOSIGNAL inside: a shard dying mid-send is a false
+        // return here, never a SIGPIPE.
+        return writeAllFd(fd_, out.data(), out.size());
     }
 
+    /**
+     * Next reply line; `timeoutMs` caps every individual wait for
+     * bytes (0 = wait forever).  False on EOF, error or timeout --
+     * the caller cannot tell a dead peer from a silent one, and
+     * treats both as a lost connection.
+     */
     bool
-    recvLine(std::string &line)
+    recvLine(std::string &line, double timeoutMs)
     {
         for (;;) {
             const size_t nl = buffer_.find('\n');
@@ -198,6 +222,15 @@ class ShardConnection
                 line = buffer_.substr(0, nl);
                 buffer_.erase(0, nl + 1);
                 return true;
+            }
+            if (timeoutMs > 0.0) {
+                struct pollfd pfd = {fd_, POLLIN, 0};
+                const int rv =
+                    ::poll(&pfd, 1, static_cast<int>(timeoutMs) + 1);
+                if (rv < 0 && errno == EINTR)
+                    continue;
+                if (rv <= 0)
+                    return false; // timeout or poll failure
             }
             char chunk[4096];
             const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
@@ -209,12 +242,53 @@ class ShardConnection
         }
     }
 
+    /**
+     * Health probe: one {"ping"} round trip, expecting a pong that
+     * echoes the token.  Bypasses the shard's admission queue, so a
+     * busy shard still passes; only a dead, wedged or misdialed
+     * endpoint fails.
+     */
+    bool
+    probe(double timeoutMs, std::string &error)
+    {
+        const uint64_t token = ++probeToken_;
+        JsonWriter w;
+        w.beginObject();
+        w.key("ping").value(token);
+        w.endObject();
+        if (!sendLine(w.str())) {
+            error = strfmt("%s: connection lost while sending the "
+                           "health probe", endpoint_.c_str());
+            return false;
+        }
+        std::string reply;
+        if (!recvLine(reply, timeoutMs)) {
+            error = strfmt("%s: no reply to the health probe",
+                           endpoint_.c_str());
+            return false;
+        }
+        JsonValue doc;
+        std::string parseError;
+        const JsonValue *schema = nullptr, *echo = nullptr;
+        if (!parseJson(reply, doc, parseError) ||
+            !(schema = doc.find("schema")) || !schema->isString() ||
+            schema->string != "scnn.service_pong.v1" ||
+            !(echo = doc.find("ping")) || !echo->isUnsigned ||
+            echo->uint64 != token) {
+            error = strfmt("%s: bad health-probe reply: %s",
+                           endpoint_.c_str(), reply.c_str());
+            return false;
+        }
+        return true;
+    }
+
     const std::string &endpoint() const { return endpoint_; }
 
   private:
     int fd_ = -1;
     std::string endpoint_;
     std::string buffer_;
+    uint64_t probeToken_ = 0;
 };
 
 /** Parse one reply line into an EvalResult; "shed" asks for a retry. */
@@ -281,6 +355,14 @@ parseReplyLine(const std::string &line, EvalResult &r, bool &shed)
     return true;
 }
 
+void
+sleepMs(double ms)
+{
+    if (ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+}
+
 class RemoteEvaluator : public DseEvaluator
 {
   public:
@@ -293,6 +375,18 @@ class RemoteEvaluator : public DseEvaluator
     {
     }
 
+    /**
+     * Phased scatter/gather with failover.  Each round runs one
+     * thread per live shard over that shard's pending points (one
+     * request in flight per connection: replies are in-order per
+     * stream, and a window of one can never deadlock against the
+     * server's bounded reorder buffer).  A shard whose connection
+     * dies -- and stays dead through the reconnect budget -- leaves
+     * its unfinished points behind; between rounds those points are
+     * re-routed round-robin onto the survivors (cache affinity is
+     * lost, correctness is not: simulation is a pure function of the
+     * request).  Only a fully dead fleet throws.
+     */
     std::vector<EvalResult>
     evaluate(const std::vector<AcceleratorConfig> &configs) override
     {
@@ -304,27 +398,67 @@ class RemoteEvaluator : public DseEvaluator
             slices[shard].push_back(i);
         }
 
-        // One thread per shard, one request in flight per connection:
-        // replies are in-order per stream, and a window of one can
-        // never deadlock against the server's bounded reorder buffer.
         std::vector<EvalResult> results(configs.size());
         std::vector<std::string> failures(conns_.size());
-        std::vector<std::thread> threads;
-        for (size_t s = 0; s < conns_.size(); ++s) {
-            threads.emplace_back([&, s] {
-                runSlice(*conns_[s], slices[s], configs, results,
-                         failures[s]);
-            });
+        for (;;) {
+            std::vector<std::vector<size_t>> leftovers(conns_.size());
+            std::vector<std::thread> threads;
+            for (size_t s = 0; s < conns_.size(); ++s) {
+                if (slices[s].empty())
+                    continue;
+                // A shard already declared dead (possibly in an
+                // earlier evaluate() call) owes its whole slice to
+                // the failover pool immediately.
+                if (!conns_[s]->alive()) {
+                    leftovers[s] = std::move(slices[s]);
+                    continue;
+                }
+                threads.emplace_back([&, s] {
+                    runSlice(s, slices[s], configs, results,
+                             leftovers[s], failures[s]);
+                });
+            }
+            for (auto &t : threads)
+                t.join();
+
+            // Everything a shard that died this round still owed, in
+            // stable (slice) order; a surviving shard's leftover list
+            // is empty by construction.
+            std::vector<size_t> orphans;
+            for (size_t s = 0; s < conns_.size(); ++s) {
+                slices[s].clear();
+                orphans.insert(orphans.end(), leftovers[s].begin(),
+                               leftovers[s].end());
+            }
+            if (orphans.empty())
+                return results;
+
+            std::vector<size_t> survivors;
+            for (size_t s = 0; s < conns_.size(); ++s)
+                if (conns_[s]->alive())
+                    survivors.push_back(s);
+            if (survivors.empty()) {
+                std::string detail;
+                for (size_t s = 0; s < conns_.size(); ++s)
+                    if (!failures[s].empty())
+                        detail += strfmt("%sshard %zu (%s): %s",
+                                         detail.empty() ? "" : "; ",
+                                         s,
+                                         conns_[s]->endpoint().c_str(),
+                                         failures[s].c_str());
+                throw SimulationError(strfmt(
+                    "every shard of the fleet is dead "
+                    "(%zu point(s) unevaluated): %s",
+                    orphans.size(), detail.c_str()));
+            }
+            failovers_.fetch_add(orphans.size());
+            warn("dse: failing %zu point(s) over to %zu surviving "
+                 "shard(s)",
+                 orphans.size(), survivors.size());
+            for (size_t i = 0; i < orphans.size(); ++i)
+                slices[survivors[i % survivors.size()]].push_back(
+                    orphans[i]);
         }
-        for (auto &t : threads)
-            t.join();
-        for (size_t s = 0; s < failures.size(); ++s)
-            if (!failures[s].empty())
-                throw SimulationError(
-                    strfmt("shard %zu (%s): %s", s,
-                           conns_[s]->endpoint().c_str(),
-                           failures[s].c_str()));
-        return results;
     }
 
     std::string
@@ -334,39 +468,95 @@ class RemoteEvaluator : public DseEvaluator
                       conns_.size() == 1 ? "" : "s");
     }
 
-  private:
-    void
-    runSlice(ShardConnection &conn, const std::vector<size_t> &slice,
-             const std::vector<AcceleratorConfig> &configs,
-             std::vector<EvalResult> &results, std::string &failure)
+    FaultStats
+    faults() const override
     {
-        for (size_t idx : slice) {
+        FaultStats f;
+        f.reconnects = reconnects_.load();
+        f.failovers = failovers_.load();
+        f.retries = retries_.load();
+        return f;
+    }
+
+  private:
+    /**
+     * Reconnect `conn` under the configured backoff, probing each
+     * fresh connection before trusting it.  False leaves the
+     * connection closed: the shard is dead for this sweep.
+     */
+    bool
+    reconnectWithBackoff(size_t shard, ShardConnection &conn,
+                         std::string &failure)
+    {
+        RetrySchedule retry(options_.reconnect, seed_,
+                            strfmt("reconnect/shard %zu", shard));
+        double delayMs = 0.0;
+        std::string error;
+        while (retry.next(delayMs)) {
+            sleepMs(delayMs);
+            reconnects_.fetch_add(1);
+            if (conn.reconnect(error) &&
+                conn.probe(options_.ioTimeoutMs, error))
+                return true;
+            conn.close();
+        }
+        failure = strfmt("gave up after %d reconnect attempt(s): %s",
+                         retry.attempts(), error.c_str());
+        return false;
+    }
+
+    /**
+     * Serve one shard's slice.  Points not completed when the shard
+     * is declared dead land in `leftover` (for failover); `failure`
+     * records why.
+     */
+    void
+    runSlice(size_t shard, const std::vector<size_t> &slice,
+             const std::vector<AcceleratorConfig> &configs,
+             std::vector<EvalResult> &results,
+             std::vector<size_t> &leftover, std::string &failure)
+    {
+        ShardConnection &conn = *conns_[shard];
+        for (size_t pos = 0; pos < slice.size(); ++pos) {
+            const size_t idx = slice[pos];
             const std::string line =
                 remoteRequestLine(networkName_, seed_, configs[idx]);
-            int retries = 0;
+            RetrySchedule shedRetry(
+                options_.shedRetry, seed_,
+                strfmt("shed/point %zu", idx));
             for (;;) {
-                if (!conn.sendLine(line)) {
-                    failure = "connection lost while sending";
+                if (!conn.alive() &&
+                    !reconnectWithBackoff(shard, conn, failure)) {
+                    leftover.assign(slice.begin() +
+                                        static_cast<long>(pos),
+                                    slice.end());
                     return;
                 }
                 std::string reply;
-                if (!conn.recvLine(reply)) {
-                    failure = "connection lost while receiving";
-                    return;
+                if (!conn.sendLine(line) ||
+                    !conn.recvLine(reply, options_.ioTimeoutMs)) {
+                    // Dead or silent: drop the connection and loop
+                    // into the reconnect path.  The request may have
+                    // run on the shard anyway; re-sending is safe
+                    // because simulation is pure and the service
+                    // memoizes by request signature.
+                    conn.close();
+                    continue;
                 }
                 bool shed = false;
                 parseReplyLine(reply, results[idx], shed);
                 if (!shed)
                     break;
-                if (++retries > options_.maxShedRetries) {
+                double delayMs = 0.0;
+                if (!shedRetry.next(delayMs)) {
                     results[idx].ok = false;
-                    results[idx].error =
-                        "shed by the shard after retries";
+                    results[idx].error = strfmt(
+                        "shed by shard %zu after %d retries", shard,
+                        shedRetry.attempts());
                     break;
                 }
-                std::this_thread::sleep_for(
-                    std::chrono::duration<double, std::milli>(
-                        options_.shedRetryDelayMs));
+                retries_.fetch_add(1);
+                sleepMs(delayMs);
             }
         }
     }
@@ -376,6 +566,9 @@ class RemoteEvaluator : public DseEvaluator
     std::string networkName_;
     uint64_t seed_;
     RemoteEvalOptions options_;
+    std::atomic<uint64_t> reconnects_{0};
+    std::atomic<uint64_t> failovers_{0};
+    std::atomic<uint64_t> retries_{0};
 };
 
 } // namespace
@@ -432,6 +625,13 @@ makeRemoteEvaluator(const std::vector<std::string> &endpoints,
                     std::string &error, RemoteEvalOptions options)
 {
     SCNN_ASSERT(!endpoints.empty(), "remote evaluator needs endpoints");
+    std::string problem = validateRetryPolicy(options.shedRetry);
+    if (problem.empty())
+        problem = validateRetryPolicy(options.reconnect);
+    if (!problem.empty()) {
+        error = strfmt("bad retry policy: %s", problem.c_str());
+        return nullptr;
+    }
     Network net;
     if (!networkByName(networkName, net)) {
         error = strfmt("unknown network '%s'", networkName.c_str());
@@ -440,7 +640,11 @@ makeRemoteEvaluator(const std::vector<std::string> &endpoints,
     std::vector<std::unique_ptr<ShardConnection>> conns;
     for (const std::string &endpoint : endpoints) {
         auto conn = std::make_unique<ShardConnection>();
-        if (!conn->connectTo(endpoint, error))
+        // Connect *and* probe: a listener that accepts but never
+        // serves (misdialed port, wedged process) fails here, at
+        // startup, not three minutes into the sweep.
+        if (!conn->connectTo(endpoint, error) ||
+            !conn->probe(options.ioTimeoutMs, error))
             return nullptr;
         conns.push_back(std::move(conn));
     }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "arch/config.hh"
+#include "common/retry.hh"
 #include "nn/network.hh"
 
 namespace scnn {
@@ -43,6 +44,20 @@ struct EvalResult
     double energyPj = 0.0;
 };
 
+/**
+ * What an evaluator survived: the report's `faults` block.  All
+ * counters are cumulative over the evaluator's lifetime.
+ */
+struct FaultStats
+{
+    /** Reconnection attempts after a shard connection died. */
+    uint64_t reconnects = 0;
+    /** Points re-routed off a dead shard onto a survivor. */
+    uint64_t failovers = 0;
+    /** Shed replies answered by re-sending after backoff. */
+    uint64_t retries = 0;
+};
+
 class DseEvaluator
 {
   public:
@@ -53,13 +68,16 @@ class DseEvaluator
      * network; returns one result per config, in input order.  Never
      * throws for per-point failures (they come back as !ok results);
      * throws SimulationError when the evaluator itself breaks (e.g.
-     * a shard connection dies).
+     * every shard of the fleet is dead).
      */
     virtual std::vector<EvalResult>
     evaluate(const std::vector<AcceleratorConfig> &configs) = 0;
 
     /** Human-readable transport description for the report. */
     virtual std::string describe() const = 0;
+
+    /** Fault counters so far (all zero for in-process evaluation). */
+    virtual FaultStats faults() const { return FaultStats(); }
 };
 
 /** Resolve a zoo network by its wire name; false if unknown. */
@@ -78,18 +96,48 @@ makeInProcessEvaluator(Network net, uint64_t seed,
 
 struct RemoteEvalOptions
 {
-    /** Rounds of re-sending a shed request before giving up. */
-    int maxShedRetries = 1000;
-    /** Delay between shed retries (ms). */
-    double shedRetryDelayMs = 20.0;
+    /**
+     * Backoff between re-sends of a shed request.  Shedding is the
+     * fleet's normal saturation response, so the budget is generous:
+     * unlimited attempts under a 20-second planned-delay deadline.
+     */
+    RetryPolicy shedRetry{/*baseDelayMs=*/5.0, /*multiplier=*/1.5,
+                          /*maxDelayMs=*/200.0, /*jitter=*/0.25,
+                          /*maxAttempts=*/0, /*deadlineMs=*/20000.0};
+
+    /**
+     * Backoff between reconnection attempts after a shard connection
+     * dies.  A dead process refuses instantly, so a short budget
+     * decides quickly between "restarting" and "gone" -- after which
+     * the shard's remaining points fail over to the survivors.
+     */
+    RetryPolicy reconnect{/*baseDelayMs=*/50.0, /*multiplier=*/2.0,
+                          /*maxDelayMs=*/500.0, /*jitter=*/0.25,
+                          /*maxAttempts=*/4, /*deadlineMs=*/0.0};
+
+    /**
+     * Cap on one socket read while awaiting a reply (ms; 0 = wait
+     * forever).  A blackholed connection (peer alive but silent) is
+     * treated exactly like a dead one: reconnect, then fail over.
+     * The default is sized far above any legitimate simulation.
+     */
+    double ioTimeoutMs = 120000.0;
 };
 
 /**
  * Connect to a fleet of scnn_serve shards.  `endpoints[i]` ("host:port")
  * must be shard i of an `endpoints.size()`-shard fleet -- requests are
  * routed with shardForRequest().  `networkName` is the wire name the
- * shards resolve ("tiny", "alexnet", ...).  Returns nullptr with
- * `error` set when any connection fails.
+ * shards resolve ("tiny", "alexnet", ...).  Every endpoint is health-
+ * probed (a {"ping"} round trip) before the evaluator is returned;
+ * nullptr with `error` set when any connection or probe fails.
+ *
+ * Mid-sweep resilience: a connection that dies or times out is
+ * reconnected under `options.reconnect`; a shard whose budget is
+ * exhausted is declared dead and its unfinished points are re-routed
+ * to the surviving shards (losing cache affinity, never correctness
+ * -- simulation is a pure function of the request).  evaluate()
+ * throws only when the whole fleet is dead.
  */
 std::unique_ptr<DseEvaluator>
 makeRemoteEvaluator(const std::vector<std::string> &endpoints,

@@ -2,12 +2,15 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <mutex>
 #include <poll.h>
+#include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
 
@@ -18,110 +21,15 @@ namespace scnn {
 
 namespace {
 
-/** Full write with EINTR retry; false once the peer is gone. */
-bool
-writeAll(int fd, const char *data, size_t n)
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
 {
-    while (n > 0) {
-        const ssize_t w = ::write(fd, data, n);
-        if (w < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        data += w;
-        n -= static_cast<size_t>(w);
-    }
-    return true;
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
 }
-
-/**
- * Buffered line reader over a fd, with an optional stop fd polled
- * alongside it.  EOF yields a trailing unterminated line (a pipe that
- * ends without '\n' still carried a request); a stop signal drops
- * any partial line -- forced drain means "consume nothing further".
- */
-class FdLineReader
-{
-  public:
-    FdLineReader(int fd, int stopFd, size_t maxLine)
-        : fd_(fd), stopFd_(stopFd), maxLine_(maxLine)
-    {
-    }
-
-    bool stopped() const { return stopped_; }
-
-    /** Next request line; false at EOF / stop / peer error. */
-    bool
-    next(std::string &line, bool &oversized)
-    {
-        line.clear();
-        oversized = false;
-        for (;;) {
-            while (pos_ < buf_.size()) {
-                const char c = buf_[pos_++];
-                if (c == '\n')
-                    return true;
-                if (line.size() < maxLine_)
-                    line += c;
-                else
-                    oversized = true;
-            }
-            buf_.clear();
-            pos_ = 0;
-            switch (fill()) {
-            case Fill::Data:
-                break;
-            case Fill::Eof:
-                return !line.empty();
-            case Fill::Stopped:
-                stopped_ = true;
-                return false;
-            }
-        }
-    }
-
-  private:
-    enum class Fill { Data, Eof, Stopped };
-
-    Fill
-    fill()
-    {
-        for (;;) {
-            struct pollfd fds[2];
-            fds[0] = {fd_, POLLIN, 0};
-            fds[1] = {stopFd_, POLLIN, 0};
-            const nfds_t n = stopFd_ >= 0 ? 2 : 1;
-            if (::poll(fds, n, -1) < 0) {
-                if (errno == EINTR)
-                    continue;
-                return Fill::Eof;
-            }
-            if (n == 2 && (fds[1].revents & (POLLIN | POLLHUP)))
-                return Fill::Stopped;
-            if (!(fds[0].revents & (POLLIN | POLLHUP | POLLERR)))
-                continue;
-            char chunk[1 << 16];
-            const ssize_t r = ::read(fd_, chunk, sizeof(chunk));
-            if (r < 0) {
-                if (errno == EINTR)
-                    continue;
-                return Fill::Eof;
-            }
-            if (r == 0)
-                return Fill::Eof;
-            buf_.append(chunk, static_cast<size_t>(r));
-            return Fill::Data;
-        }
-    }
-
-    const int fd_;
-    const int stopFd_;
-    const size_t maxLine_;
-    std::string buf_;
-    size_t pos_ = 0;
-    bool stopped_ = false;
-};
 
 /** An input line's slot in the in-order output sequence. */
 struct PendingLine
@@ -213,7 +121,7 @@ class OrderedEmitter
                 slot.ready ? std::move(slot.text)
                            : serviceReplyLine(lineNo, slot.ticket.wait());
             text += '\n';
-            if (!writeAll(outFd_, text.data(), text.size()))
+            if (!writeAllFd(outFd_, text.data(), text.size()))
                 writeFailed_.store(true, std::memory_order_relaxed);
             ++lineNo;
         }
@@ -231,6 +139,145 @@ class OrderedEmitter
 };
 
 } // anonymous namespace
+
+bool
+writeAllFd(int fd, const char *data, size_t n)
+{
+    while (n > 0) {
+        // MSG_NOSIGNAL turns a vanished socket peer into EPIPE even
+        // in processes that left SIGPIPE at its default; non-socket
+        // fds (pipes, files) reject the flag with ENOTSOCK and fall
+        // through to plain write().
+        ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (w < 0 && (errno == ENOTSOCK || errno == EOPNOTSUPP))
+            w = ::write(fd, data, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            // EPIPE / ECONNRESET: the peer is gone.  Any other error
+            // equally ends the stream -- the caller's contract is
+            // "false means stop writing", not errno taxonomy.
+            return false;
+        }
+        data += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+void
+ignoreSigpipe()
+{
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+// --- FdLineReader ------------------------------------------------------
+
+FdLineReader::FdLineReader(int fd, int stopFd, Options options)
+    : fd_(fd), stopFd_(stopFd), options_(options)
+{
+}
+
+FdLineReader::Result
+FdLineReader::next(std::string &line, bool &oversized)
+{
+    line.clear();
+    oversized = false;
+    // Two clocks: the idle clock runs from this call until the line's
+    // first byte; the line clock runs from that first byte until its
+    // newline.  Bytes already buffered count as "arrived".
+    const Clock::time_point idleStart = Clock::now();
+    Clock::time_point lineStart;
+    bool started = pos_ < buf_.size();
+    if (started)
+        lineStart = idleStart;
+    for (;;) {
+        while (pos_ < buf_.size()) {
+            if (!started) {
+                started = true;
+                lineStart = Clock::now();
+            }
+            const char c = buf_[pos_++];
+            if (c == '\n')
+                return Result::Line;
+            if (line.size() < options_.maxLineBytes)
+                line += c;
+            else
+                oversized = true;
+        }
+        buf_.clear();
+        pos_ = 0;
+
+        double budgetMs = 0.0;
+        bool armed = false;
+        if (started && options_.lineTimeoutMs > 0.0) {
+            budgetMs = options_.lineTimeoutMs - msSince(lineStart);
+            armed = true;
+        } else if (!started && options_.idleTimeoutMs > 0.0) {
+            budgetMs = options_.idleTimeoutMs - msSince(idleStart);
+            armed = true;
+        }
+        if (armed && budgetMs <= 0.0)
+            return Result::TimedOut;
+
+        switch (fill(budgetMs, armed)) {
+        case Fill::Data:
+            break;
+        case Fill::Eof:
+            return line.empty() ? Result::Eof : Result::Line;
+        case Fill::Stopped:
+            return Result::Stopped;
+        case Fill::TimedOut:
+            return Result::TimedOut;
+        }
+    }
+}
+
+FdLineReader::Fill
+FdLineReader::fill(double deadlineMs, bool deadlineArmed)
+{
+    const Clock::time_point start = Clock::now();
+    for (;;) {
+        int timeout = -1;
+        if (deadlineArmed) {
+            const double remaining = deadlineMs - msSince(start);
+            if (remaining <= 0.0)
+                return Fill::TimedOut;
+            // Round up so a sub-millisecond remainder still waits
+            // instead of spinning.
+            timeout = static_cast<int>(remaining) + 1;
+        }
+        struct pollfd fds[2];
+        fds[0] = {fd_, POLLIN, 0};
+        fds[1] = {stopFd_, POLLIN, 0};
+        const nfds_t n = stopFd_ >= 0 ? 2 : 1;
+        const int rv = ::poll(fds, n, timeout);
+        if (rv < 0) {
+            if (errno == EINTR)
+                continue;
+            return Fill::Eof;
+        }
+        if (rv == 0)
+            return Fill::TimedOut;
+        if (n == 2 && (fds[1].revents & (POLLIN | POLLHUP)))
+            return Fill::Stopped;
+        if (!(fds[0].revents & (POLLIN | POLLHUP | POLLERR)))
+            continue;
+        char chunk[1 << 16];
+        const ssize_t r = ::read(fd_, chunk, sizeof(chunk));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return Fill::Eof;
+        }
+        if (r == 0)
+            return Fill::Eof;
+        buf_.append(chunk, static_cast<size_t>(r));
+        return Fill::Data;
+    }
+}
+
+// --- reply lines -------------------------------------------------------
 
 std::string
 serviceErrorLine(uint64_t line, const char *outcome,
@@ -262,6 +309,49 @@ serviceReplyLine(uint64_t line, const ServiceReply &reply)
     return serviceErrorLine(line, "error", reply.error);
 }
 
+bool
+isPingLine(const std::string &line, uint64_t &echo)
+{
+    // Cheap pre-filter: every ping contains the key.  Anything
+    // without it skips the JSON parse entirely, so the health path
+    // adds nothing to the request hot path.
+    if (line.find("\"ping\"") == std::string::npos)
+        return false;
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(line, doc, error) || !doc.isObject() ||
+        doc.object.size() != 1)
+        return false;
+    const JsonValue *ping = doc.find("ping");
+    if (!ping || !ping->isNumber() || !ping->isUnsigned)
+        return false;
+    echo = ping->uint64;
+    return true;
+}
+
+std::string
+servicePongLine(uint64_t line, uint64_t echo,
+                const SimulationService &service)
+{
+    const ServiceStats s = service.stats();
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("scnn.service_pong.v1");
+    w.key("line").value(line);
+    w.key("ping").value(echo);
+    w.key("queue_depth").value(s.queueDepth);
+    w.key("inflight").value(s.inflight);
+    w.key("queue_capacity").value(service.config().queueCapacity);
+    if (service.config().shardCount > 0) {
+        w.key("shard").beginObject();
+        w.key("index").value(service.config().shardIndex);
+        w.key("count").value(service.config().shardCount);
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
 StreamOutcome
 serveLineStream(SimulationService &service, int inFd, int outFd,
                 const FrontendOptions &opts, int stopFd)
@@ -273,12 +363,22 @@ serveLineStream(SimulationService &service, int inFd, int outFd,
         outFd,
         static_cast<size_t>(service.config().queueCapacity) +
             static_cast<size_t>(service.config().workers) + 64);
-    FdLineReader reader(inFd, stopFd, opts.maxLineBytes);
+    FdLineReader::Options ro;
+    ro.maxLineBytes = opts.maxLineBytes;
+    ro.idleTimeoutMs = opts.idleTimeoutMs;
+    ro.lineTimeoutMs = opts.lineTimeoutMs;
+    FdLineReader reader(inFd, stopFd, ro);
 
     std::string line;
     bool oversized = false;
     uint64_t lineNo = 0;
-    while (reader.next(line, oversized)) {
+    for (;;) {
+        const FdLineReader::Result rr = reader.next(line, oversized);
+        if (rr != FdLineReader::Result::Line) {
+            out.forcedStop = rr == FdLineReader::Result::Stopped;
+            out.timedOut = rr == FdLineReader::Result::TimedOut;
+            break;
+        }
         if (emitter.writeFailed())
             break;
         if (opts.echo)
@@ -287,6 +387,7 @@ serveLineStream(SimulationService &service, int inFd, int outFd,
                          static_cast<unsigned long long>(lineNo),
                          line.c_str());
         PendingLine slot;
+        uint64_t pingEcho = 0;
         if (oversized) {
             slot.ready = true;
             slot.text = serviceErrorLine(
@@ -297,6 +398,12 @@ serveLineStream(SimulationService &service, int inFd, int outFd,
                    std::string::npos) {
             slot.ready = true;
             slot.text = serviceErrorLine(lineNo, "error", "empty line");
+        } else if (isPingLine(line, pingEcho)) {
+            // Health checks bypass admission entirely: a saturated
+            // queue must not make the fleet look dead.
+            ++out.pings;
+            slot.ready = true;
+            slot.text = servicePongLine(lineNo, pingEcho, service);
         } else {
             ParsedServiceRequest parsed;
             std::string error;
@@ -330,7 +437,6 @@ serveLineStream(SimulationService &service, int inFd, int outFd,
     emitter.finish();
     out.lines = lineNo;
     out.writeFailed = emitter.writeFailed();
-    out.forcedStop = reader.stopped();
     return out;
 }
 

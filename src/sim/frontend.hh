@@ -18,6 +18,9 @@
  *  - a parse error, an oversized line or an empty line produces a
  *    structured "scnn.service_error.v1" reply, never a dropped line
  *    or a crash;
+ *  - a {"ping": 1} line is answered with "scnn.service_pong.v1"
+ *    without touching the admission queue -- the fleet's health
+ *    check stays cheap and cannot be shed;
  *  - admission control in one of two modes: *blocking* (submit()
  *    blocks while the service queue is full, pushing backpressure
  *    into the transport -- the pipe mode) or *shedding* (trySubmit();
@@ -26,9 +29,12 @@
  *    client must not stall the listener).
  *
  * A stream stops at transport EOF, when the peer vanishes mid-write,
- * or when `stopFd` becomes readable (the server's forced-drain
- * signal); in every case the reorder buffer is drained first, so a
- * reply is written for every request that was admitted.
+ * when a read deadline expires (slow-loris defense: an idle timeout
+ * bounds the wait for a line to *start*, a line timeout bounds the
+ * time a started line may take to finish), or when `stopFd` becomes
+ * readable (the server's forced-drain signal); in every case the
+ * reorder buffer is drained first, so a reply is written for every
+ * request that was admitted.
  */
 
 #ifndef SCNN_SIM_FRONTEND_HH
@@ -40,6 +46,65 @@
 #include "sim/service.hh"
 
 namespace scnn {
+
+/**
+ * Buffered line reader over a fd, with an optional stop fd polled
+ * alongside it and optional read deadlines.  EOF yields a trailing
+ * unterminated line (a pipe that ends without '\n' still carried a
+ * request); a stop signal or an expired deadline drops any partial
+ * line -- forced drain and slow-loris cutoff both mean "consume
+ * nothing further".
+ *
+ * Public (not an implementation detail of serveLineStream) so the
+ * adversarial I/O tests can drive it over pipes directly: 1-byte
+ * reads, partial lines at the size limit, EOF mid-line, stop-fd
+ * wakeups and deadline expiry are all pinned behaviours.
+ */
+class FdLineReader
+{
+  public:
+    struct Options
+    {
+        /** Hard cap on one line; the overflow is consumed and the
+         *  line is flagged oversized rather than failing the
+         *  stream. */
+        size_t maxLineBytes = 1 << 20;
+
+        /** Max wall time waiting for a line to *start* (ms); 0 =
+         *  wait forever.  An idle peer past this is cut off. */
+        double idleTimeoutMs = 0.0;
+
+        /** Max wall time between a line's first byte and its newline
+         *  (ms); 0 = unbounded.  A peer trickling one byte at a time
+         *  (slow loris) is cut off. */
+        double lineTimeoutMs = 0.0;
+    };
+
+    enum class Result
+    {
+        Line,     ///< a complete request line was produced
+        Eof,      ///< transport EOF (no trailing data)
+        Stopped,  ///< stopFd fired
+        TimedOut, ///< idle or line deadline expired
+    };
+
+    FdLineReader(int fd, int stopFd, Options options);
+
+    /** Next request line.  `oversized` is set when the line exceeded
+     *  maxLineBytes (the overflow was discarded). */
+    Result next(std::string &line, bool &oversized);
+
+  private:
+    enum class Fill { Data, Eof, Stopped, TimedOut };
+
+    Fill fill(double deadlineMs, bool deadlineArmed);
+
+    const int fd_;
+    const int stopFd_;
+    const Options options_;
+    std::string buf_;
+    size_t pos_ = 0;
+};
 
 /** Per-stream behaviour of serveLineStream(). */
 struct FrontendOptions
@@ -57,6 +122,10 @@ struct FrontendOptions
     /** Hard cap on one request line; longer lines get an error line. */
     size_t maxLineBytes = 1 << 20;
 
+    /** Read deadlines (FdLineReader::Options semantics); 0 = off. */
+    double idleTimeoutMs = 0.0;
+    double lineTimeoutMs = 0.0;
+
     /** Stream label used in --echo traces ("stdin", "client 3"). */
     std::string peer = "stdin";
 };
@@ -66,8 +135,10 @@ struct StreamOutcome
 {
     uint64_t lines = 0;      ///< request lines consumed
     uint64_t shed = 0;       ///< lines refused at admission
+    uint64_t pings = 0;      ///< health-check lines answered
     bool writeFailed = false; ///< peer vanished mid-write
     bool forcedStop = false;  ///< stopFd fired before EOF
+    bool timedOut = false;    ///< a read deadline cut the stream
 };
 
 /**
@@ -83,10 +154,44 @@ std::string serviceErrorLine(uint64_t line, const char *outcome,
 std::string serviceReplyLine(uint64_t line, const ServiceReply &reply);
 
 /**
+ * True when `line` is a health-check request: a JSON object whose
+ * only key is "ping" with a non-negative integer value.  Anything
+ * else -- including malformed JSON -- is not a ping and flows down
+ * the normal request path.
+ */
+bool isPingLine(const std::string &line, uint64_t &echo);
+
+/**
+ * The "scnn.service_pong.v1" reply to a ping: echoes the ping value
+ * and carries a cheap liveness snapshot (queue depth, in-flight
+ * sessions, shard identity when configured) so probers can make
+ * routing decisions from one round trip.
+ */
+std::string servicePongLine(uint64_t line, uint64_t echo,
+                            const SimulationService &service);
+
+/**
+ * Full write with EINTR retry; false once the peer is gone (EPIPE /
+ * ECONNRESET included).  Socket writes are flagged MSG_NOSIGNAL, so
+ * a vanished peer surfaces here as a return value even in processes
+ * that did not ignore SIGPIPE.
+ */
+bool writeAllFd(int fd, const char *data, size_t n);
+
+/**
+ * Ignore SIGPIPE process-wide.  Every long-lived tool that writes to
+ * sockets or pipes (scnn_serve, scnn_dse) calls this at startup: a
+ * peer vanishing mid-write must surface as EPIPE on the write, never
+ * as a process-killing signal.
+ */
+void ignoreSigpipe();
+
+/**
  * Serve one byte stream of the JSON-lines protocol: read request
  * lines from `inFd`, write reply lines to `outFd`, both until EOF
- * (or peer loss, or `stopFd` readable).  Blocks the calling thread
- * for the stream's lifetime; spawns one internal writer thread.
+ * (or peer loss, or a read deadline, or `stopFd` readable).  Blocks
+ * the calling thread for the stream's lifetime; spawns one internal
+ * writer thread.
  *
  * @param stopFd when >= 0, a fd polled alongside `inFd`; once it
  *        becomes readable the stream stops consuming input (pending

@@ -685,7 +685,8 @@ SimulationService::stats() const
 }
 
 std::string
-SimulationService::statsJson() const
+SimulationService::statsJson(
+    const std::function<void(JsonWriter &)> &extra) const
 {
     const ServiceStats s = stats();
     auto rate = [](uint64_t hits, uint64_t misses) {
@@ -753,6 +754,8 @@ SimulationService::statsJson() const
     w.key("p50").value(s.queueP50Ms);
     w.key("p95").value(s.queueP95Ms);
     w.endObject();
+    if (extra)
+        extra(w);
     w.endObject();
     return w.str();
 }

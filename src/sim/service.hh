@@ -55,6 +55,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -67,6 +68,8 @@
 #include "sim/session.hh"
 
 namespace scnn {
+
+class JsonWriter;
 
 /** Static configuration of a SimulationService. */
 struct ServiceConfig
@@ -247,8 +250,15 @@ class SimulationService
 
     ServiceStats stats() const;
 
-    /** Metrics snapshot, schema "scnn.service_stats.v1". */
-    std::string statsJson() const;
+    /**
+     * Metrics snapshot, schema "scnn.service_stats.v1".  `extra`,
+     * when set, is invoked with the writer positioned inside the top-
+     * level object so a host (scnn_serve) can append its own blocks
+     * -- e.g. transport-level connection counters -- without string
+     * splicing.
+     */
+    std::string statsJson(
+        const std::function<void(JsonWriter &)> &extra = {}) const;
 
     const ServiceConfig &config() const { return cfg_; }
 

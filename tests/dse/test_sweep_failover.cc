@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Fleet-resilience suite for scnn_dse (SCNN_DSE_BIN) against live
+ * scnn_serve shards (SCNN_SERVE_BIN) and the deterministic chaos
+ * proxy (SCNN_FAULTPROXY_BIN):
+ *
+ *  - SIGKILLing a shard mid-sweep re-routes its points to the
+ *    survivor: the sweep still exits 0, the funnel reports the
+ *    failovers, and the frontier is identical to the undisturbed
+ *    in-process run (losing a shard loses cache affinity, never
+ *    correctness);
+ *  - a reset storm (every connection RST after a few replies) forces
+ *    reconnects but changes nothing about the result;
+ *  - a blackholed endpoint fails the startup health probe within the
+ *    configured --io-timeout-ms instead of hanging the sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace scnn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+uniquePath(const char *stem)
+{
+    static std::atomic<int> counter{0};
+    return testing::TempDir() + stem + "_" +
+           std::to_string(getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+pid_t
+spawn(const std::vector<std::string> &args,
+      const std::string &stderrPath)
+{
+    std::vector<char *> argv;
+    for (const auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid != 0)
+        return pid;
+    const int devnull = open("/dev/null", O_RDWR);
+    dup2(devnull, STDIN_FILENO);
+    dup2(devnull, STDOUT_FILENO);
+    const int errFd = open(stderrPath.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (errFd >= 0)
+        dup2(errFd, STDERR_FILENO);
+    execv(argv[0], argv.data());
+    _exit(127);
+}
+
+int
+waitForExit(pid_t pid, double timeoutSec = 120.0)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::duration<double>(timeoutSec);
+    int status = 0;
+    for (;;) {
+        const pid_t r = waitpid(pid, &status, WNOHANG);
+        if (r == pid)
+            break;
+        if (Clock::now() > deadline) {
+            kill(pid, SIGKILL);
+            waitpid(pid, &status, 0);
+            ADD_FAILURE() << "process did not exit in " << timeoutSec
+                          << "s; killed";
+            return -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+int
+runDse(const std::vector<std::string> &extraArgs,
+       std::string *errOut = nullptr)
+{
+    const std::string errPath = uniquePath("fo_dse_err");
+    std::vector<std::string> args = {SCNN_DSE_BIN};
+    args.insert(args.end(), extraArgs.begin(), extraArgs.end());
+    const int status = waitForExit(spawn(args, errPath));
+    if (errOut)
+        *errOut = slurp(errPath);
+    return status;
+}
+
+/** Same 12-point spec the CLI suite sweeps; finishes in seconds. */
+std::string
+writeSpec()
+{
+    const std::string path = uniquePath("fo_spec");
+    std::ofstream out(path);
+    out << R"({"schema": "scnn.dse_spec.v1", "name": "failover-test",
+               "axes": [
+                 {"field": "pe_rows", "values": [2, 4, 8]},
+                 {"field": "mul_i", "values": [1, 2]},
+                 {"field": "accum_banks", "values": [16, 32]}]})";
+    return path;
+}
+
+JsonValue
+loadReport(const std::string &path)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(slurp(path), v, error)) << error;
+    return v;
+}
+
+uint64_t
+faultField(const JsonValue &report, const char *field)
+{
+    const JsonValue *funnel = report.find("funnel");
+    EXPECT_NE(funnel, nullptr);
+    const JsonValue *faults = funnel ? funnel->find("faults") : nullptr;
+    EXPECT_NE(faults, nullptr);
+    const JsonValue *v = faults ? faults->find(field) : nullptr;
+    EXPECT_NE(v, nullptr) << field;
+    return v ? v->uint64 : 0;
+}
+
+void
+expectSameFrontier(const JsonValue &ref, const JsonValue &got)
+{
+    const auto &fa = ref.find("frontier")->array;
+    const auto &fb = got.find("frontier")->array;
+    ASSERT_EQ(fa.size(), fb.size());
+    ASSERT_FALSE(fa.empty());
+    for (size_t i = 0; i < fa.size(); ++i) {
+        EXPECT_EQ(fa[i].find("point")->string,
+                  fb[i].find("point")->string);
+        EXPECT_EQ(fa[i].find("cycles")->uint64,
+                  fb[i].find("cycles")->uint64);
+        // Bit-exact: %.17g round trip, no tolerance.
+        EXPECT_EQ(fa[i].find("energy_pj")->number,
+                  fb[i].find("energy_pj")->number);
+        EXPECT_EQ(fa[i].find("area_mm2")->number,
+                  fb[i].find("area_mm2")->number);
+    }
+}
+
+struct Shard
+{
+    pid_t pid = -1;
+    int port = 0;
+    std::string errPath;
+    std::string metricsPath;
+};
+
+Shard
+startShard(int index, int count,
+           const std::vector<std::string> &extraArgs = {})
+{
+    Shard s;
+    s.errPath = uniquePath("fo_shard_err");
+    s.metricsPath = uniquePath("fo_shard_metrics");
+    const std::string portFile = uniquePath("fo_shard_port");
+    std::vector<std::string> args = {
+        SCNN_SERVE_BIN, "--listen=127.0.0.1:0",
+        "--port-file=" + portFile,
+        "--shard=" + std::to_string(index) + "/" +
+            std::to_string(count),
+        "--metrics=" + s.metricsPath};
+    args.insert(args.end(), extraArgs.begin(), extraArgs.end());
+    s.pid = spawn(args, s.errPath);
+    const auto deadline = Clock::now() + std::chrono::seconds(30);
+    while (Clock::now() < deadline) {
+        const std::string text = slurp(portFile);
+        if (!text.empty()) {
+            s.port = std::atoi(text.c_str());
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GT(s.port, 0) << slurp(s.errPath);
+    return s;
+}
+
+struct Proxy
+{
+    pid_t pid = -1;
+    int port = 0;
+    std::string errPath;
+};
+
+Proxy
+startProxy(int upstreamPort, const std::vector<std::string> &faultArgs)
+{
+    Proxy p;
+    p.errPath = uniquePath("fo_proxy_err");
+    const std::string portFile = uniquePath("fo_proxy_port");
+    std::vector<std::string> args = {
+        SCNN_FAULTPROXY_BIN, "--listen=127.0.0.1:0",
+        "--port-file=" + portFile,
+        "--upstream=127.0.0.1:" + std::to_string(upstreamPort)};
+    args.insert(args.end(), faultArgs.begin(), faultArgs.end());
+    p.pid = spawn(args, p.errPath);
+    const auto deadline = Clock::now() + std::chrono::seconds(30);
+    while (Clock::now() < deadline) {
+        const std::string text = slurp(portFile);
+        if (!text.empty()) {
+            p.port = std::atoi(text.c_str());
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GT(p.port, 0) << slurp(p.errPath);
+    return p;
+}
+
+TEST(SweepFailover, SigkilledShardFailsOverWithAnIdenticalFrontier)
+{
+    const std::string spec = writeSpec();
+
+    // The undisturbed reference: the same sweep, in process.
+    const std::string localReport = uniquePath("fo_local");
+    std::string err;
+    ASSERT_EQ(runDse({"--spec=" + spec, "--network=tiny", "--quiet",
+                      "--json=" + localReport},
+                     &err),
+              0)
+        << err;
+
+    // A 2-shard fleet; the doomed shard echoes every line it reads.
+    Shard survivor = startShard(0, 2);
+    Shard doomed = startShard(1, 2, {"--echo"});
+
+    // Run the sweep in small batches and SIGKILL the doomed shard the
+    // moment it echoes its first *simulation* request.  (Not its
+    // first echoed line: that is the evaluator's startup health
+    // probe, and a kill in the probe's echo-to-pong window is a
+    // legitimate startup failure -- there is no sweep yet to fail
+    // over.)  From then on every point routed to it must fail over.
+    const std::string remoteReport = uniquePath("fo_remote");
+    std::thread killer([&] {
+        const auto deadline = Clock::now() + std::chrono::seconds(60);
+        while (Clock::now() < deadline) {
+            if (slurp(doomed.errPath).find("backends") !=
+                std::string::npos) {
+                kill(doomed.pid, SIGKILL);
+                return;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        ADD_FAILURE() << "doomed shard never echoed a request";
+    });
+    const int status =
+        runDse({"--spec=" + spec, "--network=tiny", "--quiet",
+                "--batch=4",
+                "--connect=127.0.0.1:" +
+                    std::to_string(survivor.port) + ",127.0.0.1:" +
+                    std::to_string(doomed.port),
+                "--json=" + remoteReport},
+               &err);
+    killer.join();
+    ASSERT_EQ(status, 0) << err;
+    // The sweep's own log told the operator what happened.
+    EXPECT_NE(err.find("surviving shard"), std::string::npos) << err;
+
+    int killed = 0;
+    waitpid(doomed.pid, &killed, 0);
+    EXPECT_TRUE(WIFSIGNALED(killed));
+
+    const JsonValue local = loadReport(localReport);
+    const JsonValue remote = loadReport(remoteReport);
+    EXPECT_GT(faultField(remote, "failovers"), 0u);
+    EXPECT_GT(faultField(remote, "reconnects"), 0u);
+    // Losing the shard lost cache affinity, never points: the
+    // frontier matches the undisturbed run bit for bit.
+    expectSameFrontier(local, remote);
+    // And the in-process run, by construction, saw no faults.
+    EXPECT_EQ(faultField(local, "failovers"), 0u);
+    EXPECT_EQ(faultField(local, "reconnects"), 0u);
+    EXPECT_EQ(faultField(local, "retries"), 0u);
+
+    // The survivor drains cleanly and its metrics carry the
+    // connection ledger: several evaluator (re)connects, all closed.
+    kill(survivor.pid, SIGTERM);
+    EXPECT_EQ(waitForExit(survivor.pid), 0);
+    JsonValue metrics;
+    std::string perror;
+    ASSERT_TRUE(parseJson(slurp(survivor.metricsPath), metrics, perror))
+        << perror;
+    const JsonValue *conns = metrics.find("connections");
+    ASSERT_NE(conns, nullptr);
+    EXPECT_GE(conns->find("accepted")->uint64, 1u);
+    EXPECT_EQ(conns->find("active")->uint64, 0u);
+    EXPECT_EQ(conns->find("closed")->uint64,
+              conns->find("accepted")->uint64);
+}
+
+TEST(SweepFailover, ResetStormForcesReconnectsNotWrongAnswers)
+{
+    const std::string spec = writeSpec();
+
+    const std::string localReport = uniquePath("fo_local");
+    std::string err;
+    ASSERT_EQ(runDse({"--spec=" + spec, "--network=tiny", "--quiet",
+                      "--json=" + localReport},
+                     &err),
+              0)
+        << err;
+
+    // One shard behind a proxy that RSTs every connection after a few
+    // replies' worth of bytes (a response line is ~3 KB, so 10 KB is
+    // 2-3 replies).  Each connection still makes progress before it
+    // dies, so the sweep grinds through on reconnects.
+    Shard shard = startShard(0, 1);
+    Proxy proxy = startProxy(shard.port,
+                             {"--p-pass=0", "--p-reset=1",
+                              "--fault-after=10000"});
+
+    const std::string remoteReport = uniquePath("fo_remote");
+    ASSERT_EQ(runDse({"--spec=" + spec, "--network=tiny", "--quiet",
+                      "--connect=127.0.0.1:" +
+                          std::to_string(proxy.port),
+                      "--json=" + remoteReport},
+                     &err),
+              0)
+        << err;
+
+    kill(proxy.pid, SIGTERM);
+    waitForExit(proxy.pid);
+    kill(shard.pid, SIGTERM);
+    EXPECT_EQ(waitForExit(shard.pid), 0);
+
+    const JsonValue local = loadReport(localReport);
+    const JsonValue remote = loadReport(remoteReport);
+    EXPECT_GT(faultField(remote, "reconnects"), 0u);
+    EXPECT_EQ(faultField(remote, "failovers"), 0u); // nowhere to go
+    expectSameFrontier(local, remote);
+}
+
+TEST(SweepFailover, BlackholedEndpointFailsTheStartupHealthProbe)
+{
+    const std::string spec = writeSpec();
+
+    // The endpoint accepts connections and then says nothing, ever.
+    // Without a read deadline this would hang the sweep forever; with
+    // --io-timeout-ms it is a crisp startup failure.
+    Shard shard = startShard(0, 1);
+    Proxy proxy = startProxy(shard.port,
+                             {"--p-pass=0", "--p-blackhole=1"});
+
+    std::string err;
+    const auto start = Clock::now();
+    EXPECT_EQ(runDse({"--spec=" + spec, "--network=tiny", "--quiet",
+                      "--io-timeout-ms=500",
+                      "--connect=127.0.0.1:" +
+                          std::to_string(proxy.port)},
+                     &err),
+              1);
+    const double elapsedSec =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    EXPECT_NE(err.find("health probe"), std::string::npos) << err;
+    EXPECT_LT(elapsedSec, 30.0); // failed fast, did not hang
+
+    kill(proxy.pid, SIGTERM);
+    waitForExit(proxy.pid);
+    kill(shard.pid, SIGTERM);
+    EXPECT_EQ(waitForExit(shard.pid), 0);
+}
+
+} // namespace
+} // namespace scnn

@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Chaos suite: drives the real scnn_serve binary through the real
+ * scnn_faultproxy binary (both injected by CMake) and pins the
+ * client-visible shape of every injected fault:
+ *
+ *  - a pass-through proxy is byte-transparent (replies identical to a
+ *    direct connection, pings included);
+ *  - delay faults slow a reply without corrupting it;
+ *  - truncate/reset faults end the client's stream mid-reply while
+ *    the server stays healthy (EPIPE hardening: a vanished client
+ *    must never take the fleet down);
+ *  - blackhole faults starve the client (bounded only by the
+ *    client's own read timeout);
+ *  - the fault sequence is a pure function of --seed: same seed,
+ *    same faults, connection for connection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <fstream>
+#include <netinet/in.h>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace scnn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+uniquePath(const char *stem)
+{
+    static std::atomic<int> counter{0};
+    return testing::TempDir() + stem + "_" +
+           std::to_string(getpid()) + "_" +
+           std::to_string(counter.fetch_add(1));
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+pid_t
+spawn(const std::vector<std::string> &args,
+      const std::string &stderrPath)
+{
+    std::vector<char *> argv;
+    for (const auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid != 0)
+        return pid;
+    const int devnull = open("/dev/null", O_RDWR);
+    dup2(devnull, STDIN_FILENO);
+    dup2(devnull, STDOUT_FILENO);
+    const int errFd = open(stderrPath.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (errFd >= 0)
+        dup2(errFd, STDERR_FILENO);
+    execv(argv[0], argv.data());
+    _exit(127);
+}
+
+int
+waitForExit(pid_t pid, double timeoutSec = 60.0)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::duration<double>(timeoutSec);
+    int status = 0;
+    for (;;) {
+        const pid_t r = waitpid(pid, &status, WNOHANG);
+        if (r == pid)
+            break;
+        if (Clock::now() > deadline) {
+            kill(pid, SIGKILL);
+            waitpid(pid, &status, 0);
+            ADD_FAILURE() << "process did not exit in " << timeoutSec
+                          << "s; killed";
+            return -1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+}
+
+/** A spawned process publishing its port via --port-file. */
+struct Proc
+{
+    pid_t pid = -1;
+    int port = 0;
+    std::string errPath;
+
+    int
+    stop()
+    {
+        if (pid < 0)
+            return -1;
+        kill(pid, SIGTERM);
+        const int status = waitForExit(pid);
+        pid = -1;
+        return status;
+    }
+};
+
+Proc
+start(const std::string &bin,
+      const std::vector<std::string> &extraArgs, const char *stem)
+{
+    Proc p;
+    p.errPath = uniquePath((std::string(stem) + "_err").c_str());
+    const std::string portFile =
+        uniquePath((std::string(stem) + "_port").c_str());
+    std::vector<std::string> args = {bin, "--listen=127.0.0.1:0",
+                                     "--port-file=" + portFile};
+    args.insert(args.end(), extraArgs.begin(), extraArgs.end());
+    p.pid = spawn(args, p.errPath);
+
+    const auto deadline = Clock::now() + std::chrono::seconds(30);
+    for (;;) {
+        const std::string text = slurp(portFile);
+        if (!text.empty()) {
+            p.port = std::atoi(text.c_str());
+            break;
+        }
+        int status = 0;
+        if (waitpid(p.pid, &status, WNOHANG) == p.pid) {
+            ADD_FAILURE() << stem << " exited during startup: "
+                          << slurp(p.errPath);
+            p.pid = -1;
+            break;
+        }
+        if (Clock::now() > deadline) {
+            ADD_FAILURE() << stem << " never wrote its port file";
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GT(p.port, 0);
+    return p;
+}
+
+Proc
+startServer()
+{
+    return start(SCNN_SERVE_BIN, {}, "serve");
+}
+
+Proc
+startProxy(int upstreamPort,
+           const std::vector<std::string> &faultArgs,
+           uint64_t seed = 1)
+{
+    std::vector<std::string> args = {
+        "--upstream=127.0.0.1:" + std::to_string(upstreamPort),
+        "--seed=" + std::to_string(seed)};
+    args.insert(args.end(), faultArgs.begin(), faultArgs.end());
+    return start(SCNN_FAULTPROXY_BIN, args, "proxy");
+}
+
+/** One JSON-lines client with a configurable read timeout. */
+class LineClient
+{
+  public:
+    explicit LineClient(int port, int recvTimeoutSec = 60)
+    {
+        fd_ = socket(AF_INET, SOCK_STREAM, 0);
+        struct timeval tv = {recvTimeoutSec, 0};
+        setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        for (int attempt = 0;; ++attempt) {
+            if (connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)) == 0)
+                return;
+            if (attempt > 100) {
+                close(fd_);
+                fd_ = -1;
+                return;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+    }
+
+    ~LineClient()
+    {
+        if (fd_ >= 0)
+            close(fd_);
+    }
+
+    bool connected() const { return fd_ >= 0; }
+
+    bool
+    sendLine(const std::string &line)
+    {
+        std::string data = line + "\n";
+        size_t off = 0;
+        while (off < data.size()) {
+            const ssize_t w = send(fd_, data.data() + off,
+                                   data.size() - off, MSG_NOSIGNAL);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            off += static_cast<size_t>(w);
+        }
+        return true;
+    }
+
+    bool
+    recvLine(std::string &out)
+    {
+        out.clear();
+        for (;;) {
+            const size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                out = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[1 << 14];
+            const ssize_t r = read(fd_, chunk, sizeof(chunk));
+            if (r < 0 && errno == EINTR)
+                continue;
+            if (r <= 0)
+                return false;
+            buf_.append(chunk, static_cast<size_t>(r));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+const char *kRequest =
+    R"({"network": "tiny", "backends": ["scnn"], "seed": 7})";
+
+/** The proxy's logged fault decisions, in connection order. */
+std::vector<std::string>
+faultLog(const Proc &proxy)
+{
+    std::vector<std::string> faults;
+    std::istringstream in(slurp(proxy.errPath));
+    std::string line;
+    while (std::getline(in, line)) {
+        const size_t at = line.find(": conn ");
+        if (at == std::string::npos)
+            continue;
+        const size_t colon = line.rfind(": ");
+        faults.push_back(line.substr(colon + 2));
+    }
+    return faults;
+}
+
+TEST(FaultProxy, PassThroughIsByteTransparent)
+{
+    Proc server = startServer();
+    Proc proxy = startProxy(server.port, {});
+
+    std::string direct, proxied, pong;
+    {
+        LineClient c(server.port);
+        ASSERT_TRUE(c.connected());
+        ASSERT_TRUE(c.sendLine(kRequest));
+        ASSERT_TRUE(c.recvLine(direct));
+    }
+    {
+        LineClient c(proxy.port);
+        ASSERT_TRUE(c.connected());
+        ASSERT_TRUE(c.sendLine("{\"ping\": 42}"));
+        ASSERT_TRUE(c.recvLine(pong));
+        ASSERT_TRUE(c.sendLine(kRequest));
+        ASSERT_TRUE(c.recvLine(proxied));
+    }
+    EXPECT_EQ(direct, proxied);
+    EXPECT_NE(pong.find("scnn.service_pong.v1"), std::string::npos);
+    EXPECT_NE(pong.find("\"ping\":42"), std::string::npos);
+
+    proxy.stop();
+    EXPECT_EQ(server.stop(), 0);
+}
+
+TEST(FaultProxy, DelaySlowsTheReplyWithoutCorruptingIt)
+{
+    Proc server = startServer();
+    Proc proxy = startProxy(server.port,
+                            {"--p-pass=0", "--p-delay=1",
+                             "--delay-ms=120"});
+
+    std::string direct, delayed;
+    {
+        LineClient c(server.port);
+        ASSERT_TRUE(c.sendLine(kRequest));
+        ASSERT_TRUE(c.recvLine(direct));
+    }
+    const auto start = Clock::now();
+    {
+        LineClient c(proxy.port);
+        ASSERT_TRUE(c.sendLine(kRequest));
+        ASSERT_TRUE(c.recvLine(delayed));
+    }
+    const double elapsedMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    EXPECT_EQ(direct, delayed);
+    EXPECT_GE(elapsedMs, 100.0);
+
+    proxy.stop();
+    EXPECT_EQ(server.stop(), 0);
+}
+
+TEST(FaultProxy, TruncateEndsTheStreamMidReplyAndTheServerSurvives)
+{
+    Proc server = startServer();
+    Proc proxy = startProxy(server.port,
+                            {"--p-pass=0", "--p-truncate=1",
+                             "--fault-after=16"});
+    {
+        LineClient c(proxy.port);
+        ASSERT_TRUE(c.connected());
+        ASSERT_TRUE(c.sendLine(kRequest));
+        std::string reply;
+        // 16 relayed bytes cannot hold a reply line: the stream must
+        // end (EOF) before a complete line arrives.
+        EXPECT_FALSE(c.recvLine(reply));
+    }
+    // The server outlived the mid-write client loss.
+    {
+        LineClient c(server.port);
+        std::string reply;
+        ASSERT_TRUE(c.sendLine(kRequest));
+        ASSERT_TRUE(c.recvLine(reply));
+        EXPECT_NE(reply.find("scnn.simulation_response.v1"),
+                  std::string::npos);
+    }
+    proxy.stop();
+    EXPECT_EQ(server.stop(), 0);
+}
+
+TEST(FaultProxy, ResetHardClosesTheClientAndTheServerSurvives)
+{
+    Proc server = startServer();
+    Proc proxy = startProxy(server.port,
+                            {"--p-pass=0", "--p-reset=1",
+                             "--fault-after=8"});
+    {
+        LineClient c(proxy.port);
+        ASSERT_TRUE(c.connected());
+        ASSERT_TRUE(c.sendLine(kRequest));
+        std::string reply;
+        EXPECT_FALSE(c.recvLine(reply)); // RST or EOF, never a line
+    }
+    {
+        LineClient c(server.port);
+        std::string reply;
+        ASSERT_TRUE(c.sendLine(kRequest));
+        ASSERT_TRUE(c.recvLine(reply));
+        EXPECT_NE(reply.find("scnn.simulation_response.v1"),
+                  std::string::npos);
+    }
+    proxy.stop();
+    EXPECT_EQ(server.stop(), 0);
+}
+
+TEST(FaultProxy, BlackholeStarvesTheClientUntilItsOwnTimeout)
+{
+    Proc server = startServer();
+    Proc proxy = startProxy(server.port, {"--p-pass=0",
+                                          "--p-blackhole=1"});
+    const auto start = Clock::now();
+    {
+        LineClient c(proxy.port, /*recvTimeoutSec=*/1);
+        ASSERT_TRUE(c.connected());
+        ASSERT_TRUE(c.sendLine("{\"ping\": 1}"));
+        std::string reply;
+        EXPECT_FALSE(c.recvLine(reply));
+    }
+    const double elapsedMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    EXPECT_GE(elapsedMs, 900.0); // the client's own timeout, not data
+    proxy.stop();
+    EXPECT_EQ(server.stop(), 0);
+}
+
+TEST(ServeDeadlines, SilentClientIsCutAndCountedAsTimedOut)
+{
+    const std::string metricsPath = uniquePath("serve_metrics");
+    Proc server = start(SCNN_SERVE_BIN,
+                        {"--idle-timeout-ms=150",
+                         "--metrics=" + metricsPath},
+                        "serve");
+    const auto begin = Clock::now();
+    {
+        LineClient c(server.port, /*recvTimeoutSec=*/30);
+        ASSERT_TRUE(c.connected());
+        // Say nothing: the server must hang up on us, not wait.
+        std::string reply;
+        EXPECT_FALSE(c.recvLine(reply));
+    }
+    const double elapsedMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - begin)
+            .count();
+    EXPECT_GE(elapsedMs, 100.0);
+    EXPECT_LT(elapsedMs, 20000.0); // the server's clock, not ours
+
+    // A talkative client on the same server is untouched.
+    {
+        LineClient c(server.port);
+        std::string reply;
+        ASSERT_TRUE(c.sendLine("{\"ping\": 9}"));
+        ASSERT_TRUE(c.recvLine(reply));
+        EXPECT_NE(reply.find("\"ping\":9"), std::string::npos);
+    }
+
+    EXPECT_EQ(server.stop(), 0);
+    JsonValue metrics;
+    std::string error;
+    ASSERT_TRUE(parseJson(slurp(metricsPath), metrics, error)) << error;
+    const JsonValue *conns = metrics.find("connections");
+    ASSERT_NE(conns, nullptr);
+    EXPECT_EQ(conns->find("accepted")->uint64, 2u);
+    EXPECT_EQ(conns->find("timed_out")->uint64, 1u);
+    EXPECT_EQ(conns->find("closed")->uint64, 2u);
+    EXPECT_EQ(conns->find("active")->uint64, 0u);
+}
+
+TEST(FaultProxy, FaultSequenceIsAPureFunctionOfTheSeed)
+{
+    Proc server = startServer();
+    const std::vector<std::string> mix = {
+        "--p-pass=1", "--p-delay=1", "--p-truncate=1", "--p-reset=1",
+        "--p-blackhole=1", "--fault-after=8", "--delay-ms=1"};
+    const int kConns = 12;
+
+    auto drawSequence = [&](uint64_t seed) {
+        Proc proxy = startProxy(server.port, mix, seed);
+        for (int i = 0; i < kConns; ++i) {
+            // Connect and immediately close: the decision is drawn
+            // and logged at accept, no traffic needed.  Sequential
+            // connects keep the log in accept order.
+            LineClient c(proxy.port);
+            EXPECT_TRUE(c.connected());
+        }
+        // Let the proxy log every accept before reading the file.
+        const auto deadline = Clock::now() + std::chrono::seconds(10);
+        std::vector<std::string> faults;
+        while (Clock::now() < deadline) {
+            faults = faultLog(proxy);
+            if (faults.size() >= kConns)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        proxy.stop();
+        return faults;
+    };
+
+    const std::vector<std::string> a = drawSequence(2017);
+    const std::vector<std::string> b = drawSequence(2017);
+    const std::vector<std::string> c = drawSequence(2018);
+    ASSERT_EQ(a.size(), static_cast<size_t>(kConns));
+    EXPECT_EQ(a, b); // same seed: identical fault plan
+    ASSERT_EQ(c.size(), static_cast<size_t>(kConns));
+    EXPECT_NE(a, c); // the seed actually steers the plan
+    // The mixed weights actually mix: at least two distinct kinds.
+    bool mixed = false;
+    for (const std::string &f : a)
+        mixed = mixed || f != a.front();
+    EXPECT_TRUE(mixed);
+
+    EXPECT_EQ(server.stop(), 0);
+}
+
+} // namespace
+} // namespace scnn

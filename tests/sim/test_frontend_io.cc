@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Adversarial-I/O suite for the front end's lowest layer: FdLineReader
+ * under hostile byte streams (1-byte trickles, partial lines at the
+ * size limit, EOF mid-line, stop-fd wakeups, expired read deadlines)
+ * and writeAllFd() against vanished peers.  These are the primitives
+ * every transport of the fleet stands on; their edge behaviour is
+ * pinned here so a refactor cannot quietly change it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "sim/frontend.hh"
+
+namespace scnn {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** A pipe that closes whatever ends are still open on destruction. */
+struct Pipe
+{
+    int fds[2] = {-1, -1};
+
+    Pipe() { EXPECT_EQ(pipe(fds), 0); }
+
+    ~Pipe()
+    {
+        closeRead();
+        closeWrite();
+    }
+
+    int readEnd() const { return fds[0]; }
+    int writeEnd() const { return fds[1]; }
+
+    void
+    closeRead()
+    {
+        if (fds[0] >= 0)
+            close(fds[0]);
+        fds[0] = -1;
+    }
+
+    void
+    closeWrite()
+    {
+        if (fds[1] >= 0)
+            close(fds[1]);
+        fds[1] = -1;
+    }
+
+    void
+    writeAll(const std::string &data)
+    {
+        size_t off = 0;
+        while (off < data.size()) {
+            const ssize_t n = write(fds[1], data.data() + off,
+                                    data.size() - off);
+            ASSERT_GT(n, 0);
+            off += static_cast<size_t>(n);
+        }
+    }
+};
+
+TEST(FdLineReader, OneByteWritesStillProduceWholeLines)
+{
+    Pipe p;
+    std::thread writer([&] {
+        const std::string data = "hello line\nsecond\n";
+        for (char c : data) {
+            ASSERT_EQ(write(p.writeEnd(), &c, 1), 1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        p.closeWrite();
+    });
+    FdLineReader reader(p.readEnd(), -1, FdLineReader::Options());
+    std::string line;
+    bool oversized = false;
+    EXPECT_EQ(reader.next(line, oversized), FdLineReader::Result::Line);
+    EXPECT_EQ(line, "hello line");
+    EXPECT_FALSE(oversized);
+    EXPECT_EQ(reader.next(line, oversized), FdLineReader::Result::Line);
+    EXPECT_EQ(line, "second");
+    EXPECT_EQ(reader.next(line, oversized), FdLineReader::Result::Eof);
+    writer.join();
+}
+
+TEST(FdLineReader, OversizedLineIsCappedAndFlaggedNotFatal)
+{
+    Pipe p;
+    p.writeAll(std::string(40, 'x') + "\nnext\n");
+    p.closeWrite();
+    FdLineReader::Options opts;
+    opts.maxLineBytes = 8;
+    FdLineReader reader(p.readEnd(), -1, opts);
+    std::string line;
+    bool oversized = false;
+    EXPECT_EQ(reader.next(line, oversized), FdLineReader::Result::Line);
+    EXPECT_TRUE(oversized);
+    EXPECT_EQ(line, "xxxxxxxx"); // first maxLineBytes, rest discarded
+    // The stream recovers: the next line is intact.
+    EXPECT_EQ(reader.next(line, oversized), FdLineReader::Result::Line);
+    EXPECT_EQ(line, "next");
+    EXPECT_FALSE(oversized);
+}
+
+TEST(FdLineReader, PartialLineExactlyAtTheLimitIsNotOversized)
+{
+    Pipe p;
+    p.writeAll(std::string(8, 'y') + "\n");
+    p.closeWrite();
+    FdLineReader::Options opts;
+    opts.maxLineBytes = 8;
+    FdLineReader reader(p.readEnd(), -1, opts);
+    std::string line;
+    bool oversized = false;
+    EXPECT_EQ(reader.next(line, oversized), FdLineReader::Result::Line);
+    EXPECT_EQ(line, std::string(8, 'y'));
+    EXPECT_FALSE(oversized);
+}
+
+TEST(FdLineReader, EofMidLineYieldsTheTrailingData)
+{
+    Pipe p;
+    p.writeAll("complete\nunterminated");
+    p.closeWrite();
+    FdLineReader reader(p.readEnd(), -1, FdLineReader::Options());
+    std::string line;
+    bool oversized = false;
+    EXPECT_EQ(reader.next(line, oversized), FdLineReader::Result::Line);
+    EXPECT_EQ(line, "complete");
+    // A pipe that ends without '\n' still carried a request.
+    EXPECT_EQ(reader.next(line, oversized), FdLineReader::Result::Line);
+    EXPECT_EQ(line, "unterminated");
+    EXPECT_EQ(reader.next(line, oversized), FdLineReader::Result::Eof);
+}
+
+TEST(FdLineReader, StopFdWakesABlockedReader)
+{
+    Pipe data, stop;
+    FdLineReader reader(data.readEnd(), stop.readEnd(),
+                        FdLineReader::Options());
+    std::thread stopper([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        ASSERT_EQ(write(stop.writeEnd(), "!", 1), 1);
+    });
+    std::string line;
+    bool oversized = false;
+    EXPECT_EQ(reader.next(line, oversized),
+              FdLineReader::Result::Stopped);
+    stopper.join();
+}
+
+TEST(FdLineReader, BufferedLinesDrainBeforeAStopFires)
+{
+    Pipe data, stop;
+    data.writeAll("a\nb");
+    ASSERT_EQ(write(stop.writeEnd(), "!", 1), 1);
+    // Give both fds readable data before the first next().
+    FdLineReader reader(data.readEnd(), stop.readEnd(),
+                        FdLineReader::Options());
+    std::string line;
+    bool oversized = false;
+    // A complete buffered line is still delivered...
+    const FdLineReader::Result first = reader.next(line, oversized);
+    if (first == FdLineReader::Result::Line) {
+        EXPECT_EQ(line, "a");
+        // ...but once the buffer needs refilling, the stop wins and
+        // the partial "b" is dropped (forced drain consumes nothing
+        // further).
+        EXPECT_EQ(reader.next(line, oversized),
+                  FdLineReader::Result::Stopped);
+    } else {
+        // The reader may also legitimately see the stop first: both
+        // fds were readable when it polled.
+        EXPECT_EQ(first, FdLineReader::Result::Stopped);
+    }
+}
+
+TEST(FdLineReader, IdleDeadlineCutsASilentPeer)
+{
+    Pipe p;
+    FdLineReader::Options opts;
+    opts.idleTimeoutMs = 60.0;
+    FdLineReader reader(p.readEnd(), -1, opts);
+    std::string line;
+    bool oversized = false;
+    const auto start = Clock::now();
+    EXPECT_EQ(reader.next(line, oversized),
+              FdLineReader::Result::TimedOut);
+    const double elapsedMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    EXPECT_GE(elapsedMs, 50.0);
+    EXPECT_LT(elapsedMs, 5000.0); // cut off, not hung
+}
+
+TEST(FdLineReader, LineDeadlineCutsASlowLoris)
+{
+    Pipe p;
+    FdLineReader::Options opts;
+    opts.lineTimeoutMs = 80.0;
+    FdLineReader reader(p.readEnd(), -1, opts);
+    // One byte starts the line; the newline never comes.
+    ASSERT_EQ(write(p.writeEnd(), "x", 1), 1);
+    std::string line;
+    bool oversized = false;
+    EXPECT_EQ(reader.next(line, oversized),
+              FdLineReader::Result::TimedOut);
+}
+
+TEST(FdLineReader, IdleDeadlineDoesNotFireWhileLinesFlow)
+{
+    Pipe p;
+    FdLineReader::Options opts;
+    opts.idleTimeoutMs = 150.0;
+    FdLineReader reader(p.readEnd(), -1, opts);
+    std::thread writer([&] {
+        for (int i = 0; i < 4; ++i) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(40));
+            const std::string line = "line\n";
+            ASSERT_EQ(write(p.writeEnd(), line.data(), line.size()),
+                      static_cast<ssize_t>(line.size()));
+        }
+        p.closeWrite();
+    });
+    std::string line;
+    bool oversized = false;
+    int lines = 0;
+    for (;;) {
+        const FdLineReader::Result r = reader.next(line, oversized);
+        if (r != FdLineReader::Result::Line)
+            break;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 4); // every line beat the (per-line) idle clock
+    writer.join();
+}
+
+TEST(WriteAllFd, ReportsAVanishedSocketPeerInsteadOfRaisingSigpipe)
+{
+    // Deliberately NOT ignoring SIGPIPE here: MSG_NOSIGNAL alone must
+    // protect socket writes, or this whole test binary dies.
+    int sv[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    close(sv[1]); // the peer vanishes
+    const char data[] = "doomed\n";
+    // The first send may be accepted into a buffer; the second must
+    // surface the broken pipe.
+    bool ok = writeAllFd(sv[0], data, sizeof(data) - 1);
+    if (ok)
+        ok = writeAllFd(sv[0], data, sizeof(data) - 1);
+    EXPECT_FALSE(ok);
+    close(sv[0]);
+}
+
+TEST(WriteAllFd, FallsBackToPlainWriteOnPipes)
+{
+    Pipe p;
+    const std::string line = "through a pipe\n";
+    EXPECT_TRUE(writeAllFd(p.writeEnd(), line.data(), line.size()));
+    std::string got(line.size(), '\0');
+    ASSERT_EQ(read(p.readEnd(), &got[0], got.size()),
+              static_cast<ssize_t>(got.size()));
+    EXPECT_EQ(got, line);
+}
+
+TEST(WriteAllFd, ClosedPipeReaderIsPeerGoneOnceSigpipeIsIgnored)
+{
+    // Pipes have no MSG_NOSIGNAL; this is exactly why every long-
+    // lived tool calls ignoreSigpipe() at startup.
+    ignoreSigpipe();
+    Pipe p;
+    p.closeRead();
+    const char data[] = "doomed\n";
+    EXPECT_FALSE(writeAllFd(p.writeEnd(), data, sizeof(data) - 1));
+}
+
+} // namespace
+} // namespace scnn

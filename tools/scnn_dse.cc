@@ -9,6 +9,7 @@
  *            [--max-points=N] [--prune-factor=X] [--batch=N]
  *            [--checkpoint=path] [--stop-after=N] [--shard=i/N]
  *            [--connect=host:port[,host:port...]]
+ *            [--io-timeout-ms=X]
  *            [--workers=N] [--session-threads=N]
  *            [--top-k=K] [--json[=path]] [--quiet] [--threads=N]
  *
@@ -43,6 +44,7 @@
 #include "common/parallel.hh"
 #include "common/table.hh"
 #include "dse/sweep.hh"
+#include "sim/frontend.hh"
 #include "sim/simulator.hh"
 
 using namespace scnn;
@@ -63,6 +65,7 @@ struct Options
     int shardIndex = 0;
     int shardCount = 1;
     std::vector<std::string> endpoints; // empty: in-process
+    double ioTimeoutMs = 0.0; ///< 0: RemoteEvalOptions default
     int workers = 2;
     int sessionThreads = 1;
     int topK = 3;
@@ -83,6 +86,7 @@ usage(const char *argv0)
         "          [--checkpoint=path] [--stop-after=N] "
         "[--shard=i/N]\n"
         "          [--connect=host:port[,host:port...]]\n"
+        "          [--io-timeout-ms=X]\n"
         "          [--workers=N] [--session-threads=N]\n"
         "          [--top-k=K] [--json[=path]] [--quiet] "
         "[--threads=N]\n",
@@ -177,6 +181,15 @@ parse(int argc, char **argv)
                     break;
                 pos = comma + 1;
             }
+        } else if (consume(argv[i], "--io-timeout-ms", v)) {
+            char *end = nullptr;
+            o.ioTimeoutMs = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' ||
+                !(o.ioTimeoutMs >= 0.0)) {
+                fatal("bad --io-timeout-ms value '%s' (want a "
+                      "non-negative number of milliseconds)",
+                      v.c_str());
+            }
         } else if (consume(argv[i], "--workers", v)) {
             o.workers = parsePositive(v, "--workers");
         } else if (consume(argv[i], "--session-threads", v)) {
@@ -251,6 +264,15 @@ reportJson(const Options &o, const SweepSpec &spec,
         .value(s.evalSeconds > 0.0
                    ? static_cast<double>(s.simulated) / s.evalSeconds
                    : 0.0);
+    // What the transport survived: all zero for a clean in-process
+    // run, nonzero when the fleet shed, dropped connections or lost
+    // shards mid-sweep.  The frontier is identical either way.
+    const FaultStats faults = evaluator.faults();
+    w.key("faults").beginObject();
+    w.key("reconnects").value(faults.reconnects);
+    w.key("failovers").value(faults.failovers);
+    w.key("retries").value(faults.retries);
+    w.endObject();
     w.endObject();
     const std::vector<DsePoint> frontier = outcome.frontier.sorted();
     w.key("frontier_size").value(
@@ -304,6 +326,9 @@ main(int argc, char **argv)
 {
     argc = consumeThreadsFlag(argc, argv);
     const Options o = parse(argc, argv);
+    // A shard dying while we write to it must surface as EPIPE on
+    // the write (then reconnect/failover), never kill the sweep.
+    ignoreSigpipe();
 
     SweepSpec spec;
     std::string error;
@@ -324,8 +349,11 @@ main(int argc, char **argv)
         eo.sessionThreads = o.sessionThreads;
         evaluator = makeInProcessEvaluator(net, 20170624, eo);
     } else {
+        RemoteEvalOptions ro;
+        if (o.ioTimeoutMs > 0.0)
+            ro.ioTimeoutMs = o.ioTimeoutMs;
         evaluator = makeRemoteEvaluator(o.endpoints, o.network,
-                                        20170624, error);
+                                        20170624, error, ro);
         if (!evaluator)
             fatal("cannot connect to the shard fleet: %s",
                   error.c_str());

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * scnn_faultproxy: a deterministic fault-injecting TCP proxy for
+ * chaos-testing the serving fleet.
+ *
+ * The proxy accepts connections and relays them to one upstream
+ * (host:port).  Each accepted connection draws a *fault plan* from a
+ * seeded Rng keyed by the connection's accept index, so the exact
+ * sequence of injected faults is a pure function of --seed -- a chaos
+ * test can replay an identical run, and two clients connecting in the
+ * same order see the same misbehaviour.  The drawn plan is logged to
+ * stderr ("faultproxy: conn 3: reset after 64 bytes") so harnesses
+ * can assert on the sequence.
+ *
+ * Fault kinds (weighted by the --p-* flags; weights need not sum
+ * to 1):
+ *
+ *  - pass:      relay both directions untouched until EOF.
+ *  - delay:     relay, but sit on the first upstream reply chunk for
+ *               --delay-ms (a slow shard, not a dead one).
+ *  - truncate:  relay until --fault-after upstream->client bytes,
+ *               then close both sides (FIN mid-reply).
+ *  - reset:     like truncate, but close with SO_LINGER 0 so the
+ *               client sees a hard RST instead of EOF.
+ *  - blackhole: accept and swallow: client bytes are read and
+ *               discarded, nothing is ever relayed or answered, the
+ *               connection holds open until the client gives up (the
+ *               client-side read-timeout path).
+ *
+ * Usage:
+ *   scnn_faultproxy --upstream=host:port [--listen=[host:]port]
+ *                   [--port-file=path] [--seed=N]
+ *                   [--p-pass=W] [--p-delay=W] [--p-truncate=W]
+ *                   [--p-reset=W] [--p-blackhole=W]
+ *                   [--delay-ms=X] [--fault-after=BYTES]
+ *
+ * Defaults: pass weight 1, every fault weight 0 (a transparent
+ * proxy), --delay-ms=100, --fault-after=64, --seed=1.  --listen=0
+ * binds an ephemeral port; --port-file publishes it (one decimal
+ * line) once listening.  Exit status 0 on SIGTERM/SIGINT, 1 on
+ * startup errors, 2 on bad usage.
+ */
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/frontend.hh"
+
+using namespace scnn;
+
+namespace {
+
+enum class Fault { Pass, Delay, Truncate, Reset, Blackhole };
+
+const char *
+faultName(Fault f)
+{
+    switch (f) {
+      case Fault::Pass: return "pass";
+      case Fault::Delay: return "delay";
+      case Fault::Truncate: return "truncate";
+      case Fault::Reset: return "reset";
+      case Fault::Blackhole: return "blackhole";
+    }
+    panic("bad Fault %d", (int)f);
+}
+
+struct Options
+{
+    std::string listenHost = "127.0.0.1";
+    int listenPort = 0;
+    std::string upstreamHost = "127.0.0.1";
+    int upstreamPort = -1;
+    std::string portFile;
+    uint64_t seed = 1;
+    double weights[5] = {1.0, 0.0, 0.0, 0.0, 0.0}; ///< Fault order
+    double delayMs = 100.0;
+    uint64_t faultAfterBytes = 64;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --upstream=host:port [--listen=[host:]port]\n"
+        "          [--port-file=path] [--seed=N]\n"
+        "          [--p-pass=W] [--p-delay=W] [--p-truncate=W]\n"
+        "          [--p-reset=W] [--p-blackhole=W]\n"
+        "          [--delay-ms=X] [--fault-after=BYTES]\n",
+        argv0);
+    std::exit(2);
+}
+
+bool
+consume(const char *arg, const char *key, std::string &out)
+{
+    const size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0 && arg[n] == '=') {
+        out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+void
+parseHostPort(const std::string &spec, const char *flag,
+              std::string &host, int &port)
+{
+    std::string portPart = spec;
+    const size_t colon = spec.rfind(':');
+    if (colon != std::string::npos) {
+        host = spec.substr(0, colon);
+        portPart = spec.substr(colon + 1);
+        if (host.empty())
+            fatal("bad %s value '%s' (empty host)", flag, spec.c_str());
+    }
+    char *end = nullptr;
+    const long p = std::strtol(portPart.c_str(), &end, 10);
+    if (end == portPart.c_str() || *end != '\0' || p < 0 || p > 65535)
+        fatal("bad %s value '%s' (want [host:]port)", flag,
+              spec.c_str());
+    port = static_cast<int>(p);
+}
+
+double
+parseWeight(const std::string &v, const char *flag)
+{
+    char *end = nullptr;
+    const double w = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || !(w >= 0.0))
+        fatal("bad %s value '%s' (want a non-negative weight)", flag,
+              v.c_str());
+    return w;
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        if (consume(argv[i], "--listen", v)) {
+            parseHostPort(v, "--listen", o.listenHost, o.listenPort);
+        } else if (consume(argv[i], "--upstream", v)) {
+            parseHostPort(v, "--upstream", o.upstreamHost,
+                          o.upstreamPort);
+        } else if (consume(argv[i], "--port-file", v)) {
+            if (v.empty())
+                fatal("bad --port-file value (empty path)");
+            o.portFile = v;
+        } else if (consume(argv[i], "--seed", v)) {
+            char *end = nullptr;
+            o.seed = std::strtoull(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0')
+                fatal("bad --seed value '%s'", v.c_str());
+        } else if (consume(argv[i], "--p-pass", v)) {
+            o.weights[0] = parseWeight(v, "--p-pass");
+        } else if (consume(argv[i], "--p-delay", v)) {
+            o.weights[1] = parseWeight(v, "--p-delay");
+        } else if (consume(argv[i], "--p-truncate", v)) {
+            o.weights[2] = parseWeight(v, "--p-truncate");
+        } else if (consume(argv[i], "--p-reset", v)) {
+            o.weights[3] = parseWeight(v, "--p-reset");
+        } else if (consume(argv[i], "--p-blackhole", v)) {
+            o.weights[4] = parseWeight(v, "--p-blackhole");
+        } else if (consume(argv[i], "--delay-ms", v)) {
+            char *end = nullptr;
+            o.delayMs = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' || !(o.delayMs >= 0.0))
+                fatal("bad --delay-ms value '%s'", v.c_str());
+        } else if (consume(argv[i], "--fault-after", v)) {
+            char *end = nullptr;
+            o.faultAfterBytes = std::strtoull(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0')
+                fatal("bad --fault-after value '%s'", v.c_str());
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (o.upstreamPort < 0)
+        usage(argv[0]);
+    double total = 0.0;
+    for (double w : o.weights)
+        total += w;
+    if (total <= 0.0)
+        fatal("all fault weights are zero; nothing to do");
+    return o;
+}
+
+/** Deterministic fault draw for the `conn`-th accepted connection. */
+Fault
+drawFault(const Options &o, uint64_t conn)
+{
+    double total = 0.0;
+    for (double w : o.weights)
+        total += w;
+    Rng rng(strfmt("faultproxy/conn %llu",
+                   static_cast<unsigned long long>(conn)),
+            o.seed);
+    double x = rng.uniform(0.0, total);
+    for (int k = 0; k < 5; ++k) {
+        x -= o.weights[k];
+        if (x < 0.0)
+            return static_cast<Fault>(k);
+    }
+    return Fault::Pass; // FP edge: x landed exactly on `total`
+}
+
+int
+dialUpstream(const Options &o, std::string &error)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = strfmt("socket: %s", std::strerror(errno));
+        return -1;
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(o.upstreamPort));
+    if (inet_pton(AF_INET, o.upstreamHost.c_str(), &addr.sin_addr) !=
+        1) {
+        error = strfmt("bad upstream host '%s'",
+                       o.upstreamHost.c_str());
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = strfmt("cannot connect upstream %s:%d: %s",
+                       o.upstreamHost.c_str(), o.upstreamPort,
+                       std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Hard-close: SO_LINGER 0 turns the close into an RST. */
+void
+closeWithReset(int fd)
+{
+    struct linger lg = {1, 0};
+    setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd);
+}
+
+/**
+ * Swallow the client: read and discard forever, answer nothing.
+ * Ends when the client closes (or errors out of) its side.
+ */
+void
+runBlackhole(int clientFd)
+{
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::read(clientFd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return;
+    }
+}
+
+/**
+ * Relay client<->upstream with the fault plan applied to the
+ * upstream->client direction.  `budget` is the number of reply bytes
+ * relayed before a truncate/reset fires; `delayFirst` sits on the
+ * first reply chunk.  Returns true when the connection should close
+ * with an RST rather than a FIN.
+ */
+bool
+runRelay(int clientFd, int upstreamFd, Fault fault,
+         const Options &o)
+{
+    uint64_t replyBytes = 0;
+    bool delayed = false;
+    bool clientOpen = true, upstreamOpen = true;
+    while (clientOpen || upstreamOpen) {
+        struct pollfd fds[2] = {
+            {clientOpen ? clientFd : -1, POLLIN, 0},
+            {upstreamOpen ? upstreamFd : -1, POLLIN, 0}};
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        char chunk[4096];
+        if (clientOpen &&
+            (fds[0].revents & (POLLIN | POLLHUP | POLLERR))) {
+            const ssize_t n = ::read(clientFd, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                // Client finished sending; half-close toward the
+                // upstream so its EOF propagates, keep draining
+                // replies.
+                ::shutdown(upstreamFd, SHUT_WR);
+                clientOpen = false;
+            } else if (!writeAllFd(upstreamFd, chunk,
+                                   static_cast<size_t>(n))) {
+                return false; // upstream gone; FIN the client
+            }
+        }
+        if (upstreamOpen &&
+            (fds[1].revents & (POLLIN | POLLHUP | POLLERR))) {
+            const ssize_t n = ::read(upstreamFd, chunk, sizeof(chunk));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                ::shutdown(clientFd, SHUT_WR);
+                upstreamOpen = false;
+                continue;
+            }
+            if (fault == Fault::Delay && !delayed) {
+                delayed = true;
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        o.delayMs));
+            }
+            size_t toSend = static_cast<size_t>(n);
+            if (fault == Fault::Truncate || fault == Fault::Reset) {
+                // The fault budget caps total relayed reply bytes.
+                if (replyBytes >= o.faultAfterBytes)
+                    return fault == Fault::Reset;
+                toSend = std::min<size_t>(
+                    toSend, o.faultAfterBytes - replyBytes);
+            }
+            if (!writeAllFd(clientFd, chunk, toSend))
+                return false; // client gone
+            replyBytes += toSend;
+            if ((fault == Fault::Truncate || fault == Fault::Reset) &&
+                replyBytes >= o.faultAfterBytes)
+                return fault == Fault::Reset;
+        }
+    }
+    return false;
+}
+
+void
+serveConnection(const Options &o, int clientFd, uint64_t connNo)
+{
+    const Fault fault = drawFault(o, connNo);
+    std::fprintf(stderr, "faultproxy: conn %llu: %s\n",
+                 static_cast<unsigned long long>(connNo),
+                 faultName(fault));
+
+    if (fault == Fault::Blackhole) {
+        runBlackhole(clientFd);
+        ::close(clientFd);
+        return;
+    }
+    std::string error;
+    const int upstreamFd = dialUpstream(o, error);
+    if (upstreamFd < 0) {
+        warn("faultproxy: conn %llu: %s",
+             static_cast<unsigned long long>(connNo), error.c_str());
+        closeWithReset(clientFd);
+        return;
+    }
+    const bool rst = runRelay(clientFd, upstreamFd, fault, o);
+    ::close(upstreamFd);
+    if (rst)
+        closeWithReset(clientFd);
+    else
+        ::close(clientFd);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parse(argc, argv);
+    // Clients vanish by design here; writes must fail, not signal.
+    ignoreSigpipe();
+
+    const int listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        fatal("socket: %s", std::strerror(errno));
+    const int one = 1;
+    setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(o.listenPort));
+    if (inet_pton(AF_INET, o.listenHost.c_str(), &addr.sin_addr) != 1)
+        fatal("bad --listen host '%s' (want an IPv4 address)",
+              o.listenHost.c_str());
+    if (bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(listenFd, 128) != 0)
+        fatal("cannot listen on %s:%d: %s", o.listenHost.c_str(),
+              o.listenPort, std::strerror(errno));
+    socklen_t len = sizeof(addr);
+    if (getsockname(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                    &len) != 0)
+        fatal("getsockname failed: %s", std::strerror(errno));
+    const int boundPort = ntohs(addr.sin_port);
+    if (!o.portFile.empty() &&
+        !writeJsonFile(o.portFile, std::to_string(boundPort)))
+        fatal("cannot write --port-file '%s'", o.portFile.c_str());
+    std::fprintf(stderr,
+                 "faultproxy: %s:%d -> %s:%d (seed %llu)\n",
+                 o.listenHost.c_str(), boundPort,
+                 o.upstreamHost.c_str(), o.upstreamPort,
+                 static_cast<unsigned long long>(o.seed));
+
+    uint64_t connNo = 0;
+    for (;;) {
+        const int fd = accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            fatal("accept failed: %s", std::strerror(errno));
+        }
+        // Detached: connections are independent, and the proxy's
+        // lifetime is its harness's problem (SIGTERM ends it).
+        std::thread([o, fd, connNo] {
+            serveConnection(o, fd, connNo);
+        }).detach();
+        ++connNo;
+    }
+}

@@ -98,6 +98,35 @@ struct Options
     int listenPort = -1;
     std::string portFile;
     double drainGraceMs = 10000.0;
+    /** Per-connection read deadlines (TCP mode; 0 = off).  The idle
+     *  timeout cuts a connection that sends nothing; the line timeout
+     *  cuts a slow-loris peer trickling one line forever. */
+    double idleTimeoutMs = 0.0;
+    double lineTimeoutMs = 0.0;
+};
+
+/**
+ * Transport-level counters the service itself cannot see (it meters
+ * requests, not connections).  Updated by the accept loop and the
+ * connection threads; snapshot into the metrics block at exit.
+ */
+struct ConnectionCounters
+{
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> active{0};
+    std::atomic<uint64_t> closed{0};
+    std::atomic<uint64_t> timedOut{0};
+
+    void
+    writeTo(JsonWriter &w) const
+    {
+        w.key("connections").beginObject();
+        w.key("accepted").value(accepted.load());
+        w.key("active").value(active.load());
+        w.key("closed").value(closed.load());
+        w.key("timed_out").value(timedOut.load());
+        w.endObject();
+    }
 };
 
 void
@@ -106,6 +135,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--listen=[host:]port] [--port-file=path]\n"
                  "          [--drain-grace-ms=X] [--shard=i/N]\n"
+                 "          [--idle-timeout-ms=X] "
+                 "[--line-timeout-ms=X]\n"
                  "          [--max-inflight=N] [--queue=N]\n"
                  "          [--session-threads=N] [--deadline-ms=X]\n"
                  "          [--no-cache] [--metrics[=path]]\n"
@@ -234,6 +265,10 @@ parse(int argc, char **argv)
                 parseNonNegMs(v, "--deadline-ms");
         } else if (consume(argv[i], "--drain-grace-ms", v)) {
             o.drainGraceMs = parseNonNegMs(v, "--drain-grace-ms");
+        } else if (consume(argv[i], "--idle-timeout-ms", v)) {
+            o.idleTimeoutMs = parseNonNegMs(v, "--idle-timeout-ms");
+        } else if (consume(argv[i], "--line-timeout-ms", v)) {
+            o.lineTimeoutMs = parseNonNegMs(v, "--line-timeout-ms");
         } else if (consume(argv[i], "--shard", v)) {
             parseShardSpec(v, "--shard", o.service);
         } else if (consume(argv[i], "--listen", v)) {
@@ -302,7 +337,9 @@ installDrainSignals()
     sigemptyset(&sa.sa_mask);
     sigaction(SIGTERM, &sa, nullptr);
     sigaction(SIGINT, &sa, nullptr);
-    signal(SIGPIPE, SIG_IGN);
+    // A client vanishing mid-write must surface as EPIPE on the
+    // write, never kill the server.
+    ignoreSigpipe();
 }
 
 void
@@ -368,7 +405,8 @@ reap(std::vector<std::unique_ptr<Connection>> &conns, bool all)
 }
 
 int
-serveTcp(const Options &o, SimulationService &service)
+serveTcp(const Options &o, SimulationService &service,
+         ConnectionCounters &counters)
 {
     int boundPort = 0;
     const int listenFd = openListener(o, boundPort);
@@ -405,18 +443,33 @@ serveTcp(const Options &o, SimulationService &service)
             fatal("accept failed: %s", std::strerror(errno));
         }
         reap(conns, false);
+        counters.accepted.fetch_add(1);
+        counters.active.fetch_add(1);
         auto conn = std::make_unique<Connection>();
         conn->fd = fd;
         Connection *raw = conn.get();
         FrontendOptions fo;
         fo.echo = o.echo;
         fo.shed = true;
+        fo.idleTimeoutMs = o.idleTimeoutMs;
+        fo.lineTimeoutMs = o.lineTimeoutMs;
         fo.peer = strfmt("client %llu",
                          static_cast<unsigned long long>(clientNo++));
-        conn->thread = std::thread([&service, raw, fo] {
-            serveLineStream(service, raw->fd, raw->fd, fo,
-                            g_forcePipe[0]);
+        conn->thread = std::thread([&service, &counters, raw, fo] {
+            const StreamOutcome outcome = serveLineStream(
+                service, raw->fd, raw->fd, fo, g_forcePipe[0]);
             close(raw->fd);
+            if (outcome.timedOut) {
+                counters.timedOut.fetch_add(1);
+                std::fprintf(stderr,
+                             "scnn_serve: %s cut off (read deadline "
+                             "expired after %llu line(s))\n",
+                             fo.peer.c_str(),
+                             static_cast<unsigned long long>(
+                                 outcome.lines));
+            }
+            counters.active.fetch_sub(1);
+            counters.closed.fetch_add(1);
             raw->done.store(true, std::memory_order_release);
         });
         conns.push_back(std::move(conn));
@@ -459,8 +512,9 @@ main(int argc, char **argv)
     installDrainSignals();
 
     SimulationService service(o.service);
+    ConnectionCounters counters;
     if (o.listen) {
-        serveTcp(o, service);
+        serveTcp(o, service, counters);
     } else {
         FrontendOptions fo;
         fo.echo = o.echo;
@@ -473,7 +527,8 @@ main(int argc, char **argv)
     }
 
     if (o.metrics) {
-        const std::string stats = service.statsJson();
+        const std::string stats = service.statsJson(
+            [&counters](JsonWriter &w) { counters.writeTo(w); });
         if (o.metricsPath.empty())
             std::fprintf(stderr, "%s\n", stats.c_str());
         else if (!writeJsonFile(o.metricsPath, stats))

@@ -11,7 +11,8 @@ Three checks over README.md and docs/*.md:
    ``scnn_serve`` process (``--serve-bin``): the server must produce
    exactly one reply line per input line, and every reply must be
    well-formed -- parseable JSON carrying a recognized ``schema``
-   (``scnn.simulation_response.v1`` or ``scnn.service_error.v1``).
+   (``scnn.simulation_response.v1``, ``scnn.service_error.v1`` or
+   ``scnn.service_pong.v1``).
    Request-line examples are therefore executable, not illustrative.
 3. Every relative markdown link must resolve to an existing file
    (anchors stripped; http/https/mailto links skipped), so
@@ -32,7 +33,8 @@ import subprocess
 import sys
 
 REPLY_SCHEMAS = {"scnn.simulation_response.v1",
-                 "scnn.service_error.v1"}
+                 "scnn.service_error.v1",
+                 "scnn.service_pong.v1"}
 
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
 # [text](target) -- skips images' extra ! harmlessly; ignores
