@@ -24,8 +24,8 @@ main()
     std::printf("Chained GoogLeNet inference on SCNN (emergent "
                 "sparsity)...\n\n");
 
-    // The scnn backend's chained capability routes GoogLeNet's
-    // inception DAG through the dedicated runner.
+    // The scnn backend's chainedDag capability routes GoogLeNet's
+    // inception DAG through the generic DAG executor.
     const auto sim = makeSimulator("scnn");
     const Network net = googLeNet();
     NetworkRunOptions opts;

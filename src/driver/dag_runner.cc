@@ -1,0 +1,214 @@
+#include "driver/dag_runner.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/random.hh"
+#include "nn/reference.hh"
+#include "nn/workload.hh"
+
+namespace scnn {
+
+namespace {
+
+/**
+ * Topological waves in declaration order: wave w holds every layer
+ * whose longest producer chain has length w.  Edges only point
+ * backward (Network enforces it), so declaration order is already
+ * topological and one forward sweep computes the levels.
+ */
+std::vector<std::vector<size_t>>
+buildWaves(const Network &net)
+{
+    const size_t n = net.numLayers();
+    std::vector<size_t> level(n, 0);
+    size_t deepest = 0;
+    for (size_t i = 0; i < n; ++i) {
+        for (const auto &e : net.inputs(i))
+            level[i] = std::max(level[i],
+                                level[static_cast<size_t>(e.from)] + 1);
+        deepest = std::max(deepest, level[i]);
+    }
+    std::vector<std::vector<size_t>> waves(deepest + 1);
+    for (size_t i = 0; i < n; ++i)
+        waves[level[i]].push_back(i);
+    return waves;
+}
+
+/** Element-wise residual addition, in input order. */
+Tensor3
+addTensors(const std::vector<Tensor3> &parts)
+{
+    Tensor3 out = parts[0];
+    for (size_t p = 1; p < parts.size(); ++p) {
+        const Tensor3 &t = parts[p];
+        SCNN_ASSERT(t.channels() == out.channels() &&
+                    t.width() == out.width() &&
+                    t.height() == out.height(),
+                    "residual add: shape mismatch");
+        float *dst = out.data();
+        const float *src = t.data();
+        for (size_t i = 0; i < out.size(); ++i)
+            dst[i] += src[i];
+    }
+    return out;
+}
+
+/** The per-layer task: gather + join inputs, run, post-pool. */
+struct LayerOutcome
+{
+    LayerResult result;
+    Tensor3 forwarded; ///< post-pooled output for the consumers
+};
+
+LayerOutcome
+runDagLayer(ScnnSimulator &sim, const Network &net, size_t li,
+            const std::vector<Tensor3> &forwarded,
+            const DagRunOptions &opts, int pinned)
+{
+    const ConvLayerParams &layer = net.layer(li);
+    const auto &in = net.inputs(li);
+
+    LayerWorkload w;
+    w.layer = layer;
+    if (in.empty()) {
+        // Source layer: synthesize the input image / activations from
+        // the layer-name-keyed stream (same draw as the sequential
+        // runner and the retired GoogLeNet runner).
+        Rng actRng(layer.name + "/activations", opts.seed);
+        w.input = makeActivations(layer, actRng);
+    } else {
+        std::vector<Tensor3> parts;
+        parts.reserve(in.size());
+        for (const auto &e : in) {
+            const Tensor3 &src = forwarded[static_cast<size_t>(e.from)];
+            SCNN_ASSERT(src.size() > 0,
+                        "DAG executor: producer %d of '%s' has no "
+                        "forwarded output", e.from, layer.name.c_str());
+            if (e.poolWindow > 0) {
+                parts.push_back(maxPool(src, e.poolWindow,
+                                        e.poolStride, e.poolPad,
+                                        pinned));
+            } else {
+                parts.push_back(src);
+            }
+        }
+        switch (net.join(li)) {
+          case JoinKind::Single:
+            w.input = std::move(parts[0]);
+            break;
+          case JoinKind::Concat:
+            w.input = concatChannels(parts);
+            break;
+          case JoinKind::Add:
+            w.input = addTensors(parts);
+            break;
+        }
+    }
+    SCNN_ASSERT(w.input.channels() == layer.inChannels &&
+                w.input.width() == layer.inWidth &&
+                w.input.height() == layer.inHeight,
+                "DAG executor: '%s' expects (%d,%d,%d), joined inputs "
+                "produced (%d,%d,%d)", layer.name.c_str(),
+                layer.inChannels, layer.inWidth, layer.inHeight,
+                w.input.channels(), w.input.width(), w.input.height());
+
+    if (opts.manifest != nullptr) {
+        std::string error;
+        const Tensor4 *mw = opts.manifest->weightsFor(layer, &error);
+        if (!error.empty())
+            fatal("DAG executor: %s", error.c_str());
+        if (mw != nullptr)
+            w.weights = *mw;
+    }
+    if (w.weights.size() == 0) {
+        Rng wtRng(layer.name + "/weights", opts.seed);
+        w.weights = makeWeights(layer, wtRng);
+    }
+
+    RunOptions ro;
+    ro.firstLayer = in.empty();
+    ro.threads = pinned;
+    ro.profile = opts.profile;
+    // ro.outputDensityHint stays 0.5: emergent density is measured.
+
+    LayerOutcome out;
+    out.result = sim.runLayer(w, ro);
+
+    if (layer.poolWindow > 0) {
+        out.forwarded = maxPool(out.result.output, layer.poolWindow,
+                                layer.poolStride, layer.poolPad,
+                                pinned);
+        if (!opts.keepOutputs)
+            out.result.output = Tensor3();
+    } else if (opts.keepOutputs) {
+        out.forwarded = out.result.output;
+    } else {
+        out.forwarded = std::move(out.result.output);
+        out.result.output = Tensor3();
+    }
+    out.result.stats.set("chained_input_density", w.input.density());
+    return out;
+}
+
+} // anonymous namespace
+
+NetworkResult
+runNetworkDag(ScnnSimulator &sim, const Network &net,
+              const DagRunOptions &opts)
+{
+    const size_t n = net.numLayers();
+    SCNN_ASSERT(n > 0, "empty network");
+    const int pinned = resolveThreads(opts.threads);
+
+    NetworkResult nr;
+    nr.networkName = net.name() + "-chained";
+    nr.archName = sim.config().name;
+    nr.layers.resize(n);
+
+    // Forwarded (post-pooled) outputs, and how many consumer edges
+    // still need each one so tensors are released as the frontier
+    // advances.
+    std::vector<Tensor3> forwarded(n);
+    std::vector<int> pendingUses(n, 0);
+    for (size_t i = 0; i < n; ++i)
+        for (const auto &e : net.inputs(i))
+            ++pendingUses[static_cast<size_t>(e.from)];
+
+    for (const auto &wave : buildWaves(net)) {
+        // Fan the wave over the pool; single-member waves run inline
+        // so their internal parallel sections keep the full pool.
+        std::vector<LayerOutcome> outcomes;
+        if (wave.size() == 1) {
+            outcomes.push_back(runDagLayer(sim, net, wave[0],
+                                           forwarded, opts, pinned));
+        } else {
+            outcomes = parallelMap(
+                wave,
+                [&](size_t li) {
+                    return runDagLayer(sim, net, li, forwarded, opts,
+                                       pinned);
+                },
+                pinned);
+        }
+        // Deterministic merge: write back in declaration order, then
+        // release producers whose consumers have all run.
+        for (size_t m = 0; m < wave.size(); ++m) {
+            const size_t li = wave[m];
+            nr.layers[li] = std::move(outcomes[m].result);
+            forwarded[li] = std::move(outcomes[m].forwarded);
+        }
+        for (const size_t li : wave) {
+            for (const auto &e : net.inputs(li)) {
+                const auto from = static_cast<size_t>(e.from);
+                if (--pendingUses[from] == 0)
+                    forwarded[from] = Tensor3();
+            }
+        }
+    }
+    return nr;
+}
+
+} // namespace scnn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Generic chained execution of an arbitrary network DAG on the SCNN
+ * simulator: layers are scheduled in topological waves, every wave's
+ * members fan out over the common/parallel pool, and each layer
+ * consumes its producers' actual simulated outputs -- joined by
+ * channel concatenation or residual addition, with optional per-edge
+ * and post-layer max-pooling -- so activation sparsity emerges from
+ * the computation.  Replaces the retired GoogLeNet-specific runner:
+ * the inception DAG is now just a zoo entry with explicit edges, and
+ * this executor reproduces the retired runner's results bit-for-bit
+ * (pinned by tests/golden/googlenet_chained_digest.json).
+ *
+ * Determinism contract: results are bit-identical for every thread
+ * count.  Wave members are independent (per-layer RNG streams are
+ * keyed on the layer name; producers come from earlier waves), each
+ * member's internal parallel sections follow the PR 3-4 merge-order
+ * contract, and the wave merge writes results back in declaration
+ * order regardless of completion order.
+ */
+
+#ifndef SCNN_DRIVER_DAG_RUNNER_HH
+#define SCNN_DRIVER_DAG_RUNNER_HH
+
+#include <cstdint>
+
+#include "nn/manifest.hh"
+#include "nn/network.hh"
+#include "scnn/result.hh"
+#include "scnn/simulator.hh"
+
+namespace scnn {
+
+/** Options for a chained DAG run. */
+struct DagRunOptions
+{
+    uint64_t seed = 20170624;  ///< image + weight synthesis seed
+    int threads = 0;           ///< 0 = SCNN_THREADS / hardware default
+
+    /** Retain each layer's functional output in its LayerResult. */
+    bool keepOutputs = true;
+
+    /** Record per-stage wall times (RunOptions::profile). */
+    bool profile = false;
+
+    /**
+     * Optional weight manifest: layers with an entry run on the real
+     * checkpoint weights instead of the seeded synthetic draw.  Shape
+     * agreement must have been validated (applyManifest); a mismatch
+     * here is a programming error and fatal()s.
+     */
+    const WeightManifest *manifest = nullptr;
+};
+
+/**
+ * Run every layer of the network with real activation propagation
+ * along the explicit edges.  The caller is expected to have checked
+ * `net.topologyErrors()` (the sim/ backend boundary does, rejecting
+ * bad requests recoverably); structural problems here are fatal().
+ * Per-layer results appear in declaration order.  The per-layer
+ * output-density hint stays at its 0.5 default (emergent sparsity is
+ * measured, not profiled -- same policy as the retired runner).
+ */
+NetworkResult runNetworkDag(ScnnSimulator &sim, const Network &net,
+                            const DagRunOptions &opts);
+
+} // namespace scnn
+
+#endif // SCNN_DRIVER_DAG_RUNNER_HH

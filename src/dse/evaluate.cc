@@ -579,7 +579,11 @@ networkByName(const std::string &name, Network &net)
     if (name == "alexnet") net = alexNet();
     else if (name == "googlenet") net = googLeNet();
     else if (name == "vgg16") net = vgg16();
+    else if (name == "resnet18") net = resNet18();
+    else if (name == "mobilenet") net = mobileNet();
     else if (name == "tiny") net = tinyTestNetwork();
+    else if (name == "tiny-res") net = tinyResNetwork();
+    else if (name == "tiny-dw") net = tinyDwNetwork();
     else return false;
     return true;
 }

@@ -21,6 +21,17 @@
 
 namespace scnn {
 
+/**
+ * One spatial dimension of a max-pool output.  The single place the
+ * pooled-size formula lives: layer shape queries, topology checks and
+ * the pooling kernel itself all call it, so they cannot drift.
+ */
+inline int
+poolOutDim(int in, int window, int stride, int pad)
+{
+    return (in + 2 * pad - window) / stride + 1;
+}
+
 /** Parameters of a single convolutional layer. */
 struct ConvLayerParams
 {
@@ -89,6 +100,24 @@ struct ConvLayerParams
     outHeight() const
     {
         return (inHeight + 2 * padY - filterH) / strideY + 1;
+    }
+
+    /** Output width after the declared post-pooling (if any). */
+    int
+    pooledOutWidth() const
+    {
+        return poolWindow > 0
+            ? poolOutDim(outWidth(), poolWindow, poolStride, poolPad)
+            : outWidth();
+    }
+
+    /** Output height after the declared post-pooling (if any). */
+    int
+    pooledOutHeight() const
+    {
+        return poolWindow > 0
+            ? poolOutDim(outHeight(), poolWindow, poolStride, poolPad)
+            : outHeight();
     }
 
     /** Weight elements: K * (C/groups) * R * S. */

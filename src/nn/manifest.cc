@@ -1,0 +1,336 @@
+#include "nn/manifest.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "nn/workload.hh"
+
+namespace scnn {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'C', 'N', 'N', 'W', 'M', 'F', '1'};
+constexpr uint32_t kMaxNameLen = 4096;
+constexpr uint32_t kMaxEntries = 100000;
+constexpr uint32_t kMaxDim = 65536;
+// One tensor is capped well above any conv layer (2^28 floats = 1 GiB)
+// so a corrupt dimension field cannot trigger a huge allocation.
+constexpr uint64_t kMaxElems = uint64_t(1) << 28;
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void
+putF32(std::string &out, float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU32(out, bits);
+}
+
+void
+putF64(std::string &out, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU32(out, static_cast<uint32_t>(bits & 0xffffffffu));
+    putU32(out, static_cast<uint32_t>(bits >> 32));
+}
+
+/** Bounds-checked little-endian reader over the raw bytes. */
+struct Cursor
+{
+    const uint8_t *p;
+    size_t left;
+
+    bool
+    readU32(uint32_t *v)
+    {
+        if (left < 4)
+            return false;
+        *v = uint32_t(p[0]) | uint32_t(p[1]) << 8 |
+             uint32_t(p[2]) << 16 | uint32_t(p[3]) << 24;
+        p += 4;
+        left -= 4;
+        return true;
+    }
+
+    bool
+    readF64(double *v)
+    {
+        uint32_t lo, hi;
+        if (!readU32(&lo) || !readU32(&hi))
+            return false;
+        const uint64_t bits = uint64_t(lo) | (uint64_t(hi) << 32);
+        std::memcpy(v, &bits, sizeof(*v));
+        return true;
+    }
+
+    bool
+    readBytes(void *dst, size_t n)
+    {
+        if (left < n)
+            return false;
+        std::memcpy(dst, p, n);
+        p += n;
+        left -= n;
+        return true;
+    }
+};
+
+} // anonymous namespace
+
+bool
+WeightManifest::add(ManifestEntry entry, std::string *error)
+{
+    if (entry.name.empty() || entry.name.size() > kMaxNameLen) {
+        *error = "manifest entry has an empty or oversized name";
+        return false;
+    }
+    if (entry.weights.size() == 0) {
+        *error = strfmt("manifest entry '%s' has an empty tensor",
+                        entry.name.c_str());
+        return false;
+    }
+    if (find(entry.name) != nullptr) {
+        *error = strfmt("manifest has duplicate entry '%s'",
+                        entry.name.c_str());
+        return false;
+    }
+    entries_.push_back(std::move(entry));
+    return true;
+}
+
+const ManifestEntry *
+WeightManifest::find(const std::string &name) const
+{
+    for (const auto &e : entries_)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+const Tensor4 *
+WeightManifest::weightsFor(const ConvLayerParams &layer,
+                           std::string *error) const
+{
+    error->clear();
+    const ManifestEntry *e = find(layer.name);
+    if (e == nullptr)
+        return nullptr;
+    const Tensor4 &w = e->weights;
+    if (w.k() != layer.outChannels ||
+        w.c() != layer.inChannels / layer.groups ||
+        w.r() != layer.filterW || w.s() != layer.filterH) {
+        *error = strfmt(
+            "manifest entry '%s' has shape (%d,%d,%d,%d) but layer "
+            "expects (%d,%d,%d,%d)", layer.name.c_str(), w.k(), w.c(),
+            w.r(), w.s(), layer.outChannels,
+            layer.inChannels / layer.groups, layer.filterW,
+            layer.filterH);
+        return nullptr;
+    }
+    return &w;
+}
+
+uint64_t
+WeightManifest::fingerprint() const
+{
+    const std::string bytes = serialize();
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : bytes) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+WeightManifest::serialize() const
+{
+    std::string out(kMagic, sizeof(kMagic));
+    putU32(out, static_cast<uint32_t>(entries_.size()));
+    for (const auto &e : entries_) {
+        putU32(out, static_cast<uint32_t>(e.name.size()));
+        out += e.name;
+        putU32(out, static_cast<uint32_t>(e.weights.k()));
+        putU32(out, static_cast<uint32_t>(e.weights.c()));
+        putU32(out, static_cast<uint32_t>(e.weights.r()));
+        putU32(out, static_cast<uint32_t>(e.weights.s()));
+        putF64(out, e.inputDensity);
+        const float *data = e.weights.data();
+        for (size_t i = 0; i < e.weights.size(); ++i)
+            putF32(out, data[i]);
+    }
+    return out;
+}
+
+bool
+WeightManifest::parse(const std::string &bytes, WeightManifest *out,
+                      std::string *error)
+{
+    *out = WeightManifest();
+    Cursor cur{reinterpret_cast<const uint8_t *>(bytes.data()),
+               bytes.size()};
+    char magic[sizeof(kMagic)];
+    if (!cur.readBytes(magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        *error = "not a weight manifest (bad magic; expected "
+                 "SCNNWMF1)";
+        return false;
+    }
+    uint32_t count = 0;
+    if (!cur.readU32(&count) || count > kMaxEntries) {
+        *error = "manifest header truncated or entry count "
+                 "implausible";
+        return false;
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+        uint32_t nameLen = 0;
+        if (!cur.readU32(&nameLen) || nameLen == 0 ||
+            nameLen > kMaxNameLen || cur.left < nameLen) {
+            *error = strfmt("manifest entry %u: truncated or invalid "
+                            "name", i);
+            return false;
+        }
+        ManifestEntry e;
+        e.name.resize(nameLen);
+        cur.readBytes(&e.name[0], nameLen);
+        uint32_t k, c, r, s;
+        if (!cur.readU32(&k) || !cur.readU32(&c) || !cur.readU32(&r) ||
+            !cur.readU32(&s) || !cur.readF64(&e.inputDensity)) {
+            *error = strfmt("manifest entry '%s': truncated header",
+                            e.name.c_str());
+            return false;
+        }
+        if (k == 0 || c == 0 || r == 0 || s == 0 || k > kMaxDim ||
+            c > kMaxDim || r > kMaxDim || s > kMaxDim) {
+            *error = strfmt("manifest entry '%s': implausible "
+                            "dimensions (%u,%u,%u,%u)", e.name.c_str(),
+                            k, c, r, s);
+            return false;
+        }
+        const uint64_t elems = uint64_t(k) * c * r * s;
+        if (elems > kMaxElems || cur.left < elems * 4) {
+            *error = strfmt("manifest entry '%s': truncated tensor "
+                            "data (%llu floats declared, %zu bytes "
+                            "left)", e.name.c_str(),
+                            static_cast<unsigned long long>(elems),
+                            cur.left);
+            return false;
+        }
+        if (e.inputDensity > 1.0 ||
+            e.inputDensity != e.inputDensity) { // NaN
+            *error = strfmt("manifest entry '%s': input density out "
+                            "of range", e.name.c_str());
+            return false;
+        }
+        e.weights = Tensor4(static_cast<int>(k), static_cast<int>(c),
+                            static_cast<int>(r), static_cast<int>(s));
+        static_assert(sizeof(float) == 4, "float width");
+        cur.readBytes(e.weights.data(), elems * 4);
+        if (!out->add(std::move(e), error))
+            return false;
+    }
+    if (cur.left != 0) {
+        *error = strfmt("manifest has %zu trailing bytes after the "
+                        "last entry", cur.left);
+        return false;
+    }
+    return true;
+}
+
+bool
+writeManifestFile(const std::string &path,
+                  const WeightManifest &manifest, std::string *error)
+{
+    const std::string bytes = manifest.serialize();
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        *error = strfmt("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    std::fclose(f);
+    if (!ok)
+        *error = strfmt("short write to '%s'", path.c_str());
+    return ok;
+}
+
+bool
+loadManifestFile(const std::string &path, WeightManifest *out,
+                 std::string *error)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        *error = strfmt("cannot open manifest '%s'", path.c_str());
+        return false;
+    }
+    std::string bytes;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, n);
+    const bool readOk = std::feof(f) != 0;
+    std::fclose(f);
+    if (!readOk) {
+        *error = strfmt("error reading manifest '%s'", path.c_str());
+        return false;
+    }
+    return WeightManifest::parse(bytes, out, error);
+}
+
+WeightManifest
+manifestFromNetwork(const Network &net, uint64_t seed)
+{
+    WeightManifest m;
+    for (const auto &layer : net.layers()) {
+        Rng wtRng(layer.name + "/weights", seed);
+        ManifestEntry e;
+        e.name = layer.name;
+        e.weights = makeWeights(layer, wtRng);
+        e.inputDensity = layer.inputDensity;
+        std::string error;
+        if (!m.add(std::move(e), &error))
+            fatal("manifestFromNetwork: %s", error.c_str());
+    }
+    return m;
+}
+
+bool
+applyManifest(Network &net, const WeightManifest &manifest,
+              std::string *error)
+{
+    size_t matched = 0;
+    Network out(net.name());
+    for (size_t i = 0; i < net.numLayers(); ++i) {
+        ConvLayerParams l = net.layer(i);
+        const Tensor4 *w = manifest.weightsFor(l, error);
+        if (w == nullptr && !error->empty())
+            return false;
+        if (w != nullptr) {
+            ++matched;
+            l.weightDensity = w->density();
+            const ManifestEntry *e = manifest.find(l.name);
+            if (e->inputDensity >= 0.0)
+                l.inputDensity = e->inputDensity;
+        }
+        out.addLayer(std::move(l), net.inputs(i), net.join(i));
+    }
+    if (matched == 0) {
+        *error = strfmt("manifest matches no layer of network '%s' "
+                        "(wrong file?)", net.name().c_str());
+        return false;
+    }
+    net = std::move(out);
+    return true;
+}
+
+} // namespace scnn

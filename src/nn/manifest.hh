@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Weight manifests: a flat binary container carrying real per-layer
+ * weight tensors (and optionally measured input-activation densities)
+ * so simulations can run against pruned checkpoints instead of
+ * Bernoulli-sampled synthetic weights.
+ *
+ * Format `SCNNWMF1` (all integers little-endian):
+ *
+ *     8  bytes  magic "SCNNWMF1"
+ *     4  bytes  uint32 entry count
+ *     per entry:
+ *       4 bytes       uint32 layer-name length N (1..4096)
+ *       N bytes       layer name (no NUL)
+ *       16 bytes      uint32 k, c, r, s  (weight dims; c = C/groups)
+ *       8 bytes       float64 input density (< 0 = not provided)
+ *       k*c*r*s*4 b   float32 weights, row-major (k, c, r, s)
+ *
+ * Parsing is defensive and never fatal()s: truncated, oversized or
+ * corrupt manifests come back as error strings so the service
+ * boundary can reject the request and keep serving.
+ */
+
+#ifndef SCNN_NN_MANIFEST_HH
+#define SCNN_NN_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+#include "tensor/tensor.hh"
+
+namespace scnn {
+
+/** One named weight tensor (plus optional measured input density). */
+struct ManifestEntry
+{
+    std::string name;          ///< layer name the tensor belongs to
+    Tensor4 weights;           ///< (K, C/groups, R, S)
+    double inputDensity = -1.; ///< measured input density; < 0 = unset
+};
+
+/** An in-memory weight manifest: ordered entries, unique names. */
+class WeightManifest
+{
+  public:
+    /** Append an entry; returns false (with *error set) on problems. */
+    bool add(ManifestEntry entry, std::string *error);
+
+    size_t numEntries() const { return entries_.size(); }
+    const std::vector<ManifestEntry> &entries() const { return entries_; }
+
+    /** Entry for a layer name, or nullptr when absent. */
+    const ManifestEntry *find(const std::string &name) const;
+
+    /**
+     * Weights for a layer: nullptr with *error empty when the
+     * manifest has no entry (caller falls back to synthesis), nullptr
+     * with *error set when an entry exists but its dimensions do not
+     * match the layer's (K, C/groups, R, S).
+     */
+    const Tensor4 *weightsFor(const ConvLayerParams &layer,
+                              std::string *error) const;
+
+    /** FNV-1a 64 over the serialized bytes (cache/signature key). */
+    uint64_t fingerprint() const;
+
+    /** Serialize to the SCNNWMF1 byte format. */
+    std::string serialize() const;
+
+    /**
+     * Parse from bytes.  Returns false and sets *error on anything
+     * malformed; *out is unspecified on failure.
+     */
+    static bool parse(const std::string &bytes, WeightManifest *out,
+                      std::string *error);
+
+  private:
+    std::vector<ManifestEntry> entries_;
+};
+
+/** Write a manifest file; false + *error on I/O failure. */
+bool writeManifestFile(const std::string &path,
+                       const WeightManifest &manifest,
+                       std::string *error);
+
+/** Load and parse a manifest file; false + *error on failure. */
+bool loadManifestFile(const std::string &path, WeightManifest *out,
+                      std::string *error);
+
+/**
+ * A manifest carrying the network's synthetic seeded weights (the
+ * exact tensors makeWeights() would draw).  Running with this
+ * manifest reproduces the synthetic run bit-for-bit, which is both
+ * the round-trip test and the easiest way to produce a valid example
+ * file for a zoo entry.
+ */
+WeightManifest manifestFromNetwork(const Network &net, uint64_t seed);
+
+/**
+ * Rebind a network to a manifest: every layer with a manifest entry
+ * gets its weightDensity replaced by the tensor's actual density and,
+ * when the entry provides one, its inputDensity replaced by the
+ * measured value.  Layers without entries are untouched (partial
+ * manifests are allowed).  Returns false with *error set when an
+ * entry's dimensions do not match its layer, or when no entry matches
+ * any layer (almost certainly the wrong file).
+ */
+bool applyManifest(Network &net, const WeightManifest &manifest,
+                   std::string *error);
+
+} // namespace scnn
+
+#endif // SCNN_NN_MANIFEST_HH

@@ -48,10 +48,35 @@ struct InceptionSpec
     double wdPool;
 };
 
-void
-addInception(Network &net, const InceptionSpec &m)
+/** Stage max-pool (3x3/2 pad 1) declared as a branch post-pool. */
+ConvLayerParams
+withStagePool(ConvLayerParams p, bool stagePool)
+{
+    if (stagePool) {
+        p.poolWindow = 3;
+        p.poolStride = 2;
+        p.poolPad = 1;
+    }
+    return p;
+}
+
+/**
+ * One inception module as explicit DAG edges: the four branches read
+ * the module input (the concatenation of the previous module's branch
+ * outputs), pool_proj through a 3x3/1 edge max-pool, and the returned
+ * edges are the module output for the next module to concatenate.
+ * A trailing stage pool (after IC_3b / IC_4e) is declared as a
+ * post-pool on each branch output: max-pooling commutes with channel
+ * concatenation, so pooling the branches separately is exactly the
+ * retired runner's pool-after-concat.
+ */
+std::vector<LayerInput>
+addInception(Network &net, const InceptionSpec &m,
+             std::vector<LayerInput> moduleIn, bool stagePool)
 {
     const std::string base = std::string(m.id) + "/";
+    const JoinKind inJoin = moduleIn.size() > 1 ? JoinKind::Concat
+                                                : JoinKind::Single;
 
     // Reduce layers see the module input.  The 3x3/5x5 layers see the
     // (post-ReLU) reduce outputs, which Fig. 1 shows slightly sparser
@@ -62,18 +87,42 @@ addInception(Network &net, const InceptionSpec &m)
     const double reduceOutD = 0.85 * m.iaDensity;
     const double poolD = std::min(1.0, 2.2 * m.iaDensity);
 
-    net.addLayer(conv(base + "1x1", m.cIn, m.n1x1, m.wh, m.wh, 1, 1, 0,
-                      1, m.wd1x1, m.iaDensity));
+    net.addLayer(withStagePool(conv(base + "1x1", m.cIn, m.n1x1, m.wh,
+                                    m.wh, 1, 1, 0, 1, m.wd1x1,
+                                    m.iaDensity), stagePool),
+                 moduleIn, inJoin);
+    const int b1 = static_cast<int>(net.numLayers()) - 1;
     net.addLayer(conv(base + "3x3_reduce", m.cIn, m.n3x3r, m.wh, m.wh,
-                      1, 1, 0, 1, m.wd3x3r, m.iaDensity));
-    net.addLayer(conv(base + "3x3", m.n3x3r, m.n3x3, m.wh, m.wh, 3, 1,
-                      1, 1, m.wd3x3, reduceOutD));
+                      1, 1, 0, 1, m.wd3x3r, m.iaDensity),
+                 moduleIn, inJoin);
+    const int r3 = static_cast<int>(net.numLayers()) - 1;
+    net.addLayer(withStagePool(conv(base + "3x3", m.n3x3r, m.n3x3,
+                                    m.wh, m.wh, 3, 1, 1, 1, m.wd3x3,
+                                    reduceOutD), stagePool),
+                 {LayerInput(r3)});
+    const int b3 = static_cast<int>(net.numLayers()) - 1;
     net.addLayer(conv(base + "5x5_reduce", m.cIn, m.n5x5r, m.wh, m.wh,
-                      1, 1, 0, 1, m.wd5x5r, m.iaDensity));
-    net.addLayer(conv(base + "5x5", m.n5x5r, m.n5x5, m.wh, m.wh, 5, 1,
-                      2, 1, m.wd5x5, reduceOutD));
-    net.addLayer(conv(base + "pool_proj", m.cIn, m.nPool, m.wh, m.wh,
-                      1, 1, 0, 1, m.wdPool, poolD));
+                      1, 1, 0, 1, m.wd5x5r, m.iaDensity),
+                 moduleIn, inJoin);
+    const int r5 = static_cast<int>(net.numLayers()) - 1;
+    net.addLayer(withStagePool(conv(base + "5x5", m.n5x5r, m.n5x5,
+                                    m.wh, m.wh, 5, 1, 2, 1, m.wd5x5,
+                                    reduceOutD), stagePool),
+                 {LayerInput(r5)});
+    const int b5 = static_cast<int>(net.numLayers()) - 1;
+    std::vector<LayerInput> poolIn = moduleIn;
+    for (auto &e : poolIn) {
+        e.poolWindow = 3;
+        e.poolStride = 1;
+        e.poolPad = 1;
+    }
+    net.addLayer(withStagePool(conv(base + "pool_proj", m.cIn, m.nPool,
+                                    m.wh, m.wh, 1, 1, 0, 1, m.wdPool,
+                                    poolD), stagePool),
+                 std::move(poolIn), inJoin);
+    const int bp = static_cast<int>(net.numLayers()) - 1;
+    return {LayerInput(b1), LayerInput(b3), LayerInput(b5),
+            LayerInput(bp)};
 }
 
 } // anonymous namespace
@@ -110,10 +159,16 @@ googLeNet()
     Network net("GoogLeNet");
 
     // Stem (outside the paper's per-layer evaluation scope; included
-    // for Table I footprint accounting).
+    // for Table I footprint accounting).  Caffe uses ceil-mode 3x3/2
+    // pooling (112 -> 56 -> 28); symmetric pad 1 reproduces the
+    // shape, and pooling over zero padding is harmless on
+    // non-negative post-ReLU data.
     auto stem1 = conv("conv1/7x7_s2", 3, 64, 224, 224, 7, 2, 3, 1,
                       0.70, 1.00);
     stem1.inEval = false;
+    stem1.poolWindow = 3; // 112 -> 56
+    stem1.poolStride = 2;
+    stem1.poolPad = 1;
     net.addLayer(stem1);
     auto stem2r = conv("conv2/3x3_reduce", 64, 64, 56, 56, 1, 1, 0, 1,
                        0.60, 0.65);
@@ -122,6 +177,9 @@ googLeNet()
     auto stem2 = conv("conv2/3x3", 64, 192, 56, 56, 3, 1, 1, 1,
                       0.45, 0.55);
     stem2.inEval = false;
+    stem2.poolWindow = 3; // 56 -> 28
+    stem2.poolStride = 2;
+    stem2.poolPad = 1;
     net.addLayer(stem2);
 
     // The nine inception modules: branch widths from the GoogLeNet v1
@@ -149,8 +207,14 @@ googLeNet()
         {"IC_5b",  7, 832, 384, 192, 384, 48, 128, 128, 0.40,
          0.42, 0.36, 0.30, 0.36, 0.30, 0.41},
     };
-    for (const auto &m : modules)
-        addInception(net, m);
+    std::vector<LayerInput> moduleIn = {
+        LayerInput(static_cast<int>(net.numLayers()) - 1)};
+    for (const auto &m : modules) {
+        // Stage pools sit after IC_3b (28 -> 14) and IC_4e (14 -> 7).
+        const bool stagePool = std::string(m.id) == "IC_3b" ||
+                               std::string(m.id) == "IC_4e";
+        moduleIn = addInception(net, m, std::move(moduleIn), stagePool);
+    }
     return net;
 }
 
@@ -196,6 +260,109 @@ vgg16()
     return net;
 }
 
+Network
+resNet18()
+{
+    Network net("ResNet18");
+    // Pruned-density profile in the spirit of the paper's Fig. 1:
+    // weight density declining 0.7 -> 0.3 with depth, activation
+    // density 1.0 (raw image) -> ~0.3.  Residual shortcuts are Add
+    // joins; the stage-entry shortcut is the usual 1x1/2 projection.
+    auto stem = conv("conv1", 3, 64, 224, 224, 7, 2, 3, 1, 0.70, 1.00);
+    stem.poolWindow = 3; // 112 -> 56
+    stem.poolStride = 2;
+    stem.poolPad = 1;
+    net.addLayer(stem);
+
+    struct Stage { const char *id; int cIn, c, wh; double wd, ad; };
+    const Stage stages[] = {
+        {"res2",  64,  64, 56, 0.60, 0.55},
+        {"res3",  64, 128, 28, 0.50, 0.45},
+        {"res4", 128, 256, 14, 0.40, 0.38},
+        {"res5", 256, 512,  7, 0.30, 0.30},
+    };
+    // The identity feeding the current block: edges whose element-wise
+    // sum is the previous block's output.
+    std::vector<LayerInput> identity = {
+        LayerInput(static_cast<int>(net.numLayers()) - 1)};
+    for (const auto &s : stages) {
+        const bool down = s.cIn != s.c; // stage entry halves the plane
+        const std::string a = std::string(s.id) + "a";
+        const std::string b = std::string(s.id) + "b";
+        const int inWh = down ? s.wh * 2 : s.wh;
+        const JoinKind inJoin = identity.size() > 1 ? JoinKind::Add
+                                                    : JoinKind::Single;
+
+        // Block a: conv/conv (+ projection shortcut on downsampling).
+        net.addLayer(conv(a + "_1", s.cIn, s.c, inWh, inWh, 3,
+                          down ? 2 : 1, 1, 1, s.wd, s.ad),
+                     identity, inJoin);
+        net.addLayer(conv(a + "_2", s.c, s.c, s.wh, s.wh, 3, 1, 1, 1,
+                          s.wd, 0.9 * s.ad),
+                     {LayerInput(static_cast<int>(net.numLayers()) - 1)});
+        const int a2 = static_cast<int>(net.numLayers()) - 1;
+        int shortcut;
+        if (down) {
+            net.addLayer(conv(a + "_down", s.cIn, s.c, inWh, inWh, 1,
+                              2, 0, 1, s.wd, s.ad),
+                         identity, inJoin);
+            shortcut = static_cast<int>(net.numLayers()) - 1;
+            identity = {LayerInput(a2), LayerInput(shortcut)};
+        } else {
+            // Identity shortcut: block output = conv stack + input.
+            identity.insert(identity.begin(), LayerInput(a2));
+        }
+
+        // Block b: plain identity block on the stage width.
+        net.addLayer(conv(b + "_1", s.c, s.c, s.wh, s.wh, 3, 1, 1, 1,
+                          s.wd, 0.85 * s.ad),
+                     identity, JoinKind::Add);
+        net.addLayer(conv(b + "_2", s.c, s.c, s.wh, s.wh, 3, 1, 1, 1,
+                          s.wd, 0.8 * s.ad),
+                     {LayerInput(static_cast<int>(net.numLayers()) - 1)});
+        identity.insert(identity.begin(),
+                        LayerInput(static_cast<int>(net.numLayers()) - 1));
+    }
+    return net;
+}
+
+Network
+mobileNet()
+{
+    Network net("MobileNet");
+    // MobileNet-v1 topology: a stride-2 stem then 13 depthwise
+    // separable pairs (3x3 depthwise with groups = C, then 1x1
+    // pointwise).  Depthwise layers resist pruning (few weights), so
+    // their densities stay high while pointwise layers carry the
+    // sparsity.
+    net.addLayer(conv("conv1", 3, 32, 224, 224, 3, 2, 1, 1,
+                      0.80, 1.00));
+    struct Pair { int c, k, stride; };
+    const Pair pairs[] = {
+        {32, 64, 1},    {64, 128, 2},   {128, 128, 1},
+        {128, 256, 2},  {256, 256, 1},  {256, 512, 2},
+        {512, 512, 1},  {512, 512, 1},  {512, 512, 1},
+        {512, 512, 1},  {512, 512, 1},  {512, 1024, 2},
+        {1024, 1024, 1},
+    };
+    int wh = 112;
+    double ad = 0.60;
+    double wd = 0.55;
+    for (size_t i = 0; i < sizeof(pairs) / sizeof(pairs[0]); ++i) {
+        const Pair &p = pairs[i];
+        const std::string n = std::to_string(i + 1);
+        net.addLayer(conv("dw" + n, p.c, p.c, wh, wh, 3, p.stride, 1,
+                          p.c, 0.85, ad));
+        if (p.stride == 2)
+            wh /= 2;
+        net.addLayer(conv("pw" + n, p.c, p.k, wh, wh, 1, 1, 0, 1,
+                          wd, 0.95 * ad));
+        ad = std::max(0.30, ad - 0.02);
+        wd = std::max(0.25, wd - 0.02);
+    }
+    return net;
+}
+
 std::vector<Network>
 paperNetworks()
 {
@@ -207,14 +374,16 @@ withUniformDensity(const Network &net, double weightDensity,
                    double activationDensity)
 {
     Network out(net.name() + "-uniform");
-    for (auto l : net.layers()) {
+    for (size_t i = 0; i < net.numLayers(); ++i) {
+        ConvLayerParams l = net.layer(i);
         l.weightDensity = weightDensity;
         l.inputDensity = activationDensity;
         // The Section VI-A sweep is synthetic: sparsity is i.i.d.,
         // with no natural-image clustering.
         l.actSpatialSigma = 0.0;
         l.actChannelSigma = 0.0;
-        out.addLayer(std::move(l));
+        // Preserve edges and joins so DAG topologies stay runnable.
+        out.addLayer(std::move(l), net.inputs(i), net.join(i));
     }
     return out;
 }
@@ -227,6 +396,41 @@ tinyTestNetwork()
     net.addLayer(conv("t_conv2", 8, 16, 16, 16, 3, 2, 1, 1, 0.5, 0.5));
     net.addLayer(conv("t_conv3", 16, 16, 8, 8, 1, 1, 0, 1, 0.5, 0.45));
     net.addLayer(conv("t_conv4", 16, 8, 8, 8, 5, 1, 2, 2, 0.4, 0.4));
+    return net;
+}
+
+Network
+tinyResNetwork()
+{
+    Network net("tiny-res");
+    net.addLayer(conv("tr_conv1", 3, 8, 16, 16, 3, 1, 1, 1, 0.6, 0.9));
+    net.addLayer(conv("tr_conv2a", 8, 8, 16, 16, 3, 1, 1, 1, 0.5,
+                      0.5),
+                 {LayerInput(0)});
+    net.addLayer(conv("tr_conv2b", 8, 8, 16, 16, 3, 1, 1, 1, 0.5,
+                      0.45),
+                 {LayerInput(1)});
+    // Residual join: conv3 consumes conv2b + the conv1 shortcut.
+    net.addLayer(conv("tr_conv3", 8, 16, 16, 16, 3, 2, 1, 1, 0.45,
+                      0.5),
+                 {LayerInput(2), LayerInput(0)}, JoinKind::Add);
+    net.addLayer(conv("tr_conv4", 16, 8, 8, 8, 1, 1, 0, 1, 0.4, 0.4),
+                 {LayerInput(3)});
+    return net;
+}
+
+Network
+tinyDwNetwork()
+{
+    Network net("tiny-dw");
+    net.addLayer(conv("td_conv1", 3, 8, 16, 16, 3, 1, 1, 1, 0.6,
+                      0.9));
+    net.addLayer(conv("td_dw2", 8, 8, 16, 16, 3, 2, 1, 8, 0.85, 0.5));
+    net.addLayer(conv("td_pw2", 8, 16, 8, 8, 1, 1, 0, 1, 0.5, 0.45));
+    net.addLayer(conv("td_dw3", 16, 16, 8, 8, 3, 1, 1, 16, 0.85,
+                      0.4));
+    net.addLayer(conv("td_pw3", 16, 16, 8, 8, 1, 1, 0, 1, 0.45,
+                      0.4));
     return net;
 }
 

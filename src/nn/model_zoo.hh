@@ -46,6 +46,22 @@ Network googLeNet();
  */
 Network vgg16();
 
+/**
+ * ResNet-18-style extension network (not a paper workload): 20 convs
+ * over 4 residual stages with Add-join shortcuts and 1x1/2 projection
+ * shortcuts at stage entries, with a plausible pruned-density
+ * profile.  Exercises the DAG executor's residual path at scale.
+ */
+Network resNet18();
+
+/**
+ * MobileNet-v1-style extension network (not a paper workload): a
+ * stride-2 stem and 13 depthwise-separable pairs (3x3 depthwise with
+ * groups = C, 1x1 pointwise).  Sequential topology; exercises extreme
+ * channel grouping.
+ */
+Network mobileNet();
+
 /** All three paper networks. */
 std::vector<Network> paperNetworks();
 
@@ -64,6 +80,19 @@ Network withUniformDensity(const Network &net, double weightDensity,
  * padding, groups, 1x1 filters) at toy sizes.
  */
 Network tinyTestNetwork();
+
+/**
+ * A toy residual DAG (5 layers, one Add join with a two-block
+ * shortcut): the fast regression target for DAG-executor determinism
+ * and the CI chained-DAG smoke.
+ */
+Network tinyResNetwork();
+
+/**
+ * A toy depthwise-separable chain (5 layers, two depthwise convs with
+ * groups = C): fast coverage for extreme grouping in chained mode.
+ */
+Network tinyDwNetwork();
 
 } // namespace scnn
 

@@ -2,7 +2,101 @@
 
 #include <algorithm>
 
+#include "common/logging.hh"
+
 namespace scnn {
+
+namespace {
+
+/** (channels, width, height) carried by one edge after its pooling. */
+struct EdgeDims
+{
+    int c, w, h;
+};
+
+EdgeDims
+edgeDims(const ConvLayerParams &producer, const LayerInput &edge)
+{
+    EdgeDims d{producer.outChannels, producer.pooledOutWidth(),
+               producer.pooledOutHeight()};
+    if (edge.poolWindow > 0) {
+        d.w = poolOutDim(d.w, edge.poolWindow, edge.poolStride,
+                         edge.poolPad);
+        d.h = poolOutDim(d.h, edge.poolWindow, edge.poolStride,
+                         edge.poolPad);
+    }
+    return d;
+}
+
+} // anonymous namespace
+
+const char *
+joinKindName(JoinKind join)
+{
+    switch (join) {
+      case JoinKind::Single: return "single";
+      case JoinKind::Concat: return "concat";
+      case JoinKind::Add:    return "add";
+    }
+    return "?";
+}
+
+void
+Network::addLayer(ConvLayerParams layer)
+{
+    std::vector<LayerInput> inputs;
+    if (!layers_.empty())
+        inputs.emplace_back(static_cast<int>(layers_.size()) - 1);
+    addLayer(std::move(layer), std::move(inputs), JoinKind::Single);
+}
+
+void
+Network::addLayer(ConvLayerParams layer, std::vector<LayerInput> inputs,
+                  JoinKind join)
+{
+    layer.validate();
+    for (const auto &l : layers_) {
+        if (l.name == layer.name) {
+            fatal("network '%s': duplicate layer name '%s'",
+                  name_.c_str(), layer.name.c_str());
+        }
+    }
+    for (const auto &e : inputs) {
+        if (e.from < 0 || e.from >= static_cast<int>(layers_.size())) {
+            fatal("network '%s': layer '%s' input edge %d out of "
+                  "range (layers may only consume already-added "
+                  "layers)", name_.c_str(), layer.name.c_str(), e.from);
+        }
+        if (e.poolWindow < 0 ||
+            (e.poolWindow > 0 && (e.poolStride <= 0 || e.poolPad < 0))) {
+            fatal("network '%s': layer '%s' has invalid edge pooling",
+                  name_.c_str(), layer.name.c_str());
+        }
+    }
+    if (inputs.size() <= 1 && join != JoinKind::Single) {
+        fatal("network '%s': layer '%s' declares a %s join with %zu "
+              "input(s); Concat/Add need at least two", name_.c_str(),
+              layer.name.c_str(), joinKindName(join), inputs.size());
+    }
+    if (inputs.size() > 1 && join == JoinKind::Single) {
+        fatal("network '%s': layer '%s' has %zu inputs but a single "
+              "join; declare Concat or Add", name_.c_str(),
+              layer.name.c_str(), inputs.size());
+    }
+    layers_.push_back(std::move(layer));
+    inputs_.push_back(std::move(inputs));
+    joins_.push_back(join);
+}
+
+std::vector<size_t>
+Network::sourceLayers() const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < layers_.size(); ++i)
+        if (inputs_[i].empty())
+            out.push_back(i);
+    return out;
+}
 
 std::vector<ConvLayerParams>
 Network::evalLayers() const
@@ -25,23 +119,63 @@ Network::numEvalLayers() const
 bool
 Network::isSequential() const
 {
-    for (size_t i = 0; i + 1 < layers_.size(); ++i) {
-        const ConvLayerParams &cur = layers_[i];
-        const ConvLayerParams &nxt = layers_[i + 1];
-        int w = cur.outWidth();
-        int h = cur.outHeight();
-        if (cur.poolWindow > 0) {
-            w = (w + 2 * cur.poolPad - cur.poolWindow) /
-                    cur.poolStride + 1;
-            h = (h + 2 * cur.poolPad - cur.poolWindow) /
-                    cur.poolStride + 1;
+    for (size_t i = 1; i < layers_.size(); ++i) {
+        const auto &in = inputs_[i];
+        if (in.size() != 1 || in[0].from != static_cast<int>(i) - 1 ||
+            in[0].poolWindow != 0 || joins_[i] != JoinKind::Single) {
+            return false;
         }
-        if (cur.outChannels != nxt.inChannels || w != nxt.inWidth ||
-            h != nxt.inHeight) {
+        const ConvLayerParams &cur = layers_[i - 1];
+        const ConvLayerParams &nxt = layers_[i];
+        if (cur.outChannels != nxt.inChannels ||
+            cur.pooledOutWidth() != nxt.inWidth ||
+            cur.pooledOutHeight() != nxt.inHeight) {
             return false;
         }
     }
     return true;
+}
+
+std::vector<std::string>
+Network::topologyErrors() const
+{
+    std::vector<std::string> errors;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        const ConvLayerParams &l = layers_[i];
+        const auto &in = inputs_[i];
+        if (in.empty())
+            continue; // source: input synthesized at declared shape
+        EdgeDims joined = edgeDims(layers_[in[0].from], in[0]);
+        bool consistent = true;
+        for (size_t e = 1; e < in.size(); ++e) {
+            const EdgeDims d = edgeDims(layers_[in[e].from], in[e]);
+            if (d.w != joined.w || d.h != joined.h ||
+                (joins_[i] == JoinKind::Add && d.c != joined.c)) {
+                errors.push_back(strfmt(
+                    "layer '%s': %s-join inputs disagree: '%s' "
+                    "produces (%d,%d,%d) vs '%s' (%d,%d,%d)",
+                    l.name.c_str(), joinKindName(joins_[i]),
+                    layers_[in[0].from].name.c_str(), joined.c,
+                    joined.w, joined.h,
+                    layers_[in[e].from].name.c_str(), d.c, d.w, d.h));
+                consistent = false;
+                break;
+            }
+            if (joins_[i] == JoinKind::Concat)
+                joined.c += d.c;
+        }
+        if (!consistent)
+            continue;
+        if (joined.c != l.inChannels || joined.w != l.inWidth ||
+            joined.h != l.inHeight) {
+            errors.push_back(strfmt(
+                "layer '%s' declares input shape (%d,%d,%d) but its "
+                "%s-joined inputs produce (%d,%d,%d)", l.name.c_str(),
+                l.inChannels, l.inWidth, l.inHeight,
+                joinKindName(joins_[i]), joined.c, joined.w, joined.h));
+        }
+    }
+    return errors;
 }
 
 uint64_t

@@ -1,8 +1,14 @@
 /**
  * @file
- * A network is an ordered list of convolutional layers plus the
- * aggregate queries the paper's Table I reports (#conv layers, maximum
- * layer weight/activation footprints, total multiplies).
+ * A network is a DAG of convolutional layers: an ordered layer list
+ * plus explicit input edges (with optional per-edge max-pooling) and a
+ * join kind per layer (single input, channel concatenation, residual
+ * addition).  Layers added without edges chain sequentially, so the
+ * paper's linear networks (AlexNet, VGG) read exactly as before, while
+ * GoogLeNet's inception branches and ResNet-style shortcuts are
+ * expressed directly.  The class also answers the aggregate queries
+ * the paper's Table I reports (#conv layers, maximum layer
+ * weight/activation footprints, total multiplies).
  */
 
 #ifndef SCNN_NN_NETWORK_HH
@@ -16,6 +22,39 @@
 
 namespace scnn {
 
+/** How a layer combines its input edges. */
+enum class JoinKind
+{
+    Single, ///< one input edge (or none: a source layer)
+    Concat, ///< channel-wise concatenation of the inputs, in order
+    Add,    ///< element-wise residual addition (identical shapes)
+};
+
+/** Human-readable join name ("single", "concat", "add"). */
+const char *joinKindName(JoinKind join);
+
+/**
+ * One input edge of a layer: the producer layer's index, plus an
+ * optional max-pool applied to the producer's output along this edge
+ * (after the producer's own declared post-pooling).  GoogLeNet's
+ * pool_proj branch (3x3/1 max-pool of the module input) is the
+ * motivating case.
+ */
+struct LayerInput
+{
+    int from = -1;       ///< producer layer index (must precede)
+    int poolWindow = 0;  ///< edge max-pool window (0 = none)
+    int poolStride = 2;
+    int poolPad = 0;
+
+    LayerInput() = default;
+    LayerInput(int fromIdx, int window = 0, int stride = 2, int pad = 0)
+        : from(fromIdx), poolWindow(window), poolStride(stride),
+          poolPad(pad)
+    {
+    }
+};
+
 class Network
 {
   public:
@@ -24,28 +63,68 @@ class Network
 
     const std::string &name() const { return name_; }
 
-    void
-    addLayer(ConvLayerParams layer)
-    {
-        layer.validate();
-        layers_.push_back(std::move(layer));
-    }
+    /**
+     * Append a layer chained to the previous one (the first layer
+     * becomes the network source).  fatal()s on invalid layer
+     * parameters or a duplicate layer name.
+     */
+    void addLayer(ConvLayerParams layer);
+
+    /**
+     * Append a layer with explicit input edges.  An empty edge list
+     * declares a source layer (its input activations are synthesized
+     * or loaded).  Every edge must point at an already-added layer
+     * (indices only point backward, so the graph is acyclic by
+     * construction and declaration order is a topological order).
+     * fatal()s on invalid parameters, duplicate names, out-of-range
+     * edges, or a join inconsistent with the edge count (Concat/Add
+     * need at least two inputs; Single takes at most one).
+     */
+    void addLayer(ConvLayerParams layer, std::vector<LayerInput> inputs,
+                  JoinKind join = JoinKind::Single);
 
     size_t numLayers() const { return layers_.size(); }
     const ConvLayerParams &layer(size_t i) const { return layers_.at(i); }
     const std::vector<ConvLayerParams> &layers() const { return layers_; }
 
+    /** Input edges of layer i (empty = source layer). */
+    const std::vector<LayerInput> &inputs(size_t i) const
+    {
+        return inputs_.at(i);
+    }
+
+    /** Join kind of layer i. */
+    JoinKind join(size_t i) const { return joins_.at(i); }
+
+    /** Indices of source layers (no input edges). */
+    std::vector<size_t> sourceLayers() const;
+
     /** Layers in the paper's evaluation scope (see inEval). */
     std::vector<ConvLayerParams> evalLayers() const;
 
     /**
-     * True when the layer list forms a sequential chain: each layer's
-     * output shape (after its declared max-pooling) matches the next
-     * layer's input shape.  Chained execution requires this;
-     * GoogLeNet's inception DAG (branches concatenated by channel)
-     * fails the check and needs the dedicated DAG runner.
+     * True when the explicit edges form a single sequential chain
+     * (each layer's one un-pooled input edge is the previous layer)
+     * AND each layer's post-pooled output shape matches the next
+     * layer's declared input shape.  Chained sequential execution
+     * (ScnnSimulator::runNetworkChained) requires this; everything
+     * else goes through the generic DAG executor.  Topology comes
+     * from the edges, never from shape coincidence: a branching DAG
+     * whose consecutive layers happen to agree shape-wise is still a
+     * DAG.
      */
     bool isSequential() const;
+
+    /**
+     * Structural and shape problems of the DAG: joins whose edge
+     * count is wrong for their kind, Concat inputs with mismatched
+     * planes, Add inputs with mismatched shapes, and layers whose
+     * declared input shape disagrees with what their joined
+     * (post-pool, post-edge-pool) inputs produce.  Empty means the
+     * network is executable as a DAG.  Kept non-fatal so the service
+     * boundary can reject bad requests recoverably.
+     */
+    std::vector<std::string> topologyErrors() const;
 
     /** Count of evaluation-scope conv layers. */
     size_t numEvalLayers() const;
@@ -68,6 +147,8 @@ class Network
   private:
     std::string name_;
     std::vector<ConvLayerParams> layers_;
+    std::vector<std::vector<LayerInput>> inputs_; ///< per layer
+    std::vector<JoinKind> joins_;                 ///< per layer
 };
 
 } // namespace scnn

@@ -94,8 +94,8 @@ maxPool(const Tensor3 &input, int window, int stride, int pad,
 {
     SCNN_ASSERT(window > 0 && stride > 0 && pad >= 0,
                 "bad pooling parameters");
-    const int outW = (input.width() + 2 * pad - window) / stride + 1;
-    const int outH = (input.height() + 2 * pad - window) / stride + 1;
+    const int outW = poolOutDim(input.width(), window, stride, pad);
+    const int outH = poolOutDim(input.height(), window, stride, pad);
     SCNN_ASSERT(outW > 0 && outH > 0, "empty pooled plane");
 
     Tensor3 out(input.channels(), outW, outH);

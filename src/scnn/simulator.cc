@@ -584,7 +584,8 @@ ScnnSimulator::runNetwork(const Network &net, uint64_t seed,
 NetworkResult
 ScnnSimulator::runNetworkChained(const Network &net, uint64_t seed,
                                  int threads, bool keepOutputs,
-                                 bool profile)
+                                 bool profile,
+                                 const WeightManifest *manifest)
 {
     NetworkResult nr;
     nr.networkName = net.name() + "-chained";
@@ -610,11 +611,21 @@ ScnnSimulator::runNetworkChained(const Network &net, uint64_t seed,
                   act.height());
         }
 
-        Rng wtRng(layer.name + "/weights", seed);
         LayerWorkload w;
         w.layer = layer;
         w.input = std::move(act);
-        w.weights = makeWeights(layer, wtRng);
+        if (manifest != nullptr) {
+            std::string error;
+            const Tensor4 *mw = manifest->weightsFor(layer, &error);
+            if (!error.empty())
+                fatal("chained execution: %s", error.c_str());
+            if (mw != nullptr)
+                w.weights = *mw;
+        }
+        if (w.weights.size() == 0) {
+            Rng wtRng(layer.name + "/weights", seed);
+            w.weights = makeWeights(layer, wtRng);
+        }
 
         RunOptions opts;
         opts.firstLayer = (i == 0);

@@ -19,6 +19,7 @@
 
 #include "arch/config.hh"
 #include "arch/energy_model.hh"
+#include "nn/manifest.hh"
 #include "nn/network.hh"
 #include "nn/workload.hh"
 #include "scnn/result.hh"
@@ -55,11 +56,12 @@ class ScnnSimulator
      * previous layer's actual simulated output (with the declared
      * max-pooling between stages), so activation sparsity emerges
      * from the computation instead of being drawn from the profile.
-     * Requires a sequential topology (AlexNet/VGG-style; GoogLeNet's
-     * inception DAG is rejected with fatal() -- the sim/ service
-     * layer gates on Network::isSequential() and routes the DAG to
-     * the dedicated runner instead).  Per-layer results carry an
-     * "output_density" stat with the emergent density.
+     * Requires a sequential topology (AlexNet/VGG-style; anything
+     * with branches, joins or edge pools is rejected with fatal() --
+     * the sim/ service layer gates on Network::isSequential() and
+     * routes DAGs to the generic driver/dag_runner executor instead).
+     * Per-layer results carry a "chained_input_density" stat with the
+     * emergent density.
      *
      * @param keepOutputs retain each layer's functional output tensor
      *        in its LayerResult.  When false the output is moved into
@@ -69,11 +71,17 @@ class ScnnSimulator
      *        full-tensor copy per layer.
      * @param profile record per-stage wall times (RunOptions::profile)
      *        in every layer's stats.
+     * @param manifest optional weight manifest: layers with an entry
+     *        run on the real checkpoint weights instead of the seeded
+     *        synthetic draw (shape agreement pre-validated by
+     *        applyManifest; mismatches here fatal()).
      */
     NetworkResult runNetworkChained(const Network &net, uint64_t seed,
                                     int threads = 0,
                                     bool keepOutputs = true,
-                                    bool profile = false);
+                                    bool profile = false,
+                                    const WeightManifest *manifest =
+                                        nullptr);
 
     const AcceleratorConfig &config() const { return cfg_; }
     const EnergyModel &energyModel() const { return energy_; }

@@ -4,7 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
-#include "driver/googlenet_runner.hh"
+#include "driver/dag_runner.hh"
 #include "scnn/oracle.hh"
 
 namespace scnn {
@@ -78,10 +78,20 @@ profileNetworkRun(Simulator &backend, const Network &net,
 
     for (size_t i = 0; i < layers.size(); ++i) {
         LayerWorkload w;
-        if (caps.cycleLevel)
+        if (caps.cycleLevel) {
             w = makeWorkload(layers[i], opts.seed);
-        else
+            if (opts.manifest != nullptr) {
+                std::string error;
+                const Tensor4 *mw =
+                    opts.manifest->weightsFor(layers[i], &error);
+                if (!error.empty())
+                    throw SimulationError(error);
+                if (mw != nullptr)
+                    w.weights = *mw;
+            }
+        } else {
             w.layer = layers[i];
+        }
 
         RunOptions ro;
         ro.firstLayer = (i == 0);
@@ -97,8 +107,9 @@ profileNetworkRun(Simulator &backend, const Network &net,
 
 /**
  * Chained whole-network dispatch on the SCNN engine: sequential
- * topologies run layer-to-layer; the GoogLeNet inception DAG goes
- * through the dedicated runner; anything else is a clean capability
+ * topologies run layer-to-layer with profile-wired density hints;
+ * everything else goes through the generic DAG executor.  Structural
+ * problems (mismatched joins, shape-inconsistent edges) are a clean
  * rejection (not a fatal()).
  */
 NetworkResult
@@ -108,14 +119,22 @@ scnnChainedRun(ScnnSimulator &sim, const Network &net,
     const int pinned = resolveThreads(opts.threads);
     if (net.isSequential())
         return sim.runNetworkChained(net, opts.seed, pinned,
-                                     opts.keepOutputs, opts.profile);
-    if (net.name() == "GoogLeNet")
-        return runGoogLeNetChained(sim, opts.seed, pinned);
-    throw SimulationError(strfmt(
-        "backend '%s': chained execution requires a sequential "
-        "topology, but network '%s' is a DAG (only GoogLeNet's "
-        "inception DAG has a dedicated runner)", backend,
-        net.name().c_str()));
+                                     opts.keepOutputs, opts.profile,
+                                     opts.manifest);
+    const std::vector<std::string> errors = net.topologyErrors();
+    if (!errors.empty()) {
+        throw SimulationError(strfmt(
+            "backend '%s': network '%s' is neither sequential nor an "
+            "executable DAG: ", backend, net.name().c_str()) +
+            joinConfigErrors(errors));
+    }
+    DagRunOptions dagOpts;
+    dagOpts.seed = opts.seed;
+    dagOpts.threads = pinned;
+    dagOpts.keepOutputs = opts.keepOutputs;
+    dagOpts.profile = opts.profile;
+    dagOpts.manifest = opts.manifest;
+    return runNetworkDag(sim, net, dagOpts);
 }
 
 /** checkedConfig for the dense engine, blaming the right backend. */

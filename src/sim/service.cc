@@ -9,6 +9,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "nn/manifest.hh"
 #include "nn/model_zoo.hh"
 #include "nn/workload.hh"
 #include "sim/registry.hh"
@@ -174,7 +175,8 @@ networkSignature(const Network &net)
 {
     std::string sig =
         std::to_string(net.name().size()) + ":" + net.name();
-    for (const auto &l : net.layers()) {
+    for (size_t i = 0; i < net.numLayers(); ++i) {
+        const ConvLayerParams &l = net.layer(i);
         sig += ";" + std::to_string(l.name.size()) + ":" + l.name +
                ":";
         const int ints[] = {l.inChannels, l.outChannels, l.inWidth,
@@ -190,6 +192,13 @@ networkSignature(const Network &net)
                fmtDouble(l.inputDensity) + "," +
                fmtDouble(l.actSpatialSigma) + "," +
                fmtDouble(l.actChannelSigma);
+        // Topology: edges, edge pools and join kinds distinguish
+        // shape-coincident networks whose chained results differ.
+        sig += "|";
+        sig += joinKindName(net.join(i));
+        for (const auto &in : net.inputs(i))
+            sig += strfmt("<%d~%d/%d/%d", in.from, in.poolWindow,
+                          in.poolStride, in.poolPad);
     }
     return sig;
 }
@@ -198,10 +207,17 @@ std::string
 workloadCacheKey(const SimulationRequest &request)
 {
     // Every input of makeWorkload(): network signature (every layer
-    // parameter, densities included) x seed x evalOnly.
-    return networkSignature(request.network) +
-           "|seed=" + std::to_string(request.seed) +
-           "|eval=" + (request.evalOnly ? "1" : "0");
+    // parameter, densities included) x seed x evalOnly.  Requests
+    // carrying a weight manifest run on different tensors, so the
+    // manifest fingerprint joins the key.
+    std::string key = networkSignature(request.network) +
+                      "|seed=" + std::to_string(request.seed) +
+                      "|eval=" + (request.evalOnly ? "1" : "0");
+    if (request.manifest != nullptr)
+        key += strfmt("|mf=%016llx",
+                      static_cast<unsigned long long>(
+                          request.manifest->fingerprint()));
+    return key;
 }
 
 int
@@ -479,8 +495,19 @@ SimulationService::workloadsFor(const SimulationRequest &request,
     // synthesize twice; the tensors are deterministic, so whichever
     // insertion wins the entry is identical.
     auto built = std::make_shared<std::vector<LayerWorkload>>();
-    for (const auto &layer : sessionLayers(request))
-        built->push_back(makeWorkload(layer, request.seed));
+    for (const auto &layer : sessionLayers(request)) {
+        LayerWorkload w = makeWorkload(layer, request.seed);
+        if (request.manifest != nullptr) {
+            // Shape mismatches were rejected at request parse time
+            // (applyManifest); absent entries keep the synthetic draw.
+            std::string err;
+            const Tensor4 *mw =
+                request.manifest->weightsFor(layer, &err);
+            if (mw != nullptr && err.empty())
+                w.weights = *mw;
+        }
+        built->push_back(std::move(w));
+    }
 
     std::lock_guard<std::mutex> lock(mu_);
     auto it = workloadCache_.find(key);
@@ -942,6 +969,7 @@ parseRequestLine(const std::string &line, ParsedServiceRequest &out,
 
     SimulationRequest &req = out.request;
     std::string networkName;
+    std::string manifestPath;
     double densityW = -1.0, densityA = -1.0;
 
     for (const auto &kv : doc.object) {
@@ -1012,6 +1040,13 @@ parseRequestLine(const std::string &line, ParsedServiceRequest &out,
                 error = "'density' values must be in (0, 1]";
                 return false;
             }
+        } else if (key == "manifest") {
+            if (!v.isString() || v.string.empty()) {
+                error = "'manifest' must be a non-empty path to an "
+                        "SCNNWMF1 weight-manifest file";
+                return false;
+            }
+            manifestPath = v.string;
         } else if (key == "deadline_ms") {
             if (!v.isNumber() || !(v.number >= 0.0)) {
                 error = "'deadline_ms' must be a non-negative number";
@@ -1038,16 +1073,36 @@ parseRequestLine(const std::string &line, ParsedServiceRequest &out,
         req.network = googLeNet();
     else if (networkName == "vgg16")
         req.network = vgg16();
+    else if (networkName == "resnet18")
+        req.network = resNet18();
+    else if (networkName == "mobilenet")
+        req.network = mobileNet();
     else if (networkName == "tiny")
         req.network = tinyTestNetwork();
+    else if (networkName == "tiny-res")
+        req.network = tinyResNetwork();
+    else if (networkName == "tiny-dw")
+        req.network = tinyDwNetwork();
     else {
         error = "unknown network '" + networkName +
-                "' (want alexnet|googlenet|vgg16|tiny)";
+                "' (want alexnet|googlenet|vgg16|resnet18|mobilenet|"
+                "tiny|tiny-res|tiny-dw)";
         return false;
     }
     if (densityW > 0.0)
         req.network = withUniformDensity(req.network, densityW,
                                          densityA);
+    if (!manifestPath.empty()) {
+        auto manifest = std::make_shared<WeightManifest>();
+        if (!loadManifestFile(manifestPath, manifest.get(), &error))
+            return false;
+        // Rebind the network's densities/weights to the checkpoint;
+        // shape mismatches and no-layer-matched manifests are clean
+        // request rejections, not session failures.
+        if (!applyManifest(req.network, *manifest, &error))
+            return false;
+        req.manifest = std::move(manifest);
+    }
 
     // Chained execution feeds each layer's functional output forward,
     // so a spec that disables functional output cannot chain (the CLI

@@ -166,6 +166,7 @@ runSession(const SimulationRequest &request)
             opts.threads = resp.threads;
             opts.keepOutputs = request.keepOutputs;
             opts.profile = request.profile;
+            opts.manifest = request.manifest.get();
             try {
                 resp.runs[i].result =
                     sims[i]->simulateNetwork(request.network, opts);
@@ -224,10 +225,21 @@ runSession(const SimulationRequest &request)
             // per-request tensor copy; otherwise synthesize locally.
             LayerWorkload local;
             if (shared == nullptr) {
-                if (needTensors)
+                if (needTensors) {
                     local = makeWorkload(layers[li], request.seed);
-                else
+                    if (request.manifest != nullptr) {
+                        std::string error;
+                        const Tensor4 *mw =
+                            request.manifest->weightsFor(layers[li],
+                                                         &error);
+                        if (!error.empty())
+                            throw SimulationError(error);
+                        if (mw != nullptr)
+                            local.weights = *mw;
+                    }
+                } else {
                     local.layer = layers[li];
+                }
             }
             const LayerWorkload &w =
                 shared != nullptr ? (*shared)[li] : local;

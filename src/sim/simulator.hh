@@ -22,6 +22,7 @@
 #include <string>
 
 #include "arch/config.hh"
+#include "nn/manifest.hh"
 #include "nn/network.hh"
 #include "nn/workload.hh"
 #include "scnn/result.hh"
@@ -71,8 +72,9 @@ struct BackendCapabilities
     bool chained = false;
 
     /**
-     * Chained execution of GoogLeNet's inception DAG (branch fan-out
-     * and channel concatenation) via the dedicated DAG runner.
+     * Chained execution of arbitrary network DAGs (branch fan-out,
+     * channel concatenation, residual addition, per-edge pooling) via
+     * the generic DAG executor (driver/dag_runner.hh).
      */
     bool chainedDag = false;
 };
@@ -89,8 +91,8 @@ struct NetworkRunOptions
     /**
      * Chained execution: activation sparsity emerges from the
      * computation instead of being drawn from the profile.  Requires
-     * the `chained` capability (or `chainedDag` for GoogLeNet);
-     * backends without it throw SimulationError.
+     * the `chained` capability (or `chainedDag` for non-sequential
+     * topologies); backends without it throw SimulationError.
      */
     bool chained = false;
 
@@ -118,6 +120,16 @@ struct NetworkRunOptions
 
     /** Record per-stage wall times (RunOptions::profile) per layer. */
     bool profile = false;
+
+    /**
+     * Optional weight manifest (nn/manifest.hh): layers with an entry
+     * run on the real checkpoint weights instead of the seeded
+     * synthetic draw.  Not owned; the caller (session layer) keeps it
+     * alive for the duration of the run and is expected to have
+     * applied it to the network (applyManifest) so densities and
+     * shapes agree.
+     */
+    const WeightManifest *manifest = nullptr;
 };
 
 /**

@@ -1,19 +1,42 @@
 /**
  * @file
- * Tests of the chained GoogLeNet inception-DAG executor: shape
- * plumbing through the stem, branches, concatenation and stage
- * pools; functional spot-checks against the reference; emergent
- * density reporting.
+ * Tests of chained GoogLeNet through the generic DAG executor: shape
+ * plumbing through the stem, branches, concatenation and stage pools;
+ * emergent density reporting; and byte-exact parity with the digest
+ * fixture pinned from the retired architecture-specific runner
+ * (tests/golden/googlenet_chained_digest.json), which proves the
+ * executor reproduces runGoogLeNetChained bit-for-bit.
+ *
+ * Regenerating after an *intentional* semantic change:
+ *
+ *   SCNN_UPDATE_GOLDEN=1 ./build/integration_test_googlenet_chain
+ *
+ * then review the fixture diff like any other code change.
  */
 
 #include <gtest/gtest.h>
 
-#include "driver/googlenet_runner.hh"
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/dag_runner.hh"
 #include "nn/model_zoo.hh"
 #include "tensor/tensor.hh"
 
 namespace scnn {
 namespace {
+
+#ifndef SCNN_SOURCE_TESTS_DIR
+#error "SCNN_SOURCE_TESTS_DIR must point at the source tests/ dir"
+#endif
+
+const char *kDigestPath =
+    SCNN_SOURCE_TESTS_DIR "/golden/googlenet_chained_digest.json";
 
 /** The chained run is expensive (~57 convs); share it. */
 const NetworkResult &
@@ -21,9 +44,79 @@ chainedRun()
 {
     static const NetworkResult nr = [] {
         ScnnSimulator sim(scnnConfig());
-        return runGoogLeNetChained(sim, 77);
+        DagRunOptions opts;
+        opts.seed = 77;
+        opts.threads = 1; // the digest fixture's pinned thread count
+        return runNetworkDag(sim, googLeNet(), opts);
     }();
     return nr;
+}
+
+uint64_t
+fnv1aTensor(const Tensor3 &t)
+{
+    uint64_t h = 1469598103934665603ull;
+    const float *p = t.data();
+    for (size_t i = 0; i < t.size(); ++i) {
+        uint32_t bits;
+        std::memcpy(&bits, &p[i], sizeof(bits));
+        for (int b = 0; b < 4; ++b) {
+            h ^= (bits >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+/**
+ * The pinned digest format: every timing/work/energy/DRAM field plus
+ * an FNV-1a hash of each functional output's float bit patterns.  The
+ * stats map and archName are deliberately excluded so the executor
+ * may add stats (it adds chained_input_density) without perturbing
+ * parity with the retired runner.
+ */
+std::string
+digestNetworkResult(const NetworkResult &nr)
+{
+    std::string out = "{\n  \"network\": \"" + nr.networkName +
+                      "\",\n  \"layers\": [\n";
+    char buf[1024];
+    for (size_t i = 0; i < nr.layers.size(); ++i) {
+        const LayerResult &l = nr.layers[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"name\": \"%s\", \"cycles\": %" PRIu64
+            ", \"compute_cycles\": %" PRIu64
+            ", \"drain_exposed_cycles\": %" PRIu64
+            ", \"mul_array_ops\": %" PRIu64 ", \"products\": %" PRIu64
+            ", \"landed_products\": %" PRIu64
+            ", \"dense_macs\": %" PRIu64 ", \"mult_util_busy\": %.17g"
+            ", \"mult_util_overall\": %.17g"
+            ", \"pe_idle_fraction\": %.17g, \"energy_pj\": %.17g"
+            ", \"dram_weight_bits\": %" PRIu64
+            ", \"dram_act_bits\": %" PRIu64
+            ", \"dram_tiled\": %d, \"num_dram_tiles\": %d"
+            ", \"out_c\": %d, \"out_w\": %d, \"out_h\": %d"
+            ", \"output_fnv\": \"%016" PRIx64 "\"}%s\n",
+            l.layerName.c_str(), l.cycles, l.computeCycles,
+            l.drainExposedCycles, l.mulArrayOps, l.products,
+            l.landedProducts, l.denseMacs, l.multUtilBusy,
+            l.multUtilOverall, l.peIdleFraction, l.energyPj,
+            l.dramWeightBits, l.dramActBits, l.dramTiled ? 1 : 0,
+            l.numDramTiles, l.output.channels(), l.output.width(),
+            l.output.height(), fnv1aTensor(l.output),
+            i + 1 < nr.layers.size() ? "," : "");
+        out += buf;
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("SCNN_UPDATE_GOLDEN");
+    return env != nullptr && *env != '\0' && std::string(env) != "0";
 }
 
 TEST(GoogLeNetChain, RunsAllFiftySevenConvs)
@@ -70,6 +163,33 @@ TEST(GoogLeNetChain, PositiveWorkEverywhere)
         EXPECT_GT(l.products, 0u) << l.layerName;
         EXPECT_GT(l.energyPj, 0.0) << l.layerName;
     }
+}
+
+/**
+ * The tentpole acceptance check: the generic executor's chained
+ * GoogLeNet run is byte-identical to the digest pinned from the
+ * retired runGoogLeNetChained before its removal.
+ */
+TEST(GoogLeNetChain, MatchesRetiredRunnerDigest)
+{
+    const std::string live = digestNetworkResult(chainedRun());
+
+    if (updateRequested()) {
+        std::ofstream out(kDigestPath, std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << kDigestPath;
+        out << live;
+        GTEST_SKIP() << "regenerated " << kDigestPath;
+    }
+
+    std::ifstream in(kDigestPath);
+    ASSERT_TRUE(in.good())
+        << "missing fixture " << kDigestPath
+        << " (regenerate with SCNN_UPDATE_GOLDEN=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(live, buf.str())
+        << "chained GoogLeNet diverged from the retired runner's "
+           "pinned digest";
 }
 
 TEST(ConcatChannels, StacksAndValidates)

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the SCNNWMF1 weight-manifest container: round-trip
+ * serialization, defensive rejection of truncated/corrupt bytes, and
+ * the applyManifest density/shape rebinding semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "nn/manifest.hh"
+#include "nn/model_zoo.hh"
+#include "nn/workload.hh"
+
+namespace scnn {
+namespace {
+
+WeightManifest
+tinyManifest()
+{
+    return manifestFromNetwork(tinyTestNetwork(), 11);
+}
+
+TEST(Manifest, RoundTripsThroughBytes)
+{
+    const WeightManifest m = tinyManifest();
+    const std::string bytes = m.serialize();
+
+    WeightManifest back;
+    std::string error;
+    ASSERT_TRUE(WeightManifest::parse(bytes, &back, &error)) << error;
+    ASSERT_EQ(back.numEntries(), m.numEntries());
+    EXPECT_EQ(back.fingerprint(), m.fingerprint());
+    for (size_t i = 0; i < m.numEntries(); ++i) {
+        const ManifestEntry &a = m.entries()[i];
+        const ManifestEntry &b = back.entries()[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.inputDensity, b.inputDensity);
+        ASSERT_EQ(a.weights.size(), b.weights.size());
+        for (size_t j = 0; j < a.weights.size(); ++j)
+            EXPECT_EQ(a.weights.data()[j], b.weights.data()[j]);
+    }
+    EXPECT_EQ(back.serialize(), bytes);
+}
+
+TEST(Manifest, RoundTripsThroughAFile)
+{
+    const WeightManifest m = tinyManifest();
+    const std::string path = ::testing::TempDir() + "tiny.scnnwm";
+    std::string error;
+    ASSERT_TRUE(writeManifestFile(path, m, &error)) << error;
+
+    WeightManifest back;
+    ASSERT_TRUE(loadManifestFile(path, &back, &error)) << error;
+    EXPECT_EQ(back.fingerprint(), m.fingerprint());
+    std::remove(path.c_str());
+}
+
+TEST(Manifest, RejectsBadMagic)
+{
+    std::string bytes = tinyManifest().serialize();
+    bytes[0] = 'X';
+    WeightManifest out;
+    std::string error;
+    EXPECT_FALSE(WeightManifest::parse(bytes, &out, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(Manifest, RejectsTruncationAtEveryPrefix)
+{
+    const std::string bytes = tinyManifest().serialize();
+    // Every proper prefix must be rejected with an error (sample the
+    // boundaries plus a stride through the tensor data).
+    for (size_t cut = 0; cut < bytes.size();
+         cut += (cut < 64 ? 1 : 97)) {
+        WeightManifest out;
+        std::string error;
+        EXPECT_FALSE(WeightManifest::parse(bytes.substr(0, cut), &out,
+                                           &error))
+            << "prefix of " << cut << " bytes parsed";
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(Manifest, RejectsTrailingBytes)
+{
+    std::string bytes = tinyManifest().serialize();
+    bytes += "junk";
+    WeightManifest out;
+    std::string error;
+    EXPECT_FALSE(WeightManifest::parse(bytes, &out, &error));
+    EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(Manifest, RejectsImplausibleDimensions)
+{
+    const WeightManifest m = tinyManifest();
+    std::string bytes = m.serialize();
+    // Corrupt the first entry's K field (right after magic, count,
+    // name length and name bytes) to a huge value.
+    const size_t kOffset =
+        8 + 4 + 4 + m.entries()[0].name.size();
+    bytes[kOffset] = static_cast<char>(0xff);
+    bytes[kOffset + 1] = static_cast<char>(0xff);
+    bytes[kOffset + 2] = static_cast<char>(0xff);
+    bytes[kOffset + 3] = static_cast<char>(0x7f);
+    WeightManifest out;
+    std::string error;
+    EXPECT_FALSE(WeightManifest::parse(bytes, &out, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Manifest, RejectsDuplicateEntries)
+{
+    WeightManifest m;
+    std::string error;
+    ManifestEntry e;
+    e.name = "dup";
+    e.weights = Tensor4(1, 1, 1, 1);
+    ASSERT_TRUE(m.add(e, &error)) << error;
+    EXPECT_FALSE(m.add(e, &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(Manifest, WeightsForDistinguishesAbsentFromMismatched)
+{
+    const Network net = tinyTestNetwork();
+    WeightManifest m;
+    std::string error;
+    ManifestEntry e;
+    e.name = net.layer(0).name;
+    e.weights = Tensor4(1, 1, 1, 1); // wrong shape for t_conv1
+    ASSERT_TRUE(m.add(std::move(e), &error)) << error;
+
+    // Absent: nullptr, no error (caller synthesizes).
+    EXPECT_EQ(m.weightsFor(net.layer(1), &error), nullptr);
+    EXPECT_TRUE(error.empty());
+
+    // Present but mismatched: nullptr with a shape error.
+    EXPECT_EQ(m.weightsFor(net.layer(0), &error), nullptr);
+    EXPECT_NE(error.find("shape"), std::string::npos);
+}
+
+TEST(Manifest, ApplyRebindsDensitiesAndPreservesEdges)
+{
+    Network net = tinyResNetwork();
+    const WeightManifest m = manifestFromNetwork(net, 42);
+    std::string error;
+    ASSERT_TRUE(applyManifest(net, m, &error)) << error;
+
+    // Densities now reflect the actual tensors, not the profile.
+    for (size_t i = 0; i < net.numLayers(); ++i) {
+        const ManifestEntry *e = m.find(net.layer(i).name);
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(net.layer(i).weightDensity, e->weights.density());
+    }
+    // The residual edge structure survived the rebind.
+    EXPECT_FALSE(net.isSequential());
+    EXPECT_TRUE(net.topologyErrors().empty());
+}
+
+TEST(Manifest, ApplyRejectsUnrelatedManifest)
+{
+    Network net = tinyTestNetwork();
+    const WeightManifest m = manifestFromNetwork(tinyDwNetwork(), 7);
+    std::string error;
+    EXPECT_FALSE(applyManifest(net, m, &error));
+    EXPECT_NE(error.find("matches no layer"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace scnn

@@ -69,5 +69,107 @@ TEST(Network, AddLayerValidates)
                 "groups");
 }
 
+// Regression: map::emplace in the retired per-name index silently
+// kept the first of two same-named layers; duplicates are now a
+// construction-time error.
+TEST(Network, DuplicateLayerNameIsFatal)
+{
+    Network net("dup");
+    net.addLayer(makeConv("same", 4, 4, 8, 3, 1, 0.5, 0.5));
+    EXPECT_EXIT(net.addLayer(makeConv("same", 4, 4, 8, 3, 1, 0.5, 0.5)),
+                ::testing::ExitedWithCode(1), "duplicate layer name");
+}
+
+TEST(Network, EdgeMustPointBackward)
+{
+    Network net("fwd");
+    net.addLayer(makeConv("a", 4, 4, 8, 3, 1, 0.5, 0.5));
+    EXPECT_EXIT(net.addLayer(makeConv("b", 4, 4, 8, 3, 1, 0.5, 0.5),
+                             {LayerInput(5)}),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(Network, JoinKindMustMatchEdgeCount)
+{
+    Network net("joins");
+    net.addLayer(makeConv("a", 4, 4, 8, 3, 1, 0.5, 0.5));
+    EXPECT_EXIT(net.addLayer(makeConv("b", 4, 4, 8, 3, 1, 0.5, 0.5),
+                             {LayerInput(0)}, JoinKind::Add),
+                ::testing::ExitedWithCode(1), "at least two");
+}
+
+// Regression for the shape-coincidence bug: isSequential() used to be
+// inferred from consecutive shape compatibility alone, so a branching
+// DAG whose layers all happen to agree shape-wise was misclassified
+// as a chain.  Topology now comes from the explicit edges.
+TEST(Network, ShapeCoincidentDagIsNotSequential)
+{
+    Network net("coincident");
+    net.addLayer(makeConv("a", 4, 4, 8, 3, 1, 0.5, 0.5));
+    net.addLayer(makeConv("b", 4, 4, 8, 3, 1, 0.5, 0.5),
+                 {LayerInput(0)});
+    // Branch: c also consumes a, but its shape would chain after b.
+    net.addLayer(makeConv("c", 4, 4, 8, 3, 1, 0.5, 0.5),
+                 {LayerInput(0)});
+    EXPECT_FALSE(net.isSequential());
+    EXPECT_TRUE(net.topologyErrors().empty());
+}
+
+TEST(Network, SequentialNeedsCompatibleShapesToo)
+{
+    Network net("chain");
+    net.addLayer(makeConv("a", 4, 8, 8, 3, 1, 0.5, 0.5));
+    net.addLayer(makeConv("b", 8, 4, 8, 3, 1, 0.5, 0.5));
+    EXPECT_TRUE(net.isSequential());
+
+    Network bad("badchain");
+    bad.addLayer(makeConv("a", 4, 8, 8, 3, 1, 0.5, 0.5));
+    bad.addLayer(makeConv("b", 16, 4, 8, 3, 1, 0.5, 0.5)); // mismatch
+    EXPECT_FALSE(bad.isSequential());
+    EXPECT_FALSE(bad.topologyErrors().empty());
+}
+
+TEST(Network, EdgeAndJoinAccessors)
+{
+    Network net("dag");
+    net.addLayer(makeConv("a", 4, 4, 8, 3, 1, 0.5, 0.5));
+    net.addLayer(makeConv("b", 4, 4, 8, 3, 1, 0.5, 0.5),
+                 {LayerInput(0)});
+    net.addLayer(makeConv("c", 8, 4, 8, 3, 1, 0.5, 0.5),
+                 {LayerInput(0), LayerInput(1)}, JoinKind::Concat);
+    EXPECT_TRUE(net.inputs(0).empty());
+    ASSERT_EQ(net.inputs(2).size(), 2u);
+    EXPECT_EQ(net.inputs(2)[0].from, 0);
+    EXPECT_EQ(net.inputs(2)[1].from, 1);
+    EXPECT_EQ(net.join(2), JoinKind::Concat);
+    ASSERT_EQ(net.sourceLayers().size(), 1u);
+    EXPECT_EQ(net.sourceLayers()[0], 0u);
+    EXPECT_TRUE(net.topologyErrors().empty());
+    EXPECT_FALSE(net.isSequential());
+}
+
+TEST(Network, TopologyErrorsCatchJoinShapeDisagreements)
+{
+    Network net("badadd");
+    net.addLayer(makeConv("a", 4, 4, 8, 3, 1, 0.5, 0.5));
+    net.addLayer(makeConv("b", 4, 8, 8, 3, 1, 0.5, 0.5),
+                 {LayerInput(0)});
+    // Add-join of 4-channel and 8-channel outputs cannot work.
+    net.addLayer(makeConv("c", 4, 4, 8, 3, 1, 0.5, 0.5),
+                 {LayerInput(0), LayerInput(1)}, JoinKind::Add);
+    const auto errors = net.topologyErrors();
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("add-join"), std::string::npos);
+}
+
+TEST(Network, PoolOutDimMatchesConvention)
+{
+    // GoogLeNet stem: 112 -> 3x3/2 pad 1 -> 56.
+    EXPECT_EQ(poolOutDim(112, 3, 2, 1), 56);
+    // pool_proj: 28 -> 3x3/1 pad 1 -> 28 (shape-preserving).
+    EXPECT_EQ(poolOutDim(28, 3, 1, 1), 28);
+    EXPECT_EQ(poolOutDim(8, 2, 2, 0), 4);
+}
+
 } // anonymous namespace
 } // namespace scnn

@@ -134,14 +134,16 @@ TEST(Session, ChainedOnGoogLeNetRejectedCleanlyForDenseBackends)
     }
 }
 
-TEST(Session, ChainedOnNonSequentialNonGoogLeNetRejectedCleanly)
+TEST(Session, ChainedOnShapeInconsistentNetworkRejectedCleanly)
 {
-    // A DAG-shaped network that is not GoogLeNet: no runner exists,
-    // so even the scnn backend must reject it cleanly.
+    // Implicit chaining records an f1->f2 edge, but the shapes do not
+    // line up, so neither the sequential path nor the DAG executor
+    // can run it; the scnn backend must reject it cleanly.
     Network net("frankennet");
     net.addLayer(makeConv("f1", 8, 16, 8, 3, 1, 0.5, 0.5));
     net.addLayer(makeConv("f2", 64, 16, 8, 3, 1, 0.5, 0.5)); // mismatch
     ASSERT_FALSE(net.isSequential());
+    ASSERT_FALSE(net.topologyErrors().empty());
 
     SimulationRequest req;
     req.network = net;
@@ -149,8 +151,10 @@ TEST(Session, ChainedOnNonSequentialNonGoogLeNetRejectedCleanly)
     req.chained = true;
     const SimulationResponse resp = runSession(req);
     ASSERT_FALSE(resp.runs.front().ok);
-    EXPECT_NE(resp.runs.front().error.find("sequential"),
-              std::string::npos);
+    EXPECT_NE(resp.runs.front().error.find(
+                  "neither sequential nor an executable DAG"),
+              std::string::npos)
+        << resp.runs.front().error;
 }
 
 TEST(Session, ChainedSequentialRunsThroughTheScnnBackend)

@@ -3,12 +3,14 @@
  * scnn_sim: command-line front end to the simulation service.
  *
  * Usage:
- *   scnn_sim [--network=alexnet|googlenet|vgg16|tiny]
+ *   scnn_sim [--network=alexnet|googlenet|vgg16|resnet18|mobilenet|
+ *                       tiny|tiny-res|tiny-dw]
  *            [--arch=<registered backend>] [--list-backends]
  *            [--grid=RxC] [--fixed-accum] [--input-halos]
  *            [--density=W,A] [--seed=N] [--chained] [--all-layers]
  *            [--threads=N] [--json[=path]] [--profile]
- *            [--no-functional]
+ *            [--no-functional] [--manifest=path]
+ *            [--write-manifest=path]
  *
  * Backends are looked up by name in the BackendRegistry (scnn, dcnn,
  * dcnn-opt, oracle, timeloop, plus anything registered by
@@ -32,6 +34,14 @@
  * --no-functional requests the stats-only kernels: timing, work and
  * energy stats are unchanged but no functional output is computed
  * (fastest way to sweep performance numbers).
+ *
+ * --manifest=path runs the network on real checkpoint weights from an
+ * SCNNWMF1 weight-manifest file (nn/manifest.hh): matched layers use
+ * the manifest tensors and densities, unmatched layers keep the
+ * seeded synthetic draw.  --write-manifest=path does the reverse:
+ * it synthesizes the network's weights at the current seed, writes
+ * them as a manifest file and exits (a self-contained way to produce
+ * a valid example manifest or a regression fixture).
  */
 
 #include <cstdio>
@@ -44,6 +54,7 @@
 #include "common/parallel.hh"
 #include "common/simd.hh"
 #include "common/table.hh"
+#include "nn/manifest.hh"
 #include "nn/model_zoo.hh"
 #include "sim/registry.hh"
 #include "sim/session.hh"
@@ -69,6 +80,8 @@ struct Options
     double weightDensity = -1.0; // <0: use profile
     double actDensity = -1.0;
     uint64_t seed = 20170624;
+    std::string manifestPath;      // --manifest: run on checkpoint
+    std::string writeManifestPath; // --write-manifest: emit and exit
 };
 
 std::string
@@ -87,7 +100,8 @@ void
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--network=alexnet|googlenet|vgg16|tiny]\n"
+                 "usage: %s [--network=alexnet|googlenet|vgg16|"
+                 "resnet18|mobilenet|tiny|tiny-res|tiny-dw]\n"
                  "          [--arch=%s]\n"
                  "          [--list-backends]\n"
                  "          [--grid=RxC] [--fixed-accum] "
@@ -95,7 +109,9 @@ usage(const char *argv0)
                  "          [--density=W,A] [--seed=N] [--chained]\n"
                  "          [--all-layers] [--threads=N] "
                  "[--json[=path]]\n"
-                 "          [--profile] [--no-functional]\n",
+                 "          [--profile] [--no-functional]\n"
+                 "          [--manifest=path] "
+                 "[--write-manifest=path]\n",
                  argv0, backendList().c_str());
     std::exit(2);
 }
@@ -131,6 +147,10 @@ parse(int argc, char **argv)
                 usage(argv[0]);
         } else if (consume(argv[i], "--seed", v)) {
             o.seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (consume(argv[i], "--manifest", v)) {
+            o.manifestPath = v;
+        } else if (consume(argv[i], "--write-manifest", v)) {
+            o.writeManifestPath = v;
         } else if (consume(argv[i], "--json", v)) {
             o.json = true;
             o.jsonPath = v;
@@ -174,8 +194,16 @@ pickNetwork(const Options &o)
         net = googLeNet();
     else if (o.network == "vgg16")
         net = vgg16();
+    else if (o.network == "resnet18")
+        net = resNet18();
+    else if (o.network == "mobilenet")
+        net = mobileNet();
     else if (o.network == "tiny")
         net = tinyTestNetwork();
+    else if (o.network == "tiny-res")
+        net = tinyResNetwork();
+    else if (o.network == "tiny-dw")
+        net = tinyDwNetwork();
     else
         fatal("unknown network '%s'", o.network.c_str());
     if (o.weightDensity >= 0.0)
@@ -241,10 +269,34 @@ main(int argc, char **argv)
 {
     argc = consumeThreadsFlag(argc, argv);
     const Options o = parse(argc, argv);
-    const Network net = pickNetwork(o);
+    Network net = pickNetwork(o);
+
+    if (!o.writeManifestPath.empty()) {
+        const WeightManifest m = manifestFromNetwork(net, o.seed);
+        std::string error;
+        if (!writeManifestFile(o.writeManifestPath, m, &error))
+            fatal("%s", error.c_str());
+        std::printf("wrote %zu-entry manifest for %s (fingerprint "
+                    "%016llx) to %s\n",
+                    m.numEntries(), net.name().c_str(),
+                    static_cast<unsigned long long>(m.fingerprint()),
+                    o.writeManifestPath.c_str());
+        return 0;
+    }
+
+    std::shared_ptr<WeightManifest> manifest;
+    if (!o.manifestPath.empty()) {
+        manifest = std::make_shared<WeightManifest>();
+        std::string error;
+        if (!loadManifestFile(o.manifestPath, manifest.get(),
+                              &error) ||
+            !applyManifest(net, *manifest, &error))
+            fatal("%s", error.c_str());
+    }
 
     SimulationRequest req;
     req.network = net;
+    req.manifest = manifest;
     req.seed = o.seed;
     req.chained = o.chained;
     req.evalOnly = o.evalOnly;

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate the documentation layer against the real implementation.
 
-Three checks over README.md and docs/*.md:
+Four checks over README.md and docs/*.md:
 
 1. Every fenced ```json block must parse as a standalone JSON
    document (the same parser ``python3 -m json.tool`` uses), so the
@@ -17,6 +17,10 @@ Three checks over README.md and docs/*.md:
 3. Every relative markdown link must resolve to an existing file
    (anchors stripped; http/https/mailto links skipped), so
    cross-references between the docs cannot silently break.
+4. The committed example weight manifest
+   (``examples/data/tiny_res.scnnwm``) is parsed byte-for-byte
+   against the ``SCNNWMF1`` layout documented in docs/PROTOCOL.md,
+   so the documented format cannot drift from the implementation.
 
 Exits non-zero on the first category of failure, after printing every
 finding.
@@ -27,8 +31,10 @@ Usage:
 
 import argparse
 import json
+import math
 import os
 import re
+import struct
 import subprocess
 import sys
 
@@ -159,6 +165,58 @@ def check_links(files, repo):
     return errors
 
 
+def check_example_manifest(repo):
+    """Parse the committed example manifest per the SCNNWMF1 layout
+    documented in docs/PROTOCOL.md (independent reimplementation: any
+    drift between the docs, this parser and src/nn/manifest.cc
+    surfaces here)."""
+    path = os.path.join(repo, "examples", "data", "tiny_res.scnnwm")
+    if not os.path.isfile(path):
+        return ["missing example manifest %s" % path]
+    with open(path, "rb") as f:
+        data = f.read()
+    errors = []
+    count = 0
+    try:
+        if data[:8] != b"SCNNWMF1":
+            raise ValueError("bad magic %r" % data[:8])
+        (count,) = struct.unpack_from("<I", data, 8)
+        off = 12
+        names = []
+        for i in range(count):
+            (name_len,) = struct.unpack_from("<I", data, off)
+            off += 4
+            if not 1 <= name_len <= 4096:
+                raise ValueError("entry %d: name length %d"
+                                 % (i, name_len))
+            name = data[off:off + name_len].decode("utf-8")
+            off += name_len
+            k, c, r, s = struct.unpack_from("<IIII", data, off)
+            off += 16
+            (density,) = struct.unpack_from("<d", data, off)
+            off += 8
+            if density > 1.0 or math.isnan(density):
+                raise ValueError("entry %r: density %r"
+                                 % (name, density))
+            if min(k, c, r, s) < 1:
+                raise ValueError("entry %r: dims %r"
+                                 % (name, (k, c, r, s)))
+            off += k * c * r * s * 4
+            if off > len(data):
+                raise ValueError("entry %r: truncated tensor" % name)
+            names.append(name)
+        if off != len(data):
+            raise ValueError("%d trailing byte(s)" % (len(data) - off))
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate entry names")
+    except (ValueError, struct.error) as e:
+        errors.append("%s: does not match the documented SCNNWMF1 "
+                      "layout: %s" % (os.path.relpath(path, repo), e))
+    print("example manifest: %d entries parsed, %d error(s)"
+          % (count if not errors else 0, len(errors)))
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Validate docs examples and links against the "
@@ -183,6 +241,7 @@ def main():
                          % args.serve_bin)
     errors += check_jsonl_blocks(files, args.serve_bin)
     errors += check_links(files, args.repo)
+    errors += check_example_manifest(args.repo)
 
     for e in errors:
         print("FAIL: %s" % e)
